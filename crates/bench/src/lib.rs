@@ -1,0 +1,61 @@
+//! Experiment harness for the bandwidth-wall reproduction.
+//!
+//! One binary per paper figure/table lives in `src/bin/`; this library
+//! holds the shared presentation helpers (aligned tables, ASCII bars,
+//! paper-vs-measured comparison rows) and the common experiment
+//! parameters, so every binary prints its figure the same way:
+//!
+//! ```text
+//! cargo run -p bandwall-experiments --bin fig02_traffic_vs_cores
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod render;
+pub mod sweep;
+
+use bandwall_model::Baseline;
+
+/// The four future technology generations the paper sweeps (transistor
+/// scaling ratios 2×–16×).
+pub const GENERATIONS: [u32; 4] = [1, 2, 3, 4];
+
+/// Scaling-ratio labels used on the paper's x-axes.
+pub const GENERATION_LABELS: [&str; 4] = ["2x", "4x", "8x", "16x"];
+
+/// The common baseline for every experiment (Section 5.1).
+pub fn paper_baseline() -> Baseline {
+    Baseline::niagara2_like()
+}
+
+/// Die budget (total CEAs) of future generation `g` (1-based).
+pub fn die_budget(generation: u32) -> f64 {
+    paper_baseline().total_ceas() * 2f64.powi(generation as i32)
+}
+
+/// Prints the standard experiment header.
+pub fn header(figure: &str, title: &str) {
+    println!("================================================================");
+    println!("{figure} — {title}");
+    println!("Reproduction of Rogers et al., 'Scaling the Bandwidth Wall' (ISCA'09)");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn die_budgets_double() {
+        assert_eq!(die_budget(1), 32.0);
+        assert_eq!(die_budget(4), 256.0);
+    }
+
+    #[test]
+    fn baseline_is_niagara2_like() {
+        let b = paper_baseline();
+        assert_eq!(b.cores(), 8.0);
+        assert_eq!(b.total_ceas(), 16.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Shared sweep driver for the single-technique figures (Figures 4–12):
+//! each variant is solved on the next-generation 32-CEA die under a
+//! constant traffic envelope.
+
+use crate::render::{bar, Table};
+use crate::{die_budget, paper_baseline};
+use bandwall_model::Technique;
+
+/// One sweep point: a label and the technique to apply (`None` = base).
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// Row label (e.g. `"2.0x"` or `"DRAM L2 (8x)"`).
+    pub label: String,
+    /// Technique instance; `None` solves the unmodified base problem.
+    pub technique: Option<Technique>,
+    /// Paper's reported core count for this point, when stated.
+    pub paper: Option<u64>,
+}
+
+impl Variant {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, technique: Option<Technique>, paper: Option<u64>) -> Self {
+        Variant {
+            label: label.into(),
+            technique,
+            paper,
+        }
+    }
+}
+
+/// Solves every variant on the next-generation die and prints the table.
+/// Returns the computed core counts in variant order.
+pub fn run_next_generation_sweep(variants: &[Variant]) -> Vec<u64> {
+    let baseline = paper_baseline();
+    let n2 = die_budget(1);
+    let mut results = Vec::with_capacity(variants.len());
+    let mut table = Table::new(&["configuration", "supportable cores", "", "paper"]);
+    for v in variants {
+        let mut problem = bandwall_model::ScalingProblem::new(baseline, n2);
+        if let Some(t) = v.technique {
+            problem = problem.with_technique(t);
+        }
+        let cores = problem.max_supportable_cores().expect("feasible");
+        results.push(cores);
+        table.row_owned(vec![
+            v.label.clone(),
+            cores.to_string(),
+            bar(cores as f64, 32.0, 32),
+            v.paper.map(|p| p.to_string()).unwrap_or_default(),
+        ]);
+    }
+    table.print();
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_variant_yields_11() {
+        let out = run_next_generation_sweep(&[Variant::new("base", None, Some(11))]);
+        assert_eq!(out, vec![11]);
+    }
+
+    #[test]
+    fn technique_variant_applies() {
+        let t = Technique::dram_cache(8.0).unwrap();
+        let out = run_next_generation_sweep(&[Variant::new("dram", Some(t), None)]);
+        assert_eq!(out, vec![18]);
+    }
+}

@@ -1,0 +1,643 @@
+//! The set-associative, write-back, write-allocate cache.
+
+use crate::config::{CacheConfig, ReplacementPolicy};
+use crate::stats::{CacheStats, SharingStats, WordUsageStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// State of one resident line.
+#[derive(Debug, Clone, Copy)]
+struct LineState {
+    /// Full line address (serves as the tag; the set index is implicit).
+    tag: u64,
+    dirty: bool,
+    last_used: u64,
+    inserted: u64,
+    /// Bitmask of 8-byte words referenced while resident.
+    word_mask: u64,
+    /// Bitmask of cores (clamped to 64) that referenced the line.
+    sharers: u64,
+}
+
+/// One set: ways plus tree-PLRU bits.
+#[derive(Debug, Clone, Default)]
+struct CacheSet {
+    ways: Vec<Option<LineState>>,
+    plru_bits: u64,
+}
+
+/// A line pushed out of the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    line_address: u64,
+    dirty: bool,
+    used_words: u32,
+    sharers: u32,
+}
+
+impl EvictedLine {
+    /// The evicted line's address in line units (byte address / line size).
+    pub fn line_address(&self) -> u64 {
+        self.line_address
+    }
+
+    /// Whether the line was dirty (requires a write-back).
+    pub fn dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Number of distinct words referenced during residency.
+    pub fn used_words(&self) -> u32 {
+        self.used_words
+    }
+
+    /// Number of distinct cores that referenced the line.
+    pub fn sharers(&self) -> u32 {
+        self.sharers
+    }
+}
+
+/// The outcome of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    hit: bool,
+    evicted: Option<EvictedLine>,
+}
+
+impl AccessOutcome {
+    /// Whether the access hit.
+    pub fn is_hit(&self) -> bool {
+        self.hit
+    }
+
+    /// The line displaced by this access, if any.
+    pub fn evicted(&self) -> Option<EvictedLine> {
+        self.evicted
+    }
+}
+
+/// A set-associative, write-back, write-allocate cache with selectable
+/// replacement policy and optional word-usage / sharer tracking.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_cache_sim::{Cache, CacheConfig};
+///
+/// let mut cache = Cache::new(CacheConfig::new(4096, 64, 4)?);
+/// assert!(!cache.access(0x1000, false).is_hit()); // cold miss
+/// assert!(cache.access(0x1000, false).is_hit());  // now resident
+/// assert_eq!(cache.stats().misses(), 1);
+/// # Ok::<(), bandwall_cache_sim::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<CacheSet>,
+    stats: CacheStats,
+    word_usage: Option<WordUsageStats>,
+    sharing: Option<SharingStats>,
+    seen_lines: HashSet<u64>,
+    tick: u64,
+    rng: StdRng,
+}
+
+impl Cache {
+    /// Builds an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is [`ReplacementPolicy::TreePlru`] and the
+    /// associativity is not a power of two (the PLRU tree needs a complete
+    /// binary tree over the ways).
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(
+            config.policy() != ReplacementPolicy::TreePlru
+                || config.associativity().is_power_of_two(),
+            "tree-PLRU requires a power-of-two associativity"
+        );
+        let sets = (0..config.sets())
+            .map(|_| CacheSet {
+                ways: vec![None; config.associativity() as usize],
+                plru_bits: 0,
+            })
+            .collect();
+        Cache {
+            config,
+            sets,
+            stats: CacheStats::new(),
+            word_usage: None,
+            sharing: None,
+            seen_lines: HashSet::new(),
+            tick: 0,
+            rng: StdRng::seed_from_u64(config.policy_seed()),
+        }
+    }
+
+    /// Enables per-word usage tracking (needed for unused-data studies).
+    #[must_use]
+    pub fn with_word_tracking(mut self) -> Self {
+        self.word_usage = Some(WordUsageStats::new(self.config.words_per_line()));
+        self
+    }
+
+    /// Enables per-core sharer tracking (needed for Figure 14).
+    #[must_use]
+    pub fn with_sharer_tracking(mut self) -> Self {
+        self.sharing = Some(SharingStats::new());
+        self
+    }
+
+    /// The cache's geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Access counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Word-usage statistics, if tracking is enabled.
+    pub fn word_usage(&self) -> Option<&WordUsageStats> {
+        self.word_usage.as_ref()
+    }
+
+    /// Sharing statistics, if tracking is enabled.
+    pub fn sharing(&self) -> Option<&SharingStats> {
+        self.sharing.as_ref()
+    }
+
+    /// Non-mutating residency check.
+    pub fn contains(&self, address: u64) -> bool {
+        let (set_idx, tag) = self.config.locate(address);
+        self.sets[set_idx as usize]
+            .ways
+            .iter()
+            .flatten()
+            .any(|l| l.tag == tag)
+    }
+
+    /// Accesses `address` from core 0.
+    pub fn access(&mut self, address: u64, is_write: bool) -> AccessOutcome {
+        self.access_from(0, address, is_write)
+    }
+
+    /// Accesses `address` from `core` (the core id feeds sharer tracking).
+    pub fn access_from(&mut self, core: u16, address: u64, is_write: bool) -> AccessOutcome {
+        self.tick += 1;
+        let (set_idx, tag) = self.config.locate(address);
+        let word_bit = 1u64 << ((address % self.config.line_size()) / 8).min(63);
+        let core_bit = 1u64 << (core as u64).min(63);
+        let tick = self.tick;
+        let policy = self.config.policy();
+        let assoc = self.sets[set_idx as usize].ways.len();
+
+        // Hit path.
+        if let Some(way) = self.sets[set_idx as usize]
+            .ways
+            .iter()
+            .position(|l| l.is_some_and(|l| l.tag == tag))
+        {
+            let set = &mut self.sets[set_idx as usize];
+            let line = set.ways[way].as_mut().expect("hit way is occupied");
+            line.last_used = tick;
+            line.dirty |= is_write;
+            line.word_mask |= word_bit;
+            line.sharers |= core_bit;
+            if policy == ReplacementPolicy::TreePlru {
+                Self::plru_touch(&mut set.plru_bits, assoc, way);
+            }
+            self.stats.record_hit();
+            return AccessOutcome {
+                hit: true,
+                evicted: None,
+            };
+        }
+
+        // Miss path: classify, choose a frame, fill.
+        let cold = self.seen_lines.insert(tag);
+        self.stats.record_miss(cold);
+
+        let victim_way = {
+            let set = &self.sets[set_idx as usize];
+            match set.ways.iter().position(|l| l.is_none()) {
+                Some(empty) => empty,
+                None => self.choose_victim(set_idx as usize),
+            }
+        };
+
+        let set = &mut self.sets[set_idx as usize];
+        let evicted = set.ways[victim_way].take().map(|old| EvictedLine {
+            line_address: old.tag,
+            dirty: old.dirty,
+            used_words: old.word_mask.count_ones(),
+            sharers: old.sharers.count_ones(),
+        });
+        if let Some(ev) = &evicted {
+            self.stats.record_eviction(ev.dirty);
+            if let Some(usage) = &mut self.word_usage {
+                usage.record_eviction(ev.used_words);
+            }
+            if let Some(sharing) = &mut self.sharing {
+                sharing.record_eviction(ev.sharers);
+            }
+        }
+        set.ways[victim_way] = Some(LineState {
+            tag,
+            dirty: is_write,
+            last_used: tick,
+            inserted: tick,
+            word_mask: word_bit,
+            sharers: core_bit,
+        });
+        if policy == ReplacementPolicy::TreePlru {
+            Self::plru_touch(&mut set.plru_bits, assoc, victim_way);
+        }
+        AccessOutcome {
+            hit: false,
+            evicted,
+        }
+    }
+
+    /// Picks a victim way in a full set according to the policy.
+    fn choose_victim(&mut self, set_idx: usize) -> usize {
+        let set = &self.sets[set_idx];
+        match self.config.policy() {
+            ReplacementPolicy::Lru => Self::min_by_key(&set.ways, |l| l.last_used),
+            ReplacementPolicy::Fifo => Self::min_by_key(&set.ways, |l| l.inserted),
+            ReplacementPolicy::Random => self.rng.gen_range(0..set.ways.len()),
+            ReplacementPolicy::TreePlru => Self::plru_victim(set.plru_bits, set.ways.len()),
+        }
+    }
+
+    fn min_by_key<F: Fn(&LineState) -> u64>(ways: &[Option<LineState>], key: F) -> usize {
+        ways.iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.as_ref().map(|l| (i, key(l))))
+            .min_by_key(|&(_, k)| k)
+            .map(|(i, _)| i)
+            .expect("choose_victim called on a full set")
+    }
+
+    /// Marks `way` as recently used in the PLRU tree: walk from the root
+    /// to the leaf, pointing every internal node *away* from the path.
+    ///
+    /// The tree is stored as a heap in `bits`: node 1 is the root; node
+    /// `n`'s children are `2n` and `2n+1`; bit = 0 points left, 1 right.
+    /// Requires a power-of-two associativity (checked at construction
+    /// time by [`Cache::new`] callers via config validation).
+    fn plru_touch(bits: &mut u64, assoc: usize, way: usize) {
+        debug_assert!(assoc.is_power_of_two());
+        let levels = assoc.trailing_zeros();
+        let mut node = 1usize;
+        for level in (0..levels).rev() {
+            let go_right = (way >> level) & 1 == 1;
+            // Point away from where we went.
+            if go_right {
+                *bits &= !(1 << node);
+            } else {
+                *bits |= 1 << node;
+            }
+            node = node * 2 + usize::from(go_right);
+        }
+    }
+
+    /// Follows the PLRU bits from the root to the pseudo-LRU leaf.
+    fn plru_victim(bits: u64, assoc: usize) -> usize {
+        debug_assert!(assoc.is_power_of_two());
+        let levels = assoc.trailing_zeros();
+        let mut node = 1usize;
+        let mut way = 0usize;
+        for _ in 0..levels {
+            let go_right = (bits >> node) & 1 == 1;
+            way = way * 2 + usize::from(go_right);
+            node = node * 2 + usize::from(go_right);
+        }
+        way
+    }
+
+    /// Removes `address`'s line if resident, returning its state. Counts
+    /// as an eviction in the statistics (an invalidation caused by an
+    /// external agent, e.g. inclusion enforcement).
+    pub fn invalidate(&mut self, address: u64) -> Option<EvictedLine> {
+        let ev = self.extract(address)?;
+        self.stats.record_eviction(ev.dirty());
+        if let Some(usage) = &mut self.word_usage {
+            usage.record_eviction(ev.used_words());
+        }
+        if let Some(sharing) = &mut self.sharing {
+            sharing.record_eviction(ev.sharers());
+        }
+        Some(ev)
+    }
+
+    /// Marks `address`'s line dirty if resident (used when a hierarchy
+    /// transfers a dirty line between levels). Returns whether the line
+    /// was present.
+    pub fn mark_dirty(&mut self, address: u64) -> bool {
+        let (set_idx, tag) = self.config.locate(address);
+        let set = &mut self.sets[set_idx as usize];
+        for line in set.ways.iter_mut().flatten() {
+            if line.tag == tag {
+                line.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes `address`'s line if resident *without* touching any
+    /// statistics — a silent transfer, e.g. an exclusive hierarchy moving
+    /// a line from the L2 into the L1.
+    pub fn extract(&mut self, address: u64) -> Option<EvictedLine> {
+        let (set_idx, tag) = self.config.locate(address);
+        let set = &mut self.sets[set_idx as usize];
+        let way = set
+            .ways
+            .iter()
+            .position(|l| l.is_some_and(|l| l.tag == tag))?;
+        let old = set.ways[way].take().expect("found way is occupied");
+        Some(EvictedLine {
+            line_address: old.tag,
+            dirty: old.dirty,
+            used_words: old.word_mask.count_ones(),
+            sharers: old.sharers.count_ones(),
+        })
+    }
+
+    /// Number of currently resident lines.
+    pub fn resident_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.ways.iter().flatten().count())
+            .sum()
+    }
+
+    /// Evicts everything, reporting dirty lines through the usual stats
+    /// (useful to flush write-backs at the end of a measurement window).
+    pub fn flush(&mut self) -> Vec<EvictedLine> {
+        let mut evicted = Vec::new();
+        for set in &mut self.sets {
+            for way in &mut set.ways {
+                if let Some(old) = way.take() {
+                    let ev = EvictedLine {
+                        line_address: old.tag,
+                        dirty: old.dirty,
+                        used_words: old.word_mask.count_ones(),
+                        sharers: old.sharers.count_ones(),
+                    };
+                    self.stats.record_eviction(ev.dirty);
+                    if let Some(usage) = &mut self.word_usage {
+                        usage.record_eviction(ev.used_words);
+                    }
+                    if let Some(sharing) = &mut self.sharing {
+                        sharing.record_eviction(ev.sharers);
+                    }
+                    evicted.push(ev);
+                }
+            }
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ConfigError;
+
+    fn small_cache(policy: ReplacementPolicy) -> Cache {
+        // 4 sets × 2 ways × 64 B lines = 512 B.
+        Cache::new(
+            CacheConfig::new(512, 64, 2)
+                .unwrap()
+                .with_policy(policy)
+                .with_policy_seed(3),
+        )
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = small_cache(ReplacementPolicy::Lru);
+        assert!(!c.access(0, false).is_hit());
+        assert!(c.access(0, false).is_hit());
+        assert!(c.access(8, false).is_hit(), "same line, different word");
+        assert_eq!(c.stats().hits(), 2);
+        assert_eq!(c.stats().misses(), 1);
+        assert_eq!(c.stats().cold_misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small_cache(ReplacementPolicy::Lru);
+        // Set 0 holds lines with line_addr % 4 == 0: 0, 4, 8 (addresses
+        // 0, 1024, 2048 with 64-byte lines and 4 sets).
+        c.access(0, false);
+        c.access(1024, false);
+        c.access(0, false); // refresh line 0
+        let out = c.access(2048, false); // evicts line 1024's line (addr 16)
+        let ev = out.evicted().unwrap();
+        assert_eq!(ev.line_address(), 1024 / 64);
+        assert!(c.contains(0));
+        assert!(!c.contains(1024));
+    }
+
+    #[test]
+    fn fifo_ignores_recency() {
+        let mut c = small_cache(ReplacementPolicy::Fifo);
+        c.access(0, false);
+        c.access(1024, false);
+        c.access(0, false); // refresh does not help under FIFO
+        let out = c.access(2048, false);
+        assert_eq!(out.evicted().unwrap().line_address(), 0);
+    }
+
+    #[test]
+    fn writeback_on_dirty_eviction_only() {
+        let mut c = small_cache(ReplacementPolicy::Lru);
+        c.access(0, true); // dirty
+        c.access(1024, false); // clean
+        c.access(2048, false); // evicts line 0 (dirty)
+        assert_eq!(c.stats().writebacks(), 1);
+        c.access(3072, false); // evicts line 1024 (clean)
+        assert_eq!(c.stats().writebacks(), 1);
+        assert_eq!(c.stats().evictions(), 2);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small_cache(ReplacementPolicy::Lru);
+        c.access(0, false);
+        c.access(0, true); // dirty via hit
+        c.access(1024, false);
+        let out = c.access(2048, false);
+        assert!(out.evicted().unwrap().dirty());
+    }
+
+    #[test]
+    fn word_usage_tracking() {
+        let mut c = small_cache(ReplacementPolicy::Lru).with_word_tracking();
+        c.access(0, false); // word 0
+        c.access(16, false); // word 2 of the same line
+        c.access(1024, false);
+        c.access(2048, false); // evicts line 0 with 2 used words
+        let usage = c.word_usage().unwrap();
+        assert_eq!(usage.evicted_lines(), 1);
+        // 2 of 8 words used → 75% unused.
+        assert!((usage.unused_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharer_tracking() {
+        let mut c = small_cache(ReplacementPolicy::Lru).with_sharer_tracking();
+        c.access_from(0, 0, false);
+        c.access_from(3, 0, false); // second core touches line 0
+        c.access_from(1, 1024, false); // single-core line
+        c.access_from(0, 2048, false); // evicts line 0 (2 sharers)
+        c.access_from(0, 3072, false); // evicts line 1024 (1 sharer)
+        let sharing = c.sharing().unwrap();
+        assert_eq!(sharing.evicted_lines(), 2);
+        assert_eq!(sharing.shared_lines(), 1);
+        assert_eq!(sharing.shared_fraction(), 0.5);
+    }
+
+    #[test]
+    fn random_policy_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut c = Cache::new(
+                CacheConfig::new(512, 64, 2)
+                    .unwrap()
+                    .with_policy(ReplacementPolicy::Random)
+                    .with_policy_seed(seed),
+            );
+            let mut evictions = Vec::new();
+            for i in 0..50u64 {
+                if let Some(ev) = c.access(i * 1024, false).evicted() {
+                    evictions.push(ev.line_address());
+                }
+            }
+            evictions
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn tree_plru_behaves_like_lru_for_two_ways() {
+        // With 2 ways the PLRU tree is exact LRU.
+        let mut plru = small_cache(ReplacementPolicy::TreePlru);
+        let mut lru = small_cache(ReplacementPolicy::Lru);
+        let pattern: Vec<u64> = vec![0, 1024, 0, 2048, 1024, 0, 3072, 2048, 0, 1024];
+        for &a in &pattern {
+            let ph = plru.access(a, false).is_hit();
+            let lh = lru.access(a, false).is_hit();
+            assert_eq!(ph, lh, "divergence at address {a}");
+        }
+    }
+
+    #[test]
+    fn tree_plru_victim_is_untouched_way() {
+        // 1 set × 4 ways.
+        let mut c = Cache::new(
+            CacheConfig::new(256, 64, 4)
+                .unwrap()
+                .with_policy(ReplacementPolicy::TreePlru),
+        );
+        for line in 0..4u64 {
+            c.access(line * 64, false);
+        }
+        // Touch lines 0..3 in order; PLRU victim should be line 0.
+        let out = c.access(4 * 64, false);
+        assert_eq!(out.evicted().unwrap().line_address(), 0);
+    }
+
+    #[test]
+    fn resident_lines_counts() {
+        let mut c = small_cache(ReplacementPolicy::Lru);
+        assert_eq!(c.resident_lines(), 0);
+        c.access(0, false);
+        c.access(64, false);
+        assert_eq!(c.resident_lines(), 2);
+    }
+
+    #[test]
+    fn flush_reports_dirty_lines() {
+        let mut c = small_cache(ReplacementPolicy::Lru);
+        c.access(0, true);
+        c.access(64, false);
+        let flushed = c.flush();
+        assert_eq!(flushed.len(), 2);
+        assert_eq!(flushed.iter().filter(|e| e.dirty()).count(), 1);
+        assert_eq!(c.resident_lines(), 0);
+        assert_eq!(c.stats().evictions(), 2);
+    }
+
+    #[test]
+    fn conflict_misses_in_direct_mapped() {
+        let mut c = Cache::new(CacheConfig::new(256, 64, 1).unwrap());
+        // Two lines mapping to the same set (4 sets).
+        c.access(0, false);
+        c.access(4 * 64, false);
+        assert!(!c.access(0, false).is_hit(), "conflict must have evicted");
+        // Not a cold miss the second time.
+        assert_eq!(c.stats().cold_misses(), 2);
+        assert_eq!(c.stats().misses(), 3);
+    }
+
+    #[test]
+    fn geometry_errors_bubble_up() {
+        let err = CacheConfig::new(100, 64, 2).unwrap_err();
+        assert!(matches!(err, ConfigError::Indivisible { .. }));
+    }
+
+    #[test]
+    fn invalidate_removes_and_counts() {
+        let mut c = small_cache(ReplacementPolicy::Lru);
+        c.access(0, true);
+        let ev = c.invalidate(0).unwrap();
+        assert!(ev.dirty());
+        assert_eq!(c.stats().evictions(), 1);
+        assert_eq!(c.stats().writebacks(), 1);
+        assert!(!c.contains(0));
+        assert!(c.invalidate(0).is_none());
+    }
+
+    #[test]
+    fn extract_is_silent() {
+        let mut c = small_cache(ReplacementPolicy::Lru);
+        c.access(0, false);
+        let ev = c.extract(0).unwrap();
+        assert!(!ev.dirty());
+        assert_eq!(c.stats().evictions(), 0);
+        assert!(!c.contains(0));
+        assert!(c.extract(64).is_none());
+    }
+
+    #[test]
+    fn fully_associative_lru_matches_stack_property() {
+        // A fully-associative LRU cache of N lines must hit iff the reuse
+        // distance is < N. Cross-check against the trace crate's profiler.
+        use bandwall_trace::{MissRateProbe, StackDistanceTrace, TraceSource};
+        let lines: usize = 64;
+        let mut cache =
+            Cache::new(CacheConfig::new(64 * lines as u64, 64, lines as u32).unwrap());
+        let mut probe = MissRateProbe::new(&[lines]);
+        let mut trace = StackDistanceTrace::builder(0.5)
+            .seed(8)
+            .max_distance(1 << 12)
+            .build();
+        let mut cache_misses = 0u64;
+        let n = 20_000;
+        for a in trace.iter().take(n) {
+            let line = a.address() / 64;
+            probe.observe(line);
+            if !cache.access(line * 64, false).is_hit() {
+                cache_misses += 1;
+            }
+        }
+        let probe_misses = (probe.miss_rates()[0] * n as f64).round() as u64;
+        assert_eq!(cache_misses, probe_misses);
+    }
+}

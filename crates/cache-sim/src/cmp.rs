@@ -1,0 +1,345 @@
+//! Chip-multiprocessor cache system: per-core L1s over a shared or
+//! private L2 (the simulator behind Figure 14 and the data-sharing
+//! analysis of Section 6.3).
+
+use crate::cache::Cache;
+use crate::config::CacheConfig;
+use crate::stats::{CacheStats, MemoryTraffic, SharingStats};
+use bandwall_trace::MemoryAccess;
+
+/// L2 organisation for a [`CmpSystem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum L2Organization {
+    /// One L2 shared by all cores, with per-line sharer tracking.
+    Shared,
+    /// One private L2 per core (shared data gets replicated).
+    Private,
+}
+
+/// A CMP cache system: `cores` private L1s over a shared or per-core L2.
+///
+/// Accesses are routed by the [`MemoryAccess::thread`] field (thread ==
+/// core here, matching the paper's one-thread-per-core assumption).
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_cache_sim::{CacheConfig, CmpSystem, L2Organization};
+/// use bandwall_trace::MemoryAccess;
+///
+/// let mut cmp = CmpSystem::new(
+///     4,
+///     CacheConfig::new(1 << 10, 64, 2)?,
+///     CacheConfig::new(64 << 10, 64, 8)?,
+///     L2Organization::Shared,
+/// );
+/// cmp.access(MemoryAccess::read(0x40).on_thread(0));
+/// cmp.access(MemoryAccess::read(0x40).on_thread(3));
+/// assert_eq!(cmp.memory_traffic().fetched_bytes(), 64); // fetched once
+/// # Ok::<(), bandwall_cache_sim::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CmpSystem {
+    l1s: Vec<Cache>,
+    shared_l2: Option<Cache>,
+    private_l2s: Vec<Cache>,
+    traffic: MemoryTraffic,
+    organization: L2Organization,
+}
+
+impl CmpSystem {
+    /// Builds a CMP with `cores` cores.
+    ///
+    /// For [`L2Organization::Shared`] the `l2` geometry describes the one
+    /// shared cache (sharer tracking enabled); for
+    /// [`L2Organization::Private`] it describes *each* core's private L2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(
+        cores: u16,
+        l1: CacheConfig,
+        l2: CacheConfig,
+        organization: L2Organization,
+    ) -> Self {
+        assert!(cores > 0, "a CMP needs at least one core");
+        let l1s = (0..cores).map(|_| Cache::new(l1)).collect();
+        let (shared_l2, private_l2s) = match organization {
+            L2Organization::Shared => (
+                Some(Cache::new(l2).with_sharer_tracking()),
+                Vec::new(),
+            ),
+            L2Organization::Private => (
+                None,
+                (0..cores).map(|_| Cache::new(l2)).collect(),
+            ),
+        };
+        CmpSystem {
+            l1s,
+            shared_l2,
+            private_l2s,
+            traffic: MemoryTraffic::new(),
+            organization,
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> u16 {
+        self.l1s.len() as u16
+    }
+
+    /// The L2 organisation.
+    pub fn organization(&self) -> L2Organization {
+        self.organization
+    }
+
+    /// Off-chip traffic accumulated so far.
+    pub fn memory_traffic(&self) -> &MemoryTraffic {
+        &self.traffic
+    }
+
+    /// Sharing statistics of the shared L2 (`None` for private L2s).
+    pub fn sharing(&self) -> Option<&SharingStats> {
+        self.shared_l2.as_ref().and_then(|c| c.sharing())
+    }
+
+    /// Aggregated L1 statistics across cores.
+    pub fn l1_stats(&self) -> CacheStats {
+        let mut total = CacheStats::new();
+        for c in &self.l1s {
+            total.merge(c.stats());
+        }
+        total
+    }
+
+    /// Aggregated L2 statistics (the shared cache, or all private L2s).
+    pub fn l2_stats(&self) -> CacheStats {
+        match &self.shared_l2 {
+            Some(l2) => *l2.stats(),
+            None => {
+                let mut total = CacheStats::new();
+                for c in &self.private_l2s {
+                    total.merge(c.stats());
+                }
+                total
+            }
+        }
+    }
+
+    /// Routes one access through the issuing core's hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access's thread id is not a valid core index.
+    pub fn access(&mut self, access: MemoryAccess) {
+        let core = access.thread();
+        assert!(
+            (core as usize) < self.l1s.len(),
+            "thread {core} exceeds core count {}",
+            self.l1s.len()
+        );
+        let address = access.address();
+        let is_write = access.kind().is_write();
+        let l1 = &mut self.l1s[core as usize];
+        let l1_line = l1.config().line_size();
+        let l1_out = l1.access_from(core, address, is_write);
+
+        // Dirty L1 victim goes to the L2 as a write.
+        if let Some(victim) = l1_out.evicted().filter(|v| v.dirty()) {
+            self.l2_access(core, victim.line_address() * l1_line, true);
+        }
+        if !l1_out.is_hit() {
+            self.l2_access(core, address, false);
+        }
+    }
+
+    fn l2_access(&mut self, core: u16, address: u64, is_write: bool) {
+        let l2 = match self.organization {
+            L2Organization::Shared => self.shared_l2.as_mut().expect("shared L2 present"),
+            L2Organization::Private => &mut self.private_l2s[core as usize],
+        };
+        let line = l2.config().line_size();
+        let out = l2.access_from(core, address, is_write);
+        if let Some(v) = out.evicted() {
+            if v.dirty() {
+                self.traffic.record_writeback(line);
+            }
+        }
+        if !out.is_hit() {
+            self.traffic.record_fetch(line);
+        }
+    }
+
+    /// Drains both cache levels, accounting final write-backs.
+    pub fn flush(&mut self) {
+        // L1 dirty victims flow into the L2 first.
+        for core in 0..self.l1s.len() {
+            let l1_line = self.l1s[core].config().line_size();
+            let dirty: Vec<u64> = self.l1s[core]
+                .flush()
+                .into_iter()
+                .filter(|v| v.dirty())
+                .map(|v| v.line_address() * l1_line)
+                .collect();
+            for addr in dirty {
+                self.l2_access(core as u16, addr, true);
+            }
+        }
+        let write = |l2: &mut Cache, traffic: &mut MemoryTraffic| {
+            let line = l2.config().line_size();
+            for v in l2.flush() {
+                if v.dirty() {
+                    traffic.record_writeback(line);
+                }
+            }
+        };
+        if let Some(l2) = self.shared_l2.as_mut() {
+            write(l2, &mut self.traffic);
+        }
+        for l2 in &mut self.private_l2s {
+            write(l2, &mut self.traffic);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bandwall_trace::{ParsecLikeTrace, TraceSource};
+
+    fn small_cmp(cores: u16, org: L2Organization) -> CmpSystem {
+        CmpSystem::new(
+            cores,
+            CacheConfig::new(512, 64, 2).unwrap(),
+            CacheConfig::new(16 << 10, 64, 8).unwrap(),
+            org,
+        )
+    }
+
+    #[test]
+    fn shared_l2_fetches_shared_line_once() {
+        let mut cmp = small_cmp(4, L2Organization::Shared);
+        for core in 0..4 {
+            cmp.access(MemoryAccess::read(0x80).on_thread(core));
+        }
+        assert_eq!(cmp.memory_traffic().fetched_bytes(), 64);
+    }
+
+    #[test]
+    fn private_l2_replicates_shared_line() {
+        let mut cmp = small_cmp(4, L2Organization::Private);
+        for core in 0..4 {
+            cmp.access(MemoryAccess::read(0x80).on_thread(core));
+        }
+        // Every core misses its own private hierarchy.
+        assert_eq!(cmp.memory_traffic().fetched_bytes(), 4 * 64);
+    }
+
+    #[test]
+    fn sharing_stats_only_for_shared_l2() {
+        let shared = small_cmp(2, L2Organization::Shared);
+        assert!(shared.sharing().is_some());
+        let private = small_cmp(2, L2Organization::Private);
+        assert!(private.sharing().is_none());
+    }
+
+    #[test]
+    fn routes_by_thread() {
+        let mut cmp = small_cmp(2, L2Organization::Shared);
+        cmp.access(MemoryAccess::read(0).on_thread(0));
+        cmp.access(MemoryAccess::read(64).on_thread(1));
+        let l1 = cmp.l1_stats();
+        assert_eq!(l1.accesses(), 2);
+        assert_eq!(l1.misses(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds core count")]
+    fn out_of_range_thread_panics() {
+        let mut cmp = small_cmp(2, L2Organization::Shared);
+        cmp.access(MemoryAccess::read(0).on_thread(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        small_cmp(0, L2Organization::Shared);
+    }
+
+    #[test]
+    fn parsec_like_sharing_fraction_declines_with_cores() {
+        // The Figure 14 experiment in miniature.
+        let fraction = |cores: u16| {
+            let mut cmp = CmpSystem::new(
+                cores,
+                CacheConfig::new(512, 64, 2).unwrap(),
+                CacheConfig::new(512 << 10, 64, 8).unwrap(),
+                L2Organization::Shared,
+            );
+            let mut trace = ParsecLikeTrace::builder_with_regions(cores, 4000, 1500)
+                .shared_access_fraction(0.4)
+                .seed(21)
+                .build();
+            for a in trace.iter().take(300_000) {
+                cmp.access(a);
+            }
+            cmp.sharing().unwrap().shared_fraction()
+        };
+        let f4 = fraction(4);
+        let f8 = fraction(8);
+        let f16 = fraction(16);
+        assert!(
+            f4 > f8 && f8 > f16,
+            "sharing must decline: {f4:.3} {f8:.3} {f16:.3}"
+        );
+        // The paper's Figure 14 band is 15–17.5%; ours lands nearby.
+        assert!(f4 > 0.08 && f4 < 0.30, "f4 = {f4}");
+    }
+
+    #[test]
+    fn shared_vs_private_traffic_with_sharing_workload() {
+        // A shared L2 should generate no more memory traffic than private
+        // L2s of the same total capacity when data is shared.
+        let run = |org: L2Organization, l2_bytes: u64| {
+            let mut cmp = CmpSystem::new(
+                4,
+                CacheConfig::new(512, 64, 2).unwrap(),
+                CacheConfig::new(l2_bytes, 64, 8).unwrap(),
+                org,
+            );
+            let mut trace = ParsecLikeTrace::builder_with_regions(4, 500, 500)
+                .shared_access_fraction(0.5)
+                .seed(33)
+                .build();
+            for a in trace.iter().take(100_000) {
+                cmp.access(a);
+            }
+            cmp.memory_traffic().total_bytes()
+        };
+        // 64 KB shared vs 4 × 16 KB private.
+        let shared = run(L2Organization::Shared, 64 << 10);
+        let private = run(L2Organization::Private, 16 << 10);
+        assert!(
+            shared < private,
+            "shared {shared} B should beat private {private} B"
+        );
+    }
+
+    #[test]
+    fn flush_writes_back_all_dirty_data() {
+        let mut cmp = small_cmp(2, L2Organization::Private);
+        cmp.access(MemoryAccess::write(0).on_thread(0));
+        cmp.access(MemoryAccess::write(64).on_thread(1));
+        cmp.flush();
+        assert_eq!(cmp.memory_traffic().written_bytes(), 128);
+    }
+
+    #[test]
+    fn accessors() {
+        let cmp = small_cmp(3, L2Organization::Shared);
+        assert_eq!(cmp.cores(), 3);
+        assert_eq!(cmp.organization(), L2Organization::Shared);
+        assert_eq!(cmp.l2_stats().accesses(), 0);
+    }
+}

@@ -1,0 +1,349 @@
+//! Base-Delta-Immediate (BDI) compression.
+//!
+//! BDI (Pekhimenko et al.) exploits the low dynamic range of values within
+//! a cache line: the line is stored as one *base* plus an array of narrow
+//! *deltas*. Eight encodings are attempted and the smallest valid one wins:
+//!
+//! * all-zero line (header only)
+//! * repeated 8-byte value (header + 8 bytes)
+//! * base 8 with deltas of 1, 2, or 4 bytes
+//! * base 4 with deltas of 1 or 2 bytes
+//! * base 2 with deltas of 1 byte
+//! * uncompressed fallback
+//!
+//! Each compressed form carries a 1-byte header naming the encoding, so
+//! decompression is self-describing given the original line length.
+
+use crate::{Compressor, DecompressError};
+
+/// Encoding identifiers stored in the header byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Encoding {
+    Zeros = 0,
+    Repeat8 = 1,
+    B8D1 = 2,
+    B8D2 = 3,
+    B8D4 = 4,
+    B4D1 = 5,
+    B4D2 = 6,
+    B2D1 = 7,
+    Raw = 8,
+}
+
+impl Encoding {
+    fn from_u8(v: u8) -> Option<Encoding> {
+        use Encoding::*;
+        Some(match v {
+            0 => Zeros,
+            1 => Repeat8,
+            2 => B8D1,
+            3 => B8D2,
+            4 => B8D4,
+            5 => B4D1,
+            6 => B4D2,
+            7 => B2D1,
+            8 => Raw,
+            _ => return None,
+        })
+    }
+
+    fn base_size(self) -> usize {
+        use Encoding::*;
+        match self {
+            B8D1 | B8D2 | B8D4 => 8,
+            B4D1 | B4D2 => 4,
+            B2D1 => 2,
+            _ => 0,
+        }
+    }
+
+    fn delta_size(self) -> usize {
+        use Encoding::*;
+        match self {
+            B8D1 | B4D1 | B2D1 => 1,
+            B8D2 | B4D2 => 2,
+            B8D4 => 4,
+            _ => 0,
+        }
+    }
+}
+
+/// The BDI cache-line compressor.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_compress::{Bdi, Compressor};
+///
+/// let bdi = Bdi::new();
+/// // Pointers into the same region: 8-byte base, small deltas.
+/// let mut line = Vec::new();
+/// for i in 0..8u64 {
+///     line.extend_from_slice(&(0x7FFF_1234_0000u64 + i * 16).to_be_bytes());
+/// }
+/// let compressed = bdi.compress(&line);
+/// assert!(compressed.len() < line.len() / 3);
+/// assert_eq!(bdi.decompress(&compressed, line.len()).unwrap(), line);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Bdi {
+    _private: (),
+}
+
+fn read_be(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(0u64, |acc, &b| (acc << 8) | b as u64)
+}
+
+fn write_be(value: u64, size: usize, out: &mut Vec<u8>) {
+    for i in (0..size).rev() {
+        out.push((value >> (8 * i)) as u8);
+    }
+}
+
+impl Bdi {
+    /// Creates a BDI compressor.
+    pub fn new() -> Self {
+        Bdi::default()
+    }
+
+    /// Attempts one base/delta encoding; `None` if some delta overflows.
+    fn try_base_delta(line: &[u8], enc: Encoding) -> Option<Vec<u8>> {
+        let bs = enc.base_size();
+        let ds = enc.delta_size();
+        if !line.len().is_multiple_of(bs) {
+            return None;
+        }
+        let base = read_be(&line[..bs]) as i128;
+        let max = (1i128 << (8 * ds - 1)) - 1;
+        let min = -(1i128 << (8 * ds - 1));
+        let mut out = vec![enc as u8];
+        write_be(base as u64, bs, &mut out);
+        for chunk in line.chunks_exact(bs) {
+            let value = read_be(chunk) as i128;
+            let delta = value - base;
+            if delta < min || delta > max {
+                return None;
+            }
+            write_be(delta as u64, ds, &mut out);
+        }
+        Some(out)
+    }
+}
+
+impl Compressor for Bdi {
+    fn name(&self) -> &'static str {
+        "BDI"
+    }
+
+    fn compress(&self, line: &[u8]) -> Vec<u8> {
+        assert!(
+            line.len().is_multiple_of(8),
+            "BDI operates on whole 8-byte chunks; line length {} is not a multiple of 8",
+            line.len()
+        );
+        if line.iter().all(|&b| b == 0) {
+            return vec![Encoding::Zeros as u8];
+        }
+        if line.chunks_exact(8).all(|c| c == &line[..8]) {
+            let mut out = vec![Encoding::Repeat8 as u8];
+            out.extend_from_slice(&line[..8]);
+            return out;
+        }
+        let candidates = [
+            Encoding::B8D1,
+            Encoding::B2D1,
+            Encoding::B4D1,
+            Encoding::B8D2,
+            Encoding::B4D2,
+            Encoding::B8D4,
+        ];
+        let mut best: Option<Vec<u8>> = None;
+        for enc in candidates {
+            if let Some(encoded) = Bdi::try_base_delta(line, enc) {
+                if best.as_ref().is_none_or(|b| encoded.len() < b.len()) {
+                    best = Some(encoded);
+                }
+            }
+        }
+        match best {
+            Some(encoded) if encoded.len() < line.len() + 1 => encoded,
+            _ => {
+                let mut out = vec![Encoding::Raw as u8];
+                out.extend_from_slice(line);
+                out
+            }
+        }
+    }
+
+    fn decompress(&self, data: &[u8], original_len: usize) -> Result<Vec<u8>, DecompressError> {
+        if !original_len.is_multiple_of(8) {
+            return Err(DecompressError::InvalidLength { len: original_len });
+        }
+        let (&header, payload) = data.split_first().ok_or(DecompressError::Truncated)?;
+        let enc = Encoding::from_u8(header).ok_or(DecompressError::Corrupt)?;
+        match enc {
+            Encoding::Zeros => Ok(vec![0; original_len]),
+            Encoding::Repeat8 => {
+                if payload.len() < 8 {
+                    return Err(DecompressError::Truncated);
+                }
+                Ok(payload[..8]
+                    .iter()
+                    .copied()
+                    .cycle()
+                    .take(original_len)
+                    .collect())
+            }
+            Encoding::Raw => {
+                if payload.len() < original_len {
+                    return Err(DecompressError::Truncated);
+                }
+                Ok(payload[..original_len].to_vec())
+            }
+            _ => {
+                let bs = enc.base_size();
+                let ds = enc.delta_size();
+                let chunks = original_len / bs;
+                if payload.len() < bs + chunks * ds {
+                    return Err(DecompressError::Truncated);
+                }
+                let base = read_be(&payload[..bs]) as i128;
+                let mut out = Vec::with_capacity(original_len);
+                for i in 0..chunks {
+                    let start = bs + i * ds;
+                    let raw = read_be(&payload[start..start + ds]);
+                    // Sign-extend the delta from ds bytes.
+                    let shift = 128 - 8 * ds as u32;
+                    let delta = ((raw as i128) << shift) >> shift;
+                    let value = (base + delta) as u64;
+                    // Mask to the chunk width.
+                    let value = if bs == 8 {
+                        value
+                    } else {
+                        value & ((1u64 << (8 * bs)) - 1)
+                    };
+                    write_be(value, bs, &mut out);
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(line: &[u8]) -> usize {
+        let bdi = Bdi::new();
+        let compressed = bdi.compress(line);
+        let back = bdi.decompress(&compressed, line.len()).unwrap();
+        assert_eq!(back, line, "round trip failed");
+        compressed.len()
+    }
+
+    #[test]
+    fn zero_line_is_one_byte() {
+        assert_eq!(round_trip(&[0u8; 64]), 1);
+    }
+
+    #[test]
+    fn repeated_value_is_nine_bytes() {
+        let mut line = Vec::new();
+        for _ in 0..8 {
+            line.extend_from_slice(&0xDEAD_BEEF_CAFE_F00Du64.to_be_bytes());
+        }
+        assert_eq!(round_trip(&line), 9);
+    }
+
+    #[test]
+    fn pointer_like_line_uses_base8() {
+        let mut line = Vec::new();
+        for i in 0..8u64 {
+            line.extend_from_slice(&(0x7FFF_0000_1000u64 + i * 8).to_be_bytes());
+        }
+        // header + 8-byte base + 8 × 1-byte deltas = 17.
+        assert_eq!(round_trip(&line), 17);
+    }
+
+    #[test]
+    fn small_int_array_uses_narrow_base() {
+        // 32-bit integers near 1000: base4 + delta1.
+        let mut line = Vec::new();
+        for i in 0..16u32 {
+            line.extend_from_slice(&(1000 + i).to_be_bytes());
+        }
+        let size = round_trip(&line);
+        // header + 4-byte base + 16 × 1 = 21 bytes (or better).
+        assert!(size <= 21, "size {size}");
+    }
+
+    #[test]
+    fn negative_deltas_round_trip() {
+        let mut line = Vec::new();
+        for i in 0..8i64 {
+            line.extend_from_slice(&(5000 - i * 17).to_be_bytes());
+        }
+        let size = round_trip(&line);
+        assert!(size <= 17, "size {size}");
+    }
+
+    #[test]
+    fn random_line_falls_back_to_raw() {
+        let line: Vec<u8> = (0..64u32)
+            .map(|i| (i.wrapping_mul(0x9E3779B9).rotate_left(7) >> 3) as u8)
+            .collect();
+        let size = round_trip(&line);
+        assert_eq!(size, 65); // header + raw bytes
+    }
+
+    #[test]
+    fn wide_range_needs_wider_deltas() {
+        let mut line = Vec::new();
+        for i in 0..8u64 {
+            line.extend_from_slice(&(i * 100_000).to_be_bytes());
+        }
+        let size = round_trip(&line);
+        // Deltas up to 700 000 need 4 bytes: 1 + 8 + 32 = 41.
+        assert_eq!(size, 41);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn unaligned_length_panics() {
+        Bdi::new().compress(&[0u8; 12]);
+    }
+
+    #[test]
+    fn decompress_error_paths() {
+        let bdi = Bdi::new();
+        assert!(matches!(
+            bdi.decompress(&[], 64).unwrap_err(),
+            DecompressError::Truncated
+        ));
+        assert!(matches!(
+            bdi.decompress(&[99], 64).unwrap_err(),
+            DecompressError::Corrupt
+        ));
+        assert!(matches!(
+            bdi.decompress(&[Encoding::Repeat8 as u8, 1, 2], 64).unwrap_err(),
+            DecompressError::Truncated
+        ));
+        assert!(matches!(
+            bdi.decompress(&[Encoding::Zeros as u8], 7).unwrap_err(),
+            DecompressError::InvalidLength { .. }
+        ));
+    }
+
+    #[test]
+    fn base2_encoding_reachable() {
+        // 16-bit values clustered around 320: base2 + delta1.
+        let mut line = Vec::new();
+        for i in 0..32u16 {
+            line.extend_from_slice(&(320 + (i % 50)).to_be_bytes());
+        }
+        let size = round_trip(&line);
+        // header + 2-byte base + 32 × 1 = 35.
+        assert_eq!(size, 35);
+    }
+}

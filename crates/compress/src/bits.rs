@@ -1,0 +1,169 @@
+//! Bit-granular writer/reader used by the bit-packed compressors.
+
+/// Append-only bit stream writer (MSB-first within each byte).
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_compress::bits::{BitReader, BitWriter};
+///
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b101, 3);
+/// w.write_bits(0xFF, 8);
+/// let (bytes, bit_len) = w.finish();
+/// assert_eq!(bit_len, 11);
+///
+/// let mut r = BitReader::new(&bytes);
+/// assert_eq!(r.read_bits(3), Some(0b101));
+/// assert_eq!(r.read_bits(8), Some(0xFF));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    bit_len: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Appends the low `count` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn write_bits(&mut self, value: u64, count: u32) {
+        assert!(count <= 64, "cannot write more than 64 bits at once");
+        for i in (0..count).rev() {
+            let bit = (value >> i) & 1;
+            let byte_idx = self.bit_len / 8;
+            if byte_idx == self.bytes.len() {
+                self.bytes.push(0);
+            }
+            if bit == 1 {
+                self.bytes[byte_idx] |= 1 << (7 - (self.bit_len % 8));
+            }
+            self.bit_len += 1;
+        }
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// Finishes the stream, returning the backing bytes (zero-padded to a
+    /// whole byte) and the exact bit length.
+    pub fn finish(self) -> (Vec<u8>, usize) {
+        (self.bytes, self.bit_len)
+    }
+}
+
+/// Sequential reader over a bit stream produced by [`BitWriter`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Reads `count` bits (MSB-first); `None` once the stream is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn read_bits(&mut self, count: u32) -> Option<u64> {
+        assert!(count <= 64, "cannot read more than 64 bits at once");
+        if self.pos + count as usize > self.bytes.len() * 8 {
+            return None;
+        }
+        let mut value = 0u64;
+        for _ in 0..count {
+            let byte = self.bytes[self.pos / 8];
+            let bit = (byte >> (7 - (self.pos % 8))) & 1;
+            value = (value << 1) | bit as u64;
+            self.pos += 1;
+        }
+        Some(value)
+    }
+
+    /// Current read position in bits.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_various_widths() {
+        let mut w = BitWriter::new();
+        let fields: [(u64, u32); 6] = [
+            (0b1, 1),
+            (0b010, 3),
+            (0xAB, 8),
+            (0x1234, 16),
+            (0xDEADBEEF, 32),
+            (0x0123_4567_89AB_CDEF, 64),
+        ];
+        for (v, n) in fields {
+            w.write_bits(v, n);
+        }
+        let (bytes, bit_len) = w.finish();
+        assert_eq!(bit_len, 1 + 3 + 8 + 16 + 32 + 64);
+        let mut r = BitReader::new(&bytes);
+        for (v, n) in fields {
+            assert_eq!(r.read_bits(n), Some(v), "width {n}");
+        }
+    }
+
+    #[test]
+    fn zero_width_write_is_noop() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xFF, 0);
+        assert_eq!(w.bit_len(), 0);
+    }
+
+    #[test]
+    fn reader_returns_none_past_end() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let (bytes, _) = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3), Some(0b101));
+        // The padding bits are readable (a whole byte was allocated) but
+        // reading past the byte boundary fails.
+        assert!(r.read_bits(8).is_none());
+    }
+
+    #[test]
+    fn masked_to_requested_width() {
+        let mut w = BitWriter::new();
+        // Only the low 4 bits of 0xFF must land in the stream.
+        w.write_bits(0xFF, 4);
+        w.write_bits(0x0, 4);
+        let (bytes, _) = w.finish();
+        assert_eq!(bytes, vec![0xF0]);
+    }
+
+    #[test]
+    fn position_tracks_reads() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xFFFF, 16);
+        let (bytes, _) = w.finish();
+        let mut r = BitReader::new(&bytes);
+        r.read_bits(5);
+        assert_eq!(r.position(), 5);
+        r.read_bits(11);
+        assert_eq!(r.position(), 16);
+    }
+}

@@ -1,0 +1,287 @@
+//! Frequent Pattern Compression (FPC).
+//!
+//! The significance-based scheme of Alameldeen & Wood: each 32-bit word is
+//! encoded as a 3-bit prefix naming one of eight frequent patterns plus a
+//! variable payload. Real workload data is dominated by small integers,
+//! zeros, and repeated bytes, which FPC stores in far fewer bits.
+//!
+//! | Prefix | Pattern | Payload bits |
+//! |--------|---------|--------------|
+//! | 000 | all-zero word | 0 |
+//! | 001 | 4-bit sign-extended | 4 |
+//! | 010 | 8-bit sign-extended | 8 |
+//! | 011 | 16-bit sign-extended | 16 |
+//! | 100 | lower halfword zero | 16 (upper half) |
+//! | 101 | two halfwords, each 8-bit sign-extended | 16 |
+//! | 110 | repeated bytes | 8 |
+//! | 111 | uncompressed | 32 |
+
+use crate::bits::{BitReader, BitWriter};
+use crate::{Compressor, DecompressError};
+
+/// The FPC cache-line compressor. Stateless; lines compress independently.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_compress::{Compressor, Fpc};
+///
+/// let fpc = Fpc::new();
+/// let zeros = [0u8; 64];
+/// // 16 words × 3 prefix bits = 48 bits = 6 bytes.
+/// assert_eq!(fpc.compressed_size(&zeros), 6);
+/// let back = fpc.decompress(&fpc.compress(&zeros), 64).unwrap();
+/// assert_eq!(back, zeros);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fpc {
+    _private: (),
+}
+
+fn fits_signed(value: u32, bits: u32) -> bool {
+    let v = value as i32;
+    let min = -(1i32 << (bits - 1));
+    let max = (1i32 << (bits - 1)) - 1;
+    v >= min && v <= max
+}
+
+fn sign_extend(value: u64, bits: u32) -> u32 {
+    let shift = 32 - bits;
+    (((value as u32) << shift) as i32 >> shift) as u32
+}
+
+impl Fpc {
+    /// Creates an FPC compressor.
+    pub fn new() -> Self {
+        Fpc::default()
+    }
+
+    fn encode_word(word: u32, out: &mut BitWriter) {
+        let halves = [(word >> 16) as u16, (word & 0xFFFF) as u16];
+        if word == 0 {
+            out.write_bits(0b000, 3);
+        } else if fits_signed(word, 4) {
+            out.write_bits(0b001, 3);
+            out.write_bits((word & 0xF) as u64, 4);
+        } else if fits_signed(word, 8) {
+            out.write_bits(0b010, 3);
+            out.write_bits((word & 0xFF) as u64, 8);
+        } else if fits_signed(word, 16) {
+            out.write_bits(0b011, 3);
+            out.write_bits((word & 0xFFFF) as u64, 16);
+        } else if halves[1] == 0 {
+            out.write_bits(0b100, 3);
+            out.write_bits(halves[0] as u64, 16);
+        } else if halves
+            .iter()
+            .all(|&h| (-128..128).contains(&(h as i16 as i32)))
+        {
+            out.write_bits(0b101, 3);
+            out.write_bits((halves[0] & 0xFF) as u64, 8);
+            out.write_bits((halves[1] & 0xFF) as u64, 8);
+        } else {
+            let bytes = word.to_be_bytes();
+            if bytes.iter().all(|&b| b == bytes[0]) {
+                out.write_bits(0b110, 3);
+                out.write_bits(bytes[0] as u64, 8);
+            } else {
+                out.write_bits(0b111, 3);
+                out.write_bits(word as u64, 32);
+            }
+        }
+    }
+
+    fn decode_word(reader: &mut BitReader<'_>) -> Option<u32> {
+        let prefix = reader.read_bits(3)?;
+        let word = match prefix {
+            0b000 => 0,
+            0b001 => sign_extend(reader.read_bits(4)?, 4),
+            0b010 => sign_extend(reader.read_bits(8)?, 8),
+            0b011 => sign_extend(reader.read_bits(16)?, 16),
+            0b100 => (reader.read_bits(16)? as u32) << 16,
+            0b101 => {
+                let hi = sign_extend(reader.read_bits(8)?, 8) as u16;
+                let lo = sign_extend(reader.read_bits(8)?, 8) as u16;
+                ((hi as u32) << 16) | lo as u32
+            }
+            0b110 => {
+                let b = reader.read_bits(8)? as u32;
+                b << 24 | b << 16 | b << 8 | b
+            }
+            0b111 => reader.read_bits(32)? as u32,
+            _ => unreachable!("3-bit prefix"),
+        };
+        Some(word)
+    }
+}
+
+impl Compressor for Fpc {
+    fn name(&self) -> &'static str {
+        "FPC"
+    }
+
+    fn compress(&self, line: &[u8]) -> Vec<u8> {
+        assert!(
+            line.len().is_multiple_of(4),
+            "FPC operates on whole 32-bit words; line length {} is not a multiple of 4",
+            line.len()
+        );
+        let mut writer = BitWriter::new();
+        for chunk in line.chunks_exact(4) {
+            let word = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            Fpc::encode_word(word, &mut writer);
+        }
+        writer.finish().0
+    }
+
+    fn decompress(&self, data: &[u8], original_len: usize) -> Result<Vec<u8>, DecompressError> {
+        if !original_len.is_multiple_of(4) {
+            return Err(DecompressError::InvalidLength { len: original_len });
+        }
+        let mut reader = BitReader::new(data);
+        let mut out = Vec::with_capacity(original_len);
+        for _ in 0..original_len / 4 {
+            let word = Fpc::decode_word(&mut reader).ok_or(DecompressError::Truncated)?;
+            out.extend_from_slice(&word.to_be_bytes());
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(line: &[u8]) -> usize {
+        let fpc = Fpc::new();
+        let compressed = fpc.compress(line);
+        let back = fpc.decompress(&compressed, line.len()).unwrap();
+        assert_eq!(back, line, "round trip failed");
+        compressed.len()
+    }
+
+    #[test]
+    fn zero_line_compresses_to_prefixes_only() {
+        let size = round_trip(&[0u8; 64]);
+        assert_eq!(size, 6); // 16 words × 3 bits
+    }
+
+    #[test]
+    fn small_integers_compress_well() {
+        // Words holding values 0..16 (big-endian) — 4-bit sign-extended
+        // fits 0..=7, the rest take 8 bits.
+        let mut line = Vec::new();
+        for i in 0..16u32 {
+            line.extend_from_slice(&i.to_be_bytes());
+        }
+        let size = round_trip(&line);
+        assert!(size < 20, "compressed size {size}");
+    }
+
+    #[test]
+    fn negative_small_integers() {
+        let mut line = Vec::new();
+        for i in 0..16i32 {
+            line.extend_from_slice(&(-i).to_be_bytes());
+        }
+        let size = round_trip(&line);
+        assert!(size < 20, "compressed size {size}");
+    }
+
+    #[test]
+    fn repeated_bytes_pattern() {
+        let line = [0x7A; 64];
+        let size = round_trip(&line);
+        // 16 words × (3 + 8) bits = 176 bits = 22 bytes.
+        assert_eq!(size, 22);
+    }
+
+    #[test]
+    fn halfword_padded_pattern() {
+        let mut line = Vec::new();
+        for _ in 0..16 {
+            line.extend_from_slice(&0x4123_0000u32.to_be_bytes());
+        }
+        let size = round_trip(&line);
+        // 16 × (3 + 16) bits = 304 bits = 38 bytes.
+        assert_eq!(size, 38);
+    }
+
+    #[test]
+    fn two_halfwords_pattern() {
+        let mut line = Vec::new();
+        for _ in 0..16 {
+            // Halves 0x0042 and 0xFFBD both sign-extend from a byte.
+            line.extend_from_slice(&0x0042_FFBDu32.to_be_bytes());
+        }
+        let size = round_trip(&line);
+        // 16 × (3 + 16) = 304 bits = 38 bytes.
+        assert_eq!(size, 38);
+    }
+
+    #[test]
+    fn incompressible_data_expands_slightly() {
+        // Pseudo-random bytes: every word takes 3 + 32 bits.
+        let line: Vec<u8> = (0..64u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        let fpc = Fpc::new();
+        let compressed = fpc.compress(&line);
+        assert!(compressed.len() <= 64 + 6);
+        let back = fpc.decompress(&compressed, 64).unwrap();
+        assert_eq!(back, line);
+    }
+
+    #[test]
+    fn compression_ratio_of_zero_line() {
+        let fpc = Fpc::new();
+        let ratio = fpc.compression_ratio(&[0u8; 64]);
+        assert!((ratio - 64.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn odd_length_panics() {
+        Fpc::new().compress(&[0u8; 3]);
+    }
+
+    #[test]
+    fn decompress_rejects_bad_length() {
+        let err = Fpc::new().decompress(&[0u8; 8], 3).unwrap_err();
+        assert!(matches!(err, DecompressError::InvalidLength { .. }));
+    }
+
+    #[test]
+    fn decompress_rejects_truncated_stream() {
+        let err = Fpc::new().decompress(&[0b1110_0000], 64).unwrap_err();
+        assert!(matches!(err, DecompressError::Truncated));
+    }
+
+    #[test]
+    fn all_single_word_values_round_trip() {
+        let fpc = Fpc::new();
+        for word in [
+            0u32,
+            1,
+            7,
+            8,
+            0x7F,
+            0x80,
+            0xFF,
+            0x7FFF,
+            0x8000,
+            0xFFFF,
+            0x0001_0000,
+            0x1234_0000,
+            0xFFFF_FFFF,
+            0xDEAD_BEEF,
+            0x7C7C_7C7C,
+            0x0042_FFBD,
+        ] {
+            let line = word.to_be_bytes();
+            let compressed = fpc.compress(&line);
+            let back = fpc.decompress(&compressed, 4).unwrap();
+            assert_eq!(back, line, "word {word:#010X}");
+        }
+    }
+}

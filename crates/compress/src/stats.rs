@@ -1,0 +1,133 @@
+//! Running compression statistics.
+
+use std::fmt;
+
+/// Accumulates input/output byte counts and reports the compression ratio.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_compress::CompressionStats;
+///
+/// let mut stats = CompressionStats::new();
+/// stats.record(64, 16);
+/// stats.record(64, 48);
+/// assert_eq!(stats.input_bytes(), 128);
+/// assert_eq!(stats.output_bytes(), 64);
+/// assert_eq!(stats.ratio(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompressionStats {
+    input_bytes: u64,
+    output_bytes: u64,
+    lines: u64,
+}
+
+impl CompressionStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        CompressionStats::default()
+    }
+
+    /// Records one compressed unit.
+    pub fn record(&mut self, input_bytes: usize, output_bytes: usize) {
+        self.input_bytes += input_bytes as u64;
+        self.output_bytes += output_bytes as u64;
+        self.lines += 1;
+    }
+
+    /// Total uncompressed bytes seen.
+    pub fn input_bytes(&self) -> u64 {
+        self.input_bytes
+    }
+
+    /// Total compressed bytes produced.
+    pub fn output_bytes(&self) -> u64 {
+        self.output_bytes
+    }
+
+    /// Number of units recorded.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Compression ratio `input / output`; 1.0 when nothing was recorded.
+    pub fn ratio(&self) -> f64 {
+        if self.output_bytes == 0 {
+            1.0
+        } else {
+            self.input_bytes as f64 / self.output_bytes as f64
+        }
+    }
+
+    /// Fraction of traffic eliminated, `1 - output/input`; 0.0 when empty.
+    pub fn savings(&self) -> f64 {
+        if self.input_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.output_bytes as f64 / self.input_bytes as f64
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &CompressionStats) {
+        self.input_bytes += other.input_bytes;
+        self.output_bytes += other.output_bytes;
+        self.lines += other.lines;
+    }
+}
+
+impl fmt::Display for CompressionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} lines, {} -> {} bytes ({:.2}x)",
+            self.lines,
+            self.input_bytes,
+            self.output_bytes,
+            self.ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let s = CompressionStats::new();
+        assert_eq!(s.ratio(), 1.0);
+        assert_eq!(s.savings(), 0.0);
+        assert_eq!(s.lines(), 0);
+    }
+
+    #[test]
+    fn accumulation_and_savings() {
+        let mut s = CompressionStats::new();
+        s.record(100, 50);
+        assert_eq!(s.ratio(), 2.0);
+        assert!((s.savings() - 0.5).abs() < 1e-12);
+        s.record(100, 150);
+        assert_eq!(s.ratio(), 1.0);
+        assert_eq!(s.lines(), 2);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = CompressionStats::new();
+        a.record(64, 32);
+        let mut b = CompressionStats::new();
+        b.record(64, 32);
+        a.merge(&b);
+        assert_eq!(a.input_bytes(), 128);
+        assert_eq!(a.lines(), 2);
+    }
+
+    #[test]
+    fn display_contains_ratio() {
+        let mut s = CompressionStats::new();
+        s.record(64, 16);
+        assert!(s.to_string().contains("4.00x"));
+    }
+}

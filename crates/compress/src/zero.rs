@@ -1,0 +1,149 @@
+//! Zero-run-length ("null suppression") compression.
+//!
+//! The simplest frequent pattern in memory data is the zero byte. This
+//! compressor emits a 1-bit flag per token: `1` introduces a 6-bit run
+//! length of zero bytes (1–64), `0` introduces a literal byte. It serves as
+//! the conservative lower bound among the engines in this crate.
+
+use crate::bits::{BitReader, BitWriter};
+use crate::{Compressor, DecompressError};
+
+/// Zero-run-length compressor.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_compress::{Compressor, ZeroRle};
+///
+/// let z = ZeroRle::new();
+/// let line = [0u8; 64];
+/// // One token: flag + 6-bit length = 7 bits → 1 byte.
+/// assert_eq!(z.compressed_size(&line), 1);
+/// assert_eq!(z.decompress(&z.compress(&line), 64).unwrap(), line);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ZeroRle {
+    _private: (),
+}
+
+impl ZeroRle {
+    /// Creates a zero-run-length compressor.
+    pub fn new() -> Self {
+        ZeroRle::default()
+    }
+}
+
+impl Compressor for ZeroRle {
+    fn name(&self) -> &'static str {
+        "ZeroRLE"
+    }
+
+    fn compress(&self, line: &[u8]) -> Vec<u8> {
+        let mut writer = BitWriter::new();
+        let mut i = 0;
+        while i < line.len() {
+            if line[i] == 0 {
+                let mut run = 1usize;
+                while i + run < line.len() && line[i + run] == 0 && run < 64 {
+                    run += 1;
+                }
+                writer.write_bits(1, 1);
+                writer.write_bits((run - 1) as u64, 6);
+                i += run;
+            } else {
+                writer.write_bits(0, 1);
+                writer.write_bits(line[i] as u64, 8);
+                i += 1;
+            }
+        }
+        writer.finish().0
+    }
+
+    fn decompress(&self, data: &[u8], original_len: usize) -> Result<Vec<u8>, DecompressError> {
+        let mut reader = BitReader::new(data);
+        let mut out = Vec::with_capacity(original_len);
+        while out.len() < original_len {
+            let flag = reader.read_bits(1).ok_or(DecompressError::Truncated)?;
+            if flag == 1 {
+                let run = reader.read_bits(6).ok_or(DecompressError::Truncated)? as usize + 1;
+                if out.len() + run > original_len {
+                    return Err(DecompressError::Corrupt);
+                }
+                out.resize(out.len() + run, 0);
+            } else {
+                let byte = reader.read_bits(8).ok_or(DecompressError::Truncated)?;
+                out.push(byte as u8);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(line: &[u8]) -> usize {
+        let z = ZeroRle::new();
+        let compressed = z.compress(line);
+        assert_eq!(z.decompress(&compressed, line.len()).unwrap(), line);
+        compressed.len()
+    }
+
+    #[test]
+    fn all_zero_line() {
+        assert_eq!(round_trip(&[0u8; 64]), 1);
+    }
+
+    #[test]
+    fn no_zeros_expands_by_one_bit_per_byte() {
+        let line = [0xAA; 64];
+        let size = round_trip(&line);
+        assert_eq!(size, (64usize * 9).div_ceil(8));
+    }
+
+    #[test]
+    fn mixed_content() {
+        let mut line = vec![0u8; 32];
+        line.extend_from_slice(&[1, 2, 3, 4]);
+        line.extend(vec![0u8; 28]);
+        let size = round_trip(&line);
+        // 2 runs (7 bits each) + 4 literals (9 bits each) = 50 bits = 7 bytes.
+        assert_eq!(size, 7);
+    }
+
+    #[test]
+    fn run_longer_than_64_splits() {
+        let line = vec![0u8; 200];
+        let size = round_trip(&line);
+        // ceil(200/64) = 4 tokens × 7 bits = 28 bits = 4 bytes.
+        assert_eq!(size, 4);
+    }
+
+    #[test]
+    fn empty_line() {
+        assert_eq!(round_trip(&[]), 0);
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let z = ZeroRle::new();
+        assert!(matches!(
+            z.decompress(&[], 4).unwrap_err(),
+            DecompressError::Truncated
+        ));
+    }
+
+    #[test]
+    fn overlong_run_rejected() {
+        // A run of 64 zeros against an original length of 4 is corrupt.
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(63, 6);
+        let (bytes, _) = w.finish();
+        assert!(matches!(
+            ZeroRle::new().decompress(&bytes, 4).unwrap_err(),
+            DecompressError::Corrupt
+        ));
+    }
+}

@@ -1,0 +1,409 @@
+//! The technique catalogue of Table 2: each mechanism with its realistic /
+//! pessimistic / optimistic parameter assumptions and the paper's
+//! qualitative assessment (effectiveness, variability, complexity).
+
+use crate::error::ModelError;
+use crate::techniques::{Category, Technique};
+use std::fmt;
+
+/// Which end of a technique's assumption band to instantiate (the candle
+/// bars of Figure 15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AssumptionLevel {
+    /// Lower end of the literature range.
+    Pessimistic,
+    /// The paper's main-line assumption.
+    #[default]
+    Realistic,
+    /// Upper end of the literature range.
+    Optimistic,
+}
+
+impl AssumptionLevel {
+    /// All three levels, pessimistic first.
+    pub const ALL: [AssumptionLevel; 3] = [
+        AssumptionLevel::Pessimistic,
+        AssumptionLevel::Realistic,
+        AssumptionLevel::Optimistic,
+    ];
+}
+
+impl fmt::Display for AssumptionLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AssumptionLevel::Pessimistic => "pessimistic",
+            AssumptionLevel::Realistic => "realistic",
+            AssumptionLevel::Optimistic => "optimistic",
+        })
+    }
+}
+
+/// Qualitative three-point rating used in Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rating {
+    /// Low.
+    Low,
+    /// Medium.
+    Medium,
+    /// High.
+    High,
+}
+
+impl fmt::Display for Rating {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Rating::Low => "Low",
+            Rating::Medium => "Med.",
+            Rating::High => "High",
+        })
+    }
+}
+
+/// Stable identifier for each catalogued technique, in the order of
+/// Figure 15's x-axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TechniqueId {
+    /// Cache compression (CC).
+    CacheCompression,
+    /// DRAM cache (DRAM).
+    DramCache,
+    /// 3D-stacked cache (3D).
+    StackedCache,
+    /// Unused-data filtering (Fltr).
+    UnusedDataFilter,
+    /// Smaller cores (SmCo).
+    SmallerCores,
+    /// Link compression (LC).
+    LinkCompression,
+    /// Sectored caches (Sect).
+    SectoredCache,
+    /// Small cache lines (SmCl).
+    SmallCacheLines,
+    /// Cache + link compression (CC/LC).
+    CacheLinkCompression,
+}
+
+/// One row of Table 2: a technique, its assumption band, and the paper's
+/// qualitative assessment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechniqueProfile {
+    id: TechniqueId,
+    label: &'static str,
+    name: &'static str,
+    realistic: &'static str,
+    pessimistic: &'static str,
+    optimistic: &'static str,
+    effectiveness: Rating,
+    range: Rating,
+    complexity: Rating,
+}
+
+impl TechniqueProfile {
+    /// Stable identifier.
+    pub fn id(&self) -> TechniqueId {
+        self.id
+    }
+
+    /// Short figure-axis label (e.g. `"CC/LC"`).
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Full technique name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Human-readable assumption text for a level, as printed in Table 2.
+    pub fn assumption_text(&self, level: AssumptionLevel) -> &'static str {
+        match level {
+            AssumptionLevel::Pessimistic => self.pessimistic,
+            AssumptionLevel::Realistic => self.realistic,
+            AssumptionLevel::Optimistic => self.optimistic,
+        }
+    }
+
+    /// Expected benefit to CMP core scaling.
+    pub fn effectiveness(&self) -> Rating {
+        self.effectiveness
+    }
+
+    /// Variability of the benefit across workloads.
+    pub fn range(&self) -> Rating {
+        self.range
+    }
+
+    /// Estimated implementation cost/feasibility.
+    pub fn complexity(&self) -> Rating {
+        self.complexity
+    }
+
+    /// Instantiates the technique at an assumption level.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in catalogue; the `Result` mirrors the
+    /// technique constructors.
+    pub fn technique(&self, level: AssumptionLevel) -> Result<Technique, ModelError> {
+        use AssumptionLevel as L;
+        match (self.id, level) {
+            (TechniqueId::CacheCompression, L::Pessimistic) => Technique::cache_compression(1.25),
+            (TechniqueId::CacheCompression, L::Realistic) => Technique::cache_compression(2.0),
+            (TechniqueId::CacheCompression, L::Optimistic) => Technique::cache_compression(3.5),
+            (TechniqueId::DramCache, L::Pessimistic) => Technique::dram_cache(4.0),
+            (TechniqueId::DramCache, L::Realistic) => Technique::dram_cache(8.0),
+            (TechniqueId::DramCache, L::Optimistic) => Technique::dram_cache(16.0),
+            // Table 2 considers only the SRAM-layer variant for 3D.
+            (TechniqueId::StackedCache, _) => Technique::stacked_cache(1),
+            (TechniqueId::UnusedDataFilter, L::Pessimistic) => Technique::unused_data_filter(0.1),
+            (TechniqueId::UnusedDataFilter, L::Realistic) => Technique::unused_data_filter(0.4),
+            (TechniqueId::UnusedDataFilter, L::Optimistic) => Technique::unused_data_filter(0.8),
+            (TechniqueId::SmallerCores, L::Pessimistic) => Technique::smaller_cores(1.0 / 9.0),
+            (TechniqueId::SmallerCores, L::Realistic) => Technique::smaller_cores(1.0 / 40.0),
+            (TechniqueId::SmallerCores, L::Optimistic) => Technique::smaller_cores(1.0 / 80.0),
+            (TechniqueId::LinkCompression, L::Pessimistic) => Technique::link_compression(1.25),
+            (TechniqueId::LinkCompression, L::Realistic) => Technique::link_compression(2.0),
+            (TechniqueId::LinkCompression, L::Optimistic) => Technique::link_compression(3.5),
+            (TechniqueId::SectoredCache, L::Pessimistic) => Technique::sectored_cache(0.1),
+            (TechniqueId::SectoredCache, L::Realistic) => Technique::sectored_cache(0.4),
+            (TechniqueId::SectoredCache, L::Optimistic) => Technique::sectored_cache(0.8),
+            (TechniqueId::SmallCacheLines, L::Pessimistic) => Technique::small_cache_lines(0.1),
+            (TechniqueId::SmallCacheLines, L::Realistic) => Technique::small_cache_lines(0.4),
+            (TechniqueId::SmallCacheLines, L::Optimistic) => Technique::small_cache_lines(0.8),
+            (TechniqueId::CacheLinkCompression, L::Pessimistic) => {
+                Technique::cache_link_compression(1.25)
+            }
+            (TechniqueId::CacheLinkCompression, L::Realistic) => {
+                Technique::cache_link_compression(2.0)
+            }
+            (TechniqueId::CacheLinkCompression, L::Optimistic) => {
+                Technique::cache_link_compression(3.5)
+            }
+        }
+    }
+
+    /// The paper's category of the realistic instantiation.
+    pub fn category(&self) -> Category {
+        self.technique(AssumptionLevel::Realistic)
+            .expect("catalogue parameters are valid")
+            .category()
+    }
+}
+
+/// The full Table 2 catalogue in Figure 15 order.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_model::catalog::{catalog, AssumptionLevel};
+///
+/// let table = catalog();
+/// assert_eq!(table.len(), 9);
+/// assert_eq!(table[0].label(), "CC");
+/// let dram = table.iter().find(|p| p.label() == "DRAM").unwrap();
+/// assert_eq!(dram.assumption_text(AssumptionLevel::Realistic), "8x density");
+/// ```
+pub fn catalog() -> Vec<TechniqueProfile> {
+    vec![
+        TechniqueProfile {
+            id: TechniqueId::CacheCompression,
+            label: "CC",
+            name: "Cache Compress",
+            realistic: "2x compr.",
+            pessimistic: "1.25x compr.",
+            optimistic: "3.5x compr.",
+            effectiveness: Rating::Medium,
+            range: Rating::Low,
+            complexity: Rating::Medium,
+        },
+        TechniqueProfile {
+            id: TechniqueId::DramCache,
+            label: "DRAM",
+            name: "DRAM Cache",
+            realistic: "8x density",
+            pessimistic: "4x density",
+            optimistic: "16x density",
+            effectiveness: Rating::High,
+            range: Rating::Medium,
+            complexity: Rating::Low,
+        },
+        TechniqueProfile {
+            id: TechniqueId::StackedCache,
+            label: "3D",
+            name: "3D-stacked Cache",
+            realistic: "3D SRAM layer",
+            pessimistic: "3D SRAM layer",
+            optimistic: "3D SRAM layer",
+            effectiveness: Rating::Medium,
+            range: Rating::Low,
+            complexity: Rating::High,
+        },
+        TechniqueProfile {
+            id: TechniqueId::UnusedDataFilter,
+            label: "Fltr",
+            name: "Unused Data Filter",
+            realistic: "40% unused data",
+            pessimistic: "10% unused data",
+            optimistic: "80% unused data",
+            effectiveness: Rating::Medium,
+            range: Rating::Medium,
+            complexity: Rating::Medium,
+        },
+        TechniqueProfile {
+            id: TechniqueId::SmallerCores,
+            label: "SmCo",
+            name: "Smaller Cores",
+            realistic: "40x less area",
+            pessimistic: "9x less area",
+            optimistic: "80x less area",
+            effectiveness: Rating::Low,
+            range: Rating::Low,
+            complexity: Rating::Low,
+        },
+        TechniqueProfile {
+            id: TechniqueId::LinkCompression,
+            label: "LC",
+            name: "Link Compress",
+            realistic: "2x compr.",
+            pessimistic: "1.25x compr.",
+            optimistic: "3.5x compr.",
+            effectiveness: Rating::High,
+            range: Rating::Medium,
+            complexity: Rating::Low,
+        },
+        TechniqueProfile {
+            id: TechniqueId::SectoredCache,
+            label: "Sect",
+            name: "Sectored Caches",
+            realistic: "40% unused data",
+            pessimistic: "10% unused data",
+            optimistic: "80% unused data",
+            effectiveness: Rating::Medium,
+            range: Rating::High,
+            complexity: Rating::Medium,
+        },
+        TechniqueProfile {
+            id: TechniqueId::SmallCacheLines,
+            label: "SmCl",
+            name: "Smaller Cache Lines",
+            realistic: "40% unused data",
+            pessimistic: "10% unused data",
+            optimistic: "80% unused data",
+            effectiveness: Rating::High,
+            range: Rating::High,
+            complexity: Rating::Medium,
+        },
+        TechniqueProfile {
+            id: TechniqueId::CacheLinkCompression,
+            label: "CC/LC",
+            name: "Cache+Link Compress",
+            realistic: "2x compr.",
+            pessimistic: "1.25x compr.",
+            optimistic: "3.5x compr.",
+            effectiveness: Rating::High,
+            range: Rating::High,
+            complexity: Rating::Low,
+        },
+    ]
+}
+
+/// Looks up a catalogue entry by its figure label.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_model::catalog::profile;
+/// assert!(profile("DRAM").is_some());
+/// assert!(profile("nope").is_none());
+/// ```
+pub fn profile(label: &str) -> Option<TechniqueProfile> {
+    catalog().into_iter().find(|p| p.label == label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_has_nine_rows_in_figure_order() {
+        let labels: Vec<&str> = catalog().iter().map(|p| p.label()).collect();
+        assert_eq!(
+            labels,
+            ["CC", "DRAM", "3D", "Fltr", "SmCo", "LC", "Sect", "SmCl", "CC/LC"]
+        );
+    }
+
+    #[test]
+    fn every_profile_instantiates_at_every_level() {
+        for p in catalog() {
+            for level in AssumptionLevel::ALL {
+                let t = p.technique(level).unwrap();
+                assert_eq!(t.label(), p.label(), "{}", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn table2_qualitative_ratings() {
+        let dram = profile("DRAM").unwrap();
+        assert_eq!(dram.effectiveness(), Rating::High);
+        assert_eq!(dram.range(), Rating::Medium);
+        assert_eq!(dram.complexity(), Rating::Low);
+        let smco = profile("SmCo").unwrap();
+        assert_eq!(smco.effectiveness(), Rating::Low);
+        let threed = profile("3D").unwrap();
+        assert_eq!(threed.complexity(), Rating::High);
+    }
+
+    #[test]
+    fn assumption_texts_match_table2() {
+        let cc = profile("CC").unwrap();
+        assert_eq!(cc.assumption_text(AssumptionLevel::Realistic), "2x compr.");
+        assert_eq!(
+            cc.assumption_text(AssumptionLevel::Pessimistic),
+            "1.25x compr."
+        );
+        assert_eq!(
+            cc.assumption_text(AssumptionLevel::Optimistic),
+            "3.5x compr."
+        );
+    }
+
+    #[test]
+    fn optimistic_at_least_as_good_as_pessimistic() {
+        use crate::params::Baseline;
+        use crate::scaling::ScalingProblem;
+        for p in catalog() {
+            let solve = |level| {
+                ScalingProblem::new(Baseline::niagara2_like(), 32.0)
+                    .with_technique(p.technique(level).unwrap())
+                    .max_supportable_cores()
+                    .unwrap()
+            };
+            let pess = solve(AssumptionLevel::Pessimistic);
+            let real = solve(AssumptionLevel::Realistic);
+            let opt = solve(AssumptionLevel::Optimistic);
+            assert!(pess <= real && real <= opt, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn rating_display_and_order() {
+        assert!(Rating::Low < Rating::Medium && Rating::Medium < Rating::High);
+        assert_eq!(Rating::Medium.to_string(), "Med.");
+    }
+
+    #[test]
+    fn level_display() {
+        assert_eq!(AssumptionLevel::Realistic.to_string(), "realistic");
+        assert_eq!(AssumptionLevel::default(), AssumptionLevel::Realistic);
+    }
+
+    #[test]
+    fn categories_exposed() {
+        use crate::techniques::Category;
+        assert_eq!(profile("CC").unwrap().category(), Category::Indirect);
+        assert_eq!(profile("LC").unwrap().category(), Category::Direct);
+        assert_eq!(profile("SmCl").unwrap().category(), Category::Dual);
+    }
+}

@@ -1,0 +1,328 @@
+//! The combined effect of bandwidth-conservation techniques on a CMP
+//! configuration.
+//!
+//! Section 6 of the paper sorts techniques into three categories:
+//!
+//! * **indirect** — grow the *effective* cache capacity per core
+//!   (multiplicative factor `F` in Equation 8);
+//! * **direct** — shrink the traffic itself (a divisor on `M2/M1`);
+//! * **dual** — both at once (Equation 12).
+//!
+//! Some techniques additionally reshape the die: DRAM caches multiply the
+//! density of every cache CEA, 3D stacking adds whole cache-only die layers
+//! (Equation 9), and smaller cores shrink the area each core occupies
+//! (Equations 10–11). [`Effects`] folds any set of techniques into one
+//! record with those five components, and computes the effective cache the
+//! die provides at a candidate core count.
+
+use crate::error::ModelError;
+
+/// One cache-only die layer added by 3D stacking.
+///
+/// `density` is the layer's storage density relative to on-die SRAM
+/// (1.0 for an SRAM layer, 8–16 for DRAM layers per the paper's sources).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StackedLayer {
+    density: f64,
+}
+
+impl StackedLayer {
+    /// Creates a layer with the given density relative to SRAM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] unless `density >= 1`.
+    pub fn new(density: f64) -> Result<Self, ModelError> {
+        if density.is_finite() && density >= 1.0 {
+            Ok(StackedLayer { density })
+        } else {
+            Err(ModelError::InvalidParameter {
+                name: "layer_density",
+                value: density,
+                constraint: "must be finite and >= 1",
+            })
+        }
+    }
+
+    /// An SRAM cache layer (density 1×).
+    pub fn sram() -> Self {
+        StackedLayer { density: 1.0 }
+    }
+
+    /// Storage density relative to SRAM.
+    pub fn density(&self) -> f64 {
+        self.density
+    }
+}
+
+/// Folded effect of a set of techniques on the traffic model.
+///
+/// The identity element ([`Effects::none`]) leaves the model exactly as in
+/// Section 5; techniques accumulate multiplicatively, so folding is
+/// order-independent.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_model::effects::Effects;
+///
+/// let e = Effects::none();
+/// assert_eq!(e.capacity_factor(), 1.0);
+/// assert_eq!(e.traffic_divisor(), 1.0);
+/// // A 32-CEA die with 11 cores leaves 21 CEAs of plain SRAM cache.
+/// assert_eq!(e.effective_cache_ceas(32.0, 11.0), 21.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Effects {
+    capacity_factor: f64,
+    traffic_divisor: f64,
+    cache_density: f64,
+    stacked_layers: Vec<StackedLayer>,
+    core_size_fraction: f64,
+    uncore_per_core: f64,
+}
+
+impl Effects {
+    /// The identity: no techniques applied.
+    pub fn none() -> Self {
+        Effects {
+            capacity_factor: 1.0,
+            traffic_divisor: 1.0,
+            cache_density: 1.0,
+            stacked_layers: Vec::new(),
+            core_size_fraction: 1.0,
+            uncore_per_core: 0.0,
+        }
+    }
+
+    /// Multiplies the effective-cache-capacity factor `F` (Equation 8).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `factor >= 1`; technique constructors validate
+    /// before calling.
+    pub(crate) fn scale_capacity(&mut self, factor: f64) {
+        debug_assert!(factor >= 1.0);
+        self.capacity_factor *= factor;
+    }
+
+    /// Multiplies the direct traffic divisor `L`.
+    pub(crate) fn scale_traffic_divisor(&mut self, divisor: f64) {
+        debug_assert!(divisor >= 1.0);
+        self.traffic_divisor *= divisor;
+    }
+
+    /// Multiplies the density of *all* cache CEAs (on-die and stacked) —
+    /// the DRAM-cache transform.
+    pub(crate) fn scale_cache_density(&mut self, density: f64) {
+        debug_assert!(density >= 1.0);
+        self.cache_density *= density;
+    }
+
+    /// Adds a cache-only stacked die layer of `total_ceas` CEAs at the
+    /// layer's own density (Equation 9).
+    pub(crate) fn add_stacked_layer(&mut self, layer: StackedLayer) {
+        self.stacked_layers.push(layer);
+    }
+
+    /// Multiplies the fraction of a CEA each core occupies (smaller cores,
+    /// Equation 10).
+    pub(crate) fn scale_core_size(&mut self, fraction: f64) {
+        debug_assert!(fraction > 0.0 && fraction <= 1.0);
+        self.core_size_fraction *= fraction;
+    }
+
+    /// Adds per-core uncore area (routers, links, buses) in CEAs — the
+    /// paper's Section 6.1 caveat that "with increasingly smaller cores,
+    /// the interconnection between cores becomes increasingly larger".
+    pub(crate) fn add_uncore_per_core(&mut self, ceas: f64) {
+        debug_assert!(ceas >= 0.0);
+        self.uncore_per_core += ceas;
+    }
+
+    /// Per-core uncore area in CEAs.
+    pub fn uncore_per_core(&self) -> f64 {
+        self.uncore_per_core
+    }
+
+    /// Effective-capacity multiplier `F` applied to the cache per core.
+    pub fn capacity_factor(&self) -> f64 {
+        self.capacity_factor
+    }
+
+    /// Direct traffic divisor `L` applied to `M2/M1`.
+    pub fn traffic_divisor(&self) -> f64 {
+        self.traffic_divisor
+    }
+
+    /// Density multiplier applied to every cache CEA.
+    pub fn cache_density(&self) -> f64 {
+        self.cache_density
+    }
+
+    /// Stacked cache-only layers added by 3D stacking.
+    pub fn stacked_layers(&self) -> &[StackedLayer] {
+        &self.stacked_layers
+    }
+
+    /// Fraction of a CEA each core occupies (1.0 = full-size cores).
+    pub fn core_size_fraction(&self) -> f64 {
+        self.core_size_fraction
+    }
+
+    /// Die area (in CEAs) occupied by `cores` cores, including their
+    /// per-core uncore share.
+    pub fn core_area(&self, cores: f64) -> f64 {
+        (self.core_size_fraction + self.uncore_per_core) * cores
+    }
+
+    /// Effective cache capacity, in *SRAM-CEA equivalents*, that a die of
+    /// `total_ceas` CEAs provides when `cores` cores are placed on it.
+    ///
+    /// This combines the on-die cache (whatever area the cores do not use,
+    /// at the global density) with every stacked layer (full-die area at
+    /// `global density × layer density`), per Equations 9–10. The
+    /// capacity *factor* `F` is deliberately not folded in here — it models
+    /// better utilisation of the same storage, not more storage — callers
+    /// apply it to the per-core ratio (Equation 8).
+    ///
+    /// Returns a non-positive value when the cores overflow the die; the
+    /// solver treats that as infeasible.
+    pub fn effective_cache_ceas(&self, total_ceas: f64, cores: f64) -> f64 {
+        let on_die = total_ceas - self.core_area(cores);
+        let stacked: f64 = self
+            .stacked_layers
+            .iter()
+            .map(|layer| layer.density() * total_ceas)
+            .sum();
+        self.cache_density * (on_die + stacked)
+    }
+
+    /// Largest core count that still leaves strictly positive effective
+    /// cache on a `total_ceas` die (the search bound for the solver).
+    pub fn max_feasible_cores(&self, total_ceas: f64) -> u64 {
+        // Cores must fit on the die and leave some cache somewhere. The
+        // stacked layers contribute cache regardless of core count, but the
+        // cores themselves can occupy at most the whole die.
+        let area_bound = total_ceas / (self.core_size_fraction + self.uncore_per_core);
+        let bound = if self.stacked_layers.is_empty() {
+            // Need on-die cache: core area strictly below the die.
+            let full = area_bound.floor();
+            if self.core_area(full) >= total_ceas {
+                full - 1.0
+            } else {
+                full
+            }
+        } else {
+            area_bound.floor()
+        };
+        bound.max(0.0) as u64
+    }
+}
+
+impl Default for Effects {
+    fn default() -> Self {
+        Effects::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_effects() {
+        let e = Effects::none();
+        assert_eq!(e.capacity_factor(), 1.0);
+        assert_eq!(e.traffic_divisor(), 1.0);
+        assert_eq!(e.cache_density(), 1.0);
+        assert!(e.stacked_layers().is_empty());
+        assert_eq!(e.core_size_fraction(), 1.0);
+        assert_eq!(e.effective_cache_ceas(32.0, 12.0), 20.0);
+        assert_eq!(Effects::default(), e);
+    }
+
+    #[test]
+    fn dram_density_multiplies_all_cache() {
+        let mut e = Effects::none();
+        e.scale_cache_density(8.0);
+        assert_eq!(e.effective_cache_ceas(32.0, 16.0), 8.0 * 16.0);
+    }
+
+    #[test]
+    fn stacked_layer_adds_full_die_of_cache() {
+        // Equation 9 with an SRAM layer: D·N + (N - P).
+        let mut e = Effects::none();
+        e.add_stacked_layer(StackedLayer::sram());
+        assert_eq!(e.effective_cache_ceas(32.0, 14.0), 32.0 + (32.0 - 14.0));
+    }
+
+    #[test]
+    fn stacked_dram_layer_uses_layer_density() {
+        // Equation 9 with an 8× DRAM layer and SRAM on-die cache.
+        let mut e = Effects::none();
+        e.add_stacked_layer(StackedLayer::new(8.0).unwrap());
+        assert_eq!(e.effective_cache_ceas(32.0, 25.0), 8.0 * 32.0 + 7.0);
+    }
+
+    #[test]
+    fn global_density_applies_to_stacked_layers_too() {
+        // DRAM caches + 3D: both dies get the density improvement.
+        let mut e = Effects::none();
+        e.scale_cache_density(8.0);
+        e.add_stacked_layer(StackedLayer::sram());
+        assert_eq!(
+            e.effective_cache_ceas(256.0, 183.0),
+            8.0 * (256.0 + 256.0 - 183.0)
+        );
+    }
+
+    #[test]
+    fn smaller_cores_free_on_die_area() {
+        let mut e = Effects::none();
+        e.scale_core_size(1.0 / 80.0);
+        let cache = e.effective_cache_ceas(32.0, 12.0);
+        assert!((cache - (32.0 - 12.0 / 80.0)).abs() < 1e-12);
+        assert!((e.core_area(12.0) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_feasible_cores_without_stack() {
+        let e = Effects::none();
+        // Full-size cores, no stack: need at least a sliver of cache.
+        assert_eq!(e.max_feasible_cores(32.0), 31);
+    }
+
+    #[test]
+    fn max_feasible_cores_with_stack_allows_full_die() {
+        let mut e = Effects::none();
+        e.add_stacked_layer(StackedLayer::sram());
+        assert_eq!(e.max_feasible_cores(32.0), 32);
+    }
+
+    #[test]
+    fn max_feasible_cores_with_small_cores() {
+        let mut e = Effects::none();
+        e.scale_core_size(0.5);
+        assert_eq!(e.max_feasible_cores(32.0), 63);
+    }
+
+    #[test]
+    fn layer_validation() {
+        assert!(StackedLayer::new(0.5).is_err());
+        assert!(StackedLayer::new(f64::NAN).is_err());
+        assert_eq!(StackedLayer::sram().density(), 1.0);
+        assert_eq!(StackedLayer::new(16.0).unwrap().density(), 16.0);
+    }
+
+    #[test]
+    fn folding_is_multiplicative() {
+        let mut e = Effects::none();
+        e.scale_capacity(2.0);
+        e.scale_capacity(1.5);
+        assert!((e.capacity_factor() - 3.0).abs() < 1e-12);
+        e.scale_traffic_divisor(2.0);
+        e.scale_traffic_divisor(3.0);
+        assert!((e.traffic_divisor() - 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for the analytical model.
+
+use std::fmt;
+
+/// Errors surfaced by the bandwidth-wall model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint, e.g. `"must be positive"`.
+        constraint: &'static str,
+    },
+    /// The configuration leaves no positive cache area, so the traffic model
+    /// (which divides by the cache-per-core ratio) is undefined.
+    NoCacheArea {
+        /// Requested core count.
+        cores: u64,
+        /// Total die budget in CEAs.
+        total_ceas: f64,
+    },
+    /// No core count in the feasible range satisfies the traffic envelope.
+    Infeasible,
+    /// A numerical sub-solver failed; carries the underlying message.
+    Numerical(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid parameter {name} = {value}: {constraint}"),
+            ModelError::NoCacheArea { cores, total_ceas } => write!(
+                f,
+                "no cache area left with {cores} cores on a {total_ceas}-CEA die"
+            ),
+            ModelError::Infeasible => f.write_str("no core count satisfies the traffic envelope"),
+            ModelError::Numerical(msg) => write!(f, "numerical solver failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<bandwall_numerics::RootError> for ModelError {
+    fn from(err: bandwall_numerics::RootError) -> Self {
+        ModelError::Numerical(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants_nonempty() {
+        let errs = [
+            ModelError::InvalidParameter {
+                name: "alpha",
+                value: -1.0,
+                constraint: "must be positive",
+            },
+            ModelError::NoCacheArea {
+                cores: 32,
+                total_ceas: 32.0,
+            },
+            ModelError::Infeasible,
+            ModelError::Numerical("bracket".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn root_error_converts() {
+        let err: ModelError = bandwall_numerics::RootError::MaxIterations { best: 1.0 }.into();
+        assert!(matches!(err, ModelError::Numerical(_)));
+    }
+}

@@ -1,0 +1,359 @@
+//! Multi-programmed workload mixes.
+//!
+//! The paper assumes one workload character per chip (a single `α` and
+//! per-core traffic). Real CMPs run mixes — some cores execute
+//! cache-sensitive commercial code, others SPEC-like compute. A
+//! [`WorkloadMix`] assigns a share of the cores to each class, splits the
+//! cache among the classes proportionally to their core counts, and sums
+//! per-class traffic: a strict generalisation that degenerates to the
+//! paper's model for a single-class mix.
+
+use crate::error::ModelError;
+use crate::params::{Alpha, Baseline};
+use bandwall_numerics::max_satisfying;
+use std::fmt;
+
+/// One workload class in a mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadClass {
+    name: String,
+    alpha: Alpha,
+    /// Per-core traffic at the baseline cache allocation, relative to the
+    /// mix's reference workload (1.0 = same as baseline M0).
+    base_traffic: f64,
+    /// Share of the chip's cores running this class.
+    core_share: f64,
+}
+
+impl WorkloadClass {
+    /// Creates a class with its exponent, relative per-core baseline
+    /// traffic, and core share.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] for non-positive traffic
+    /// or share values.
+    pub fn new(
+        name: impl Into<String>,
+        alpha: Alpha,
+        base_traffic: f64,
+        core_share: f64,
+    ) -> Result<Self, ModelError> {
+        if !(base_traffic.is_finite() && base_traffic > 0.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "base_traffic",
+                value: base_traffic,
+                constraint: "must be finite and positive",
+            });
+        }
+        if !(core_share.is_finite() && core_share > 0.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "core_share",
+                value: core_share,
+                constraint: "must be finite and positive",
+            });
+        }
+        Ok(WorkloadClass {
+            name: name.into(),
+            alpha,
+            base_traffic,
+            core_share,
+        })
+    }
+
+    /// Class name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Class exponent.
+    pub fn alpha(&self) -> Alpha {
+        self.alpha
+    }
+
+    /// Relative per-core baseline traffic.
+    pub fn base_traffic(&self) -> f64 {
+        self.base_traffic
+    }
+
+    /// Core share (normalised by [`WorkloadMix`]).
+    pub fn core_share(&self) -> f64 {
+        self.core_share
+    }
+}
+
+/// A weighted mix of workload classes sharing one chip.
+///
+/// # Examples
+///
+/// A half-commercial, half-SPEC chip supports more cores than a pure
+/// commercial one would predict with the SPEC α and fewer than with the
+/// commercial α:
+///
+/// ```
+/// use bandwall_model::mix::{WorkloadClass, WorkloadMix};
+/// use bandwall_model::{Alpha, Baseline};
+///
+/// let mix = WorkloadMix::new(
+///     Baseline::niagara2_like(),
+///     vec![
+///         WorkloadClass::new("commercial", Alpha::COMMERCIAL_AVERAGE, 1.0, 0.5)?,
+///         WorkloadClass::new("spec", Alpha::SPEC2006, 1.0, 0.5)?,
+///     ],
+/// )?;
+/// let cores = mix.max_supportable_cores(32.0, 1.0)?;
+/// assert!(cores < 11); // the SPEC half drags the chip below α=0.5's 11
+/// # Ok::<(), bandwall_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadMix {
+    baseline: Baseline,
+    classes: Vec<WorkloadClass>,
+}
+
+impl WorkloadMix {
+    /// Creates a mix over the given classes; shares are normalised.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if no class is supplied.
+    pub fn new(baseline: Baseline, classes: Vec<WorkloadClass>) -> Result<Self, ModelError> {
+        if classes.is_empty() {
+            return Err(ModelError::InvalidParameter {
+                name: "classes",
+                value: 0.0,
+                constraint: "mix needs at least one class",
+            });
+        }
+        Ok(WorkloadMix { baseline, classes })
+    }
+
+    /// The classes (shares as supplied; normalisation happens internally).
+    pub fn classes(&self) -> &[WorkloadClass] {
+        &self.classes
+    }
+
+    /// Total of the raw core shares.
+    fn total_share(&self) -> f64 {
+        self.classes.iter().map(|c| c.core_share).sum()
+    }
+
+    /// Relative chip traffic for `cores` cores on a die of `total_ceas`
+    /// CEAs, with the cache split evenly per core (every class gets the
+    /// same cache per core, as a shared-cache chip would).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NoCacheArea`] when no cache remains and
+    /// [`ModelError::InvalidParameter`] for a zero core count.
+    pub fn relative_traffic(&self, total_ceas: f64, cores: f64) -> Result<f64, ModelError> {
+        if !(cores.is_finite() && cores >= 1.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "cores",
+                value: cores,
+                constraint: "must be at least 1",
+            });
+        }
+        let cache = total_ceas - cores;
+        if cache <= 0.0 {
+            return Err(ModelError::NoCacheArea {
+                cores: cores as u64,
+                total_ceas,
+            });
+        }
+        let cache_per_core = cache / cores;
+        let total_share = self.total_share();
+        let s1 = self.baseline.cache_per_core();
+        let mut traffic = 0.0;
+        for class in &self.classes {
+            let class_cores = cores * class.core_share / total_share;
+            let per_core = class.base_traffic * class.alpha.dampen(cache_per_core / s1);
+            traffic += class_cores * per_core;
+        }
+        // Normalise against the baseline chip running the same mix.
+        let mut base = 0.0;
+        for class in &self.classes {
+            let class_cores = self.baseline.cores() * class.core_share / total_share;
+            base += class_cores * class.base_traffic;
+        }
+        Ok(traffic / base)
+    }
+
+    /// Largest core count whose mixed traffic fits `envelope × M₁`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Infeasible`] when even one core exceeds the
+    /// envelope.
+    pub fn max_supportable_cores(
+        &self,
+        total_ceas: f64,
+        envelope: f64,
+    ) -> Result<u64, ModelError> {
+        let hi = (total_ceas - 1.0).max(0.0) as u64;
+        if hi == 0 {
+            return Err(ModelError::Infeasible);
+        }
+        max_satisfying(1, hi, |p| {
+            self.relative_traffic(total_ceas, p as f64)
+                .map(|t| t <= envelope * (1.0 + 1e-9))
+                .unwrap_or(false)
+        })
+        .ok_or(ModelError::Infeasible)
+    }
+}
+
+impl fmt::Display for WorkloadMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<String> = self
+            .classes
+            .iter()
+            .map(|c| format!("{} ({:.0}%)", c.name, 100.0 * c.core_share / self.total_share()))
+            .collect();
+        write!(f, "mix[{}]", names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scaling::ScalingProblem;
+
+    fn single_class_mix(alpha: Alpha) -> WorkloadMix {
+        WorkloadMix::new(
+            Baseline::niagara2_like(),
+            vec![WorkloadClass::new("only", alpha, 1.0, 1.0).unwrap()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_class_degenerates_to_scaling_problem() {
+        for alpha in [Alpha::SPEC2006, Alpha::COMMERCIAL_AVERAGE, Alpha::COMMERCIAL_MAX] {
+            let mix = single_class_mix(alpha);
+            let expected = ScalingProblem::new(Baseline::niagara2_like().with_alpha(alpha), 32.0)
+                .max_supportable_cores()
+                .unwrap();
+            assert_eq!(
+                mix.max_supportable_cores(32.0, 1.0).unwrap(),
+                expected,
+                "{alpha}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_chip_lands_between_pure_chips() {
+        let pure_spec = single_class_mix(Alpha::SPEC2006)
+            .max_supportable_cores(64.0, 1.0)
+            .unwrap();
+        let pure_commercial = single_class_mix(Alpha::COMMERCIAL_AVERAGE)
+            .max_supportable_cores(64.0, 1.0)
+            .unwrap();
+        let mixed = WorkloadMix::new(
+            Baseline::niagara2_like(),
+            vec![
+                WorkloadClass::new("spec", Alpha::SPEC2006, 1.0, 0.5).unwrap(),
+                WorkloadClass::new("comm", Alpha::COMMERCIAL_AVERAGE, 1.0, 0.5).unwrap(),
+            ],
+        )
+        .unwrap()
+        .max_supportable_cores(64.0, 1.0)
+        .unwrap();
+        assert!(
+            mixed >= pure_spec && mixed <= pure_commercial,
+            "{pure_spec} <= {mixed} <= {pure_commercial}"
+        );
+    }
+
+    #[test]
+    fn heavier_traffic_class_reduces_cores() {
+        let balanced = WorkloadMix::new(
+            Baseline::niagara2_like(),
+            vec![WorkloadClass::new("x", Alpha::COMMERCIAL_AVERAGE, 1.0, 1.0).unwrap()],
+        )
+        .unwrap();
+        let hungry = WorkloadMix::new(
+            Baseline::niagara2_like(),
+            vec![WorkloadClass::new("x", Alpha::COMMERCIAL_AVERAGE, 2.0, 1.0).unwrap()],
+        )
+        .unwrap();
+        // Base traffic scales both M2 and M1 identically for a
+        // single-class mix, so the *relative* wall is unchanged…
+        assert_eq!(
+            balanced.max_supportable_cores(32.0, 1.0).unwrap(),
+            hungry.max_supportable_cores(32.0, 1.0).unwrap()
+        );
+        // …but in a mix, a hungry class shifts traffic toward itself.
+        let skewed = WorkloadMix::new(
+            Baseline::niagara2_like(),
+            vec![
+                WorkloadClass::new("hungry", Alpha::SPEC2006, 3.0, 0.5).unwrap(),
+                WorkloadClass::new("light", Alpha::COMMERCIAL_AVERAGE, 1.0, 0.5).unwrap(),
+            ],
+        )
+        .unwrap();
+        let even = WorkloadMix::new(
+            Baseline::niagara2_like(),
+            vec![
+                WorkloadClass::new("a", Alpha::SPEC2006, 1.0, 0.5).unwrap(),
+                WorkloadClass::new("b", Alpha::COMMERCIAL_AVERAGE, 1.0, 0.5).unwrap(),
+            ],
+        )
+        .unwrap();
+        // The hungry-SPEC chip is at most as scalable as the even one.
+        assert!(
+            skewed.max_supportable_cores(64.0, 1.0).unwrap()
+                <= even.max_supportable_cores(64.0, 1.0).unwrap()
+        );
+    }
+
+    #[test]
+    fn traffic_at_baseline_is_unity() {
+        let mix = WorkloadMix::new(
+            Baseline::niagara2_like(),
+            vec![
+                WorkloadClass::new("a", Alpha::SPEC2006, 2.0, 0.3).unwrap(),
+                WorkloadClass::new("b", Alpha::COMMERCIAL_MAX, 0.5, 0.7).unwrap(),
+            ],
+        )
+        .unwrap();
+        let t = mix.relative_traffic(16.0, 8.0).unwrap();
+        assert!((t - 1.0).abs() < 1e-12, "{t}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(WorkloadClass::new("x", Alpha::SPEC2006, 0.0, 1.0).is_err());
+        assert!(WorkloadClass::new("x", Alpha::SPEC2006, 1.0, 0.0).is_err());
+        assert!(WorkloadMix::new(Baseline::niagara2_like(), vec![]).is_err());
+        let mix = single_class_mix(Alpha::COMMERCIAL_AVERAGE);
+        assert!(mix.relative_traffic(32.0, 0.0).is_err());
+        assert!(mix.relative_traffic(32.0, 32.0).is_err());
+    }
+
+    #[test]
+    fn display_shows_shares() {
+        let mix = WorkloadMix::new(
+            Baseline::niagara2_like(),
+            vec![
+                WorkloadClass::new("oltp", Alpha::COMMERCIAL_MAX, 1.0, 3.0).unwrap(),
+                WorkloadClass::new("spec", Alpha::SPEC2006, 1.0, 1.0).unwrap(),
+            ],
+        )
+        .unwrap();
+        let s = mix.to_string();
+        assert!(s.contains("oltp (75%)") && s.contains("spec (25%)"), "{s}");
+    }
+
+    #[test]
+    fn accessors() {
+        let class = WorkloadClass::new("w", Alpha::SPEC2006, 1.5, 2.0).unwrap();
+        assert_eq!(class.name(), "w");
+        assert_eq!(class.alpha(), Alpha::SPEC2006);
+        assert_eq!(class.base_traffic(), 1.5);
+        assert_eq!(class.core_share(), 2.0);
+        let mix = WorkloadMix::new(Baseline::niagara2_like(), vec![class.clone()]).unwrap();
+        assert_eq!(mix.classes(), &[class]);
+    }
+}

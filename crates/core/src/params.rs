@@ -1,0 +1,279 @@
+//! Model parameters: the power-law exponent and the baseline CMP
+//! configuration (Table 1 of the paper).
+
+use crate::error::ModelError;
+use std::fmt;
+
+/// The cache-sensitivity exponent `α` of the power law of cache misses.
+///
+/// `α` measures how strongly a workload's miss rate responds to cache size:
+/// `m = m0 · (C/C0)^-α`. Hartstein et al. observed `α ∈ [0.3, 0.7]` with an
+/// average of 0.5 (the "√2 rule"); the paper's commercial workloads span
+/// 0.36–0.62 (average 0.48) and its SPEC 2006 aggregate fits `α = 0.25`.
+///
+/// The newtype guarantees `0 < α` and finiteness, so downstream arithmetic
+/// never has to re-validate.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_model::Alpha;
+///
+/// let alpha = Alpha::new(0.5)?;
+/// assert_eq!(alpha.get(), 0.5);
+/// assert!(Alpha::new(-0.1).is_err());
+/// assert!(Alpha::new(f64::NAN).is_err());
+/// # Ok::<(), bandwall_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Alpha(f64);
+
+impl Alpha {
+    /// The paper's default `α = 0.5` ("average commercial workload").
+    pub const COMMERCIAL_AVERAGE: Alpha = Alpha(0.5);
+    /// Smallest per-application commercial `α` observed in Figure 1 (OLTP-2).
+    pub const COMMERCIAL_MIN: Alpha = Alpha(0.36);
+    /// Largest per-application commercial `α` observed in Figure 1 (OLTP-4).
+    pub const COMMERCIAL_MAX: Alpha = Alpha(0.62);
+    /// The SPEC 2006 aggregate `α` from Figure 1.
+    pub const SPEC2006: Alpha = Alpha(0.25);
+
+    /// Creates a validated exponent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] unless `0 < value` and the
+    /// value is finite. (Values above 1 are unusual but legal; the paper
+    /// discusses `α = 0.9` hypothetically.)
+    pub fn new(value: f64) -> Result<Self, ModelError> {
+        if value.is_finite() && value > 0.0 {
+            Ok(Alpha(value))
+        } else {
+            Err(ModelError::InvalidParameter {
+                name: "alpha",
+                value,
+                constraint: "must be finite and positive",
+            })
+        }
+    }
+
+    /// Returns the raw exponent.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Evaluates the dampening factor `x^-α` applied to a relative
+    /// cache-capacity change `x`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bandwall_model::Alpha;
+    ///
+    /// // Quadrupling cache per core halves traffic at α = 0.5.
+    /// let damp = Alpha::COMMERCIAL_AVERAGE.dampen(4.0);
+    /// assert!((damp - 0.5).abs() < 1e-12);
+    /// ```
+    pub fn dampen(self, capacity_ratio: f64) -> f64 {
+        capacity_ratio.powf(-self.0)
+    }
+}
+
+impl fmt::Display for Alpha {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "α={}", self.0)
+    }
+}
+
+impl TryFrom<f64> for Alpha {
+    type Error = ModelError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Alpha::new(value)
+    }
+}
+
+/// The baseline CMP configuration that all scaled designs are compared
+/// against (Section 5.1 of the paper).
+///
+/// Die area is measured in *core-equivalent areas* (CEAs): one CEA is the
+/// area of one core plus its L1 caches. The paper's baseline is modelled on
+/// Sun Niagara2 — a *balanced* 16-CEA chip with 8 cores and 8 CEAs of L2
+/// cache (~4 MB), running a workload with `α = 0.5`.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_model::{Alpha, Baseline};
+///
+/// let base = Baseline::niagara2_like();
+/// assert_eq!(base.cores(), 8.0);
+/// assert_eq!(base.cache_ceas(), 8.0);
+/// assert_eq!(base.cache_per_core(), 1.0);
+/// assert_eq!(base.total_ceas(), 16.0);
+///
+/// let custom = Baseline::new(4.0, 12.0, Alpha::new(0.36)?)?;
+/// assert_eq!(custom.cache_per_core(), 3.0);
+/// # Ok::<(), bandwall_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Baseline {
+    cores: f64,
+    cache_ceas: f64,
+    alpha: Alpha,
+}
+
+impl Baseline {
+    /// Creates a baseline of `cores` cores (P₁) and `cache_ceas` CEAs of
+    /// cache (C₁) for a workload with exponent `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] unless both `cores` and
+    /// `cache_ceas` are finite and strictly positive (a baseline with zero
+    /// cache would make the per-core ratio `S₁` degenerate).
+    pub fn new(cores: f64, cache_ceas: f64, alpha: Alpha) -> Result<Self, ModelError> {
+        if !(cores.is_finite() && cores > 0.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "cores",
+                value: cores,
+                constraint: "must be finite and positive",
+            });
+        }
+        if !(cache_ceas.is_finite() && cache_ceas > 0.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "cache_ceas",
+                value: cache_ceas,
+                constraint: "must be finite and positive",
+            });
+        }
+        Ok(Baseline {
+            cores,
+            cache_ceas,
+            alpha,
+        })
+    }
+
+    /// The paper's baseline: 8 cores, 8 CEAs of cache, `α = 0.5`
+    /// (Niagara2-like balanced design, Section 5.1).
+    pub fn niagara2_like() -> Self {
+        Baseline {
+            cores: 8.0,
+            cache_ceas: 8.0,
+            alpha: Alpha::COMMERCIAL_AVERAGE,
+        }
+    }
+
+    /// Returns the same baseline with a different workload exponent
+    /// (used for the α-sensitivity study of Figure 17).
+    #[must_use]
+    pub fn with_alpha(mut self, alpha: Alpha) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Number of baseline cores, `P₁`.
+    pub fn cores(&self) -> f64 {
+        self.cores
+    }
+
+    /// Baseline cache allocation in CEAs, `C₁`.
+    pub fn cache_ceas(&self) -> f64 {
+        self.cache_ceas
+    }
+
+    /// Baseline cache per core, `S₁ = C₁ / P₁`.
+    pub fn cache_per_core(&self) -> f64 {
+        self.cache_ceas / self.cores
+    }
+
+    /// Total baseline die budget, `N₁ = P₁ + C₁`.
+    pub fn total_ceas(&self) -> f64 {
+        self.cores + self.cache_ceas
+    }
+
+    /// Workload exponent `α`.
+    pub fn alpha(&self) -> Alpha {
+        self.alpha
+    }
+}
+
+impl Default for Baseline {
+    /// Same as [`Baseline::niagara2_like`].
+    fn default() -> Self {
+        Baseline::niagara2_like()
+    }
+}
+
+impl fmt::Display for Baseline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cores + {} cache CEAs ({})",
+            self.cores, self.cache_ceas, self.alpha
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_validation() {
+        assert!(Alpha::new(0.5).is_ok());
+        assert!(Alpha::new(1.5).is_ok());
+        assert!(Alpha::new(0.0).is_err());
+        assert!(Alpha::new(-0.5).is_err());
+        assert!(Alpha::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn alpha_dampening_examples_from_paper() {
+        // Section 6.1: at α = 0.5 halving traffic needs 4× cache; at
+        // α = 0.9 it needs 2.16×.
+        assert!((Alpha::new(0.5).unwrap().dampen(4.0) - 0.5).abs() < 1e-12);
+        let needed = 2f64.powf(1.0 / 0.9);
+        assert!((Alpha::new(0.9).unwrap().dampen(needed) - 0.5).abs() < 1e-12);
+        assert!((needed - 2.16).abs() < 0.01);
+    }
+
+    #[test]
+    fn alpha_try_from() {
+        assert_eq!(Alpha::try_from(0.25).unwrap(), Alpha::SPEC2006);
+        assert!(Alpha::try_from(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn baseline_accessors() {
+        let b = Baseline::niagara2_like();
+        assert_eq!(b.cores(), 8.0);
+        assert_eq!(b.cache_per_core(), 1.0);
+        assert_eq!(b.total_ceas(), 16.0);
+        assert_eq!(b.alpha(), Alpha::COMMERCIAL_AVERAGE);
+        assert_eq!(Baseline::default(), b);
+    }
+
+    #[test]
+    fn baseline_validation() {
+        let a = Alpha::COMMERCIAL_AVERAGE;
+        assert!(Baseline::new(0.0, 8.0, a).is_err());
+        assert!(Baseline::new(8.0, 0.0, a).is_err());
+        assert!(Baseline::new(-1.0, 8.0, a).is_err());
+        assert!(Baseline::new(8.0, f64::NAN, a).is_err());
+    }
+
+    #[test]
+    fn with_alpha_replaces_exponent() {
+        let b = Baseline::niagara2_like().with_alpha(Alpha::SPEC2006);
+        assert_eq!(b.alpha(), Alpha::SPEC2006);
+        assert_eq!(b.cores(), 8.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let b = Baseline::niagara2_like();
+        let s = b.to_string();
+        assert!(s.contains('8') && s.contains("α=0.5"), "{s}");
+    }
+}

@@ -1,0 +1,223 @@
+//! The power law of cache misses (Section 4.1, Equations 1–2).
+//!
+//! For a workload with baseline miss rate `m0` at cache size `C0`, the miss
+//! rate at size `C` is `m = m0 · (C/C0)^-α`. Because write-backs are an
+//! application-specific constant fraction `rwb` of misses, total memory
+//! traffic `M = m · (1 + rwb)` obeys the *same* law — the `(1 + rwb)` terms
+//! cancel in any traffic ratio (Equation 2). [`MissRateCurve::traffic`]
+//! exposes that reasoning explicitly.
+
+use crate::error::ModelError;
+use crate::params::Alpha;
+
+/// A calibrated power-law miss-rate curve `m(C) = m0 · (C/C0)^-α`.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_model::{Alpha, MissRateCurve};
+///
+/// // 10% misses at a 1 MB cache, √2 rule.
+/// let curve = MissRateCurve::new(0.10, 1.0, Alpha::COMMERCIAL_AVERAGE)?;
+/// // Doubling the cache divides misses by √2.
+/// let m2 = curve.miss_rate(2.0)?;
+/// assert!((m2 - 0.10 / 2f64.sqrt()).abs() < 1e-12);
+/// # Ok::<(), bandwall_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MissRateCurve {
+    base_miss_rate: f64,
+    base_cache_size: f64,
+    alpha: Alpha,
+}
+
+impl MissRateCurve {
+    /// Creates a curve anchored at miss rate `base_miss_rate` for cache size
+    /// `base_cache_size` (any consistent unit: KB, CEAs, lines, …).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] unless
+    /// `0 < base_miss_rate <= 1` and `base_cache_size > 0`.
+    pub fn new(
+        base_miss_rate: f64,
+        base_cache_size: f64,
+        alpha: Alpha,
+    ) -> Result<Self, ModelError> {
+        if !(base_miss_rate.is_finite() && base_miss_rate > 0.0 && base_miss_rate <= 1.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "base_miss_rate",
+                value: base_miss_rate,
+                constraint: "must be in (0, 1]",
+            });
+        }
+        if !(base_cache_size.is_finite() && base_cache_size > 0.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "base_cache_size",
+                value: base_cache_size,
+                constraint: "must be finite and positive",
+            });
+        }
+        Ok(MissRateCurve {
+            base_miss_rate,
+            base_cache_size,
+            alpha,
+        })
+    }
+
+    /// Baseline miss rate `m0`.
+    pub fn base_miss_rate(&self) -> f64 {
+        self.base_miss_rate
+    }
+
+    /// Baseline cache size `C0`.
+    pub fn base_cache_size(&self) -> f64 {
+        self.base_cache_size
+    }
+
+    /// Workload exponent `α`.
+    pub fn alpha(&self) -> Alpha {
+        self.alpha
+    }
+
+    /// Miss rate at cache size `cache_size` (Equation 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if `cache_size` is not
+    /// finite and positive.
+    pub fn miss_rate(&self, cache_size: f64) -> Result<f64, ModelError> {
+        if !(cache_size.is_finite() && cache_size > 0.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "cache_size",
+                value: cache_size,
+                constraint: "must be finite and positive",
+            });
+        }
+        Ok(self.base_miss_rate * self.alpha.dampen(cache_size / self.base_cache_size))
+    }
+
+    /// Total memory traffic per access at `cache_size`, including
+    /// write-backs: `M = m · (1 + rwb)` (Section 4.2).
+    ///
+    /// `writeback_ratio` is the application-specific constant fraction of
+    /// misses that cause a dirty eviction. Because it is constant across
+    /// cache sizes, traffic ratios between two sizes are independent of it —
+    /// see [`MissRateCurve::traffic_ratio`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MissRateCurve::miss_rate`] errors and rejects negative
+    /// or non-finite `writeback_ratio`.
+    pub fn traffic(&self, cache_size: f64, writeback_ratio: f64) -> Result<f64, ModelError> {
+        if !(writeback_ratio.is_finite() && writeback_ratio >= 0.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "writeback_ratio",
+                value: writeback_ratio,
+                constraint: "must be finite and non-negative",
+            });
+        }
+        Ok(self.miss_rate(cache_size)? * (1.0 + writeback_ratio))
+    }
+
+    /// Ratio of traffic at `new_size` to traffic at `old_size`
+    /// (Equation 2): `(new/old)^-α`, independent of the write-back ratio.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if either size is not
+    /// finite and positive.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bandwall_model::{Alpha, MissRateCurve};
+    ///
+    /// let curve = MissRateCurve::new(0.2, 4.0, Alpha::COMMERCIAL_AVERAGE)?;
+    /// // 4× more cache → traffic halves at α = 0.5, regardless of rwb.
+    /// assert!((curve.traffic_ratio(4.0, 16.0)? - 0.5).abs() < 1e-12);
+    /// # Ok::<(), bandwall_model::ModelError>(())
+    /// ```
+    pub fn traffic_ratio(&self, old_size: f64, new_size: f64) -> Result<f64, ModelError> {
+        for (name, v) in [("old_size", old_size), ("new_size", new_size)] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(ModelError::InvalidParameter {
+                    name,
+                    value: v,
+                    constraint: "must be finite and positive",
+                });
+            }
+        }
+        Ok(self.alpha.dampen(new_size / old_size))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> MissRateCurve {
+        MissRateCurve::new(0.1, 1.0, Alpha::COMMERCIAL_AVERAGE).unwrap()
+    }
+
+    #[test]
+    fn sqrt2_rule_holds() {
+        let c = curve();
+        let halved = c.miss_rate(2.0).unwrap();
+        assert!((c.base_miss_rate() / halved - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_rate_at_base_size_is_base_rate() {
+        let c = curve();
+        assert!((c.miss_rate(1.0).unwrap() - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn smaller_cache_raises_misses() {
+        let c = curve();
+        assert!(c.miss_rate(0.5).unwrap() > c.base_miss_rate());
+    }
+
+    #[test]
+    fn writeback_cancels_in_ratio() {
+        let c = curve();
+        for rwb in [0.0, 0.2, 0.5, 1.0] {
+            let t1 = c.traffic(1.0, rwb).unwrap();
+            let t2 = c.traffic(4.0, rwb).unwrap();
+            let ratio = t2 / t1;
+            assert!(
+                (ratio - c.traffic_ratio(1.0, 4.0).unwrap()).abs() < 1e-12,
+                "rwb = {rwb}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(MissRateCurve::new(0.0, 1.0, Alpha::COMMERCIAL_AVERAGE).is_err());
+        assert!(MissRateCurve::new(1.5, 1.0, Alpha::COMMERCIAL_AVERAGE).is_err());
+        assert!(MissRateCurve::new(0.1, 0.0, Alpha::COMMERCIAL_AVERAGE).is_err());
+        let c = curve();
+        assert!(c.miss_rate(0.0).is_err());
+        assert!(c.miss_rate(f64::NAN).is_err());
+        assert!(c.traffic(1.0, -0.1).is_err());
+        assert!(c.traffic_ratio(0.0, 1.0).is_err());
+        assert!(c.traffic_ratio(1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn alpha_controls_slope() {
+        let shallow = MissRateCurve::new(0.1, 1.0, Alpha::SPEC2006).unwrap();
+        let steep = MissRateCurve::new(0.1, 1.0, Alpha::COMMERCIAL_MAX).unwrap();
+        assert!(steep.miss_rate(16.0).unwrap() < shallow.miss_rate(16.0).unwrap());
+    }
+
+    #[test]
+    fn accessors() {
+        let c = curve();
+        assert_eq!(c.base_miss_rate(), 0.1);
+        assert_eq!(c.base_cache_size(), 1.0);
+        assert_eq!(c.alpha(), Alpha::COMMERCIAL_AVERAGE);
+    }
+}

@@ -1,0 +1,179 @@
+//! Bandwidth-growth scenarios derived from technology roadmaps.
+//!
+//! The paper motivates the bandwidth wall with the ITRS projection that
+//! "pin counts will increase by about 10% per year whereas the number of
+//! on-chip cores is expected to double every 18 months". This module
+//! turns such projections into the per-generation envelope factor `B`
+//! that [`crate::ScalingProblem::with_bandwidth_growth`] and
+//! [`crate::GenerationSweep`] consume.
+
+use crate::error::ModelError;
+
+/// A bandwidth-growth scenario: how the off-chip envelope evolves per
+/// technology generation.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_model::roadmap::BandwidthScenario;
+///
+/// // ITRS: pins +10%/year, 18 months per generation.
+/// let itrs = BandwidthScenario::itrs_2005();
+/// let b = itrs.growth_per_generation();
+/// assert!((b - 1.1f64.powf(1.5)).abs() < 1e-12);
+///
+/// // A constant envelope (the paper's default analysis).
+/// assert_eq!(BandwidthScenario::constant().growth_per_generation(), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandwidthScenario {
+    name: String,
+    annual_pin_growth: f64,
+    annual_frequency_growth: f64,
+    months_per_generation: f64,
+}
+
+impl BandwidthScenario {
+    /// Builds a scenario from annual pin-count growth, annual per-pin
+    /// frequency growth, and the cadence of technology generations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] for non-positive growth
+    /// factors or cadence.
+    pub fn new(
+        name: impl Into<String>,
+        annual_pin_growth: f64,
+        annual_frequency_growth: f64,
+        months_per_generation: f64,
+    ) -> Result<Self, ModelError> {
+        for (param, value) in [
+            ("annual_pin_growth", annual_pin_growth),
+            ("annual_frequency_growth", annual_frequency_growth),
+            ("months_per_generation", months_per_generation),
+        ] {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(ModelError::InvalidParameter {
+                    name: param,
+                    value,
+                    constraint: "must be finite and positive",
+                });
+            }
+        }
+        Ok(BandwidthScenario {
+            name: name.into(),
+            annual_pin_growth,
+            annual_frequency_growth,
+            months_per_generation,
+        })
+    }
+
+    /// The ITRS 2005 assembly-and-packaging projection the paper cites:
+    /// pins +10% per year, flat per-pin rate, 18-month generations.
+    pub fn itrs_2005() -> Self {
+        BandwidthScenario {
+            name: "ITRS 2005 (pins +10%/yr)".to_string(),
+            annual_pin_growth: 1.10,
+            annual_frequency_growth: 1.0,
+            months_per_generation: 18.0,
+        }
+    }
+
+    /// A frozen envelope — the paper's default "constant memory traffic"
+    /// analysis.
+    pub fn constant() -> Self {
+        BandwidthScenario {
+            name: "constant envelope".to_string(),
+            annual_pin_growth: 1.0,
+            annual_frequency_growth: 1.0,
+            months_per_generation: 18.0,
+        }
+    }
+
+    /// An aggressive signalling scenario: pins +10%/yr *and* per-pin data
+    /// rates +20%/yr (e.g. moving to faster DRAM interfaces each
+    /// generation, as Niagara2 and POWER6 did).
+    pub fn aggressive_signalling() -> Self {
+        BandwidthScenario {
+            name: "aggressive signalling (+10%/yr pins, +20%/yr rate)".to_string(),
+            annual_pin_growth: 1.10,
+            annual_frequency_growth: 1.20,
+            months_per_generation: 18.0,
+        }
+    }
+
+    /// Scenario name for reports.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The compound envelope growth per technology generation,
+    /// `(pin_growth × frequency_growth)^(months/12)`.
+    pub fn growth_per_generation(&self) -> f64 {
+        let annual = self.annual_pin_growth * self.annual_frequency_growth;
+        annual.powf(self.months_per_generation / 12.0)
+    }
+
+    /// The cumulative envelope factor after `generations` generations.
+    pub fn envelope_after(&self, generations: u32) -> f64 {
+        self.growth_per_generation().powi(generations as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Baseline;
+    use crate::scaling::GenerationSweep;
+
+    #[test]
+    fn itrs_growth_factor() {
+        let b = BandwidthScenario::itrs_2005().growth_per_generation();
+        // 1.1^1.5 ≈ 1.1537 per generation.
+        assert!((b - 1.1537).abs() < 1e-3, "{b}");
+    }
+
+    #[test]
+    fn cumulative_envelope() {
+        let s = BandwidthScenario::itrs_2005();
+        let four = s.envelope_after(4);
+        assert!((four - s.growth_per_generation().powi(4)).abs() < 1e-12);
+        // Pins grow ~77% over four generations (6 years) — nowhere near
+        // the 16x transistor growth.
+        assert!(four > 1.7 && four < 1.8, "{four}");
+    }
+
+    #[test]
+    fn itrs_envelope_buys_a_few_cores() {
+        let constant = GenerationSweep::new(Baseline::niagara2_like())
+            .run(4)
+            .unwrap();
+        let itrs = GenerationSweep::new(Baseline::niagara2_like())
+            .with_bandwidth_growth_per_generation(
+                BandwidthScenario::itrs_2005().growth_per_generation(),
+            )
+            .run(4)
+            .unwrap();
+        // More envelope, more cores — but still nowhere near proportional.
+        assert!(itrs[3].supportable_cores > constant[3].supportable_cores);
+        assert!(itrs[3].supportable_cores < itrs[3].ideal_cores / 2);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(BandwidthScenario::new("x", 0.0, 1.0, 18.0).is_err());
+        assert!(BandwidthScenario::new("x", 1.1, -1.0, 18.0).is_err());
+        assert!(BandwidthScenario::new("x", 1.1, 1.0, 0.0).is_err());
+        let ok = BandwidthScenario::new("custom", 1.05, 1.15, 24.0).unwrap();
+        assert_eq!(ok.name(), "custom");
+        assert!((ok.growth_per_generation() - (1.05f64 * 1.15).powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn named_scenarios_ordered() {
+        let c = BandwidthScenario::constant().growth_per_generation();
+        let i = BandwidthScenario::itrs_2005().growth_per_generation();
+        let a = BandwidthScenario::aggressive_signalling().growth_per_generation();
+        assert!(c < i && i < a);
+    }
+}

@@ -1,0 +1,660 @@
+//! Core-scaling under a memory-traffic envelope (Section 5).
+//!
+//! [`ScalingProblem`] answers the paper's central question: on a die of
+//! `N₂` CEAs, how many cores can be placed so that total memory traffic
+//! stays within `B×` the baseline's (Equation 7), optionally with a set of
+//! bandwidth-conservation techniques applied? [`GenerationSweep`] iterates
+//! the question across technology generations (the scaffolding behind
+//! Figures 3, 15, 16, and 17).
+
+use crate::effects::Effects;
+use crate::error::ModelError;
+use crate::params::Baseline;
+use crate::techniques::{combine, Technique};
+use bandwall_numerics::{brent, max_satisfying, Tolerance};
+
+/// Relative slack granted when comparing traffic against the envelope, so
+/// configurations that sit exactly on the boundary (e.g. 16 cores with link
+/// compression 2× on a 32-CEA die) are counted as supportable despite
+/// floating-point rounding.
+const ENVELOPE_SLACK: f64 = 1e-9;
+
+/// One core-scaling question: a die budget, a traffic envelope, and a set
+/// of techniques.
+///
+/// # Examples
+///
+/// The headline base case (Section 5.1): a 32-CEA next-generation die
+/// supports only 11 cores under a constant traffic envelope, or 13 if the
+/// envelope optimistically grows 50%.
+///
+/// ```
+/// use bandwall_model::{Baseline, ScalingProblem};
+///
+/// let base = Baseline::niagara2_like();
+/// assert_eq!(ScalingProblem::new(base, 32.0).max_supportable_cores()?, 11);
+/// assert_eq!(
+///     ScalingProblem::new(base, 32.0)
+///         .with_bandwidth_growth(1.5)
+///         .max_supportable_cores()?,
+///     13
+/// );
+/// # Ok::<(), bandwall_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingProblem {
+    baseline: Baseline,
+    total_ceas: f64,
+    bandwidth_growth: f64,
+    per_core_demand: f64,
+    uncore_per_core: f64,
+    techniques: Vec<Technique>,
+}
+
+impl ScalingProblem {
+    /// Creates a problem for a die of `total_ceas` CEAs (N₂) under a
+    /// constant traffic envelope (B = 1) and no techniques.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `total_ceas` is not positive; use die
+    /// budgets derived from [`Baseline::total_ceas`] scaling.
+    pub fn new(baseline: Baseline, total_ceas: f64) -> Self {
+        debug_assert!(total_ceas > 0.0);
+        ScalingProblem {
+            baseline,
+            total_ceas,
+            bandwidth_growth: 1.0,
+            per_core_demand: 1.0,
+            uncore_per_core: 0.0,
+            techniques: Vec::new(),
+        }
+    }
+
+    /// Sets the bandwidth-growth factor `B`: the envelope becomes
+    /// `B × M₁` (Equation 6).
+    #[must_use]
+    pub fn with_bandwidth_growth(mut self, growth: f64) -> Self {
+        self.bandwidth_growth = growth;
+        self
+    }
+
+    /// Scales every core's traffic demand by `multiplier` (≥ 1), modelling
+    /// multithreaded cores. Section 3 notes the study's single-threaded
+    /// assumption *underestimates* the bandwidth wall because SMT cores
+    /// stay less idle and generate more traffic per unit time; this knob
+    /// quantifies that remark.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `multiplier >= 1`.
+    #[must_use]
+    pub fn with_per_core_demand(mut self, multiplier: f64) -> Self {
+        debug_assert!(multiplier >= 1.0);
+        self.per_core_demand = multiplier;
+        self
+    }
+
+    /// Charges each core `ceas` of uncore area (routers, links, buses) —
+    /// the Section 6.1 caveat that interconnect grows with core count and
+    /// caps the benefit of ever-smaller cores.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `ceas >= 0`.
+    #[must_use]
+    pub fn with_uncore_overhead(mut self, ceas: f64) -> Self {
+        debug_assert!(ceas >= 0.0);
+        self.uncore_per_core = ceas;
+        self
+    }
+
+    /// Adds one technique.
+    #[must_use]
+    pub fn with_technique(mut self, technique: Technique) -> Self {
+        self.techniques.push(technique);
+        self
+    }
+
+    /// Adds a set of techniques.
+    #[must_use]
+    pub fn with_techniques<I>(mut self, techniques: I) -> Self
+    where
+        I: IntoIterator<Item = Technique>,
+    {
+        self.techniques.extend(techniques);
+        self
+    }
+
+    /// The baseline configuration (generation 1).
+    pub fn baseline(&self) -> &Baseline {
+        &self.baseline
+    }
+
+    /// The die budget `N₂` in CEAs.
+    pub fn total_ceas(&self) -> f64 {
+        self.total_ceas
+    }
+
+    /// The bandwidth-growth factor `B`.
+    pub fn bandwidth_growth(&self) -> f64 {
+        self.bandwidth_growth
+    }
+
+    /// The applied techniques.
+    pub fn techniques(&self) -> &[Technique] {
+        &self.techniques
+    }
+
+    /// The folded [`Effects`] of the applied techniques (including any
+    /// uncore overhead configured on the problem).
+    pub fn effects(&self) -> Effects {
+        let mut effects = combine(&self.techniques);
+        if self.uncore_per_core > 0.0 {
+            effects.add_uncore_per_core(self.uncore_per_core);
+        }
+        effects
+    }
+
+    /// Relative traffic `M₂/M₁` when `cores` cores are placed on the die
+    /// (Equation 5 with the technique effects of Section 6 folded in).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NoCacheArea`] when the configuration leaves no
+    /// effective cache, and [`ModelError::InvalidParameter`] for a zero
+    /// core count.
+    pub fn relative_traffic(&self, cores: u64) -> Result<f64, ModelError> {
+        self.relative_traffic_with(&self.effects(), cores)
+    }
+
+    fn relative_traffic_real(&self, effects: &Effects, cores: f64) -> Result<f64, ModelError> {
+        if cores < 1.0 || !cores.is_finite() {
+            return Err(ModelError::InvalidParameter {
+                name: "cores",
+                value: cores,
+                constraint: "must be at least 1",
+            });
+        }
+        let cache = effects.effective_cache_ceas(self.total_ceas, cores);
+        if cache <= 0.0 {
+            return Err(ModelError::NoCacheArea {
+                cores: cores as u64,
+                total_ceas: self.total_ceas,
+            });
+        }
+        let cache_per_core = effects.capacity_factor() * cache / cores;
+        let core_term = cores / self.baseline.cores();
+        let cache_term = self
+            .baseline
+            .alpha()
+            .dampen(cache_per_core / self.baseline.cache_per_core());
+        Ok(self.per_core_demand * core_term * cache_term / effects.traffic_divisor())
+    }
+
+    fn relative_traffic_with(&self, effects: &Effects, cores: u64) -> Result<f64, ModelError> {
+        self.relative_traffic_real(effects, cores as f64)
+    }
+
+    /// The largest whole number of cores whose traffic stays within the
+    /// envelope `B × M₁` — the quantity plotted in Figures 3–12 and 15–17.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Infeasible`] if even a single core exceeds the
+    /// envelope (cannot happen for die budgets at or above the baseline's).
+    pub fn max_supportable_cores(&self) -> Result<u64, ModelError> {
+        let effects = self.effects();
+        let hi = effects.max_feasible_cores(self.total_ceas);
+        if hi == 0 {
+            return Err(ModelError::Infeasible);
+        }
+        let envelope = self.bandwidth_growth * (1.0 + ENVELOPE_SLACK);
+        max_satisfying(1, hi, |p| {
+            self.relative_traffic_with(&effects, p)
+                .map(|t| t <= envelope)
+                .unwrap_or(false)
+        })
+        .ok_or(ModelError::Infeasible)
+    }
+
+    /// The real-valued core count where traffic exactly meets the envelope
+    /// (the crossover of Figure 2), found with Brent's method.
+    ///
+    /// Returns the feasibility bound when every feasible core count fits
+    /// within the envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Infeasible`] when one core already exceeds the
+    /// envelope, or a numerical error from the root finder.
+    pub fn crossover_cores(&self) -> Result<f64, ModelError> {
+        let effects = self.effects();
+        let hi = effects.max_feasible_cores(self.total_ceas) as f64;
+        if hi < 1.0 {
+            return Err(ModelError::Infeasible);
+        }
+        let f = |p: f64| {
+            self.relative_traffic_real(&effects, p)
+                .map(|t| t - self.bandwidth_growth)
+                .unwrap_or(f64::MAX)
+        };
+        if f(1.0) > 0.0 {
+            return Err(ModelError::Infeasible);
+        }
+        // Traffic is monotonically increasing in the core count; if even
+        // the feasibility bound fits, the answer is the bound itself.
+        // Evaluate slightly inside the bound to dodge the zero-cache pole.
+        let probe = if effects.effective_cache_ceas(self.total_ceas, hi) > 0.0 {
+            hi
+        } else {
+            hi - 1e-6
+        };
+        if f(probe) <= 0.0 {
+            return Ok(probe);
+        }
+        Ok(brent(f, 1.0, probe, Tolerance::default())?)
+    }
+
+    /// Fraction of the (core-die) area occupied by `cores` cores.
+    pub fn core_area_fraction(&self, cores: u64) -> f64 {
+        self.effects().core_area(cores as f64) / self.total_ceas
+    }
+
+    /// The *additional* direct traffic divisor (e.g. a link-compression
+    /// ratio) that would make `cores` cores fit the envelope, on top of
+    /// any techniques already applied. Values ≤ 1 mean the target already
+    /// fits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates domain errors from the traffic model.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bandwall_model::{Baseline, ScalingProblem};
+    ///
+    /// // Proportional scaling next generation needs exactly 2x —
+    /// // which is why 2x link compression restores it (Figure 9).
+    /// let p = ScalingProblem::new(Baseline::niagara2_like(), 32.0);
+    /// assert!((p.required_traffic_divisor(16)? - 2.0).abs() < 1e-12);
+    /// # Ok::<(), bandwall_model::ModelError>(())
+    /// ```
+    pub fn required_traffic_divisor(&self, cores: u64) -> Result<f64, ModelError> {
+        Ok(self.relative_traffic(cores)? / self.bandwidth_growth)
+    }
+
+    /// The *additional* effective-cache-capacity factor (e.g. a cache
+    /// compression ratio) that would make `cores` cores fit the envelope.
+    /// Indirect factors are dampened by `-α`, so this is the direct
+    /// divisor raised to `1/α`. Values ≤ 1 mean the target already fits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates domain errors from the traffic model.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bandwall_model::{Baseline, ScalingProblem};
+    ///
+    /// // The Figure 8 discussion: proportional scaling needs the cache
+    /// // per core to grow 4x (at α = 0.5), which freeing core area alone
+    /// // can never deliver.
+    /// let p = ScalingProblem::new(Baseline::niagara2_like(), 32.0);
+    /// assert!((p.required_capacity_factor(16)? - 4.0).abs() < 1e-12);
+    /// # Ok::<(), bandwall_model::ModelError>(())
+    /// ```
+    pub fn required_capacity_factor(&self, cores: u64) -> Result<f64, ModelError> {
+        let divisor = self.required_traffic_divisor(cores)?;
+        Ok(divisor.max(0.0).powf(1.0 / self.baseline.alpha().get()))
+    }
+
+    /// The core count proportional scaling would want: `P₁ × N₂/N₁`.
+    pub fn proportional_cores(&self) -> u64 {
+        (self.baseline.cores() * self.total_ceas / self.baseline.total_ceas()).round() as u64
+    }
+}
+
+/// The outcome of one generation in a [`GenerationSweep`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationResult {
+    /// 1-based generation index (1 = next generation).
+    pub generation: u32,
+    /// Transistor-budget scaling ratio relative to the baseline (2^g).
+    pub scaling_ratio: f64,
+    /// Die budget N₂ in CEAs.
+    pub total_ceas: f64,
+    /// Cores under proportional ("ideal") scaling.
+    pub ideal_cores: u64,
+    /// Cores supportable under the traffic envelope.
+    pub supportable_cores: u64,
+    /// Fraction of die area the supportable cores occupy.
+    pub core_area_fraction: f64,
+}
+
+/// Sweeps a technique set across technology generations, doubling the
+/// transistor budget each step (Figures 3 and 15–17).
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_model::{Baseline, GenerationSweep};
+///
+/// let sweep = GenerationSweep::new(Baseline::niagara2_like());
+/// let results = sweep.run(4)?;
+/// // The paper's headline: 24 cores at 16× vs 128 ideal.
+/// assert_eq!(results[3].supportable_cores, 24);
+/// assert_eq!(results[3].ideal_cores, 128);
+/// # Ok::<(), bandwall_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationSweep {
+    baseline: Baseline,
+    techniques: Vec<Technique>,
+    bandwidth_growth_per_generation: f64,
+}
+
+impl GenerationSweep {
+    /// Creates a sweep with no techniques and a constant traffic envelope.
+    pub fn new(baseline: Baseline) -> Self {
+        GenerationSweep {
+            baseline,
+            techniques: Vec::new(),
+            bandwidth_growth_per_generation: 1.0,
+        }
+    }
+
+    /// Adds techniques applied at every generation.
+    #[must_use]
+    pub fn with_techniques<I>(mut self, techniques: I) -> Self
+    where
+        I: IntoIterator<Item = Technique>,
+    {
+        self.techniques.extend(techniques);
+        self
+    }
+
+    /// Lets the envelope grow by `growth`× per generation (compounding).
+    #[must_use]
+    pub fn with_bandwidth_growth_per_generation(mut self, growth: f64) -> Self {
+        self.bandwidth_growth_per_generation = growth;
+        self
+    }
+
+    /// Runs the sweep for `generations` future generations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors from any generation.
+    pub fn run(&self, generations: u32) -> Result<Vec<GenerationResult>, ModelError> {
+        let mut results = Vec::with_capacity(generations as usize);
+        for g in 1..=generations {
+            let ratio = 2f64.powi(g as i32);
+            let total = self.baseline.total_ceas() * ratio;
+            let problem = ScalingProblem::new(self.baseline, total)
+                .with_techniques(self.techniques.iter().copied())
+                .with_bandwidth_growth(self.bandwidth_growth_per_generation.powi(g as i32));
+            let supportable = problem.max_supportable_cores()?;
+            results.push(GenerationResult {
+                generation: g,
+                scaling_ratio: ratio,
+                total_ceas: total,
+                ideal_cores: problem.proportional_cores(),
+                supportable_cores: supportable,
+                core_area_fraction: problem.core_area_fraction(supportable),
+            });
+        }
+        Ok(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Alpha;
+
+    fn base_problem(n2: f64) -> ScalingProblem {
+        ScalingProblem::new(Baseline::niagara2_like(), n2)
+    }
+
+    #[test]
+    fn base_next_generation_supports_11_cores() {
+        assert_eq!(base_problem(32.0).max_supportable_cores().unwrap(), 11);
+    }
+
+    #[test]
+    fn fifty_percent_envelope_growth_supports_13() {
+        let p = base_problem(32.0).with_bandwidth_growth(1.5);
+        assert_eq!(p.max_supportable_cores().unwrap(), 13);
+    }
+
+    #[test]
+    fn crossover_slightly_above_11() {
+        let x = base_problem(32.0).crossover_cores().unwrap();
+        assert!(x > 11.0 && x < 12.0, "crossover = {x}");
+    }
+
+    #[test]
+    fn figure3_values() {
+        // Constant traffic across generations: 1×..16× supportable cores.
+        let sweep = GenerationSweep::new(Baseline::niagara2_like());
+        let results = sweep.run(4).unwrap();
+        let cores: Vec<u64> = results.iter().map(|r| r.supportable_cores).collect();
+        assert_eq!(cores[3], 24, "16x generation must support 24 cores");
+        // ~10% die area for cores at 16×.
+        assert!(
+            (results[3].core_area_fraction - 24.0 / 256.0).abs() < 1e-12,
+            "area fraction {}",
+            results[3].core_area_fraction
+        );
+        // Monotone non-decreasing supportable cores with die budget.
+        assert!(cores.windows(2).all(|w| w[0] <= w[1]));
+        let ideal: Vec<u64> = results.iter().map(|r| r.ideal_cores).collect();
+        assert_eq!(ideal, [16, 32, 64, 128]);
+    }
+
+    #[test]
+    fn dram_cache_16x_supports_47_cores() {
+        // The conclusion's DRAM-cache headline number.
+        let p = ScalingProblem::new(Baseline::niagara2_like(), 256.0)
+            .with_technique(Technique::dram_cache(8.0).unwrap());
+        assert_eq!(p.max_supportable_cores().unwrap(), 47);
+    }
+
+    #[test]
+    fn full_combination_16x_supports_183_cores() {
+        // CC/LC + DRAM + 3D + SmCl at the fourth generation: 183 cores on
+        // 71% of the die (Section 6.4).
+        let p = ScalingProblem::new(Baseline::niagara2_like(), 256.0).with_techniques([
+            Technique::cache_link_compression(2.0).unwrap(),
+            Technique::dram_cache(8.0).unwrap(),
+            Technique::stacked_cache(1).unwrap(),
+            Technique::small_cache_lines(0.4).unwrap(),
+        ]);
+        let cores = p.max_supportable_cores().unwrap();
+        assert_eq!(cores, 183);
+        let area = p.core_area_fraction(cores);
+        assert!((area - 183.0 / 256.0).abs() < 1e-12);
+        assert!(area > 0.70 && area < 0.72);
+    }
+
+    #[test]
+    fn link_compression_2x_restores_proportional_scaling() {
+        let p = ScalingProblem::new(Baseline::niagara2_like(), 32.0)
+            .with_technique(Technique::link_compression(2.0).unwrap());
+        assert_eq!(p.max_supportable_cores().unwrap(), 16);
+    }
+
+    #[test]
+    fn cache_link_compression_2x_supports_18() {
+        let p = ScalingProblem::new(Baseline::niagara2_like(), 32.0)
+            .with_technique(Technique::cache_link_compression(2.0).unwrap());
+        assert_eq!(p.max_supportable_cores().unwrap(), 18);
+    }
+
+    #[test]
+    fn stacked_cache_variants_match_figure6() {
+        let base = Baseline::niagara2_like();
+        let sram = ScalingProblem::new(base, 32.0)
+            .with_technique(Technique::stacked_cache(1).unwrap());
+        assert_eq!(sram.max_supportable_cores().unwrap(), 14);
+        let dram8 = ScalingProblem::new(base, 32.0)
+            .with_technique(Technique::stacked_dram_cache(1, 8.0).unwrap());
+        assert_eq!(dram8.max_supportable_cores().unwrap(), 25);
+        let dram16 = ScalingProblem::new(base, 32.0)
+            .with_technique(Technique::stacked_dram_cache(1, 16.0).unwrap());
+        assert_eq!(dram16.max_supportable_cores().unwrap(), 32);
+    }
+
+    #[test]
+    fn effects_and_accessors() {
+        let t = Technique::dram_cache(8.0).unwrap();
+        let p = base_problem(32.0)
+            .with_technique(t)
+            .with_bandwidth_growth(1.2);
+        assert_eq!(p.techniques(), &[t]);
+        assert_eq!(p.total_ceas(), 32.0);
+        assert_eq!(p.bandwidth_growth(), 1.2);
+        assert_eq!(p.baseline(), &Baseline::niagara2_like());
+        assert_eq!(p.effects().cache_density(), 8.0);
+        assert_eq!(p.proportional_cores(), 16);
+    }
+
+    #[test]
+    fn relative_traffic_errors() {
+        let p = base_problem(32.0);
+        assert!(matches!(
+            p.relative_traffic(0).unwrap_err(),
+            ModelError::InvalidParameter { .. }
+        ));
+        assert!(matches!(
+            p.relative_traffic(32).unwrap_err(),
+            ModelError::NoCacheArea { .. }
+        ));
+    }
+
+    #[test]
+    fn traffic_at_16_cores_doubles() {
+        let p = base_problem(32.0);
+        assert!((p.relative_traffic(16).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_sensitivity_matches_figure17_direction() {
+        // Larger α supports more cores.
+        let lo = ScalingProblem::new(
+            Baseline::niagara2_like().with_alpha(Alpha::SPEC2006),
+            256.0,
+        );
+        let hi = ScalingProblem::new(
+            Baseline::niagara2_like().with_alpha(Alpha::COMMERCIAL_MAX),
+            256.0,
+        );
+        let lo_cores = lo.max_supportable_cores().unwrap();
+        let hi_cores = hi.max_supportable_cores().unwrap();
+        assert!(hi_cores > lo_cores);
+        // "In the baseline case, a large α enables almost twice as many
+        // cores as a small α."
+        let ratio = hi_cores as f64 / lo_cores as f64;
+        assert!(ratio > 1.5 && ratio < 2.5, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn generation_sweep_with_bandwidth_growth() {
+        let sweep = GenerationSweep::new(Baseline::niagara2_like())
+            .with_bandwidth_growth_per_generation(1.5);
+        let results = sweep.run(2).unwrap();
+        assert_eq!(results[0].supportable_cores, 13);
+        assert!(results[1].supportable_cores > 13);
+    }
+
+    #[test]
+    fn crossover_with_all_feasible_returns_bound() {
+        // An enormous envelope: every feasible core count fits.
+        let p = base_problem(32.0).with_bandwidth_growth(1e9);
+        let x = p.crossover_cores().unwrap();
+        assert!(x >= 31.0 - 1e-3, "crossover = {x}");
+    }
+
+    #[test]
+    fn multithreaded_cores_worsen_the_wall() {
+        // Section 3: SMT cores generate more traffic per core, so fewer
+        // cores fit the same envelope.
+        let single = base_problem(32.0).max_supportable_cores().unwrap();
+        let smt2 = base_problem(32.0)
+            .with_per_core_demand(1.6)
+            .max_supportable_cores()
+            .unwrap();
+        assert!(smt2 < single, "smt {smt2} vs single {single}");
+        // Demand 1.0 is the identity.
+        assert_eq!(
+            base_problem(32.0)
+                .with_per_core_demand(1.0)
+                .max_supportable_cores()
+                .unwrap(),
+            single
+        );
+    }
+
+    #[test]
+    fn inverse_queries_recover_the_techniques() {
+        let p = base_problem(32.0);
+        // Applying exactly the required divisor makes the target fit.
+        let divisor = p.required_traffic_divisor(16).unwrap();
+        let fitted = base_problem(32.0)
+            .with_technique(Technique::link_compression(divisor).unwrap())
+            .max_supportable_cores()
+            .unwrap();
+        assert_eq!(fitted, 16);
+        // Same for the capacity factor via cache compression.
+        let factor = p.required_capacity_factor(16).unwrap();
+        let fitted = base_problem(32.0)
+            .with_technique(Technique::cache_compression(factor).unwrap())
+            .max_supportable_cores()
+            .unwrap();
+        assert_eq!(fitted, 16);
+        // An already-fitting target needs nothing.
+        assert!(p.required_traffic_divisor(8).unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn uncore_overhead_caps_small_core_benefit() {
+        // 80x smaller cores with and without per-core interconnect area.
+        let small = Technique::smaller_cores(1.0 / 80.0).unwrap();
+        let free = base_problem(32.0)
+            .with_technique(small)
+            .max_supportable_cores()
+            .unwrap();
+        let taxed = base_problem(32.0)
+            .with_technique(small)
+            .with_uncore_overhead(0.5)
+            .max_supportable_cores()
+            .unwrap();
+        assert!(taxed < free, "taxed {taxed} vs free {free}");
+        // Zero overhead is the identity.
+        assert_eq!(
+            base_problem(32.0)
+                .with_uncore_overhead(0.0)
+                .max_supportable_cores()
+                .unwrap(),
+            base_problem(32.0).max_supportable_cores().unwrap()
+        );
+    }
+
+    #[test]
+    fn smaller_cores_match_figure8_limit() {
+        // Even infinitesimal cores cannot push past ~12 cores next gen.
+        let base = Baseline::niagara2_like();
+        for (frac, expected) in [(1.0 / 9.0, 12), (1.0 / 45.0, 12), (1.0 / 80.0, 12)] {
+            let p = ScalingProblem::new(base, 32.0)
+                .with_technique(Technique::smaller_cores(frac).unwrap());
+            assert_eq!(
+                p.max_supportable_cores().unwrap(),
+                expected,
+                "fraction {frac}"
+            );
+        }
+    }
+}

@@ -1,0 +1,616 @@
+//! The bandwidth-conservation techniques of Section 6.
+//!
+//! Each [`Technique`] is a validated, immutable description of one
+//! mechanism from the paper, together with the way it perturbs the traffic
+//! model (its [`Effects`] contribution). Techniques compose freely — apply
+//! any subset to a [`crate::ScalingProblem`] — and composition is
+//! commutative because every contribution is multiplicative.
+//!
+//! | Paper label | Constructor | Category |
+//! |-------------|-------------|----------|
+//! | CC — cache compression | [`Technique::cache_compression`] | indirect |
+//! | DRAM — DRAM cache | [`Technique::dram_cache`] | indirect |
+//! | 3D — stacked cache | [`Technique::stacked_cache`] / [`Technique::stacked_dram_cache`] | indirect |
+//! | Fltr — unused-data filtering | [`Technique::unused_data_filter`] | indirect |
+//! | SmCo — smaller cores | [`Technique::smaller_cores`] | indirect |
+//! | LC — link compression | [`Technique::link_compression`] | direct |
+//! | Sect — sectored caches | [`Technique::sectored_cache`] | direct |
+//! | SmCl — small cache lines | [`Technique::small_cache_lines`] | dual |
+//! | CC/LC — cache+link compression | [`Technique::cache_link_compression`] | dual |
+
+use crate::effects::{Effects, StackedLayer};
+use crate::error::ModelError;
+use std::fmt;
+
+/// How a technique attacks the bandwidth wall (Section 6 taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Reduces traffic indirectly by increasing effective cache capacity;
+    /// dampened by the `-α` exponent.
+    Indirect,
+    /// Reduces the memory traffic itself (or grows effective bandwidth).
+    Direct,
+    /// Both at once.
+    Dual,
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Category::Indirect => "indirect",
+            Category::Direct => "direct",
+            Category::Dual => "dual",
+        })
+    }
+}
+
+/// The mechanism a [`Technique`] models, with its validated parameters.
+///
+/// Obtain via [`Technique::kind`] for reporting or matching; construct
+/// techniques through the `Technique` constructors, which validate ranges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum TechniqueKind {
+    /// On-chip cache compression with the given compression ratio.
+    CacheCompression {
+        /// Achieved compression ratio (≥ 1), e.g. 2.0 for 2×.
+        ratio: f64,
+    },
+    /// L2 implemented in DRAM, `density`× denser than SRAM.
+    DramCache {
+        /// Density improvement over SRAM (≥ 1).
+        density: f64,
+    },
+    /// 3D-stacked cache-only die layers.
+    StackedCache {
+        /// Number of extra cache-only dies.
+        layers: u32,
+        /// Density of each layer relative to SRAM (1.0 = SRAM layer).
+        layer_density: f64,
+    },
+    /// Retain only useful words on chip, discarding predicted-unused words.
+    UnusedDataFilter {
+        /// Average fraction of cached data that goes unused (0 ≤ f < 1).
+        unused_fraction: f64,
+    },
+    /// Simpler cores occupying a fraction of a CEA each.
+    SmallerCores {
+        /// Core area as a fraction of the baseline core (0 < f ≤ 1).
+        area_fraction: f64,
+    },
+    /// Compressed transfers on the off-chip memory link.
+    LinkCompression {
+        /// Effective bandwidth multiplier (≥ 1).
+        ratio: f64,
+    },
+    /// Fetch only predicted-referenced sectors of each line.
+    SectoredCache {
+        /// Average fraction of a line that goes unused (0 ≤ f < 1).
+        unused_fraction: f64,
+    },
+    /// Word-sized cache lines: unused words consume neither bandwidth nor
+    /// cache space (Equation 12).
+    SmallCacheLines {
+        /// Average fraction of a line that goes unused (0 ≤ f < 1).
+        unused_fraction: f64,
+    },
+    /// Cache and link compression applied together: data stays compressed
+    /// in the L2 and on the link.
+    CacheLinkCompression {
+        /// Shared compression ratio (≥ 1).
+        ratio: f64,
+    },
+}
+
+/// One bandwidth-conservation technique with validated parameters.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_model::{Baseline, ScalingProblem, Technique};
+///
+/// // DRAM caches at 8× density lift the next generation from 11 to 18 cores.
+/// let problem = ScalingProblem::new(Baseline::niagara2_like(), 32.0)
+///     .with_technique(Technique::dram_cache(8.0)?);
+/// assert_eq!(problem.max_supportable_cores()?, 18);
+/// # Ok::<(), bandwall_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Technique {
+    kind: TechniqueKind,
+}
+
+fn validate_ratio(name: &'static str, ratio: f64) -> Result<f64, ModelError> {
+    if ratio.is_finite() && ratio >= 1.0 {
+        Ok(ratio)
+    } else {
+        Err(ModelError::InvalidParameter {
+            name,
+            value: ratio,
+            constraint: "must be finite and >= 1",
+        })
+    }
+}
+
+fn validate_fraction(name: &'static str, fraction: f64) -> Result<f64, ModelError> {
+    if fraction.is_finite() && (0.0..1.0).contains(&fraction) {
+        Ok(fraction)
+    } else {
+        Err(ModelError::InvalidParameter {
+            name,
+            value: fraction,
+            constraint: "must be in [0, 1)",
+        })
+    }
+}
+
+impl Technique {
+    /// Cache compression with the given ratio (Section 6.1). Realistic
+    /// ratios are 1.4–2.1× for commercial workloads.
+    ///
+    /// # Errors
+    ///
+    /// Rejects ratios below 1 or non-finite.
+    pub fn cache_compression(ratio: f64) -> Result<Self, ModelError> {
+        Ok(Technique {
+            kind: TechniqueKind::CacheCompression {
+                ratio: validate_ratio("compression_ratio", ratio)?,
+            },
+        })
+    }
+
+    /// DRAM L2 cache, `density`× denser than SRAM (Section 6.1 cites
+    /// 8×–16× density improvements).
+    ///
+    /// # Errors
+    ///
+    /// Rejects densities below 1 or non-finite.
+    pub fn dram_cache(density: f64) -> Result<Self, ModelError> {
+        Ok(Technique {
+            kind: TechniqueKind::DramCache {
+                density: validate_ratio("dram_density", density)?,
+            },
+        })
+    }
+
+    /// 3D-stacked SRAM cache layers (Section 6.1). The paper analyses
+    /// `layers = 1`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `layers == 0`.
+    pub fn stacked_cache(layers: u32) -> Result<Self, ModelError> {
+        Self::stacked_dram_cache(layers, 1.0)
+    }
+
+    /// 3D-stacked cache layers implemented in DRAM `layer_density`× denser
+    /// than SRAM (the "3D DRAM (8x/16x)" bars of Figure 6). The cache
+    /// sharing the core die stays SRAM unless a separate
+    /// [`Technique::dram_cache`] is also applied.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `layers == 0` and densities below 1.
+    pub fn stacked_dram_cache(layers: u32, layer_density: f64) -> Result<Self, ModelError> {
+        if layers == 0 {
+            return Err(ModelError::InvalidParameter {
+                name: "layers",
+                value: 0.0,
+                constraint: "must be at least 1",
+            });
+        }
+        Ok(Technique {
+            kind: TechniqueKind::StackedCache {
+                layers,
+                layer_density: validate_ratio("layer_density", layer_density)?,
+            },
+        })
+    }
+
+    /// Unused-data filtering keeping only useful words cached
+    /// (Section 6.1); `unused_fraction` of cached data goes unused
+    /// (realistically ~40%).
+    ///
+    /// # Errors
+    ///
+    /// Rejects fractions outside `[0, 1)`.
+    pub fn unused_data_filter(unused_fraction: f64) -> Result<Self, ModelError> {
+        Ok(Technique {
+            kind: TechniqueKind::UnusedDataFilter {
+                unused_fraction: validate_fraction("unused_fraction", unused_fraction)?,
+            },
+        })
+    }
+
+    /// Smaller cores occupying `area_fraction` of a baseline CEA
+    /// (Section 6.1; prior work suggests up to 80× smaller).
+    ///
+    /// # Errors
+    ///
+    /// Rejects fractions outside `(0, 1]`.
+    pub fn smaller_cores(area_fraction: f64) -> Result<Self, ModelError> {
+        if area_fraction.is_finite() && area_fraction > 0.0 && area_fraction <= 1.0 {
+            Ok(Technique {
+                kind: TechniqueKind::SmallerCores { area_fraction },
+            })
+        } else {
+            Err(ModelError::InvalidParameter {
+                name: "area_fraction",
+                value: area_fraction,
+                constraint: "must be in (0, 1]",
+            })
+        }
+    }
+
+    /// Link compression with the given effective-bandwidth ratio
+    /// (Section 6.2; ~2× for commercial workloads).
+    ///
+    /// # Errors
+    ///
+    /// Rejects ratios below 1 or non-finite.
+    pub fn link_compression(ratio: f64) -> Result<Self, ModelError> {
+        Ok(Technique {
+            kind: TechniqueKind::LinkCompression {
+                ratio: validate_ratio("compression_ratio", ratio)?,
+            },
+        })
+    }
+
+    /// Sectored caches fetching only predicted-referenced sectors
+    /// (Section 6.2). Unfilled sectors still occupy cache space, so only
+    /// traffic shrinks.
+    ///
+    /// # Errors
+    ///
+    /// Rejects fractions outside `[0, 1)`.
+    pub fn sectored_cache(unused_fraction: f64) -> Result<Self, ModelError> {
+        Ok(Technique {
+            kind: TechniqueKind::SectoredCache {
+                unused_fraction: validate_fraction("unused_fraction", unused_fraction)?,
+            },
+        })
+    }
+
+    /// Word-sized cache lines (Section 6.3, Equation 12): unused words
+    /// consume neither bus bandwidth nor cache capacity.
+    ///
+    /// # Errors
+    ///
+    /// Rejects fractions outside `[0, 1)`.
+    pub fn small_cache_lines(unused_fraction: f64) -> Result<Self, ModelError> {
+        Ok(Technique {
+            kind: TechniqueKind::SmallCacheLines {
+                unused_fraction: validate_fraction("unused_fraction", unused_fraction)?,
+            },
+        })
+    }
+
+    /// Cache + link compression (Section 6.3): compressed data crosses the
+    /// link *and* stays compressed in the L2.
+    ///
+    /// # Errors
+    ///
+    /// Rejects ratios below 1 or non-finite.
+    pub fn cache_link_compression(ratio: f64) -> Result<Self, ModelError> {
+        Ok(Technique {
+            kind: TechniqueKind::CacheLinkCompression {
+                ratio: validate_ratio("compression_ratio", ratio)?,
+            },
+        })
+    }
+
+    /// The mechanism and parameters behind this technique.
+    pub fn kind(&self) -> TechniqueKind {
+        self.kind
+    }
+
+    /// The paper's taxonomy bucket for this technique.
+    pub fn category(&self) -> Category {
+        match self.kind {
+            TechniqueKind::CacheCompression { .. }
+            | TechniqueKind::DramCache { .. }
+            | TechniqueKind::StackedCache { .. }
+            | TechniqueKind::UnusedDataFilter { .. }
+            | TechniqueKind::SmallerCores { .. } => Category::Indirect,
+            TechniqueKind::LinkCompression { .. } | TechniqueKind::SectoredCache { .. } => {
+                Category::Direct
+            }
+            TechniqueKind::SmallCacheLines { .. } | TechniqueKind::CacheLinkCompression { .. } => {
+                Category::Dual
+            }
+        }
+    }
+
+    /// The short label the paper uses on figure axes (CC, DRAM, 3D, Fltr,
+    /// SmCo, LC, Sect, SmCl, CC/LC).
+    pub fn label(&self) -> &'static str {
+        match self.kind {
+            TechniqueKind::CacheCompression { .. } => "CC",
+            TechniqueKind::DramCache { .. } => "DRAM",
+            TechniqueKind::StackedCache { .. } => "3D",
+            TechniqueKind::UnusedDataFilter { .. } => "Fltr",
+            TechniqueKind::SmallerCores { .. } => "SmCo",
+            TechniqueKind::LinkCompression { .. } => "LC",
+            TechniqueKind::SectoredCache { .. } => "Sect",
+            TechniqueKind::SmallCacheLines { .. } => "SmCl",
+            TechniqueKind::CacheLinkCompression { .. } => "CC/LC",
+        }
+    }
+
+    /// Accumulates this technique's contribution into `effects`.
+    pub fn apply_to(&self, effects: &mut Effects) {
+        match self.kind {
+            TechniqueKind::CacheCompression { ratio } => effects.scale_capacity(ratio),
+            TechniqueKind::DramCache { density } => effects.scale_cache_density(density),
+            TechniqueKind::StackedCache {
+                layers,
+                layer_density,
+            } => {
+                let layer = StackedLayer::new(layer_density)
+                    .expect("validated at technique construction");
+                for _ in 0..layers {
+                    effects.add_stacked_layer(layer);
+                }
+            }
+            TechniqueKind::UnusedDataFilter { unused_fraction } => {
+                effects.scale_capacity(1.0 / (1.0 - unused_fraction));
+            }
+            TechniqueKind::SmallerCores { area_fraction } => {
+                effects.scale_core_size(area_fraction);
+            }
+            TechniqueKind::LinkCompression { ratio } => effects.scale_traffic_divisor(ratio),
+            TechniqueKind::SectoredCache { unused_fraction } => {
+                effects.scale_traffic_divisor(1.0 / (1.0 - unused_fraction));
+            }
+            TechniqueKind::SmallCacheLines { unused_fraction } => {
+                let factor = 1.0 / (1.0 - unused_fraction);
+                effects.scale_capacity(factor);
+                effects.scale_traffic_divisor(factor);
+            }
+            TechniqueKind::CacheLinkCompression { ratio } => {
+                effects.scale_capacity(ratio);
+                effects.scale_traffic_divisor(ratio);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            TechniqueKind::CacheCompression { ratio } => {
+                write!(f, "cache compression ({ratio}x)")
+            }
+            TechniqueKind::DramCache { density } => write!(f, "DRAM cache ({density}x density)"),
+            TechniqueKind::StackedCache {
+                layers,
+                layer_density,
+            } => {
+                if layer_density == 1.0 {
+                    write!(f, "3D-stacked SRAM cache ({layers} layer(s))")
+                } else {
+                    write!(
+                        f,
+                        "3D-stacked DRAM cache ({layers} layer(s), {layer_density}x)"
+                    )
+                }
+            }
+            TechniqueKind::UnusedDataFilter { unused_fraction } => {
+                write!(f, "unused-data filtering ({:.0}%)", unused_fraction * 100.0)
+            }
+            TechniqueKind::SmallerCores { area_fraction } => {
+                write!(f, "smaller cores ({:.0}x smaller)", 1.0 / area_fraction)
+            }
+            TechniqueKind::LinkCompression { ratio } => write!(f, "link compression ({ratio}x)"),
+            TechniqueKind::SectoredCache { unused_fraction } => {
+                write!(f, "sectored cache ({:.0}% unused)", unused_fraction * 100.0)
+            }
+            TechniqueKind::SmallCacheLines { unused_fraction } => {
+                write!(
+                    f,
+                    "small cache lines ({:.0}% unused)",
+                    unused_fraction * 100.0
+                )
+            }
+            TechniqueKind::CacheLinkCompression { ratio } => {
+                write!(f, "cache+link compression ({ratio}x)")
+            }
+        }
+    }
+}
+
+/// Folds a set of techniques into one [`Effects`] record.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_model::techniques::{combine, Technique};
+///
+/// let set = [
+///     Technique::cache_link_compression(2.0)?,
+///     Technique::small_cache_lines(0.4)?,
+/// ];
+/// let e = combine(&set);
+/// // Direct reduction: 2 × 1/(1-0.4) = 3.33× → 70% less traffic.
+/// assert!((e.traffic_divisor() - 2.0 / 0.6).abs() < 1e-12);
+/// # Ok::<(), bandwall_model::ModelError>(())
+/// ```
+pub fn combine(techniques: &[Technique]) -> Effects {
+    let mut effects = Effects::none();
+    for t in techniques {
+        t.apply_to(&mut effects);
+    }
+    effects
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validation() {
+        assert!(Technique::cache_compression(0.9).is_err());
+        assert!(Technique::cache_compression(1.0).is_ok());
+        assert!(Technique::dram_cache(f64::NAN).is_err());
+        assert!(Technique::stacked_cache(0).is_err());
+        assert!(Technique::stacked_dram_cache(1, 0.5).is_err());
+        assert!(Technique::unused_data_filter(1.0).is_err());
+        assert!(Technique::unused_data_filter(-0.1).is_err());
+        assert!(Technique::unused_data_filter(0.0).is_ok());
+        assert!(Technique::smaller_cores(0.0).is_err());
+        assert!(Technique::smaller_cores(1.5).is_err());
+        assert!(Technique::smaller_cores(1.0).is_ok());
+        assert!(Technique::link_compression(0.5).is_err());
+        assert!(Technique::sectored_cache(0.99).is_ok());
+        assert!(Technique::small_cache_lines(1.0).is_err());
+        assert!(Technique::cache_link_compression(2.0).is_ok());
+    }
+
+    #[test]
+    fn categories_match_paper() {
+        assert_eq!(
+            Technique::cache_compression(2.0).unwrap().category(),
+            Category::Indirect
+        );
+        assert_eq!(
+            Technique::dram_cache(8.0).unwrap().category(),
+            Category::Indirect
+        );
+        assert_eq!(
+            Technique::stacked_cache(1).unwrap().category(),
+            Category::Indirect
+        );
+        assert_eq!(
+            Technique::unused_data_filter(0.4).unwrap().category(),
+            Category::Indirect
+        );
+        assert_eq!(
+            Technique::smaller_cores(0.025).unwrap().category(),
+            Category::Indirect
+        );
+        assert_eq!(
+            Technique::link_compression(2.0).unwrap().category(),
+            Category::Direct
+        );
+        assert_eq!(
+            Technique::sectored_cache(0.4).unwrap().category(),
+            Category::Direct
+        );
+        assert_eq!(
+            Technique::small_cache_lines(0.4).unwrap().category(),
+            Category::Dual
+        );
+        assert_eq!(
+            Technique::cache_link_compression(2.0).unwrap().category(),
+            Category::Dual
+        );
+    }
+
+    #[test]
+    fn labels_match_figure_axes() {
+        let labels: Vec<&str> = [
+            Technique::cache_compression(2.0).unwrap(),
+            Technique::dram_cache(8.0).unwrap(),
+            Technique::stacked_cache(1).unwrap(),
+            Technique::unused_data_filter(0.4).unwrap(),
+            Technique::smaller_cores(0.025).unwrap(),
+            Technique::link_compression(2.0).unwrap(),
+            Technique::sectored_cache(0.4).unwrap(),
+            Technique::small_cache_lines(0.4).unwrap(),
+            Technique::cache_link_compression(2.0).unwrap(),
+        ]
+        .iter()
+        .map(Technique::label)
+        .collect();
+        assert_eq!(
+            labels,
+            ["CC", "DRAM", "3D", "Fltr", "SmCo", "LC", "Sect", "SmCl", "CC/LC"]
+        );
+    }
+
+    #[test]
+    fn indirect_effects() {
+        let e = combine(&[Technique::cache_compression(2.0).unwrap()]);
+        assert_eq!(e.capacity_factor(), 2.0);
+        assert_eq!(e.traffic_divisor(), 1.0);
+
+        let e = combine(&[Technique::unused_data_filter(0.4).unwrap()]);
+        assert!((e.capacity_factor() - 1.0 / 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direct_effects() {
+        let e = combine(&[Technique::link_compression(3.0).unwrap()]);
+        assert_eq!(e.traffic_divisor(), 3.0);
+        assert_eq!(e.capacity_factor(), 1.0);
+
+        let e = combine(&[Technique::sectored_cache(0.8).unwrap()]);
+        assert!((e.traffic_divisor() - 5.0).abs() < 1e-12);
+        assert_eq!(e.capacity_factor(), 1.0);
+    }
+
+    #[test]
+    fn dual_effects() {
+        let e = combine(&[Technique::small_cache_lines(0.4).unwrap()]);
+        assert!((e.capacity_factor() - 1.0 / 0.6).abs() < 1e-12);
+        assert!((e.traffic_divisor() - 1.0 / 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combination_is_commutative() {
+        let a = Technique::cache_link_compression(2.0).unwrap();
+        let b = Technique::dram_cache(8.0).unwrap();
+        let c = Technique::stacked_cache(1).unwrap();
+        let d = Technique::small_cache_lines(0.4).unwrap();
+        let forward = combine(&[a, b, c, d]);
+        let backward = combine(&[d, c, b, a]);
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn paper_combined_capacity_claim() {
+        // "3D-stacked DRAM cache, cache compression, and small cache lines
+        // can increase the effective cache capacity by 53×" — capacity per
+        // CEA × die-area doubling when cache dominates.
+        let e = combine(&[
+            Technique::cache_compression(2.0).unwrap(),
+            Technique::dram_cache(8.0).unwrap(),
+            Technique::stacked_cache(1).unwrap(),
+            Technique::small_cache_lines(0.4).unwrap(),
+        ]);
+        // Per-CEA factor: 2 × 8 × 1.667 = 26.7; the stacked layer doubles
+        // the cache area when cache dominates the die, giving ≈53×.
+        let per_cea = e.capacity_factor() * e.cache_density();
+        assert!((per_cea - 80.0 / 3.0).abs() < 1e-9);
+        let with_layer = per_cea * 2.0;
+        assert!(with_layer > 50.0 && with_layer < 56.0, "{with_layer}");
+        // Indirect traffic reduction at α = 0.5: 1 - 53^-0.5 ≈ 86%
+        // (the paper quotes 84% for its exact area split).
+        let reduction = 1.0 - with_layer.powf(-0.5);
+        assert!(reduction > 0.83 && reduction < 0.88, "{reduction}");
+    }
+
+    #[test]
+    fn display_mentions_parameters() {
+        assert!(Technique::dram_cache(8.0).unwrap().to_string().contains('8'));
+        assert!(Technique::smaller_cores(1.0 / 80.0)
+            .unwrap()
+            .to_string()
+            .contains("80"));
+        assert!(Technique::stacked_dram_cache(1, 16.0)
+            .unwrap()
+            .to_string()
+            .contains("16"));
+        assert!(Technique::stacked_cache(1)
+            .unwrap()
+            .to_string()
+            .contains("SRAM"));
+    }
+
+    #[test]
+    fn category_display() {
+        assert_eq!(Category::Indirect.to_string(), "indirect");
+        assert_eq!(Category::Direct.to_string(), "direct");
+        assert_eq!(Category::Dual.to_string(), "dual");
+    }
+}

@@ -1,0 +1,261 @@
+//! Throughput under a saturated bandwidth envelope (the Section 1
+//! argument, made quantitative).
+//!
+//! The paper's introduction argues: *"If the provided off-chip memory
+//! bandwidth cannot sustain the rate at which memory requests are
+//! generated, then the extra queuing delay for memory requests will force
+//! the performance of the cores to decline until the rate of memory
+//! requests matches the available off-chip bandwidth. At that point,
+//! adding more cores no longer yields any additional throughput."*
+//!
+//! [`ThroughputModel`] captures exactly that: chip throughput rises
+//! linearly with core count while the generated traffic fits the
+//! envelope, then plateaus at the bandwidth-bound level — cores beyond
+//! the [`crate::ScalingProblem`] crossover stall on the memory queue and
+//! contribute nothing.
+
+use crate::error::ModelError;
+use crate::params::Baseline;
+use crate::scaling::ScalingProblem;
+use crate::techniques::Technique;
+
+/// One point of the throughput curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputPoint {
+    /// Number of cores on the chip.
+    pub cores: u64,
+    /// Traffic the cores *want* to generate, relative to the envelope
+    /// (>1 = saturated).
+    pub demand_ratio: f64,
+    /// Chip throughput relative to one unthrottled baseline core.
+    pub throughput: f64,
+    /// Per-core throughput (1.0 = unthrottled).
+    pub per_core_throughput: f64,
+    /// Fraction of the bandwidth envelope in use.
+    pub bandwidth_utilization: f64,
+}
+
+/// Chip throughput as a function of core count under a fixed bandwidth
+/// envelope.
+///
+/// Performance is assumed memory-bound at the margin: when the generated
+/// traffic exceeds the envelope, cores are throttled by the ratio, which
+/// is the steady state the paper describes (requests are queued until the
+/// issue rate matches the service rate).
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_model::{Baseline, ThroughputModel};
+///
+/// let model = ThroughputModel::new(Baseline::niagara2_like(), 32.0);
+/// let curve = model.curve(1..=28)?;
+/// // Throughput grows while the envelope has headroom…
+/// assert!(curve[9].throughput > curve[5].throughput);
+/// // …but the 28-core point is no better than ~the saturation plateau.
+/// let plateau = model.plateau_throughput()?;
+/// assert!(curve.last().unwrap().throughput <= plateau * 1.01);
+/// # Ok::<(), bandwall_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputModel {
+    problem: ScalingProblem,
+}
+
+impl ThroughputModel {
+    /// Creates a throughput model for a die of `total_ceas` under a
+    /// constant envelope.
+    pub fn new(baseline: Baseline, total_ceas: f64) -> Self {
+        ThroughputModel {
+            problem: ScalingProblem::new(baseline, total_ceas),
+        }
+    }
+
+    /// Wraps an existing scaling problem (inherits its techniques and
+    /// bandwidth growth).
+    pub fn from_problem(problem: ScalingProblem) -> Self {
+        ThroughputModel { problem }
+    }
+
+    /// Adds a technique (delegates to the underlying problem).
+    #[must_use]
+    pub fn with_technique(mut self, technique: Technique) -> Self {
+        self.problem = self.problem.with_technique(technique);
+        self
+    }
+
+    /// The underlying scaling problem.
+    pub fn problem(&self) -> &ScalingProblem {
+        &self.problem
+    }
+
+    /// Evaluates one core count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates domain errors from the traffic model (e.g. no cache
+    /// area left).
+    pub fn at(&self, cores: u64) -> Result<ThroughputPoint, ModelError> {
+        let envelope = self.problem.bandwidth_growth();
+        let demand = self.problem.relative_traffic(cores)?;
+        let demand_ratio = demand / envelope;
+        // Saturated cores are throttled until issue rate == service rate.
+        let per_core = demand_ratio.max(1.0).recip();
+        Ok(ThroughputPoint {
+            cores,
+            demand_ratio,
+            throughput: cores as f64 * per_core,
+            per_core_throughput: per_core,
+            bandwidth_utilization: demand_ratio.min(1.0),
+        })
+    }
+
+    /// The whole curve over a range of core counts, skipping infeasible
+    /// points (no cache area).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only if *no* point in the range is feasible.
+    pub fn curve(
+        &self,
+        cores: impl IntoIterator<Item = u64>,
+    ) -> Result<Vec<ThroughputPoint>, ModelError> {
+        let points: Vec<ThroughputPoint> = cores
+            .into_iter()
+            .filter_map(|p| self.at(p).ok())
+            .collect();
+        if points.is_empty() {
+            return Err(ModelError::Infeasible);
+        }
+        Ok(points)
+    }
+
+    /// Throughput at the exact saturation point — the plateau every
+    /// additional core converges to. Equal to the crossover core count
+    /// (each running unthrottled).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn plateau_throughput(&self) -> Result<f64, ModelError> {
+        self.problem.crossover_cores()
+    }
+
+    /// The whole-core count that maximises chip throughput — the
+    /// *balanced design*. Throughput rises linearly with cores below the
+    /// crossover and declines beyond it (excess cores eat cache and raise
+    /// per-core demand), so the optimum straddles the crossover.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn optimal_cores(&self) -> Result<u64, ModelError> {
+        let below = self.problem.max_supportable_cores()?;
+        let candidates = [below, below + 1];
+        let mut best = (below, 0.0f64);
+        for p in candidates {
+            if let Ok(point) = self.at(p) {
+                if point.throughput > best.1 {
+                    best = (p, point.throughput);
+                }
+            }
+        }
+        Ok(best.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ThroughputModel {
+        ThroughputModel::new(Baseline::niagara2_like(), 32.0)
+    }
+
+    #[test]
+    fn linear_region_below_crossover() {
+        let m = model();
+        for cores in 1..=11 {
+            let p = m.at(cores).unwrap();
+            assert!(p.demand_ratio <= 1.0 + 1e-9, "cores {cores}");
+            assert!((p.throughput - cores as f64).abs() < 1e-9);
+            assert_eq!(p.per_core_throughput, 1.0);
+        }
+    }
+
+    #[test]
+    fn saturated_region_plateaus() {
+        let m = model();
+        let plateau = m.plateau_throughput().unwrap();
+        for cores in [13u64, 16, 20, 24, 28] {
+            let p = m.at(cores).unwrap();
+            assert!(p.per_core_throughput < 1.0, "cores {cores}");
+            // Throughput never exceeds the plateau…
+            assert!(p.throughput <= plateau + 1e-9, "cores {cores}");
+            assert!((p.bandwidth_utilization - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn throughput_declines_beyond_saturation() {
+        // Worse than flat: excess cores steal cache area, raising per-core
+        // demand, so total throughput actually *falls* past the crossover
+        // — the paper's "could have been allocated for more productive
+        // use" remark.
+        let m = model();
+        let at_crossover = m.at(11).unwrap().throughput;
+        let far_beyond = m.at(28).unwrap().throughput;
+        assert!(far_beyond < at_crossover, "{far_beyond} vs {at_crossover}");
+    }
+
+    #[test]
+    fn techniques_raise_the_plateau() {
+        let base = model().plateau_throughput().unwrap();
+        let with_lc = model()
+            .with_technique(Technique::link_compression(2.0).unwrap())
+            .plateau_throughput()
+            .unwrap();
+        assert!(with_lc > base * 1.3);
+    }
+
+    #[test]
+    fn curve_skips_infeasible_points() {
+        let m = model();
+        let curve = m.curve(1..=40).unwrap();
+        // Points at 32+ cores have no cache and are skipped.
+        assert!(curve.iter().all(|p| p.cores < 32));
+    }
+
+    #[test]
+    fn utilization_below_one_in_linear_region() {
+        let p = model().at(8).unwrap();
+        assert!(p.bandwidth_utilization < 1.0);
+        assert!((p.demand_ratio - p.bandwidth_utilization).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_cores_straddles_the_crossover() {
+        let m = model();
+        let optimal = m.optimal_cores().unwrap();
+        let crossover = m.plateau_throughput().unwrap();
+        assert!(
+            (optimal as f64 - crossover).abs() <= 1.0,
+            "optimal {optimal} vs crossover {crossover}"
+        );
+        // The optimum beats both neighbours.
+        let best = m.at(optimal).unwrap().throughput;
+        if optimal > 1 {
+            assert!(m.at(optimal - 1).unwrap().throughput <= best + 1e-12);
+        }
+        assert!(m.at(optimal + 1).unwrap().throughput <= best + 1e-12);
+    }
+
+    #[test]
+    fn from_problem_inherits_configuration() {
+        let problem = ScalingProblem::new(Baseline::niagara2_like(), 32.0)
+            .with_bandwidth_growth(2.0);
+        let m = ThroughputModel::from_problem(problem);
+        // Envelope of 2 lifts the linear region to 16 cores.
+        assert_eq!(m.at(16).unwrap().per_core_throughput, 1.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! The CMP memory-traffic model (Section 4.2, Equations 3–5).
+//!
+//! Total chip traffic for a constant amount of work is
+//! `M = P · M0 · (S/S0)^-α` (Equation 3): every core contributes the
+//! per-core power law independently (threads are assumed not to share data;
+//! the relaxation lives in [`crate::sharing`]). Comparing two
+//! configurations, the baseline-specific constants cancel and
+//! `M2/M1 = (P2/P1) · (S2/S1)^-α` (Equation 5).
+
+use crate::error::ModelError;
+use crate::params::Baseline;
+
+/// Relative-traffic calculator anchored at a [`Baseline`].
+///
+/// # Examples
+///
+/// The worked example of Section 4.2: starting from 8 cores with 1 CEA of
+/// cache each, reallocating 4 cache CEAs into 4 extra cores (12 cores,
+/// S₂ = 1/3) multiplies traffic by ≈2.6×.
+///
+/// ```
+/// use bandwall_model::{Baseline, TrafficModel};
+///
+/// let model = TrafficModel::new(Baseline::niagara2_like());
+/// let ratio = model.relative_traffic(12.0, 1.0 / 3.0)?;
+/// assert!((ratio - 2.598).abs() < 1e-3);
+///
+/// // Decomposition: 1.5× from more cores, 1.73× from less cache per core.
+/// let (core_term, cache_term) = model.traffic_decomposition(12.0, 1.0 / 3.0)?;
+/// assert!((core_term - 1.5).abs() < 1e-12);
+/// assert!((cache_term - 1.732).abs() < 1e-3);
+/// # Ok::<(), bandwall_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficModel {
+    baseline: Baseline,
+}
+
+impl TrafficModel {
+    /// Creates a traffic model for comparisons against `baseline`.
+    pub fn new(baseline: Baseline) -> Self {
+        TrafficModel { baseline }
+    }
+
+    /// The baseline this model compares against.
+    pub fn baseline(&self) -> &Baseline {
+        &self.baseline
+    }
+
+    /// Traffic of a configuration with `cores` cores and `cache_per_core`
+    /// CEAs of cache per core, relative to the baseline (Equation 5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] unless both arguments are
+    /// finite and strictly positive.
+    pub fn relative_traffic(&self, cores: f64, cache_per_core: f64) -> Result<f64, ModelError> {
+        let (core_term, cache_term) = self.traffic_decomposition(cores, cache_per_core)?;
+        Ok(core_term * cache_term)
+    }
+
+    /// Splits the relative traffic into its two factors: the core-count
+    /// term `P2/P1` and the cache-dampening term `(S2/S1)^-α`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TrafficModel::relative_traffic`].
+    pub fn traffic_decomposition(
+        &self,
+        cores: f64,
+        cache_per_core: f64,
+    ) -> Result<(f64, f64), ModelError> {
+        if !(cores.is_finite() && cores > 0.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "cores",
+                value: cores,
+                constraint: "must be finite and positive",
+            });
+        }
+        if !(cache_per_core.is_finite() && cache_per_core > 0.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "cache_per_core",
+                value: cache_per_core,
+                constraint: "must be finite and positive",
+            });
+        }
+        let core_term = cores / self.baseline.cores();
+        let cache_term = self
+            .baseline
+            .alpha()
+            .dampen(cache_per_core / self.baseline.cache_per_core());
+        Ok((core_term, cache_term))
+    }
+
+    /// Relative traffic for a die of `total_ceas` CEAs split as `cores`
+    /// cores and `total_ceas - cores` cache (the Figure 2 curve).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NoCacheArea`] when `cores >= total_ceas` and
+    /// propagates parameter validation errors.
+    pub fn relative_traffic_on_die(&self, total_ceas: f64, cores: f64) -> Result<f64, ModelError> {
+        let cache = total_ceas - cores;
+        if cache <= 0.0 {
+            return Err(ModelError::NoCacheArea {
+                cores: cores as u64,
+                total_ceas,
+            });
+        }
+        self.relative_traffic(cores, cache / cores)
+    }
+
+    /// Absolute traffic (per unit of work) for `cores` cores with
+    /// `cache_per_core` cache each, given the baseline per-core traffic
+    /// `base_traffic_per_core` (Equation 3).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TrafficModel::relative_traffic`], plus rejects a
+    /// non-finite or negative `base_traffic_per_core`.
+    pub fn absolute_traffic(
+        &self,
+        cores: f64,
+        cache_per_core: f64,
+        base_traffic_per_core: f64,
+    ) -> Result<f64, ModelError> {
+        if !(base_traffic_per_core.is_finite() && base_traffic_per_core >= 0.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "base_traffic_per_core",
+                value: base_traffic_per_core,
+                constraint: "must be finite and non-negative",
+            });
+        }
+        let ratio = self.relative_traffic(cores, cache_per_core)?;
+        Ok(ratio * self.baseline.cores() * base_traffic_per_core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Alpha;
+
+    fn model() -> TrafficModel {
+        TrafficModel::new(Baseline::niagara2_like())
+    }
+
+    #[test]
+    fn baseline_configuration_has_unit_traffic() {
+        let m = model();
+        assert!((m.relative_traffic(8.0, 1.0).unwrap() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn section_4_2_worked_example() {
+        // 12 cores, 4 CEAs of cache → S2 = 1/3; traffic 2.6× the baseline.
+        let m = model();
+        let ratio = m.relative_traffic(12.0, (8.0 - 4.0) / 12.0).unwrap();
+        assert!((ratio - 2.5981).abs() < 1e-4, "ratio = {ratio}");
+        let (cores, cache) = m.traffic_decomposition(12.0, 1.0 / 3.0).unwrap();
+        assert!((cores - 1.5).abs() < 1e-12);
+        assert!((cache - 3f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn doubling_cores_and_cache_doubles_traffic() {
+        // "Doubling the number of cores and the amount of cache ... results
+        // in a corresponding doubling of off-chip memory traffic."
+        let m = model();
+        let ratio = m.relative_traffic(16.0, 1.0).unwrap();
+        assert!((ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure2_crossover_is_at_11_cores() {
+        let m = model();
+        // 11 cores on a 32-CEA die still fits the envelope; 12 does not.
+        assert!(m.relative_traffic_on_die(32.0, 11.0).unwrap() <= 1.0);
+        assert!(m.relative_traffic_on_die(32.0, 12.0).unwrap() > 1.0);
+    }
+
+    #[test]
+    fn traffic_monotone_in_cores_on_fixed_die() {
+        let m = model();
+        let mut last = 0.0;
+        for p in 1..=28 {
+            let t = m.relative_traffic_on_die(32.0, p as f64).unwrap();
+            assert!(t > last, "traffic not increasing at P = {p}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn no_cache_area_rejected() {
+        let m = model();
+        assert!(matches!(
+            m.relative_traffic_on_die(32.0, 32.0).unwrap_err(),
+            ModelError::NoCacheArea { .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let m = model();
+        assert!(m.relative_traffic(0.0, 1.0).is_err());
+        assert!(m.relative_traffic(8.0, 0.0).is_err());
+        assert!(m.relative_traffic(f64::NAN, 1.0).is_err());
+        assert!(m.absolute_traffic(8.0, 1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn absolute_traffic_scales_with_base_rate() {
+        let m = model();
+        let t = m.absolute_traffic(8.0, 1.0, 0.05).unwrap();
+        assert!((t - 8.0 * 0.05).abs() < 1e-12);
+        let t2 = m.absolute_traffic(16.0, 1.0, 0.05).unwrap();
+        assert!((t2 - 2.0 * t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_dampens_cache_benefit() {
+        let low = TrafficModel::new(Baseline::niagara2_like().with_alpha(Alpha::SPEC2006));
+        let high = TrafficModel::new(Baseline::niagara2_like().with_alpha(Alpha::COMMERCIAL_MAX));
+        // Same configuration, more cache per core: high α benefits more.
+        let rl = low.relative_traffic(8.0, 4.0).unwrap();
+        let rh = high.relative_traffic(8.0, 4.0).unwrap();
+        assert!(rh < rl);
+    }
+}

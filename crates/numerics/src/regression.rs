@@ -1,0 +1,292 @@
+//! Least-squares fitting: ordinary linear regression and the log–log
+//! power-law fit used to estimate the cache-sensitivity exponent `α`.
+//!
+//! The paper (Figure 1) fits `m = m0 · (C/C0)^-α` through measured miss
+//! rates; in log–log space that is a straight line with slope `-α`. The
+//! [`PowerLawFit`] type performs exactly this transformation and reports the
+//! goodness of fit (`R²`) so callers can tell power-law-conforming workloads
+//! from discrete-working-set ones (which the paper notes fit less well).
+
+use std::fmt;
+
+/// Errors produced by the fitting routines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegressionError {
+    /// Fewer than two points were supplied.
+    TooFewPoints,
+    /// `xs` and `ys` had different lengths.
+    LengthMismatch,
+    /// All x values were identical, so the slope is undefined.
+    DegenerateX,
+    /// A point was non-finite, or non-positive where a logarithm is needed.
+    InvalidPoint,
+}
+
+impl fmt::Display for RegressionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            RegressionError::TooFewPoints => "need at least two data points",
+            RegressionError::LengthMismatch => "x and y slices have different lengths",
+            RegressionError::DegenerateX => "all x values identical; slope undefined",
+            RegressionError::InvalidPoint => {
+                "data point not finite (or not positive for a log-log fit)"
+            }
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for RegressionError {}
+
+/// Result of an ordinary least-squares straight-line fit `y = slope·x + intercept`.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_numerics::regression::LinearFit;
+///
+/// let fit = LinearFit::fit(&[0.0, 1.0, 2.0], &[1.0, 3.0, 5.0]).unwrap();
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// assert!((fit.r_squared - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (1 = perfect fit).
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Fits `y = slope·x + intercept` by ordinary least squares.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegressionError`] if fewer than two points are supplied,
+    /// the slices differ in length, any value is non-finite, or all `x`
+    /// values coincide.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self, RegressionError> {
+        if xs.len() != ys.len() {
+            return Err(RegressionError::LengthMismatch);
+        }
+        if xs.len() < 2 {
+            return Err(RegressionError::TooFewPoints);
+        }
+        if xs.iter().chain(ys).any(|v| !v.is_finite()) {
+            return Err(RegressionError::InvalidPoint);
+        }
+        let n = xs.len() as f64;
+        let mean_x = xs.iter().sum::<f64>() / n;
+        let mean_y = ys.iter().sum::<f64>() / n;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        let mut syy = 0.0;
+        for (&x, &y) in xs.iter().zip(ys) {
+            let dx = x - mean_x;
+            let dy = y - mean_y;
+            sxx += dx * dx;
+            sxy += dx * dy;
+            syy += dy * dy;
+        }
+        if sxx == 0.0 {
+            return Err(RegressionError::DegenerateX);
+        }
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+        // R² = 1 - SS_res / SS_tot; define a constant-y dataset as perfectly fit.
+        let r_squared = if syy == 0.0 {
+            1.0
+        } else {
+            let ss_res = syy - slope * sxy;
+            (1.0 - ss_res / syy).clamp(0.0, 1.0)
+        };
+        Ok(LinearFit {
+            slope,
+            intercept,
+            r_squared,
+        })
+    }
+
+    /// Evaluates the fitted line at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Result of fitting a power law `y = scale · x^-alpha` in log–log space.
+///
+/// `alpha` is reported with the sign convention of the paper: a *positive*
+/// `alpha` means `y` decreases with `x` (miss rate falls as cache grows).
+/// Hartstein et al. observed `alpha` between 0.3 and 0.7 with average 0.5
+/// (the "√2 rule"); the paper's commercial workloads span 0.36–0.62.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_numerics::regression::PowerLawFit;
+///
+/// let sizes = [8.0, 16.0, 32.0, 64.0, 128.0]; // cache sizes (KB)
+/// let rates: Vec<f64> = sizes.iter().map(|c| 0.2 * (c / 8.0f64).powf(-0.48)).collect();
+/// let fit = PowerLawFit::fit(&sizes, &rates).unwrap();
+/// assert!((fit.alpha - 0.48).abs() < 1e-9);
+/// assert!((fit.predict(256.0) - 0.2 * (256.0f64 / 8.0).powf(-0.48)).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawFit {
+    /// Decay exponent (positive when `y` falls with `x`).
+    pub alpha: f64,
+    /// Multiplicative scale: the fitted `y` at `x = 1`.
+    pub scale: f64,
+    /// Coefficient of determination of the underlying log–log linear fit.
+    pub r_squared: f64,
+}
+
+impl PowerLawFit {
+    /// Fits `y = scale · x^-alpha` by least squares on `(ln x, ln y)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegressionError::InvalidPoint`] if any `x` or `y` is not
+    /// strictly positive and finite, plus the same failure modes as
+    /// [`LinearFit::fit`].
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self, RegressionError> {
+        if xs.len() != ys.len() {
+            return Err(RegressionError::LengthMismatch);
+        }
+        if xs.iter().chain(ys).any(|&v| !(v.is_finite() && v > 0.0)) {
+            return Err(RegressionError::InvalidPoint);
+        }
+        let log_x: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+        let log_y: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+        let line = LinearFit::fit(&log_x, &log_y)?;
+        Ok(PowerLawFit {
+            alpha: -line.slope,
+            scale: line.intercept.exp(),
+            r_squared: line.r_squared,
+        })
+    }
+
+    /// Evaluates the fitted power law at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic; for `x <= 0` the result is NaN, mirroring `powf`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.scale * x.powf(-self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| -3.5 * x + 0.25).collect();
+        let fit = LinearFit::fit(&xs, &ys).unwrap();
+        assert!((fit.slope + 3.5).abs() < 1e-12);
+        assert!((fit.intercept - 0.25).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_r_squared_below_one_for_noise() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let ys = [0.1, 0.9, 2.2, 2.8, 4.3];
+        let fit = LinearFit::fit(&xs, &ys).unwrap();
+        assert!(fit.r_squared > 0.9 && fit.r_squared < 1.0);
+    }
+
+    #[test]
+    fn linear_fit_constant_y_is_perfect() {
+        let fit = LinearFit::fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn linear_fit_rejects_bad_input() {
+        assert_eq!(
+            LinearFit::fit(&[1.0], &[1.0]).unwrap_err(),
+            RegressionError::TooFewPoints
+        );
+        assert_eq!(
+            LinearFit::fit(&[1.0, 2.0], &[1.0]).unwrap_err(),
+            RegressionError::LengthMismatch
+        );
+        assert_eq!(
+            LinearFit::fit(&[2.0, 2.0], &[1.0, 3.0]).unwrap_err(),
+            RegressionError::DegenerateX
+        );
+        assert_eq!(
+            LinearFit::fit(&[1.0, f64::NAN], &[1.0, 2.0]).unwrap_err(),
+            RegressionError::InvalidPoint
+        );
+    }
+
+    #[test]
+    fn power_law_recovers_alpha_half() {
+        // The √2 rule: doubling the cache reduces misses by √2.
+        let sizes = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+        let rates: Vec<f64> = sizes.iter().map(|&c: &f64| 0.05 * c.powf(-0.5)).collect();
+        let fit = PowerLawFit::fit(&sizes, &rates).unwrap();
+        assert!((fit.alpha - 0.5).abs() < 1e-12);
+        assert!((fit.scale - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_law_rejects_nonpositive() {
+        assert_eq!(
+            PowerLawFit::fit(&[1.0, 0.0], &[1.0, 1.0]).unwrap_err(),
+            RegressionError::InvalidPoint
+        );
+        assert_eq!(
+            PowerLawFit::fit(&[1.0, 2.0], &[1.0, -0.5]).unwrap_err(),
+            RegressionError::InvalidPoint
+        );
+    }
+
+    #[test]
+    fn power_law_survives_multiplicative_noise() {
+        // ±5% deterministic "noise" should barely move alpha.
+        let sizes: Vec<f64> = (0..10).map(|i| 2f64.powi(i)).collect();
+        let rates: Vec<f64> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let noise = if i % 2 == 0 { 1.05 } else { 0.95 };
+                0.1 * c.powf(-0.4) * noise
+            })
+            .collect();
+        let fit = PowerLawFit::fit(&sizes, &rates).unwrap();
+        assert!((fit.alpha - 0.4).abs() < 0.02, "alpha = {}", fit.alpha);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn power_law_predict_round_trip() {
+        let fit = PowerLawFit {
+            alpha: 0.62,
+            scale: 0.3,
+            r_squared: 1.0,
+        };
+        let x = 7.0f64;
+        assert!((fit.predict(x) - 0.3 * x.powf(-0.62)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            RegressionError::TooFewPoints,
+            RegressionError::LengthMismatch,
+            RegressionError::DegenerateX,
+            RegressionError::InvalidPoint,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! Bracketing root finders: bisection and Brent's method.
+//!
+//! Both finders require a bracket `[a, b]` with `f(a)` and `f(b)` of opposite
+//! sign (or one endpoint already a root) and converge to a point where the
+//! function crosses zero. Brent's method combines inverse quadratic
+//! interpolation, the secant step, and bisection, and is the default solver
+//! for the traffic-model crossovers in `bandwall-model`.
+
+use std::fmt;
+
+/// Convergence control for the root finders.
+///
+/// A solver stops when the bracket width falls below
+/// `abs + rel * |x|` or when `|f(x)| <= f_abs`, whichever happens first,
+/// and fails with [`RootError::MaxIterations`] after `max_iterations` steps.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_numerics::roots::Tolerance;
+///
+/// let tol = Tolerance::default();
+/// assert!(tol.abs > 0.0);
+/// let tight = Tolerance { abs: 1e-15, ..Tolerance::default() };
+/// assert!(tight.abs < tol.abs);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Absolute tolerance on the bracket width.
+    pub abs: f64,
+    /// Relative tolerance on the bracket width.
+    pub rel: f64,
+    /// Absolute tolerance on the residual `|f(x)|`.
+    pub f_abs: f64,
+    /// Iteration cap before giving up.
+    pub max_iterations: u32,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance {
+            abs: 1e-12,
+            rel: 4.0 * f64::EPSILON,
+            f_abs: 0.0,
+            max_iterations: 200,
+        }
+    }
+}
+
+impl Tolerance {
+    /// Width threshold at point `x`.
+    fn width_at(&self, x: f64) -> f64 {
+        self.abs + self.rel * x.abs()
+    }
+}
+
+/// Failure modes of the bracketing root finders.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RootError {
+    /// `f(a)` and `f(b)` have the same sign, so the bracket is invalid.
+    NoSignChange {
+        /// Function value at the left endpoint.
+        fa: f64,
+        /// Function value at the right endpoint.
+        fb: f64,
+    },
+    /// The bracket `[a, b]` was empty or reversed (`a >= b`), or an endpoint
+    /// was not finite.
+    InvalidBracket {
+        /// Left endpoint supplied by the caller.
+        a: f64,
+        /// Right endpoint supplied by the caller.
+        b: f64,
+    },
+    /// The function returned a non-finite value inside the bracket.
+    NonFiniteValue {
+        /// Point at which the function was evaluated.
+        x: f64,
+    },
+    /// The iteration cap was reached before convergence.
+    MaxIterations {
+        /// Best estimate when the solver gave up.
+        best: f64,
+    },
+}
+
+impl fmt::Display for RootError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RootError::NoSignChange { fa, fb } => {
+                write!(f, "no sign change over bracket (f(a) = {fa}, f(b) = {fb})")
+            }
+            RootError::InvalidBracket { a, b } => {
+                write!(f, "invalid bracket [{a}, {b}]")
+            }
+            RootError::NonFiniteValue { x } => {
+                write!(f, "function value not finite at x = {x}")
+            }
+            RootError::MaxIterations { best } => {
+                write!(f, "iteration cap reached (best estimate {best})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RootError {}
+
+fn check_bracket(a: f64, b: f64) -> Result<(), RootError> {
+    if !(a.is_finite() && b.is_finite()) || a >= b {
+        return Err(RootError::InvalidBracket { a, b });
+    }
+    Ok(())
+}
+
+/// Finds a root of `f` in `[a, b]` by bisection.
+///
+/// Bisection is robust but linearly convergent; prefer [`brent`] unless the
+/// function is extremely ill-behaved.
+///
+/// # Errors
+///
+/// Returns [`RootError::InvalidBracket`] if `a >= b` or an endpoint is not
+/// finite, [`RootError::NoSignChange`] if `f(a)` and `f(b)` have the same
+/// sign, [`RootError::NonFiniteValue`] if `f` produces a NaN/infinity, and
+/// [`RootError::MaxIterations`] on failure to converge.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_numerics::roots::{bisect, Tolerance};
+///
+/// let root = bisect(|x| x.powi(3) - 1.0, 0.0, 2.0, Tolerance::default()).unwrap();
+/// assert!((root - 1.0).abs() < 1e-10);
+/// ```
+pub fn bisect<F>(mut f: F, a: f64, b: f64, tol: Tolerance) -> Result<f64, RootError>
+where
+    F: FnMut(f64) -> f64,
+{
+    check_bracket(a, b)?;
+    let (mut lo, mut hi) = (a, b);
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if !flo.is_finite() {
+        return Err(RootError::NonFiniteValue { x: lo });
+    }
+    if !fhi.is_finite() {
+        return Err(RootError::NonFiniteValue { x: hi });
+    }
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(RootError::NoSignChange { fa: flo, fb: fhi });
+    }
+    for _ in 0..tol.max_iterations {
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        if !fmid.is_finite() {
+            return Err(RootError::NonFiniteValue { x: mid });
+        }
+        if fmid == 0.0 || fmid.abs() <= tol.f_abs || (hi - lo) <= tol.width_at(mid) {
+            return Ok(mid);
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    Err(RootError::MaxIterations {
+        best: 0.5 * (lo + hi),
+    })
+}
+
+/// Finds a root of `f` in `[a, b]` using Brent's method.
+///
+/// This is the classic Brent (1973) combination of inverse quadratic
+/// interpolation, the secant rule, and bisection: superlinear on smooth
+/// functions, never worse than bisection.
+///
+/// # Errors
+///
+/// Same failure modes as [`bisect`].
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_numerics::roots::{brent, Tolerance};
+///
+/// // Traffic-model-shaped function: (p/8)·((32-p)/p)^-0.5 - 1 crosses
+/// // zero a little above 11 cores.
+/// let f = |p: f64| (p / 8.0) * ((32.0 - p) / p).powf(-0.5) - 1.0;
+/// let crossover = brent(f, 1.0, 28.0, Tolerance::default()).unwrap();
+/// assert!(crossover > 11.0 && crossover < 12.0);
+/// ```
+pub fn brent<F>(mut f: F, a: f64, b: f64, tol: Tolerance) -> Result<f64, RootError>
+where
+    F: FnMut(f64) -> f64,
+{
+    check_bracket(a, b)?;
+    let (mut xa, mut xb) = (a, b);
+    let mut fa = f(xa);
+    let mut fb = f(xb);
+    if !fa.is_finite() {
+        return Err(RootError::NonFiniteValue { x: xa });
+    }
+    if !fb.is_finite() {
+        return Err(RootError::NonFiniteValue { x: xb });
+    }
+    if fa == 0.0 {
+        return Ok(xa);
+    }
+    if fb == 0.0 {
+        return Ok(xb);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(RootError::NoSignChange { fa, fb });
+    }
+
+    // `xc` is the previous iterate; `[xa, xb]` always brackets the root with
+    // `xb` the best estimate.
+    let (mut xc, mut fc) = (xa, fa);
+    let mut d = xb - xa;
+    let mut e = d;
+
+    for _ in 0..tol.max_iterations {
+        if fb.abs() > fc.abs() {
+            // Ensure `xb` is the best estimate.
+            xa = xb;
+            xb = xc;
+            xc = xa;
+            fa = fb;
+            fb = fc;
+            fc = fa;
+        }
+        let tol1 = 0.5 * tol.width_at(xb).max(2.0 * f64::EPSILON * xb.abs());
+        let xm = 0.5 * (xc - xb);
+        if xm.abs() <= tol1 || fb == 0.0 || fb.abs() <= tol.f_abs {
+            return Ok(xb);
+        }
+        if e.abs() >= tol1 && fa.abs() > fb.abs() {
+            // Attempt interpolation.
+            let s = fb / fa;
+            let (mut p, mut q);
+            if xa == xc {
+                // Secant.
+                p = 2.0 * xm * s;
+                q = 1.0 - s;
+            } else {
+                // Inverse quadratic.
+                let qq = fa / fc;
+                let r = fb / fc;
+                p = s * (2.0 * xm * qq * (qq - r) - (xb - xa) * (r - 1.0));
+                q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+            }
+            if p > 0.0 {
+                q = -q;
+            }
+            p = p.abs();
+            let min1 = 3.0 * xm * q.abs() - (tol1 * q).abs();
+            let min2 = (e * q).abs();
+            if 2.0 * p < min1.min(min2) {
+                // Interpolation accepted.
+                e = d;
+                d = p / q;
+            } else {
+                // Fall back to bisection.
+                d = xm;
+                e = d;
+            }
+        } else {
+            d = xm;
+            e = d;
+        }
+        xa = xb;
+        fa = fb;
+        if d.abs() > tol1 {
+            xb += d;
+        } else {
+            xb += tol1.copysign(xm);
+        }
+        fb = f(xb);
+        if !fb.is_finite() {
+            return Err(RootError::NonFiniteValue { x: xb });
+        }
+        if (fb > 0.0) == (fc > 0.0) {
+            xc = xa;
+            fc = fa;
+            d = xb - xa;
+            e = d;
+        }
+    }
+    Err(RootError::MaxIterations { best: xb })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, Tolerance::default()).unwrap();
+        assert!((r - 2f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_finds_sqrt2() {
+        let r = brent(|x| x * x - 2.0, 0.0, 2.0, Tolerance::default()).unwrap();
+        assert!((r - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brent_handles_decreasing_function() {
+        let r = brent(|x| 1.0 - x, 0.0, 5.0, Tolerance::default()).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn endpoint_roots_returned_immediately() {
+        assert_eq!(
+            brent(|x| x, 0.0, 1.0, Tolerance::default()).unwrap(),
+            0.0
+        );
+        assert_eq!(
+            brent(|x| x - 1.0, 0.0, 1.0, Tolerance::default()).unwrap(),
+            1.0
+        );
+        assert_eq!(
+            bisect(|x| x, 0.0, 1.0, Tolerance::default()).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn no_sign_change_rejected() {
+        let err = brent(|x| x * x + 1.0, -1.0, 1.0, Tolerance::default()).unwrap_err();
+        assert!(matches!(err, RootError::NoSignChange { .. }));
+        let err = bisect(|x| x * x + 1.0, -1.0, 1.0, Tolerance::default()).unwrap_err();
+        assert!(matches!(err, RootError::NoSignChange { .. }));
+    }
+
+    #[test]
+    fn reversed_bracket_rejected() {
+        let err = brent(|x| x, 1.0, 0.0, Tolerance::default()).unwrap_err();
+        assert!(matches!(err, RootError::InvalidBracket { .. }));
+    }
+
+    #[test]
+    fn non_finite_bracket_rejected() {
+        let err = brent(|x| x, f64::NAN, 1.0, Tolerance::default()).unwrap_err();
+        assert!(matches!(err, RootError::InvalidBracket { .. }));
+        let err = bisect(|x| x, 0.0, f64::INFINITY, Tolerance::default()).unwrap_err();
+        assert!(matches!(err, RootError::InvalidBracket { .. }));
+    }
+
+    #[test]
+    fn non_finite_value_reported() {
+        let err = brent(
+            |x| if x > 0.5 { f64::NAN } else { -1.0 },
+            0.0,
+            1.0,
+            Tolerance::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RootError::NonFiniteValue { .. }));
+    }
+
+    #[test]
+    fn brent_traffic_model_crossover() {
+        // (p/8)·((32-p)/p)^-0.5 = 1 — the paper's base next-generation case.
+        let f = |p: f64| (p / 8.0) * ((32.0 - p) / p).powf(-0.5) - 1.0;
+        let r = brent(f, 1.0, 28.0, Tolerance::default()).unwrap();
+        assert!(r > 11.0 && r < 11.1, "crossover was {r}");
+    }
+
+    #[test]
+    fn brent_agrees_with_bisect() {
+        for (lo, hi, c) in [(0.0, 3.0, 1.7), (0.5, 10.0, 2.3), (0.1, 50.0, 49.0)] {
+            let f = |x: f64| x - c;
+            let rb = brent(f, lo, hi, Tolerance::default()).unwrap();
+            let rs = bisect(f, lo, hi, Tolerance::default()).unwrap();
+            assert!((rb - rs).abs() < 1e-8, "brent {rb} vs bisect {rs}");
+        }
+    }
+
+    #[test]
+    fn error_display_is_nonempty() {
+        let errs: [RootError; 4] = [
+            RootError::NoSignChange { fa: 1.0, fb: 2.0 },
+            RootError::InvalidBracket { a: 1.0, b: 0.0 },
+            RootError::NonFiniteValue { x: 0.5 },
+            RootError::MaxIterations { best: 1.2 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Monotone searches over integer ranges.
+//!
+//! The bandwidth-wall solver repeatedly asks "what is the largest core count
+//! whose traffic still fits the envelope?". Because traffic is monotone in
+//! the core count, this is a predicate-boundary search, implemented here as
+//! a galloping binary search so large ranges (e.g. a 16×-scaled die with
+//! thousands of candidate CEA splits) stay cheap.
+
+/// Returns the largest `x` in `[lo, hi]` with `pred(x)` true, assuming
+/// `pred` is *downward-closed*: if `pred(x)` holds then `pred(y)` holds for
+/// every `lo <= y <= x`.
+///
+/// Returns `None` when `pred(lo)` is false (no satisfying value) or when the
+/// range is empty (`lo > hi`).
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_numerics::search::max_satisfying;
+///
+/// // Largest core count whose traffic ratio stays within the envelope.
+/// let fits = |p: u64| (p as f64 / 8.0) * ((32.0 - p as f64) / p as f64).powf(-0.5) <= 1.0 + 1e-12;
+/// assert_eq!(max_satisfying(1, 28, fits), Some(11));
+/// ```
+pub fn max_satisfying<F>(lo: u64, hi: u64, mut pred: F) -> Option<u64>
+where
+    F: FnMut(u64) -> bool,
+{
+    if lo > hi || !pred(lo) {
+        return None;
+    }
+    // Invariant: pred(best) is true, pred(bad) is false (if bad exists).
+    let (mut best, mut bad) = (lo, None::<u64>);
+    // Gallop up to find an upper failure point quickly.
+    let mut step = 1u64;
+    while bad.is_none() {
+        let candidate = best.saturating_add(step).min(hi);
+        if candidate == best {
+            // Reached hi and it satisfied: everything satisfies.
+            return Some(hi);
+        }
+        if pred(candidate) {
+            best = candidate;
+            if candidate == hi {
+                return Some(hi);
+            }
+            step = step.saturating_mul(2);
+        } else {
+            bad = Some(candidate);
+        }
+    }
+    let mut bad = bad.expect("loop exits only with bad set");
+    while bad - best > 1 {
+        let mid = best + (bad - best) / 2;
+        if pred(mid) {
+            best = mid;
+        } else {
+            bad = mid;
+        }
+    }
+    Some(best)
+}
+
+/// Returns the smallest `x` in `[lo, hi]` with `pred(x)` true, assuming
+/// `pred` is *upward-closed*: if `pred(x)` holds then `pred(y)` holds for
+/// every `x <= y <= hi`.
+///
+/// Returns `None` when `pred(hi)` is false or the range is empty.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_numerics::search::min_satisfying;
+///
+/// // Smallest cache allocation that brings traffic under a target.
+/// assert_eq!(min_satisfying(0, 100, |x| x * x >= 50), Some(8));
+/// ```
+pub fn min_satisfying<F>(lo: u64, hi: u64, mut pred: F) -> Option<u64>
+where
+    F: FnMut(u64) -> bool,
+{
+    if lo > hi || !pred(hi) {
+        return None;
+    }
+    if pred(lo) {
+        return Some(lo);
+    }
+    // Invariant: pred(good) true, pred(bad) false.
+    let (mut bad, mut good) = (lo, hi);
+    while good - bad > 1 {
+        let mid = bad + (good - bad) / 2;
+        if pred(mid) {
+            good = mid;
+        } else {
+            bad = mid;
+        }
+    }
+    Some(good)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_satisfying_basic() {
+        assert_eq!(max_satisfying(1, 100, |x| x <= 37), Some(37));
+        assert_eq!(max_satisfying(1, 100, |x| x <= 1), Some(1));
+        assert_eq!(max_satisfying(1, 100, |_| true), Some(100));
+        assert_eq!(max_satisfying(1, 100, |x| x < 1), None);
+    }
+
+    #[test]
+    fn max_satisfying_empty_range() {
+        assert_eq!(max_satisfying(5, 4, |_| true), None);
+    }
+
+    #[test]
+    fn max_satisfying_single_element() {
+        assert_eq!(max_satisfying(7, 7, |_| true), Some(7));
+        assert_eq!(max_satisfying(7, 7, |_| false), None);
+    }
+
+    #[test]
+    fn min_satisfying_basic() {
+        assert_eq!(min_satisfying(0, 100, |x| x >= 42), Some(42));
+        assert_eq!(min_satisfying(0, 100, |_| true), Some(0));
+        assert_eq!(min_satisfying(0, 100, |x| x >= 100), Some(100));
+        assert_eq!(min_satisfying(0, 100, |_| false), None);
+    }
+
+    #[test]
+    fn searches_are_duals() {
+        for threshold in [0u64, 1, 13, 64, 99, 100] {
+            let max = max_satisfying(0, 100, |x| x < threshold);
+            let min = min_satisfying(0, 100, |x| x >= threshold);
+            match (max, min) {
+                (None, Some(m)) => assert_eq!(m, 0, "threshold {threshold}"),
+                (Some(a), Some(b)) => assert_eq!(a + 1, b, "threshold {threshold}"),
+                (Some(a), None) => assert_eq!(a, 100, "threshold {threshold}"),
+                (None, None) => panic!("impossible for threshold {threshold}"),
+            }
+        }
+    }
+
+    #[test]
+    fn counts_predicate_evaluations_logarithmically() {
+        let mut calls = 0u32;
+        let hi = 1u64 << 40;
+        max_satisfying(1, hi, |x| {
+            calls += 1;
+            x <= 123_456_789
+        });
+        assert!(calls < 120, "too many predicate calls: {calls}");
+    }
+
+    #[test]
+    fn traffic_envelope_example_matches_paper() {
+        // Base: 8 cores, S1 = 1, alpha = 0.5, next generation N2 = 32.
+        let fits = |p: u64| {
+            let p = p as f64;
+            (p / 8.0) * ((32.0 - p) / p).powf(-0.5) <= 1.0 + 1e-12
+        };
+        assert_eq!(max_satisfying(1, 31, fits), Some(11));
+    }
+}

@@ -1,0 +1,193 @@
+//! Summary statistics used by the experiment harness.
+//!
+//! Small, allocation-light helpers over `&[f64]`: arithmetic and geometric
+//! means, sample variance/standard deviation, and quantiles with linear
+//! interpolation. All functions return `None` on empty input rather than
+//! panicking so experiment code can surface missing data explicitly.
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_numerics::stats::mean;
+/// assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+/// assert_eq!(mean(&[]), None);
+/// ```
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Geometric mean of strictly positive values.
+///
+/// Returns `None` for an empty slice or when any value is not strictly
+/// positive. The geometric mean is the conventional aggregate for speedups
+/// and compression ratios.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_numerics::stats::geometric_mean;
+/// let gm = geometric_mean(&[1.0, 4.0]).unwrap();
+/// assert!((gm - 2.0).abs() < 1e-12);
+/// assert_eq!(geometric_mean(&[1.0, 0.0]), None);
+/// ```
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0 || !v.is_finite()) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Unbiased sample variance (denominator `n - 1`).
+///
+/// Returns `None` for slices with fewer than two elements.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_numerics::stats::variance;
+/// assert_eq!(variance(&[1.0, 3.0]), Some(2.0));
+/// assert_eq!(variance(&[1.0]), None);
+/// ```
+pub fn variance(values: &[f64]) -> Option<f64> {
+    if values.len() < 2 {
+        return None;
+    }
+    let m = mean(values)?;
+    let ss: f64 = values.iter().map(|v| (v - m) * (v - m)).sum();
+    Some(ss / (values.len() - 1) as f64)
+}
+
+/// Sample standard deviation. Returns `None` for slices with fewer than two
+/// elements.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_numerics::stats::std_dev;
+/// assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap() - 2.138089935).abs() < 1e-6);
+/// ```
+pub fn std_dev(values: &[f64]) -> Option<f64> {
+    variance(values).map(f64::sqrt)
+}
+
+/// Quantile `q` in `[0, 1]` with linear interpolation between order
+/// statistics (the common "type 7" definition).
+///
+/// Returns `None` for an empty slice or `q` outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_numerics::stats::quantile;
+/// let data = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(quantile(&data, 0.0), Some(1.0));
+/// assert_eq!(quantile(&data, 1.0), Some(4.0));
+/// assert_eq!(quantile(&data, 0.5), Some(2.5));
+/// ```
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        return Some(sorted[lo]);
+    }
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median (the 0.5 quantile). Returns `None` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_numerics::stats::median;
+/// assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+/// ```
+pub fn median(values: &[f64]) -> Option<f64> {
+    quantile(values, 0.5)
+}
+
+/// Minimum of a slice. Returns `None` when empty.
+pub fn min(values: &[f64]) -> Option<f64> {
+    values.iter().copied().reduce(f64::min)
+}
+
+/// Maximum of a slice. Returns `None` when empty.
+pub fn max(values: &[f64]) -> Option<f64> {
+    values.iter().copied().reduce(f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&data), Some(5.0));
+        assert!((variance(&data).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_matches_ratio_semantics() {
+        // Compression ratios 2x and 8x aggregate to 4x.
+        let gm = geometric_mean(&[2.0, 8.0]).unwrap();
+        assert!((gm - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_rejects_nonpositive_and_nonfinite() {
+        assert_eq!(geometric_mean(&[1.0, -2.0]), None);
+        assert_eq!(geometric_mean(&[1.0, f64::INFINITY]), None);
+        assert_eq!(geometric_mean(&[]), None);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let data = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(quantile(&data, 0.25), Some(20.0));
+        assert_eq!(quantile(&data, 0.1), Some(14.0));
+        assert_eq!(quantile(&data, 2.0), None);
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let data = [50.0, 10.0, 40.0, 20.0, 30.0];
+        assert_eq!(quantile(&data, 0.5), Some(30.0));
+    }
+
+    #[test]
+    fn median_even_length() {
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+    }
+
+    #[test]
+    fn min_max() {
+        let data = [3.0, -1.0, 2.0];
+        assert_eq!(min(&data), Some(-1.0));
+        assert_eq!(max(&data), Some(3.0));
+        assert_eq!(min(&[]), None);
+        assert_eq!(max(&[]), None);
+    }
+
+    #[test]
+    fn single_element_edge_cases() {
+        assert_eq!(mean(&[7.0]), Some(7.0));
+        assert_eq!(variance(&[7.0]), None);
+        assert_eq!(std_dev(&[7.0]), None);
+        assert_eq!(quantile(&[7.0], 0.99), Some(7.0));
+    }
+}

@@ -1,0 +1,229 @@
+//! Weighted mixtures of trace sources.
+//!
+//! Real workloads blend behaviours — a transaction-processing core mixes
+//! Zipfian index lookups with log streaming. [`MixTrace`] interleaves any
+//! set of [`TraceSource`]s, picking the next source by weight, with each
+//! component's addresses relocated to a private region so components never
+//! alias.
+
+use crate::access::{MemoryAccess, TraceSource};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Spacing between component address regions (256 TiB — comfortably above
+/// any component's own footprint, including streaming regions).
+const REGION_STRIDE: u64 = 1 << 48;
+
+/// A weighted interleaving of trace sources.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_trace::{MixTrace, StridedTrace, TraceSource, ZipfTrace};
+///
+/// let mut mix = MixTrace::builder()
+///     .component(Box::new(ZipfTrace::builder(1000, 0.9).build()), 0.8)
+///     .component(Box::new(StridedTrace::new(0, 64, 1 << 20)), 0.2)
+///     .seed(5)
+///     .name("oltp-like")
+///     .build();
+/// let a = mix.next_access();
+/// assert_eq!(mix.name(), "oltp-like");
+/// # let _ = a;
+/// ```
+pub struct MixTrace {
+    components: Vec<Box<dyn TraceSource>>,
+    cumulative_weights: Vec<f64>,
+    rng: StdRng,
+    name: String,
+}
+
+impl std::fmt::Debug for MixTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MixTrace")
+            .field("name", &self.name)
+            .field("components", &self.components.len())
+            .finish()
+    }
+}
+
+/// Builder for [`MixTrace`].
+#[derive(Default)]
+pub struct MixTraceBuilder {
+    components: Vec<(Box<dyn TraceSource>, f64)>,
+    seed: u64,
+    name: String,
+}
+
+impl std::fmt::Debug for MixTraceBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MixTraceBuilder")
+            .field("name", &self.name)
+            .field("components", &self.components.len())
+            .finish()
+    }
+}
+
+impl MixTraceBuilder {
+    /// Adds a component with the given relative weight.
+    #[must_use]
+    pub fn component(mut self, source: Box<dyn TraceSource>, weight: f64) -> Self {
+        self.components.push((source, weight));
+        self
+    }
+
+    /// Sets the interleaving RNG seed (default 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the mixture's name (default `"mix"`).
+    #[must_use]
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Builds the mixture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no components were added or any weight is not finite and
+    /// positive.
+    pub fn build(self) -> MixTrace {
+        assert!(
+            !self.components.is_empty(),
+            "mixture needs at least one component"
+        );
+        assert!(
+            self.components
+                .iter()
+                .all(|(_, w)| w.is_finite() && *w > 0.0),
+            "weights must be finite and positive"
+        );
+        let total: f64 = self.components.iter().map(|(_, w)| w).sum();
+        let mut cumulative = 0.0;
+        let mut cumulative_weights = Vec::with_capacity(self.components.len());
+        let mut components = Vec::with_capacity(self.components.len());
+        for (source, weight) in self.components {
+            cumulative += weight / total;
+            cumulative_weights.push(cumulative);
+            components.push(source);
+        }
+        let name = if self.name.is_empty() {
+            "mix".to_string()
+        } else {
+            self.name
+        };
+        MixTrace {
+            components,
+            cumulative_weights,
+            rng: StdRng::seed_from_u64(self.seed),
+            name,
+        }
+    }
+}
+
+impl MixTrace {
+    /// Starts building a mixture.
+    pub fn builder() -> MixTraceBuilder {
+        MixTraceBuilder::default()
+    }
+
+    /// Number of components.
+    pub fn components(&self) -> usize {
+        self.components.len()
+    }
+}
+
+impl TraceSource for MixTrace {
+    fn next_access(&mut self) -> MemoryAccess {
+        let u: f64 = self.rng.gen();
+        let index = self
+            .cumulative_weights
+            .iter()
+            .position(|&c| u < c)
+            .unwrap_or(self.components.len() - 1);
+        let access = self.components[index].next_access();
+        // Relocate into the component's private region.
+        MemoryAccess::new(
+            access.address() % REGION_STRIDE + index as u64 * REGION_STRIDE,
+            access.kind(),
+        )
+        .on_thread(access.thread())
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strided::StridedTrace;
+    use crate::zipf::ZipfTrace;
+
+    fn two_component_mix(w0: f64, w1: f64) -> MixTrace {
+        MixTrace::builder()
+            .component(Box::new(StridedTrace::new(0, 64, 100)), w0)
+            .component(Box::new(ZipfTrace::builder(100, 0.5).build()), w1)
+            .seed(9)
+            .build()
+    }
+
+    #[test]
+    fn weights_control_interleave() {
+        let mut mix = two_component_mix(0.9, 0.1);
+        let first_region = mix
+            .iter()
+            .take(10_000)
+            .filter(|a| a.address() < REGION_STRIDE)
+            .count();
+        let frac = first_region as f64 / 10_000.0;
+        assert!((frac - 0.9).abs() < 0.02, "fraction {frac}");
+    }
+
+    #[test]
+    fn components_do_not_alias() {
+        let mut mix = two_component_mix(0.5, 0.5);
+        for a in mix.iter().take(5000) {
+            let region = a.address() / REGION_STRIDE;
+            assert!(region < 2, "address {:#x} outside regions", a.address());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            let mut m = two_component_mix(0.5, 0.5);
+            m.iter().take(200).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn default_name() {
+        let m = MixTrace::builder()
+            .component(Box::new(StridedTrace::new(0, 64, 10)), 1.0)
+            .build();
+        assert_eq!(m.name(), "mix");
+        assert_eq!(m.components(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn empty_mix_panics() {
+        MixTrace::builder().build();
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_weight_panics() {
+        MixTrace::builder()
+            .component(Box::new(StridedTrace::new(0, 64, 10)), 0.0)
+            .build();
+    }
+}

@@ -1,0 +1,278 @@
+//! Pointer-chasing (dependent-load) trace generation.
+//!
+//! Linked-data-structure traversals issue one load whose address depends
+//! on the previous load — no memory-level parallelism, worst-case
+//! latency exposure, and (for working sets beyond the cache) a miss per
+//! node. The generator builds a random Hamiltonian cycle over the nodes
+//! (a seeded Sattolo shuffle) and walks it, optionally touching extra
+//! payload words per node.
+
+use crate::access::{AccessKind, MemoryAccess, TraceSource};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builder for [`PointerChaseTrace`].
+#[derive(Debug, Clone)]
+pub struct PointerChaseTraceBuilder {
+    nodes: usize,
+    seed: u64,
+    line_size: u64,
+    payload_words: u32,
+    write_fraction: f64,
+    name: String,
+}
+
+impl PointerChaseTraceBuilder {
+    /// Sets the RNG seed (default 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the line size in bytes (default 64).
+    #[must_use]
+    pub fn line_size(mut self, bytes: u64) -> Self {
+        self.line_size = bytes;
+        self
+    }
+
+    /// Extra payload words touched per node after the pointer load
+    /// (default 0 — a pure chase).
+    #[must_use]
+    pub fn payload_words(mut self, words: u32) -> Self {
+        self.payload_words = words;
+        self
+    }
+
+    /// Fraction of payload accesses that are writes (default 0.25; the
+    /// pointer load itself is always a read).
+    #[must_use]
+    pub fn write_fraction(mut self, fraction: f64) -> Self {
+        self.write_fraction = fraction;
+        self
+    }
+
+    /// Workload name (default `"pointer-chase"`).
+    #[must_use]
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Builds the generator, materialising the shuffled cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`, the line size is not a power of two ≥ 8,
+    /// the payload exceeds the words in a line, or the write fraction is
+    /// outside `[0, 1]`.
+    pub fn build(self) -> PointerChaseTrace {
+        assert!(self.nodes > 0, "need at least one node");
+        assert!(
+            self.line_size.is_power_of_two() && self.line_size >= 8,
+            "line size must be a power of two of at least 8 bytes"
+        );
+        let words_per_line = (self.line_size / 8) as u32;
+        assert!(
+            self.payload_words < words_per_line,
+            "payload must leave room for the pointer word"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.write_fraction),
+            "write fraction must be in [0, 1]"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Sattolo's algorithm: a uniformly random single cycle.
+        let mut next: Vec<u32> = (0..self.nodes as u32).collect();
+        for i in (1..self.nodes).rev() {
+            let j = rng.gen_range(0..i);
+            next.swap(i, j);
+        }
+        PointerChaseTrace {
+            next,
+            line_size: self.line_size,
+            payload_words: self.payload_words,
+            write_fraction: self.write_fraction,
+            name: self.name,
+            rng,
+            current: 0,
+            pending_payload: 0,
+        }
+    }
+}
+
+/// A dependent-load traversal of a shuffled cycle of nodes (one node per
+/// cache line).
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_trace::{PointerChaseTrace, TraceSource};
+/// use std::collections::HashSet;
+///
+/// let mut chase = PointerChaseTrace::builder(100).seed(3).build();
+/// let lines: HashSet<u64> = chase.iter().take(100).map(|a| a.address() / 64).collect();
+/// // A single cycle visits every node exactly once per lap.
+/// assert_eq!(lines.len(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PointerChaseTrace {
+    /// Successor node per node — a single cycle.
+    next: Vec<u32>,
+    line_size: u64,
+    payload_words: u32,
+    write_fraction: f64,
+    name: String,
+    rng: StdRng,
+    current: u32,
+    /// Payload accesses still owed for the current node.
+    pending_payload: u32,
+}
+
+impl PointerChaseTrace {
+    /// Starts building a chase over `nodes` nodes.
+    pub fn builder(nodes: usize) -> PointerChaseTraceBuilder {
+        PointerChaseTraceBuilder {
+            nodes,
+            seed: 0,
+            line_size: 64,
+            payload_words: 0,
+            write_fraction: 0.25,
+            name: "pointer-chase".to_string(),
+        }
+    }
+
+    /// Number of nodes in the cycle.
+    pub fn nodes(&self) -> usize {
+        self.next.len()
+    }
+
+    /// The configured line size in bytes.
+    pub fn line_size(&self) -> u64 {
+        self.line_size
+    }
+}
+
+impl TraceSource for PointerChaseTrace {
+    fn next_access(&mut self) -> MemoryAccess {
+        if self.pending_payload > 0 {
+            // Touch the next payload word of the current node.
+            let word = 1 + self.payload_words - self.pending_payload;
+            self.pending_payload -= 1;
+            let address = self.current as u64 * self.line_size + word as u64 * 8;
+            let kind = if self.rng.gen::<f64>() < self.write_fraction {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            return MemoryAccess::new(address, kind);
+        }
+        // Follow the pointer: load word 0 of the successor node.
+        self.current = self.next[self.current as usize];
+        self.pending_payload = self.payload_words;
+        MemoryAccess::read(self.current as u64 * self.line_size)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn cycle_visits_every_node() {
+        let mut t = PointerChaseTrace::builder(500).seed(7).build();
+        let lines: HashSet<u64> = t.iter().take(500).map(|a| a.address() / 64).collect();
+        assert_eq!(lines.len(), 500, "Sattolo shuffle must be one cycle");
+    }
+
+    #[test]
+    fn second_lap_repeats_the_first() {
+        let mut t = PointerChaseTrace::builder(64).seed(1).build();
+        let lap1: Vec<u64> = t.iter().take(64).map(|a| a.address()).collect();
+        let lap2: Vec<u64> = t.iter().take(64).map(|a| a.address()).collect();
+        assert_eq!(lap1, lap2);
+    }
+
+    #[test]
+    fn payload_words_follow_each_pointer() {
+        let mut t = PointerChaseTrace::builder(10)
+            .payload_words(3)
+            .seed(2)
+            .build();
+        let accesses: Vec<_> = t.iter().take(8).collect();
+        // Pattern per node: pointer read (word 0) then 3 payload words.
+        let node_line = accesses[0].address() / 64;
+        assert_eq!(accesses[0].address() % 64, 0);
+        for (i, a) in accesses[1..4].iter().enumerate() {
+            assert_eq!(a.address() / 64, node_line, "payload stays on node");
+            assert_eq!(a.address() % 64, 8 * (i as u64 + 1));
+        }
+        // Fifth access jumps to the next node's word 0.
+        assert_ne!(accesses[4].address() / 64, node_line);
+        assert_eq!(accesses[4].address() % 64, 0);
+    }
+
+    #[test]
+    fn pointer_loads_are_reads() {
+        let mut t = PointerChaseTrace::builder(32).write_fraction(1.0).build();
+        let first = t.next_access();
+        assert!(!first.kind().is_write(), "pointer load is a read");
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            PointerChaseTrace::builder(100)
+                .seed(5)
+                .payload_words(2)
+                .build()
+                .iter()
+                .take(300)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn misses_every_node_when_working_set_exceeds_cache() {
+        use crate::reuse::MissRateProbe;
+        let nodes = 4096;
+        let mut t = PointerChaseTrace::builder(nodes).seed(4).build();
+        let mut probe = MissRateProbe::new(&[256]);
+        for a in t.iter().take(3 * nodes) {
+            probe.observe(a.address() / 64);
+        }
+        probe.reset_counts();
+        for a in t.iter().take(2 * nodes) {
+            probe.observe(a.address() / 64);
+        }
+        // Reuse distance is always `nodes - 1` >> 256: every access misses.
+        assert!(probe.miss_rates()[0] > 0.999);
+    }
+
+    #[test]
+    fn single_node_self_loop() {
+        let mut t = PointerChaseTrace::builder(1).build();
+        assert_eq!(t.next_access().address(), 0);
+        assert_eq!(t.next_access().address(), 0);
+        assert_eq!(t.nodes(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        PointerChaseTrace::builder(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "room for the pointer")]
+    fn oversized_payload_panics() {
+        PointerChaseTrace::builder(10).payload_words(8).build();
+    }
+}

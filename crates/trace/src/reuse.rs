@@ -1,0 +1,347 @@
+//! Exact LRU reuse-distance profiling.
+//!
+//! For a fully-associative LRU cache of `C` lines, an access hits iff its
+//! *reuse distance* — the number of distinct lines touched since the last
+//! access to the same line — is below `C`. Profiling a trace's reuse
+//! distances therefore yields its miss rate at **every** cache size in one
+//! pass, which is how the Figure 1 miss-rate curves are produced without
+//! simulating dozens of cache configurations.
+//!
+//! The profiler uses the classic Fenwick-tree (binary indexed tree)
+//! algorithm: O(log n) per access instead of the naive O(n) stack scan.
+
+use std::collections::HashMap;
+
+/// Fenwick tree over the access timeline supporting point updates and
+/// prefix sums. The timeline grows without bound, so the tree keeps the
+/// raw point values alongside and rebuilds itself when it doubles —
+/// amortized O(1) per growth step, O(log n) per operation otherwise.
+#[derive(Debug, Clone, Default)]
+struct Fenwick {
+    tree: Vec<i64>,
+    raw: Vec<i64>,
+}
+
+impl Fenwick {
+    fn ensure_len(&mut self, i: usize) {
+        if i < self.raw.len() {
+            return;
+        }
+        let new_len = (i + 1).next_power_of_two().max(64);
+        self.raw.resize(new_len, 0);
+        // Rebuild the tree: standard O(n) Fenwick construction.
+        self.tree = self.raw.clone();
+        for idx in 1..new_len {
+            let parent = idx + (idx & idx.wrapping_neg());
+            if parent < new_len {
+                let v = self.tree[idx];
+                self.tree[parent] += v;
+            }
+        }
+    }
+
+    /// Adds `delta` at 1-based position `i`.
+    fn add(&mut self, i: usize, delta: i64) {
+        self.ensure_len(i);
+        self.raw[i] += delta;
+        let mut i = i;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of positions `1..=i` (positions past the current capacity hold
+    /// zero, so clamping is exact).
+    fn prefix_sum(&self, i: usize) -> i64 {
+        let mut i = i.min(self.tree.len().saturating_sub(1));
+        let mut sum = 0;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+}
+
+/// Streaming exact reuse-distance profiler.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_trace::ReuseDistanceProfiler;
+///
+/// let mut p = ReuseDistanceProfiler::new();
+/// assert_eq!(p.observe(10), None);      // cold
+/// assert_eq!(p.observe(20), None);      // cold
+/// assert_eq!(p.observe(10), Some(1));   // one distinct line (20) in between
+/// assert_eq!(p.observe(10), Some(0));   // immediate reuse
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReuseDistanceProfiler {
+    last_time: HashMap<u64, usize>,
+    presence: Fenwick,
+    time: usize,
+    distinct: i64,
+}
+
+impl ReuseDistanceProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        ReuseDistanceProfiler::default()
+    }
+
+    /// Records an access to `line`, returning its reuse distance, or
+    /// `None` for a cold (first-ever) access.
+    pub fn observe(&mut self, line: u64) -> Option<usize> {
+        self.time += 1;
+        let now = self.time;
+        let distance = match self.last_time.insert(line, now) {
+            Some(prev) => {
+                // Lines whose most recent access is after `prev`.
+                let later = self.distinct - self.presence.prefix_sum(prev);
+                self.presence.add(prev, -1);
+                Some(later as usize)
+            }
+            None => {
+                self.distinct += 1;
+                None
+            }
+        };
+        self.presence.add(now, 1);
+        distance
+    }
+
+    /// Number of distinct lines seen.
+    pub fn distinct_lines(&self) -> usize {
+        self.distinct as usize
+    }
+
+    /// Number of accesses observed.
+    pub fn accesses(&self) -> usize {
+        self.time
+    }
+}
+
+/// Miss-rate probe: feeds a reuse-distance profiler and reports the miss
+/// rate a fully-associative LRU cache of each requested capacity would see.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_trace::MissRateProbe;
+///
+/// let mut probe = MissRateProbe::new(&[1, 2, 4]);
+/// for line in [1u64, 2, 1, 2, 3, 1] {
+///     probe.observe(line);
+/// }
+/// let rates = probe.miss_rates();
+/// assert_eq!(rates.len(), 3);
+/// assert!(rates[0] >= rates[1] && rates[1] >= rates[2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MissRateProbe {
+    profiler: ReuseDistanceProfiler,
+    capacities: Vec<usize>,
+    misses: Vec<u64>,
+    warm_only: bool,
+    warm_accesses: u64,
+    counted_from: usize,
+}
+
+impl MissRateProbe {
+    /// Creates a probe for the given cache capacities (in lines). Cold
+    /// (first-touch) accesses count as misses at every capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacities` is empty or contains 0.
+    pub fn new(capacities: &[usize]) -> Self {
+        assert!(!capacities.is_empty(), "need at least one capacity");
+        assert!(
+            capacities.iter().all(|&c| c > 0),
+            "capacities must be positive"
+        );
+        MissRateProbe {
+            profiler: ReuseDistanceProfiler::new(),
+            capacities: capacities.to_vec(),
+            misses: vec![0; capacities.len()],
+            warm_only: false,
+            warm_accesses: 0,
+            counted_from: 0,
+        }
+    }
+
+    /// Creates a probe that ignores cold (compulsory) misses entirely:
+    /// both the miss counts and the denominator cover only re-reference
+    /// accesses. This isolates the *capacity* misses the power law of
+    /// cache misses describes, which matters on traces short enough for
+    /// the compulsory floor to flatten the fitted exponent.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`MissRateProbe::new`].
+    pub fn warm_only(capacities: &[usize]) -> Self {
+        let mut probe = MissRateProbe::new(capacities);
+        probe.warm_only = true;
+        probe
+    }
+
+    /// Records an access to `line`.
+    pub fn observe(&mut self, line: u64) {
+        match self.profiler.observe(line) {
+            None => {
+                if !self.warm_only {
+                    for m in &mut self.misses {
+                        *m += 1;
+                    }
+                }
+            }
+            Some(d) => {
+                self.warm_accesses += 1;
+                for (i, &c) in self.capacities.iter().enumerate() {
+                    if d >= c {
+                        self.misses[i] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The probed capacities, in the order supplied.
+    pub fn capacities(&self) -> &[usize] {
+        &self.capacities
+    }
+
+    /// Miss rate per capacity (same order as [`MissRateProbe::capacities`]).
+    ///
+    /// Returns all-zero rates before any access is observed.
+    pub fn miss_rates(&self) -> Vec<f64> {
+        let denominator = if self.warm_only {
+            self.warm_accesses.max(1) as f64
+        } else {
+            (self.profiler.accesses() - self.counted_from).max(1) as f64
+        };
+        self.misses
+            .iter()
+            .map(|&m| m as f64 / denominator)
+            .collect()
+    }
+
+    /// Number of accesses observed so far (including cold ones).
+    pub fn accesses(&self) -> usize {
+        self.profiler.accesses()
+    }
+
+    /// Clears the miss and access counters while keeping the underlying
+    /// reuse-distance history — call after a warm-up phase so the reported
+    /// rates cover only the steady state.
+    pub fn reset_counts(&mut self) {
+        self.misses.iter_mut().for_each(|m| *m = 0);
+        self.warm_accesses = 0;
+        self.counted_from = self.profiler.accesses();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_accesses_have_no_distance() {
+        let mut p = ReuseDistanceProfiler::new();
+        for line in 0..100 {
+            assert_eq!(p.observe(line), None);
+        }
+        assert_eq!(p.distinct_lines(), 100);
+    }
+
+    #[test]
+    fn immediate_reuse_is_distance_zero() {
+        let mut p = ReuseDistanceProfiler::new();
+        p.observe(5);
+        assert_eq!(p.observe(5), Some(0));
+    }
+
+    #[test]
+    fn distance_counts_distinct_intervening_lines() {
+        let mut p = ReuseDistanceProfiler::new();
+        p.observe(1);
+        p.observe(2);
+        p.observe(3);
+        p.observe(2); // distance 1 (only 3 since last access of 2)
+        assert_eq!(p.observe(1), Some(2)); // 2 and 3 since last access of 1
+    }
+
+    #[test]
+    fn repeated_intervening_lines_count_once() {
+        let mut p = ReuseDistanceProfiler::new();
+        p.observe(1);
+        p.observe(2);
+        p.observe(2);
+        p.observe(2);
+        assert_eq!(p.observe(1), Some(1));
+    }
+
+    #[test]
+    fn matches_naive_stack_on_random_stream() {
+        use std::collections::VecDeque;
+        let mut naive: VecDeque<u64> = VecDeque::new();
+        let mut p = ReuseDistanceProfiler::new();
+        let mut x = 12345u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let line = (x >> 33) % 64;
+            let expected = naive.iter().position(|&l| l == line);
+            if let Some(pos) = expected {
+                naive.remove(pos);
+            }
+            naive.push_front(line);
+            assert_eq!(p.observe(line), expected);
+        }
+    }
+
+    #[test]
+    fn probe_miss_rates_monotone_in_capacity() {
+        let mut probe = MissRateProbe::new(&[4, 16, 64, 256]);
+        let mut x = 7u64;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            probe.observe((x >> 40) % 300);
+        }
+        let rates = probe.miss_rates();
+        for w in rates.windows(2) {
+            assert!(w[0] >= w[1], "rates not monotone: {rates:?}");
+        }
+    }
+
+    #[test]
+    fn probe_capacity_one_counts_non_immediate_reuses() {
+        let mut probe = MissRateProbe::new(&[1]);
+        probe.observe(1);
+        probe.observe(1);
+        probe.observe(2);
+        probe.observe(1);
+        // misses: cold(1), hit, cold(2), distance-1 miss.
+        assert_eq!(probe.miss_rates(), vec![0.75]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one capacity")]
+    fn empty_capacities_panics() {
+        MissRateProbe::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_capacity_panics() {
+        MissRateProbe::new(&[0]);
+    }
+
+    #[test]
+    fn probe_before_observations_is_zero() {
+        let probe = MissRateProbe::new(&[8]);
+        assert_eq!(probe.miss_rates(), vec![0.0]);
+        assert_eq!(probe.capacities(), &[8]);
+    }
+}

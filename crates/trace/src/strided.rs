@@ -1,0 +1,144 @@
+//! Strided / streaming access generation.
+//!
+//! Streaming scans (array sweeps, media kernels, table scans) touch long
+//! address ranges with a fixed stride and almost no temporal reuse — the
+//! bandwidth-hungriest pattern a core can issue, and the "excursion"
+//! component of the composite commercial workloads.
+
+use crate::access::{AccessKind, MemoryAccess, TraceSource};
+
+/// A deterministic strided scan over a region, wrapping at the end.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_trace::{StridedTrace, TraceSource};
+///
+/// let mut scan = StridedTrace::new(0x1000, 64, 4);
+/// let addrs: Vec<u64> = scan.iter().take(5).map(|a| a.address()).collect();
+/// assert_eq!(addrs, [0x1000, 0x1040, 0x1080, 0x10C0, 0x1000]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StridedTrace {
+    base: u64,
+    stride: u64,
+    length: u64,
+    position: u64,
+    write_every: Option<u64>,
+    issued: u64,
+    name: String,
+}
+
+impl StridedTrace {
+    /// Creates a read-only scan of `length` elements starting at `base`,
+    /// advancing `stride` bytes per access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` or `length` is zero.
+    pub fn new(base: u64, stride: u64, length: u64) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        assert!(length > 0, "length must be positive");
+        StridedTrace {
+            base,
+            stride,
+            length,
+            position: 0,
+            write_every: None,
+            issued: 0,
+            name: "strided".to_string(),
+        }
+    }
+
+    /// Makes every `n`-th access a write (e.g. a copy kernel with
+    /// `n = 2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn with_write_every(mut self, n: u64) -> Self {
+        assert!(n > 0, "write interval must be positive");
+        self.write_every = Some(n);
+        self
+    }
+
+    /// Sets the workload name.
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The scan's stride in bytes.
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// The scan's length in elements.
+    pub fn length(&self) -> u64 {
+        self.length
+    }
+}
+
+impl TraceSource for StridedTrace {
+    fn next_access(&mut self) -> MemoryAccess {
+        let address = self.base + self.position * self.stride;
+        self.position = (self.position + 1) % self.length;
+        self.issued += 1;
+        let kind = match self.write_every {
+            Some(n) if self.issued.is_multiple_of(n) => AccessKind::Write,
+            _ => AccessKind::Read,
+        };
+        MemoryAccess::new(address, kind)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_at_length() {
+        let mut t = StridedTrace::new(0, 8, 3);
+        let a: Vec<u64> = t.iter().take(7).map(|x| x.address()).collect();
+        assert_eq!(a, [0, 8, 16, 0, 8, 16, 0]);
+    }
+
+    #[test]
+    fn write_every_marks_stores() {
+        let mut t = StridedTrace::new(0, 64, 100).with_write_every(2);
+        let kinds: Vec<bool> = t.iter().take(6).map(|a| a.kind().is_write()).collect();
+        assert_eq!(kinds, [false, true, false, true, false, true]);
+    }
+
+    #[test]
+    fn read_only_by_default() {
+        let mut t = StridedTrace::new(0, 64, 16);
+        assert!(t.iter().take(64).all(|a| !a.kind().is_write()));
+    }
+
+    #[test]
+    fn name_and_accessors() {
+        let t = StridedTrace::new(0, 128, 10).with_name("scan");
+        assert_eq!(t.name(), "scan");
+        assert_eq!(t.stride(), 128);
+        assert_eq!(t.length(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_panics() {
+        StridedTrace::new(0, 0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn zero_length_panics() {
+        StridedTrace::new(0, 8, 0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Discrete-working-set ("SPEC-like") trace generation.
+//!
+//! The paper notes that individual SPEC 2006 applications "exhibit more
+//! discrete working set sizes … once the cache is large enough for the
+//! working set, the miss rate declines to a constant value", so they fit
+//! the power law less well individually while their *average* still does.
+//! [`WorkingSetTrace`] reproduces that staircase behaviour: accesses hit a
+//! fixed-size working set with high probability and occasionally stream
+//! through fresh lines (the residual, size-independent miss component).
+
+use crate::access::{AccessKind, MemoryAccess, TraceSource};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builder for [`WorkingSetTrace`].
+#[derive(Debug, Clone)]
+pub struct WorkingSetTraceBuilder {
+    working_set_lines: usize,
+    excursion_fraction: f64,
+    seed: u64,
+    line_size: u64,
+    write_fraction: f64,
+    name: String,
+}
+
+impl WorkingSetTraceBuilder {
+    /// Sets the RNG seed (default 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the streaming-excursion fraction (default 0.02): the share of
+    /// accesses that touch a fresh, never-reused line.
+    #[must_use]
+    pub fn excursion_fraction(mut self, fraction: f64) -> Self {
+        self.excursion_fraction = fraction;
+        self
+    }
+
+    /// Sets the line size in bytes (default 64).
+    #[must_use]
+    pub fn line_size(mut self, bytes: u64) -> Self {
+        self.line_size = bytes;
+        self
+    }
+
+    /// Fraction of accesses that are writes (default 0.25).
+    #[must_use]
+    pub fn write_fraction(mut self, fraction: f64) -> Self {
+        self.write_fraction = fraction;
+        self
+    }
+
+    /// Workload name (default `"working-set"`).
+    #[must_use]
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Builds the generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the working set is empty, the excursion fraction is
+    /// outside `[0, 1)`, the line size is not a power of two ≥ 8, or the
+    /// write fraction is outside `[0, 1]`.
+    pub fn build(self) -> WorkingSetTrace {
+        assert!(
+            self.working_set_lines > 0,
+            "working set must contain at least 1 line"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.excursion_fraction),
+            "excursion fraction must be in [0, 1)"
+        );
+        assert!(
+            self.line_size.is_power_of_two() && self.line_size >= 8,
+            "line size must be a power of two of at least 8 bytes"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.write_fraction),
+            "write fraction must be in [0, 1]"
+        );
+        WorkingSetTrace {
+            working_set_lines: self.working_set_lines,
+            excursion_fraction: self.excursion_fraction,
+            line_size: self.line_size,
+            write_fraction: self.write_fraction,
+            name: self.name,
+            rng: StdRng::seed_from_u64(self.seed),
+            // Streaming lines live far above the working-set region.
+            next_stream_line: 1 << 40,
+        }
+    }
+}
+
+/// A workload with one dominant working set plus a streaming residue.
+///
+/// For a cache of `C` lines the expected miss rate is approximately
+/// `excursion_fraction` when `C ≥ working_set_lines` and rises steeply
+/// below — a staircase rather than a straight line in log–log space.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_trace::{TraceSource, WorkingSetTrace};
+///
+/// let mut t = WorkingSetTrace::builder(4096)
+///     .seed(11)
+///     .build();
+/// let a = t.next_access();
+/// assert_eq!(a.address() % 64, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkingSetTrace {
+    working_set_lines: usize,
+    excursion_fraction: f64,
+    line_size: u64,
+    write_fraction: f64,
+    name: String,
+    rng: StdRng,
+    next_stream_line: u64,
+}
+
+impl WorkingSetTrace {
+    /// Starts building a trace whose working set spans
+    /// `working_set_lines` lines, with a default 2% streaming excursion.
+    pub fn builder(working_set_lines: usize) -> WorkingSetTraceBuilder {
+        WorkingSetTraceBuilder {
+            working_set_lines,
+            excursion_fraction: 0.02,
+            seed: 0,
+            line_size: 64,
+            write_fraction: 0.25,
+            name: "working-set".to_string(),
+        }
+    }
+
+    /// The working-set size in lines.
+    pub fn working_set_lines(&self) -> usize {
+        self.working_set_lines
+    }
+
+    /// The configured line size in bytes.
+    pub fn line_size(&self) -> u64 {
+        self.line_size
+    }
+}
+
+impl TraceSource for WorkingSetTrace {
+    fn next_access(&mut self) -> MemoryAccess {
+        let line = if self.rng.gen::<f64>() < self.excursion_fraction {
+            // Cold streaming line, never reused.
+            let l = self.next_stream_line;
+            self.next_stream_line += 1;
+            l
+        } else {
+            self.rng.gen_range(0..self.working_set_lines as u64)
+        };
+        let kind = if self.rng.gen::<f64>() < self.write_fraction {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        MemoryAccess::new(line * self.line_size, kind)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reuse::MissRateProbe;
+
+    #[test]
+    fn staircase_miss_curve() {
+        let ws = 1000;
+        let mut t = WorkingSetTrace::builder(ws).excursion_fraction(0.02)
+            .seed(3)
+            .build();
+        let mut probe = MissRateProbe::new(&[100, 500, 2000, 8000]);
+        for a in t.iter().take(200_000) {
+            probe.observe(a.address() / 64);
+        }
+        let rates = probe.miss_rates();
+        // Below the working set the miss rate is high…
+        assert!(rates[0] > 0.5, "rates {rates:?}");
+        // …and once the cache holds the working set it collapses to the
+        // excursion floor.
+        assert!(rates[2] < 0.05, "rates {rates:?}");
+        assert!(rates[3] < 0.04, "rates {rates:?}");
+        // The floor barely moves with further size (the staircase flat).
+        assert!((rates[2] - rates[3]).abs() < 0.01, "rates {rates:?}");
+    }
+
+    #[test]
+    fn excursions_touch_fresh_lines() {
+        let mut t = WorkingSetTrace::builder(10).excursion_fraction(0.5)
+            .seed(1)
+            .build();
+        let high = t
+            .iter()
+            .take(1000)
+            .filter(|a| a.address() >= (1 << 40) * 64)
+            .count();
+        assert!(high > 300, "only {high} streaming accesses");
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            WorkingSetTrace::builder(100)
+                .seed(5)
+                .build()
+                .iter()
+                .take(100)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn accessors() {
+        let t = WorkingSetTrace::builder(256).name("mcf-like").build();
+        assert_eq!(t.working_set_lines(), 256);
+        assert_eq!(t.name(), "mcf-like");
+        assert_eq!(t.line_size(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 line")]
+    fn empty_working_set_panics() {
+        WorkingSetTrace::builder(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "excursion fraction")]
+    fn invalid_excursion_panics() {
+        WorkingSetTrace::builder(10).excursion_fraction(1.0).build();
+    }
+}

@@ -1,0 +1,244 @@
+//! Zipf-distributed access generation.
+//!
+//! Object popularity in commercial workloads is classically Zipfian: the
+//! `k`-th most popular of `n` lines is accessed with probability
+//! `∝ k^-s`. A Zipf working set produces smooth, heavy-tailed miss-rate
+//! curves and serves as a second, independent power-law-like source next to
+//! [`crate::StackDistanceTrace`].
+
+use crate::access::{AccessKind, MemoryAccess, TraceSource};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builder for [`ZipfTrace`].
+#[derive(Debug, Clone)]
+pub struct ZipfTraceBuilder {
+    lines: usize,
+    exponent: f64,
+    seed: u64,
+    line_size: u64,
+    write_fraction: f64,
+    name: String,
+}
+
+impl ZipfTraceBuilder {
+    /// Sets the RNG seed (default 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the line size in bytes (default 64).
+    #[must_use]
+    pub fn line_size(mut self, bytes: u64) -> Self {
+        self.line_size = bytes;
+        self
+    }
+
+    /// Fraction of accesses that are writes (default 0.25).
+    #[must_use]
+    pub fn write_fraction(mut self, fraction: f64) -> Self {
+        self.write_fraction = fraction;
+        self
+    }
+
+    /// Workload name (default `"zipf"`).
+    #[must_use]
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Builds the generator, precomputing the popularity CDF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines == 0`, the exponent is negative or non-finite, the
+    /// line size is not a power of two ≥ 8, or the write fraction is
+    /// outside `[0, 1]`.
+    pub fn build(self) -> ZipfTrace {
+        assert!(self.lines > 0, "working set must contain at least 1 line");
+        assert!(
+            self.exponent.is_finite() && self.exponent >= 0.0,
+            "exponent must be finite and non-negative"
+        );
+        assert!(
+            self.line_size.is_power_of_two() && self.line_size >= 8,
+            "line size must be a power of two of at least 8 bytes"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.write_fraction),
+            "write fraction must be in [0, 1]"
+        );
+        let mut cdf = Vec::with_capacity(self.lines);
+        let mut acc = 0.0;
+        for k in 1..=self.lines {
+            acc += (k as f64).powf(-self.exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfTrace {
+            cdf,
+            line_size: self.line_size,
+            write_fraction: self.write_fraction,
+            name: self.name,
+            rng: StdRng::seed_from_u64(self.seed),
+        }
+    }
+}
+
+/// A Zipf-popularity workload over a fixed set of lines.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_trace::{TraceSource, ZipfTrace};
+///
+/// let mut trace = ZipfTrace::builder(10_000, 0.9).seed(3).build();
+/// let a = trace.next_access();
+/// assert!(a.address() < 10_000 * 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfTrace {
+    cdf: Vec<f64>,
+    line_size: u64,
+    write_fraction: f64,
+    name: String,
+    rng: StdRng,
+}
+
+impl ZipfTrace {
+    /// Starts building a Zipf trace over `lines` lines with popularity
+    /// exponent `exponent` (0 = uniform; ~0.8–1.0 typical).
+    pub fn builder(lines: usize, exponent: f64) -> ZipfTraceBuilder {
+        ZipfTraceBuilder {
+            lines,
+            exponent,
+            seed: 0,
+            line_size: 64,
+            write_fraction: 0.25,
+            name: "zipf".to_string(),
+        }
+    }
+
+    /// Number of lines in the working set.
+    pub fn lines(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The configured line size in bytes.
+    pub fn line_size(&self) -> u64 {
+        self.line_size
+    }
+
+    /// Samples a popularity rank (0-based, 0 = most popular).
+    fn sample_rank(&mut self) -> usize {
+        let u: f64 = self.rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("CDF has no NaN"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+impl TraceSource for ZipfTrace {
+    fn next_access(&mut self) -> MemoryAccess {
+        // Rank k maps to line k: the k-th line of the region is the k-th
+        // most popular. Set-index hashing in the simulator spreads them.
+        let line = self.sample_rank() as u64;
+        let address = line * self.line_size;
+        let kind = if self.rng.gen::<f64>() < self.write_fraction {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        MemoryAccess::new(address, kind)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn popular_lines_dominate() {
+        let mut trace = ZipfTrace::builder(1000, 1.0).seed(1).build();
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for a in trace.iter().take(50_000) {
+            *counts.entry(a.address()).or_default() += 1;
+        }
+        let mut freqs: Vec<u64> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        // The most popular line should see far more traffic than the median.
+        let top = freqs[0] as f64;
+        let median = freqs[freqs.len() / 2] as f64;
+        assert!(top / median > 10.0, "top {top}, median {median}");
+    }
+
+    #[test]
+    fn uniform_exponent_spreads_evenly() {
+        let mut trace = ZipfTrace::builder(100, 0.0).seed(2).build();
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for a in trace.iter().take(100_000) {
+            *counts.entry(a.address()).or_default() += 1;
+        }
+        assert!(counts.len() >= 99, "only {} lines touched", counts.len());
+        let max = *counts.values().max().unwrap() as f64;
+        let min = *counts.values().min().unwrap() as f64;
+        assert!(max / min < 1.6, "spread too wide: {min}..{max}");
+    }
+
+    #[test]
+    fn addresses_stay_in_working_set() {
+        let mut trace = ZipfTrace::builder(128, 0.8).build();
+        for a in trace.iter().take(10_000) {
+            assert!(a.address() < 128 * 64);
+            assert_eq!(a.address() % 64, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let run = || {
+            ZipfTrace::builder(500, 0.9)
+                .seed(77)
+                .build()
+                .iter()
+                .take(200)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn accessors() {
+        let t = ZipfTrace::builder(64, 0.5).name("db").build();
+        assert_eq!(t.lines(), 64);
+        assert_eq!(t.line_size(), 64);
+        assert_eq!(t.name(), "db");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 line")]
+    fn zero_lines_panics() {
+        ZipfTrace::builder(0, 1.0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_exponent_panics() {
+        ZipfTrace::builder(10, -1.0).build();
+    }
+}

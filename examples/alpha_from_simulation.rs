@@ -1,0 +1,60 @@
+//! End-to-end pipeline: measure a workload's α on the simulator, then
+//! feed it to the analytical model.
+//!
+//! This is the full methodology of the paper in one program:
+//!  1. generate a synthetic workload (unknown α, as far as this program
+//!     is concerned),
+//!  2. profile its miss rate at many cache sizes in one pass,
+//!  3. fit the power law of cache misses,
+//!  4. ask the model how many cores the next generations support for
+//!     *this* workload.
+//!
+//! Run: `cargo run --release --example alpha_from_simulation`
+
+use bandwidth_wall::model::{Alpha, Baseline, GenerationSweep};
+use bandwidth_wall::numerics::PowerLawFit;
+use bandwidth_wall::trace::{MissRateProbe, StackDistanceTrace, TraceSource};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The workload under study (pretend we don't know alpha = 0.45).
+    let mut workload = StackDistanceTrace::builder(0.45)
+        .seed(7)
+        .max_distance(1 << 16)
+        .name("mystery-workload")
+        .build();
+
+    // 2. Profile miss rates at ten cache sizes in a single pass.
+    let capacities: Vec<usize> = (7..=15).map(|i| 1usize << i).collect();
+    let mut probe = MissRateProbe::new(&capacities);
+    workload.warm_probe(&mut probe);
+    for access in workload.iter().take(300_000) {
+        probe.observe(access.address() / 64);
+    }
+    let rates = probe.miss_rates();
+    println!("measured miss rates for '{}':", workload.name());
+    for (&c, &r) in capacities.iter().zip(&rates) {
+        println!("  {:>6} KB -> {:.4}", c * 64 / 1024, r);
+    }
+
+    // 3. Fit the power law.
+    let xs: Vec<f64> = capacities.iter().map(|&c| c as f64).collect();
+    let fit = PowerLawFit::fit(&xs, &rates)?;
+    println!(
+        "\nfitted power law: alpha = {:.3} (R² = {:.4})",
+        fit.alpha, fit.r_squared
+    );
+
+    // 4. Ask the model about core scaling for this workload.
+    let baseline = Baseline::niagara2_like().with_alpha(Alpha::new(fit.alpha)?);
+    println!("\ncore scaling under a constant traffic envelope:");
+    for result in GenerationSweep::new(baseline).run(4)? {
+        println!(
+            "  {:>3.0}x transistors -> {:>3} cores (ideal {:>3}), {:>4.1}% die for cores",
+            result.scaling_ratio,
+            result.supportable_cores,
+            result.ideal_cores,
+            result.core_area_fraction * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Compression study: derive cache/link compression ratios from real
+//! engines and plug them into the scaling model.
+//!
+//! Rather than assuming Table 2's 2x compression, this example runs FPC,
+//! BDI and the value-locality link compressor over a synthetic commercial
+//! value stream, validates them against a compressed-cache simulation,
+//! and asks the model what the *measured* ratios buy.
+//!
+//! Run: `cargo run --release --example compression_study`
+
+use bandwidth_wall::cache_sim::{CacheConfig, CompressedCache};
+use bandwidth_wall::compress::{evaluate, Bdi, Fpc, LinkCompressor};
+use bandwidth_wall::model::{Baseline, ScalingProblem, Technique};
+use bandwidth_wall::trace::values::{LineValueGenerator, ValueProfile};
+use bandwidth_wall::trace::{StackDistanceTrace, TraceSource};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let values = LineValueGenerator::new(ValueProfile::commercial(), 11);
+    let lines: Vec<Vec<u8>> = (0..4000u64).map(|l| values.line_bytes(l * 64, 64)).collect();
+
+    // Static compression ratios over the value stream.
+    let fpc_ratio = evaluate(&Fpc::new(), lines.iter().map(|l| l.as_slice())).ratio();
+    let bdi_ratio = evaluate(&Bdi::new(), lines.iter().map(|l| l.as_slice())).ratio();
+    let mut link = LinkCompressor::new();
+    for line in &lines {
+        link.transfer(line);
+    }
+    let link_ratio = link.stats().ratio();
+    println!("measured engine ratios on the commercial value profile:");
+    println!("  FPC  {fpc_ratio:.2}x   BDI  {bdi_ratio:.2}x   link-dict  {link_ratio:.2}x");
+
+    // Cross-check: a compressed cache under a real access stream should
+    // realise roughly the FPC ratio as extra capacity.
+    let mut cache = CompressedCache::new(
+        CacheConfig::new(64 << 10, 64, 8)?,
+        Box::new(Fpc::new()),
+    );
+    let mut trace = StackDistanceTrace::builder(0.5)
+        .seed(3)
+        .max_distance(1 << 13)
+        .build();
+    for access in trace.iter().take(100_000) {
+        let line_addr = access.address() / 64 * 64;
+        let data = values.line_bytes(line_addr, 64);
+        cache.access_with_data(line_addr, access.kind().is_write(), &data);
+    }
+    println!(
+        "compressed-cache simulation: effective capacity factor {:.2}x ({} lines vs {} uncompressed)",
+        cache.effective_capacity_factor(),
+        cache.resident_lines(),
+        cache.uncompressed_capacity_lines()
+    );
+
+    // Feed the measured ratios to the model.
+    let baseline = Baseline::niagara2_like();
+    let base = ScalingProblem::new(baseline, 32.0).max_supportable_cores()?;
+    let cc = ScalingProblem::new(baseline, 32.0)
+        .with_technique(Technique::cache_compression(fpc_ratio)?)
+        .max_supportable_cores()?;
+    let lc = ScalingProblem::new(baseline, 32.0)
+        .with_technique(Technique::link_compression(link_ratio)?)
+        .max_supportable_cores()?;
+    let both = ScalingProblem::new(baseline, 32.0)
+        .with_techniques([
+            Technique::cache_link_compression(fpc_ratio.min(link_ratio))?,
+        ])
+        .max_supportable_cores()?;
+    println!("\nnext-generation core counts with the *measured* ratios:");
+    println!("  no compression        {base} cores");
+    println!("  cache compression     {cc} cores ({fpc_ratio:.2}x FPC)");
+    println!("  link compression      {lc} cores ({link_ratio:.2}x dictionary)");
+    println!("  cache+link (conserv.) {both} cores");
+    Ok(())
+}

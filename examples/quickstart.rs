@@ -1,0 +1,59 @@
+//! Quickstart: the bandwidth wall in a dozen lines.
+//!
+//! Reproduces the paper's headline claims with the analytical model:
+//! starting from a balanced 8-core CMP, how far can core counts scale
+//! under a fixed memory-traffic envelope, and how much do bandwidth
+//! conservation techniques help?
+//!
+//! Run: `cargo run --example quickstart`
+
+use bandwidth_wall::model::{Baseline, GenerationSweep, ScalingProblem, Technique};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's baseline: Niagara2-like, 8 cores + 8 CEAs of L2 cache,
+    // alpha = 0.5 (average commercial workload).
+    let baseline = Baseline::niagara2_like();
+
+    // Question 1: next generation (32 CEAs), constant traffic envelope.
+    let next_gen = ScalingProblem::new(baseline, 32.0);
+    println!(
+        "next generation supports {} cores (proportional scaling wants {})",
+        next_gen.max_supportable_cores()?,
+        next_gen.proportional_cores(),
+    );
+
+    // Question 2: four generations out.
+    let sweep = GenerationSweep::new(baseline).run(4)?;
+    let at_16x = &sweep[3];
+    println!(
+        "at 16x transistors: {} cores on {:.0}% of the die (ideal: {})",
+        at_16x.supportable_cores,
+        at_16x.core_area_fraction * 100.0,
+        at_16x.ideal_cores,
+    );
+
+    // Question 3: what do bandwidth conservation techniques buy?
+    for (name, technique) in [
+        ("DRAM caches (8x density)", Technique::dram_cache(8.0)?),
+        ("link compression (2x)", Technique::link_compression(2.0)?),
+        ("small cache lines (40% unused)", Technique::small_cache_lines(0.4)?),
+    ] {
+        let cores = ScalingProblem::new(baseline, 32.0)
+            .with_technique(technique)
+            .max_supportable_cores()?;
+        println!("with {name}: {cores} cores next generation");
+    }
+
+    // Question 4: stack everything (the paper's 183-core headline).
+    let everything = ScalingProblem::new(baseline, 256.0).with_techniques([
+        Technique::cache_link_compression(2.0)?,
+        Technique::dram_cache(8.0)?,
+        Technique::stacked_cache(1)?,
+        Technique::small_cache_lines(0.4)?,
+    ]);
+    println!(
+        "all techniques combined at 16x: {} cores — super-proportional",
+        everything.max_supportable_cores()?
+    );
+    Ok(())
+}

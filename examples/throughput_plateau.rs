@@ -1,0 +1,54 @@
+//! The throughput plateau: why exceeding the bandwidth envelope is
+//! pointless, from two angles.
+//!
+//! The analytical model says cores past the traffic crossover get
+//! throttled; the discrete-event simulation shows the same plateau
+//! emerging from queueing on a shared DRAM channel. Run both and compare.
+//!
+//! Run: `cargo run --release --example throughput_plateau`
+
+use bandwidth_wall::cache_sim::{simulate_throughput, ThroughputSimConfig};
+use bandwidth_wall::model::{Baseline, Technique, ThroughputModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Analytic: 32-CEA next-generation die.
+    let model = ThroughputModel::new(Baseline::niagara2_like(), 32.0);
+    println!("analytic throughput (baseline-core equivalents):");
+    for point in model.curve([4, 8, 11, 16, 24, 28])? {
+        println!(
+            "  {:>2} cores -> {:>5.2} total, {:>4.2} per core",
+            point.cores, point.throughput, point.per_core_throughput
+        );
+    }
+    println!("  plateau = {:.2}", model.plateau_throughput()?);
+
+    // Link compression doubles the envelope — and the plateau.
+    let improved = ThroughputModel::new(Baseline::niagara2_like(), 32.0)
+        .with_technique(Technique::link_compression(2.0)?);
+    println!(
+        "  with 2x link compression the plateau rises to {:.2}",
+        improved.plateau_throughput()?
+    );
+
+    // Simulated: cores sharing one DRAM channel.
+    println!("\nsimulated IPC on a shared 4 B/cycle channel:");
+    for cores in [2u16, 4, 8, 16, 32] {
+        let r = simulate_throughput(ThroughputSimConfig {
+            cores,
+            misses_per_instruction: 0.02,
+            line_bytes: 64,
+            bytes_per_cycle: 4.0,
+            access_latency: 200,
+            instructions_per_core: 100_000,
+        });
+        println!(
+            "  {:>2} cores -> IPC {:>4.2}, queue delay {:>5.0} cycles, channel {:>3.0}%",
+            cores,
+            r.ipc,
+            r.average_queue_delay,
+            r.channel_utilization * 100.0
+        );
+    }
+    println!("\nboth views agree: past saturation, extra cores only lengthen the queue");
+    Ok(())
+}

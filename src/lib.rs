@@ -1,0 +1,34 @@
+//! `bandwidth-wall` — a reproduction of *"Scaling the Bandwidth Wall:
+//! Challenges in and Avenues for CMP Scaling"* (Rogers et al., ISCA 2009).
+//!
+//! This facade crate re-exports the workspace's public API under stable
+//! module names:
+//!
+//! * [`model`] — the paper's analytical CMP memory-traffic model and
+//!   core-scaling solver (the primary contribution).
+//! * [`numerics`] — root finding, monotone search, regression, statistics.
+//! * [`trace`] — deterministic synthetic workload/trace generators.
+//! * [`cache_sim`] — the trace-driven cache and CMP simulator.
+//! * [`compress`] — cache-line and link compression engines.
+//!
+//! # Quickstart
+//!
+//! How many cores can the next technology generation support without
+//! increasing memory traffic? (Paper answer: 11, not the proportional 16.)
+//!
+//! ```
+//! use bandwidth_wall::model::{Baseline, ScalingProblem};
+//!
+//! let baseline = Baseline::niagara2_like(); // 8 cores + 8 CEAs of cache, α = 0.5
+//! let problem = ScalingProblem::new(baseline, 32.0); // next gen: 32 CEAs
+//! let cores = problem.max_supportable_cores().unwrap();
+//! assert_eq!(cores, 11);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use bandwall_cache_sim as cache_sim;
+pub use bandwall_compress as compress;
+pub use bandwall_model as model;
+pub use bandwall_numerics as numerics;
+pub use bandwall_trace as trace;
