@@ -1,11 +1,15 @@
-//! Criterion benchmarks of the compression engines, per value-pattern
-//! class (the FPC-vs-BDI-vs-dictionary ablation of DESIGN.md).
+//! Benchmarks of the compression engines, per value-pattern class (the
+//! FPC-vs-BDI-vs-dictionary ablation of DESIGN.md).
 
 use bandwall_compress::{Bdi, Compressor, DictionaryLine, Fpc, ZeroRle};
 use bandwall_trace::values::{LineValueGenerator, ValueProfile};
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
 
-fn bench_engines(c: &mut Criterion) {
+#[path = "util/mod.rs"]
+mod util;
+use util::bench;
+
+fn main() {
     let engines: Vec<Box<dyn Compressor>> = vec![
         Box::new(Fpc::new()),
         Box::new(Bdi::new()),
@@ -17,40 +21,25 @@ fn bench_engines(c: &mut Criterion) {
         ValueProfile::integer(),
         ValueProfile::floating_point(),
     ];
-    let mut group = c.benchmark_group("compress_line");
-    group.throughput(Throughput::Bytes(64));
+    println!("compress_line (64-byte lines):");
     for profile in profiles {
         let values = LineValueGenerator::new(profile.clone(), 5);
         let lines: Vec<Vec<u8>> = (0..64u64).map(|l| values.line_bytes(l * 64, 64)).collect();
         for engine in &engines {
-            group.bench_with_input(
-                BenchmarkId::new(engine.name(), profile.name()),
-                engine,
-                |b, engine| {
-                    let mut i = 0;
-                    b.iter(|| {
-                        let line = &lines[i % lines.len()];
-                        i += 1;
-                        black_box(engine.compressed_size(line))
-                    })
-                },
-            );
+            let mut i = 0;
+            bench(&format!("{}/{}", engine.name(), profile.name()), || {
+                let line = &lines[i % lines.len()];
+                i += 1;
+                black_box(engine.compressed_size(line))
+            });
         }
     }
-    group.finish();
-}
 
-fn bench_round_trip(c: &mut Criterion) {
     let values = LineValueGenerator::new(ValueProfile::commercial(), 5);
     let line = values.line_bytes(0, 64);
     let fpc = Fpc::new();
-    c.bench_function("fpc_round_trip", |b| {
-        b.iter(|| {
-            let compressed = fpc.compress(black_box(&line));
-            fpc.decompress(&compressed, 64).unwrap()
-        })
+    bench("fpc_round_trip", || {
+        let compressed = fpc.compress(black_box(&line));
+        fpc.decompress(&compressed, 64).unwrap()
     });
 }
-
-criterion_group!(benches, bench_engines, bench_round_trip);
-criterion_main!(benches);

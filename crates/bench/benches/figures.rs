@@ -7,118 +7,90 @@ use bandwall_model::combination::figure16_combinations;
 use bandwall_model::sharing::SharingModel;
 use bandwall_model::{catalog, AssumptionLevel, Baseline, ScalingProblem, TrafficModel};
 use bandwall_trace::{ParsecLikeTrace, TraceSource};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
-fn bench_fig02(c: &mut Criterion) {
+#[path = "util/mod.rs"]
+mod util;
+use util::bench;
+
+fn main() {
+    println!("figure regeneration:");
     let model = TrafficModel::new(Baseline::niagara2_like());
-    c.bench_function("fig02_traffic_curve", |b| {
-        b.iter(|| {
-            let mut total = 0.0;
-            for p in 1..=28 {
-                total += model.relative_traffic_on_die(32.0, p as f64).unwrap();
-            }
-            black_box(total)
-        })
+    bench("fig02_traffic_curve", || {
+        let mut total = 0.0;
+        for p in 1..=28 {
+            total += model.relative_traffic_on_die(32.0, p as f64).unwrap();
+        }
+        black_box(total)
     });
-}
 
-fn bench_fig03(c: &mut Criterion) {
-    c.bench_function("fig03_die_allocation", |b| {
-        b.iter(|| {
-            let mut cores = 0;
-            for g in 0..=7 {
-                let n2 = 16.0 * 2f64.powi(g);
-                cores += ScalingProblem::new(Baseline::niagara2_like(), n2)
-                    .max_supportable_cores()
-                    .unwrap();
-            }
-            black_box(cores)
-        })
+    bench("fig03_die_allocation", || {
+        let mut cores = 0;
+        for g in 0..=7 {
+            let n2 = 16.0 * 2f64.powi(g);
+            cores += ScalingProblem::new(Baseline::niagara2_like(), n2)
+                .max_supportable_cores()
+                .unwrap();
+        }
+        black_box(cores)
     });
-}
 
-fn bench_fig13(c: &mut Criterion) {
-    let model = SharingModel::new(Baseline::niagara2_like());
-    c.bench_function("fig13_required_sharing", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for cores in [16.0, 32.0, 64.0, 128.0] {
-                acc += model
-                    .required_shared_fraction(cores, cores, 1.0)
-                    .unwrap()
-                    .unwrap();
-            }
-            black_box(acc)
-        })
+    let sharing = SharingModel::new(Baseline::niagara2_like());
+    bench("fig13_required_sharing", || {
+        let mut acc = 0.0;
+        for cores in [16.0, 32.0, 64.0, 128.0] {
+            acc += sharing
+                .required_shared_fraction(cores, cores, 1.0)
+                .unwrap()
+                .unwrap();
+        }
+        black_box(acc)
     });
-}
 
-fn bench_fig15(c: &mut Criterion) {
-    c.bench_function("fig15_full_sweep", |b| {
-        b.iter(|| {
-            let mut total = 0u64;
-            for profile in catalog() {
-                for level in AssumptionLevel::ALL {
-                    for g in 1..=4 {
-                        let n2 = 16.0 * 2f64.powi(g);
-                        total += ScalingProblem::new(Baseline::niagara2_like(), n2)
-                            .with_technique(profile.technique(level).unwrap())
-                            .max_supportable_cores()
-                            .unwrap();
-                    }
-                }
-            }
-            black_box(total)
-        })
-    });
-}
-
-fn bench_fig16(c: &mut Criterion) {
-    let combos = figure16_combinations(AssumptionLevel::Realistic).unwrap();
-    c.bench_function("fig16_combinations", |b| {
-        b.iter(|| {
-            let mut total = 0u64;
-            for combo in &combos {
+    bench("fig15_full_sweep", || {
+        let mut total = 0u64;
+        for profile in catalog() {
+            for level in AssumptionLevel::ALL {
                 for g in 1..=4 {
                     let n2 = 16.0 * 2f64.powi(g);
                     total += ScalingProblem::new(Baseline::niagara2_like(), n2)
-                        .with_techniques(combo.techniques().iter().copied())
+                        .with_technique(profile.technique(level).unwrap())
                         .max_supportable_cores()
                         .unwrap();
                 }
             }
-            black_box(total)
-        })
+        }
+        black_box(total)
     });
-}
 
-fn bench_fig14_reduced(c: &mut Criterion) {
-    c.bench_function("fig14_sharing_sim_4core_50k", |b| {
-        b.iter(|| {
-            let mut cmp = CmpSystem::new(
-                4,
-                CacheConfig::new(512, 64, 2).unwrap(),
-                CacheConfig::new(128 << 10, 64, 8).unwrap(),
-                L2Organization::Shared,
-            );
-            let mut trace = ParsecLikeTrace::builder_with_regions(4, 1000, 500)
-                .seed(1)
-                .build();
-            for a in trace.iter().take(50_000) {
-                cmp.access(a);
+    let combos = figure16_combinations(AssumptionLevel::Realistic).unwrap();
+    bench("fig16_combinations", || {
+        let mut total = 0u64;
+        for combo in &combos {
+            for g in 1..=4 {
+                let n2 = 16.0 * 2f64.powi(g);
+                total += ScalingProblem::new(Baseline::niagara2_like(), n2)
+                    .with_techniques(combo.techniques().iter().copied())
+                    .max_supportable_cores()
+                    .unwrap();
             }
-            black_box(cmp.sharing().unwrap().shared_fraction())
-        })
+        }
+        black_box(total)
+    });
+
+    bench("fig14_sharing_sim_4core_50k", || {
+        let mut cmp = CmpSystem::new(
+            4,
+            CacheConfig::new(512, 64, 2).unwrap(),
+            CacheConfig::new(128 << 10, 64, 8).unwrap(),
+            L2Organization::Shared,
+        );
+        let mut trace = ParsecLikeTrace::builder_with_regions(4, 1000, 500)
+            .seed(1)
+            .build();
+        for a in trace.iter().take(50_000) {
+            cmp.access(a);
+        }
+        black_box(cmp.sharing().unwrap().shared_fraction())
     });
 }
-
-criterion_group!(
-    benches,
-    bench_fig02,
-    bench_fig03,
-    bench_fig13,
-    bench_fig15,
-    bench_fig16,
-    bench_fig14_reduced
-);
-criterion_main!(benches);

@@ -1,42 +1,33 @@
-//! Criterion benchmarks of the analytical model's primitives.
+//! Benchmarks of the analytical model's primitives.
 
 use bandwall_model::{Alpha, Baseline, MissRateCurve, ScalingProblem, Technique, TrafficModel};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
-fn bench_power_law(c: &mut Criterion) {
+#[path = "util/mod.rs"]
+mod util;
+use util::bench;
+
+fn main() {
+    println!("model primitives:");
     let curve = MissRateCurve::new(0.1, 1.0, Alpha::COMMERCIAL_AVERAGE).unwrap();
-    c.bench_function("power_law_miss_rate", |b| {
-        b.iter(|| curve.miss_rate(black_box(4.0)).unwrap())
+    bench("power_law_miss_rate", || {
+        curve.miss_rate(black_box(4.0)).unwrap()
     });
-}
 
-fn bench_relative_traffic(c: &mut Criterion) {
     let model = TrafficModel::new(Baseline::niagara2_like());
-    c.bench_function("relative_traffic", |b| {
-        b.iter(|| {
-            model
-                .relative_traffic(black_box(12.0), black_box(1.0 / 3.0))
-                .unwrap()
-        })
+    bench("relative_traffic", || {
+        model
+            .relative_traffic(black_box(12.0), black_box(1.0 / 3.0))
+            .unwrap()
     });
-}
 
-fn bench_problem_traffic_with_techniques(c: &mut Criterion) {
     let problem = ScalingProblem::new(Baseline::niagara2_like(), 256.0).with_techniques([
         Technique::cache_link_compression(2.0).unwrap(),
         Technique::dram_cache(8.0).unwrap(),
         Technique::stacked_cache(1).unwrap(),
         Technique::small_cache_lines(0.4).unwrap(),
     ]);
-    c.bench_function("traffic_full_combination", |b| {
-        b.iter(|| problem.relative_traffic(black_box(150)).unwrap())
+    bench("traffic_full_combination", || {
+        problem.relative_traffic(black_box(150)).unwrap()
     });
 }
-
-criterion_group!(
-    benches,
-    bench_power_law,
-    bench_relative_traffic,
-    bench_problem_traffic_with_techniques
-);
-criterion_main!(benches);

@@ -1,84 +1,73 @@
-//! Criterion benchmarks of the cache simulator and trace generators.
+//! Benchmarks of the cache simulator and trace generators.
 
 use bandwall_cache_sim::{
     Cache, CacheConfig, CmpSystem, CoherentCmp, L2Organization, ReplacementPolicy,
     TwoLevelHierarchy,
 };
 use bandwall_trace::{ParsecLikeTrace, StackDistanceTrace, TraceSource, ZipfTrace};
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+#[path = "util/mod.rs"]
+mod util;
+use util::bench;
 
 const BATCH: usize = 10_000;
 
-fn bench_trace_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("trace_generation");
-    group.throughput(Throughput::Elements(BATCH as u64));
-    group.bench_function("stack_distance", |b| {
+fn main() {
+    println!("trace_generation ({BATCH} accesses/iter):");
+    {
         let mut t = StackDistanceTrace::builder(0.5)
             .seed(1)
             .max_distance(1 << 16)
             .build();
-        b.iter(|| {
+        bench("stack_distance", || {
             for _ in 0..BATCH {
                 black_box(t.next_access());
             }
-        })
-    });
-    group.bench_function("zipf", |b| {
+        });
+    }
+    {
         let mut t = ZipfTrace::builder(100_000, 0.9).seed(1).build();
-        b.iter(|| {
+        bench("zipf", || {
             for _ in 0..BATCH {
                 black_box(t.next_access());
             }
-        })
-    });
-    group.bench_function("parsec_like", |b| {
+        });
+    }
+    {
         let mut t = ParsecLikeTrace::builder(16).seed(1).build();
-        b.iter(|| {
+        bench("parsec_like", || {
             for _ in 0..BATCH {
                 black_box(t.next_access());
             }
-        })
-    });
-    group.finish();
-}
+        });
+    }
 
-fn bench_cache_access(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cache_access");
-    group.throughput(Throughput::Elements(BATCH as u64));
+    println!("\ncache_access ({BATCH} accesses/iter):");
     for policy in [
         ReplacementPolicy::Lru,
         ReplacementPolicy::Fifo,
         ReplacementPolicy::Random,
         ReplacementPolicy::TreePlru,
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("policy", format!("{policy}")),
-            &policy,
-            |b, &policy| {
-                let config = CacheConfig::new(256 << 10, 64, 8)
-                    .unwrap()
-                    .with_policy(policy);
-                let mut cache = Cache::new(config);
-                let mut trace = StackDistanceTrace::builder(0.5)
-                    .seed(2)
-                    .max_distance(1 << 14)
-                    .build();
-                let accesses: Vec<_> = trace.iter().take(BATCH).collect();
-                b.iter(|| {
-                    for a in &accesses {
-                        black_box(cache.access(a.address(), a.kind().is_write()));
-                    }
-                })
-            },
-        );
+        let config = CacheConfig::new(256 << 10, 64, 8)
+            .unwrap()
+            .with_policy(policy);
+        let mut cache = Cache::new(config);
+        let mut trace = StackDistanceTrace::builder(0.5)
+            .seed(2)
+            .max_distance(1 << 14)
+            .build();
+        let accesses: Vec<_> = trace.iter().take(BATCH).collect();
+        bench(&format!("policy/{policy}"), || {
+            for a in &accesses {
+                black_box(cache.access(a.address(), a.kind().is_write()));
+            }
+        });
     }
-    group.finish();
-}
 
-fn bench_hierarchy_and_cmp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("systems");
-    group.throughput(Throughput::Elements(BATCH as u64));
-    group.bench_function("two_level_hierarchy", |b| {
+    println!("\nsystems ({BATCH} accesses/iter):");
+    {
         let mut h = TwoLevelHierarchy::new(
             CacheConfig::new(16 << 10, 64, 2).unwrap(),
             CacheConfig::new(512 << 10, 64, 8).unwrap(),
@@ -88,13 +77,13 @@ fn bench_hierarchy_and_cmp(c: &mut Criterion) {
             .max_distance(1 << 14)
             .build();
         let accesses: Vec<_> = trace.iter().take(BATCH).collect();
-        b.iter(|| {
+        bench("two_level_hierarchy", || {
             for a in &accesses {
                 h.access(a.address(), a.kind().is_write());
             }
-        })
-    });
-    group.bench_function("cmp_shared_l2_8core", |b| {
+        });
+    }
+    {
         let mut cmp = CmpSystem::new(
             8,
             CacheConfig::new(16 << 10, 64, 2).unwrap(),
@@ -103,29 +92,20 @@ fn bench_hierarchy_and_cmp(c: &mut Criterion) {
         );
         let mut trace = ParsecLikeTrace::builder(8).seed(3).build();
         let accesses: Vec<_> = trace.iter().take(BATCH).collect();
-        b.iter(|| {
+        bench("cmp_shared_l2_8core", || {
             for &a in &accesses {
                 cmp.access(a);
             }
-        })
-    });
-    group.bench_function("coherent_msi_8core", |b| {
+        });
+    }
+    {
         let mut cmp = CoherentCmp::new(8, CacheConfig::new(128 << 10, 64, 8).unwrap());
         let mut trace = ParsecLikeTrace::builder(8).seed(3).build();
         let accesses: Vec<_> = trace.iter().take(BATCH).collect();
-        b.iter(|| {
+        bench("coherent_msi_8core", || {
             for &a in &accesses {
                 cmp.access(a);
             }
-        })
-    });
-    group.finish();
+        });
+    }
 }
-
-criterion_group!(
-    benches,
-    bench_trace_generation,
-    bench_cache_access,
-    bench_hierarchy_and_cmp
-);
-criterion_main!(benches);

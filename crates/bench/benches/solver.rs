@@ -6,38 +6,32 @@
 //! sizes.
 
 use bandwall_model::{Baseline, ScalingProblem, Technique};
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
 
-fn bench_solver(c: &mut Criterion) {
-    let mut group = c.benchmark_group("supportable_cores");
+#[path = "util/mod.rs"]
+mod util;
+use util::bench;
+
+fn main() {
+    println!("supportable-core solver:");
     for generation in [1u32, 4, 7] {
         let n2 = 16.0 * 2f64.powi(generation as i32);
         let problem = ScalingProblem::new(Baseline::niagara2_like(), n2);
-        group.bench_with_input(
-            BenchmarkId::new("integer_search", generation),
-            &problem,
-            |b, p| b.iter(|| black_box(p).max_supportable_cores().unwrap()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("brent_crossover", generation),
-            &problem,
-            |b, p| b.iter(|| black_box(p).crossover_cores().unwrap()),
-        );
+        bench(&format!("integer_search/gen{generation}"), || {
+            black_box(&problem).max_supportable_cores().unwrap()
+        });
+        bench(&format!("brent_crossover/gen{generation}"), || {
+            black_box(&problem).crossover_cores().unwrap()
+        });
     }
-    group.finish();
-}
 
-fn bench_solver_with_techniques(c: &mut Criterion) {
     let problem = ScalingProblem::new(Baseline::niagara2_like(), 256.0).with_techniques([
         Technique::cache_link_compression(2.0).unwrap(),
         Technique::dram_cache(8.0).unwrap(),
         Technique::stacked_cache(1).unwrap(),
         Technique::small_cache_lines(0.4).unwrap(),
     ]);
-    c.bench_function("solver_full_combination_16x", |b| {
-        b.iter(|| black_box(&problem).max_supportable_cores().unwrap())
+    bench("solver_full_combination_16x", || {
+        black_box(&problem).max_supportable_cores().unwrap()
     });
 }
-
-criterion_group!(benches, bench_solver, bench_solver_with_techniques);
-criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Minimal timing harness shared by the `harness = false` bench targets.
+//!
+//! The build environment cannot reach crates.io, so these benches use a
+//! small std-only measurement loop instead of Criterion: calibrate an
+//! iteration count against a time target, take several timed samples,
+//! and report the best (least-noisy) per-iteration latency.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time per measurement sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(60);
+/// Number of timed samples; the minimum is reported.
+const SAMPLES: usize = 5;
+
+/// Runs `f` repeatedly and prints `name` with the best observed
+/// per-iteration time. Returns that time in nanoseconds.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> f64 {
+    // Calibrate: double the iteration count until a batch takes long
+    // enough to time reliably.
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= SAMPLE_TARGET / 4 || iters >= 1 << 30 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+        if per_iter < best {
+            best = per_iter;
+        }
+    }
+    println!("{name:<44} {:>14} ns/iter", format_ns(best));
+    best
+}
+
+/// Formats nanoseconds with thousands separators and two decimals.
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2}M", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}k", ns / 1e3)
+    } else {
+        format!("{ns:.2}")
+    }
+}

@@ -8,54 +8,6 @@
 //! like a slightly smaller one — second-order effects next to the
 //! capacity itself, which is what the model captures.
 
-use bandwall_cache_sim::{CacheConfig, InclusionPolicy, TwoLevelHierarchy};
-use bandwall_experiments::{header, render::Table};
-use bandwall_trace::{TraceSource, ZipfTrace};
-
-const ACCESSES: usize = 150_000;
-
-fn traffic(inclusion: InclusionPolicy, working_set_lines: usize) -> u64 {
-    let mut h = TwoLevelHierarchy::new(
-        CacheConfig::new(8 << 10, 64, 4).expect("valid L1"), // 128 lines
-        CacheConfig::new(32 << 10, 64, 8).expect("valid L2"), // 512 lines
-    )
-    .with_inclusion(inclusion);
-    let mut trace = ZipfTrace::builder(working_set_lines, 0.3)
-        .seed(42)
-        .build();
-    for a in trace.iter().take(ACCESSES) {
-        h.access(a.address(), a.kind().is_write());
-    }
-    h.memory_traffic().total_bytes()
-}
-
 fn main() {
-    header(
-        "Ablation",
-        "inclusion policy vs off-chip traffic (8 KB L1 + 32 KB L2)",
-    );
-    let mut table = Table::new(&[
-        "working set",
-        "non-inclusive",
-        "inclusive",
-        "exclusive",
-        "excl/incl",
-    ]);
-    for ws in [256usize, 512, 640, 768, 1024, 2048] {
-        let ni = traffic(InclusionPolicy::NonInclusive, ws);
-        let inc = traffic(InclusionPolicy::Inclusive, ws);
-        let exc = traffic(InclusionPolicy::Exclusive, ws);
-        table.row_owned(vec![
-            format!("{} KB", ws * 64 / 1024),
-            format!("{} KB", ni / 1024),
-            format!("{} KB", inc / 1024),
-            format!("{} KB", exc / 1024),
-            format!("{:.2}", exc as f64 / inc as f64),
-        ]);
-    }
-    table.print();
-    println!();
-    println!("exclusive wins most around working sets between L2 and L1+L2 capacity;");
-    println!("the spread is small next to capacity scaling itself, supporting the");
-    println!("model's CEA-counting abstraction");
+    bandwall_experiments::registry::run_main("ablate_inclusion");
 }

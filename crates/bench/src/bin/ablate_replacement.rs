@@ -7,66 +7,6 @@
 //! and random replacement, fits α to each miss curve, and reports how
 //! much the approximation costs.
 
-use bandwall_cache_sim::{Cache, CacheConfig, ReplacementPolicy};
-use bandwall_experiments::{header, render::Table};
-use bandwall_numerics::PowerLawFit;
-use bandwall_trace::{StackDistanceTrace, TraceSource};
-
-const ACCESSES: usize = 250_000;
-const WARMUP: usize = 50_000;
-
-fn miss_rate(policy: ReplacementPolicy, capacity: u64, trace_seed: u64) -> f64 {
-    let config = CacheConfig::new(capacity, 64, 8)
-        .expect("valid geometry")
-        .with_policy(policy)
-        .with_policy_seed(7);
-    let mut cache = Cache::new(config);
-    let mut trace = StackDistanceTrace::builder(0.5)
-        .seed(trace_seed)
-        .max_distance(1 << 15)
-        .build();
-    for a in trace.iter().take(WARMUP) {
-        cache.access(a.address(), a.kind().is_write());
-    }
-    let before = cache.stats().misses();
-    let before_accesses = cache.stats().accesses();
-    for a in trace.iter().take(ACCESSES) {
-        cache.access(a.address(), a.kind().is_write());
-    }
-    (cache.stats().misses() - before) as f64
-        / (cache.stats().accesses() - before_accesses) as f64
-}
-
 fn main() {
-    header(
-        "Ablation",
-        "replacement policy vs fitted power-law exponent (true α = 0.5)",
-    );
-    let capacities: Vec<u64> = (13..=18).map(|i| 1u64 << i).collect(); // 8 KB..256 KB
-    let mut table = Table::new(&["policy", "fitted α", "R²", "miss@8K", "miss@256K"]);
-    for policy in [
-        ReplacementPolicy::Lru,
-        ReplacementPolicy::TreePlru,
-        ReplacementPolicy::Fifo,
-        ReplacementPolicy::Random,
-    ] {
-        let rates: Vec<f64> = capacities
-            .iter()
-            .map(|&c| miss_rate(policy, c, 31))
-            .collect();
-        let xs: Vec<f64> = capacities.iter().map(|&c| c as f64).collect();
-        let fit = PowerLawFit::fit(&xs, &rates).expect("positive rates");
-        table.row_owned(vec![
-            policy.to_string(),
-            format!("{:.3}", fit.alpha),
-            format!("{:.3}", fit.r_squared),
-            format!("{:.3}", rates[0]),
-            format!("{:.3}", rates[rates.len() - 1]),
-        ]);
-    }
-    table.print();
-    println!();
-    println!("the power law survives the hardware approximations: the fitted exponent");
-    println!("moves only slightly from LRU to PLRU/FIFO/random, so the model's α is");
-    println!("robust to the cache's actual replacement policy");
+    bandwall_experiments::registry::run_main("ablate_replacement");
 }

@@ -1,0 +1,272 @@
+//! `bandwall` — the unified experiment runner.
+//!
+//! One binary over the whole registry, replacing 29 per-figure binaries
+//! for day-to-day use (those remain as thin aliases):
+//!
+//! ```text
+//! bandwall list                         # every experiment id + title
+//! bandwall run fig02_traffic_vs_cores   # one experiment, ASCII
+//! bandwall run --all --format json      # everything, as a JSON array
+//! bandwall run --all --out reports/     # one file per experiment
+//! bandwall run --all --jobs 8           # run experiments concurrently
+//! bandwall run --all --seed 7           # re-seed every simulation
+//! ```
+//!
+//! Experiments run concurrently (`--jobs`, default: available
+//! parallelism) but reports are always emitted in registry order, so
+//! output is deterministic regardless of scheduling.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use bandwall_experiments::registry::{registry_with_seed, Experiment};
+use bandwall_experiments::report::Report;
+
+const USAGE: &str = "\
+bandwall — unified runner for the bandwidth-wall experiment registry
+
+USAGE:
+    bandwall list
+    bandwall run <id>... [OPTIONS]
+    bandwall run --all [OPTIONS]
+
+OPTIONS:
+    --format <ascii|csv|json>   output format (default: ascii)
+    --out <DIR>                 write one file per experiment into DIR
+                                instead of printing to stdout
+    --jobs <N>                  worker threads (default: available
+                                parallelism, capped at the experiment
+                                count)
+    --seed <N>                  derive a fresh seed for every seeded
+                                experiment (default: historical seeds,
+                                byte-compatible with the legacy binaries)
+    -h, --help                  show this help
+";
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Ascii,
+    Csv,
+    Json,
+}
+
+impl Format {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "ascii" => Ok(Format::Ascii),
+            "csv" => Ok(Format::Csv),
+            "json" => Ok(Format::Json),
+            other => Err(format!("unknown format '{other}' (ascii|csv|json)")),
+        }
+    }
+
+    fn extension(self) -> &'static str {
+        match self {
+            Format::Ascii => "txt",
+            Format::Csv => "csv",
+            Format::Json => "json",
+        }
+    }
+
+    fn render(self, report: &Report) -> String {
+        match self {
+            Format::Ascii => report.to_ascii(),
+            Format::Csv => report.to_csv(),
+            Format::Json => report.to_json(),
+        }
+    }
+}
+
+struct RunArgs {
+    ids: Vec<String>,
+    all: bool,
+    format: Format,
+    out: Option<std::path::PathBuf>,
+    jobs: Option<usize>,
+    seed: Option<u64>,
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut run = RunArgs {
+        ids: Vec::new(),
+        all: false,
+        format: Format::Ascii,
+        out: None,
+        jobs: None,
+        seed: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all" => run.all = true,
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                run.format = Format::parse(v)?;
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a directory")?;
+                run.out = Some(v.into());
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a count")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --jobs value '{v}'"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                run.jobs = Some(n);
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                run.seed = Some(v.parse().map_err(|_| format!("bad --seed value '{v}'"))?);
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown option '{flag}'")),
+            id => run.ids.push(id.to_string()),
+        }
+    }
+    if run.all && !run.ids.is_empty() {
+        return Err("pass either --all or explicit ids, not both".into());
+    }
+    if !run.all && run.ids.is_empty() {
+        return Err("nothing to run: pass experiment ids or --all".into());
+    }
+    Ok(run)
+}
+
+/// Runs `selected` concurrently on `jobs` scoped threads; reports come
+/// back in input order regardless of which thread finished first.
+fn run_parallel(selected: &[Box<dyn Experiment>], jobs: usize) -> Vec<Report> {
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Report>>> = selected.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(selected.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(experiment) = selected.get(i) else {
+                    break;
+                };
+                let report = experiment.run();
+                *slots[i].lock().unwrap() = Some(report);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+fn emit(reports: &[Report], format: Format, out: Option<&std::path::Path>) -> Result<(), String> {
+    match out {
+        Some(dir) => {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+            for report in reports {
+                let path = dir.join(format!("{}.{}", report.id, format.extension()));
+                std::fs::write(&path, format.render(report))
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                println!("wrote {}", path.display());
+            }
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut w = stdout.lock();
+            let rendered: Result<(), std::io::Error> = (|| {
+                match format {
+                    Format::Json => {
+                        // One valid JSON document: an array of reports.
+                        w.write_all(b"[")?;
+                        for (i, report) in reports.iter().enumerate() {
+                            if i > 0 {
+                                w.write_all(b",")?;
+                            }
+                            w.write_all(report.to_json().as_bytes())?;
+                        }
+                        w.write_all(b"]\n")?;
+                    }
+                    Format::Ascii | Format::Csv => {
+                        for (i, report) in reports.iter().enumerate() {
+                            if i > 0 {
+                                w.write_all(b"\n")?;
+                            }
+                            w.write_all(format.render(report).as_bytes())?;
+                        }
+                    }
+                }
+                Ok(())
+            })();
+            rendered.map_err(|e| format!("stdout: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_list() {
+    let reg = registry_with_seed(None);
+    let width = reg.iter().map(|e| e.id().len()).max().unwrap_or(0);
+    for e in &reg {
+        println!("{:width$}  {} — {}", e.id(), e.figure(), e.title());
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let run = parse_run_args(args)?;
+    let reg = registry_with_seed(run.seed);
+    let selected: Vec<Box<dyn Experiment>> = if run.all {
+        reg
+    } else {
+        let mut by_id: Vec<Option<Box<dyn Experiment>>> = reg.into_iter().map(Some).collect();
+        let mut picked = Vec::new();
+        for id in &run.ids {
+            let found = by_id
+                .iter_mut()
+                .find(|slot| slot.as_deref().is_some_and(|e| e.id() == id));
+            match found {
+                Some(slot) => picked.push(slot.take().unwrap()),
+                None => {
+                    return Err(format!(
+                        "unknown experiment id '{id}' (see `bandwall list`)"
+                    ))
+                }
+            }
+        }
+        picked
+    };
+    let jobs = run.jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1)
+    });
+    let reports = run_parallel(&selected, jobs);
+    emit(&reports, run.format, run.out.as_deref())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            cmd_list();
+            ExitCode::SUCCESS
+        }
+        Some("run") => match cmd_run(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("bandwall: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("-h" | "--help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("bandwall: unknown command '{other}'\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

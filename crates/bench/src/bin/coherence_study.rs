@@ -8,65 +8,6 @@
 //! the shared-access fraction, and reports off-chip traffic plus the
 //! coherence activity the analytical model abstracts away.
 
-use bandwall_cache_sim::{CacheConfig, CmpSystem, CoherentCmp, L2Organization};
-use bandwall_experiments::{header, render::Table};
-use bandwall_trace::{ParsecLikeTrace, TraceSource};
-
-const CORES: u16 = 8;
-const ACCESSES: usize = 300_000;
-
-fn trace(shared_fraction: f64) -> ParsecLikeTrace {
-    ParsecLikeTrace::builder_with_regions(CORES, 2000, 1500)
-        .shared_access_fraction(shared_fraction)
-        .seed(91)
-        .build()
-}
-
 fn main() {
-    header(
-        "Coherence study",
-        "shared L2 vs private MSI caches under data sharing (8 cores)",
-    );
-    let mut table = Table::new(&[
-        "shared accesses",
-        "shared-L2 traffic",
-        "private-MSI traffic",
-        "ratio",
-        "invalidations",
-        "c2c transfers",
-    ]);
-    for fsh in [0.0, 0.2, 0.4, 0.6] {
-        // Shared L2: one 512 KB cache.
-        let mut shared = CmpSystem::new(
-            CORES,
-            CacheConfig::new(512, 64, 2).expect("valid L1"),
-            CacheConfig::new(512 << 10, 64, 8).expect("valid L2"),
-            L2Organization::Shared,
-        );
-        let mut t = trace(fsh);
-        for a in t.iter().take(ACCESSES) {
-            shared.access(a);
-        }
-        // Private MSI: eight 64 KB caches (same total silicon).
-        let mut private = CoherentCmp::new(CORES, CacheConfig::new(64 << 10, 64, 8).unwrap());
-        let mut t = trace(fsh);
-        for a in t.iter().take(ACCESSES) {
-            private.access(a);
-        }
-        let s = shared.memory_traffic().total_bytes();
-        let p = private.memory_traffic().total_bytes();
-        table.row_owned(vec![
-            format!("{:.0}%", fsh * 100.0),
-            format!("{} KB", s / 1024),
-            format!("{} KB", p / 1024),
-            format!("{:.2}", p as f64 / s as f64),
-            private.coherence().invalidations().to_string(),
-            private.coherence().cache_to_cache_transfers().to_string(),
-        ]);
-    }
-    table.print();
-    println!();
-    println!("replication makes private caches fall further behind as sharing grows —");
-    println!("the capacity effect footnote 1 describes; MSI keeps the extra traffic on");
-    println!("chip (cache-to-cache) but cannot recover the wasted capacity");
+    bandwall_experiments::registry::run_main("coherence_study");
 }

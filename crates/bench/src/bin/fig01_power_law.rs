@@ -9,101 +9,6 @@
 //! 0.62 = OLTP-4); the SPEC 2006 aggregate fits α = 0.25; individual SPEC
 //! applications fit less well (discrete working sets).
 
-use bandwall_experiments::{header, render::Table};
-use bandwall_numerics::PowerLawFit;
-use bandwall_trace::suites::{commercial_suite, spec_suite};
-use bandwall_trace::{MissRateProbe, StackDistanceTrace, TraceSource, WorkingSetTrace};
-
-const BURN_IN: usize = 80_000;
-const MEASURE: usize = 400_000;
-
-/// Cache sizes probed, in 64-byte lines (8 KB … 4 MB).
-fn capacities() -> Vec<usize> {
-    (7..=16).map(|i| 1usize << i).collect()
-}
-
-/// Exact measurement for stack-distance traces: warm the probe with the
-/// generator's full footprint so there is no compulsory-miss floor.
-fn measure_commercial(trace: &mut StackDistanceTrace, caps: &[usize]) -> Vec<f64> {
-    let mut probe = MissRateProbe::new(caps);
-    trace.warm_probe(&mut probe);
-    for a in trace.iter().take(MEASURE) {
-        probe.observe(a.address() / 64);
-    }
-    probe.miss_rates()
-}
-
-/// Burn-in measurement for the discrete-working-set traces.
-fn measure_spec(trace: &mut WorkingSetTrace, caps: &[usize]) -> Vec<f64> {
-    let mut probe = MissRateProbe::new(caps);
-    for a in trace.iter().take(BURN_IN) {
-        probe.observe(a.address() / 64);
-    }
-    probe.reset_counts();
-    for a in trace.iter().take(MEASURE) {
-        probe.observe(a.address() / 64);
-    }
-    probe.miss_rates()
-}
-
 fn main() {
-    header("Figure 1", "Normalized miss rate vs cache size (power-law fits)");
-    let caps = capacities();
-    let cap_kb: Vec<String> = caps.iter().map(|c| format!("{}K", c * 64 / 1024)).collect();
-
-    let mut table = Table::new(&["workload", "fitted α", "R²", "paper α"]);
-    let mut commercial_alphas = Vec::new();
-    let mut spec_curves: Vec<Vec<f64>> = Vec::new();
-
-    for trace in &mut commercial_suite(2026) {
-        let rates = measure_commercial(trace, &caps);
-        let xs: Vec<f64> = caps.iter().map(|&c| c as f64).collect();
-        let fit = PowerLawFit::fit(&xs, &rates).expect("positive rates");
-        commercial_alphas.push(fit.alpha);
-        table.row_owned(vec![
-            trace.name().to_string(),
-            format!("{:.3}", fit.alpha),
-            format!("{:.3}", fit.r_squared),
-            format!("{:.2} (configured)", trace.alpha()),
-        ]);
-    }
-    for trace in &mut spec_suite(2026) {
-        let rates = measure_spec(trace, &caps);
-        spec_curves.push(rates);
-    }
-    // SPEC aggregate: average the curves, then fit.
-    let n = spec_curves.len() as f64;
-    let avg: Vec<f64> = (0..caps.len())
-        .map(|i| spec_curves.iter().map(|c| c[i]).sum::<f64>() / n)
-        .collect();
-    let xs: Vec<f64> = caps.iter().map(|&c| c as f64).collect();
-    let spec_fit = PowerLawFit::fit(&xs, &avg).expect("positive rates");
-    let avg_alpha = commercial_alphas.iter().sum::<f64>() / commercial_alphas.len() as f64;
-    let min_alpha = commercial_alphas.iter().cloned().fold(f64::MAX, f64::min);
-    let max_alpha = commercial_alphas.iter().cloned().fold(f64::MIN, f64::max);
-
-    table.row_owned(vec![
-        "Commercial (AVG)".to_string(),
-        format!("{avg_alpha:.3}"),
-        String::new(),
-        "0.48".to_string(),
-    ]);
-    table.row_owned(vec![
-        "SPEC 2006 (AVG)".to_string(),
-        format!("{:.3}", spec_fit.alpha),
-        format!("{:.3}", spec_fit.r_squared),
-        "0.25".to_string(),
-    ]);
-    table.print();
-
-    println!();
-    println!("probed cache sizes: {}", cap_kb.join(" "));
-    println!(
-        "commercial α: avg {:.3} (paper 0.48), min {:.3} (paper 0.36), max {:.3} (paper 0.62)",
-        avg_alpha, min_alpha, max_alpha
-    );
-    println!(
-        "SPEC aggregate α: {:.3} (paper 0.25)",
-        spec_fit.alpha
-    );
+    bandwall_experiments::registry::run_main("fig01_power_law");
 }

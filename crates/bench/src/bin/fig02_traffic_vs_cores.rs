@@ -5,44 +5,6 @@
 //! cores (37.5% growth instead of the proportional 100%); a 50% larger
 //! envelope allows 13 cores.
 
-use bandwall_experiments::{die_budget, header, paper_baseline, render::{bar, Table}};
-use bandwall_model::{ScalingProblem, TrafficModel};
-
 fn main() {
-    header("Figure 2", "Memory traffic vs number of cores (next generation)");
-    let baseline = paper_baseline();
-    let model = TrafficModel::new(baseline);
-    let n2 = die_budget(1);
-
-    let mut table = Table::new(&["cores", "normalized traffic", "", "within envelope"]);
-    for cores in (2..=28).step_by(2) {
-        let traffic = model
-            .relative_traffic_on_die(n2, cores as f64)
-            .expect("cache area remains");
-        table.row_owned(vec![
-            cores.to_string(),
-            format!("{traffic:.3}"),
-            bar(traffic, 8.0, 40),
-            if traffic <= 1.0 { "yes" } else { "no" }.to_string(),
-        ]);
-    }
-    table.print();
-    println!();
-
-    let constant = ScalingProblem::new(baseline, n2);
-    let optimistic = ScalingProblem::new(baseline, n2).with_bandwidth_growth(1.5);
-    println!(
-        "crossover (B = 1.0): {:.2} cores -> {} supportable   [paper: 11]",
-        constant.crossover_cores().unwrap(),
-        constant.max_supportable_cores().unwrap()
-    );
-    println!(
-        "crossover (B = 1.5): {:.2} cores -> {} supportable   [paper: 13]",
-        optimistic.crossover_cores().unwrap(),
-        optimistic.max_supportable_cores().unwrap()
-    );
-    println!(
-        "proportional scaling would want {} cores",
-        constant.proportional_cores()
-    );
+    bandwall_experiments::registry::run_main("fig02_traffic_vs_cores");
 }

@@ -5,34 +5,6 @@
 //! (24 cores vs 128 proportional); the core share keeps shrinking at
 //! every further generation.
 
-use bandwall_experiments::{header, paper_baseline, render::Table};
-use bandwall_model::ScalingProblem;
-
 fn main() {
-    header("Figure 3", "Die allocation vs scaling ratio (constant traffic)");
-    let baseline = paper_baseline();
-
-    let mut table = Table::new(&[
-        "scaling",
-        "total CEAs",
-        "supportable cores",
-        "ideal cores",
-        "% area for cores",
-    ]);
-    for g in 0..=7u32 {
-        let ratio = 2f64.powi(g as i32);
-        let n2 = baseline.total_ceas() * ratio;
-        let problem = ScalingProblem::new(baseline, n2);
-        let cores = problem.max_supportable_cores().unwrap();
-        table.row_owned(vec![
-            format!("{}x", ratio as u64),
-            format!("{n2:.0}"),
-            cores.to_string(),
-            problem.proportional_cores().to_string(),
-            format!("{:.1}%", problem.core_area_fraction(cores) * 100.0),
-        ]);
-    }
-    table.print();
-    println!();
-    println!("paper anchors: 16x -> 24 cores on ~10% of the die (vs 128 proportional)");
+    bandwall_experiments::registry::run_main("fig03_die_allocation");
 }

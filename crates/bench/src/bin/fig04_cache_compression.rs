@@ -5,22 +5,6 @@
 //! 11/12/13/14/14 cores; Table 2 marks 1.25× pessimistic, 2× realistic,
 //! 3.5× optimistic.
 
-use bandwall_experiments::{header, sweep::{run_next_generation_sweep, Variant}};
-use bandwall_model::Technique;
-
 fn main() {
-    header("Figure 4", "Cores enabled by cache compression");
-    let ratios = [1.25, 1.5, 1.75, 2.0, 2.5, 3.0, 3.5, 4.0];
-    let paper = [None, None, None, Some(13), Some(14), Some(14), None, None];
-    let mut variants = vec![Variant::new("No Compress", None, Some(11))];
-    for (&r, &p) in ratios.iter().zip(&paper) {
-        variants.push(Variant::new(
-            format!("{r}x"),
-            Some(Technique::cache_compression(r).expect("valid ratio")),
-            p,
-        ));
-    }
-    run_next_generation_sweep(&variants);
-    println!();
-    println!("assumption bands (Table 2): pessimistic 1.25x, realistic 2x, optimistic 3.5x");
+    bandwall_experiments::registry::run_main("fig04_cache_compression");
 }

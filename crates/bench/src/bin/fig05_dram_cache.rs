@@ -3,30 +3,6 @@
 //! Paper reference: SRAM baseline 11 cores; DRAM L2 at 4×/8×/16× density
 //! reaches 16/18/21 — proportional scaling already at the conservative 4×.
 
-use bandwall_experiments::{header, sweep::{run_next_generation_sweep, Variant}};
-use bandwall_model::Technique;
-
 fn main() {
-    header("Figure 5", "Cores enabled by DRAM caches");
-    let variants = vec![
-        Variant::new("SRAM L2", None, Some(11)),
-        Variant::new(
-            "DRAM L2 (4x)",
-            Some(Technique::dram_cache(4.0).expect("valid")),
-            Some(16),
-        ),
-        Variant::new(
-            "DRAM L2 (8x)",
-            Some(Technique::dram_cache(8.0).expect("valid")),
-            Some(18),
-        ),
-        Variant::new(
-            "DRAM L2 (16x)",
-            Some(Technique::dram_cache(16.0).expect("valid")),
-            Some(21),
-        ),
-    ];
-    run_next_generation_sweep(&variants);
-    println!();
-    println!("proportional scaling target: 16 cores — met by the conservative 4x density");
+    bandwall_experiments::registry::run_main("fig05_dram_cache");
 }

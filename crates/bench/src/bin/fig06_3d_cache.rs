@@ -3,28 +3,6 @@
 //! Paper reference: no-3D 11 cores; one stacked SRAM die 14; stacked DRAM
 //! dies at 8×/16× density 25/32 — super-proportional scaling.
 
-use bandwall_experiments::{header, sweep::{run_next_generation_sweep, Variant}};
-use bandwall_model::Technique;
-
 fn main() {
-    header("Figure 6", "Cores enabled by 3D-stacked caches");
-    let variants = vec![
-        Variant::new("No 3D Cache", None, Some(11)),
-        Variant::new(
-            "3D SRAM",
-            Some(Technique::stacked_cache(1).expect("valid")),
-            Some(14),
-        ),
-        Variant::new(
-            "3D DRAM (8x)",
-            Some(Technique::stacked_dram_cache(1, 8.0).expect("valid")),
-            Some(25),
-        ),
-        Variant::new(
-            "3D DRAM (16x)",
-            Some(Technique::stacked_dram_cache(1, 16.0).expect("valid")),
-            Some(32),
-        ),
-    ];
-    run_next_generation_sweep(&variants);
+    bandwall_experiments::registry::run_main("fig06_3d_cache");
 }

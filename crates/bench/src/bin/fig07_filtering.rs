@@ -4,20 +4,6 @@
 //! Paper reference: at the realistic 40% unused data the benefit is one
 //! extra core (12); the optimistic 80% reaches proportional scaling (16).
 
-use bandwall_experiments::{header, sweep::{run_next_generation_sweep, Variant}};
-use bandwall_model::Technique;
-
 fn main() {
-    header("Figure 7", "Cores enabled by unused-data filtering");
-    let mut variants = vec![Variant::new("No Filtering", None, Some(11))];
-    for (fraction, paper) in [(0.1, None), (0.2, None), (0.4, Some(12)), (0.8, Some(16))] {
-        variants.push(Variant::new(
-            format!("{:.0}% unused", fraction * 100.0),
-            Some(Technique::unused_data_filter(fraction).expect("valid")),
-            paper,
-        ));
-    }
-    run_next_generation_sweep(&variants);
-    println!();
-    println!("indirect benefit only: the capacity gain is dampened by the -α exponent");
+    bandwall_experiments::registry::run_main("fig07_filtering");
 }

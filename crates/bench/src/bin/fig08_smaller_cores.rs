@@ -5,38 +5,6 @@
 //! area at most doubles the cache per core while proportional scaling
 //! needs 4×.
 
-use bandwall_experiments::{header, paper_baseline, sweep::{run_next_generation_sweep, Variant}};
-use bandwall_model::{ScalingProblem, Technique};
-
 fn main() {
-    header("Figure 8", "Cores enabled by smaller cores");
-    let mut variants = vec![Variant::new("1x (full-size)", None, Some(11))];
-    for reduction in [9.0, 45.0, 80.0] {
-        variants.push(Variant::new(
-            format!("{reduction:.0}x smaller"),
-            Some(Technique::smaller_cores(1.0 / reduction).expect("valid")),
-            None,
-        ));
-    }
-    run_next_generation_sweep(&variants);
-
-    // The limit case the paper derives analytically: cores of zero area
-    // leave all 32 CEAs as cache, and (P/8)·(32/P)^-0.5 = 1 at P ≈ 12.7.
-    let p = ScalingProblem::new(paper_baseline(), 32.0)
-        .with_technique(Technique::smaller_cores(1e-6).expect("valid"));
-    println!();
-    println!(
-        "limit (infinitesimal cores): {} cores — cache per core can at most double",
-        p.max_supportable_cores().unwrap()
-    );
-
-    // The paper's caveat: "with increasingly smaller cores, the
-    // interconnection between cores becomes increasingly larger".
-    let taxed = ScalingProblem::new(paper_baseline(), 32.0)
-        .with_technique(Technique::smaller_cores(1.0 / 80.0).expect("valid"))
-        .with_uncore_overhead(0.5);
-    println!(
-        "with 0.5 CEA/core of interconnect, 80x-smaller cores support only {}",
-        taxed.max_supportable_cores().unwrap()
-    );
+    bandwall_experiments::registry::run_main("fig08_smaller_cores");
 }

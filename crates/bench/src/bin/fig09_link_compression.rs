@@ -4,29 +4,6 @@
 //! exact proportional scaling (16 cores); higher ratios go
 //! super-proportional (~20 at 3.5×).
 
-use bandwall_experiments::{header, sweep::{run_next_generation_sweep, Variant}};
-use bandwall_model::Technique;
-
 fn main() {
-    header("Figure 9", "Cores enabled by link compression");
-    let mut variants = vec![Variant::new("No Compress", None, Some(11))];
-    for (ratio, paper) in [
-        (1.25, None),
-        (1.5, None),
-        (1.75, None),
-        (2.0, Some(16)),
-        (2.5, None),
-        (3.0, None),
-        (3.5, None),
-        (4.0, None),
-    ] {
-        variants.push(Variant::new(
-            format!("{ratio}x"),
-            Some(Technique::link_compression(ratio).expect("valid")),
-            paper,
-        ));
-    }
-    run_next_generation_sweep(&variants);
-    println!();
-    println!("direct techniques divide the traffic itself — no -α dampening");
+    bandwall_experiments::registry::run_main("fig09_link_compression");
 }

@@ -5,20 +5,6 @@
 //! *filtering* (Figure 7), especially at high unused fractions, because
 //! the effect is direct.
 
-use bandwall_experiments::{header, sweep::{run_next_generation_sweep, Variant}};
-use bandwall_model::Technique;
-
 fn main() {
-    header("Figure 10", "Cores enabled by sectored caches");
-    let mut variants = vec![Variant::new("0% unused", None, Some(11))];
-    for (fraction, paper) in [(0.1, None), (0.2, None), (0.4, Some(14)), (0.8, None)] {
-        variants.push(Variant::new(
-            format!("{:.0}% unused", fraction * 100.0),
-            Some(Technique::sectored_cache(fraction).expect("valid")),
-            paper,
-        ));
-    }
-    run_next_generation_sweep(&variants);
-    println!();
-    println!("compare Figure 7: the same unused fractions help more when applied directly");
+    bandwall_experiments::registry::run_main("fig10_sectored");
 }

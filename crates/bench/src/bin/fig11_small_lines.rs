@@ -4,20 +4,6 @@
 //! unused data restores proportional scaling (16 cores); optimistically
 //! (80%) it goes well beyond.
 
-use bandwall_experiments::{header, sweep::{run_next_generation_sweep, Variant}};
-use bandwall_model::Technique;
-
 fn main() {
-    header("Figure 11", "Cores enabled by smaller cache lines");
-    let mut variants = vec![Variant::new("0% unused", None, Some(11))];
-    for (fraction, paper) in [(0.1, None), (0.2, None), (0.4, Some(16)), (0.8, None)] {
-        variants.push(Variant::new(
-            format!("{:.0}% unused", fraction * 100.0),
-            Some(Technique::small_cache_lines(fraction).expect("valid")),
-            paper,
-        ));
-    }
-    run_next_generation_sweep(&variants);
-    println!();
-    println!("dual effect: unused words cost neither bandwidth nor cache capacity");
+    bandwall_experiments::registry::run_main("fig11_small_lines");
 }

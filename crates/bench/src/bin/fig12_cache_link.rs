@@ -5,27 +5,6 @@
 //! moderate 2.0× ratio already yields super-proportional scaling
 //! (18 cores).
 
-use bandwall_experiments::{header, sweep::{run_next_generation_sweep, Variant}};
-use bandwall_model::Technique;
-
 fn main() {
-    header("Figure 12", "Cores enabled by cache+link compression");
-    let mut variants = vec![Variant::new("No Compress", None, Some(11))];
-    for (ratio, paper) in [
-        (1.25, None),
-        (1.5, None),
-        (1.75, None),
-        (2.0, Some(18)),
-        (2.5, None),
-        (3.0, None),
-        (3.5, None),
-        (4.0, None),
-    ] {
-        variants.push(Variant::new(
-            format!("{ratio}x"),
-            Some(Technique::cache_link_compression(ratio).expect("valid")),
-            paper,
-        ));
-    }
-    run_next_generation_sweep(&variants);
+    bandwall_experiments::registry::run_main("fig12_cache_link");
 }

@@ -7,44 +7,6 @@
 //! Paper reference: constant traffic requires fsh ≈ 40%, 63%, 77%, 86%
 //! for the four generations.
 
-use bandwall_experiments::{header, paper_baseline, render::Table};
-use bandwall_model::sharing::SharingModel;
-
 fn main() {
-    header("Figure 13", "Impact of data sharing on traffic");
-    let model = SharingModel::new(paper_baseline());
-    let configs = [16.0, 32.0, 64.0, 128.0];
-
-    let mut table = Table::new(&[
-        "fsh", "16 cores", "32 cores", "64 cores", "128 cores",
-    ]);
-    for i in 0..=10 {
-        let fsh = i as f64 / 10.0;
-        let mut row = vec![format!("{fsh:.1}")];
-        for &cores in &configs {
-            let traffic = model
-                .relative_traffic(cores, cores, fsh)
-                .expect("valid configuration");
-            row.push(format!("{:.0}%", traffic * 100.0));
-        }
-        table.row_owned(row);
-    }
-    table.print();
-
-    println!();
-    let mut req = Table::new(&["cores", "required fsh", "paper"]);
-    for (&cores, paper) in configs.iter().zip(["40%", "63%", "77%", "86%"]) {
-        let fsh = model
-            .required_shared_fraction(cores, cores, 1.0)
-            .expect("solver")
-            .expect("reachable");
-        req.row_owned(vec![
-            format!("{cores:.0}"),
-            format!("{:.1}%", fsh * 100.0),
-            paper.to_string(),
-        ]);
-    }
-    req.print();
-    println!();
-    println!("holding traffic constant under proportional scaling demands ever more sharing");
+    bandwall_experiments::registry::run_main("fig13_data_sharing");
 }

@@ -11,44 +11,6 @@
 //!
 //! Run with `--release`; the simulation covers ~1M accesses.
 
-use bandwall_cache_sim::{CacheConfig, CmpSystem, L2Organization};
-use bandwall_experiments::{header, render::Table};
-use bandwall_trace::{ParsecLikeTrace, TraceSource};
-
-const ACCESSES: usize = 400_000;
-
-fn shared_fraction(cores: u16) -> f64 {
-    let mut cmp = CmpSystem::new(
-        cores,
-        CacheConfig::new(512, 64, 2).expect("valid L1"),
-        CacheConfig::new(512 << 10, 64, 8).expect("valid L2"),
-        L2Organization::Shared,
-    );
-    let mut trace = ParsecLikeTrace::builder_with_regions(cores, 4000, 1500)
-        .shared_access_fraction(0.4)
-        .seed(2026)
-        .build();
-    for access in trace.iter().take(ACCESSES) {
-        cmp.access(access);
-    }
-    cmp.sharing().expect("shared L2 tracks sharing").shared_fraction()
-}
-
 fn main() {
-    header("Figure 14", "Shared-line fraction at eviction (PARSEC-like)");
-    let mut table = Table::new(&["cores", "% shared cache lines", "paper"]);
-    for (cores, paper) in [(4u16, "17.3%"), (8, "16.2%"), (16, "15.2%")] {
-        let f = shared_fraction(cores);
-        table.row_owned(vec![
-            cores.to_string(),
-            format!("{:.1}%", f * 100.0),
-            paper.to_string(),
-        ]);
-    }
-    table.print();
-    println!();
-    println!("workload: constant 4000-line shared region + 1500 private lines per thread");
-    println!("(problem scaling); shared-L2 CMP with per-line sharer tracking at eviction");
-    println!("the declining trend is the paper's point; absolute levels depend on the");
-    println!("synthetic workload calibration");
+    bandwall_experiments::registry::run_main("fig14_parsec_sharing");
 }

@@ -6,57 +6,6 @@
 //! direct (LC, Sect) and dual (SmCl, CC/LC) ones; DRAM caches are the
 //! indirect exception thanks to their 8× density.
 
-use bandwall_experiments::{die_budget, header, paper_baseline, render::Table, GENERATIONS, GENERATION_LABELS};
-use bandwall_model::{catalog, AssumptionLevel, ScalingProblem};
-
-fn solve(technique: Option<bandwall_model::Technique>, generation: u32) -> u64 {
-    let mut problem = ScalingProblem::new(paper_baseline(), die_budget(generation));
-    if let Some(t) = technique {
-        problem = problem.with_technique(t);
-    }
-    problem.max_supportable_cores().expect("feasible")
-}
-
 fn main() {
-    header(
-        "Figure 15",
-        "Core scaling per technique, four generations (realistic [pess..opt])",
-    );
-    let mut table = Table::new(&["technique", GENERATION_LABELS[0], GENERATION_LABELS[1], GENERATION_LABELS[2], GENERATION_LABELS[3]]);
-
-    // IDEAL: proportional scaling.
-    table.row_owned(
-        std::iter::once("IDEAL".to_string())
-            .chain(GENERATIONS.iter().map(|&g| {
-                let p = ScalingProblem::new(paper_baseline(), die_budget(g));
-                p.proportional_cores().to_string()
-            }))
-            .collect(),
-    );
-    // BASE: no techniques.
-    table.row_owned(
-        std::iter::once("BASE".to_string())
-            .chain(GENERATIONS.iter().map(|&g| solve(None, g).to_string()))
-            .collect(),
-    );
-    for profile in catalog() {
-        let mut row = vec![profile.label().to_string()];
-        for &g in &GENERATIONS {
-            let real = solve(Some(profile.technique(AssumptionLevel::Realistic).unwrap()), g);
-            let pess = solve(
-                Some(profile.technique(AssumptionLevel::Pessimistic).unwrap()),
-                g,
-            );
-            let opt = solve(
-                Some(profile.technique(AssumptionLevel::Optimistic).unwrap()),
-                g,
-            );
-            row.push(format!("{real} [{pess}..{opt}]"));
-        }
-        table.row_owned(row);
-    }
-    table.print();
-    println!();
-    println!("paper anchors: BASE 16x = 24; DRAM realistic 16x = 47; IDEAL 16x = 128");
-    println!("ordering: dual >= direct >= indirect (DRAM excepted via its 8x density)");
+    bandwall_experiments::registry::run_main("fig15_technique_sweep");
 }

@@ -6,61 +6,6 @@
 //! bandwidth wall can be pushed back several generations when techniques
 //! are stacked.
 
-use bandwall_experiments::{die_budget, header, paper_baseline, render::Table, GENERATIONS, GENERATION_LABELS};
-use bandwall_model::combination::figure16_combinations;
-use bandwall_model::{AssumptionLevel, ScalingProblem};
-
 fn main() {
-    header("Figure 16", "Core scaling with technique combinations");
-    let combos = figure16_combinations(AssumptionLevel::Realistic).expect("catalog labels");
-    let mut table = Table::new(&[
-        "combination",
-        GENERATION_LABELS[0],
-        GENERATION_LABELS[1],
-        GENERATION_LABELS[2],
-        GENERATION_LABELS[3],
-    ]);
-    // IDEAL and BASE rows first, as in the figure.
-    table.row_owned(
-        std::iter::once("IDEAL".to_string())
-            .chain(GENERATIONS.iter().map(|&g| {
-                ScalingProblem::new(paper_baseline(), die_budget(g))
-                    .proportional_cores()
-                    .to_string()
-            }))
-            .collect(),
-    );
-    table.row_owned(
-        std::iter::once("BASE".to_string())
-            .chain(GENERATIONS.iter().map(|&g| {
-                ScalingProblem::new(paper_baseline(), die_budget(g))
-                    .max_supportable_cores()
-                    .unwrap()
-                    .to_string()
-            }))
-            .collect(),
-    );
-    for combo in &combos {
-        let mut row = vec![combo.name().to_string()];
-        for &g in &GENERATIONS {
-            let cores = ScalingProblem::new(paper_baseline(), die_budget(g))
-                .with_techniques(combo.techniques().iter().copied())
-                .max_supportable_cores()
-                .unwrap();
-            row.push(cores.to_string());
-        }
-        table.row_owned(row);
-    }
-    table.print();
-    println!();
-    let full = combos.last().expect("15 combinations");
-    let p = ScalingProblem::new(paper_baseline(), die_budget(4))
-        .with_techniques(full.techniques().iter().copied());
-    let cores = p.max_supportable_cores().unwrap();
-    println!(
-        "headline: {} at 16x -> {} cores on {:.0}% of the die   [paper: 183 cores, 71%]",
-        full.name(),
-        cores,
-        p.core_area_fraction(cores) * 100.0
-    );
+    bandwall_experiments::registry::run_main("fig16_combinations");
 }

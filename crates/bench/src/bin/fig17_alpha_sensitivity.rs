@@ -6,67 +6,6 @@
 //! techniques applied, the gap widens — a small α blocks proportional
 //! scaling while a large α permits super-proportional scaling.
 
-use bandwall_experiments::{die_budget, header, paper_baseline, render::Table, GENERATIONS, GENERATION_LABELS};
-use bandwall_model::combination::Combination;
-use bandwall_model::{Alpha, AssumptionLevel, ScalingProblem};
-
 fn main() {
-    header("Figure 17", "Core scaling for high and low α");
-    let groups: Vec<(&str, Vec<&str>)> = vec![
-        ("BASE", vec![]),
-        ("DRAM", vec!["DRAM"]),
-        ("CC/LC + DRAM", vec!["CC/LC", "DRAM"]),
-        ("CC/LC + DRAM + 3D", vec!["CC/LC", "DRAM", "3D"]),
-    ];
-    let alphas = [
-        ("α = 0.62", Alpha::COMMERCIAL_MAX),
-        ("α = 0.25", Alpha::SPEC2006),
-    ];
-
-    for (alpha_label, alpha) in alphas {
-        println!("\n--- {alpha_label} ---");
-        let baseline = paper_baseline().with_alpha(alpha);
-        let mut table = Table::new(&[
-            "configuration",
-            GENERATION_LABELS[0],
-            GENERATION_LABELS[1],
-            GENERATION_LABELS[2],
-            GENERATION_LABELS[3],
-        ]);
-        table.row_owned(
-            std::iter::once("IDEAL".to_string())
-                .chain(GENERATIONS.iter().map(|&g| {
-                    ScalingProblem::new(baseline, die_budget(g))
-                        .proportional_cores()
-                        .to_string()
-                }))
-                .collect(),
-        );
-        for (name, labels) in &groups {
-            let combo =
-                Combination::from_labels(labels, AssumptionLevel::Realistic).expect("labels");
-            let mut row = vec![name.to_string()];
-            for &g in &GENERATIONS {
-                let cores = ScalingProblem::new(baseline, die_budget(g))
-                    .with_techniques(combo.techniques().iter().copied())
-                    .max_supportable_cores()
-                    .unwrap();
-                row.push(cores.to_string());
-            }
-            table.row_owned(row);
-        }
-        table.print();
-    }
-
-    println!();
-    let hi = ScalingProblem::new(paper_baseline().with_alpha(Alpha::COMMERCIAL_MAX), 256.0)
-        .max_supportable_cores()
-        .unwrap();
-    let lo = ScalingProblem::new(paper_baseline().with_alpha(Alpha::SPEC2006), 256.0)
-        .max_supportable_cores()
-        .unwrap();
-    println!(
-        "base case at 16x: α=0.62 -> {hi} cores vs α=0.25 -> {lo} cores ({:.1}x)",
-        hi as f64 / lo as f64
-    );
+    bandwall_experiments::registry::run_main("fig17_alpha_sensitivity");
 }

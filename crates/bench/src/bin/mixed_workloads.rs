@@ -7,58 +7,6 @@
 //! two pure chips — non-linearly, because the cache-insensitive SPEC
 //! share (α = 0.25) drags the chip harder than its share suggests.
 
-use bandwall_experiments::{die_budget, header, paper_baseline, render::Table, GENERATION_LABELS};
-use bandwall_model::mix::{WorkloadClass, WorkloadMix};
-use bandwall_model::Alpha;
-
-fn mix(commercial_share: f64) -> WorkloadMix {
-    let mut classes = Vec::new();
-    if commercial_share > 0.0 {
-        classes.push(
-            WorkloadClass::new(
-                "commercial",
-                Alpha::COMMERCIAL_AVERAGE,
-                1.0,
-                commercial_share,
-            )
-            .expect("valid class"),
-        );
-    }
-    if commercial_share < 1.0 {
-        classes.push(
-            WorkloadClass::new("spec", Alpha::SPEC2006, 1.0, 1.0 - commercial_share)
-                .expect("valid class"),
-        );
-    }
-    WorkloadMix::new(paper_baseline(), classes).expect("non-empty mix")
-}
-
 fn main() {
-    header(
-        "Mixed workloads",
-        "supportable cores vs commercial/SPEC blend (constant envelope)",
-    );
-    let mut table = Table::new(&[
-        "commercial share",
-        GENERATION_LABELS[0],
-        GENERATION_LABELS[1],
-        GENERATION_LABELS[2],
-        GENERATION_LABELS[3],
-    ]);
-    for share in [1.0, 0.75, 0.5, 0.25, 0.0] {
-        let m = mix(share);
-        let mut row = vec![format!("{:.0}%", share * 100.0)];
-        for g in 1..=4u32 {
-            row.push(
-                m.max_supportable_cores(die_budget(g), 1.0)
-                    .expect("feasible")
-                    .to_string(),
-            );
-        }
-        table.row_owned(row);
-    }
-    table.print();
-    println!();
-    println!("pure commercial (α=0.5) vs pure SPEC (α=0.25) anchors match Figure 17's");
-    println!("BASE rows; blends interpolate, weighted toward the insensitive class");
+    bandwall_experiments::registry::run_main("mixed_workloads");
 }

@@ -8,82 +8,6 @@
 //! the oracle assumption, and feeds the measured savings back into the
 //! core-scaling model.
 
-use bandwall_cache_sim::{CacheConfig, PredictiveSectoredCache, SectoredCache};
-use bandwall_experiments::{header, paper_baseline, render::Table};
-use bandwall_model::{ScalingProblem, Technique};
-use bandwall_trace::{StackDistanceTrace, TraceSource};
-
-const ACCESSES: usize = 300_000;
-
-fn workload() -> StackDistanceTrace {
-    // Touches 5 of 8 words per line over a line's lifetime (37.5% unused).
-    StackDistanceTrace::builder(0.5)
-        .seed(61)
-        .touched_words(5)
-        .max_distance(1 << 13)
-        .build()
-}
-
 fn main() {
-    header(
-        "Predictor study",
-        "sectored-cache fetch savings: demand vs predictor vs oracle",
-    );
-    let config = CacheConfig::new(64 << 10, 64, 8).expect("valid geometry");
-
-    let mut demand = SectoredCache::new(config, 8);
-    let mut trace = workload();
-    for a in trace.iter().take(ACCESSES) {
-        demand.access(a.address(), a.kind().is_write());
-    }
-
-    let mut predictive = PredictiveSectoredCache::new(config, 8);
-    let mut trace = workload();
-    for a in trace.iter().take(ACCESSES) {
-        predictive.access(a.address(), a.kind().is_write());
-    }
-
-    let oracle_savings = 0.375; // the static unused fraction
-
-    let mut table = Table::new(&[
-        "scheme",
-        "fetch savings",
-        "misses",
-        "overfetch",
-        "model cores @2x",
-    ]);
-    let cores_for = |savings: f64| {
-        ScalingProblem::new(paper_baseline(), 32.0)
-            .with_technique(Technique::sectored_cache(savings).expect("valid"))
-            .max_supportable_cores()
-            .unwrap()
-            .to_string()
-    };
-    table.row_owned(vec![
-        "demand-fetch sectors".to_string(),
-        format!("{:.1}%", demand.fetch_savings() * 100.0),
-        demand.stats().misses().to_string(),
-        "-".to_string(),
-        cores_for(demand.fetch_savings()),
-    ]);
-    table.row_owned(vec![
-        "last-footprint predictor".to_string(),
-        format!("{:.1}%", predictive.fetch_savings() * 100.0),
-        predictive.stats().misses().to_string(),
-        format!("{:.1}%", predictive.overfetch_fraction() * 100.0),
-        cores_for(predictive.fetch_savings()),
-    ]);
-    table.row_owned(vec![
-        "oracle (paper assumption)".to_string(),
-        format!("{:.1}%", oracle_savings * 100.0),
-        "-".to_string(),
-        "0.0%".to_string(),
-        cores_for(oracle_savings),
-    ]);
-    table.print();
-    println!();
-    println!("demand fetching over-saves (short residencies touch few sectors) at the");
-    println!("price of extra sector misses; the predictor recovers most of those misses");
-    println!("while keeping savings near the oracle's — Figure 10's assumption is");
-    println!("implementable, as the paper's citations claim");
+    bandwall_experiments::registry::run_main("predictor_study");
 }

@@ -7,41 +7,6 @@
 //! aggressive signalling scenario, showing that even optimistic envelope
 //! growth leaves core scaling far below proportional.
 
-use bandwall_experiments::{header, paper_baseline, render::Table, GENERATION_LABELS};
-use bandwall_model::roadmap::BandwidthScenario;
-use bandwall_model::GenerationSweep;
-
 fn main() {
-    header("Roadmap scenarios", "core scaling under envelope-growth projections");
-    let scenarios = [
-        BandwidthScenario::constant(),
-        BandwidthScenario::itrs_2005(),
-        BandwidthScenario::aggressive_signalling(),
-    ];
-    let mut table = Table::new(&[
-        "scenario",
-        "B/gen",
-        GENERATION_LABELS[0],
-        GENERATION_LABELS[1],
-        GENERATION_LABELS[2],
-        GENERATION_LABELS[3],
-    ]);
-    // Proportional reference row.
-    table.row(&["IDEAL (proportional)", "-", "16", "32", "64", "128"]);
-    for scenario in &scenarios {
-        let results = GenerationSweep::new(paper_baseline())
-            .with_bandwidth_growth_per_generation(scenario.growth_per_generation())
-            .run(4)
-            .expect("sweep");
-        let mut row = vec![
-            scenario.name().to_string(),
-            format!("{:.3}", scenario.growth_per_generation()),
-        ];
-        row.extend(results.iter().map(|r| r.supportable_cores.to_string()));
-        table.row_owned(row);
-    }
-    table.print();
-    println!();
-    println!("even the aggressive scenario (pins +10%/yr and rates +20%/yr) leaves the");
-    println!("fourth generation far short of the 128-core proportional target");
+    bandwall_experiments::registry::run_main("roadmap_scenarios");
 }

@@ -10,73 +10,6 @@
 //!    assumption underestimates the wall; sweeping a per-core demand
 //!    multiplier quantifies by how much.
 
-use bandwall_experiments::{die_budget, header, paper_baseline, render::Table, GENERATION_LABELS};
-use bandwall_model::{Alpha, ScalingProblem};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-const SAMPLES: usize = 2000;
-
-/// Samples α from a truncated normal around the commercial average.
-fn sample_alpha(rng: &mut StdRng) -> f64 {
-    // Box–Muller; mean 0.48, sd 0.09, truncated to the observed [0.2, 0.8].
-    loop {
-        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-        let u2: f64 = rng.gen();
-        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-        let alpha = 0.48 + 0.09 * z;
-        if (0.2..=0.8).contains(&alpha) {
-            return alpha;
-        }
-    }
-}
-
-fn percentile(sorted: &[u64], q: f64) -> u64 {
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx]
-}
-
 fn main() {
-    header("Sensitivity", "Monte Carlo over α, and multithreaded-core demand");
-    let mut rng = StdRng::seed_from_u64(20260706);
-
-    println!("Monte Carlo over α ({SAMPLES} samples, α ~ N(0.48, 0.09) truncated):");
-    let mut table = Table::new(&["generation", "p10", "median", "p90", "point est. (α=0.5)"]);
-    for (g, label) in (1..=4u32).zip(GENERATION_LABELS) {
-        let mut cores: Vec<u64> = (0..SAMPLES)
-            .map(|_| {
-                let alpha = Alpha::new(sample_alpha(&mut rng)).expect("in range");
-                ScalingProblem::new(paper_baseline().with_alpha(alpha), die_budget(g))
-                    .max_supportable_cores()
-                    .expect("feasible")
-            })
-            .collect();
-        cores.sort_unstable();
-        let point = ScalingProblem::new(paper_baseline(), die_budget(g))
-            .max_supportable_cores()
-            .unwrap();
-        table.row_owned(vec![
-            label.to_string(),
-            percentile(&cores, 0.10).to_string(),
-            percentile(&cores, 0.50).to_string(),
-            percentile(&cores, 0.90).to_string(),
-            point.to_string(),
-        ]);
-    }
-    table.print();
-
-    println!("\nmultithreaded cores (per-core demand multiplier, 32-CEA die):");
-    let mut smt = Table::new(&["demand multiplier", "supportable cores"]);
-    for demand in [1.0, 1.25, 1.5, 2.0, 3.0, 4.0] {
-        let cores = ScalingProblem::new(paper_baseline(), die_budget(1))
-            .with_per_core_demand(demand)
-            .max_supportable_cores()
-            .unwrap();
-        smt.row_owned(vec![format!("{demand}x"), cores.to_string()]);
-    }
-    smt.print();
-    println!();
-    println!("workload variability moves the answer by only a few cores per generation;");
-    println!("SMT-style demand, however, tightens the wall quickly — the paper's");
-    println!("single-threaded assumption is indeed optimistic");
+    bandwall_experiments::registry::run_main("sensitivity");
 }

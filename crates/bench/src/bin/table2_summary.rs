@@ -3,50 +3,6 @@
 //! complexity assessment, alongside the solved next-generation core
 //! counts for each band.
 
-use bandwall_experiments::{die_budget, header, paper_baseline, render::Table};
-use bandwall_model::{catalog, AssumptionLevel, ScalingProblem};
-
 fn main() {
-    header("Table 2", "Summary of memory-traffic reduction techniques");
-    let mut table = Table::new(&[
-        "Technique",
-        "Label",
-        "Realistic",
-        "Pessimistic",
-        "Optimistic",
-        "Effect.",
-        "Range",
-        "Complex.",
-        "cores @2x (P/R/O)",
-    ]);
-    for profile in catalog() {
-        let cores: Vec<String> = AssumptionLevel::ALL
-            .iter()
-            .map(|&level| {
-                ScalingProblem::new(paper_baseline(), die_budget(1))
-                    .with_technique(profile.technique(level).unwrap())
-                    .max_supportable_cores()
-                    .unwrap()
-                    .to_string()
-            })
-            .collect();
-        table.row_owned(vec![
-            profile.name().to_string(),
-            profile.label().to_string(),
-            profile.assumption_text(AssumptionLevel::Realistic).to_string(),
-            profile
-                .assumption_text(AssumptionLevel::Pessimistic)
-                .to_string(),
-            profile
-                .assumption_text(AssumptionLevel::Optimistic)
-                .to_string(),
-            profile.effectiveness().to_string(),
-            profile.range().to_string(),
-            profile.complexity().to_string(),
-            cores.join("/"),
-        ]);
-    }
-    table.print();
-    println!();
-    println!("category reminder: CC/DRAM/3D/Fltr/SmCo indirect; LC/Sect direct; SmCl, CC/LC dual");
+    bandwall_experiments::registry::run_main("table2_summary");
 }

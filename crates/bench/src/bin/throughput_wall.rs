@@ -11,52 +11,6 @@
 //! set by bandwidth — "adding more cores to the chip no longer yields any
 //! additional throughput".
 
-use bandwall_cache_sim::{simulate_throughput, ThroughputSimConfig};
-use bandwall_experiments::{header, paper_baseline, render::{bar, Table}};
-use bandwall_model::ThroughputModel;
-
 fn main() {
-    header("Throughput wall", "chip throughput vs core count (analytic + simulated)");
-
-    println!("analytic model (32-CEA die, constant envelope):");
-    let model = ThroughputModel::new(paper_baseline(), 32.0);
-    let mut table = Table::new(&["cores", "chip throughput", "", "per-core", "BW util"]);
-    for p in model.curve((2..=30).step_by(2)).expect("feasible points") {
-        table.row_owned(vec![
-            p.cores.to_string(),
-            format!("{:.2}", p.throughput),
-            bar(p.throughput, 12.0, 24),
-            format!("{:.2}", p.per_core_throughput),
-            format!("{:.0}%", p.bandwidth_utilization * 100.0),
-        ]);
-    }
-    table.print();
-    println!(
-        "plateau: {:.2} baseline-core equivalents (the Figure 2 crossover)",
-        model.plateau_throughput().unwrap()
-    );
-
-    println!("\nclosed-loop simulation (shared DRAM channel, 4 B/cycle, 200-cycle latency):");
-    let mut sim_table = Table::new(&["cores", "IPC", "", "queue delay", "BW util"]);
-    for cores in [1u16, 2, 4, 8, 12, 16, 24, 32] {
-        let result = simulate_throughput(ThroughputSimConfig {
-            cores,
-            misses_per_instruction: 0.02,
-            line_bytes: 64,
-            bytes_per_cycle: 4.0,
-            access_latency: 200,
-            instructions_per_core: 200_000,
-        });
-        sim_table.row_owned(vec![
-            cores.to_string(),
-            format!("{:.2}", result.ipc),
-            bar(result.ipc, 4.0, 24),
-            format!("{:.0} cyc", result.average_queue_delay),
-            format!("{:.0}%", result.channel_utilization * 100.0),
-        ]);
-    }
-    sim_table.print();
-    println!();
-    println!("bandwidth bound: 4 B/cycle / (0.02 miss/instr x 64 B) = 3.13 IPC —");
-    println!("the simulated plateau; queueing delay explodes exactly at saturation");
+    bandwall_experiments::registry::run_main("throughput_wall");
 }

@@ -8,54 +8,6 @@
 //! with those workloads' value mixes, reproducing the parameter regime
 //! instead of assuming it.
 
-use bandwall_compress::{evaluate, Bdi, BestOf, Compressor, Fpc, LinkCompressor, ZeroRle};
-use bandwall_experiments::{header, render::Table};
-use bandwall_trace::values::{LineValueGenerator, ValueProfile};
-
-const LINES: u64 = 4000;
-
-fn ratios(profile: ValueProfile) -> Vec<(String, f64)> {
-    let values = LineValueGenerator::new(profile, 77);
-    let lines: Vec<Vec<u8>> = (0..LINES).map(|l| values.line_bytes(l * 64, 64)).collect();
-    let engines: Vec<Box<dyn Compressor>> = vec![
-        Box::new(Fpc::new()),
-        Box::new(Bdi::new()),
-        Box::new(ZeroRle::new()),
-        Box::new(BestOf::standard()),
-    ];
-    let mut out = Vec::new();
-    for engine in &engines {
-        let stats = evaluate(engine.as_ref(), lines.iter().map(|l| l.as_slice()));
-        out.push((engine.name().to_string(), stats.ratio()));
-    }
-    // The streaming link compressor sees the same lines as a stream.
-    let mut link = LinkCompressor::new();
-    for line in &lines {
-        link.transfer(line);
-    }
-    out.push(("Link-dict".to_string(), link.stats().ratio()));
-    out
-}
-
 fn main() {
-    header(
-        "Validation (Sec. 6.1-6.3)",
-        "compression ratios derived from real engines",
-    );
-    let profiles = [
-        (ValueProfile::commercial(), "paper: 1.4-2.1x (cache), ~2x (link)"),
-        (ValueProfile::integer(), "paper: 1.7-2.4x"),
-        (ValueProfile::floating_point(), "paper: 1.0-1.3x"),
-    ];
-    for (profile, note) in profiles {
-        println!("\nvalue profile: {}   [{note}]", profile.name());
-        let mut table = Table::new(&["engine", "compression ratio"]);
-        for (name, ratio) in ratios(profile) {
-            table.row_owned(vec![name, format!("{ratio:.2}x")]);
-        }
-        table.print();
-    }
-    println!();
-    println!("these measured ratios justify Table 2's pessimistic/realistic/optimistic");
-    println!("bands (1.25x / 2x / 3.5x) used by Figures 4, 9, and 12");
+    bandwall_experiments::registry::run_main("validate_compression");
 }

@@ -8,51 +8,6 @@
 //! through caches built with 16/32/64/128-byte lines and measures actual
 //! off-chip traffic.
 
-use bandwall_cache_sim::{CacheConfig, TwoLevelHierarchy};
-use bandwall_experiments::{header, render::Table};
-use bandwall_trace::{StackDistanceTrace, TraceSource};
-
-const ACCESSES: usize = 250_000;
-
-fn traffic_for_line_size(line: u64) -> (u64, f64) {
-    let mut h = TwoLevelHierarchy::new(
-        CacheConfig::new(4 << 10, line, 2).expect("valid L1"),
-        CacheConfig::new(128 << 10, line, 8).expect("valid L2"),
-    );
-    // Spatial locality limited to the first 2 words of each 64-byte
-    // region, regardless of the cache's line size.
-    let mut trace = StackDistanceTrace::builder(0.5)
-        .seed(17)
-        .line_size(64)
-        .touched_words(2)
-        .max_distance(1 << 14)
-        .build();
-    for a in trace.iter().take(ACCESSES) {
-        h.access_from(a.thread(), a.address(), a.kind().is_write());
-    }
-    let bytes = h.memory_traffic().total_bytes();
-    (bytes, bytes as f64 / ACCESSES as f64)
-}
-
 fn main() {
-    header(
-        "Validation (Sec. 6.3)",
-        "off-chip traffic vs cache-line size (16 useful bytes per region)",
-    );
-    let mut table = Table::new(&["line size", "total traffic", "bytes/access", "vs 64 B"]);
-    let reference = traffic_for_line_size(64).0 as f64;
-    for line in [16u64, 32, 64, 128] {
-        let (bytes, per_access) = traffic_for_line_size(line);
-        table.row_owned(vec![
-            format!("{line} B"),
-            format!("{} KB", bytes / 1024),
-            format!("{per_access:.1}"),
-            format!("{:.2}x", bytes as f64 / reference),
-        ]);
-    }
-    table.print();
-    println!();
-    println!("shrinking lines toward the useful footprint cuts traffic directly (and");
-    println!("frees capacity), exactly the dual benefit Equation 12 models; note the");
-    println!("64->128 B step nearly doubles traffic for no gain");
+    bandwall_experiments::registry::run_main("validate_line_size");
 }

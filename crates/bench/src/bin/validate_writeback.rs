@@ -7,48 +7,6 @@
 //! cache sizes". This binary measures `rwb` on the simulator across a
 //! range of L2 sizes for two write intensities.
 
-use bandwall_cache_sim::{CacheConfig, TwoLevelHierarchy};
-use bandwall_experiments::{header, render::Table};
-use bandwall_trace::{StackDistanceTrace, TraceSource};
-
-fn rwb(l2_kb: u64, write_fraction: f64) -> (f64, f64) {
-    let mut h = TwoLevelHierarchy::new(
-        CacheConfig::new(4 << 10, 64, 2).expect("valid L1"),
-        CacheConfig::new(l2_kb << 10, 64, 8).expect("valid L2"),
-    );
-    let mut trace = StackDistanceTrace::builder(0.5)
-        .seed(99)
-        .write_fraction(write_fraction)
-        .max_distance(1 << 15)
-        .build();
-    for a in trace.iter().take(300_000) {
-        h.access_from(a.thread(), a.address(), a.kind().is_write());
-    }
-    (
-        h.l2().stats().writeback_ratio(),
-        h.l2().stats().miss_rate(),
-    )
-}
-
 fn main() {
-    header(
-        "Validation (Sec. 4.2)",
-        "write-back ratio rwb across cache sizes",
-    );
-    for wf in [0.1, 0.3] {
-        println!("\nwrite fraction = {wf}");
-        let mut table = Table::new(&["L2 size", "rwb (writebacks/miss)", "L2 miss rate"]);
-        for l2_kb in [16u64, 32, 64, 128, 256] {
-            let (ratio, miss) = rwb(l2_kb, wf);
-            table.row_owned(vec![
-                format!("{l2_kb} KB"),
-                format!("{ratio:.3}"),
-                format!("{miss:.3}"),
-            ]);
-        }
-        table.print();
-    }
-    println!();
-    println!("rwb moves far less than the miss rate as the cache scales, supporting");
-    println!("the paper's cancellation of (1 + rwb) in traffic ratios (Equation 2)");
+    bandwall_experiments::registry::run_main("validate_writeback");
 }

@@ -1,0 +1,87 @@
+//! Ablation (DESIGN.md) — inclusion policy vs off-chip traffic.
+//!
+//! The analytical model counts cache capacity in CEAs without caring how
+//! the hierarchy divides it. This ablation checks that assumption:
+//! non-inclusive, inclusive, and exclusive L1/L2 arrangements of the same
+//! silicon are simulated across working-set sizes. Exclusive caching
+//! behaves like a slightly larger cache (L1+L2 distinct lines), inclusive
+//! like a slightly smaller one — second-order effects next to the
+//! capacity itself, which is what the model captures.
+
+use crate::registry::Experiment;
+use crate::report::{Report, TableBlock, Value};
+use bandwall_cache_sim::{CacheConfig, InclusionPolicy, TwoLevelHierarchy};
+use bandwall_trace::{TraceSource, ZipfTrace};
+
+const ACCESSES: usize = 150_000;
+
+/// Inclusion-policy ablation on the two-level hierarchy simulator.
+#[derive(Debug, Clone)]
+pub struct AblateInclusion {
+    /// Trace seed (historical default 42).
+    pub seed: u64,
+}
+
+impl AblateInclusion {
+    fn traffic(&self, inclusion: InclusionPolicy, working_set_lines: usize) -> u64 {
+        let mut h = TwoLevelHierarchy::new(
+            CacheConfig::new(8 << 10, 64, 4).expect("valid L1"), // 128 lines
+            CacheConfig::new(32 << 10, 64, 8).expect("valid L2"), // 512 lines
+        )
+        .with_inclusion(inclusion);
+        let mut trace = ZipfTrace::builder(working_set_lines, 0.3)
+            .seed(self.seed)
+            .build();
+        for a in trace.iter().take(ACCESSES) {
+            h.access(a.address(), a.kind().is_write());
+        }
+        h.memory_traffic().total_bytes()
+    }
+}
+
+impl Experiment for AblateInclusion {
+    fn id(&self) -> &'static str {
+        "ablate_inclusion"
+    }
+
+    fn figure(&self) -> &'static str {
+        "Ablation"
+    }
+
+    fn title(&self) -> &'static str {
+        "inclusion policy vs off-chip traffic (8 KB L1 + 32 KB L2)"
+    }
+
+    fn run(&self) -> Report {
+        let mut report = Report::new(self.id(), self.figure(), self.title());
+        let mut table = TableBlock::new(&[
+            "working set",
+            "non-inclusive",
+            "inclusive",
+            "exclusive",
+            "excl/incl",
+        ]);
+        for ws in [256usize, 512, 640, 768, 1024, 2048] {
+            let ni = self.traffic(InclusionPolicy::NonInclusive, ws);
+            let inc = self.traffic(InclusionPolicy::Inclusive, ws);
+            let exc = self.traffic(InclusionPolicy::Exclusive, ws);
+            let ratio = exc as f64 / inc as f64;
+            table.push_row(vec![
+                Value::fmt(format!("{} KB", ws * 64 / 1024), (ws * 64 / 1024) as f64),
+                Value::fmt(format!("{} KB", ni / 1024), (ni / 1024) as f64),
+                Value::fmt(format!("{} KB", inc / 1024), (inc / 1024) as f64),
+                Value::fmt(format!("{} KB", exc / 1024), (exc / 1024) as f64),
+                Value::fmt(format!("{ratio:.2}"), ratio),
+            ]);
+            if ws == 768 {
+                report.metric("excl_over_incl_768", ratio, None);
+            }
+        }
+        report.table(table);
+        report.blank();
+        report.note("exclusive wins most around working sets between L2 and L1+L2 capacity;");
+        report.note("the spread is small next to capacity scaling itself, supporting the");
+        report.note("model's CEA-counting abstraction");
+        report
+    }
+}

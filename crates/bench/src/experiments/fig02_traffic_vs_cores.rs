@@ -1,0 +1,83 @@
+//! Figure 2 — Memory traffic as the number of CMP cores varies in the
+//! next technology generation (32 CEAs).
+//!
+//! Paper reference: with a constant envelope the crossover sits at 11
+//! cores (37.5% growth instead of the proportional 100%); a 50% larger
+//! envelope allows 13 cores.
+
+use crate::registry::Experiment;
+use crate::report::{Report, TableBlock, Value};
+use crate::{die_budget, paper_baseline};
+use bandwall_model::{ScalingProblem, TrafficModel};
+
+/// Figure 2: normalized traffic vs core count on the next-generation die.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig02TrafficVsCores;
+
+impl Experiment for Fig02TrafficVsCores {
+    fn id(&self) -> &'static str {
+        "fig02_traffic_vs_cores"
+    }
+
+    fn figure(&self) -> &'static str {
+        "Figure 2"
+    }
+
+    fn title(&self) -> &'static str {
+        "Memory traffic vs number of cores (next generation)"
+    }
+
+    fn run(&self) -> Report {
+        let mut report = Report::new(self.id(), self.figure(), self.title());
+        let baseline = paper_baseline();
+        let model = TrafficModel::new(baseline);
+        let n2 = die_budget(1);
+
+        let mut table = TableBlock::new(&["cores", "normalized traffic", "", "within envelope"]);
+        for cores in (2..=28).step_by(2) {
+            let traffic = model
+                .relative_traffic_on_die(n2, cores as f64)
+                .expect("cache area remains");
+            table.push_row(vec![
+                Value::int(cores),
+                Value::float(traffic, 3),
+                Value::bar(traffic, 8.0, 40),
+                Value::text(if traffic <= 1.0 { "yes" } else { "no" }),
+            ]);
+        }
+        report.table(table);
+        report.blank();
+
+        let constant = ScalingProblem::new(baseline, n2).solve().expect("feasible");
+        let optimistic = ScalingProblem::new(baseline, n2)
+            .with_bandwidth_growth(1.5)
+            .solve()
+            .expect("feasible");
+        report.note(format!(
+            "crossover (B = 1.0): {:.2} cores -> {} supportable   [paper: 11]",
+            constant.crossover_cores, constant.supportable_cores
+        ));
+        report.note(format!(
+            "crossover (B = 1.5): {:.2} cores -> {} supportable   [paper: 13]",
+            optimistic.crossover_cores, optimistic.supportable_cores
+        ));
+        report.note(format!(
+            "proportional scaling would want {} cores",
+            constant.ideal_cores
+        ));
+
+        report.metric(
+            "supportable_cores",
+            constant.supportable_cores as f64,
+            Some(11.0),
+        );
+        report.metric(
+            "supportable_cores_b1_5",
+            optimistic.supportable_cores as f64,
+            Some(13.0),
+        );
+        report.metric("crossover_cores", constant.crossover_cores, None);
+        report.metric("ideal_cores", constant.ideal_cores as f64, Some(16.0));
+        report
+    }
+}

@@ -1,0 +1,74 @@
+//! Figure 3 — Die-area allocation for cores and the number of
+//! supportable cores under a constant memory-traffic requirement.
+//!
+//! Paper reference: at 16× scaling only ~10% of the die can go to cores
+//! (24 cores vs 128 proportional); the core share keeps shrinking at
+//! every further generation.
+
+use crate::paper_baseline;
+use crate::registry::Experiment;
+use crate::report::{Report, TableBlock, Value};
+use bandwall_model::ScalingProblem;
+
+/// Figure 3: supportable cores and die split across eight generations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig03DieAllocation;
+
+impl Experiment for Fig03DieAllocation {
+    fn id(&self) -> &'static str {
+        "fig03_die_allocation"
+    }
+
+    fn figure(&self) -> &'static str {
+        "Figure 3"
+    }
+
+    fn title(&self) -> &'static str {
+        "Die allocation vs scaling ratio (constant traffic)"
+    }
+
+    fn run(&self) -> Report {
+        let mut report = Report::new(self.id(), self.figure(), self.title());
+        let baseline = paper_baseline();
+
+        let mut table = TableBlock::new(&[
+            "scaling",
+            "total CEAs",
+            "supportable cores",
+            "ideal cores",
+            "% area for cores",
+        ]);
+        for g in 0..=7u32 {
+            let ratio = 2f64.powi(g as i32);
+            let n2 = baseline.total_ceas() * ratio;
+            let solution = ScalingProblem::new(baseline, n2).solve().unwrap();
+            table.push_row(vec![
+                Value::fmt(format!("{}x", ratio as u64), ratio),
+                Value::fmt(format!("{n2:.0}"), n2),
+                Value::int(solution.supportable_cores),
+                Value::int(solution.ideal_cores),
+                Value::fmt(
+                    format!("{:.1}%", solution.core_area_fraction * 100.0),
+                    solution.core_area_fraction,
+                ),
+            ]);
+            if g == 4 {
+                report.metric(
+                    "supportable_cores_16x",
+                    solution.supportable_cores as f64,
+                    Some(24.0),
+                );
+                report.metric("ideal_cores_16x", solution.ideal_cores as f64, Some(128.0));
+                report.metric(
+                    "core_area_fraction_16x",
+                    solution.core_area_fraction,
+                    Some(0.10),
+                );
+            }
+        }
+        report.table(table);
+        report.blank();
+        report.note("paper anchors: 16x -> 24 cores on ~10% of the die (vs 128 proportional)");
+        report
+    }
+}

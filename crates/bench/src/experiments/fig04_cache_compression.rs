@@ -1,0 +1,54 @@
+//! Figure 4 — Increase in on-chip cores enabled by cache compression
+//! (32 CEAs, constant traffic).
+//!
+//! Paper reference: 1.3×/1.7×/2.0×/2.5×/3.0× compression yields
+//! 11/12/13/14/14 cores; Table 2 marks 1.25× pessimistic, 2× realistic,
+//! 3.5× optimistic.
+
+use crate::registry::Experiment;
+use crate::report::Report;
+use crate::sweep::{add_paper_metrics, sweep_block, Variant};
+use bandwall_model::Technique;
+
+/// Figure 4: cores enabled by cache compression.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig04CacheCompression;
+
+fn variants() -> Vec<Variant> {
+    let ratios = [1.25, 1.5, 1.75, 2.0, 2.5, 3.0, 3.5, 4.0];
+    let paper = [None, None, None, Some(13), Some(14), Some(14), None, None];
+    let mut variants = vec![Variant::new("No Compress", None, Some(11))];
+    for (&r, &p) in ratios.iter().zip(&paper) {
+        variants.push(Variant::new(
+            format!("{r}x"),
+            Some(Technique::cache_compression(r).expect("valid ratio")),
+            p,
+        ));
+    }
+    variants
+}
+
+impl Experiment for Fig04CacheCompression {
+    fn id(&self) -> &'static str {
+        "fig04_cache_compression"
+    }
+
+    fn figure(&self) -> &'static str {
+        "Figure 4"
+    }
+
+    fn title(&self) -> &'static str {
+        "Cores enabled by cache compression"
+    }
+
+    fn run(&self) -> Report {
+        let mut report = Report::new(self.id(), self.figure(), self.title());
+        let variants = variants();
+        let (table, results) = sweep_block(&variants);
+        report.table(table);
+        report.blank();
+        report.note("assumption bands (Table 2): pessimistic 1.25x, realistic 2x, optimistic 3.5x");
+        add_paper_metrics(&mut report, &variants, &results);
+        report
+    }
+}

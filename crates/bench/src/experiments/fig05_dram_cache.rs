@@ -1,0 +1,55 @@
+//! Figure 5 — Increase in on-chip cores enabled by DRAM caches.
+//!
+//! Paper reference: SRAM baseline 11 cores; DRAM L2 at 4×/8×/16× density
+//! reaches 16/18/21 — proportional scaling already at the conservative 4×.
+
+use crate::registry::Experiment;
+use crate::report::Report;
+use crate::sweep::{add_paper_metrics, sweep_block, Variant};
+use bandwall_model::Technique;
+
+/// Figure 5: cores enabled by DRAM caches.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig05DramCache;
+
+impl Experiment for Fig05DramCache {
+    fn id(&self) -> &'static str {
+        "fig05_dram_cache"
+    }
+
+    fn figure(&self) -> &'static str {
+        "Figure 5"
+    }
+
+    fn title(&self) -> &'static str {
+        "Cores enabled by DRAM caches"
+    }
+
+    fn run(&self) -> Report {
+        let mut report = Report::new(self.id(), self.figure(), self.title());
+        let variants = vec![
+            Variant::new("SRAM L2", None, Some(11)),
+            Variant::new(
+                "DRAM L2 (4x)",
+                Some(Technique::dram_cache(4.0).expect("valid")),
+                Some(16),
+            ),
+            Variant::new(
+                "DRAM L2 (8x)",
+                Some(Technique::dram_cache(8.0).expect("valid")),
+                Some(18),
+            ),
+            Variant::new(
+                "DRAM L2 (16x)",
+                Some(Technique::dram_cache(16.0).expect("valid")),
+                Some(21),
+            ),
+        ];
+        let (table, results) = sweep_block(&variants);
+        report.table(table);
+        report.blank();
+        report.note("proportional scaling target: 16 cores — met by the conservative 4x density");
+        add_paper_metrics(&mut report, &variants, &results);
+        report
+    }
+}

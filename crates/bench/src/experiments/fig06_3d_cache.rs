@@ -1,0 +1,53 @@
+//! Figure 6 — Increase in on-chip cores enabled by 3D-stacked caches.
+//!
+//! Paper reference: no-3D 11 cores; one stacked SRAM die 14; stacked DRAM
+//! dies at 8×/16× density 25/32 — super-proportional scaling.
+
+use crate::registry::Experiment;
+use crate::report::Report;
+use crate::sweep::{add_paper_metrics, sweep_block, Variant};
+use bandwall_model::Technique;
+
+/// Figure 6: cores enabled by 3D-stacked caches.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig063dCache;
+
+impl Experiment for Fig063dCache {
+    fn id(&self) -> &'static str {
+        "fig06_3d_cache"
+    }
+
+    fn figure(&self) -> &'static str {
+        "Figure 6"
+    }
+
+    fn title(&self) -> &'static str {
+        "Cores enabled by 3D-stacked caches"
+    }
+
+    fn run(&self) -> Report {
+        let mut report = Report::new(self.id(), self.figure(), self.title());
+        let variants = vec![
+            Variant::new("No 3D Cache", None, Some(11)),
+            Variant::new(
+                "3D SRAM",
+                Some(Technique::stacked_cache(1).expect("valid")),
+                Some(14),
+            ),
+            Variant::new(
+                "3D DRAM (8x)",
+                Some(Technique::stacked_dram_cache(1, 8.0).expect("valid")),
+                Some(25),
+            ),
+            Variant::new(
+                "3D DRAM (16x)",
+                Some(Technique::stacked_dram_cache(1, 16.0).expect("valid")),
+                Some(32),
+            ),
+        ];
+        let (table, results) = sweep_block(&variants);
+        report.table(table);
+        add_paper_metrics(&mut report, &variants, &results);
+        report
+    }
+}

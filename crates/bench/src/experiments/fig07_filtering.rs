@@ -1,0 +1,46 @@
+//! Figure 7 — Increase in on-chip cores enabled by filtering unused data
+//! from the cache.
+//!
+//! Paper reference: at the realistic 40% unused data the benefit is one
+//! extra core (12); the optimistic 80% reaches proportional scaling (16).
+
+use crate::registry::Experiment;
+use crate::report::Report;
+use crate::sweep::{add_paper_metrics, sweep_block, Variant};
+use bandwall_model::Technique;
+
+/// Figure 7: cores enabled by unused-data filtering.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig07Filtering;
+
+impl Experiment for Fig07Filtering {
+    fn id(&self) -> &'static str {
+        "fig07_filtering"
+    }
+
+    fn figure(&self) -> &'static str {
+        "Figure 7"
+    }
+
+    fn title(&self) -> &'static str {
+        "Cores enabled by unused-data filtering"
+    }
+
+    fn run(&self) -> Report {
+        let mut report = Report::new(self.id(), self.figure(), self.title());
+        let mut variants = vec![Variant::new("No Filtering", None, Some(11))];
+        for (fraction, paper) in [(0.1, None), (0.2, None), (0.4, Some(12)), (0.8, Some(16))] {
+            variants.push(Variant::new(
+                format!("{:.0}% unused", fraction * 100.0),
+                Some(Technique::unused_data_filter(fraction).expect("valid")),
+                paper,
+            ));
+        }
+        let (table, results) = sweep_block(&variants);
+        report.table(table);
+        report.blank();
+        report.note("indirect benefit only: the capacity gain is dampened by the -α exponent");
+        add_paper_metrics(&mut report, &variants, &results);
+        report
+    }
+}

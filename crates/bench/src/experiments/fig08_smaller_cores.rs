@@ -1,0 +1,71 @@
+//! Figure 8 — Increase in on-chip cores enabled by smaller cores.
+//!
+//! Paper reference: the benefit saturates quickly — even infinitesimal
+//! cores cannot exceed ~12–13 next-generation cores, because freeing core
+//! area at most doubles the cache per core while proportional scaling
+//! needs 4×.
+
+use crate::paper_baseline;
+use crate::registry::Experiment;
+use crate::report::Report;
+use crate::sweep::{add_paper_metrics, sweep_block, Variant};
+use bandwall_model::{ScalingProblem, Technique};
+
+/// Figure 8: cores enabled by smaller cores.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig08SmallerCores;
+
+impl Experiment for Fig08SmallerCores {
+    fn id(&self) -> &'static str {
+        "fig08_smaller_cores"
+    }
+
+    fn figure(&self) -> &'static str {
+        "Figure 8"
+    }
+
+    fn title(&self) -> &'static str {
+        "Cores enabled by smaller cores"
+    }
+
+    fn run(&self) -> Report {
+        let mut report = Report::new(self.id(), self.figure(), self.title());
+        let mut variants = vec![Variant::new("1x (full-size)", None, Some(11))];
+        for reduction in [9.0, 45.0, 80.0] {
+            variants.push(Variant::new(
+                format!("{reduction:.0}x smaller"),
+                Some(Technique::smaller_cores(1.0 / reduction).expect("valid")),
+                None,
+            ));
+        }
+        let (table, results) = sweep_block(&variants);
+        report.table(table);
+
+        // The limit case the paper derives analytically: cores of zero area
+        // leave all 32 CEAs as cache, and (P/8)·(32/P)^-0.5 = 1 at P ≈ 12.7.
+        let limit = ScalingProblem::new(paper_baseline(), 32.0)
+            .with_technique(Technique::smaller_cores(1e-6).expect("valid"))
+            .max_supportable_cores()
+            .unwrap();
+        report.blank();
+        report.note(format!(
+            "limit (infinitesimal cores): {limit} cores — cache per core can at most double"
+        ));
+
+        // The paper's caveat: "with increasingly smaller cores, the
+        // interconnection between cores becomes increasingly larger".
+        let taxed = ScalingProblem::new(paper_baseline(), 32.0)
+            .with_technique(Technique::smaller_cores(1.0 / 80.0).expect("valid"))
+            .with_uncore_overhead(0.5)
+            .max_supportable_cores()
+            .unwrap();
+        report.note(format!(
+            "with 0.5 CEA/core of interconnect, 80x-smaller cores support only {taxed}"
+        ));
+
+        add_paper_metrics(&mut report, &variants, &results);
+        report.metric("limit_cores", limit as f64, None);
+        report.metric("taxed_cores_80x", taxed as f64, None);
+        report
+    }
+}

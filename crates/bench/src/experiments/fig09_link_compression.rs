@@ -1,0 +1,55 @@
+//! Figure 9 — Increase in on-chip cores enabled by link compression.
+//!
+//! Paper reference: a direct technique — 2× link compression restores
+//! exact proportional scaling (16 cores); higher ratios go
+//! super-proportional (~20 at 3.5×).
+
+use crate::registry::Experiment;
+use crate::report::Report;
+use crate::sweep::{add_paper_metrics, sweep_block, Variant};
+use bandwall_model::Technique;
+
+/// Figure 9: cores enabled by link compression.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig09LinkCompression;
+
+impl Experiment for Fig09LinkCompression {
+    fn id(&self) -> &'static str {
+        "fig09_link_compression"
+    }
+
+    fn figure(&self) -> &'static str {
+        "Figure 9"
+    }
+
+    fn title(&self) -> &'static str {
+        "Cores enabled by link compression"
+    }
+
+    fn run(&self) -> Report {
+        let mut report = Report::new(self.id(), self.figure(), self.title());
+        let mut variants = vec![Variant::new("No Compress", None, Some(11))];
+        for (ratio, paper) in [
+            (1.25, None),
+            (1.5, None),
+            (1.75, None),
+            (2.0, Some(16)),
+            (2.5, None),
+            (3.0, None),
+            (3.5, None),
+            (4.0, None),
+        ] {
+            variants.push(Variant::new(
+                format!("{ratio}x"),
+                Some(Technique::link_compression(ratio).expect("valid")),
+                paper,
+            ));
+        }
+        let (table, results) = sweep_block(&variants);
+        report.table(table);
+        report.blank();
+        report.note("direct techniques divide the traffic itself — no -α dampening");
+        add_paper_metrics(&mut report, &variants, &results);
+        report
+    }
+}

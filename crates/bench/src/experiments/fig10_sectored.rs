@@ -1,0 +1,47 @@
+//! Figure 10 — Increase in on-chip cores enabled by sectored caches.
+//!
+//! Paper reference: fetching only referenced sectors removes the unused
+//! share of each line from the link. More potent than unused-data
+//! *filtering* (Figure 7), especially at high unused fractions, because
+//! the effect is direct.
+
+use crate::registry::Experiment;
+use crate::report::Report;
+use crate::sweep::{add_paper_metrics, sweep_block, Variant};
+use bandwall_model::Technique;
+
+/// Figure 10: cores enabled by sectored caches.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig10Sectored;
+
+impl Experiment for Fig10Sectored {
+    fn id(&self) -> &'static str {
+        "fig10_sectored"
+    }
+
+    fn figure(&self) -> &'static str {
+        "Figure 10"
+    }
+
+    fn title(&self) -> &'static str {
+        "Cores enabled by sectored caches"
+    }
+
+    fn run(&self) -> Report {
+        let mut report = Report::new(self.id(), self.figure(), self.title());
+        let mut variants = vec![Variant::new("0% unused", None, Some(11))];
+        for (fraction, paper) in [(0.1, None), (0.2, None), (0.4, Some(14)), (0.8, None)] {
+            variants.push(Variant::new(
+                format!("{:.0}% unused", fraction * 100.0),
+                Some(Technique::sectored_cache(fraction).expect("valid")),
+                paper,
+            ));
+        }
+        let (table, results) = sweep_block(&variants);
+        report.table(table);
+        report.blank();
+        report.note("compare Figure 7: the same unused fractions help more when applied directly");
+        add_paper_metrics(&mut report, &variants, &results);
+        report
+    }
+}

@@ -1,0 +1,54 @@
+//! Figure 12 — Increase in on-chip cores enabled by cache+link
+//! compression.
+//!
+//! Paper reference: compressed data both on the link and in the L2 — a
+//! moderate 2.0× ratio already yields super-proportional scaling
+//! (18 cores).
+
+use crate::registry::Experiment;
+use crate::report::Report;
+use crate::sweep::{add_paper_metrics, sweep_block, Variant};
+use bandwall_model::Technique;
+
+/// Figure 12: cores enabled by cache+link compression.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig12CacheLink;
+
+impl Experiment for Fig12CacheLink {
+    fn id(&self) -> &'static str {
+        "fig12_cache_link"
+    }
+
+    fn figure(&self) -> &'static str {
+        "Figure 12"
+    }
+
+    fn title(&self) -> &'static str {
+        "Cores enabled by cache+link compression"
+    }
+
+    fn run(&self) -> Report {
+        let mut report = Report::new(self.id(), self.figure(), self.title());
+        let mut variants = vec![Variant::new("No Compress", None, Some(11))];
+        for (ratio, paper) in [
+            (1.25, None),
+            (1.5, None),
+            (1.75, None),
+            (2.0, Some(18)),
+            (2.5, None),
+            (3.0, None),
+            (3.5, None),
+            (4.0, None),
+        ] {
+            variants.push(Variant::new(
+                format!("{ratio}x"),
+                Some(Technique::cache_link_compression(ratio).expect("valid")),
+                paper,
+            ));
+        }
+        let (table, results) = sweep_block(&variants);
+        report.table(table);
+        add_paper_metrics(&mut report, &variants, &results);
+        report
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 13 — Impact of data sharing on the memory-traffic requirement.
+//!
+//! Normalized traffic vs fraction of shared data for proportionally
+//! scaled chips of 16/32/64/128 cores (shared L2, Equations 13–14), plus
+//! the shared fraction needed to hold traffic at the baseline level.
+//!
+//! Paper reference: constant traffic requires fsh ≈ 40%, 63%, 77%, 86%
+//! for the four generations.
+
+use crate::paper_baseline;
+use crate::registry::Experiment;
+use crate::report::{Report, TableBlock, Value};
+use bandwall_model::sharing::SharingModel;
+
+/// Figure 13: traffic vs shared-data fraction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig13DataSharing;
+
+impl Experiment for Fig13DataSharing {
+    fn id(&self) -> &'static str {
+        "fig13_data_sharing"
+    }
+
+    fn figure(&self) -> &'static str {
+        "Figure 13"
+    }
+
+    fn title(&self) -> &'static str {
+        "Impact of data sharing on traffic"
+    }
+
+    fn run(&self) -> Report {
+        let mut report = Report::new(self.id(), self.figure(), self.title());
+        let model = SharingModel::new(paper_baseline());
+        let configs = [16.0, 32.0, 64.0, 128.0];
+
+        let mut table = TableBlock::new(&["fsh", "16 cores", "32 cores", "64 cores", "128 cores"]);
+        for i in 0..=10 {
+            let fsh = i as f64 / 10.0;
+            let mut row = vec![Value::fmt(format!("{fsh:.1}"), fsh)];
+            for &cores in &configs {
+                let traffic = model
+                    .relative_traffic(cores, cores, fsh)
+                    .expect("valid configuration");
+                row.push(Value::fmt(format!("{:.0}%", traffic * 100.0), traffic));
+            }
+            table.push_row(row);
+        }
+        report.table(table);
+
+        report.blank();
+        let mut req = TableBlock::new(&["cores", "required fsh", "paper"]);
+        for (&cores, paper) in configs.iter().zip([0.40, 0.63, 0.77, 0.86]) {
+            let fsh = model
+                .required_shared_fraction(cores, cores, 1.0)
+                .expect("solver")
+                .expect("reachable");
+            req.push_row(vec![
+                Value::fmt(format!("{cores:.0}"), cores),
+                Value::fmt(format!("{:.1}%", fsh * 100.0), fsh),
+                Value::fmt(format!("{:.0}%", paper * 100.0), paper),
+            ]);
+            report.metric(format!("required_fsh_{}", cores as u64), fsh, Some(paper));
+        }
+        report.table(req);
+        report.blank();
+        report
+            .note("holding traffic constant under proportional scaling demands ever more sharing");
+        report
+    }
+}

@@ -1,0 +1,99 @@
+//! Figure 16 — Core scaling with combinations of techniques across four
+//! future technology generations (realistic assumptions).
+//!
+//! Paper reference: the full combination CC/LC + DRAM + 3D + SmCl reaches
+//! 183 cores at the fourth generation (vs 128 proportional) — the
+//! bandwidth wall can be pushed back several generations when techniques
+//! are stacked.
+
+use crate::registry::Experiment;
+use crate::report::{Report, TableBlock, Value};
+use crate::{die_budget, paper_baseline, GENERATIONS, GENERATION_LABELS};
+use bandwall_model::combination::figure16_combinations;
+use bandwall_model::{AssumptionLevel, ScalingProblem};
+
+/// Figure 16: technique combinations across four generations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig16Combinations;
+
+impl Experiment for Fig16Combinations {
+    fn id(&self) -> &'static str {
+        "fig16_combinations"
+    }
+
+    fn figure(&self) -> &'static str {
+        "Figure 16"
+    }
+
+    fn title(&self) -> &'static str {
+        "Core scaling with technique combinations"
+    }
+
+    fn run(&self) -> Report {
+        let mut report = Report::new(self.id(), self.figure(), self.title());
+        let combos = figure16_combinations(AssumptionLevel::Realistic).expect("catalog labels");
+        let mut table = TableBlock::new(&[
+            "combination",
+            GENERATION_LABELS[0],
+            GENERATION_LABELS[1],
+            GENERATION_LABELS[2],
+            GENERATION_LABELS[3],
+        ]);
+        // IDEAL and BASE rows first, as in the figure.
+        table.push_row(
+            std::iter::once(Value::text("IDEAL"))
+                .chain(GENERATIONS.iter().map(|&g| {
+                    Value::int(
+                        ScalingProblem::new(paper_baseline(), die_budget(g)).proportional_cores(),
+                    )
+                }))
+                .collect(),
+        );
+        table.push_row(
+            std::iter::once(Value::text("BASE"))
+                .chain(GENERATIONS.iter().map(|&g| {
+                    Value::int(
+                        ScalingProblem::new(paper_baseline(), die_budget(g))
+                            .max_supportable_cores()
+                            .unwrap(),
+                    )
+                }))
+                .collect(),
+        );
+        for combo in &combos {
+            let mut row = vec![Value::text(combo.name())];
+            for &g in &GENERATIONS {
+                let cores = ScalingProblem::new(paper_baseline(), die_budget(g))
+                    .with_techniques(combo.techniques().iter().copied())
+                    .max_supportable_cores()
+                    .unwrap();
+                row.push(Value::int(cores));
+            }
+            table.push_row(row);
+        }
+        report.table(table);
+        report.blank();
+        let full = combos.last().expect("15 combinations");
+        let solution = ScalingProblem::new(paper_baseline(), die_budget(4))
+            .with_techniques(full.techniques().iter().copied())
+            .solve()
+            .unwrap();
+        report.note(format!(
+            "headline: {} at 16x -> {} cores on {:.0}% of the die   [paper: 183 cores, 71%]",
+            full.name(),
+            solution.supportable_cores,
+            solution.core_area_fraction * 100.0
+        ));
+        report.metric(
+            "full_combination_16x",
+            solution.supportable_cores as f64,
+            Some(183.0),
+        );
+        report.metric(
+            "full_combination_area_fraction",
+            solution.core_area_fraction,
+            Some(0.71),
+        );
+        report
+    }
+}

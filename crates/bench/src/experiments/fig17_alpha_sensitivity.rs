@@ -1,0 +1,97 @@
+//! Figure 17 — Core scaling with select techniques for a high and a low
+//! workload exponent α.
+//!
+//! Paper reference: α = 0.62 (OLTP-4) vs α = 0.25 (SPEC 2006 aggregate).
+//! In the base case the large α supports almost twice the cores; with
+//! techniques applied, the gap widens — a small α blocks proportional
+//! scaling while a large α permits super-proportional scaling.
+
+use crate::registry::Experiment;
+use crate::report::{Report, TableBlock, Value};
+use crate::{die_budget, paper_baseline, GENERATIONS, GENERATION_LABELS};
+use bandwall_model::combination::Combination;
+use bandwall_model::{Alpha, AssumptionLevel, ScalingProblem};
+
+/// Figure 17: scaling under high vs low workload exponents.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig17AlphaSensitivity;
+
+impl Experiment for Fig17AlphaSensitivity {
+    fn id(&self) -> &'static str {
+        "fig17_alpha_sensitivity"
+    }
+
+    fn figure(&self) -> &'static str {
+        "Figure 17"
+    }
+
+    fn title(&self) -> &'static str {
+        "Core scaling for high and low α"
+    }
+
+    fn run(&self) -> Report {
+        let mut report = Report::new(self.id(), self.figure(), self.title());
+        let groups: Vec<(&str, Vec<&str>)> = vec![
+            ("BASE", vec![]),
+            ("DRAM", vec!["DRAM"]),
+            ("CC/LC + DRAM", vec!["CC/LC", "DRAM"]),
+            ("CC/LC + DRAM + 3D", vec!["CC/LC", "DRAM", "3D"]),
+        ];
+        let alphas = [
+            ("α = 0.62", Alpha::COMMERCIAL_MAX),
+            ("α = 0.25", Alpha::SPEC2006),
+        ];
+
+        for (alpha_label, alpha) in alphas {
+            report.blank();
+            report.note(format!("--- {alpha_label} ---"));
+            let baseline = paper_baseline().with_alpha(alpha);
+            let mut table = TableBlock::new(&[
+                "configuration",
+                GENERATION_LABELS[0],
+                GENERATION_LABELS[1],
+                GENERATION_LABELS[2],
+                GENERATION_LABELS[3],
+            ]);
+            table.push_row(
+                std::iter::once(Value::text("IDEAL"))
+                    .chain(GENERATIONS.iter().map(|&g| {
+                        Value::int(
+                            ScalingProblem::new(baseline, die_budget(g)).proportional_cores(),
+                        )
+                    }))
+                    .collect(),
+            );
+            for (name, labels) in &groups {
+                let combo =
+                    Combination::from_labels(labels, AssumptionLevel::Realistic).expect("labels");
+                let mut row = vec![Value::text(*name)];
+                for &g in &GENERATIONS {
+                    let cores = ScalingProblem::new(baseline, die_budget(g))
+                        .with_techniques(combo.techniques().iter().copied())
+                        .max_supportable_cores()
+                        .unwrap();
+                    row.push(Value::int(cores));
+                }
+                table.push_row(row);
+            }
+            report.table(table);
+        }
+
+        report.blank();
+        let hi = ScalingProblem::new(paper_baseline().with_alpha(Alpha::COMMERCIAL_MAX), 256.0)
+            .max_supportable_cores()
+            .unwrap();
+        let lo = ScalingProblem::new(paper_baseline().with_alpha(Alpha::SPEC2006), 256.0)
+            .max_supportable_cores()
+            .unwrap();
+        report.note(format!(
+            "base case at 16x: α=0.62 -> {hi} cores vs α=0.25 -> {lo} cores ({:.1}x)",
+            hi as f64 / lo as f64
+        ));
+        report.metric("high_alpha_cores_16x", hi as f64, None);
+        report.metric("low_alpha_cores_16x", lo as f64, None);
+        report.metric("alpha_cores_ratio", hi as f64 / lo as f64, Some(2.0));
+        report
+    }
+}

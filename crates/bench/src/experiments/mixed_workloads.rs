@@ -1,0 +1,88 @@
+//! Extension experiment — core scaling for multi-programmed workload
+//! mixes.
+//!
+//! The paper assumes one workload character per chip; a consolidation
+//! server runs a blend. This experiment sweeps the commercial/SPEC blend
+//! ratio and shows the supportable core count interpolating between the
+//! two pure chips — non-linearly, because the cache-insensitive SPEC
+//! share (α = 0.25) drags the chip harder than its share suggests.
+
+use crate::registry::Experiment;
+use crate::report::{Report, TableBlock, Value};
+use crate::{die_budget, paper_baseline, GENERATION_LABELS};
+use bandwall_model::mix::{WorkloadClass, WorkloadMix};
+use bandwall_model::Alpha;
+
+fn mix(commercial_share: f64) -> WorkloadMix {
+    let mut classes = Vec::new();
+    if commercial_share > 0.0 {
+        classes.push(
+            WorkloadClass::new(
+                "commercial",
+                Alpha::COMMERCIAL_AVERAGE,
+                1.0,
+                commercial_share,
+            )
+            .expect("valid class"),
+        );
+    }
+    if commercial_share < 1.0 {
+        classes.push(
+            WorkloadClass::new("spec", Alpha::SPEC2006, 1.0, 1.0 - commercial_share)
+                .expect("valid class"),
+        );
+    }
+    WorkloadMix::new(paper_baseline(), classes).expect("non-empty mix")
+}
+
+/// Mixed-workload study: commercial/SPEC blend vs supportable cores.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MixedWorkloads;
+
+impl Experiment for MixedWorkloads {
+    fn id(&self) -> &'static str {
+        "mixed_workloads"
+    }
+
+    fn figure(&self) -> &'static str {
+        "Mixed workloads"
+    }
+
+    fn title(&self) -> &'static str {
+        "supportable cores vs commercial/SPEC blend (constant envelope)"
+    }
+
+    fn run(&self) -> Report {
+        let mut report = Report::new(self.id(), self.figure(), self.title());
+        let mut table = TableBlock::new(&[
+            "commercial share",
+            GENERATION_LABELS[0],
+            GENERATION_LABELS[1],
+            GENERATION_LABELS[2],
+            GENERATION_LABELS[3],
+        ]);
+        for share in [1.0, 0.75, 0.5, 0.25, 0.0] {
+            let m = mix(share);
+            let mut row = vec![Value::fmt(format!("{:.0}%", share * 100.0), share)];
+            for g in 1..=4u32 {
+                let cores = m
+                    .max_supportable_cores(die_budget(g), 1.0)
+                    .expect("feasible");
+                if g == 4 {
+                    report.metric(
+                        format!("cores_16x[{:.0}% commercial]", share * 100.0),
+                        cores as f64,
+                        None,
+                    );
+                }
+                row.push(Value::int(cores));
+            }
+            table.push_row(row);
+        }
+        report.table(table);
+        report.blank();
+        report.note("pure commercial (α=0.5) vs pure SPEC (α=0.25) anchors match Figure 17's");
+        report.note("BASE rows; blends interpolate, weighted toward the insensitive class");
+        report
+    }
+}

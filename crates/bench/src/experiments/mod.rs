@@ -1,0 +1,88 @@
+//! One module per experiment: the seventeen paper figures, Table 2, and
+//! the supporting studies, ablations, and validations. Each implements
+//! [`crate::registry::Experiment`] and is constructed here in
+//! presentation order.
+
+pub mod ablate_inclusion;
+pub mod ablate_replacement;
+pub mod coherence_study;
+pub mod fig01_power_law;
+pub mod fig02_traffic_vs_cores;
+pub mod fig03_die_allocation;
+pub mod fig04_cache_compression;
+pub mod fig05_dram_cache;
+pub mod fig06_3d_cache;
+pub mod fig07_filtering;
+pub mod fig08_smaller_cores;
+pub mod fig09_link_compression;
+pub mod fig10_sectored;
+pub mod fig11_small_lines;
+pub mod fig12_cache_link;
+pub mod fig13_data_sharing;
+pub mod fig14_parsec_sharing;
+pub mod fig15_technique_sweep;
+pub mod fig16_combinations;
+pub mod fig17_alpha_sensitivity;
+pub mod mixed_workloads;
+pub mod predictor_study;
+pub mod roadmap_scenarios;
+pub mod sensitivity;
+pub mod table2_summary;
+pub mod throughput_wall;
+pub mod validate_compression;
+pub mod validate_line_size;
+pub mod validate_writeback;
+
+use crate::registry::Experiment;
+use bandwall_numerics::rng::splitmix64;
+
+/// Builds every experiment in registry order. With `seed == None` each
+/// seeded experiment keeps its historical default (byte-compatible with
+/// the legacy binaries); with `Some(s)` each gets a distinct seed
+/// derived from `s` via SplitMix64, in registry order.
+pub fn all(seed: Option<u64>) -> Vec<Box<dyn Experiment>> {
+    let mut state = seed.unwrap_or(0);
+    let mut derive = |default: u64| -> u64 {
+        if seed.is_some() {
+            splitmix64(&mut state)
+        } else {
+            default
+        }
+    };
+    vec![
+        Box::new(fig01_power_law::Fig01PowerLaw { seed: derive(2026) }),
+        Box::new(fig02_traffic_vs_cores::Fig02TrafficVsCores),
+        Box::new(fig03_die_allocation::Fig03DieAllocation),
+        Box::new(fig04_cache_compression::Fig04CacheCompression),
+        Box::new(fig05_dram_cache::Fig05DramCache),
+        Box::new(fig06_3d_cache::Fig063dCache),
+        Box::new(fig07_filtering::Fig07Filtering),
+        Box::new(fig08_smaller_cores::Fig08SmallerCores),
+        Box::new(fig09_link_compression::Fig09LinkCompression),
+        Box::new(fig10_sectored::Fig10Sectored),
+        Box::new(fig11_small_lines::Fig11SmallLines),
+        Box::new(fig12_cache_link::Fig12CacheLink),
+        Box::new(fig13_data_sharing::Fig13DataSharing),
+        Box::new(fig14_parsec_sharing::Fig14ParsecSharing { seed: derive(2026) }),
+        Box::new(fig15_technique_sweep::Fig15TechniqueSweep),
+        Box::new(fig16_combinations::Fig16Combinations),
+        Box::new(fig17_alpha_sensitivity::Fig17AlphaSensitivity),
+        Box::new(table2_summary::Table2Summary),
+        Box::new(throughput_wall::ThroughputWall),
+        Box::new(roadmap_scenarios::RoadmapScenarios),
+        Box::new(sensitivity::Sensitivity {
+            seed: derive(20260706),
+        }),
+        Box::new(mixed_workloads::MixedWorkloads),
+        Box::new(ablate_inclusion::AblateInclusion { seed: derive(42) }),
+        Box::new(ablate_replacement::AblateReplacement {
+            trace_seed: derive(31),
+            policy_seed: derive(7),
+        }),
+        Box::new(coherence_study::CoherenceStudy { seed: derive(91) }),
+        Box::new(predictor_study::PredictorStudy { seed: derive(61) }),
+        Box::new(validate_compression::ValidateCompression { seed: derive(77) }),
+        Box::new(validate_line_size::ValidateLineSize { seed: derive(17) }),
+        Box::new(validate_writeback::ValidateWriteback { seed: derive(99) }),
+    ]
+}

@@ -1,0 +1,85 @@
+//! Supporting experiment (Section 1) — core scaling under realistic
+//! bandwidth-growth roadmaps.
+//!
+//! The paper's headline analysis freezes the envelope (B = 1). This
+//! experiment re-runs the four-generation sweep under the ITRS pin
+//! projection the paper cites (+10%/year → ~1.15x per generation) and an
+//! aggressive signalling scenario, showing that even optimistic envelope
+//! growth leaves core scaling far below proportional.
+
+use crate::registry::Experiment;
+use crate::report::{Report, TableBlock, Value};
+use crate::{paper_baseline, GENERATION_LABELS};
+use bandwall_model::roadmap::BandwidthScenario;
+use bandwall_model::GenerationSweep;
+
+/// Roadmap scenarios: envelope-growth projections vs core scaling.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoadmapScenarios;
+
+impl Experiment for RoadmapScenarios {
+    fn id(&self) -> &'static str {
+        "roadmap_scenarios"
+    }
+
+    fn figure(&self) -> &'static str {
+        "Roadmap scenarios"
+    }
+
+    fn title(&self) -> &'static str {
+        "core scaling under envelope-growth projections"
+    }
+
+    fn run(&self) -> Report {
+        let mut report = Report::new(self.id(), self.figure(), self.title());
+        let scenarios = [
+            BandwidthScenario::constant(),
+            BandwidthScenario::itrs_2005(),
+            BandwidthScenario::aggressive_signalling(),
+        ];
+        let mut table = TableBlock::new(&[
+            "scenario",
+            "B/gen",
+            GENERATION_LABELS[0],
+            GENERATION_LABELS[1],
+            GENERATION_LABELS[2],
+            GENERATION_LABELS[3],
+        ]);
+        // Proportional reference row.
+        table.push_row(vec![
+            Value::text("IDEAL (proportional)"),
+            Value::text("-"),
+            Value::text("16"),
+            Value::text("32"),
+            Value::text("64"),
+            Value::text("128"),
+        ]);
+        for scenario in &scenarios {
+            let results = GenerationSweep::new(paper_baseline())
+                .with_bandwidth_growth_per_generation(scenario.growth_per_generation())
+                .run(4)
+                .expect("sweep");
+            let mut row = vec![
+                Value::text(scenario.name()),
+                Value::fmt(
+                    format!("{:.3}", scenario.growth_per_generation()),
+                    scenario.growth_per_generation(),
+                ),
+            ];
+            row.extend(results.iter().map(|r| Value::int(r.supportable_cores)));
+            if let Some(last) = results.last() {
+                report.metric(
+                    format!("cores_16x[{}]", scenario.name()),
+                    last.supportable_cores as f64,
+                    None,
+                );
+            }
+            table.push_row(row);
+        }
+        report.table(table);
+        report.blank();
+        report.note("even the aggressive scenario (pins +10%/yr and rates +20%/yr) leaves the");
+        report.note("fourth generation far short of the 128-core proportional target");
+        report
+    }
+}

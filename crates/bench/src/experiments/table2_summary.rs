@@ -1,0 +1,71 @@
+//! Table 2 — Summary of memory-traffic reduction techniques: assumption
+//! bands plus the paper's qualitative effectiveness / variability /
+//! complexity assessment, alongside the solved next-generation core
+//! counts for each band.
+
+use crate::registry::Experiment;
+use crate::report::{Report, TableBlock, Value};
+use crate::{die_budget, paper_baseline};
+use bandwall_model::{catalog, AssumptionLevel, ScalingProblem};
+
+/// Table 2: the technique summary with solved core counts per band.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Table2Summary;
+
+impl Experiment for Table2Summary {
+    fn id(&self) -> &'static str {
+        "table2_summary"
+    }
+
+    fn figure(&self) -> &'static str {
+        "Table 2"
+    }
+
+    fn title(&self) -> &'static str {
+        "Summary of memory-traffic reduction techniques"
+    }
+
+    fn run(&self) -> Report {
+        let mut report = Report::new(self.id(), self.figure(), self.title());
+        let mut table = TableBlock::new(&[
+            "Technique",
+            "Label",
+            "Realistic",
+            "Pessimistic",
+            "Optimistic",
+            "Effect.",
+            "Range",
+            "Complex.",
+            "cores @2x (P/R/O)",
+        ]);
+        for profile in catalog() {
+            let cores: Vec<String> = AssumptionLevel::ALL
+                .iter()
+                .map(|&level| {
+                    ScalingProblem::new(paper_baseline(), die_budget(1))
+                        .with_technique(profile.technique(level).unwrap())
+                        .max_supportable_cores()
+                        .unwrap()
+                        .to_string()
+                })
+                .collect();
+            table.push_row(vec![
+                Value::text(profile.name()),
+                Value::text(profile.label()),
+                Value::text(profile.assumption_text(AssumptionLevel::Realistic)),
+                Value::text(profile.assumption_text(AssumptionLevel::Pessimistic)),
+                Value::text(profile.assumption_text(AssumptionLevel::Optimistic)),
+                Value::text(profile.effectiveness().to_string()),
+                Value::text(profile.range().to_string()),
+                Value::text(profile.complexity().to_string()),
+                Value::text(cores.join("/")),
+            ]);
+        }
+        report.table(table);
+        report.blank();
+        report.note(
+            "category reminder: CC/DRAM/3D/Fltr/SmCo indirect; LC/Sect direct; SmCl, CC/LC dual",
+        );
+        report
+    }
+}

@@ -1,0 +1,82 @@
+//! Supporting experiment (Section 6.3) — line-size sweep behind the
+//! "Smaller Cache Lines" technique.
+//!
+//! The technique's premise: with limited spatial locality, large lines
+//! waste both bandwidth (unused words cross the link) and capacity
+//! (unused words occupy the cache). This experiment runs a workload that
+//! touches only the first two words (16 bytes) of each 64-byte region
+//! through caches built with 16/32/64/128-byte lines and measures actual
+//! off-chip traffic.
+
+use crate::registry::Experiment;
+use crate::report::{Report, TableBlock, Value};
+use bandwall_cache_sim::{CacheConfig, TwoLevelHierarchy};
+use bandwall_trace::{StackDistanceTrace, TraceSource};
+
+const ACCESSES: usize = 250_000;
+
+/// Line-size validation on the two-level hierarchy simulator.
+#[derive(Debug, Clone)]
+pub struct ValidateLineSize {
+    /// Trace seed (historical default 17).
+    pub seed: u64,
+}
+
+impl ValidateLineSize {
+    fn traffic_for_line_size(&self, line: u64) -> (u64, f64) {
+        let mut h = TwoLevelHierarchy::new(
+            CacheConfig::new(4 << 10, line, 2).expect("valid L1"),
+            CacheConfig::new(128 << 10, line, 8).expect("valid L2"),
+        );
+        // Spatial locality limited to the first 2 words of each 64-byte
+        // region, regardless of the cache's line size.
+        let mut trace = StackDistanceTrace::builder(0.5)
+            .seed(self.seed)
+            .line_size(64)
+            .touched_words(2)
+            .max_distance(1 << 14)
+            .build();
+        for a in trace.iter().take(ACCESSES) {
+            h.access_from(a.thread(), a.address(), a.kind().is_write());
+        }
+        let bytes = h.memory_traffic().total_bytes();
+        (bytes, bytes as f64 / ACCESSES as f64)
+    }
+}
+
+impl Experiment for ValidateLineSize {
+    fn id(&self) -> &'static str {
+        "validate_line_size"
+    }
+
+    fn figure(&self) -> &'static str {
+        "Validation (Sec. 6.3)"
+    }
+
+    fn title(&self) -> &'static str {
+        "off-chip traffic vs cache-line size (16 useful bytes per region)"
+    }
+
+    fn run(&self) -> Report {
+        let mut report = Report::new(self.id(), self.figure(), self.title());
+        let mut table = TableBlock::new(&["line size", "total traffic", "bytes/access", "vs 64 B"]);
+        let reference = self.traffic_for_line_size(64).0 as f64;
+        for line in [16u64, 32, 64, 128] {
+            let (bytes, per_access) = self.traffic_for_line_size(line);
+            let relative = bytes as f64 / reference;
+            table.push_row(vec![
+                Value::fmt(format!("{line} B"), line as f64),
+                Value::fmt(format!("{} KB", bytes / 1024), (bytes / 1024) as f64),
+                Value::fmt(format!("{per_access:.1}"), per_access),
+                Value::fmt(format!("{relative:.2}x"), relative),
+            ]);
+            report.metric(format!("traffic_vs_64B[{line} B]"), relative, None);
+        }
+        report.table(table);
+        report.blank();
+        report.note("shrinking lines toward the useful footprint cuts traffic directly (and");
+        report.note("frees capacity), exactly the dual benefit Equation 12 models; note the");
+        report.note("64->128 B step nearly doubles traffic for no gain");
+        report
+    }
+}

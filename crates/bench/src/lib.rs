@@ -12,34 +12,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod experiments;
+pub mod registry;
 pub mod render;
+pub mod report;
 pub mod sweep;
 
-use bandwall_model::Baseline;
-
-/// The four future technology generations the paper sweeps (transistor
-/// scaling ratios 2×–16×).
-pub const GENERATIONS: [u32; 4] = [1, 2, 3, 4];
-
-/// Scaling-ratio labels used on the paper's x-axes.
-pub const GENERATION_LABELS: [&str; 4] = ["2x", "4x", "8x", "16x"];
-
-/// The common baseline for every experiment (Section 5.1).
-pub fn paper_baseline() -> Baseline {
-    Baseline::niagara2_like()
-}
-
-/// Die budget (total CEAs) of future generation `g` (1-based).
-pub fn die_budget(generation: u32) -> f64 {
-    paper_baseline().total_ceas() * 2f64.powi(generation as i32)
-}
+pub use bandwall_model::roadmap::{die_budget, paper_baseline, GENERATIONS, GENERATION_LABELS};
 
 /// Prints the standard experiment header.
 pub fn header(figure: &str, title: &str) {
-    println!("================================================================");
-    println!("{figure} — {title}");
-    println!("Reproduction of Rogers et al., 'Scaling the Bandwidth Wall' (ISCA'09)");
-    println!("================================================================");
+    print!("{}", header_string(figure, title));
+}
+
+/// The standard experiment header as a string (what [`header`] prints).
+pub fn header_string(figure: &str, title: &str) -> String {
+    format!(
+        "================================================================\n\
+         {figure} — {title}\n\
+         Reproduction of Rogers et al., 'Scaling the Bandwidth Wall' (ISCA'09)\n\
+         ================================================================\n"
+    )
 }
 
 #[cfg(test)]
@@ -57,5 +50,13 @@ mod tests {
         let b = paper_baseline();
         assert_eq!(b.cores(), 8.0);
         assert_eq!(b.total_ceas(), 16.0);
+    }
+
+    #[test]
+    fn header_string_shape() {
+        let h = header_string("Figure 2", "Traffic");
+        assert_eq!(h.lines().count(), 4);
+        assert!(h.contains("Figure 2 — Traffic"));
+        assert!(h.ends_with("================\n"));
     }
 }

@@ -1,0 +1,89 @@
+//! The experiment registry: a uniform [`Experiment`] interface over
+//! every figure/table reproduction and supporting study, so one CLI can
+//! list, run, and render them all.
+
+use crate::report::Report;
+
+/// A runnable experiment. Implementations are stateless apart from
+/// configuration (e.g. an RNG seed), so one instance can be run from
+/// any thread.
+pub trait Experiment: Send + Sync {
+    /// Stable registry id — the historical binary name
+    /// (e.g. `fig02_traffic_vs_cores`).
+    fn id(&self) -> &'static str;
+    /// Figure/table label shown in the header banner (e.g. `"Figure 2"`).
+    fn figure(&self) -> &'static str;
+    /// Human title shown in the header banner.
+    fn title(&self) -> &'static str;
+    /// Runs the experiment and returns its structured report.
+    fn run(&self) -> Report;
+}
+
+/// Every experiment, in presentation order (figures, tables, then the
+/// supporting studies, ablations, and validations), with each
+/// experiment's historical default seed.
+pub fn registry() -> Vec<Box<dyn Experiment>> {
+    registry_with_seed(None)
+}
+
+/// Like [`registry`], but when `seed` is `Some`, every seeded
+/// (simulator-backed) experiment gets a distinct seed derived from it
+/// via SplitMix64. `None` keeps the historical per-experiment defaults,
+/// reproducing the legacy binaries byte-for-byte.
+pub fn registry_with_seed(seed: Option<u64>) -> Vec<Box<dyn Experiment>> {
+    crate::experiments::all(seed)
+}
+
+/// Looks up one experiment by id (default seeds).
+pub fn find(id: &str) -> Option<Box<dyn Experiment>> {
+    registry().into_iter().find(|e| e.id() == id)
+}
+
+/// Runs one experiment and prints its ASCII report — the entire body of
+/// every thin per-figure binary.
+///
+/// # Panics
+///
+/// Panics if `id` is not in the registry (a bug in the calling binary).
+pub fn run_main(id: &str) {
+    let experiment = find(id).unwrap_or_else(|| panic!("unknown experiment id: {id}"));
+    print!("{}", experiment.run().to_ascii());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn registry_ids_are_unique_and_stable() {
+        let reg = registry();
+        assert_eq!(reg.len(), 29, "one entry per historical binary");
+        let ids: BTreeSet<&str> = reg.iter().map(|e| e.id()).collect();
+        assert_eq!(ids.len(), reg.len(), "ids must be unique");
+        for id in [
+            "fig01_power_law",
+            "fig16_combinations",
+            "validate_writeback",
+        ] {
+            assert!(ids.contains(id), "missing {id}");
+        }
+    }
+
+    #[test]
+    fn find_resolves_known_ids() {
+        let e = find("fig03_die_allocation").unwrap();
+        assert_eq!(e.figure(), "Figure 3");
+        assert!(find("no_such_experiment").is_none());
+    }
+
+    #[test]
+    fn seeded_registry_has_same_shape() {
+        let a = registry();
+        let b = registry_with_seed(Some(7));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id(), y.id());
+        }
+    }
+}

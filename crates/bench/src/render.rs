@@ -40,7 +40,8 @@ impl Table {
 
     /// Appends a row; missing cells render empty, extra cells are kept.
     pub fn row(&mut self, cells: &[&str]) -> &mut Self {
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
         self
     }
 
@@ -179,7 +180,7 @@ mod tests {
 
     #[test]
     fn fnum_formats() {
-        assert_eq!(fnum(3.14159, 2), "3.14");
+        assert_eq!(fnum(1.23456, 2), "1.23");
         assert_eq!(fnum(2.0, 0), "2");
     }
 }

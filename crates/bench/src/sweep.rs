@@ -2,7 +2,7 @@
 //! each variant is solved on the next-generation 32-CEA die under a
 //! constant traffic envelope.
 
-use crate::render::{bar, Table};
+use crate::report::{Report, TableBlock, Value};
 use crate::{die_budget, paper_baseline};
 use bandwall_model::Technique;
 
@@ -28,13 +28,13 @@ impl Variant {
     }
 }
 
-/// Solves every variant on the next-generation die and prints the table.
-/// Returns the computed core counts in variant order.
-pub fn run_next_generation_sweep(variants: &[Variant]) -> Vec<u64> {
+/// Solves every variant on the next-generation die and returns the
+/// structured table plus the computed core counts in variant order.
+pub fn sweep_block(variants: &[Variant]) -> (TableBlock, Vec<u64>) {
     let baseline = paper_baseline();
     let n2 = die_budget(1);
     let mut results = Vec::with_capacity(variants.len());
-    let mut table = Table::new(&["configuration", "supportable cores", "", "paper"]);
+    let mut table = TableBlock::new(&["configuration", "supportable cores", "", "paper"]);
     for v in variants {
         let mut problem = bandwall_model::ScalingProblem::new(baseline, n2);
         if let Some(t) = v.technique {
@@ -42,14 +42,34 @@ pub fn run_next_generation_sweep(variants: &[Variant]) -> Vec<u64> {
         }
         let cores = problem.max_supportable_cores().expect("feasible");
         results.push(cores);
-        table.row_owned(vec![
-            v.label.clone(),
-            cores.to_string(),
-            bar(cores as f64, 32.0, 32),
-            v.paper.map(|p| p.to_string()).unwrap_or_default(),
+        table.push_row(vec![
+            Value::text(v.label.clone()),
+            Value::int(cores),
+            Value::bar(cores as f64, 32.0, 32),
+            v.paper.map(Value::int).unwrap_or_else(Value::empty),
         ]);
     }
-    table.print();
+    (table, results)
+}
+
+/// Records a `cores[label]` metric for every variant the paper anchors.
+pub fn add_paper_metrics(report: &mut Report, variants: &[Variant], results: &[u64]) {
+    for (v, &cores) in variants.iter().zip(results) {
+        if let Some(paper) = v.paper {
+            report.metric(
+                format!("cores[{}]", v.label),
+                cores as f64,
+                Some(paper as f64),
+            );
+        }
+    }
+}
+
+/// Solves every variant, prints the table, and returns the core counts
+/// (the historical all-in-one entry point).
+pub fn run_next_generation_sweep(variants: &[Variant]) -> Vec<u64> {
+    let (table, results) = sweep_block(variants);
+    print!("{}", table.to_ascii());
     results
 }
 
@@ -68,5 +88,15 @@ mod tests {
         let t = Technique::dram_cache(8.0).unwrap();
         let out = run_next_generation_sweep(&[Variant::new("dram", Some(t), None)]);
         assert_eq!(out, vec![18]);
+    }
+
+    #[test]
+    fn block_carries_paper_anchor() {
+        let (table, results) = sweep_block(&[Variant::new("base", None, Some(11))]);
+        assert_eq!(results, vec![11]);
+        assert_eq!(table.rows[0][3].num(), Some(11.0));
+        let mut r = Report::new("x", "F", "t");
+        add_paper_metrics(&mut r, &[Variant::new("base", None, Some(11))], &results);
+        assert_eq!(r.get_metric("cores[base]").unwrap().delta(), Some(0.0));
     }
 }

@@ -2,8 +2,7 @@
 
 use crate::config::{CacheConfig, ReplacementPolicy};
 use crate::stats::{CacheStats, SharingStats, WordUsageStats};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bandwall_numerics::Rng;
 use std::collections::HashSet;
 
 /// State of one resident line.
@@ -100,7 +99,7 @@ pub struct Cache {
     sharing: Option<SharingStats>,
     seen_lines: HashSet<u64>,
     tick: u64,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl Cache {
@@ -131,7 +130,7 @@ impl Cache {
             sharing: None,
             seen_lines: HashSet::new(),
             tick: 0,
-            rng: StdRng::seed_from_u64(config.policy_seed()),
+            rng: Rng::seed_from_u64(config.policy_seed()),
         }
     }
 
@@ -621,8 +620,7 @@ mod tests {
         // distance is < N. Cross-check against the trace crate's profiler.
         use bandwall_trace::{MissRateProbe, StackDistanceTrace, TraceSource};
         let lines: usize = 64;
-        let mut cache =
-            Cache::new(CacheConfig::new(64 * lines as u64, 64, lines as u32).unwrap());
+        let mut cache = Cache::new(CacheConfig::new(64 * lines as u64, 64, lines as u32).unwrap());
         let mut probe = MissRateProbe::new(&[lines]);
         let mut trace = StackDistanceTrace::builder(0.5)
             .seed(8)

@@ -57,23 +57,12 @@ impl CmpSystem {
     /// # Panics
     ///
     /// Panics if `cores` is zero.
-    pub fn new(
-        cores: u16,
-        l1: CacheConfig,
-        l2: CacheConfig,
-        organization: L2Organization,
-    ) -> Self {
+    pub fn new(cores: u16, l1: CacheConfig, l2: CacheConfig, organization: L2Organization) -> Self {
         assert!(cores > 0, "a CMP needs at least one core");
         let l1s = (0..cores).map(|_| Cache::new(l1)).collect();
         let (shared_l2, private_l2s) = match organization {
-            L2Organization::Shared => (
-                Some(Cache::new(l2).with_sharer_tracking()),
-                Vec::new(),
-            ),
-            L2Organization::Private => (
-                None,
-                (0..cores).map(|_| Cache::new(l2)).collect(),
-            ),
+            L2Organization::Shared => (Some(Cache::new(l2).with_sharer_tracking()), Vec::new()),
+            L2Organization::Private => (None, (0..cores).map(|_| Cache::new(l2)).collect()),
         };
         CmpSystem {
             l1s,

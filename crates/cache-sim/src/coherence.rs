@@ -158,10 +158,7 @@ impl CoherentCmp {
         let out = self.caches[core as usize].access_from(core, address, is_write);
         // Local eviction: drop from the directory; dirty data goes home.
         if let Some(victim) = out.evicted() {
-            let entry = self
-                .directory
-                .entry(victim.line_address())
-                .or_default();
+            let entry = self.directory.entry(victim.line_address()).or_default();
             entry.sharers &= !core_bit;
             if entry.owner == Some(core) {
                 entry.owner = None;
@@ -194,8 +191,8 @@ impl CoherentCmp {
             if victims != 0 {
                 for other in 0..self.caches.len() as u16 {
                     if victims & (1u64 << other) != 0 {
-                        if let Some(inv) = self.caches[other as usize]
-                            .invalidate(line * self.line_size)
+                        if let Some(inv) =
+                            self.caches[other as usize].invalidate(line * self.line_size)
                         {
                             self.coherence.invalidations += 1;
                             self.lost_lines.insert((other, line), ());

@@ -113,12 +113,7 @@ impl CompressedCache {
     /// Resident lines relative to the uncompressed capacity — the
     /// *measured* effectiveness factor `F` of Equation 8.
     pub fn effective_capacity_factor(&self) -> f64 {
-        let occupied: usize = self
-            .sets
-            .iter()
-            .flatten()
-            .map(|l| l.size_bytes)
-            .sum();
+        let occupied: usize = self.sets.iter().flatten().map(|l| l.size_bytes).sum();
         if occupied == 0 {
             1.0
         } else {

@@ -206,8 +206,7 @@ impl PredictiveSectoredCache {
                 .record_writeback(old.dirty_sectors.count_ones() as u64 * self.sector_size);
         }
         // Sectors fetched (valid) but never used were wasted bandwidth.
-        self.overfetched_sectors +=
-            (old.valid_sectors & !old.used_sectors).count_ones() as u64;
+        self.overfetched_sectors += (old.valid_sectors & !old.used_sectors).count_ones() as u64;
         self.footprints.insert(old.tag, old.used_sectors);
     }
 }
@@ -267,10 +266,7 @@ mod tests {
     fn stable_footprints_match_oracle_savings() {
         // Every line always uses its first 3 of 8 sectors. After
         // training, savings approach the oracle 5/8.
-        let mut c = PredictiveSectoredCache::new(
-            CacheConfig::new(512, 64, 1).unwrap(),
-            8,
-        );
+        let mut c = PredictiveSectoredCache::new(CacheConfig::new(512, 64, 1).unwrap(), 8);
         for round in 0..20 {
             for line in 0..64u64 {
                 for s in 0..3u64 {

@@ -215,8 +215,7 @@ impl TwoLevelHierarchy {
     fn settle_l2_eviction(&mut self, evicted: Option<crate::cache::EvictedLine>) {
         if let Some(v) = evicted {
             if v.dirty() {
-                self.traffic
-                    .record_writeback(self.l2.config().line_size());
+                self.traffic.record_writeback(self.l2.config().line_size());
             }
         }
     }
@@ -240,8 +239,7 @@ impl TwoLevelHierarchy {
         }
         for v in self.l2.flush() {
             if v.dirty() {
-                self.traffic
-                    .record_writeback(self.l2.config().line_size());
+                self.traffic.record_writeback(self.l2.config().line_size());
             }
         }
     }
@@ -465,11 +463,11 @@ mod tests {
         // With equal geometries, exclusive caching holds L1+L2 distinct
         // lines while inclusive holds only L2-many; a working set sized
         // between the two discriminates.
-        use bandwall_trace::{ZipfTrace, TraceSource};
+        use bandwall_trace::{TraceSource, ZipfTrace};
         let run = |inclusion: InclusionPolicy| {
             let mut h = TwoLevelHierarchy::new(
-                CacheConfig::new(2048, 64, 4).unwrap(),  // 32 lines
-                CacheConfig::new(4096, 64, 4).unwrap(),  // 64 lines
+                CacheConfig::new(2048, 64, 4).unwrap(), // 32 lines
+                CacheConfig::new(4096, 64, 4).unwrap(), // 64 lines
             )
             .with_inclusion(inclusion);
             // 80-line working set: fits L1+L2 (96) but not L2 alone (64).

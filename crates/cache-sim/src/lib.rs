@@ -51,8 +51,8 @@ pub use cache::{AccessOutcome, Cache, EvictedLine};
 pub use cmp::{CmpSystem, L2Organization};
 pub use coherence::{CoherenceStats, CoherentCmp};
 pub use compressed::CompressedCache;
-pub use footprint::PredictiveSectoredCache;
 pub use config::{CacheConfig, ConfigError, ReplacementPolicy};
+pub use footprint::PredictiveSectoredCache;
 pub use hierarchy::{InclusionPolicy, TwoLevelHierarchy};
 pub use memory::{simulate_throughput, DramChannel, ThroughputSimConfig, ThroughputSimResult};
 pub use sectored::SectoredCache;

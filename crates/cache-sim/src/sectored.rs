@@ -173,9 +173,8 @@ impl SectoredCache {
             self.stats.record_eviction(dirty);
             if dirty {
                 // Write back only the dirty sectors.
-                self.traffic.record_writeback(
-                    old.dirty_sectors.count_ones() as u64 * self.sector_size,
-                );
+                self.traffic
+                    .record_writeback(old.dirty_sectors.count_ones() as u64 * self.sector_size);
             }
         }
         set[victim_way] = Some(SectoredLine {
@@ -220,7 +219,7 @@ mod tests {
         let mut c = cache();
         c.access(0, true); // sector 0 dirty
         c.access(8, false); // sector 1 clean
-        // Conflict the line out (8 sets; line addrs 0, 8, 16 map to set 0).
+                            // Conflict the line out (8 sets; line addrs 0, 8, 16 map to set 0).
         c.access(8 * 64, false);
         c.access(16 * 64, false);
         assert_eq!(c.traffic().written_bytes(), 8, "only the dirty sector");

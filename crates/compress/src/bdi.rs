@@ -326,7 +326,8 @@ mod tests {
             DecompressError::Corrupt
         ));
         assert!(matches!(
-            bdi.decompress(&[Encoding::Repeat8 as u8, 1, 2], 64).unwrap_err(),
+            bdi.decompress(&[Encoding::Repeat8 as u8, 1, 2], 64)
+                .unwrap_err(),
             DecompressError::Truncated
         ));
         assert!(matches!(

@@ -140,7 +140,7 @@ mod tests {
     fn round_trips_across_selectors() {
         let e = engine();
         let lines: Vec<Vec<u8>> = vec![
-            vec![0u8; 64],                                          // zero
+            vec![0u8; 64],                                              // zero
             (0..8u64).flat_map(|i| (1000 + i).to_be_bytes()).collect(), // BDI-friendly
             (0..64u32)
                 .map(|i| (i.wrapping_mul(2654435761) >> 9) as u8)
@@ -157,11 +157,7 @@ mod tests {
         use crate::evaluate;
         let stream = bandwall_shim::lines();
         let combined = evaluate(&engine(), stream.iter().map(|l| l.as_slice()));
-        for single in [
-            &Fpc::new() as &dyn Compressor,
-            &Bdi::new(),
-            &ZeroRle::new(),
-        ] {
+        for single in [&Fpc::new() as &dyn Compressor, &Bdi::new(), &ZeroRle::new()] {
             let alone = evaluate(single, stream.iter().map(|l| l.as_slice()));
             // The selector byte costs a little, so allow a small epsilon.
             assert!(

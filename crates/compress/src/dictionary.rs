@@ -171,13 +171,14 @@ impl Compressor for DictionaryLine {
         for _ in 0..original_len / 4 {
             let flag = reader.read_bits(1).ok_or(DecompressError::Truncated)?;
             let word = if flag == 1 {
-                let index = reader.read_bits(DICT_BITS).ok_or(DecompressError::Truncated)? as usize;
+                let index = reader
+                    .read_bits(DICT_BITS)
+                    .ok_or(DecompressError::Truncated)? as usize;
                 let value = *dict.entries.get(index).ok_or(DecompressError::Corrupt)?;
                 dict.lookup_insert(value);
                 value
             } else {
-                let literal =
-                    reader.read_bits(32).ok_or(DecompressError::Truncated)? as u32;
+                let literal = reader.read_bits(32).ok_or(DecompressError::Truncated)? as u32;
                 dict.lookup_insert(literal);
                 literal
             };

@@ -1,80 +1,104 @@
-//! Property-based losslessness and sanity tests for every compression
-//! engine.
+//! Property-style losslessness and sanity tests for every compression
+//! engine, driven by a seeded [`Rng`] over pattern-biased random lines
+//! instead of an external property-testing framework.
 
 use bandwall_compress::{Bdi, Compressor, DictionaryLine, Fpc, LinkCompressor, ZeroRle};
-use proptest::prelude::*;
+use bandwall_numerics::Rng;
 
-/// Arbitrary 64-byte lines with a mix of structure and noise, biased
+/// Generates a 64-byte line with a mix of structure and noise, biased
 /// toward the patterns the engines target.
-fn line_strategy() -> impl Strategy<Value = Vec<u8>> {
-    prop_oneof![
+fn random_line(rng: &mut Rng) -> Vec<u8> {
+    match rng.gen_range(0..5u32) {
         // Pure noise.
-        proptest::collection::vec(any::<u8>(), 64..=64),
+        0 => (0..64).map(|_| rng.gen_u8()).collect(),
         // All one byte.
-        any::<u8>().prop_map(|b| vec![b; 64]),
+        1 => vec![rng.gen_u8(); 64],
         // Small 32-bit integers.
-        proptest::collection::vec(-300i32..300, 16..=16).prop_map(|ints| {
-            ints.iter().flat_map(|i| i.to_be_bytes()).collect()
-        }),
+        2 => (0..16)
+            .flat_map(|_| rng.gen_range(-300..300i32).to_be_bytes())
+            .collect(),
         // Pointer-like 64-bit values.
-        (0u64..1 << 20).prop_map(|base| {
+        3 => {
+            let base = rng.gen_range(0..1 << 20u64);
             (0..8u64)
                 .flat_map(|i| (0x7FFF_0000_0000u64 + base + i * 8).to_be_bytes())
                 .collect()
-        }),
+        }
         // Zero-dominated.
-        proptest::collection::vec(prop_oneof![9 => Just(0u8), 1 => any::<u8>()], 64..=64),
-    ]
+        _ => (0..64)
+            .map(|_| if rng.gen_bool(0.9) { 0 } else { rng.gen_u8() })
+            .collect(),
+    }
 }
 
-proptest! {
-    /// FPC is lossless on every line.
-    #[test]
-    fn fpc_round_trips(line in line_strategy()) {
-        let c = Fpc::new();
-        prop_assert_eq!(c.decompress(&c.compress(&line), line.len()).unwrap(), line);
-    }
+const CASES: usize = 512;
 
-    /// BDI is lossless on every line.
-    #[test]
-    fn bdi_round_trips(line in line_strategy()) {
-        let c = Bdi::new();
-        prop_assert_eq!(c.decompress(&c.compress(&line), line.len()).unwrap(), line);
+fn assert_round_trips(make: impl Fn() -> Box<dyn Compressor>, seed: u64) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let c = make();
+    for _ in 0..CASES {
+        let line = random_line(&mut rng);
+        assert_eq!(
+            c.decompress(&c.compress(&line), line.len()).unwrap(),
+            line,
+            "{} must be lossless",
+            c.name()
+        );
     }
+}
 
-    /// Zero-RLE is lossless on every line.
-    #[test]
-    fn zero_rle_round_trips(line in line_strategy()) {
-        let c = ZeroRle::new();
-        prop_assert_eq!(c.decompress(&c.compress(&line), line.len()).unwrap(), line);
+/// FPC is lossless on every line.
+#[test]
+fn fpc_round_trips() {
+    assert_round_trips(|| Box::new(Fpc::new()), 201);
+}
+
+/// BDI is lossless on every line.
+#[test]
+fn bdi_round_trips() {
+    assert_round_trips(|| Box::new(Bdi::new()), 202);
+}
+
+/// Zero-RLE is lossless on every line.
+#[test]
+fn zero_rle_round_trips() {
+    assert_round_trips(|| Box::new(ZeroRle::new()), 203);
+}
+
+/// The per-line dictionary engine is lossless on every line.
+#[test]
+fn dictionary_round_trips() {
+    assert_round_trips(|| Box::new(DictionaryLine::new()), 204);
+}
+
+/// Compressed sizes are bounded: BDI never exceeds line + header.
+#[test]
+fn bdi_size_bounded() {
+    let mut rng = Rng::seed_from_u64(205);
+    let c = Bdi::new();
+    for _ in 0..CASES {
+        let line = random_line(&mut rng);
+        assert!(c.compress(&line).len() <= line.len() + 1);
     }
+}
 
-    /// The per-line dictionary engine is lossless on every line.
-    #[test]
-    fn dictionary_round_trips(line in line_strategy()) {
-        let c = DictionaryLine::new();
-        prop_assert_eq!(c.decompress(&c.compress(&line), line.len()).unwrap(), line);
-    }
-
-    /// Compressed sizes are bounded: BDI never exceeds line + header.
-    #[test]
-    fn bdi_size_bounded(line in line_strategy()) {
-        let c = Bdi::new();
-        prop_assert!(c.compress(&line).len() <= line.len() + 1);
-    }
-
-    /// FPC output is bounded by 35 bits per 32-bit word.
-    #[test]
-    fn fpc_size_bounded(line in line_strategy()) {
-        let c = Fpc::new();
+/// FPC output is bounded by 35 bits per 32-bit word.
+#[test]
+fn fpc_size_bounded() {
+    let mut rng = Rng::seed_from_u64(206);
+    let c = Fpc::new();
+    for _ in 0..CASES {
+        let line = random_line(&mut rng);
         let words = line.len() / 4;
-        prop_assert!(c.compress(&line).len() <= (words * 35).div_ceil(8));
+        assert!(c.compress(&line).len() <= (words * 35).div_ceil(8));
     }
+}
 
-    /// Compression ratios are always positive and zero lines compress at
-    /// least 4x on every engine.
-    #[test]
-    fn zero_lines_compress_everywhere(len in 1usize..8) {
+/// Compression ratios are always positive and zero lines compress on
+/// every engine.
+#[test]
+fn zero_lines_compress_everywhere() {
+    for len in 1usize..8 {
         let line = vec![0u8; len * 8];
         for engine in [
             &Fpc::new() as &dyn Compressor,
@@ -83,20 +107,24 @@ proptest! {
             &DictionaryLine::new(),
         ] {
             let ratio = engine.compression_ratio(&line);
-            prop_assert!(ratio >= 1.0, "{} ratio {}", engine.name(), ratio);
+            assert!(ratio >= 1.0, "{} ratio {}", engine.name(), ratio);
         }
     }
+}
 
-    /// The streaming link compressor's wire size is consistent with its
-    /// stats, and repeated lines converge to the dictionary-hit floor.
-    #[test]
-    fn link_compressor_converges(word in any::<u32>()) {
+/// The streaming link compressor's wire size is consistent with its
+/// stats, and repeated lines converge to the dictionary-hit floor.
+#[test]
+fn link_compressor_converges() {
+    let mut rng = Rng::seed_from_u64(207);
+    for _ in 0..CASES {
+        let word = rng.next_u64() as u32;
         let mut link = LinkCompressor::new();
         let line: Vec<u8> = (0..16).flat_map(|_| word.to_be_bytes()).collect();
         let first = link.transfer(&line);
         let second = link.transfer(&line);
         // After the first word trains the dictionary, every word hits.
-        prop_assert!(second <= first);
-        prop_assert_eq!(second, 16 * 7);
+        assert!(second <= first);
+        assert_eq!(second, 16 * 7);
     }
 }

@@ -200,10 +200,7 @@ mod tests {
 
     #[test]
     fn custom_combination() {
-        let c = Combination::new(
-            "custom",
-            [Technique::link_compression(2.0).unwrap()],
-        );
+        let c = Combination::new("custom", [Technique::link_compression(2.0).unwrap()]);
         assert_eq!(c.name(), "custom");
         assert_eq!(c.techniques().len(), 1);
     }

@@ -64,7 +64,7 @@ pub use effects::Effects;
 pub use error::ModelError;
 pub use params::{Alpha, Baseline};
 pub use power_law::MissRateCurve;
-pub use scaling::{GenerationResult, GenerationSweep, ScalingProblem};
+pub use scaling::{GenerationResult, GenerationSweep, ScalingProblem, ScalingSolution};
 pub use techniques::{Category, Technique, TechniqueKind};
 pub use throughput::{ThroughputModel, ThroughputPoint};
 pub use traffic::TrafficModel;

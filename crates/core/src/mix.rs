@@ -185,11 +185,7 @@ impl WorkloadMix {
     ///
     /// Returns [`ModelError::Infeasible`] when even one core exceeds the
     /// envelope.
-    pub fn max_supportable_cores(
-        &self,
-        total_ceas: f64,
-        envelope: f64,
-    ) -> Result<u64, ModelError> {
+    pub fn max_supportable_cores(&self, total_ceas: f64, envelope: f64) -> Result<u64, ModelError> {
         let hi = (total_ceas - 1.0).max(0.0) as u64;
         if hi == 0 {
             return Err(ModelError::Infeasible);
@@ -208,7 +204,13 @@ impl fmt::Display for WorkloadMix {
         let names: Vec<String> = self
             .classes
             .iter()
-            .map(|c| format!("{} ({:.0}%)", c.name, 100.0 * c.core_share / self.total_share()))
+            .map(|c| {
+                format!(
+                    "{} ({:.0}%)",
+                    c.name,
+                    100.0 * c.core_share / self.total_share()
+                )
+            })
             .collect();
         write!(f, "mix[{}]", names.join(", "))
     }
@@ -229,7 +231,11 @@ mod tests {
 
     #[test]
     fn single_class_degenerates_to_scaling_problem() {
-        for alpha in [Alpha::SPEC2006, Alpha::COMMERCIAL_AVERAGE, Alpha::COMMERCIAL_MAX] {
+        for alpha in [
+            Alpha::SPEC2006,
+            Alpha::COMMERCIAL_AVERAGE,
+            Alpha::COMMERCIAL_MAX,
+        ] {
             let mix = single_class_mix(alpha);
             let expected = ScalingProblem::new(Baseline::niagara2_like().with_alpha(alpha), 32.0)
                 .max_supportable_cores()

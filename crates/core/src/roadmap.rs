@@ -8,6 +8,35 @@
 //! [`crate::GenerationSweep`] consume.
 
 use crate::error::ModelError;
+use crate::params::Baseline;
+
+/// The four future technology generations the paper sweeps (transistor
+/// scaling ratios 2×–16×).
+pub const GENERATIONS: [u32; 4] = [1, 2, 3, 4];
+
+/// Scaling-ratio labels used on the paper's x-axes.
+pub const GENERATION_LABELS: [&str; 4] = ["2x", "4x", "8x", "16x"];
+
+/// The common baseline for every experiment (Section 5.1): the
+/// Niagara2-like reference CMP with 8 cores, 8 CEAs of cache, α = 0.5.
+pub fn paper_baseline() -> Baseline {
+    Baseline::niagara2_like()
+}
+
+/// Die budget (total CEAs) of future generation `g` (1-based): the
+/// baseline's 16 CEAs doubled once per generation.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_model::roadmap::die_budget;
+///
+/// assert_eq!(die_budget(1), 32.0);
+/// assert_eq!(die_budget(4), 256.0);
+/// ```
+pub fn die_budget(generation: u32) -> f64 {
+    paper_baseline().total_ceas() * 2f64.powi(generation as i32)
+}
 
 /// A bandwidth-growth scenario: how the off-chip envelope evolves per
 /// technology generation.
@@ -125,6 +154,19 @@ mod tests {
     use super::*;
     use crate::params::Baseline;
     use crate::scaling::GenerationSweep;
+
+    #[test]
+    fn die_budgets_double() {
+        assert_eq!(die_budget(1), 32.0);
+        assert_eq!(die_budget(4), 256.0);
+    }
+
+    #[test]
+    fn baseline_is_niagara2_like() {
+        let b = paper_baseline();
+        assert_eq!(b.cores(), 8.0);
+        assert_eq!(b.total_ceas(), 16.0);
+    }
 
     #[test]
     fn itrs_growth_factor() {

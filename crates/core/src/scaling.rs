@@ -315,6 +315,70 @@ impl ScalingProblem {
     pub fn proportional_cores(&self) -> u64 {
         (self.baseline.cores() * self.total_ceas / self.baseline.total_ceas()).round() as u64
     }
+
+    /// Answers the problem in full: the supportable core count together
+    /// with every derived quantity a structured report row needs
+    /// (ideal cores, crossover, residual traffic, die-area split).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError::Infeasible`] and numerical errors from the
+    /// underlying solvers.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bandwall_model::{Baseline, ScalingProblem};
+    ///
+    /// let solution = ScalingProblem::new(Baseline::niagara2_like(), 32.0).solve()?;
+    /// assert_eq!(solution.supportable_cores, 11);
+    /// assert_eq!(solution.ideal_cores, 16);
+    /// assert!(solution.crossover_cores > 11.0 && solution.crossover_cores < 12.0);
+    /// # Ok::<(), bandwall_model::ModelError>(())
+    /// ```
+    pub fn solve(&self) -> Result<ScalingSolution, ModelError> {
+        let supportable_cores = self.max_supportable_cores()?;
+        Ok(ScalingSolution {
+            total_ceas: self.total_ceas,
+            bandwidth_growth: self.bandwidth_growth,
+            supportable_cores,
+            ideal_cores: self.proportional_cores(),
+            crossover_cores: self.crossover_cores()?,
+            relative_traffic: self.relative_traffic(supportable_cores)?,
+            core_area_fraction: self.core_area_fraction(supportable_cores),
+        })
+    }
+}
+
+/// A fully-characterised answer to one [`ScalingProblem`], computed by
+/// [`ScalingProblem::solve`] — the structured result that experiment
+/// reports turn into model/paper/delta rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingSolution {
+    /// Die budget `N₂` in CEAs.
+    pub total_ceas: f64,
+    /// The bandwidth-growth factor `B` of the envelope.
+    pub bandwidth_growth: f64,
+    /// The largest whole core count whose traffic fits the envelope.
+    pub supportable_cores: u64,
+    /// Cores under proportional ("ideal") scaling.
+    pub ideal_cores: u64,
+    /// The real-valued core count where traffic exactly meets the
+    /// envelope.
+    pub crossover_cores: f64,
+    /// Relative traffic `M₂/M₁` at the supportable core count.
+    pub relative_traffic: f64,
+    /// Fraction of die area the supportable cores occupy.
+    pub core_area_fraction: f64,
+}
+
+impl ScalingSolution {
+    /// Supportable cores as a fraction of the proportional ideal — the
+    /// "scaling efficiency" the paper's figures visualise as the gap
+    /// between the two curves.
+    pub fn scaling_efficiency(&self) -> f64 {
+        self.supportable_cores as f64 / self.ideal_cores as f64
+    }
 }
 
 /// The outcome of one generation in a [`GenerationSweep`].
@@ -420,6 +484,19 @@ mod tests {
     }
 
     #[test]
+    fn solve_bundles_every_headline_quantity() {
+        let s = base_problem(32.0).solve().unwrap();
+        assert_eq!(s.supportable_cores, 11);
+        assert_eq!(s.ideal_cores, 16);
+        assert!(s.crossover_cores > 11.0 && s.crossover_cores < 12.0);
+        assert!(s.relative_traffic <= 1.0 + 1e-9);
+        assert!((s.core_area_fraction - 11.0 / 32.0).abs() < 1e-12);
+        assert!((s.scaling_efficiency() - 11.0 / 16.0).abs() < 1e-12);
+        assert_eq!(s.total_ceas, 32.0);
+        assert_eq!(s.bandwidth_growth, 1.0);
+    }
+
+    #[test]
     fn base_next_generation_supports_11_cores() {
         assert_eq!(base_problem(32.0).max_supportable_cores().unwrap(), 11);
     }
@@ -497,8 +574,8 @@ mod tests {
     #[test]
     fn stacked_cache_variants_match_figure6() {
         let base = Baseline::niagara2_like();
-        let sram = ScalingProblem::new(base, 32.0)
-            .with_technique(Technique::stacked_cache(1).unwrap());
+        let sram =
+            ScalingProblem::new(base, 32.0).with_technique(Technique::stacked_cache(1).unwrap());
         assert_eq!(sram.max_supportable_cores().unwrap(), 14);
         let dram8 = ScalingProblem::new(base, 32.0)
             .with_technique(Technique::stacked_dram_cache(1, 8.0).unwrap());
@@ -544,10 +621,7 @@ mod tests {
     #[test]
     fn alpha_sensitivity_matches_figure17_direction() {
         // Larger α supports more cores.
-        let lo = ScalingProblem::new(
-            Baseline::niagara2_like().with_alpha(Alpha::SPEC2006),
-            256.0,
-        );
+        let lo = ScalingProblem::new(Baseline::niagara2_like().with_alpha(Alpha::SPEC2006), 256.0);
         let hi = ScalingProblem::new(
             Baseline::niagara2_like().with_alpha(Alpha::COMMERCIAL_MAX),
             256.0,

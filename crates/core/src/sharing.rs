@@ -217,12 +217,7 @@ mod tests {
         let m = model();
         // Paper prose: "40%, 63%, 77%, and 86%". The model yields 39.5%,
         // 62.3%, 76.2%, 84.9% — the paper reports figure-read roundings.
-        let cases = [
-            (16.0, 0.40),
-            (32.0, 0.63),
-            (64.0, 0.77),
-            (128.0, 0.86),
-        ];
+        let cases = [(16.0, 0.40), (32.0, 0.63), (64.0, 0.77), (128.0, 0.86)];
         for (cores, expected) in cases {
             let fsh = m
                 .required_shared_fraction(cores, cores, 1.0)

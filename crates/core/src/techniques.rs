@@ -346,8 +346,8 @@ impl Technique {
                 layers,
                 layer_density,
             } => {
-                let layer = StackedLayer::new(layer_density)
-                    .expect("validated at technique construction");
+                let layer =
+                    StackedLayer::new(layer_density).expect("validated at technique construction");
                 for _ in 0..layers {
                     effects.add_stacked_layer(layer);
                 }
@@ -592,7 +592,10 @@ mod tests {
 
     #[test]
     fn display_mentions_parameters() {
-        assert!(Technique::dram_cache(8.0).unwrap().to_string().contains('8'));
+        assert!(Technique::dram_cache(8.0)
+            .unwrap()
+            .to_string()
+            .contains('8'));
         assert!(Technique::smaller_cores(1.0 / 80.0)
             .unwrap()
             .to_string()

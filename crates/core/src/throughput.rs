@@ -120,10 +120,8 @@ impl ThroughputModel {
         &self,
         cores: impl IntoIterator<Item = u64>,
     ) -> Result<Vec<ThroughputPoint>, ModelError> {
-        let points: Vec<ThroughputPoint> = cores
-            .into_iter()
-            .filter_map(|p| self.at(p).ok())
-            .collect();
+        let points: Vec<ThroughputPoint> =
+            cores.into_iter().filter_map(|p| self.at(p).ok()).collect();
         if points.is_empty() {
             return Err(ModelError::Infeasible);
         }
@@ -252,8 +250,8 @@ mod tests {
 
     #[test]
     fn from_problem_inherits_configuration() {
-        let problem = ScalingProblem::new(Baseline::niagara2_like(), 32.0)
-            .with_bandwidth_growth(2.0);
+        let problem =
+            ScalingProblem::new(Baseline::niagara2_like(), 32.0).with_bandwidth_growth(2.0);
         let m = ThroughputModel::from_problem(problem);
         // Envelope of 2 lifts the linear region to 16 cores.
         assert_eq!(m.at(16).unwrap().per_core_throughput, 1.0);

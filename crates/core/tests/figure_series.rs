@@ -54,21 +54,21 @@ fn figure15_base_series() {
 #[test]
 fn figure16_realistic_series() {
     let expected: [[u64; 4]; 15] = [
-        [32, 44, 58, 76],    // CC + DRAM + 3D
-        [27, 43, 64, 88],    // CC/LC + DRAM
-        [20, 27, 36, 46],    // CC + 3D + Fltr
-        [21, 30, 41, 55],    // CC/LC + Fltr
-        [32, 53, 72, 94],    // DRAM + 3D + LC
-        [26, 42, 61, 83],    // DRAM + Fltr + LC
-        [28, 46, 69, 96],    // DRAM + LC + Sect
-        [25, 34, 44, 57],    // 3D + Fltr + LC
-        [22, 33, 45, 61],    // SmCl + LC
-        [25, 38, 55, 75],    // CC/LC + SmCl
-        [32, 55, 75, 99],    // DRAM + 3D + SmCl
-        [30, 55, 89, 132],   // CC/LC + DRAM + SmCl
-        [32, 55, 75, 99],    // CC/LC + 3D + SmCl
-        [32, 64, 88, 117],   // CC/LC + DRAM + 3D
-        [32, 64, 128, 183],  // CC/LC + DRAM + 3D + SmCl
+        [32, 44, 58, 76],   // CC + DRAM + 3D
+        [27, 43, 64, 88],   // CC/LC + DRAM
+        [20, 27, 36, 46],   // CC + 3D + Fltr
+        [21, 30, 41, 55],   // CC/LC + Fltr
+        [32, 53, 72, 94],   // DRAM + 3D + LC
+        [26, 42, 61, 83],   // DRAM + Fltr + LC
+        [28, 46, 69, 96],   // DRAM + LC + Sect
+        [25, 34, 44, 57],   // 3D + Fltr + LC
+        [22, 33, 45, 61],   // SmCl + LC
+        [25, 38, 55, 75],   // CC/LC + SmCl
+        [32, 55, 75, 99],   // DRAM + 3D + SmCl
+        [30, 55, 89, 132],  // CC/LC + DRAM + SmCl
+        [32, 55, 75, 99],   // CC/LC + 3D + SmCl
+        [32, 64, 88, 117],  // CC/LC + DRAM + 3D
+        [32, 64, 128, 183], // CC/LC + DRAM + 3D + SmCl
     ];
     let combos = figure16_combinations(AssumptionLevel::Realistic).unwrap();
     assert_eq!(combos.len(), expected.len());

@@ -1,66 +1,86 @@
-//! Property-based tests of the analytical model's invariants.
+//! Property-style tests of the analytical model's invariants, driven by
+//! a seeded [`Rng`] instead of an external property-testing framework.
 
 use bandwall_model::techniques::combine;
 use bandwall_model::{Alpha, Baseline, ScalingProblem, Technique, TrafficModel};
-use proptest::prelude::*;
+use bandwall_numerics::Rng;
 
-fn any_alpha() -> impl Strategy<Value = Alpha> {
-    (0.1f64..1.2).prop_map(|a| Alpha::new(a).unwrap())
+const CASES: usize = 128;
+
+fn any_alpha(rng: &mut Rng) -> Alpha {
+    Alpha::new(0.1 + 1.1 * rng.gen_f64()).unwrap()
 }
 
-fn any_technique() -> impl Strategy<Value = Technique> {
-    prop_oneof![
-        (1.0f64..4.0).prop_map(|r| Technique::cache_compression(r).unwrap()),
-        (1.0f64..16.0).prop_map(|d| Technique::dram_cache(d).unwrap()),
-        (1u32..3).prop_map(|l| Technique::stacked_cache(l).unwrap()),
-        (0.0f64..0.9).prop_map(|f| Technique::unused_data_filter(f).unwrap()),
-        (0.01f64..1.0).prop_map(|f| Technique::smaller_cores(f).unwrap()),
-        (1.0f64..4.0).prop_map(|r| Technique::link_compression(r).unwrap()),
-        (0.0f64..0.9).prop_map(|f| Technique::sectored_cache(f).unwrap()),
-        (0.0f64..0.9).prop_map(|f| Technique::small_cache_lines(f).unwrap()),
-        (1.0f64..4.0).prop_map(|r| Technique::cache_link_compression(r).unwrap()),
-    ]
+fn any_technique(rng: &mut Rng) -> Technique {
+    match rng.gen_range(0..9u32) {
+        0 => Technique::cache_compression(1.0 + 3.0 * rng.gen_f64()).unwrap(),
+        1 => Technique::dram_cache(1.0 + 15.0 * rng.gen_f64()).unwrap(),
+        2 => Technique::stacked_cache(rng.gen_range(1..3u32)).unwrap(),
+        3 => Technique::unused_data_filter(0.9 * rng.gen_f64()).unwrap(),
+        4 => Technique::smaller_cores(0.01 + 0.99 * rng.gen_f64()).unwrap(),
+        5 => Technique::link_compression(1.0 + 3.0 * rng.gen_f64()).unwrap(),
+        6 => Technique::sectored_cache(0.9 * rng.gen_f64()).unwrap(),
+        7 => Technique::small_cache_lines(0.9 * rng.gen_f64()).unwrap(),
+        _ => Technique::cache_link_compression(1.0 + 3.0 * rng.gen_f64()).unwrap(),
+    }
 }
 
-proptest! {
-    /// Traffic strictly increases with core count on a fixed die.
-    #[test]
-    fn traffic_monotone_in_cores(alpha in any_alpha(), n2 in 20.0f64..500.0) {
+/// Traffic strictly increases with core count on a fixed die.
+#[test]
+fn traffic_monotone_in_cores() {
+    let mut rng = Rng::seed_from_u64(301);
+    for _ in 0..CASES {
+        let alpha = any_alpha(&mut rng);
+        let n2 = 20.0 + 480.0 * rng.gen_f64();
         let model = TrafficModel::new(Baseline::niagara2_like().with_alpha(alpha));
         let mut last = 0.0;
         let max = (n2 - 1.0) as u64;
         for p in (1..max).step_by((max as usize / 16).max(1)) {
             let t = model.relative_traffic_on_die(n2, p as f64).unwrap();
-            prop_assert!(t > last, "traffic not increasing at {p}");
+            assert!(t > last, "traffic not increasing at {p}");
             last = t;
         }
     }
+}
 
-    /// Traffic strictly decreases as cache per core grows.
-    #[test]
-    fn traffic_monotone_in_cache(alpha in any_alpha(), cores in 1.0f64..100.0) {
+/// Traffic strictly decreases as cache per core grows.
+#[test]
+fn traffic_monotone_in_cache() {
+    let mut rng = Rng::seed_from_u64(302);
+    for _ in 0..CASES {
+        let alpha = any_alpha(&mut rng);
+        let cores = 1.0 + 99.0 * rng.gen_f64();
         let model = TrafficModel::new(Baseline::niagara2_like().with_alpha(alpha));
         let mut last = f64::MAX;
         for s in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
             let t = model.relative_traffic(cores, s).unwrap();
-            prop_assert!(t < last);
+            assert!(t < last);
             last = t;
         }
     }
+}
 
-    /// The baseline configuration always has relative traffic exactly 1.
-    #[test]
-    fn baseline_traffic_is_unity(alpha in any_alpha()) {
-        let b = Baseline::niagara2_like().with_alpha(alpha);
+/// The baseline configuration always has relative traffic exactly 1.
+#[test]
+fn baseline_traffic_is_unity() {
+    let mut rng = Rng::seed_from_u64(303);
+    for _ in 0..CASES {
+        let b = Baseline::niagara2_like().with_alpha(any_alpha(&mut rng));
         let model = TrafficModel::new(b);
-        let t = model.relative_traffic(b.cores(), b.cache_per_core()).unwrap();
-        prop_assert!((t - 1.0).abs() < 1e-12);
+        let t = model
+            .relative_traffic(b.cores(), b.cache_per_core())
+            .unwrap();
+        assert!((t - 1.0).abs() < 1e-12);
     }
+}
 
-    /// Supportable cores never decrease when the die budget doubles.
-    #[test]
-    fn cores_monotone_in_die_budget(alpha in any_alpha(), t in any_technique()) {
-        let b = Baseline::niagara2_like().with_alpha(alpha);
+/// Supportable cores never decrease when the die budget doubles.
+#[test]
+fn cores_monotone_in_die_budget() {
+    let mut rng = Rng::seed_from_u64(304);
+    for _ in 0..CASES {
+        let b = Baseline::niagara2_like().with_alpha(any_alpha(&mut rng));
+        let t = any_technique(&mut rng);
         let mut last = 0;
         for g in 1..=4 {
             let n2 = 16.0 * 2f64.powi(g);
@@ -68,26 +88,36 @@ proptest! {
                 .with_technique(t)
                 .max_supportable_cores()
                 .unwrap();
-            prop_assert!(cores >= last, "{t}: {cores} < {last} at {n2} CEAs");
+            assert!(cores >= last, "{t}: {cores} < {last} at {n2} CEAs");
             last = cores;
         }
     }
+}
 
-    /// Adding any technique never reduces the supportable core count.
-    #[test]
-    fn techniques_never_hurt(alpha in any_alpha(), t in any_technique()) {
-        let b = Baseline::niagara2_like().with_alpha(alpha);
-        let without = ScalingProblem::new(b, 64.0).max_supportable_cores().unwrap();
+/// Adding any technique never reduces the supportable core count.
+#[test]
+fn techniques_never_hurt() {
+    let mut rng = Rng::seed_from_u64(305);
+    for _ in 0..CASES {
+        let b = Baseline::niagara2_like().with_alpha(any_alpha(&mut rng));
+        let t = any_technique(&mut rng);
+        let without = ScalingProblem::new(b, 64.0)
+            .max_supportable_cores()
+            .unwrap();
         let with = ScalingProblem::new(b, 64.0)
             .with_technique(t)
             .max_supportable_cores()
             .unwrap();
-        prop_assert!(with >= without, "{t} reduced cores: {with} < {without}");
+        assert!(with >= without, "{t} reduced cores: {with} < {without}");
     }
+}
 
-    /// A larger bandwidth envelope never supports fewer cores.
-    #[test]
-    fn cores_monotone_in_envelope(growth in 1.0f64..8.0) {
+/// A larger bandwidth envelope never supports fewer cores.
+#[test]
+fn cores_monotone_in_envelope() {
+    let mut rng = Rng::seed_from_u64(306);
+    for _ in 0..CASES {
+        let growth = 1.0 + 7.0 * rng.gen_f64();
         let base = ScalingProblem::new(Baseline::niagara2_like(), 64.0)
             .max_supportable_cores()
             .unwrap();
@@ -95,56 +125,71 @@ proptest! {
             .with_bandwidth_growth(growth)
             .max_supportable_cores()
             .unwrap();
-        prop_assert!(grown >= base);
+        assert!(grown >= base);
     }
+}
 
-    /// Technique-effect folding is order-independent.
-    #[test]
-    fn effects_commute(
-        a in any_technique(),
-        b in any_technique(),
-        c in any_technique(),
-    ) {
+/// Technique-effect folding is order-independent.
+#[test]
+fn effects_commute() {
+    let mut rng = Rng::seed_from_u64(307);
+    for _ in 0..CASES {
+        let a = any_technique(&mut rng);
+        let b = any_technique(&mut rng);
+        let c = any_technique(&mut rng);
         let fwd = combine(&[a, b, c]);
         let rev = combine(&[c, b, a]);
-        prop_assert!((fwd.capacity_factor() - rev.capacity_factor()).abs() < 1e-9);
-        prop_assert!((fwd.traffic_divisor() - rev.traffic_divisor()).abs() < 1e-9);
-        prop_assert!((fwd.cache_density() - rev.cache_density()).abs() < 1e-9);
-        prop_assert!((fwd.core_size_fraction() - rev.core_size_fraction()).abs() < 1e-9);
-        prop_assert_eq!(fwd.stacked_layers().len(), rev.stacked_layers().len());
+        assert!((fwd.capacity_factor() - rev.capacity_factor()).abs() < 1e-9);
+        assert!((fwd.traffic_divisor() - rev.traffic_divisor()).abs() < 1e-9);
+        assert!((fwd.cache_density() - rev.cache_density()).abs() < 1e-9);
+        assert!((fwd.core_size_fraction() - rev.core_size_fraction()).abs() < 1e-9);
+        assert_eq!(fwd.stacked_layers().len(), rev.stacked_layers().len());
     }
+}
 
-    /// The supportable-core answer is the floor of the real crossover
-    /// (when the crossover is interior).
-    #[test]
-    fn integer_answer_matches_crossover(alpha in any_alpha(), g in 1u32..5) {
-        let b = Baseline::niagara2_like().with_alpha(alpha);
+/// The supportable-core answer is the floor of the real crossover
+/// (when the crossover is interior).
+#[test]
+fn integer_answer_matches_crossover() {
+    let mut rng = Rng::seed_from_u64(308);
+    for _ in 0..CASES {
+        let b = Baseline::niagara2_like().with_alpha(any_alpha(&mut rng));
+        let g = rng.gen_range(1..5u32);
         let n2 = 16.0 * 2f64.powi(g as i32);
         let p = ScalingProblem::new(b, n2);
         let integer = p.max_supportable_cores().unwrap();
         let crossover = p.crossover_cores().unwrap();
-        prop_assert!(
+        assert!(
             integer == crossover.floor() as u64 || (crossover - integer as f64).abs() < 1e-6,
             "integer {integer} vs crossover {crossover}"
         );
     }
+}
 
-    /// Relative traffic at the supportable count fits the envelope, and
-    /// exceeds it one core later.
-    #[test]
-    fn supportable_is_tight(alpha in any_alpha(), t in any_technique()) {
-        let b = Baseline::niagara2_like().with_alpha(alpha);
+/// Relative traffic at the supportable count fits the envelope, and
+/// exceeds it one core later.
+#[test]
+fn supportable_is_tight() {
+    let mut rng = Rng::seed_from_u64(309);
+    for _ in 0..CASES {
+        let b = Baseline::niagara2_like().with_alpha(any_alpha(&mut rng));
+        let t = any_technique(&mut rng);
         let p = ScalingProblem::new(b, 128.0).with_technique(t);
         let cores = p.max_supportable_cores().unwrap();
-        prop_assert!(p.relative_traffic(cores).unwrap() <= 1.0 + 1e-6);
+        assert!(p.relative_traffic(cores).unwrap() <= 1.0 + 1e-6);
         if let Ok(next) = p.relative_traffic(cores + 1) {
-            prop_assert!(next > 1.0 - 1e-9, "{t}: not tight at {cores}");
+            assert!(next > 1.0 - 1e-9, "{t}: not tight at {cores}");
         }
     }
+}
 
-    /// Larger alpha never supports fewer cores (cache helps more).
-    #[test]
-    fn cores_monotone_in_alpha(lo in 0.1f64..0.6, delta in 0.01f64..0.5) {
+/// Larger alpha never supports fewer cores (cache helps more).
+#[test]
+fn cores_monotone_in_alpha() {
+    let mut rng = Rng::seed_from_u64(310);
+    for _ in 0..CASES {
+        let lo = 0.1 + 0.5 * rng.gen_f64();
+        let delta = 0.01 + 0.49 * rng.gen_f64();
         let cores_at = |a: f64| {
             ScalingProblem::new(
                 Baseline::niagara2_like().with_alpha(Alpha::new(a).unwrap()),
@@ -153,6 +198,6 @@ proptest! {
             .max_supportable_cores()
             .unwrap()
         };
-        prop_assert!(cores_at(lo + delta) >= cores_at(lo));
+        assert!(cores_at(lo + delta) >= cores_at(lo));
     }
 }

@@ -12,6 +12,8 @@
 //!   (the `m = m0 · (C/C0)^-α` fit of Figure 1 of the paper).
 //! * [`stats`] — summary statistics (mean, variance, quantiles, geometric
 //!   mean) used throughout the experiment harness.
+//! * [`rng`] — a deterministic xoshiro256++ generator used by the
+//!   synthetic trace generators and randomized tests.
 //!
 //! # Examples
 //!
@@ -43,10 +45,12 @@
 #![warn(missing_docs)]
 
 pub mod regression;
+pub mod rng;
 pub mod roots;
 pub mod search;
 pub mod stats;
 
 pub use regression::{LinearFit, PowerLawFit, RegressionError};
+pub use rng::Rng;
 pub use roots::{bisect, brent, RootError, Tolerance};
 pub use search::{max_satisfying, min_satisfying};

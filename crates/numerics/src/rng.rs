@@ -1,0 +1,266 @@
+//! A small, fast, seedable pseudo-random number generator.
+//!
+//! The workspace builds in environments with no access to crates.io, so
+//! the synthetic-trace generators and randomized tests cannot rely on the
+//! `rand` crate. This module provides the slice of functionality they
+//! need — a deterministic, explicitly seeded generator with uniform
+//! integer, float, and range sampling — implemented as xoshiro256++
+//! (Blackman & Vigna) seeded through SplitMix64.
+//!
+//! Determinism is a feature, not an accident: every experiment report in
+//! this repository must be reproducible run-to-run from its seed alone.
+//!
+//! # Examples
+//!
+//! ```
+//! use bandwall_numerics::Rng;
+//!
+//! let mut rng = Rng::seed_from_u64(42);
+//! let u = rng.gen_f64();
+//! assert!((0.0..1.0).contains(&u));
+//! let k = rng.gen_range(0..10u64);
+//! assert!(k < 10);
+//!
+//! // Same seed, same stream.
+//! let mut a = Rng::seed_from_u64(7);
+//! let mut b = Rng::seed_from_u64(7);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! ```
+
+use std::ops::Range;
+
+/// SplitMix64 step — used to expand a 64-bit seed into the full
+/// xoshiro256++ state, and useful on its own for hashing seeds.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256++ generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `u8`.
+    #[inline]
+    pub fn gen_u8(&mut self) -> u8 {
+        (self.next_u64() >> 56) as u8
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// A uniform integer below `bound` via the widening-multiply method.
+    /// Returns 0 when `bound` is 0.
+    #[inline]
+    pub fn gen_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// A uniform sample from a half-open integer range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Integer types uniformly samplable from a half-open range.
+pub trait SampleUniform: Sized {
+    /// Draws a uniform value in `range` from `rng`.
+    fn sample(rng: &mut Rng, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample(rng: &mut Rng, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty sample range");
+                let span = (range.end - range.start) as u64;
+                range.start + rng.gen_below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_unsigned!(u16, u32, u64, usize);
+
+macro_rules! impl_sample_signed {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample(rng: &mut Rng, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty sample range");
+                let span = (range.end as $wide - range.start as $wide) as u64;
+                (range.start as $wide + rng.gen_below(span) as $wide) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_signed!(i32 => i64, i64 => i128);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let stream = |seed| {
+            let mut r = Rng::seed_from_u64(seed);
+            (0..32).map(|_| r.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(stream(1), stream(1));
+        assert_ne!(stream(1), stream(2));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let u = r.gen_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_half() {
+        let mut r = Rng::seed_from_u64(4);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.gen_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            assert!(r.gen_range(0..7u64) < 7);
+            let x = r.gen_range(3..9u32);
+            assert!((3..9).contains(&x));
+            let s = r.gen_range(0..5usize);
+            assert!(s < 5);
+            let i = r.gen_range(-128..128i32);
+            assert!((-128..128).contains(&i));
+            let w = r.gen_range(1..8u16);
+            assert!((1..8).contains(&w));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut r = Rng::seed_from_u64(6);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "coverage {seen:?}");
+    }
+
+    #[test]
+    fn range_roughly_uniform() {
+        let mut r = Rng::seed_from_u64(7);
+        let mut counts = [0u32; 16];
+        let n = 160_000;
+        for _ in 0..n {
+            counts[r.gen_range(0..16usize)] += 1;
+        }
+        let expected = n as f64 / 16.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "bucket {i}: {c} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut r = Rng::seed_from_u64(8);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.3).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle changed order");
+    }
+
+    #[test]
+    fn gen_below_zero_bound() {
+        let mut r = Rng::seed_from_u64(10);
+        assert_eq!(r.gen_below(0), 0);
+        assert_eq!(r.gen_below(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample range")]
+    fn empty_range_panics() {
+        Rng::seed_from_u64(0).gen_range(5..5u64);
+    }
+}

@@ -321,18 +321,12 @@ mod tests {
 
     #[test]
     fn endpoint_roots_returned_immediately() {
-        assert_eq!(
-            brent(|x| x, 0.0, 1.0, Tolerance::default()).unwrap(),
-            0.0
-        );
+        assert_eq!(brent(|x| x, 0.0, 1.0, Tolerance::default()).unwrap(), 0.0);
         assert_eq!(
             brent(|x| x - 1.0, 0.0, 1.0, Tolerance::default()).unwrap(),
             1.0
         );
-        assert_eq!(
-            bisect(|x| x, 0.0, 1.0, Tolerance::default()).unwrap(),
-            0.0
-        );
+        assert_eq!(bisect(|x| x, 0.0, 1.0, Tolerance::default()).unwrap(), 0.0);
     }
 
     #[test]

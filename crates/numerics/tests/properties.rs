@@ -1,111 +1,149 @@
-//! Property-based tests for the numerics crate.
+//! Property-style tests for the numerics crate, driven by deterministic
+//! parameter grids and a seeded [`Rng`] instead of an external
+//! property-testing framework (the build environment has no registry
+//! access).
 
 use bandwall_numerics::{
-    bisect, brent, max_satisfying, min_satisfying, LinearFit, PowerLawFit, Tolerance,
+    bisect, brent, max_satisfying, min_satisfying, LinearFit, PowerLawFit, Rng, Tolerance,
 };
-use proptest::prelude::*;
 
-proptest! {
-    /// Brent finds the root of any monotone linear function bracketing 0.
-    #[test]
-    fn brent_solves_linear(slope in 0.1f64..100.0, root in -50.0f64..50.0) {
+/// Brent finds the root of any monotone linear function bracketing 0.
+#[test]
+fn brent_solves_linear() {
+    let mut rng = Rng::seed_from_u64(101);
+    for _ in 0..256 {
+        let slope = 0.1 + 99.9 * rng.gen_f64();
+        let root = -50.0 + 100.0 * rng.gen_f64();
         let f = |x: f64| slope * (x - root);
         let found = brent(f, root - 60.0, root + 60.0, Tolerance::default()).unwrap();
-        prop_assert!((found - root).abs() < 1e-9);
+        assert!((found - root).abs() < 1e-9, "slope {slope}, root {root}");
     }
+}
 
-    /// Brent and bisection agree wherever both succeed.
-    #[test]
-    fn brent_matches_bisect(c in -10.0f64..10.0, scale in 0.5f64..4.0) {
+/// Brent and bisection agree wherever both succeed.
+#[test]
+fn brent_matches_bisect() {
+    let mut rng = Rng::seed_from_u64(102);
+    for _ in 0..256 {
+        let c = -10.0 + 20.0 * rng.gen_f64();
+        let scale = 0.5 + 3.5 * rng.gen_f64();
         let f = |x: f64| scale * x.powi(3) - c;
         let (lo, hi) = (-4.0, 4.0);
         let rb = brent(f, lo, hi, Tolerance::default()).unwrap();
         let rs = bisect(f, lo, hi, Tolerance::default()).unwrap();
-        prop_assert!((rb - rs).abs() < 1e-7, "brent {rb} vs bisect {rs}");
+        assert!((rb - rs).abs() < 1e-7, "brent {rb} vs bisect {rs}");
     }
+}
 
-    /// The root returned always lies within the bracket.
-    #[test]
-    fn root_within_bracket(shift in -5.0f64..5.0) {
+/// The root returned always lies within the bracket.
+#[test]
+fn root_within_bracket() {
+    for i in 0..=100 {
+        let shift = -5.0 + 0.1 * i as f64;
         let f = |x: f64| (x - shift).tanh();
         let r = brent(f, -10.0, 10.0, Tolerance::default()).unwrap();
-        prop_assert!((-10.0..=10.0).contains(&r));
+        assert!((-10.0..=10.0).contains(&r));
     }
+}
 
-    /// max_satisfying returns exactly the threshold for `x <= t`.
-    #[test]
-    fn max_satisfying_exact(t in 0u64..10_000, hi in 10_000u64..20_000) {
-        prop_assert_eq!(max_satisfying(0, hi, |x| x <= t), Some(t));
+/// max_satisfying returns exactly the threshold for `x <= t`.
+#[test]
+fn max_satisfying_exact() {
+    let mut rng = Rng::seed_from_u64(103);
+    for _ in 0..256 {
+        let t = rng.gen_range(0..10_000u64);
+        let hi = rng.gen_range(10_000..20_000u64);
+        assert_eq!(max_satisfying(0, hi, |x| x <= t), Some(t));
     }
+}
 
-    /// min/max searches are duals around any threshold predicate.
-    #[test]
-    fn search_duality(t in 1u64..1000) {
+/// min/max searches are duals around any threshold predicate.
+#[test]
+fn search_duality() {
+    let mut rng = Rng::seed_from_u64(104);
+    for _ in 0..256 {
+        let t = rng.gen_range(1..1000u64);
         let max = max_satisfying(0, 1000, |x| x < t).unwrap();
         let min = min_satisfying(0, 1000, |x| x >= t).unwrap();
-        prop_assert_eq!(max + 1, min);
+        assert_eq!(max + 1, min);
     }
+}
 
-    /// A linear fit through exact points recovers slope and intercept.
-    #[test]
-    fn linear_fit_exact(
-        slope in -100.0f64..100.0,
-        intercept in -100.0f64..100.0,
-        n in 3usize..30,
-    ) {
+/// A linear fit through exact points recovers slope and intercept.
+#[test]
+fn linear_fit_exact() {
+    let mut rng = Rng::seed_from_u64(105);
+    for _ in 0..256 {
+        let slope = -100.0 + 200.0 * rng.gen_f64();
+        let intercept = -100.0 + 200.0 * rng.gen_f64();
+        let n = rng.gen_range(3..30usize);
         let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
         let fit = LinearFit::fit(&xs, &ys).unwrap();
-        prop_assert!((fit.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
-        prop_assert!((fit.intercept - intercept).abs() < 1e-6 * (1.0 + intercept.abs()));
-        prop_assert!(fit.r_squared > 1.0 - 1e-9);
+        assert!((fit.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        assert!((fit.intercept - intercept).abs() < 1e-6 * (1.0 + intercept.abs()));
+        assert!(fit.r_squared > 1.0 - 1e-9);
     }
+}
 
-    /// A power-law fit through exact points recovers alpha and scale.
-    #[test]
-    fn power_law_fit_exact(alpha in 0.05f64..2.0, scale in 0.001f64..10.0) {
+/// A power-law fit through exact points recovers alpha and scale.
+#[test]
+fn power_law_fit_exact() {
+    let mut rng = Rng::seed_from_u64(106);
+    for _ in 0..256 {
+        let alpha = 0.05 + 1.95 * rng.gen_f64();
+        let scale = 0.001 + 9.999 * rng.gen_f64();
         let xs: Vec<f64> = (0..8).map(|i| 2f64.powi(i)).collect();
         let ys: Vec<f64> = xs.iter().map(|x| scale * x.powf(-alpha)).collect();
         let fit = PowerLawFit::fit(&xs, &ys).unwrap();
-        prop_assert!((fit.alpha - alpha).abs() < 1e-9);
-        prop_assert!((fit.scale - scale).abs() < 1e-9 * scale.max(1.0));
+        assert!((fit.alpha - alpha).abs() < 1e-9);
+        assert!((fit.scale - scale).abs() < 1e-9 * scale.max(1.0));
     }
+}
 
-    /// R² is always within [0, 1] for arbitrary finite data.
-    #[test]
-    fn r_squared_bounded(ys in proptest::collection::vec(-1e6f64..1e6, 2..50)) {
+/// R² is always within [0, 1] for arbitrary finite data.
+#[test]
+fn r_squared_bounded() {
+    let mut rng = Rng::seed_from_u64(107);
+    for _ in 0..256 {
+        let n = rng.gen_range(2..50usize);
+        let ys: Vec<f64> = (0..n).map(|_| -1e6 + 2e6 * rng.gen_f64()).collect();
         let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
         let fit = LinearFit::fit(&xs, &ys).unwrap();
-        prop_assert!((0.0..=1.0).contains(&fit.r_squared));
+        assert!((0.0..=1.0).contains(&fit.r_squared));
     }
+}
 
-    /// Predict inverts fit: predicted values match originals for exact fits.
-    #[test]
-    fn predict_round_trip(alpha in 0.1f64..1.0) {
+/// Predict inverts fit: predicted values match originals for exact fits.
+#[test]
+fn predict_round_trip() {
+    for i in 1..=90 {
+        let alpha = 0.1 + 0.01 * i as f64;
         let xs: Vec<f64> = (1..6).map(|i| i as f64 * 3.0).collect();
         let ys: Vec<f64> = xs.iter().map(|x| 0.7 * x.powf(-alpha)).collect();
         let fit = PowerLawFit::fit(&xs, &ys).unwrap();
         for (&x, &y) in xs.iter().zip(&ys) {
-            prop_assert!((fit.predict(x) - y).abs() < 1e-9);
+            assert!((fit.predict(x) - y).abs() < 1e-9);
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Statistics helpers are consistent with each other.
-    #[test]
-    fn stats_consistency(values in proptest::collection::vec(-1e3f64..1e3, 2..40)) {
-        use bandwall_numerics::stats::{max, mean, min, quantile, std_dev, variance};
+/// Statistics helpers are consistent with each other.
+#[test]
+fn stats_consistency() {
+    use bandwall_numerics::stats::{max, mean, min, quantile, std_dev, variance};
+    let mut rng = Rng::seed_from_u64(108);
+    for _ in 0..64 {
+        let n = rng.gen_range(2..40usize);
+        let values: Vec<f64> = (0..n).map(|_| -1e3 + 2e3 * rng.gen_f64()).collect();
         let m = mean(&values).unwrap();
         let v = variance(&values).unwrap();
-        prop_assert!(v >= 0.0);
-        prop_assert!((std_dev(&values).unwrap() - v.sqrt()).abs() < 1e-9);
+        assert!(v >= 0.0);
+        assert!((std_dev(&values).unwrap() - v.sqrt()).abs() < 1e-9);
         let lo = min(&values).unwrap();
         let hi = max(&values).unwrap();
-        prop_assert!(lo <= m && m <= hi);
-        prop_assert_eq!(quantile(&values, 0.0), Some(lo));
-        prop_assert_eq!(quantile(&values, 1.0), Some(hi));
+        assert!(lo <= m && m <= hi);
+        assert_eq!(quantile(&values, 0.0), Some(lo));
+        assert_eq!(quantile(&values, 1.0), Some(hi));
     }
 }

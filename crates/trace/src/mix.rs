@@ -7,8 +7,7 @@
 //! alias.
 
 use crate::access::{MemoryAccess, TraceSource};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bandwall_numerics::Rng;
 
 /// Spacing between component address regions (256 TiB — comfortably above
 /// any component's own footprint, including streaming regions).
@@ -34,7 +33,7 @@ const REGION_STRIDE: u64 = 1 << 48;
 pub struct MixTrace {
     components: Vec<Box<dyn TraceSource>>,
     cumulative_weights: Vec<f64>,
-    rng: StdRng,
+    rng: Rng,
     name: String,
 }
 
@@ -120,7 +119,7 @@ impl MixTraceBuilder {
         MixTrace {
             components,
             cumulative_weights,
-            rng: StdRng::seed_from_u64(self.seed),
+            rng: Rng::seed_from_u64(self.seed),
             name,
         }
     }
@@ -140,7 +139,7 @@ impl MixTrace {
 
 impl TraceSource for MixTrace {
     fn next_access(&mut self) -> MemoryAccess {
-        let u: f64 = self.rng.gen();
+        let u: f64 = self.rng.gen_f64();
         let index = self
             .cumulative_weights
             .iter()

@@ -10,8 +10,7 @@
 //! reproduces the declining trend without PARSEC itself.
 
 use crate::access::{AccessKind, MemoryAccess, TraceSource};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bandwall_numerics::Rng;
 use std::collections::VecDeque;
 
 /// Address-space carving: the shared region sits at 0; thread `t`'s
@@ -146,7 +145,7 @@ impl ParsecLikeTraceBuilder {
             line_size: self.line_size,
             write_fraction: self.write_fraction,
             name: self.name,
-            rng: StdRng::seed_from_u64(self.seed),
+            rng: Rng::seed_from_u64(self.seed),
             next_thread: 0,
             echoes: VecDeque::new(),
         }
@@ -180,7 +179,7 @@ pub struct ParsecLikeTrace {
     line_size: u64,
     write_fraction: f64,
     name: String,
-    rng: StdRng,
+    rng: Rng,
     next_thread: u16,
     /// Pending consumer-side re-accesses of recently produced shared
     /// lines: `(remaining delay, consumer thread, address)`.
@@ -238,7 +237,7 @@ impl ParsecLikeTrace {
     }
 
     fn sample_shared_line(&mut self) -> u64 {
-        let u: f64 = self.rng.gen();
+        let u: f64 = self.rng.gen_f64();
         match self
             .shared_cdf
             .binary_search_by(|probe| probe.partial_cmp(&u).expect("CDF has no NaN"))
@@ -265,14 +264,14 @@ impl TraceSource for ParsecLikeTrace {
         }
         let thread = self.next_thread;
         self.next_thread = (self.next_thread + 1) % self.threads;
-        let shared = self.rng.gen::<f64>() < self.shared_access_fraction;
+        let shared = self.rng.gen_f64() < self.shared_access_fraction;
         let address = if shared {
             self.sample_shared_line() * self.line_size
         } else {
             let line = self.rng.gen_range(0..self.private_lines_per_thread as u64);
             (thread as u64 + 1) * PRIVATE_REGION_STRIDE + line * self.line_size
         };
-        if shared && self.threads > 1 && self.rng.gen::<f64>() < self.echo_probability {
+        if shared && self.threads > 1 && self.rng.gen_f64() < self.echo_probability {
             // One to three other threads consume this line a few accesses
             // later (a producer→consumers handoff).
             let consumers = 1 + self.rng.gen_range(0..3u16).min(self.threads - 2);
@@ -286,7 +285,7 @@ impl TraceSource for ParsecLikeTrace {
                 self.echoes.push_back((delay, consumer, address));
             }
         }
-        let kind = if self.rng.gen::<f64>() < self.write_fraction {
+        let kind = if self.rng.gen_f64() < self.write_fraction {
             AccessKind::Write
         } else {
             AccessKind::Read

@@ -8,8 +8,7 @@
 //! payload words per node.
 
 use crate::access::{AccessKind, MemoryAccess, TraceSource};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bandwall_numerics::Rng;
 
 /// Builder for [`PointerChaseTrace`].
 #[derive(Debug, Clone)]
@@ -82,7 +81,7 @@ impl PointerChaseTraceBuilder {
             (0.0..=1.0).contains(&self.write_fraction),
             "write fraction must be in [0, 1]"
         );
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         // Sattolo's algorithm: a uniformly random single cycle.
         let mut next: Vec<u32> = (0..self.nodes as u32).collect();
         for i in (1..self.nodes).rev() {
@@ -124,7 +123,7 @@ pub struct PointerChaseTrace {
     payload_words: u32,
     write_fraction: f64,
     name: String,
-    rng: StdRng,
+    rng: Rng,
     current: u32,
     /// Payload accesses still owed for the current node.
     pending_payload: u32,
@@ -161,7 +160,7 @@ impl TraceSource for PointerChaseTrace {
             let word = 1 + self.payload_words - self.pending_payload;
             self.pending_payload -= 1;
             let address = self.current as u64 * self.line_size + word as u64 * 8;
-            let kind = if self.rng.gen::<f64>() < self.write_fraction {
+            let kind = if self.rng.gen_f64() < self.write_fraction {
                 AccessKind::Write
             } else {
                 AccessKind::Read

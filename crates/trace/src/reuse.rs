@@ -290,7 +290,9 @@ mod tests {
         let mut p = ReuseDistanceProfiler::new();
         let mut x = 12345u64;
         for _ in 0..5000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let line = (x >> 33) % 64;
             let expected = naive.iter().position(|&l| l == line);
             if let Some(pos) = expected {

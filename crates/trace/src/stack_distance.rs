@@ -10,8 +10,7 @@
 //! (Figure 1).
 
 use crate::access::{AccessKind, MemoryAccess, TraceSource};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bandwall_numerics::Rng;
 use std::collections::VecDeque;
 
 /// Builder for [`StackDistanceTrace`].
@@ -144,7 +143,7 @@ impl StackDistanceTraceBuilder {
             max_distance: self.max_distance,
             touched_words: self.touched_words,
             name: self.name,
-            rng: StdRng::seed_from_u64(self.seed),
+            rng: Rng::seed_from_u64(self.seed),
             stack,
         }
     }
@@ -174,7 +173,7 @@ pub struct StackDistanceTrace {
     max_distance: usize,
     touched_words: u32,
     name: String,
-    rng: StdRng,
+    rng: Rng,
     /// LRU stack of line ids, most recent first, pre-populated with the
     /// whole footprint. A `VecDeque` keeps the hot path (move-to-front
     /// from a shallow depth) cheap at both ends.
@@ -233,7 +232,7 @@ impl StackDistanceTrace {
     /// Samples a Pareto(`x_m = min_distance`, shape `alpha`) reuse
     /// distance, truncated to the deepest stack slot.
     fn sample_distance(&mut self) -> usize {
-        let u: f64 = self.rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u: f64 = self.rng.gen_f64().max(f64::MIN_POSITIVE);
         let d = self.min_distance as f64 * u.powf(-1.0 / self.alpha);
         if d >= (self.max_distance - 1) as f64 {
             self.max_distance - 1
@@ -254,7 +253,7 @@ impl TraceSource for StackDistanceTrace {
         self.stack.push_front(line);
         let word = self.rng.gen_range(0..self.touched_words) as u64;
         let address = line * self.line_size + word * 8;
-        let kind = if self.rng.gen::<f64>() < self.write_fraction {
+        let kind = if self.rng.gen_f64() < self.write_fraction {
             AccessKind::Write
         } else {
             AccessKind::Read
@@ -359,9 +358,7 @@ mod tests {
 
     #[test]
     fn zero_write_fraction_means_reads_only() {
-        let mut trace = StackDistanceTrace::builder(0.5)
-            .write_fraction(0.0)
-            .build();
+        let mut trace = StackDistanceTrace::builder(0.5).write_fraction(0.0).build();
         assert!(trace.iter().take(5000).all(|a| !a.kind().is_write()));
     }
 
@@ -375,9 +372,7 @@ mod tests {
 
     #[test]
     fn touched_words_limits_offsets() {
-        let mut trace = StackDistanceTrace::builder(0.5)
-            .touched_words(2)
-            .build();
+        let mut trace = StackDistanceTrace::builder(0.5).touched_words(2).build();
         for a in trace.iter().take(5000) {
             let offset = a.address() % 64;
             assert!(offset < 16, "offset {offset} beyond first two words");
@@ -398,9 +393,7 @@ mod tests {
 
     #[test]
     fn footprint_is_fixed_at_max_distance() {
-        let mut trace = StackDistanceTrace::builder(0.5)
-            .max_distance(4096)
-            .build();
+        let mut trace = StackDistanceTrace::builder(0.5).max_distance(4096).build();
         assert_eq!(trace.footprint_lines(), 4096);
         trace.iter().take(10_000).for_each(drop);
         assert_eq!(trace.footprint_lines(), 4096);

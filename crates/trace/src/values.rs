@@ -8,8 +8,7 @@
 //! always yields the same bytes, so compressed sizes are reproducible
 //! without storing data.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bandwall_numerics::Rng;
 
 /// The value-pattern classes found in real memory images.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -74,10 +73,7 @@ impl ValueProfile {
         let total: f64 = weights.iter().map(|(_, w)| w).sum();
         assert!(total > 0.0, "at least one weight must be positive");
         ValueProfile {
-            weights: weights
-                .iter()
-                .map(|&(p, w)| (p, w / total))
-                .collect(),
+            weights: weights.iter().map(|&(p, w)| (p, w / total)).collect(),
             name,
         }
     }
@@ -185,13 +181,13 @@ impl LineValueGenerator {
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
-        let mut rng = StdRng::seed_from_u64(z);
+        let mut rng = Rng::seed_from_u64(z);
         let pattern = self.sample_pattern(&mut rng);
         self.fill(pattern, len, &mut rng)
     }
 
-    fn sample_pattern(&self, rng: &mut StdRng) -> ValuePattern {
-        let u: f64 = rng.gen();
+    fn sample_pattern(&self, rng: &mut Rng) -> ValuePattern {
+        let u: f64 = rng.gen_f64();
         let mut acc = 0.0;
         for &(p, w) in &self.profile.weights {
             acc += w;
@@ -202,12 +198,12 @@ impl LineValueGenerator {
         self.profile.weights.last().expect("profile non-empty").0
     }
 
-    fn fill(&self, pattern: ValuePattern, len: usize, rng: &mut StdRng) -> Vec<u8> {
+    fn fill(&self, pattern: ValuePattern, len: usize, rng: &mut Rng) -> Vec<u8> {
         let mut out = Vec::with_capacity(len);
         match pattern {
             ValuePattern::Zeros => out.resize(len, 0),
             ValuePattern::RepeatedByte => {
-                let b: u8 = rng.gen();
+                let b: u8 = rng.gen_u8();
                 out.resize(len, b);
             }
             ValuePattern::SmallInts => {
@@ -225,13 +221,13 @@ impl LineValueGenerator {
             }
             ValuePattern::Floats => {
                 for _ in 0..len / 8 {
-                    let v: f64 = rng.gen::<f64>() * 1e6 - 5e5;
+                    let v: f64 = rng.gen_f64() * 1e6 - 5e5;
                     out.extend_from_slice(&v.to_be_bytes());
                 }
             }
             ValuePattern::Random => {
                 for _ in 0..len {
-                    out.push(rng.gen());
+                    out.push(rng.gen_u8());
                 }
             }
         }

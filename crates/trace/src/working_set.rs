@@ -9,8 +9,7 @@
 //! through fresh lines (the residual, size-independent miss component).
 
 use crate::access::{AccessKind, MemoryAccess, TraceSource};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bandwall_numerics::Rng;
 
 /// Builder for [`WorkingSetTrace`].
 #[derive(Debug, Clone)]
@@ -90,7 +89,7 @@ impl WorkingSetTraceBuilder {
             line_size: self.line_size,
             write_fraction: self.write_fraction,
             name: self.name,
-            rng: StdRng::seed_from_u64(self.seed),
+            rng: Rng::seed_from_u64(self.seed),
             // Streaming lines live far above the working-set region.
             next_stream_line: 1 << 40,
         }
@@ -121,7 +120,7 @@ pub struct WorkingSetTrace {
     line_size: u64,
     write_fraction: f64,
     name: String,
-    rng: StdRng,
+    rng: Rng,
     next_stream_line: u64,
 }
 
@@ -152,7 +151,7 @@ impl WorkingSetTrace {
 
 impl TraceSource for WorkingSetTrace {
     fn next_access(&mut self) -> MemoryAccess {
-        let line = if self.rng.gen::<f64>() < self.excursion_fraction {
+        let line = if self.rng.gen_f64() < self.excursion_fraction {
             // Cold streaming line, never reused.
             let l = self.next_stream_line;
             self.next_stream_line += 1;
@@ -160,7 +159,7 @@ impl TraceSource for WorkingSetTrace {
         } else {
             self.rng.gen_range(0..self.working_set_lines as u64)
         };
-        let kind = if self.rng.gen::<f64>() < self.write_fraction {
+        let kind = if self.rng.gen_f64() < self.write_fraction {
             AccessKind::Write
         } else {
             AccessKind::Read
@@ -181,7 +180,8 @@ mod tests {
     #[test]
     fn staircase_miss_curve() {
         let ws = 1000;
-        let mut t = WorkingSetTrace::builder(ws).excursion_fraction(0.02)
+        let mut t = WorkingSetTrace::builder(ws)
+            .excursion_fraction(0.02)
             .seed(3)
             .build();
         let mut probe = MissRateProbe::new(&[100, 500, 2000, 8000]);
@@ -201,7 +201,8 @@ mod tests {
 
     #[test]
     fn excursions_touch_fresh_lines() {
-        let mut t = WorkingSetTrace::builder(10).excursion_fraction(0.5)
+        let mut t = WorkingSetTrace::builder(10)
+            .excursion_fraction(0.5)
             .seed(1)
             .build();
         let high = t

@@ -7,8 +7,7 @@
 //! [`crate::StackDistanceTrace`].
 
 use crate::access::{AccessKind, MemoryAccess, TraceSource};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bandwall_numerics::Rng;
 
 /// Builder for [`ZipfTrace`].
 #[derive(Debug, Clone)]
@@ -86,7 +85,7 @@ impl ZipfTraceBuilder {
             line_size: self.line_size,
             write_fraction: self.write_fraction,
             name: self.name,
-            rng: StdRng::seed_from_u64(self.seed),
+            rng: Rng::seed_from_u64(self.seed),
         }
     }
 }
@@ -108,7 +107,7 @@ pub struct ZipfTrace {
     line_size: u64,
     write_fraction: f64,
     name: String,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl ZipfTrace {
@@ -137,7 +136,7 @@ impl ZipfTrace {
 
     /// Samples a popularity rank (0-based, 0 = most popular).
     fn sample_rank(&mut self) -> usize {
-        let u: f64 = self.rng.gen();
+        let u: f64 = self.rng.gen_f64();
         match self
             .cdf
             .binary_search_by(|probe| probe.partial_cmp(&u).expect("CDF has no NaN"))
@@ -154,7 +153,7 @@ impl TraceSource for ZipfTrace {
         // most popular. Set-index hashing in the simulator spreads them.
         let line = self.sample_rank() as u64;
         let address = line * self.line_size;
-        let kind = if self.rng.gen::<f64>() < self.write_fraction {
+        let kind = if self.rng.gen_f64() < self.write_fraction {
             AccessKind::Write
         } else {
             AccessKind::Read

@@ -1,19 +1,22 @@
-//! Property-based tests of the trace generators and the reuse-distance
-//! profiler.
+//! Property-style tests of the trace generators and the reuse-distance
+//! profiler, driven by a seeded [`Rng`] instead of an external
+//! property-testing framework.
 
+use bandwall_numerics::Rng;
 use bandwall_trace::{
     MissRateProbe, ParsecLikeTrace, ReuseDistanceProfiler, StackDistanceTrace, StridedTrace,
     TraceSource, WorkingSetTrace, ZipfTrace,
 };
-use proptest::prelude::*;
 use std::collections::VecDeque;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: usize = 32;
 
-    /// Every generator is deterministic under its seed.
-    #[test]
-    fn generators_deterministic(seed in any::<u64>()) {
+/// Every generator is deterministic under its seed.
+#[test]
+fn generators_deterministic() {
+    let mut rng = Rng::seed_from_u64(401);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
         let run = |seed: u64| -> Vec<_> {
             let mut t = StackDistanceTrace::builder(0.5)
                 .seed(seed)
@@ -21,37 +24,46 @@ proptest! {
                 .build();
             t.iter().take(200).collect()
         };
-        prop_assert_eq!(run(seed), run(seed));
+        assert_eq!(run(seed), run(seed));
 
         let zrun = |seed: u64| -> Vec<_> {
             let mut t = ZipfTrace::builder(500, 0.8).seed(seed).build();
             t.iter().take(200).collect()
         };
-        prop_assert_eq!(zrun(seed), zrun(seed));
+        assert_eq!(zrun(seed), zrun(seed));
 
         let prun = |seed: u64| -> Vec<_> {
             let mut t = ParsecLikeTrace::builder(4).seed(seed).build();
             t.iter().take(200).collect()
         };
-        prop_assert_eq!(prun(seed), prun(seed));
+        assert_eq!(prun(seed), prun(seed));
     }
+}
 
-    /// Stack-distance addresses stay within the fixed footprint.
-    #[test]
-    fn stack_distance_addresses_bounded(seed in any::<u64>(), max_log in 6u32..12) {
-        let max = 1usize << max_log;
+/// Stack-distance addresses stay within the fixed footprint.
+#[test]
+fn stack_distance_addresses_bounded() {
+    let mut rng = Rng::seed_from_u64(402);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let max = 1usize << rng.gen_range(6..12u32);
         let mut t = StackDistanceTrace::builder(0.5)
             .seed(seed)
             .max_distance(max)
             .build();
         for a in t.iter().take(2000) {
-            prop_assert!(a.address() / 64 < max as u64);
+            assert!(a.address() / 64 < max as u64);
         }
     }
+}
 
-    /// The profiler agrees with a naive LRU stack on arbitrary streams.
-    #[test]
-    fn profiler_matches_naive(lines in proptest::collection::vec(0u64..40, 1..400)) {
+/// The profiler agrees with a naive LRU stack on arbitrary streams.
+#[test]
+fn profiler_matches_naive() {
+    let mut rng = Rng::seed_from_u64(403);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..400usize);
+        let lines: Vec<u64> = (0..n).map(|_| rng.gen_range(0..40u64)).collect();
         let mut naive: VecDeque<u64> = VecDeque::new();
         let mut profiler = ReuseDistanceProfiler::new();
         for &line in &lines {
@@ -60,31 +72,39 @@ proptest! {
                 naive.remove(p);
             }
             naive.push_front(line);
-            prop_assert_eq!(profiler.observe(line), expected);
+            assert_eq!(profiler.observe(line), expected);
         }
-        prop_assert_eq!(profiler.distinct_lines(), naive.len());
+        assert_eq!(profiler.distinct_lines(), naive.len());
     }
+}
 
-    /// Probe miss rates are monotone non-increasing in capacity for any
-    /// stream (LRU inclusion property).
-    #[test]
-    fn probe_monotone(lines in proptest::collection::vec(0u64..200, 10..500)) {
+/// Probe miss rates are monotone non-increasing in capacity for any
+/// stream (LRU inclusion property).
+#[test]
+fn probe_monotone() {
+    let mut rng = Rng::seed_from_u64(404);
+    for _ in 0..CASES {
+        let n = rng.gen_range(10..500usize);
         let caps = [1usize, 2, 4, 8, 16, 32, 64];
         let mut probe = MissRateProbe::new(&caps);
-        for &l in &lines {
-            probe.observe(l);
+        for _ in 0..n {
+            probe.observe(rng.gen_range(0..200u64));
         }
         let rates = probe.miss_rates();
         for w in rates.windows(2) {
-            prop_assert!(w[0] >= w[1] - 1e-12);
+            assert!(w[0] >= w[1] - 1e-12);
         }
         // Rates are probabilities.
-        prop_assert!(rates.iter().all(|&r| (0.0..=1.0).contains(&r)));
+        assert!(rates.iter().all(|&r| (0.0..=1.0).contains(&r)));
     }
+}
 
-    /// Write fractions are honoured within sampling tolerance.
-    #[test]
-    fn write_fraction_respected(wf in 0.0f64..1.0) {
+/// Write fractions are honoured within sampling tolerance.
+#[test]
+fn write_fraction_respected() {
+    let mut rng = Rng::seed_from_u64(405);
+    for _ in 0..CASES {
+        let wf = rng.gen_f64();
         let mut t = StackDistanceTrace::builder(0.5)
             .write_fraction(wf)
             .max_distance(1 << 10)
@@ -93,48 +113,69 @@ proptest! {
         let n = 20_000;
         let writes = t.iter().take(n).filter(|a| a.kind().is_write()).count();
         let measured = writes as f64 / n as f64;
-        prop_assert!((measured - wf).abs() < 0.02, "wf {wf}, measured {measured}");
+        assert!((measured - wf).abs() < 0.02, "wf {wf}, measured {measured}");
     }
+}
 
-    /// Zipf addresses never leave the declared working set.
-    #[test]
-    fn zipf_in_bounds(lines in 1usize..5000, exp in 0.0f64..2.0, seed in any::<u64>()) {
+/// Zipf addresses never leave the declared working set.
+#[test]
+fn zipf_in_bounds() {
+    let mut rng = Rng::seed_from_u64(406);
+    for _ in 0..CASES {
+        let lines = rng.gen_range(1..5000usize);
+        let exp = 2.0 * rng.gen_f64();
+        let seed = rng.next_u64();
         let mut t = ZipfTrace::builder(lines, exp).seed(seed).build();
         for a in t.iter().take(500) {
-            prop_assert!(a.address() < lines as u64 * 64);
+            assert!(a.address() < lines as u64 * 64);
         }
     }
+}
 
-    /// Strided traces cycle exactly.
-    #[test]
-    fn strided_cycles(stride in 1u64..512, len in 1u64..100) {
+/// Strided traces cycle exactly.
+#[test]
+fn strided_cycles() {
+    let mut rng = Rng::seed_from_u64(407);
+    for _ in 0..CASES {
+        let stride = rng.gen_range(1..512u64);
+        let len = rng.gen_range(1..100u64);
         let mut t = StridedTrace::new(0, stride, len);
         let first: Vec<u64> = t.iter().take(len as usize).map(|a| a.address()).collect();
         let second: Vec<u64> = t.iter().take(len as usize).map(|a| a.address()).collect();
-        prop_assert_eq!(first, second);
+        assert_eq!(first, second);
     }
+}
 
-    /// Working-set traces stay inside working set + streaming region.
-    #[test]
-    fn working_set_regions(ws in 1usize..10_000, seed in any::<u64>()) {
+/// Working-set traces stay inside working set + streaming region.
+#[test]
+fn working_set_regions() {
+    let mut rng = Rng::seed_from_u64(408);
+    for _ in 0..CASES {
+        let ws = rng.gen_range(1..10_000usize);
+        let seed = rng.next_u64();
         let mut t = WorkingSetTrace::builder(ws).seed(seed).build();
         for a in t.iter().take(1000) {
             let line = a.address() / 64;
-            prop_assert!(line < ws as u64 || line >= 1 << 40);
+            assert!(line < ws as u64 || line >= 1 << 40);
         }
     }
+}
 
-    /// PARSEC-like threads stay in range and private regions are carved
-    /// by thread.
-    #[test]
-    fn parsec_thread_routing(threads in 1u16..32, seed in any::<u64>()) {
+/// PARSEC-like threads stay in range and private regions are carved
+/// by thread.
+#[test]
+fn parsec_thread_routing() {
+    let mut rng = Rng::seed_from_u64(409);
+    for _ in 0..CASES {
+        let threads = rng.gen_range(1..32u16);
+        let seed = rng.next_u64();
         let mut t = ParsecLikeTrace::builder(threads).seed(seed).build();
         for a in t.iter().take(2000) {
-            prop_assert!(a.thread() < threads);
+            assert!(a.thread() < threads);
             let region = a.address() >> 32;
             // Region 0 is shared; region t+1 belongs to thread t. Echoed
             // reads touch only the shared region.
-            prop_assert!(
+            assert!(
                 region == 0 || region == a.thread() as u64 + 1,
                 "thread {} touched region {region}",
                 a.thread()

@@ -16,7 +16,9 @@ use bandwidth_wall::trace::{StackDistanceTrace, TraceSource};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let values = LineValueGenerator::new(ValueProfile::commercial(), 11);
-    let lines: Vec<Vec<u8>> = (0..4000u64).map(|l| values.line_bytes(l * 64, 64)).collect();
+    let lines: Vec<Vec<u8>> = (0..4000u64)
+        .map(|l| values.line_bytes(l * 64, 64))
+        .collect();
 
     // Static compression ratios over the value stream.
     let fpc_ratio = evaluate(&Fpc::new(), lines.iter().map(|l| l.as_slice())).ratio();
@@ -31,10 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Cross-check: a compressed cache under a real access stream should
     // realise roughly the FPC ratio as extra capacity.
-    let mut cache = CompressedCache::new(
-        CacheConfig::new(64 << 10, 64, 8)?,
-        Box::new(Fpc::new()),
-    );
+    let mut cache = CompressedCache::new(CacheConfig::new(64 << 10, 64, 8)?, Box::new(Fpc::new()));
     let mut trace = StackDistanceTrace::builder(0.5)
         .seed(3)
         .max_distance(1 << 13)
@@ -61,9 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_technique(Technique::link_compression(link_ratio)?)
         .max_supportable_cores()?;
     let both = ScalingProblem::new(baseline, 32.0)
-        .with_techniques([
-            Technique::cache_link_compression(fpc_ratio.min(link_ratio))?,
-        ])
+        .with_techniques([Technique::cache_link_compression(
+            fpc_ratio.min(link_ratio),
+        )?])
         .max_supportable_cores()?;
     println!("\nnext-generation core counts with the *measured* ratios:");
     println!("  no compression        {base} cores");

@@ -62,7 +62,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, cores) in ranked {
         println!("  {cores:>3} cores  {name}");
     }
-    println!("  (baseline without techniques: {} cores)",
-        ScalingProblem::new(baseline, die).max_supportable_cores()?);
+    println!(
+        "  (baseline without techniques: {} cores)",
+        ScalingProblem::new(baseline, die).max_supportable_cores()?
+    );
     Ok(())
 }

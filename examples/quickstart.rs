@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, technique) in [
         ("DRAM caches (8x density)", Technique::dram_cache(8.0)?),
         ("link compression (2x)", Technique::link_compression(2.0)?),
-        ("small cache lines (40% unused)", Technique::small_cache_lines(0.4)?),
+        (
+            "small cache lines (40% unused)",
+            Technique::small_cache_lines(0.4)?,
+        ),
     ] {
         let cores = ScalingProblem::new(baseline, 32.0)
             .with_technique(technique)

@@ -1,12 +1,12 @@
 //! Integration test: every quantitative claim the paper's prose makes,
 //! checked against the public API of the facade crate.
 
+use bandwidth_wall::model::combination::figure16_combinations;
+use bandwidth_wall::model::sharing::SharingModel;
 use bandwidth_wall::model::{
     catalog, Alpha, AssumptionLevel, Baseline, GenerationSweep, ScalingProblem, Technique,
     TrafficModel,
 };
-use bandwidth_wall::model::combination::figure16_combinations;
-use bandwidth_wall::model::sharing::SharingModel;
 
 fn base() -> Baseline {
     Baseline::niagara2_like()
@@ -29,8 +29,7 @@ fn intro_cache_allocation_grows_to_90_percent() {
 
 #[test]
 fn intro_dram_caches_enable_47_cores() {
-    let p = ScalingProblem::new(base(), 256.0)
-        .with_technique(Technique::dram_cache(8.0).unwrap());
+    let p = ScalingProblem::new(base(), 256.0).with_technique(Technique::dram_cache(8.0).unwrap());
     assert_eq!(p.max_supportable_cores().unwrap(), 47);
 }
 
@@ -102,19 +101,27 @@ fn figure5_dram_series() {
     for (density, cores) in [(4.0, 16), (8.0, 18), (16.0, 21)] {
         let p = ScalingProblem::new(base(), 32.0)
             .with_technique(Technique::dram_cache(density).unwrap());
-        assert_eq!(p.max_supportable_cores().unwrap(), cores, "density {density}");
+        assert_eq!(
+            p.max_supportable_cores().unwrap(),
+            cores,
+            "density {density}"
+        );
     }
 }
 
 #[test]
 fn figure6_3d_series() {
-    let sram = ScalingProblem::new(base(), 32.0)
-        .with_technique(Technique::stacked_cache(1).unwrap());
+    let sram =
+        ScalingProblem::new(base(), 32.0).with_technique(Technique::stacked_cache(1).unwrap());
     assert_eq!(sram.max_supportable_cores().unwrap(), 14);
     for (density, cores) in [(8.0, 25), (16.0, 32)] {
         let p = ScalingProblem::new(base(), 32.0)
             .with_technique(Technique::stacked_dram_cache(1, density).unwrap());
-        assert_eq!(p.max_supportable_cores().unwrap(), cores, "density {density}");
+        assert_eq!(
+            p.max_supportable_cores().unwrap(),
+            cores,
+            "density {density}"
+        );
     }
 }
 
@@ -130,8 +137,8 @@ fn figure7_filtering_realistic_one_extra_core() {
 
 #[test]
 fn figure9_link_compression_proportional_at_2x() {
-    let p = ScalingProblem::new(base(), 32.0)
-        .with_technique(Technique::link_compression(2.0).unwrap());
+    let p =
+        ScalingProblem::new(base(), 32.0).with_technique(Technique::link_compression(2.0).unwrap());
     assert_eq!(p.max_supportable_cores().unwrap(), 16);
 }
 
