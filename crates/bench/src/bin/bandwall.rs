@@ -10,17 +10,28 @@
 //! bandwall run --all --out reports/     # one file per experiment
 //! bandwall run --all --jobs 8           # run experiments concurrently
 //! bandwall run --all --seed 7           # re-seed every simulation
+//! bandwall run --all --timeout 120      # per-experiment deadline
 //! ```
 //!
 //! Experiments run concurrently (`--jobs`, default: available
 //! parallelism) but reports are always emitted in registry order, so
 //! output is deterministic regardless of scheduling.
+//!
+//! Runs are fault-isolated: a panicking, erroring, or (with `--timeout`)
+//! hanging experiment becomes a structured failure report in its
+//! registry slot while every other experiment completes normally
+//! (`--keep-going`, the default). `--fail-fast` stops claiming new
+//! experiments after the first failure. The process exits 1 when any
+//! report is a failure.
 
 use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
 
+use bandwall_experiments::error::ExperimentError;
 use bandwall_experiments::registry::{registry_with_seed, Experiment};
 use bandwall_experiments::report::Report;
 
@@ -35,17 +46,30 @@ USAGE:
 OPTIONS:
     --format <ascii|csv|json>   output format (default: ascii)
     --out <DIR>                 write one file per experiment into DIR
-                                instead of printing to stdout
+                                instead of printing to stdout (each file
+                                is written to a .tmp path then renamed,
+                                so readers never see partial reports)
     --jobs <N>                  worker threads (default: available
                                 parallelism, capped at the experiment
                                 count)
     --seed <N>                  derive a fresh seed for every seeded
                                 experiment (default: historical seeds,
                                 byte-compatible with the legacy binaries)
+    --timeout <SECS>            per-experiment wall-clock deadline; an
+                                overrunning experiment becomes a failure
+                                report (default: no deadline)
+    --keep-going                run every experiment even after failures,
+                                reporting each failure in place (default)
+    --fail-fast                 stop claiming new experiments after the
+                                first failure; unstarted experiments are
+                                skipped with a note on stderr
     -h, --help                  show this help
+
+EXIT STATUS:
+    0 when every selected experiment succeeds, 1 when any fails.
 ";
 
-#[derive(Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 enum Format {
     Ascii,
     Csv,
@@ -79,6 +103,7 @@ impl Format {
     }
 }
 
+#[derive(Debug)]
 struct RunArgs {
     ids: Vec<String>,
     all: bool,
@@ -86,6 +111,8 @@ struct RunArgs {
     out: Option<std::path::PathBuf>,
     jobs: Option<usize>,
     seed: Option<u64>,
+    timeout: Option<u64>,
+    fail_fast: bool,
 }
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
@@ -96,6 +123,8 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         out: None,
         jobs: None,
         seed: None,
+        timeout: None,
+        fail_fast: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -121,6 +150,18 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 let v = it.next().ok_or("--seed needs a value")?;
                 run.seed = Some(v.parse().map_err(|_| format!("bad --seed value '{v}'"))?);
             }
+            "--timeout" => {
+                let v = it.next().ok_or("--timeout needs a value in seconds")?;
+                let secs: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --timeout value '{v}'"))?;
+                if secs == 0 {
+                    return Err("--timeout must be at least 1 second".into());
+                }
+                run.timeout = Some(secs);
+            }
+            "--fail-fast" => run.fail_fast = true,
+            "--keep-going" => run.fail_fast = false,
             flag if flag.starts_with('-') => return Err(format!("unknown option '{flag}'")),
             id => run.ids.push(id.to_string()),
         }
@@ -134,31 +175,133 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     Ok(run)
 }
 
+/// Extracts the human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one experiment with panics contained: a panic unwinds into a
+/// structured failure report instead of taking down the worker.
+fn run_caught(experiment: &dyn Experiment) -> Report {
+    match catch_unwind(AssertUnwindSafe(|| experiment.run_to_report())) {
+        Ok(report) => report,
+        Err(payload) => Report::failure(
+            experiment.id(),
+            experiment.figure(),
+            experiment.title(),
+            ExperimentError::Panicked(panic_message(payload)),
+        ),
+    }
+}
+
+/// Runs one experiment under an optional wall-clock deadline. With a
+/// deadline the run happens on a dedicated watchdog thread; on overrun
+/// the thread is abandoned (it cannot be killed) and a timeout failure
+/// report takes its registry slot.
+fn run_guarded(experiment: &Arc<dyn Experiment>, timeout: Option<Duration>) -> Report {
+    let Some(limit) = timeout else {
+        return run_caught(experiment.as_ref());
+    };
+    let (tx, rx) = mpsc::channel();
+    let worker = Arc::clone(experiment);
+    std::thread::spawn(move || {
+        // A send error just means the watchdog gave up waiting.
+        let _ = tx.send(run_caught(worker.as_ref()));
+    });
+    match rx.recv_timeout(limit) {
+        Ok(report) => report,
+        Err(mpsc::RecvTimeoutError::Timeout) => Report::failure(
+            experiment.id(),
+            experiment.figure(),
+            experiment.title(),
+            ExperimentError::TimedOut {
+                limit_secs: limit.as_secs(),
+            },
+        ),
+        Err(mpsc::RecvTimeoutError::Disconnected) => Report::failure(
+            experiment.id(),
+            experiment.figure(),
+            experiment.title(),
+            ExperimentError::WorkerDied,
+        ),
+    }
+}
+
 /// Runs `selected` concurrently on `jobs` scoped threads; reports come
 /// back in input order regardless of which thread finished first.
-fn run_parallel(selected: &[Box<dyn Experiment>], jobs: usize) -> Vec<Report> {
+///
+/// Fault isolation: each run is wrapped in [`run_guarded`], so panics,
+/// typed errors, and deadline overruns all land as failure reports in
+/// their own slot. Slot mutexes are read through poison recovery, so
+/// even a panic in the harness itself (between run and store) cannot
+/// cascade. With `fail_fast`, workers stop claiming new experiments
+/// after the first failure; unclaimed experiments are reported on
+/// stderr and omitted from the output.
+fn run_parallel(
+    selected: &[Arc<dyn Experiment>],
+    jobs: usize,
+    timeout: Option<Duration>,
+    fail_fast: bool,
+) -> Vec<Report> {
     let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
     let slots: Vec<Mutex<Option<Report>>> = selected.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..jobs.min(selected.len()) {
             scope.spawn(|| loop {
+                if fail_fast && stop.load(Ordering::Relaxed) {
+                    break;
+                }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(experiment) = selected.get(i) else {
                     break;
                 };
-                let report = experiment.run();
-                *slots[i].lock().unwrap() = Some(report);
+                let report = run_guarded(experiment, timeout);
+                if report.is_failure() {
+                    stop.store(true, Ordering::Relaxed);
+                }
+                *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(report);
             });
         }
     });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .unwrap()
-                .expect("worker filled every slot")
-        })
-        .collect()
+    let mut reports = Vec::with_capacity(selected.len());
+    for (slot, experiment) in slots.into_iter().zip(selected) {
+        match slot.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            Some(report) => reports.push(report),
+            None if fail_fast => {
+                eprintln!("bandwall: skipped {} (--fail-fast)", experiment.id());
+            }
+            None => {
+                // The worker claimed this slot but never stored a report:
+                // it died outside the contained run.
+                reports.push(Report::failure(
+                    experiment.id(),
+                    experiment.figure(),
+                    experiment.title(),
+                    ExperimentError::WorkerDied,
+                ));
+            }
+        }
+    }
+    reports
+}
+
+/// Writes `contents` to `path` atomically: the bytes land in a `.tmp`
+/// sibling first and are renamed into place, so a crash mid-write never
+/// leaves a truncated report behind.
+fn write_atomic(path: &std::path::Path, contents: &str) -> Result<(), String> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, contents).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| format!("cannot rename {} to {}: {e}", tmp.display(), path.display()))
 }
 
 fn emit(reports: &[Report], format: Format, out: Option<&std::path::Path>) -> Result<(), String> {
@@ -168,8 +311,7 @@ fn emit(reports: &[Report], format: Format, out: Option<&std::path::Path>) -> Re
                 .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
             for report in reports {
                 let path = dir.join(format!("{}.{}", report.id, format.extension()));
-                std::fs::write(&path, format.render(report))
-                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                write_atomic(&path, &format.render(report))?;
                 println!("wrote {}", path.display());
             }
         }
@@ -214,11 +356,12 @@ fn cmd_list() {
     }
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
+/// Runs the selected experiments; `Ok(true)` means at least one failed.
+fn cmd_run(args: &[String]) -> Result<bool, String> {
     let run = parse_run_args(args)?;
     let reg = registry_with_seed(run.seed);
-    let selected: Vec<Box<dyn Experiment>> = if run.all {
-        reg
+    let selected: Vec<Arc<dyn Experiment>> = if run.all {
+        reg.into_iter().map(Arc::from).collect()
     } else {
         let mut by_id: Vec<Option<Box<dyn Experiment>>> = reg.into_iter().map(Some).collect();
         let mut picked = Vec::new();
@@ -227,7 +370,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 .iter_mut()
                 .find(|slot| slot.as_deref().is_some_and(|e| e.id() == id));
             match found {
-                Some(slot) => picked.push(slot.take().unwrap()),
+                Some(slot) => picked.push(Arc::from(slot.take().unwrap())),
                 None => {
                     return Err(format!(
                         "unknown experiment id '{id}' (see `bandwall list`)"
@@ -242,8 +385,23 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             .map(usize::from)
             .unwrap_or(1)
     });
-    let reports = run_parallel(&selected, jobs);
-    emit(&reports, run.format, run.out.as_deref())
+    let timeout = run.timeout.map(Duration::from_secs);
+    let reports = run_parallel(&selected, jobs, timeout, run.fail_fast);
+    emit(&reports, run.format, run.out.as_deref())?;
+    let failed = reports.iter().filter(|r| r.is_failure()).count();
+    let skipped = selected.len() - reports.len();
+    if failed > 0 || skipped > 0 {
+        eprintln!(
+            "bandwall: {failed} of {} experiments failed{}",
+            selected.len(),
+            if skipped > 0 {
+                format!(", {skipped} skipped")
+            } else {
+                String::new()
+            }
+        );
+    }
+    Ok(failed > 0 || skipped > 0)
 }
 
 fn main() -> ExitCode {
@@ -254,7 +412,8 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("run") => match cmd_run(&args[1..]) {
-            Ok(()) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::SUCCESS,
+            Ok(true) => ExitCode::FAILURE,
             Err(e) => {
                 eprintln!("bandwall: {e}");
                 ExitCode::FAILURE
@@ -268,5 +427,185 @@ fn main() -> ExitCode {
             eprintln!("bandwall: unknown command '{other}'\n\n{USAGE}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_ids_and_flags() {
+        let run = parse_run_args(&args(&[
+            "fig02_traffic_vs_cores",
+            "--format",
+            "json",
+            "--jobs",
+            "3",
+            "--seed",
+            "7",
+            "--timeout",
+            "120",
+            "--fail-fast",
+        ]))
+        .unwrap();
+        assert_eq!(run.ids, vec!["fig02_traffic_vs_cores"]);
+        assert!(!run.all);
+        assert!(run.format == Format::Json);
+        assert_eq!(run.jobs, Some(3));
+        assert_eq!(run.seed, Some(7));
+        assert_eq!(run.timeout, Some(120));
+        assert!(run.fail_fast);
+    }
+
+    #[test]
+    fn keep_going_is_the_default_and_overrides_fail_fast() {
+        let run = parse_run_args(&args(&["--all"])).unwrap();
+        assert!(!run.fail_fast);
+        let run = parse_run_args(&args(&["--all", "--fail-fast", "--keep-going"])).unwrap();
+        assert!(!run.fail_fast);
+    }
+
+    #[test]
+    fn rejects_jobs_zero() {
+        let err = parse_run_args(&args(&["--all", "--jobs", "0"])).unwrap_err();
+        assert!(err.contains("--jobs must be at least 1"));
+    }
+
+    #[test]
+    fn rejects_timeout_zero() {
+        let err = parse_run_args(&args(&["--all", "--timeout", "0"])).unwrap_err();
+        assert!(err.contains("--timeout must be at least 1 second"));
+    }
+
+    #[test]
+    fn rejects_unknown_format() {
+        let err = parse_run_args(&args(&["--all", "--format", "yaml"])).unwrap_err();
+        assert!(err.contains("unknown format 'yaml'"));
+    }
+
+    #[test]
+    fn rejects_all_mixed_with_ids() {
+        let err = parse_run_args(&args(&["--all", "fig01_power_law"])).unwrap_err();
+        assert!(err.contains("not both"));
+    }
+
+    #[test]
+    fn rejects_empty_selection_and_missing_values() {
+        assert!(parse_run_args(&[]).unwrap_err().contains("nothing to run"));
+        for flag in ["--format", "--out", "--jobs", "--seed", "--timeout"] {
+            let err = parse_run_args(&args(&["--all", flag])).unwrap_err();
+            assert!(err.contains(flag), "missing-value error for {flag}: {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_option() {
+        let err = parse_run_args(&args(&["--all", "--frmat", "json"])).unwrap_err();
+        assert!(err.contains("unknown option '--frmat'"));
+    }
+
+    struct Panicker;
+    impl Experiment for Panicker {
+        fn id(&self) -> &'static str {
+            "panicker"
+        }
+        fn figure(&self) -> &'static str {
+            "Test"
+        }
+        fn title(&self) -> &'static str {
+            "panics"
+        }
+        fn run(&self) -> Result<Report, ExperimentError> {
+            panic!("boom: {}", 6 * 7)
+        }
+    }
+
+    struct Sleeper;
+    impl Experiment for Sleeper {
+        fn id(&self) -> &'static str {
+            "sleeper"
+        }
+        fn figure(&self) -> &'static str {
+            "Test"
+        }
+        fn title(&self) -> &'static str {
+            "hangs"
+        }
+        fn run(&self) -> Result<Report, ExperimentError> {
+            std::thread::sleep(Duration::from_secs(600));
+            Err(ExperimentError::Numerical("woke up".into()))
+        }
+    }
+
+    struct Succeeder;
+    impl Experiment for Succeeder {
+        fn id(&self) -> &'static str {
+            "succeeder"
+        }
+        fn figure(&self) -> &'static str {
+            "Test"
+        }
+        fn title(&self) -> &'static str {
+            "works"
+        }
+        fn run(&self) -> Result<Report, ExperimentError> {
+            Ok(Report::new(self.id(), self.figure(), self.title()))
+        }
+    }
+
+    #[test]
+    fn run_caught_contains_panics() {
+        let report = run_caught(&Panicker);
+        assert!(report.is_failure());
+        assert!(report.error.as_deref().unwrap().contains("boom: 42"));
+    }
+
+    #[test]
+    fn run_guarded_times_out_hung_experiments() {
+        let experiment: Arc<dyn Experiment> = Arc::new(Sleeper);
+        let report = run_guarded(&experiment, Some(Duration::from_millis(50)));
+        assert!(report.is_failure());
+        assert!(report.error.as_deref().unwrap().contains("deadline"));
+    }
+
+    #[test]
+    fn run_parallel_keeps_going_and_preserves_order() {
+        let selected: Vec<Arc<dyn Experiment>> =
+            vec![Arc::new(Succeeder), Arc::new(Panicker), Arc::new(Succeeder)];
+        let reports = run_parallel(&selected, 2, None, false);
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].id, "succeeder");
+        assert!(!reports[0].is_failure());
+        assert_eq!(reports[1].id, "panicker");
+        assert!(reports[1].is_failure());
+        assert!(!reports[2].is_failure());
+    }
+
+    #[test]
+    fn run_parallel_fail_fast_skips_unclaimed_work() {
+        // One worker: the panicker fails first, so the trailing
+        // experiments are never claimed.
+        let selected: Vec<Arc<dyn Experiment>> =
+            vec![Arc::new(Panicker), Arc::new(Succeeder), Arc::new(Succeeder)];
+        let reports = run_parallel(&selected, 1, None, true);
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].is_failure());
+    }
+
+    #[test]
+    fn write_atomic_replaces_contents() {
+        let dir = std::env::temp_dir().join("bandwall_write_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        write_atomic(&path, "{\"a\":1}").unwrap();
+        write_atomic(&path, "{\"a\":2}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"a\":2}");
+        assert!(!path.with_extension("json.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,110 @@
+//! Typed failures for experiment runs.
+//!
+//! Every [`crate::registry::Experiment`] returns
+//! `Result<Report, ExperimentError>`, and the `bandwall` harness adds the
+//! variants only it can observe (captured panics, missed deadlines, dead
+//! workers), so one failing experiment degrades into a structured
+//! [`crate::report::Report::failure`] instead of aborting a whole batch.
+
+use bandwall_model::ModelError;
+use std::fmt;
+
+/// Why an experiment failed to produce a report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentError {
+    /// The analytical model rejected a parameter or found no solution.
+    Model(ModelError),
+    /// A simulator configuration was invalid.
+    Config(String),
+    /// A numerical routine (regression fit, root finder) failed.
+    Numerical(String),
+    /// The experiment panicked; the harness captured the payload.
+    Panicked(String),
+    /// The experiment exceeded the harness wall-clock deadline.
+    TimedOut {
+        /// The `--timeout` limit that was exceeded, in seconds.
+        limit_secs: u64,
+    },
+    /// A harness worker died before filling the experiment's report slot.
+    WorkerDied,
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Model(e) => write!(f, "model error: {e}"),
+            ExperimentError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            ExperimentError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            ExperimentError::Panicked(msg) => write!(f, "experiment panicked: {msg}"),
+            ExperimentError::TimedOut { limit_secs } => {
+                write!(f, "experiment exceeded the {limit_secs}s deadline")
+            }
+            ExperimentError::WorkerDied => {
+                f.write_str("harness worker died before the experiment finished")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExperimentError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for ExperimentError {
+    fn from(err: ModelError) -> Self {
+        ExperimentError::Model(err)
+    }
+}
+
+impl From<bandwall_cache_sim::ConfigError> for ExperimentError {
+    fn from(err: bandwall_cache_sim::ConfigError) -> Self {
+        ExperimentError::Config(err.to_string())
+    }
+}
+
+impl From<bandwall_numerics::RegressionError> for ExperimentError {
+    fn from(err: bandwall_numerics::RegressionError) -> Self {
+        ExperimentError::Numerical(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants_nonempty() {
+        let errs = [
+            ExperimentError::Model(ModelError::Infeasible),
+            ExperimentError::Config("bad geometry".into()),
+            ExperimentError::Numerical("no bracket".into()),
+            ExperimentError::Panicked("index out of bounds".into()),
+            ExperimentError::TimedOut { limit_secs: 30 },
+            ExperimentError::WorkerDied,
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn conversions_wrap_the_source() {
+        let e: ExperimentError = ModelError::Infeasible.into();
+        assert!(matches!(e, ExperimentError::Model(ModelError::Infeasible)));
+        use std::error::Error as _;
+        assert!(e.source().is_some());
+        let e: ExperimentError = bandwall_cache_sim::ConfigError::Zero { name: "cores" }.into();
+        assert!(matches!(e, ExperimentError::Config(_)));
+    }
+
+    #[test]
+    fn timeout_names_the_limit() {
+        let msg = ExperimentError::TimedOut { limit_secs: 7 }.to_string();
+        assert!(msg.contains("7s"), "{msg}");
+    }
+}

@@ -8,6 +8,7 @@
 //! like a slightly smaller one — second-order effects next to the
 //! capacity itself, which is what the model captures.
 
+use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::{Report, TableBlock, Value};
 use bandwall_cache_sim::{CacheConfig, InclusionPolicy, TwoLevelHierarchy};
@@ -52,7 +53,7 @@ impl Experiment for AblateInclusion {
         "inclusion policy vs off-chip traffic (8 KB L1 + 32 KB L2)"
     }
 
-    fn run(&self) -> Report {
+    fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
         let mut table = TableBlock::new(&[
             "working set",
@@ -82,6 +83,6 @@ impl Experiment for AblateInclusion {
         report.note("exclusive wins most around working sets between L2 and L1+L2 capacity;");
         report.note("the spread is small next to capacity scaling itself, supporting the");
         report.note("model's CEA-counting abstraction");
-        report
+        Ok(report)
     }
 }

@@ -7,6 +7,7 @@
 //! and random replacement, fits α to each miss curve, and reports how
 //! much the approximation costs.
 
+use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::{Report, TableBlock, Value};
 use bandwall_cache_sim::{Cache, CacheConfig, ReplacementPolicy};
@@ -62,7 +63,7 @@ impl Experiment for AblateReplacement {
         "replacement policy vs fitted power-law exponent (true α = 0.5)"
     }
 
-    fn run(&self) -> Report {
+    fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
         let capacities: Vec<u64> = (13..=18).map(|i| 1u64 << i).collect(); // 8 KB..256 KB
         let mut table = TableBlock::new(&["policy", "fitted α", "R²", "miss@8K", "miss@256K"]);
@@ -77,7 +78,7 @@ impl Experiment for AblateReplacement {
                 .map(|&c| self.miss_rate(policy, c))
                 .collect();
             let xs: Vec<f64> = capacities.iter().map(|&c| c as f64).collect();
-            let fit = PowerLawFit::fit(&xs, &rates).expect("positive rates");
+            let fit = PowerLawFit::fit(&xs, &rates)?;
             report.metric(format!("fitted_alpha[{policy}]"), fit.alpha, Some(0.5));
             table.push_row(vec![
                 Value::text(policy.to_string()),
@@ -92,6 +93,6 @@ impl Experiment for AblateReplacement {
         report.note("the power law survives the hardware approximations: the fitted exponent");
         report.note("moves only slightly from LRU to PLRU/FIFO/random, so the model's α is");
         report.note("robust to the cache's actual replacement policy");
-        report
+        Ok(report)
     }
 }

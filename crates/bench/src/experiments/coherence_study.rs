@@ -8,6 +8,7 @@
 //! the shared-access fraction, and reports off-chip traffic plus the
 //! coherence activity the analytical model abstracts away.
 
+use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::{Report, TableBlock, Value};
 use bandwall_cache_sim::{CacheConfig, CmpSystem, CoherentCmp, L2Organization};
@@ -45,7 +46,7 @@ impl Experiment for CoherenceStudy {
         "shared L2 vs private MSI caches under data sharing (8 cores)"
     }
 
-    fn run(&self) -> Report {
+    fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
         let mut table = TableBlock::new(&[
             "shared accesses",
@@ -95,6 +96,6 @@ impl Experiment for CoherenceStudy {
         report.note("replication makes private caches fall further behind as sharing grows —");
         report.note("the capacity effect footnote 1 describes; MSI keeps the extra traffic on");
         report.note("chip (cache-to-cache) but cannot recover the wasted capacity");
-        report
+        Ok(report)
     }
 }

@@ -1,0 +1,113 @@
+//! Fault-injection experiment, present in the registry only when the
+//! `BANDWALL_FAULT_INJECT` environment variable is set. It exists to
+//! exercise the harness's fault-isolation machinery end to end: a run
+//! that panics, errors, or hangs must produce a structured failure
+//! report without disturbing the other experiments in the batch.
+//!
+//! Modes (the variable's value, case-sensitive):
+//!
+//! * `panic` — unwinds with a deliberate panic message;
+//! * `error` — returns a typed [`ExperimentError::Numerical`];
+//! * `hang`  — sleeps far past any reasonable deadline (exercises
+//!   `--timeout`);
+//! * anything else — succeeds with a one-metric report, so the
+//!   variable's plumbing itself can be smoke-tested.
+
+use crate::error::ExperimentError;
+use crate::registry::Experiment;
+use crate::report::Report;
+use std::time::Duration;
+
+/// Environment variable that injects this experiment into the registry.
+pub const FAULT_INJECT_ENV: &str = "BANDWALL_FAULT_INJECT";
+
+/// The injected experiment; `mode` is the environment variable's value.
+#[derive(Debug, Clone)]
+pub struct FaultInject {
+    /// Failure mode: `panic`, `error`, `hang`, or anything else (succeed).
+    pub mode: String,
+}
+
+/// Returns the injected experiment when [`FAULT_INJECT_ENV`] is set.
+pub fn from_env() -> Option<FaultInject> {
+    std::env::var(FAULT_INJECT_ENV)
+        .ok()
+        .map(|mode| FaultInject { mode })
+}
+
+impl Experiment for FaultInject {
+    fn id(&self) -> &'static str {
+        "fault_inject"
+    }
+
+    fn figure(&self) -> &'static str {
+        "Fault injection"
+    }
+
+    fn title(&self) -> &'static str {
+        "deliberate failure for harness testing (BANDWALL_FAULT_INJECT)"
+    }
+
+    fn run(&self) -> Result<Report, ExperimentError> {
+        match self.mode.as_str() {
+            "panic" => panic!("injected panic (BANDWALL_FAULT_INJECT=panic)"),
+            "error" => Err(ExperimentError::Numerical(
+                "injected error (BANDWALL_FAULT_INJECT=error)".to_string(),
+            )),
+            "hang" => {
+                // Far past any deadline a test would set; the watchdog
+                // abandons the thread, so the sleep never finishes.
+                std::thread::sleep(Duration::from_secs(3600));
+                Err(ExperimentError::Numerical(
+                    "hang mode returned unexpectedly".to_string(),
+                ))
+            }
+            other => {
+                let mut report = Report::new(self.id(), self.figure(), self.title());
+                report.note(format!("fault injection in pass-through mode: {other}"));
+                report.metric("injected", 1.0, None);
+                Ok(report)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_mode_returns_typed_error() {
+        let e = FaultInject {
+            mode: "error".into(),
+        };
+        assert!(matches!(e.run(), Err(ExperimentError::Numerical(_))));
+    }
+
+    #[test]
+    fn panic_mode_panics() {
+        let e = FaultInject {
+            mode: "panic".into(),
+        };
+        let caught = std::panic::catch_unwind(|| e.run());
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn pass_through_mode_succeeds() {
+        let e = FaultInject { mode: "ok".into() };
+        let report = e.run().unwrap();
+        assert_eq!(report.id, "fault_inject");
+        assert!(!report.is_failure());
+    }
+
+    #[test]
+    fn run_to_report_folds_error_into_failure() {
+        let e = FaultInject {
+            mode: "error".into(),
+        };
+        let report = e.run_to_report();
+        assert!(report.is_failure());
+        assert!(report.error.as_deref().unwrap().contains("injected error"));
+    }
+}

@@ -9,6 +9,7 @@
 //! 0.62 = OLTP-4); the SPEC 2006 aggregate fits α = 0.25; individual SPEC
 //! applications fit less well (discrete working sets).
 
+use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::{Report, TableBlock, Value};
 use bandwall_numerics::PowerLawFit;
@@ -67,7 +68,7 @@ impl Experiment for Fig01PowerLaw {
         "Normalized miss rate vs cache size (power-law fits)"
     }
 
-    fn run(&self) -> Report {
+    fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
         let caps = capacities();
         let cap_kb: Vec<String> = caps.iter().map(|c| format!("{}K", c * 64 / 1024)).collect();
@@ -79,7 +80,7 @@ impl Experiment for Fig01PowerLaw {
         for trace in &mut commercial_suite(self.seed) {
             let rates = measure_commercial(trace, &caps);
             let xs: Vec<f64> = caps.iter().map(|&c| c as f64).collect();
-            let fit = PowerLawFit::fit(&xs, &rates).expect("positive rates");
+            let fit = PowerLawFit::fit(&xs, &rates)?;
             commercial_alphas.push(fit.alpha);
             table.push_row(vec![
                 Value::text(trace.name()),
@@ -98,7 +99,7 @@ impl Experiment for Fig01PowerLaw {
             .map(|i| spec_curves.iter().map(|c| c[i]).sum::<f64>() / n)
             .collect();
         let xs: Vec<f64> = caps.iter().map(|&c| c as f64).collect();
-        let spec_fit = PowerLawFit::fit(&xs, &avg).expect("positive rates");
+        let spec_fit = PowerLawFit::fit(&xs, &avg)?;
         let avg_alpha = commercial_alphas.iter().sum::<f64>() / commercial_alphas.len() as f64;
         let min_alpha = commercial_alphas.iter().cloned().fold(f64::MAX, f64::min);
         let max_alpha = commercial_alphas.iter().cloned().fold(f64::MIN, f64::max);
@@ -132,6 +133,6 @@ impl Experiment for Fig01PowerLaw {
         report.metric("commercial_alpha_min", min_alpha, Some(0.36));
         report.metric("commercial_alpha_max", max_alpha, Some(0.62));
         report.metric("spec_alpha", spec_fit.alpha, Some(0.25));
-        report
+        Ok(report)
     }
 }

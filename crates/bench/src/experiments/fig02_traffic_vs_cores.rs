@@ -5,6 +5,7 @@
 //! cores (37.5% growth instead of the proportional 100%); a 50% larger
 //! envelope allows 13 cores.
 
+use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::{Report, TableBlock, Value};
 use crate::{die_budget, paper_baseline};
@@ -27,7 +28,7 @@ impl Experiment for Fig02TrafficVsCores {
         "Memory traffic vs number of cores (next generation)"
     }
 
-    fn run(&self) -> Report {
+    fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
         let baseline = paper_baseline();
         let model = TrafficModel::new(baseline);
@@ -35,9 +36,7 @@ impl Experiment for Fig02TrafficVsCores {
 
         let mut table = TableBlock::new(&["cores", "normalized traffic", "", "within envelope"]);
         for cores in (2..=28).step_by(2) {
-            let traffic = model
-                .relative_traffic_on_die(n2, cores as f64)
-                .expect("cache area remains");
+            let traffic = model.relative_traffic_on_die(n2, cores as f64)?;
             table.push_row(vec![
                 Value::int(cores),
                 Value::float(traffic, 3),
@@ -48,11 +47,10 @@ impl Experiment for Fig02TrafficVsCores {
         report.table(table);
         report.blank();
 
-        let constant = ScalingProblem::new(baseline, n2).solve().expect("feasible");
+        let constant = ScalingProblem::new(baseline, n2).solve()?;
         let optimistic = ScalingProblem::new(baseline, n2)
             .with_bandwidth_growth(1.5)
-            .solve()
-            .expect("feasible");
+            .solve()?;
         report.note(format!(
             "crossover (B = 1.0): {:.2} cores -> {} supportable   [paper: 11]",
             constant.crossover_cores, constant.supportable_cores
@@ -78,6 +76,6 @@ impl Experiment for Fig02TrafficVsCores {
         );
         report.metric("crossover_cores", constant.crossover_cores, None);
         report.metric("ideal_cores", constant.ideal_cores as f64, Some(16.0));
-        report
+        Ok(report)
     }
 }

@@ -5,6 +5,7 @@
 //! (24 cores vs 128 proportional); the core share keeps shrinking at
 //! every further generation.
 
+use crate::error::ExperimentError;
 use crate::paper_baseline;
 use crate::registry::Experiment;
 use crate::report::{Report, TableBlock, Value};
@@ -27,7 +28,7 @@ impl Experiment for Fig03DieAllocation {
         "Die allocation vs scaling ratio (constant traffic)"
     }
 
-    fn run(&self) -> Report {
+    fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
         let baseline = paper_baseline();
 
@@ -41,7 +42,7 @@ impl Experiment for Fig03DieAllocation {
         for g in 0..=7u32 {
             let ratio = 2f64.powi(g as i32);
             let n2 = baseline.total_ceas() * ratio;
-            let solution = ScalingProblem::new(baseline, n2).solve().unwrap();
+            let solution = ScalingProblem::new(baseline, n2).solve()?;
             table.push_row(vec![
                 Value::fmt(format!("{}x", ratio as u64), ratio),
                 Value::fmt(format!("{n2:.0}"), n2),
@@ -69,6 +70,6 @@ impl Experiment for Fig03DieAllocation {
         report.table(table);
         report.blank();
         report.note("paper anchors: 16x -> 24 cores on ~10% of the die (vs 128 proportional)");
-        report
+        Ok(report)
     }
 }

@@ -5,6 +5,7 @@
 //! 11/12/13/14/14 cores; Table 2 marks 1.25× pessimistic, 2× realistic,
 //! 3.5× optimistic.
 
+use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::Report;
 use crate::sweep::{add_paper_metrics, sweep_block, Variant};
@@ -41,14 +42,14 @@ impl Experiment for Fig04CacheCompression {
         "Cores enabled by cache compression"
     }
 
-    fn run(&self) -> Report {
+    fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
         let variants = variants();
-        let (table, results) = sweep_block(&variants);
+        let (table, results) = sweep_block(&variants)?;
         report.table(table);
         report.blank();
         report.note("assumption bands (Table 2): pessimistic 1.25x, realistic 2x, optimistic 3.5x");
         add_paper_metrics(&mut report, &variants, &results);
-        report
+        Ok(report)
     }
 }

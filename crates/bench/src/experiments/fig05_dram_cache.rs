@@ -3,6 +3,7 @@
 //! Paper reference: SRAM baseline 11 cores; DRAM L2 at 4×/8×/16× density
 //! reaches 16/18/21 — proportional scaling already at the conservative 4×.
 
+use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::Report;
 use crate::sweep::{add_paper_metrics, sweep_block, Variant};
@@ -25,7 +26,7 @@ impl Experiment for Fig05DramCache {
         "Cores enabled by DRAM caches"
     }
 
-    fn run(&self) -> Report {
+    fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
         let variants = vec![
             Variant::new("SRAM L2", None, Some(11)),
@@ -45,11 +46,11 @@ impl Experiment for Fig05DramCache {
                 Some(21),
             ),
         ];
-        let (table, results) = sweep_block(&variants);
+        let (table, results) = sweep_block(&variants)?;
         report.table(table);
         report.blank();
         report.note("proportional scaling target: 16 cores — met by the conservative 4x density");
         add_paper_metrics(&mut report, &variants, &results);
-        report
+        Ok(report)
     }
 }

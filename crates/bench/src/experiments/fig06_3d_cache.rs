@@ -3,6 +3,7 @@
 //! Paper reference: no-3D 11 cores; one stacked SRAM die 14; stacked DRAM
 //! dies at 8×/16× density 25/32 — super-proportional scaling.
 
+use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::Report;
 use crate::sweep::{add_paper_metrics, sweep_block, Variant};
@@ -25,7 +26,7 @@ impl Experiment for Fig063dCache {
         "Cores enabled by 3D-stacked caches"
     }
 
-    fn run(&self) -> Report {
+    fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
         let variants = vec![
             Variant::new("No 3D Cache", None, Some(11)),
@@ -45,9 +46,9 @@ impl Experiment for Fig063dCache {
                 Some(32),
             ),
         ];
-        let (table, results) = sweep_block(&variants);
+        let (table, results) = sweep_block(&variants)?;
         report.table(table);
         add_paper_metrics(&mut report, &variants, &results);
-        report
+        Ok(report)
     }
 }

@@ -4,6 +4,7 @@
 //! Paper reference: at the realistic 40% unused data the benefit is one
 //! extra core (12); the optimistic 80% reaches proportional scaling (16).
 
+use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::Report;
 use crate::sweep::{add_paper_metrics, sweep_block, Variant};
@@ -26,7 +27,7 @@ impl Experiment for Fig07Filtering {
         "Cores enabled by unused-data filtering"
     }
 
-    fn run(&self) -> Report {
+    fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
         let mut variants = vec![Variant::new("No Filtering", None, Some(11))];
         for (fraction, paper) in [(0.1, None), (0.2, None), (0.4, Some(12)), (0.8, Some(16))] {
@@ -36,11 +37,11 @@ impl Experiment for Fig07Filtering {
                 paper,
             ));
         }
-        let (table, results) = sweep_block(&variants);
+        let (table, results) = sweep_block(&variants)?;
         report.table(table);
         report.blank();
         report.note("indirect benefit only: the capacity gain is dampened by the -α exponent");
         add_paper_metrics(&mut report, &variants, &results);
-        report
+        Ok(report)
     }
 }

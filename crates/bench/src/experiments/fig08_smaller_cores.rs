@@ -5,6 +5,7 @@
 //! area at most doubles the cache per core while proportional scaling
 //! needs 4×.
 
+use crate::error::ExperimentError;
 use crate::paper_baseline;
 use crate::registry::Experiment;
 use crate::report::Report;
@@ -28,7 +29,7 @@ impl Experiment for Fig08SmallerCores {
         "Cores enabled by smaller cores"
     }
 
-    fn run(&self) -> Report {
+    fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
         let mut variants = vec![Variant::new("1x (full-size)", None, Some(11))];
         for reduction in [9.0, 45.0, 80.0] {
@@ -38,7 +39,7 @@ impl Experiment for Fig08SmallerCores {
                 None,
             ));
         }
-        let (table, results) = sweep_block(&variants);
+        let (table, results) = sweep_block(&variants)?;
         report.table(table);
 
         // The limit case the paper derives analytically: cores of zero area
@@ -66,6 +67,6 @@ impl Experiment for Fig08SmallerCores {
         add_paper_metrics(&mut report, &variants, &results);
         report.metric("limit_cores", limit as f64, None);
         report.metric("taxed_cores_80x", taxed as f64, None);
-        report
+        Ok(report)
     }
 }

@@ -4,6 +4,7 @@
 //! exact proportional scaling (16 cores); higher ratios go
 //! super-proportional (~20 at 3.5×).
 
+use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::Report;
 use crate::sweep::{add_paper_metrics, sweep_block, Variant};
@@ -26,7 +27,7 @@ impl Experiment for Fig09LinkCompression {
         "Cores enabled by link compression"
     }
 
-    fn run(&self) -> Report {
+    fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
         let mut variants = vec![Variant::new("No Compress", None, Some(11))];
         for (ratio, paper) in [
@@ -45,11 +46,11 @@ impl Experiment for Fig09LinkCompression {
                 paper,
             ));
         }
-        let (table, results) = sweep_block(&variants);
+        let (table, results) = sweep_block(&variants)?;
         report.table(table);
         report.blank();
         report.note("direct techniques divide the traffic itself — no -α dampening");
         add_paper_metrics(&mut report, &variants, &results);
-        report
+        Ok(report)
     }
 }

@@ -5,6 +5,7 @@
 //! *filtering* (Figure 7), especially at high unused fractions, because
 //! the effect is direct.
 
+use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::Report;
 use crate::sweep::{add_paper_metrics, sweep_block, Variant};
@@ -27,7 +28,7 @@ impl Experiment for Fig10Sectored {
         "Cores enabled by sectored caches"
     }
 
-    fn run(&self) -> Report {
+    fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
         let mut variants = vec![Variant::new("0% unused", None, Some(11))];
         for (fraction, paper) in [(0.1, None), (0.2, None), (0.4, Some(14)), (0.8, None)] {
@@ -37,11 +38,11 @@ impl Experiment for Fig10Sectored {
                 paper,
             ));
         }
-        let (table, results) = sweep_block(&variants);
+        let (table, results) = sweep_block(&variants)?;
         report.table(table);
         report.blank();
         report.note("compare Figure 7: the same unused fractions help more when applied directly");
         add_paper_metrics(&mut report, &variants, &results);
-        report
+        Ok(report)
     }
 }

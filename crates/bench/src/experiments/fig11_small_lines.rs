@@ -4,6 +4,7 @@
 //! unused data restores proportional scaling (16 cores); optimistically
 //! (80%) it goes well beyond.
 
+use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::Report;
 use crate::sweep::{add_paper_metrics, sweep_block, Variant};
@@ -26,7 +27,7 @@ impl Experiment for Fig11SmallLines {
         "Cores enabled by smaller cache lines"
     }
 
-    fn run(&self) -> Report {
+    fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
         let mut variants = vec![Variant::new("0% unused", None, Some(11))];
         for (fraction, paper) in [(0.1, None), (0.2, None), (0.4, Some(16)), (0.8, None)] {
@@ -36,11 +37,11 @@ impl Experiment for Fig11SmallLines {
                 paper,
             ));
         }
-        let (table, results) = sweep_block(&variants);
+        let (table, results) = sweep_block(&variants)?;
         report.table(table);
         report.blank();
         report.note("dual effect: unused words cost neither bandwidth nor cache capacity");
         add_paper_metrics(&mut report, &variants, &results);
-        report
+        Ok(report)
     }
 }

@@ -5,6 +5,7 @@
 //! moderate 2.0× ratio already yields super-proportional scaling
 //! (18 cores).
 
+use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::Report;
 use crate::sweep::{add_paper_metrics, sweep_block, Variant};
@@ -27,7 +28,7 @@ impl Experiment for Fig12CacheLink {
         "Cores enabled by cache+link compression"
     }
 
-    fn run(&self) -> Report {
+    fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
         let mut variants = vec![Variant::new("No Compress", None, Some(11))];
         for (ratio, paper) in [
@@ -46,9 +47,9 @@ impl Experiment for Fig12CacheLink {
                 paper,
             ));
         }
-        let (table, results) = sweep_block(&variants);
+        let (table, results) = sweep_block(&variants)?;
         report.table(table);
         add_paper_metrics(&mut report, &variants, &results);
-        report
+        Ok(report)
     }
 }

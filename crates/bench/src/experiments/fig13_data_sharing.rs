@@ -7,6 +7,7 @@
 //! Paper reference: constant traffic requires fsh ≈ 40%, 63%, 77%, 86%
 //! for the four generations.
 
+use crate::error::ExperimentError;
 use crate::paper_baseline;
 use crate::registry::Experiment;
 use crate::report::{Report, TableBlock, Value};
@@ -29,7 +30,7 @@ impl Experiment for Fig13DataSharing {
         "Impact of data sharing on traffic"
     }
 
-    fn run(&self) -> Report {
+    fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
         let model = SharingModel::new(paper_baseline());
         let configs = [16.0, 32.0, 64.0, 128.0];
@@ -39,9 +40,7 @@ impl Experiment for Fig13DataSharing {
             let fsh = i as f64 / 10.0;
             let mut row = vec![Value::fmt(format!("{fsh:.1}"), fsh)];
             for &cores in &configs {
-                let traffic = model
-                    .relative_traffic(cores, cores, fsh)
-                    .expect("valid configuration");
+                let traffic = model.relative_traffic(cores, cores, fsh)?;
                 row.push(Value::fmt(format!("{:.0}%", traffic * 100.0), traffic));
             }
             table.push_row(row);
@@ -52,9 +51,12 @@ impl Experiment for Fig13DataSharing {
         let mut req = TableBlock::new(&["cores", "required fsh", "paper"]);
         for (&cores, paper) in configs.iter().zip([0.40, 0.63, 0.77, 0.86]) {
             let fsh = model
-                .required_shared_fraction(cores, cores, 1.0)
-                .expect("solver")
-                .expect("reachable");
+                .required_shared_fraction(cores, cores, 1.0)?
+                .ok_or_else(|| {
+                    ExperimentError::Numerical(format!(
+                        "no shared fraction holds traffic constant at {cores} cores"
+                    ))
+                })?;
             req.push_row(vec![
                 Value::fmt(format!("{cores:.0}"), cores),
                 Value::fmt(format!("{:.1}%", fsh * 100.0), fsh),
@@ -66,6 +68,6 @@ impl Experiment for Fig13DataSharing {
         report.blank();
         report
             .note("holding traffic constant under proportional scaling demands ever more sharing");
-        report
+        Ok(report)
     }
 }

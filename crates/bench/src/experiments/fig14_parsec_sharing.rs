@@ -11,6 +11,7 @@
 //!
 //! Run with `--release`; the simulation covers ~1M accesses.
 
+use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::{Report, TableBlock, Value};
 use bandwall_cache_sim::{CacheConfig, CmpSystem, L2Organization};
@@ -59,7 +60,7 @@ impl Experiment for Fig14ParsecSharing {
         "Shared-line fraction at eviction (PARSEC-like)"
     }
 
-    fn run(&self) -> Report {
+    fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
         let mut table = TableBlock::new(&["cores", "% shared cache lines", "paper"]);
         for (cores, paper) in [(4u16, 0.173), (8, 0.162), (16, 0.152)] {
@@ -77,6 +78,6 @@ impl Experiment for Fig14ParsecSharing {
         report.note("(problem scaling); shared-L2 CMP with per-line sharer tracking at eviction");
         report.note("the declining trend is the paper's point; absolute levels depend on the");
         report.note("synthetic workload calibration");
-        report
+        Ok(report)
     }
 }

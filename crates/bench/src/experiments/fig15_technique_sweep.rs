@@ -6,17 +6,21 @@
 //! direct (LC, Sect) and dual (SmCl, CC/LC) ones; DRAM caches are the
 //! indirect exception thanks to their 8× density.
 
+use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::{Report, TableBlock, Value};
 use crate::{die_budget, paper_baseline, GENERATIONS, GENERATION_LABELS};
 use bandwall_model::{catalog, AssumptionLevel, ScalingProblem};
 
-fn solve(technique: Option<bandwall_model::Technique>, generation: u32) -> u64 {
+fn solve(
+    technique: Option<bandwall_model::Technique>,
+    generation: u32,
+) -> Result<u64, ExperimentError> {
     let mut problem = ScalingProblem::new(paper_baseline(), die_budget(generation));
     if let Some(t) = technique {
         problem = problem.with_technique(t);
     }
-    problem.max_supportable_cores().expect("feasible")
+    Ok(problem.max_supportable_cores()?)
 }
 
 /// Figure 15: per-technique candle sweep across four generations.
@@ -36,7 +40,7 @@ impl Experiment for Fig15TechniqueSweep {
         "Core scaling per technique, four generations (realistic [pess..opt])"
     }
 
-    fn run(&self) -> Report {
+    fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
         let mut table = TableBlock::new(&[
             "technique",
@@ -56,26 +60,17 @@ impl Experiment for Fig15TechniqueSweep {
                 .collect(),
         );
         // BASE: no techniques.
-        table.push_row(
-            std::iter::once(Value::text("BASE"))
-                .chain(GENERATIONS.iter().map(|&g| Value::int(solve(None, g))))
-                .collect(),
-        );
+        let mut base_row = vec![Value::text("BASE")];
+        for &g in &GENERATIONS {
+            base_row.push(Value::int(solve(None, g)?));
+        }
+        table.push_row(base_row);
         for profile in catalog() {
             let mut row = vec![Value::text(profile.label())];
             for &g in &GENERATIONS {
-                let real = solve(
-                    Some(profile.technique(AssumptionLevel::Realistic).unwrap()),
-                    g,
-                );
-                let pess = solve(
-                    Some(profile.technique(AssumptionLevel::Pessimistic).unwrap()),
-                    g,
-                );
-                let opt = solve(
-                    Some(profile.technique(AssumptionLevel::Optimistic).unwrap()),
-                    g,
-                );
+                let real = solve(Some(profile.technique(AssumptionLevel::Realistic)?), g)?;
+                let pess = solve(Some(profile.technique(AssumptionLevel::Pessimistic)?), g)?;
+                let opt = solve(Some(profile.technique(AssumptionLevel::Optimistic)?), g)?;
                 row.push(Value::fmt(format!("{real} [{pess}..{opt}]"), real as f64));
                 if g == 4 && profile.label() == "DRAM" {
                     report.metric("dram_realistic_16x", real as f64, Some(47.0));
@@ -83,7 +78,7 @@ impl Experiment for Fig15TechniqueSweep {
             }
             table.push_row(row);
         }
-        report.metric("base_16x", solve(None, 4) as f64, Some(24.0));
+        report.metric("base_16x", solve(None, 4)? as f64, Some(24.0));
         report.metric(
             "ideal_16x",
             ScalingProblem::new(paper_baseline(), die_budget(4)).proportional_cores() as f64,
@@ -93,6 +88,6 @@ impl Experiment for Fig15TechniqueSweep {
         report.blank();
         report.note("paper anchors: BASE 16x = 24; DRAM realistic 16x = 47; IDEAL 16x = 128");
         report.note("ordering: dual >= direct >= indirect (DRAM excepted via its 8x density)");
-        report
+        Ok(report)
     }
 }

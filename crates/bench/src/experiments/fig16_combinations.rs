@@ -6,6 +6,7 @@
 //! bandwidth wall can be pushed back several generations when techniques
 //! are stacked.
 
+use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::{Report, TableBlock, Value};
 use crate::{die_budget, paper_baseline, GENERATIONS, GENERATION_LABELS};
@@ -29,9 +30,9 @@ impl Experiment for Fig16Combinations {
         "Core scaling with technique combinations"
     }
 
-    fn run(&self) -> Report {
+    fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
-        let combos = figure16_combinations(AssumptionLevel::Realistic).expect("catalog labels");
+        let combos = figure16_combinations(AssumptionLevel::Realistic)?;
         let mut table = TableBlock::new(&[
             "combination",
             GENERATION_LABELS[0],
@@ -49,24 +50,19 @@ impl Experiment for Fig16Combinations {
                 }))
                 .collect(),
         );
-        table.push_row(
-            std::iter::once(Value::text("BASE"))
-                .chain(GENERATIONS.iter().map(|&g| {
-                    Value::int(
-                        ScalingProblem::new(paper_baseline(), die_budget(g))
-                            .max_supportable_cores()
-                            .unwrap(),
-                    )
-                }))
-                .collect(),
-        );
+        let mut base_row = vec![Value::text("BASE")];
+        for &g in &GENERATIONS {
+            base_row.push(Value::int(
+                ScalingProblem::new(paper_baseline(), die_budget(g)).max_supportable_cores()?,
+            ));
+        }
+        table.push_row(base_row);
         for combo in &combos {
             let mut row = vec![Value::text(combo.name())];
             for &g in &GENERATIONS {
                 let cores = ScalingProblem::new(paper_baseline(), die_budget(g))
                     .with_techniques(combo.techniques().iter().copied())
-                    .max_supportable_cores()
-                    .unwrap();
+                    .max_supportable_cores()?;
                 row.push(Value::int(cores));
             }
             table.push_row(row);
@@ -76,8 +72,7 @@ impl Experiment for Fig16Combinations {
         let full = combos.last().expect("15 combinations");
         let solution = ScalingProblem::new(paper_baseline(), die_budget(4))
             .with_techniques(full.techniques().iter().copied())
-            .solve()
-            .unwrap();
+            .solve()?;
         report.note(format!(
             "headline: {} at 16x -> {} cores on {:.0}% of the die   [paper: 183 cores, 71%]",
             full.name(),
@@ -94,6 +89,6 @@ impl Experiment for Fig16Combinations {
             solution.core_area_fraction,
             Some(0.71),
         );
-        report
+        Ok(report)
     }
 }

@@ -6,6 +6,7 @@
 //! techniques applied, the gap widens — a small α blocks proportional
 //! scaling while a large α permits super-proportional scaling.
 
+use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::{Report, TableBlock, Value};
 use crate::{die_budget, paper_baseline, GENERATIONS, GENERATION_LABELS};
@@ -29,7 +30,7 @@ impl Experiment for Fig17AlphaSensitivity {
         "Core scaling for high and low α"
     }
 
-    fn run(&self) -> Report {
+    fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
         let groups: Vec<(&str, Vec<&str>)> = vec![
             ("BASE", vec![]),
@@ -63,14 +64,12 @@ impl Experiment for Fig17AlphaSensitivity {
                     .collect(),
             );
             for (name, labels) in &groups {
-                let combo =
-                    Combination::from_labels(labels, AssumptionLevel::Realistic).expect("labels");
+                let combo = Combination::from_labels(labels, AssumptionLevel::Realistic)?;
                 let mut row = vec![Value::text(*name)];
                 for &g in &GENERATIONS {
                     let cores = ScalingProblem::new(baseline, die_budget(g))
                         .with_techniques(combo.techniques().iter().copied())
-                        .max_supportable_cores()
-                        .unwrap();
+                        .max_supportable_cores()?;
                     row.push(Value::int(cores));
                 }
                 table.push_row(row);
@@ -80,11 +79,9 @@ impl Experiment for Fig17AlphaSensitivity {
 
         report.blank();
         let hi = ScalingProblem::new(paper_baseline().with_alpha(Alpha::COMMERCIAL_MAX), 256.0)
-            .max_supportable_cores()
-            .unwrap();
+            .max_supportable_cores()?;
         let lo = ScalingProblem::new(paper_baseline().with_alpha(Alpha::SPEC2006), 256.0)
-            .max_supportable_cores()
-            .unwrap();
+            .max_supportable_cores()?;
         report.note(format!(
             "base case at 16x: α=0.62 -> {hi} cores vs α=0.25 -> {lo} cores ({:.1}x)",
             hi as f64 / lo as f64
@@ -92,6 +89,6 @@ impl Experiment for Fig17AlphaSensitivity {
         report.metric("high_alpha_cores_16x", hi as f64, None);
         report.metric("low_alpha_cores_16x", lo as f64, None);
         report.metric("alpha_cores_ratio", hi as f64 / lo as f64, Some(2.0));
-        report
+        Ok(report)
     }
 }

@@ -7,32 +7,32 @@
 //! two pure chips — non-linearly, because the cache-insensitive SPEC
 //! share (α = 0.25) drags the chip harder than its share suggests.
 
+use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::{Report, TableBlock, Value};
 use crate::{die_budget, paper_baseline, GENERATION_LABELS};
 use bandwall_model::mix::{WorkloadClass, WorkloadMix};
 use bandwall_model::Alpha;
 
-fn mix(commercial_share: f64) -> WorkloadMix {
+fn mix(commercial_share: f64) -> Result<WorkloadMix, ExperimentError> {
     let mut classes = Vec::new();
     if commercial_share > 0.0 {
-        classes.push(
-            WorkloadClass::new(
-                "commercial",
-                Alpha::COMMERCIAL_AVERAGE,
-                1.0,
-                commercial_share,
-            )
-            .expect("valid class"),
-        );
+        classes.push(WorkloadClass::new(
+            "commercial",
+            Alpha::COMMERCIAL_AVERAGE,
+            1.0,
+            commercial_share,
+        )?);
     }
     if commercial_share < 1.0 {
-        classes.push(
-            WorkloadClass::new("spec", Alpha::SPEC2006, 1.0, 1.0 - commercial_share)
-                .expect("valid class"),
-        );
+        classes.push(WorkloadClass::new(
+            "spec",
+            Alpha::SPEC2006,
+            1.0,
+            1.0 - commercial_share,
+        )?);
     }
-    WorkloadMix::new(paper_baseline(), classes).expect("non-empty mix")
+    Ok(WorkloadMix::new(paper_baseline(), classes)?)
 }
 
 /// Mixed-workload study: commercial/SPEC blend vs supportable cores.
@@ -52,7 +52,7 @@ impl Experiment for MixedWorkloads {
         "supportable cores vs commercial/SPEC blend (constant envelope)"
     }
 
-    fn run(&self) -> Report {
+    fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
         let mut table = TableBlock::new(&[
             "commercial share",
@@ -62,12 +62,10 @@ impl Experiment for MixedWorkloads {
             GENERATION_LABELS[3],
         ]);
         for share in [1.0, 0.75, 0.5, 0.25, 0.0] {
-            let m = mix(share);
+            let m = mix(share)?;
             let mut row = vec![Value::fmt(format!("{:.0}%", share * 100.0), share)];
             for g in 1..=4u32 {
-                let cores = m
-                    .max_supportable_cores(die_budget(g), 1.0)
-                    .expect("feasible");
+                let cores = m.max_supportable_cores(die_budget(g), 1.0)?;
                 if g == 4 {
                     report.metric(
                         format!("cores_16x[{:.0}% commercial]", share * 100.0),
@@ -83,6 +81,6 @@ impl Experiment for MixedWorkloads {
         report.blank();
         report.note("pure commercial (α=0.5) vs pure SPEC (α=0.25) anchors match Figure 17's");
         report.note("BASE rows; blends interpolate, weighted toward the insensitive class");
-        report
+        Ok(report)
     }
 }

@@ -6,6 +6,7 @@
 pub mod ablate_inclusion;
 pub mod ablate_replacement;
 pub mod coherence_study;
+pub mod fault_inject;
 pub mod fig01_power_law;
 pub mod fig02_traffic_vs_cores;
 pub mod fig03_die_allocation;
@@ -49,8 +50,16 @@ pub fn all(seed: Option<u64>) -> Vec<Box<dyn Experiment>> {
             default
         }
     };
-    vec![
-        Box::new(fig01_power_law::Fig01PowerLaw { seed: derive(2026) }),
+    let mut experiments: Vec<Box<dyn Experiment>> = Vec::new();
+    // Test-only: BANDWALL_FAULT_INJECT prepends a deliberately failing
+    // experiment so the harness's fault isolation can be exercised
+    // against the real registry. Absent the variable the registry is
+    // exactly the 29 historical entries.
+    if let Some(fault) = fault_inject::from_env() {
+        experiments.push(Box::new(fault));
+    }
+    experiments.extend([
+        Box::new(fig01_power_law::Fig01PowerLaw { seed: derive(2026) }) as Box<dyn Experiment>,
         Box::new(fig02_traffic_vs_cores::Fig02TrafficVsCores),
         Box::new(fig03_die_allocation::Fig03DieAllocation),
         Box::new(fig04_cache_compression::Fig04CacheCompression),
@@ -84,5 +93,6 @@ pub fn all(seed: Option<u64>) -> Vec<Box<dyn Experiment>> {
         Box::new(validate_compression::ValidateCompression { seed: derive(77) }),
         Box::new(validate_line_size::ValidateLineSize { seed: derive(17) }),
         Box::new(validate_writeback::ValidateWriteback { seed: derive(99) }),
-    ]
+    ]);
+    experiments
 }

@@ -8,6 +8,7 @@
 //! the oracle assumption, and feeds the measured savings back into the
 //! core-scaling model.
 
+use crate::error::ExperimentError;
 use crate::paper_baseline;
 use crate::registry::Experiment;
 use crate::report::{Report, TableBlock, Value};
@@ -35,11 +36,10 @@ impl PredictorStudy {
     }
 }
 
-fn cores_for(savings: f64) -> u64 {
-    ScalingProblem::new(paper_baseline(), 32.0)
-        .with_technique(Technique::sectored_cache(savings).expect("valid"))
-        .max_supportable_cores()
-        .unwrap()
+fn cores_for(savings: f64) -> Result<u64, ExperimentError> {
+    Ok(ScalingProblem::new(paper_baseline(), 32.0)
+        .with_technique(Technique::sectored_cache(savings)?)
+        .max_supportable_cores()?)
 }
 
 impl Experiment for PredictorStudy {
@@ -55,7 +55,7 @@ impl Experiment for PredictorStudy {
         "sectored-cache fetch savings: demand vs predictor vs oracle"
     }
 
-    fn run(&self) -> Report {
+    fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
         let config = CacheConfig::new(64 << 10, 64, 8).expect("valid geometry");
 
@@ -88,7 +88,7 @@ impl Experiment for PredictorStudy {
             ),
             Value::int(demand.stats().misses()),
             Value::text("-"),
-            Value::int(cores_for(demand.fetch_savings())),
+            Value::int(cores_for(demand.fetch_savings())?),
         ]);
         table.push_row(vec![
             Value::text("last-footprint predictor"),
@@ -101,14 +101,14 @@ impl Experiment for PredictorStudy {
                 format!("{:.1}%", predictive.overfetch_fraction() * 100.0),
                 predictive.overfetch_fraction(),
             ),
-            Value::int(cores_for(predictive.fetch_savings())),
+            Value::int(cores_for(predictive.fetch_savings())?),
         ]);
         table.push_row(vec![
             Value::text("oracle (paper assumption)"),
             Value::fmt(format!("{:.1}%", oracle_savings * 100.0), oracle_savings),
             Value::text("-"),
             Value::text("0.0%"),
-            Value::int(cores_for(oracle_savings)),
+            Value::int(cores_for(oracle_savings)?),
         ]);
         report.metric(
             "predictor_fetch_savings",
@@ -121,6 +121,6 @@ impl Experiment for PredictorStudy {
         report.note("price of extra sector misses; the predictor recovers most of those misses");
         report.note("while keeping savings near the oracle's — Figure 10's assumption is");
         report.note("implementable, as the paper's citations claim");
-        report
+        Ok(report)
     }
 }

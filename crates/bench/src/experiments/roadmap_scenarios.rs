@@ -7,6 +7,7 @@
 //! aggressive signalling scenario, showing that even optimistic envelope
 //! growth leaves core scaling far below proportional.
 
+use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::{Report, TableBlock, Value};
 use crate::{paper_baseline, GENERATION_LABELS};
@@ -30,7 +31,7 @@ impl Experiment for RoadmapScenarios {
         "core scaling under envelope-growth projections"
     }
 
-    fn run(&self) -> Report {
+    fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
         let scenarios = [
             BandwidthScenario::constant(),
@@ -57,8 +58,7 @@ impl Experiment for RoadmapScenarios {
         for scenario in &scenarios {
             let results = GenerationSweep::new(paper_baseline())
                 .with_bandwidth_growth_per_generation(scenario.growth_per_generation())
-                .run(4)
-                .expect("sweep");
+                .run(4)?;
             let mut row = vec![
                 Value::text(scenario.name()),
                 Value::fmt(
@@ -80,6 +80,6 @@ impl Experiment for RoadmapScenarios {
         report.blank();
         report.note("even the aggressive scenario (pins +10%/yr and rates +20%/yr) leaves the");
         report.note("fourth generation far short of the 128-core proportional target");
-        report
+        Ok(report)
     }
 }

@@ -10,6 +10,7 @@
 //!    assumption underestimates the wall; sweeping a per-core demand
 //!    multiplier quantifies by how much.
 
+use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::{Report, TableBlock, Value};
 use crate::{die_budget, paper_baseline, GENERATION_LABELS};
@@ -57,7 +58,7 @@ impl Experiment for Sensitivity {
         "Monte Carlo over α, and multithreaded-core demand"
     }
 
-    fn run(&self) -> Report {
+    fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
         let mut rng = Rng::seed_from_u64(self.seed);
 
@@ -67,18 +68,17 @@ impl Experiment for Sensitivity {
                     "Monte Carlo over α ({SAMPLES} samples, α ~ N(0.48, 0.09) truncated):"
                 ));
         for (g, label) in (1..=4u32).zip(GENERATION_LABELS) {
-            let mut cores: Vec<u64> = (0..SAMPLES)
-                .map(|_| {
-                    let alpha = Alpha::new(sample_alpha(&mut rng)).expect("in range");
+            let mut cores = Vec::with_capacity(SAMPLES);
+            for _ in 0..SAMPLES {
+                let alpha = Alpha::new(sample_alpha(&mut rng))?;
+                cores.push(
                     ScalingProblem::new(paper_baseline().with_alpha(alpha), die_budget(g))
-                        .max_supportable_cores()
-                        .expect("feasible")
-                })
-                .collect();
+                        .max_supportable_cores()?,
+                );
+            }
             cores.sort_unstable();
-            let point = ScalingProblem::new(paper_baseline(), die_budget(g))
-                .max_supportable_cores()
-                .unwrap();
+            let point =
+                ScalingProblem::new(paper_baseline(), die_budget(g)).max_supportable_cores()?;
             let median = percentile(&cores, 0.50);
             report.metric(format!("median_cores[{label}]"), median as f64, None);
             table.push_row(vec![
@@ -97,8 +97,7 @@ impl Experiment for Sensitivity {
         for demand in [1.0, 1.25, 1.5, 2.0, 3.0, 4.0] {
             let cores = ScalingProblem::new(paper_baseline(), die_budget(1))
                 .with_per_core_demand(demand)
-                .max_supportable_cores()
-                .unwrap();
+                .max_supportable_cores()?;
             smt.push_row(vec![
                 Value::fmt(format!("{demand}x"), demand),
                 Value::int(cores),
@@ -109,6 +108,6 @@ impl Experiment for Sensitivity {
         report.note("workload variability moves the answer by only a few cores per generation;");
         report.note("SMT-style demand, however, tightens the wall quickly — the paper's");
         report.note("single-threaded assumption is indeed optimistic");
-        report
+        Ok(report)
     }
 }

@@ -3,6 +3,7 @@
 //! complexity assessment, alongside the solved next-generation core
 //! counts for each band.
 
+use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::{Report, TableBlock, Value};
 use crate::{die_budget, paper_baseline};
@@ -25,7 +26,7 @@ impl Experiment for Table2Summary {
         "Summary of memory-traffic reduction techniques"
     }
 
-    fn run(&self) -> Report {
+    fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
         let mut table = TableBlock::new(&[
             "Technique",
@@ -39,16 +40,15 @@ impl Experiment for Table2Summary {
             "cores @2x (P/R/O)",
         ]);
         for profile in catalog() {
-            let cores: Vec<String> = AssumptionLevel::ALL
-                .iter()
-                .map(|&level| {
+            let mut cores = Vec::with_capacity(AssumptionLevel::ALL.len());
+            for &level in AssumptionLevel::ALL.iter() {
+                cores.push(
                     ScalingProblem::new(paper_baseline(), die_budget(1))
-                        .with_technique(profile.technique(level).unwrap())
-                        .max_supportable_cores()
-                        .unwrap()
-                        .to_string()
-                })
-                .collect();
+                        .with_technique(profile.technique(level)?)
+                        .max_supportable_cores()?
+                        .to_string(),
+                );
+            }
             table.push_row(vec![
                 Value::text(profile.name()),
                 Value::text(profile.label()),
@@ -66,6 +66,6 @@ impl Experiment for Table2Summary {
         report.note(
             "category reminder: CC/DRAM/3D/Fltr/SmCo indirect; LC/Sect direct; SmCl, CC/LC dual",
         );
-        report
+        Ok(report)
     }
 }

@@ -11,6 +11,7 @@
 //! set by bandwidth — "adding more cores to the chip no longer yields any
 //! additional throughput".
 
+use crate::error::ExperimentError;
 use crate::paper_baseline;
 use crate::registry::Experiment;
 use crate::report::{Report, TableBlock, Value};
@@ -34,13 +35,13 @@ impl Experiment for ThroughputWall {
         "chip throughput vs core count (analytic + simulated)"
     }
 
-    fn run(&self) -> Report {
+    fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
 
         let model = ThroughputModel::new(paper_baseline(), 32.0);
         let mut table = TableBlock::new(&["cores", "chip throughput", "", "per-core", "BW util"])
             .with_title("analytic model (32-CEA die, constant envelope):");
-        for p in model.curve((2..=30).step_by(2)).expect("feasible points") {
+        for p in model.curve((2..=30).step_by(2))? {
             table.push_row(vec![
                 Value::int(p.cores),
                 Value::fmt(format!("{:.2}", p.throughput), p.throughput),
@@ -56,7 +57,7 @@ impl Experiment for ThroughputWall {
             ]);
         }
         report.table(table);
-        let plateau = model.plateau_throughput().unwrap();
+        let plateau = model.plateau_throughput()?;
         report.note(format!(
             "plateau: {plateau:.2} baseline-core equivalents (the Figure 2 crossover)"
         ));
@@ -94,6 +95,6 @@ impl Experiment for ThroughputWall {
         report.blank();
         report.note("bandwidth bound: 4 B/cycle / (0.02 miss/instr x 64 B) = 3.13 IPC —");
         report.note("the simulated plateau; queueing delay explodes exactly at saturation");
-        report
+        Ok(report)
     }
 }

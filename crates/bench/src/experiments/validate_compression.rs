@@ -8,6 +8,7 @@
 //! with those workloads' value mixes, reproducing the parameter regime
 //! instead of assuming it.
 
+use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::{Report, TableBlock, Value};
 use bandwall_compress::{evaluate, Bdi, BestOf, Compressor, Fpc, LinkCompressor, ZeroRle};
@@ -60,7 +61,7 @@ impl Experiment for ValidateCompression {
         "compression ratios derived from real engines"
     }
 
-    fn run(&self) -> Report {
+    fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
         let profiles = [
             (
@@ -87,6 +88,6 @@ impl Experiment for ValidateCompression {
         report.blank();
         report.note("these measured ratios justify Table 2's pessimistic/realistic/optimistic");
         report.note("bands (1.25x / 2x / 3.5x) used by Figures 4, 9, and 12");
-        report
+        Ok(report)
     }
 }

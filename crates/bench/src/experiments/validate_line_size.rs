@@ -8,6 +8,7 @@
 //! through caches built with 16/32/64/128-byte lines and measures actual
 //! off-chip traffic.
 
+use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::{Report, TableBlock, Value};
 use bandwall_cache_sim::{CacheConfig, TwoLevelHierarchy};
@@ -57,7 +58,7 @@ impl Experiment for ValidateLineSize {
         "off-chip traffic vs cache-line size (16 useful bytes per region)"
     }
 
-    fn run(&self) -> Report {
+    fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
         let mut table = TableBlock::new(&["line size", "total traffic", "bytes/access", "vs 64 B"]);
         let reference = self.traffic_for_line_size(64).0 as f64;
@@ -77,6 +78,6 @@ impl Experiment for ValidateLineSize {
         report.note("shrinking lines toward the useful footprint cuts traffic directly (and");
         report.note("frees capacity), exactly the dual benefit Equation 12 models; note the");
         report.note("64->128 B step nearly doubles traffic for no gain");
-        report
+        Ok(report)
     }
 }

@@ -7,6 +7,7 @@
 //! cache sizes". This experiment measures `rwb` on the simulator across
 //! a range of L2 sizes for two write intensities.
 
+use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::{Report, TableBlock, Value};
 use bandwall_cache_sim::{CacheConfig, TwoLevelHierarchy};
@@ -50,7 +51,7 @@ impl Experiment for ValidateWriteback {
         "write-back ratio rwb across cache sizes"
     }
 
-    fn run(&self) -> Report {
+    fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
         for wf in [0.1, 0.3] {
             report.blank();
@@ -72,6 +73,6 @@ impl Experiment for ValidateWriteback {
         report.blank();
         report.note("rwb moves far less than the miss rate as the cache scales, supporting");
         report.note("the paper's cancellation of (1 + rwb) in traffic ratios (Equation 2)");
-        report
+        Ok(report)
     }
 }

@@ -2,6 +2,7 @@
 //! every figure/table reproduction and supporting study, so one CLI can
 //! list, run, and render them all.
 
+use crate::error::ExperimentError;
 use crate::report::Report;
 
 /// A runnable experiment. Implementations are stateless apart from
@@ -15,8 +16,18 @@ pub trait Experiment: Send + Sync {
     fn figure(&self) -> &'static str;
     /// Human title shown in the header banner.
     fn title(&self) -> &'static str;
-    /// Runs the experiment and returns its structured report.
-    fn run(&self) -> Report;
+    /// Runs the experiment and returns its structured report, or a typed
+    /// error when the configuration is out of domain or a solver fails.
+    /// The harness additionally contains panics and deadline overruns, so
+    /// a failing experiment never takes down a batch.
+    fn run(&self) -> Result<Report, ExperimentError>;
+
+    /// Runs the experiment and folds any error into a
+    /// [`Report::failure`] carrying this experiment's registry identity.
+    fn run_to_report(&self) -> Report {
+        self.run()
+            .unwrap_or_else(|e| Report::failure(self.id(), self.figure(), self.title(), e))
+    }
 }
 
 /// Every experiment, in presentation order (figures, tables, then the
@@ -40,14 +51,19 @@ pub fn find(id: &str) -> Option<Box<dyn Experiment>> {
 }
 
 /// Runs one experiment and prints its ASCII report — the entire body of
-/// every thin per-figure binary.
+/// every thin per-figure binary. A failing experiment prints its failure
+/// banner and exits with status 1 instead of panicking.
 ///
 /// # Panics
 ///
 /// Panics if `id` is not in the registry (a bug in the calling binary).
 pub fn run_main(id: &str) {
     let experiment = find(id).unwrap_or_else(|| panic!("unknown experiment id: {id}"));
-    print!("{}", experiment.run().to_ascii());
+    let report = experiment.run_to_report();
+    print!("{}", report.to_ascii());
+    if report.is_failure() {
+        std::process::exit(1);
+    }
 }
 
 #[cfg(test)]

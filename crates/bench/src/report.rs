@@ -8,6 +8,7 @@
 
 use crate::header_string;
 use crate::render::{bar, Table};
+use std::fmt;
 
 /// One table cell: the exact ASCII text plus an optional
 /// machine-readable numeric value for CSV/JSON output.
@@ -166,6 +167,9 @@ pub struct Report {
     pub blocks: Vec<Block>,
     /// Headline model/paper/delta triples.
     pub metrics: Vec<Metric>,
+    /// `Some(message)` when the experiment failed to produce a result;
+    /// failed reports render as a failure banner / row / JSON object.
+    pub error: Option<String>,
 }
 
 impl Report {
@@ -177,7 +181,27 @@ impl Report {
             title: title.into(),
             blocks: Vec::new(),
             metrics: Vec::new(),
+            error: None,
         }
+    }
+
+    /// Creates a failure report for an experiment that produced no result:
+    /// the registry identity plus the error message, rendered by every
+    /// format as an explicit failure (never silently dropped).
+    pub fn failure(
+        id: impl Into<String>,
+        figure: impl Into<String>,
+        title: impl Into<String>,
+        error: impl fmt::Display,
+    ) -> Self {
+        let mut report = Report::new(id, figure, title);
+        report.error = Some(error.to_string());
+        report
+    }
+
+    /// Whether this report records a failure instead of a result.
+    pub fn is_failure(&self) -> bool {
+        self.error.is_some()
     }
 
     /// Appends a one-line note.
@@ -214,9 +238,14 @@ impl Report {
     }
 
     /// Renders the report exactly as the historical binary printed it:
-    /// header banner, then every block in order.
+    /// header banner, then every block in order. Failure reports render
+    /// the banner followed by a single `FAILED:` line.
     pub fn to_ascii(&self) -> String {
         let mut out = header_string(&self.figure, &self.title);
+        if let Some(err) = &self.error {
+            out.push_str(&format!("FAILED: {err}\n"));
+            return out;
+        }
         for block in &self.blocks {
             match block {
                 Block::Note(line) => {
@@ -243,6 +272,10 @@ impl Report {
         out.push_str(&format!("experiment,{}\n", csv_field(&self.id)));
         out.push_str(&format!("figure,{}\n", csv_field(&self.figure)));
         out.push_str(&format!("title,{}\n", csv_field(&self.title)));
+        if let Some(err) = &self.error {
+            out.push_str(&format!("status,failed\nerror,{}\n", csv_field(err)));
+            return out;
+        }
         if !self.metrics.is_empty() {
             out.push_str("\nmetric,model,paper,delta\n");
             for m in &self.metrics {
@@ -282,11 +315,21 @@ impl Report {
 
     /// Renders the report as a single JSON object (hand-rolled, no
     /// dependencies; deterministic key order and float formatting).
+    /// Failure reports render as
+    /// `{"id":...,"figure":...,"title":...,"status":"failed","error":...}`;
+    /// success reports keep the historical shape byte-for-byte.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
         out.push_str(&format!("\"id\":{}", json_string(&self.id)));
         out.push_str(&format!(",\"figure\":{}", json_string(&self.figure)));
         out.push_str(&format!(",\"title\":{}", json_string(&self.title)));
+        if let Some(err) = &self.error {
+            out.push_str(&format!(
+                ",\"status\":\"failed\",\"error\":{}}}",
+                json_string(err)
+            ));
+            return out;
+        }
         out.push_str(",\"metrics\":[");
         for (i, m) in self.metrics.iter().enumerate() {
             if i > 0 {
@@ -484,6 +527,31 @@ mod tests {
         assert_eq!(csv_field("a,b"), "\"a,b\"");
         assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
         assert_eq!(csv_field("plain"), "plain");
+    }
+
+    #[test]
+    fn failure_report_renders_in_every_format() {
+        let r = Report::failure("fig_x", "Figure X", "sample", "model error: infeasible");
+        assert!(r.is_failure());
+        let ascii = r.to_ascii();
+        assert!(ascii.starts_with("====") && ascii.contains("Figure X — sample"));
+        assert!(ascii.ends_with("FAILED: model error: infeasible\n"));
+        let csv = r.to_csv();
+        assert!(csv.contains("status,failed\nerror,model error: infeasible\n"));
+        assert_eq!(
+            r.to_json(),
+            "{\"id\":\"fig_x\",\"figure\":\"Figure X\",\"title\":\"sample\",\
+             \"status\":\"failed\",\"error\":\"model error: infeasible\"}"
+        );
+    }
+
+    #[test]
+    fn success_report_has_no_status_key() {
+        let r = sample();
+        assert!(!r.is_failure());
+        assert!(!r.to_json().contains("\"status\""));
+        assert!(!r.to_csv().contains("status,"));
+        assert!(!r.to_ascii().contains("FAILED"));
     }
 
     #[test]

@@ -30,7 +30,14 @@ impl Variant {
 
 /// Solves every variant on the next-generation die and returns the
 /// structured table plus the computed core counts in variant order.
-pub fn sweep_block(variants: &[Variant]) -> (TableBlock, Vec<u64>) {
+///
+/// # Errors
+///
+/// Propagates the first [`bandwall_model::ModelError`] from any variant's
+/// solver.
+pub fn sweep_block(
+    variants: &[Variant],
+) -> Result<(TableBlock, Vec<u64>), bandwall_model::ModelError> {
     let baseline = paper_baseline();
     let n2 = die_budget(1);
     let mut results = Vec::with_capacity(variants.len());
@@ -40,7 +47,7 @@ pub fn sweep_block(variants: &[Variant]) -> (TableBlock, Vec<u64>) {
         if let Some(t) = v.technique {
             problem = problem.with_technique(t);
         }
-        let cores = problem.max_supportable_cores().expect("feasible");
+        let cores = problem.max_supportable_cores()?;
         results.push(cores);
         table.push_row(vec![
             Value::text(v.label.clone()),
@@ -49,7 +56,7 @@ pub fn sweep_block(variants: &[Variant]) -> (TableBlock, Vec<u64>) {
             v.paper.map(Value::int).unwrap_or_else(Value::empty),
         ]);
     }
-    (table, results)
+    Ok((table, results))
 }
 
 /// Records a `cores[label]` metric for every variant the paper anchors.
@@ -67,8 +74,13 @@ pub fn add_paper_metrics(report: &mut Report, variants: &[Variant], results: &[u
 
 /// Solves every variant, prints the table, and returns the core counts
 /// (the historical all-in-one entry point).
+///
+/// # Panics
+///
+/// Panics if any variant is infeasible; [`sweep_block`] is the fallible
+/// equivalent.
 pub fn run_next_generation_sweep(variants: &[Variant]) -> Vec<u64> {
-    let (table, results) = sweep_block(variants);
+    let (table, results) = sweep_block(variants).expect("feasible sweep variants");
     print!("{}", table.to_ascii());
     results
 }
@@ -92,7 +104,7 @@ mod tests {
 
     #[test]
     fn block_carries_paper_anchor() {
-        let (table, results) = sweep_block(&[Variant::new("base", None, Some(11))]);
+        let (table, results) = sweep_block(&[Variant::new("base", None, Some(11))]).unwrap();
         assert_eq!(results, vec![11]);
         assert_eq!(table.rows[0][3].num(), Some(11.0));
         let mut r = Report::new("x", "F", "t");

@@ -1,0 +1,110 @@
+//! End-to-end fault-isolation tests on the `bandwall` binary: a
+//! deliberately failing experiment (injected via `BANDWALL_FAULT_INJECT`)
+//! must produce its own structured failure report while every other
+//! registry entry completes, in registry order, with exit status 1.
+
+use std::process::Command;
+
+fn bandwall() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bandwall"))
+}
+
+/// Extracts the `"id"` of every report in a JSON array of reports.
+fn report_ids(json: &str) -> Vec<String> {
+    json.match_indices("{\"id\":\"")
+        .map(|(i, pat)| {
+            let start = i + pat.len();
+            let end = json[start..].find('"').unwrap() + start;
+            json[start..end].to_string()
+        })
+        .collect()
+}
+
+#[test]
+fn injected_panic_fails_alone_while_the_batch_survives() {
+    let out = bandwall()
+        .args(["run", "--all", "--jobs", "2", "--format", "json"])
+        .env("BANDWALL_FAULT_INJECT", "panic")
+        .output()
+        .expect("bandwall runs");
+    assert_eq!(out.status.code(), Some(1), "a failed batch must exit 1");
+
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with('['));
+    assert!(stdout.ends_with("]\n"));
+
+    // The injected experiment leads, then the full registry in order.
+    let expected: Vec<String> = std::iter::once("fault_inject".to_string())
+        .chain(
+            bandwall_experiments::registry::registry()
+                .iter()
+                .map(|e| e.id().to_string()),
+        )
+        .collect();
+    assert_eq!(report_ids(&stdout), expected, "registry order must hold");
+
+    // Exactly one failure, and it is the injected one, with the panic
+    // message captured into its structured error.
+    assert_eq!(stdout.matches("\"status\":\"failed\"").count(), 1);
+    let failure_pos = stdout.find("\"status\":\"failed\"").unwrap();
+    let fault_pos = stdout.find("\"id\":\"fault_inject\"").unwrap();
+    let next_report = stdout[fault_pos..]
+        .find("{\"id\":\"")
+        .map(|i| i + fault_pos)
+        .unwrap();
+    assert!(
+        failure_pos > fault_pos && failure_pos < next_report,
+        "the failure status must belong to the fault_inject report"
+    );
+    assert!(stdout.contains("experiment panicked: injected panic"));
+}
+
+#[test]
+fn injected_error_is_reported_and_fail_fast_skips_the_rest() {
+    let out = bandwall()
+        .args([
+            "run",
+            "fault_inject",
+            "fig03_die_allocation",
+            "--jobs",
+            "1",
+            "--fail-fast",
+            "--format",
+            "json",
+        ])
+        .env("BANDWALL_FAULT_INJECT", "error")
+        .output()
+        .expect("bandwall runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert_eq!(report_ids(&stdout), vec!["fault_inject"]);
+    assert!(stdout.contains("numerical failure: injected error"));
+    assert!(stderr.contains("skipped fig03_die_allocation (--fail-fast)"));
+}
+
+#[test]
+fn timeout_converts_a_hang_into_a_failure_report() {
+    let out = bandwall()
+        .args(["run", "fault_inject", "--timeout", "1", "--format", "json"])
+        .env("BANDWALL_FAULT_INJECT", "hang")
+        .output()
+        .expect("bandwall runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"status\":\"failed\""));
+    assert!(stdout.contains("exceeded the 1s deadline"));
+}
+
+#[test]
+fn without_injection_the_registry_is_unchanged_and_exits_zero() {
+    let out = bandwall()
+        .args(["run", "fig03_die_allocation", "--format", "json"])
+        .env_remove("BANDWALL_FAULT_INJECT")
+        .output()
+        .expect("bandwall runs");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(report_ids(&stdout), vec!["fig03_die_allocation"]);
+    assert!(!stdout.contains("\"status\""));
+}

@@ -7,7 +7,8 @@ use bandwall_experiments::registry::{find, registry, registry_with_seed};
 fn metric(id: &str, name: &str) -> (f64, Option<f64>) {
     let report = find(id)
         .unwrap_or_else(|| panic!("{id} not registered"))
-        .run();
+        .run()
+        .expect("golden experiment succeeds");
     let m = report
         .get_metric(name)
         .unwrap_or_else(|| panic!("{id} has no metric {name}"));
@@ -76,8 +77,8 @@ fn analytic_reports_are_byte_stable_across_runs() {
         "table2_summary",
         "mixed_workloads",
     ] {
-        let a = find(id).unwrap().run();
-        let b = find(id).unwrap().run();
+        let a = find(id).unwrap().run().expect("golden experiment succeeds");
+        let b = find(id).unwrap().run().expect("golden experiment succeeds");
         assert_eq!(a.to_json(), b.to_json(), "{id} JSON not byte-stable");
         assert_eq!(a.to_ascii(), b.to_ascii(), "{id} ASCII not byte-stable");
         assert_eq!(a.to_csv(), b.to_csv(), "{id} CSV not byte-stable");
@@ -109,7 +110,7 @@ fn every_report_has_id_matching_registry_and_renders() {
         "mixed_workloads",
     ];
     for id in analytic {
-        let report = find(id).unwrap().run();
+        let report = find(id).unwrap().run().expect("golden experiment succeeds");
         assert_eq!(report.id, id);
         let json = report.to_json();
         assert!(json.starts_with(&format!("{{\"id\":\"{id}\"")));
@@ -131,11 +132,13 @@ fn seeded_registry_changes_simulator_seeds_only() {
         .iter()
         .find(|e| e.id() == "fig02_traffic_vs_cores")
         .unwrap()
-        .run();
+        .run()
+        .expect("golden experiment succeeds");
     let b = default_reg
         .iter()
         .find(|e| e.id() == "fig02_traffic_vs_cores")
         .unwrap()
-        .run();
+        .run()
+        .expect("golden experiment succeeds");
     assert_eq!(a.to_json(), b.to_json());
 }

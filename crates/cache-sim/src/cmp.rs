@@ -3,7 +3,7 @@
 //! analysis of Section 6.3).
 
 use crate::cache::Cache;
-use crate::config::CacheConfig;
+use crate::config::{CacheConfig, ConfigError};
 use crate::stats::{CacheStats, MemoryTraffic, SharingStats};
 use bandwall_trace::MemoryAccess;
 
@@ -56,21 +56,39 @@ impl CmpSystem {
     ///
     /// # Panics
     ///
-    /// Panics if `cores` is zero.
+    /// Panics if `cores` is zero; [`CmpSystem::try_new`] is the fallible
+    /// equivalent.
     pub fn new(cores: u16, l1: CacheConfig, l2: CacheConfig, organization: L2Organization) -> Self {
-        assert!(cores > 0, "a CMP needs at least one core");
+        Self::try_new(cores, l1, l2, organization).expect("a CMP needs at least one core")
+    }
+
+    /// Builds a CMP with `cores` cores, rejecting a zero core count with
+    /// [`ConfigError::Zero`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Zero`] when `cores` is zero.
+    pub fn try_new(
+        cores: u16,
+        l1: CacheConfig,
+        l2: CacheConfig,
+        organization: L2Organization,
+    ) -> Result<Self, ConfigError> {
+        if cores == 0 {
+            return Err(ConfigError::Zero { name: "cores" });
+        }
         let l1s = (0..cores).map(|_| Cache::new(l1)).collect();
         let (shared_l2, private_l2s) = match organization {
             L2Organization::Shared => (Some(Cache::new(l2).with_sharer_tracking()), Vec::new()),
             L2Organization::Private => (None, (0..cores).map(|_| Cache::new(l2)).collect()),
         };
-        CmpSystem {
+        Ok(CmpSystem {
             l1s,
             shared_l2,
             private_l2s,
             traffic: MemoryTraffic::new(),
             organization,
-        }
+        })
     }
 
     /// Number of cores.

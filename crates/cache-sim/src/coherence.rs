@@ -13,7 +13,7 @@
 //! on chip.
 
 use crate::cache::Cache;
-use crate::config::CacheConfig;
+use crate::config::{CacheConfig, ConfigError};
 use crate::stats::{CacheStats, MemoryTraffic};
 use bandwall_trace::MemoryAccess;
 use std::collections::HashMap;
@@ -90,18 +90,38 @@ impl CoherentCmp {
     /// # Panics
     ///
     /// Panics if `cores` is zero or exceeds 64 (full-map directory uses a
-    /// 64-bit sharer mask).
+    /// 64-bit sharer mask); [`CoherentCmp::try_new`] is the fallible
+    /// equivalent.
     pub fn new(cores: u16, cache: CacheConfig) -> Self {
-        assert!(cores > 0, "a CMP needs at least one core");
-        assert!(cores <= 64, "full-map directory supports up to 64 cores");
-        CoherentCmp {
+        Self::try_new(cores, cache).expect("core count must be in 1..=64")
+    }
+
+    /// Builds a CMP of `cores` private caches, rejecting an out-of-domain
+    /// core count with a [`ConfigError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Zero`] when `cores` is zero and
+    /// [`ConfigError::OutOfRange`] above 64 (the full-map directory uses a
+    /// 64-bit sharer mask).
+    pub fn try_new(cores: u16, cache: CacheConfig) -> Result<Self, ConfigError> {
+        if cores == 0 {
+            return Err(ConfigError::Zero { name: "cores" });
+        }
+        if cores > 64 {
+            return Err(ConfigError::OutOfRange {
+                name: "cores",
+                constraint: "must be at most 64 (full-map directory)",
+            });
+        }
+        Ok(CoherentCmp {
             caches: (0..cores).map(|_| Cache::new(cache)).collect(),
             directory: HashMap::new(),
             line_size: cache.line_size(),
             traffic: MemoryTraffic::new(),
             coherence: CoherenceStats::default(),
             lost_lines: HashMap::new(),
-        }
+        })
     }
 
     /// Number of cores.
@@ -345,9 +365,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one core")]
+    #[should_panic(expected = "core count must be in 1..=64")]
     fn zero_cores_panics() {
         cmp(0);
+    }
+
+    #[test]
+    fn try_new_rejects_out_of_domain_core_counts() {
+        let cfg = CacheConfig::new(4096, 64, 4).unwrap();
+        assert_eq!(
+            CoherentCmp::try_new(0, cfg).unwrap_err(),
+            ConfigError::Zero { name: "cores" }
+        );
+        assert!(matches!(
+            CoherentCmp::try_new(65, cfg).unwrap_err(),
+            ConfigError::OutOfRange { name: "cores", .. }
+        ));
+        assert_eq!(CoherentCmp::try_new(64, cfg).unwrap().cores(), 64);
     }
 
     #[test]

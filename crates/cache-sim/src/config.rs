@@ -50,6 +50,13 @@ pub enum ConfigError {
         /// Parameter name.
         name: &'static str,
     },
+    /// A parameter was outside its valid range.
+    OutOfRange {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable constraint, e.g. `"must be at most 64"`.
+        constraint: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -66,6 +73,7 @@ impl fmt::Display for ConfigError {
                 "capacity {capacity} is not a multiple of one set ({set_bytes} bytes)"
             ),
             ConfigError::Zero { name } => write!(f, "{name} must be non-zero"),
+            ConfigError::OutOfRange { name, constraint } => write!(f, "{name} {constraint}"),
         }
     }
 }

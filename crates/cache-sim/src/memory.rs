@@ -9,6 +9,7 @@
 //! [`DramChannel`]; beyond the saturation point, chip IPC plateaus no
 //! matter how many cores are added.
 
+use crate::config::ConfigError;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -46,13 +47,27 @@ impl DramChannel {
     ///
     /// # Panics
     ///
-    /// Panics unless `bytes_per_cycle` is positive and finite.
+    /// Panics unless `bytes_per_cycle` is positive and finite;
+    /// [`DramChannel::try_new`] is the fallible equivalent.
     pub fn new(bytes_per_cycle: f64, access_latency: u64) -> Self {
-        assert!(
-            bytes_per_cycle.is_finite() && bytes_per_cycle > 0.0,
-            "bandwidth must be positive"
-        );
-        DramChannel {
+        Self::try_new(bytes_per_cycle, access_latency).expect("bandwidth must be positive")
+    }
+
+    /// Creates a channel, rejecting a non-finite or non-positive bandwidth
+    /// with [`ConfigError::OutOfRange`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::OutOfRange`] unless `bytes_per_cycle` is
+    /// positive and finite.
+    pub fn try_new(bytes_per_cycle: f64, access_latency: u64) -> Result<Self, ConfigError> {
+        if !(bytes_per_cycle.is_finite() && bytes_per_cycle > 0.0) {
+            return Err(ConfigError::OutOfRange {
+                name: "bytes_per_cycle",
+                constraint: "must be finite and positive",
+            });
+        }
+        Ok(DramChannel {
             bytes_per_cycle,
             access_latency,
             busy_until: 0,
@@ -60,7 +75,7 @@ impl DramChannel {
             queued_cycles: 0,
             busy_cycles: 0,
             last_finish: 0,
-        }
+        })
     }
 
     /// Services a request of `bytes` arriving at `arrival` (cycle) and

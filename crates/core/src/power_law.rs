@@ -85,7 +85,8 @@ impl MissRateCurve {
     /// # Errors
     ///
     /// Returns [`ModelError::InvalidParameter`] if `cache_size` is not
-    /// finite and positive.
+    /// finite and positive, and [`ModelError::Numerical`] when the
+    /// power-law term overflows (extreme size ratios).
     pub fn miss_rate(&self, cache_size: f64) -> Result<f64, ModelError> {
         if !(cache_size.is_finite() && cache_size > 0.0) {
             return Err(ModelError::InvalidParameter {
@@ -94,7 +95,13 @@ impl MissRateCurve {
                 constraint: "must be finite and positive",
             });
         }
-        Ok(self.base_miss_rate * self.alpha.dampen(cache_size / self.base_cache_size))
+        let rate = self.base_miss_rate * self.alpha.dampen(cache_size / self.base_cache_size);
+        if !rate.is_finite() {
+            return Err(ModelError::Numerical(format!(
+                "miss rate overflowed at cache size {cache_size}"
+            )));
+        }
+        Ok(rate)
     }
 
     /// Total memory traffic per access at `cache_size`, including
@@ -148,7 +155,13 @@ impl MissRateCurve {
                 });
             }
         }
-        Ok(self.alpha.dampen(new_size / old_size))
+        let ratio = self.alpha.dampen(new_size / old_size);
+        if !ratio.is_finite() {
+            return Err(ModelError::Numerical(format!(
+                "traffic ratio overflowed between sizes {old_size} and {new_size}"
+            )));
+        }
+        Ok(ratio)
     }
 }
 

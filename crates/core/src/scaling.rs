@@ -55,12 +55,11 @@ impl ScalingProblem {
     /// Creates a problem for a die of `total_ceas` CEAs (N₂) under a
     /// constant traffic envelope (B = 1) and no techniques.
     ///
-    /// # Panics
-    ///
-    /// Panics in debug builds if `total_ceas` is not positive; use die
-    /// budgets derived from [`Baseline::total_ceas`] scaling.
+    /// Out-of-domain budgets (zero, negative, NaN) are accepted here and
+    /// rejected with [`ModelError::InvalidParameter`] by every solving
+    /// method, so adversarial configurations degrade into typed errors
+    /// rather than panics or NaN propagation.
     pub fn new(baseline: Baseline, total_ceas: f64) -> Self {
-        debug_assert!(total_ceas > 0.0);
         ScalingProblem {
             baseline,
             total_ceas,
@@ -85,12 +84,10 @@ impl ScalingProblem {
     /// stay less idle and generate more traffic per unit time; this knob
     /// quantifies that remark.
     ///
-    /// # Panics
-    ///
-    /// Debug-asserts `multiplier >= 1`.
+    /// Multipliers below 1 (or non-finite) are rejected with a typed
+    /// error when the problem is solved.
     #[must_use]
     pub fn with_per_core_demand(mut self, multiplier: f64) -> Self {
-        debug_assert!(multiplier >= 1.0);
         self.per_core_demand = multiplier;
         self
     }
@@ -99,12 +96,10 @@ impl ScalingProblem {
     /// the Section 6.1 caveat that interconnect grows with core count and
     /// caps the benefit of ever-smaller cores.
     ///
-    /// # Panics
-    ///
-    /// Debug-asserts `ceas >= 0`.
+    /// Negative or non-finite overheads are rejected with a typed error
+    /// when the problem is solved.
     #[must_use]
     pub fn with_uncore_overhead(mut self, ceas: f64) -> Self {
-        debug_assert!(ceas >= 0.0);
         self.uncore_per_core = ceas;
         self
     }
@@ -156,6 +151,41 @@ impl ScalingProblem {
         effects
     }
 
+    /// Checks the problem's own parameters, so every solving method turns
+    /// out-of-domain configurations into [`ModelError::InvalidParameter`]
+    /// instead of propagating NaN or panicking.
+    fn validate(&self) -> Result<(), ModelError> {
+        if !(self.total_ceas.is_finite() && self.total_ceas > 0.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "total_ceas",
+                value: self.total_ceas,
+                constraint: "must be finite and positive",
+            });
+        }
+        if !(self.bandwidth_growth.is_finite() && self.bandwidth_growth > 0.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "bandwidth_growth",
+                value: self.bandwidth_growth,
+                constraint: "must be finite and positive",
+            });
+        }
+        if !(self.per_core_demand.is_finite() && self.per_core_demand >= 1.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "per_core_demand",
+                value: self.per_core_demand,
+                constraint: "must be finite and at least 1",
+            });
+        }
+        if !(self.uncore_per_core.is_finite() && self.uncore_per_core >= 0.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "uncore_per_core",
+                value: self.uncore_per_core,
+                constraint: "must be finite and non-negative",
+            });
+        }
+        Ok(())
+    }
+
     /// Relative traffic `M₂/M₁` when `cores` cores are placed on the die
     /// (Equation 5 with the technique effects of Section 6 folded in).
     ///
@@ -163,8 +193,9 @@ impl ScalingProblem {
     ///
     /// Returns [`ModelError::NoCacheArea`] when the configuration leaves no
     /// effective cache, and [`ModelError::InvalidParameter`] for a zero
-    /// core count.
+    /// core count or an out-of-domain problem parameter.
     pub fn relative_traffic(&self, cores: u64) -> Result<f64, ModelError> {
+        self.validate()?;
         self.relative_traffic_with(&self.effects(), cores)
     }
 
@@ -189,7 +220,13 @@ impl ScalingProblem {
             .baseline
             .alpha()
             .dampen(cache_per_core / self.baseline.cache_per_core());
-        Ok(self.per_core_demand * core_term * cache_term / effects.traffic_divisor())
+        let traffic = self.per_core_demand * core_term * cache_term / effects.traffic_divisor();
+        if !traffic.is_finite() {
+            return Err(ModelError::Numerical(format!(
+                "relative traffic overflowed at {cores} cores"
+            )));
+        }
+        Ok(traffic)
     }
 
     fn relative_traffic_with(&self, effects: &Effects, cores: u64) -> Result<f64, ModelError> {
@@ -204,6 +241,7 @@ impl ScalingProblem {
     /// Returns [`ModelError::Infeasible`] if even a single core exceeds the
     /// envelope (cannot happen for die budgets at or above the baseline's).
     pub fn max_supportable_cores(&self) -> Result<u64, ModelError> {
+        self.validate()?;
         let effects = self.effects();
         let hi = effects.max_feasible_cores(self.total_ceas);
         if hi == 0 {
@@ -229,6 +267,7 @@ impl ScalingProblem {
     /// Returns [`ModelError::Infeasible`] when one core already exceeds the
     /// envelope, or a numerical error from the root finder.
     pub fn crossover_cores(&self) -> Result<f64, ModelError> {
+        self.validate()?;
         let effects = self.effects();
         let hi = effects.max_feasible_cores(self.total_ceas) as f64;
         if hi < 1.0 {

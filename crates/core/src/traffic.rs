@@ -89,6 +89,11 @@ impl TrafficModel {
             .baseline
             .alpha()
             .dampen(cache_per_core / self.baseline.cache_per_core());
+        if !(core_term * cache_term).is_finite() {
+            return Err(ModelError::Numerical(format!(
+                "relative traffic overflowed at {cores} cores with {cache_per_core} CEAs/core"
+            )));
+        }
         Ok((core_term, cache_term))
     }
 

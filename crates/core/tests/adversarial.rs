@@ -1,0 +1,170 @@
+//! Adversarial-input tests: every public model entry point must be
+//! panic-free and NaN-free over hostile inputs. Each call either
+//! returns `Ok` with a finite value or a typed [`ModelError`] — never a
+//! panic, never NaN/infinity smuggled through an `Ok`.
+
+use bandwall_model::{Alpha, Baseline, MissRateCurve, ScalingProblem, Technique, TrafficModel};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Hostile scalar inputs: signs, zeros, subnormals, extremes, non-finite.
+const ADVERSARIAL: [f64; 16] = [
+    f64::NEG_INFINITY,
+    -1e308,
+    -1.0,
+    -1e-308,
+    -0.0,
+    0.0,
+    5e-324, // subnormal
+    1e-308,
+    1e-9,
+    0.5,
+    1.0,
+    2.0,
+    1e6,
+    1e154,
+    f64::INFINITY,
+    f64::NAN,
+];
+
+/// Asserts the closure neither panics nor returns a non-finite `Ok`.
+fn assert_total(context: &str, f: impl FnOnce() -> Result<f64, bandwall_model::ModelError>) {
+    let outcome = catch_unwind(AssertUnwindSafe(f));
+    match outcome {
+        Err(_) => panic!("panicked: {context}"),
+        Ok(Ok(v)) => assert!(v.is_finite(), "non-finite Ok({v}) from {context}"),
+        Ok(Err(_)) => {} // typed rejection is the correct fate for bad inputs
+    }
+}
+
+#[test]
+fn alpha_rejects_out_of_domain_values_without_panicking() {
+    for a in ADVERSARIAL {
+        let outcome = catch_unwind(|| Alpha::new(a));
+        let result = outcome.unwrap_or_else(|_| panic!("Alpha::new({a}) panicked"));
+        if let Ok(alpha) = result {
+            assert!(alpha.get().is_finite() && alpha.get() > 0.0);
+        }
+    }
+}
+
+#[test]
+fn baseline_constructor_is_total() {
+    for cores in ADVERSARIAL {
+        for ceas in ADVERSARIAL {
+            let outcome = catch_unwind(|| Baseline::new(cores, ceas, Alpha::COMMERCIAL_AVERAGE));
+            assert!(
+                outcome.is_ok(),
+                "Baseline::new({cores}, {ceas}, ..) panicked"
+            );
+        }
+    }
+}
+
+#[test]
+fn power_law_is_total_over_adversarial_sizes() {
+    for m0 in ADVERSARIAL {
+        for c0 in ADVERSARIAL {
+            let Ok(Ok(law)) =
+                catch_unwind(|| MissRateCurve::new(m0, c0, Alpha::COMMERCIAL_AVERAGE))
+            else {
+                continue; // rejected construction (or the panic assert below catches it)
+            };
+            for size in ADVERSARIAL {
+                assert_total(
+                    &format!("miss_rate({size}) on MissRateCurve({m0}, {c0})"),
+                    || law.miss_rate(size),
+                );
+                assert_total(&format!("traffic({size}, 0.4)"), || law.traffic(size, 0.4));
+                assert_total(&format!("traffic_ratio({c0}, {size})"), || {
+                    law.traffic_ratio(c0, size)
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn traffic_model_is_total_over_adversarial_geometry() {
+    let model = TrafficModel::new(Baseline::niagara2_like());
+    for cores in ADVERSARIAL {
+        for cache in ADVERSARIAL {
+            assert_total(&format!("relative_traffic({cores}, {cache})"), || {
+                model.relative_traffic(cores, cache)
+            });
+            assert_total(
+                &format!("relative_traffic_on_die({cache}, {cores})"),
+                || model.relative_traffic_on_die(cache, cores),
+            );
+        }
+    }
+}
+
+#[test]
+fn scaling_problem_is_total_over_adversarial_parameters() {
+    for total_ceas in ADVERSARIAL {
+        for knob in ADVERSARIAL {
+            let problem = ScalingProblem::new(Baseline::niagara2_like(), total_ceas)
+                .with_bandwidth_growth(knob)
+                .with_per_core_demand(knob)
+                .with_uncore_overhead(knob);
+            assert_total(
+                &format!("crossover_cores(n2={total_ceas}, knob={knob})"),
+                || problem.crossover_cores(),
+            );
+            assert_total(
+                &format!("relative_traffic(n2={total_ceas}, knob={knob})"),
+                || problem.relative_traffic(7),
+            );
+            let outcome = catch_unwind(AssertUnwindSafe(|| problem.solve()));
+            match outcome {
+                Err(_) => panic!("solve(n2={total_ceas}, knob={knob}) panicked"),
+                Ok(Ok(solution)) => {
+                    assert!(solution.crossover_cores.is_finite());
+                    assert!(solution.core_area_fraction.is_finite());
+                }
+                Ok(Err(_)) => {}
+            }
+            let outcome = catch_unwind(AssertUnwindSafe(|| problem.max_supportable_cores()));
+            assert!(
+                outcome.is_ok(),
+                "max_supportable_cores(n2={total_ceas}, knob={knob}) panicked"
+            );
+        }
+    }
+}
+
+#[test]
+fn huge_core_counts_cannot_overflow_into_nan() {
+    let problem = ScalingProblem::new(Baseline::niagara2_like(), 1e12);
+    for cores in [1u64, 1 << 20, 1 << 40, u64::MAX / 2, u64::MAX] {
+        assert_total(&format!("relative_traffic({cores})"), || {
+            problem.relative_traffic(cores)
+        });
+    }
+}
+
+#[test]
+fn adversarial_technique_parameters_are_rejected_not_propagated() {
+    for v in ADVERSARIAL {
+        for build in [
+            Technique::cache_compression,
+            Technique::dram_cache,
+            Technique::unused_data_filter,
+            Technique::smaller_cores,
+            Technique::link_compression,
+            Technique::sectored_cache,
+            Technique::small_cache_lines,
+            Technique::cache_link_compression,
+        ] {
+            let outcome = catch_unwind(|| build(v));
+            let result = outcome.unwrap_or_else(|_| panic!("technique builder({v}) panicked"));
+            if let Ok(t) = result {
+                let problem =
+                    ScalingProblem::new(Baseline::niagara2_like(), 32.0).with_technique(t);
+                assert_total(&format!("solve with technique({v})"), || {
+                    problem.solve().map(|s| s.crossover_cores)
+                });
+            }
+        }
+    }
+}
