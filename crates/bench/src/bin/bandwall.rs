@@ -32,6 +32,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 use bandwall_experiments::error::ExperimentError;
+use bandwall_experiments::perf::{run_group, BenchOptions, GROUPS};
 use bandwall_experiments::registry::{registry_with_seed, Experiment};
 use bandwall_experiments::report::Report;
 
@@ -42,6 +43,8 @@ USAGE:
     bandwall list
     bandwall run <id>... [OPTIONS]
     bandwall run --all [OPTIONS]
+    bandwall bench [GROUP]... [BENCH OPTIONS]
+    bandwall bench --list
 
 OPTIONS:
     --format <ascii|csv|json>   output format (default: ascii)
@@ -64,6 +67,21 @@ OPTIONS:
                                 first failure; unstarted experiments are
                                 skipped with a note on stderr
     -h, --help                  show this help
+
+BENCH OPTIONS:
+    --list                      list bench groups and exit
+    --warmup <N>                untimed runs per kernel (default: 1)
+    --iters <N>                 timed samples per kernel (default: 5)
+    --accesses <N>              simulated accesses per sample
+                                (default: 400000)
+    --quick                     CI smoke preset: 1 warmup, 3 iters,
+                                60000 accesses
+    --format <ascii|csv|json>   output format (default: ascii)
+    --out <DIR>                 write one report file per group into DIR
+    --snapshot <DIR>            additionally write machine-readable
+                                BENCH_<group>.json snapshots into DIR
+
+    With no GROUP arguments, every group runs.
 
 EXIT STATUS:
     0 when every selected experiment succeeds, 1 when any fails.
@@ -404,6 +422,108 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
     Ok(failed > 0 || skipped > 0)
 }
 
+#[derive(Debug)]
+struct BenchArgs {
+    groups: Vec<String>,
+    list: bool,
+    options: BenchOptions,
+    format: Format,
+    out: Option<std::path::PathBuf>,
+    snapshot: Option<std::path::PathBuf>,
+}
+
+fn parse_bench_args(args: &[String]) -> Result<BenchArgs, String> {
+    let mut bench = BenchArgs {
+        groups: Vec::new(),
+        list: false,
+        options: BenchOptions::standard(),
+        format: Format::Ascii,
+        out: None,
+        snapshot: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => bench.list = true,
+            "--quick" => bench.options = BenchOptions::quick(),
+            "--warmup" => {
+                let v = it.next().ok_or("--warmup needs a count")?;
+                bench.options.warmup =
+                    v.parse().map_err(|_| format!("bad --warmup value '{v}'"))?;
+            }
+            "--iters" => {
+                let v = it.next().ok_or("--iters needs a count")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --iters value '{v}'"))?;
+                if n == 0 {
+                    return Err("--iters must be at least 1".into());
+                }
+                bench.options.iters = n;
+            }
+            "--accesses" => {
+                let v = it.next().ok_or("--accesses needs a count")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad --accesses value '{v}'"))?;
+                if n == 0 {
+                    return Err("--accesses must be at least 1".into());
+                }
+                bench.options.accesses = n;
+            }
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                bench.format = Format::parse(v)?;
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a directory")?;
+                bench.out = Some(v.into());
+            }
+            "--snapshot" => {
+                let v = it.next().ok_or("--snapshot needs a directory")?;
+                bench.snapshot = Some(v.into());
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown option '{flag}'")),
+            group => bench.groups.push(group.to_string()),
+        }
+    }
+    for group in &bench.groups {
+        if !GROUPS.contains(&group.as_str()) {
+            return Err(format!(
+                "unknown bench group '{group}' (see `bandwall bench --list`)"
+            ));
+        }
+    }
+    Ok(bench)
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let bench = parse_bench_args(args)?;
+    if bench.list {
+        for group in GROUPS {
+            println!("{group}");
+        }
+        return Ok(());
+    }
+    let selected: Vec<&str> = if bench.groups.is_empty() {
+        GROUPS.to_vec()
+    } else {
+        bench.groups.iter().map(String::as_str).collect()
+    };
+    let mut reports = Vec::with_capacity(selected.len());
+    for name in selected {
+        eprintln!("bandwall: benching {name}...");
+        let group = run_group(name, &bench.options)?;
+        if let Some(dir) = &bench.snapshot {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+            let path = dir.join(group.snapshot_filename());
+            write_atomic(&path, &group.snapshot_json())?;
+            eprintln!("bandwall: wrote {}", path.display());
+        }
+        reports.push(group.to_report());
+    }
+    emit(&reports, bench.format, bench.out.as_deref())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -414,6 +534,13 @@ fn main() -> ExitCode {
         Some("run") => match cmd_run(&args[1..]) {
             Ok(false) => ExitCode::SUCCESS,
             Ok(true) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("bandwall: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("bench") => match cmd_bench(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("bandwall: {e}");
                 ExitCode::FAILURE
@@ -595,6 +722,52 @@ mod tests {
         let reports = run_parallel(&selected, 1, None, true);
         assert_eq!(reports.len(), 1);
         assert!(reports[0].is_failure());
+    }
+
+    #[test]
+    fn parses_bench_flags() {
+        let bench = parse_bench_args(&args(&[
+            "sim_engine",
+            "--warmup",
+            "2",
+            "--iters",
+            "7",
+            "--accesses",
+            "1000",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert_eq!(bench.groups, vec!["sim_engine"]);
+        assert_eq!(bench.options.warmup, 2);
+        assert_eq!(bench.options.iters, 7);
+        assert_eq!(bench.options.accesses, 1000);
+        assert!(bench.format == Format::Json);
+    }
+
+    #[test]
+    fn bench_quick_preset_and_overrides_compose() {
+        // --quick then --iters: the explicit flag wins.
+        let bench = parse_bench_args(&args(&["--quick", "--iters", "9"])).unwrap();
+        assert_eq!(bench.options.warmup, 1);
+        assert_eq!(bench.options.accesses, 60_000);
+        assert_eq!(bench.options.iters, 9);
+    }
+
+    #[test]
+    fn bench_rejects_bad_input() {
+        assert!(parse_bench_args(&args(&["no_such_group"]))
+            .unwrap_err()
+            .contains("unknown bench group"));
+        assert!(parse_bench_args(&args(&["--iters", "0"]))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse_bench_args(&args(&["--accesses", "0"]))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse_bench_args(&args(&["--frmat"]))
+            .unwrap_err()
+            .contains("unknown option"));
     }
 
     #[test]

@@ -14,8 +14,8 @@
 use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::{Report, TableBlock, Value};
-use bandwall_cache_sim::{CacheConfig, CmpSystem, L2Organization};
-use bandwall_trace::{ParsecLikeTrace, TraceSource};
+use bandwall_cache_sim::{CacheConfig, CmpSimConfig, L2Organization};
+use bandwall_trace::ParsecLikeTrace;
 
 const ACCESSES: usize = 400_000;
 
@@ -28,20 +28,27 @@ pub struct Fig14ParsecSharing {
 
 impl Fig14ParsecSharing {
     fn shared_fraction(&self, cores: u16) -> f64 {
-        let mut cmp = CmpSystem::new(
+        let sim = CmpSimConfig {
             cores,
-            CacheConfig::new(512, 64, 2).expect("valid L1"),
-            CacheConfig::new(512 << 10, 64, 8).expect("valid L2"),
-            L2Organization::Shared,
-        );
+            l1: CacheConfig::new(512, 64, 2).expect("valid L1"),
+            l2: CacheConfig::new(512 << 10, 64, 8).expect("valid L2"),
+            organization: L2Organization::Shared,
+            flush: false,
+        };
         let mut trace = ParsecLikeTrace::builder_with_regions(cores, 4000, 1500)
             .shared_access_fraction(0.4)
             .seed(self.seed)
             .build();
-        for access in trace.iter().take(ACCESSES) {
-            cmp.access(access);
-        }
-        cmp.sharing()
+        // The banked parallel engine is bit-identical to the sequential
+        // path, so threading never moves the reported numbers.
+        let threads = std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1);
+        let stats = sim
+            .run_parallel(&mut trace, ACCESSES, threads)
+            .expect("valid geometry");
+        stats
+            .sharing
             .expect("shared L2 tracks sharing")
             .shared_fraction()
     }

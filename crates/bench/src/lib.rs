@@ -14,6 +14,7 @@
 
 pub mod error;
 pub mod experiments;
+pub mod perf;
 pub mod registry;
 pub mod render;
 pub mod report;

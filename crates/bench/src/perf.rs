@@ -1,0 +1,524 @@
+//! `bandwall bench` — wall-clock benchmarking of the simulation kernels.
+//!
+//! Experiments measure *what* the paper's techniques do; this module
+//! measures *how fast* the repository computes it. Each bench group runs
+//! a small set of kernels under warmup/iteration control and reports
+//! nearest-rank median/p10/p90 wall-clock times plus throughput, rendered
+//! through the same [`Report`] machinery as the experiments (ASCII, CSV,
+//! JSON) and snapshotted as machine-readable `BENCH_<group>.json` files.
+//!
+//! Groups:
+//!
+//! * `sim_engine` — the Figure 14 CMP simulation: trace generation,
+//!   sequential simulation, and the banked parallel engine at 2/4/8
+//!   threads with speedup vs the sequential median. On a multi-core
+//!   host the parallel rows scale with the bank count; on a single
+//!   hardware thread they measure the engine's overhead (the snapshot
+//!   records `host_parallelism` so readers can tell which).
+//! * `compress` — every cache-line compression engine over an identical
+//!   deterministic stream of commercial-profile lines.
+//! * `experiments` — end-to-end registry experiment runs (one analytic,
+//!   one simulator-backed).
+//!
+//! All kernels are deterministic (fixed seeds), so run-to-run variance
+//! comes from the machine, not the workload.
+
+use crate::registry;
+use crate::report::{Report, TableBlock, Value};
+use bandwall_cache_sim::{CacheConfig, CmpSimConfig, L2Organization};
+use bandwall_compress::{Bdi, BestOf, Compressor, Fpc, ZeroRle};
+use bandwall_trace::values::{LineValueGenerator, ValueProfile};
+use bandwall_trace::{materialize, ParsecLikeTrace};
+use std::time::Instant;
+
+/// The bench groups, in presentation order.
+pub const GROUPS: [&str; 3] = ["sim_engine", "compress", "experiments"];
+
+/// Snapshot schema identifier, bumped on any incompatible change.
+pub const SNAPSHOT_SCHEMA: &str = "bandwall-bench/1";
+
+/// Warmup/iteration/workload-size control for one bench run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchOptions {
+    /// Untimed runs before sampling starts.
+    pub warmup: usize,
+    /// Timed samples per kernel.
+    pub iters: usize,
+    /// Simulated accesses per sample (the `sim_engine` workload size;
+    /// `compress` derives its line count from this).
+    pub accesses: usize,
+}
+
+impl BenchOptions {
+    /// The default measurement configuration.
+    pub fn standard() -> Self {
+        BenchOptions {
+            warmup: 1,
+            iters: 5,
+            accesses: 400_000,
+        }
+    }
+
+    /// A CI-friendly smoke configuration (seconds, not minutes).
+    pub fn quick() -> Self {
+        BenchOptions {
+            warmup: 1,
+            iters: 3,
+            accesses: 60_000,
+        }
+    }
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions::standard()
+    }
+}
+
+/// Timing samples and throughput for one kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Stable kernel id (snake_case).
+    pub id: String,
+    /// Human-readable kernel description.
+    pub title: String,
+    /// Worker threads the kernel requested (1 for sequential kernels).
+    pub threads: usize,
+    /// Items processed per sample, for throughput (`unit`s per second).
+    pub items: u64,
+    /// Throughput unit (`"accesses"`, `"lines"`, `"runs"`).
+    pub unit: &'static str,
+    /// Median sequential time / median of this kernel, when the kernel
+    /// has a sequential baseline in the same group.
+    pub speedup_vs_sequential: Option<f64>,
+    samples_ns: Vec<u64>,
+}
+
+impl BenchResult {
+    fn from_samples(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        threads: usize,
+        items: u64,
+        unit: &'static str,
+        mut samples_ns: Vec<u64>,
+    ) -> Self {
+        samples_ns.sort_unstable();
+        BenchResult {
+            id: id.into(),
+            title: title.into(),
+            threads,
+            items,
+            unit,
+            speedup_vs_sequential: None,
+            samples_ns,
+        }
+    }
+
+    /// Nearest-rank percentile of the samples (`p` in 0..=100).
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        let n = self.samples_ns.len();
+        assert!(n > 0, "no samples");
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        self.samples_ns[rank.clamp(1, n) - 1]
+    }
+
+    /// Median sample.
+    pub fn median_ns(&self) -> u64 {
+        self.percentile_ns(50.0)
+    }
+
+    /// 10th-percentile sample (best-case-ish).
+    pub fn p10_ns(&self) -> u64 {
+        self.percentile_ns(10.0)
+    }
+
+    /// 90th-percentile sample (worst-case-ish).
+    pub fn p90_ns(&self) -> u64 {
+        self.percentile_ns(90.0)
+    }
+
+    /// Items per second at the median sample.
+    pub fn items_per_sec(&self) -> f64 {
+        let median = self.median_ns();
+        if median == 0 {
+            0.0
+        } else {
+            self.items as f64 * 1e9 / median as f64
+        }
+    }
+}
+
+/// One bench group's complete measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchGroup {
+    /// Group name (one of [`GROUPS`]).
+    pub group: String,
+    /// The options the group ran under.
+    pub options: BenchOptions,
+    /// `std::thread::available_parallelism()` on the measuring host —
+    /// readers need it to interpret the parallel rows.
+    pub host_parallelism: usize,
+    /// Kernel results, in a stable order.
+    pub results: Vec<BenchResult>,
+}
+
+/// Times `iters` samples of `kernel` after `warmup` untimed runs.
+fn time_samples<F: FnMut()>(options: &BenchOptions, mut kernel: F) -> Vec<u64> {
+    for _ in 0..options.warmup {
+        kernel();
+    }
+    (0..options.iters.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            kernel();
+            start.elapsed().as_nanos() as u64
+        })
+        .collect()
+}
+
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1)
+}
+
+/// Runs one bench group by name.
+///
+/// # Errors
+///
+/// Returns an error string for an unknown group name (see [`GROUPS`]).
+pub fn run_group(name: &str, options: &BenchOptions) -> Result<BenchGroup, String> {
+    let results = match name {
+        "sim_engine" => sim_engine_results(options),
+        "compress" => compress_results(options),
+        "experiments" => experiment_results(options),
+        other => {
+            return Err(format!(
+                "unknown bench group '{other}' (see `bandwall bench --list`)"
+            ))
+        }
+    };
+    Ok(BenchGroup {
+        group: name.to_string(),
+        options: *options,
+        host_parallelism: host_parallelism(),
+        results,
+    })
+}
+
+/// The Figure 14 CMP geometry the `sim_engine` group measures.
+fn fig14_sim() -> CmpSimConfig {
+    CmpSimConfig {
+        cores: 4,
+        l1: CacheConfig::new(512, 64, 2).expect("valid L1"),
+        l2: CacheConfig::new(512 << 10, 64, 8).expect("valid L2"),
+        organization: L2Organization::Shared,
+        flush: false,
+    }
+}
+
+fn fig14_trace() -> ParsecLikeTrace {
+    ParsecLikeTrace::builder_with_regions(4, 4000, 1500)
+        .shared_access_fraction(0.4)
+        .seed(2026)
+        .build()
+}
+
+fn sim_engine_results(options: &BenchOptions) -> Vec<BenchResult> {
+    let sim = fig14_sim();
+    let accesses = options.accesses;
+    let mut results = vec![BenchResult::from_samples(
+        "fig14_trace_gen",
+        "PARSEC-like trace generation",
+        1,
+        accesses as u64,
+        "accesses",
+        time_samples(options, || {
+            let mut trace = fig14_trace();
+            std::hint::black_box(materialize(&mut trace, accesses));
+        }),
+    )];
+    results.push(BenchResult::from_samples(
+        "fig14_sim_seq",
+        "Figure 14 CMP simulation, sequential",
+        1,
+        accesses as u64,
+        "accesses",
+        time_samples(options, || {
+            let mut trace = fig14_trace();
+            std::hint::black_box(sim.run_sequential(&mut trace, accesses).expect("valid"));
+        }),
+    ));
+    let seq_median = results[1].median_ns();
+    for threads in [2usize, 4, 8] {
+        let mut r = BenchResult::from_samples(
+            format!("fig14_sim_par{threads}"),
+            format!(
+                "Figure 14 CMP simulation, banked parallel ({} banks)",
+                sim.bank_count(threads)
+            ),
+            threads,
+            accesses as u64,
+            "accesses",
+            time_samples(options, || {
+                let mut trace = fig14_trace();
+                std::hint::black_box(
+                    sim.run_parallel(&mut trace, accesses, threads)
+                        .expect("valid"),
+                );
+            }),
+        );
+        let median = r.median_ns();
+        if median > 0 {
+            r.speedup_vs_sequential = Some(seq_median as f64 / median as f64);
+        }
+        results.push(r);
+    }
+    results
+}
+
+fn compress_results(options: &BenchOptions) -> Vec<BenchResult> {
+    // One deterministic commercial-profile line stream shared by every
+    // engine, sized off the access budget (64 accesses per line keeps
+    // quick mode under a thousand lines).
+    let line_count = (options.accesses / 64).max(64);
+    let generator = LineValueGenerator::new(ValueProfile::commercial(), 77);
+    let lines: Vec<Vec<u8>> = (0..line_count as u64)
+        .map(|i| generator.line_bytes(i, 64))
+        .collect();
+    let engines: Vec<(&str, Box<dyn Compressor>)> = vec![
+        ("compress_fpc", Box::new(Fpc::new())),
+        ("compress_bdi", Box::new(Bdi::new())),
+        ("compress_zero_rle", Box::new(ZeroRle::new())),
+        ("compress_best_of", Box::new(BestOf::standard())),
+    ];
+    engines
+        .into_iter()
+        .map(|(id, engine)| {
+            BenchResult::from_samples(
+                id,
+                format!(
+                    "{} over {line_count} commercial-profile lines",
+                    engine.name()
+                ),
+                1,
+                line_count as u64,
+                "lines",
+                time_samples(options, || {
+                    for line in &lines {
+                        std::hint::black_box(engine.compress(line));
+                    }
+                }),
+            )
+        })
+        .collect()
+}
+
+fn experiment_results(options: &BenchOptions) -> Vec<BenchResult> {
+    ["fig02_traffic_vs_cores", "fig14_parsec_sharing"]
+        .into_iter()
+        .map(|id| {
+            BenchResult::from_samples(
+                format!("experiment_{id}"),
+                format!("registry experiment {id}, end to end"),
+                1,
+                1,
+                "runs",
+                time_samples(options, || {
+                    let report = registry::find(id)
+                        .unwrap_or_else(|| panic!("{id} in registry"))
+                        .run_to_report();
+                    assert!(!report.is_failure(), "{id} failed while being timed");
+                    std::hint::black_box(report);
+                }),
+            )
+        })
+        .collect()
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e6)
+}
+
+fn fmt_throughput(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+impl BenchGroup {
+    /// Renders the group through the standard report machinery, so
+    /// `--format ascii|csv|json` all work unchanged.
+    pub fn to_report(&self) -> Report {
+        let mut report = Report::new(
+            format!("bench_{}", self.group),
+            "Bench",
+            format!("wall-clock benchmarks: {}", self.group),
+        );
+        report.note(format!(
+            "warmup {} + {} iters, {} accesses, host parallelism {}",
+            self.options.warmup, self.options.iters, self.options.accesses, self.host_parallelism,
+        ));
+        report.blank();
+        let mut table = TableBlock::new(&[
+            "kernel",
+            "threads",
+            "median ms",
+            "p10 ms",
+            "p90 ms",
+            "throughput/s",
+            "speedup",
+        ]);
+        for r in &self.results {
+            table.push_row(vec![
+                Value::text(&r.id),
+                Value::int(r.threads as u64),
+                Value::fmt(fmt_ms(r.median_ns()), r.median_ns() as f64 / 1e6),
+                Value::fmt(fmt_ms(r.p10_ns()), r.p10_ns() as f64 / 1e6),
+                Value::fmt(fmt_ms(r.p90_ns()), r.p90_ns() as f64 / 1e6),
+                Value::fmt(fmt_throughput(r.items_per_sec()), r.items_per_sec()),
+                match r.speedup_vs_sequential {
+                    Some(s) => Value::fmt(format!("{s:.2}x"), s),
+                    None => Value::empty(),
+                },
+            ]);
+            report.metric(format!("{}_median_ns", r.id), r.median_ns() as f64, None);
+        }
+        report.table(table);
+        report
+    }
+
+    /// The machine-readable snapshot (schema [`SNAPSHOT_SCHEMA`]), one
+    /// JSON object per group, deterministic key order.
+    pub fn snapshot_json(&self) -> String {
+        let mut out = format!(
+            "{{\"schema\":\"{}\",\"group\":\"{}\",\"warmup\":{},\"iters\":{},\
+             \"accesses\":{},\"host_parallelism\":{},\"results\":[",
+            SNAPSHOT_SCHEMA,
+            self.group,
+            self.options.warmup,
+            self.options.iters,
+            self.options.accesses,
+            self.host_parallelism,
+        );
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"id\":\"{}\",\"title\":\"{}\",\"threads\":{},\"median_ns\":{},\
+                 \"p10_ns\":{},\"p90_ns\":{},\"unit\":\"{}\",\"items_per_sec\":{:.1},\
+                 \"speedup_vs_sequential\":{}}}",
+                r.id,
+                r.title,
+                r.threads,
+                r.median_ns(),
+                r.p10_ns(),
+                r.p90_ns(),
+                r.unit,
+                r.items_per_sec(),
+                r.speedup_vs_sequential
+                    .map(|s| format!("{s:.3}"))
+                    .unwrap_or_else(|| "null".to_string()),
+            ));
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// The snapshot's conventional file name.
+    pub fn snapshot_filename(&self) -> String {
+        format!("BENCH_{}.json", self.group)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BenchOptions {
+        BenchOptions {
+            warmup: 0,
+            iters: 3,
+            accesses: 2_000,
+        }
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let r = BenchResult::from_samples("k", "t", 1, 10, "items", vec![30, 10, 20, 50, 40]);
+        assert_eq!(r.p10_ns(), 10);
+        assert_eq!(r.median_ns(), 30);
+        assert_eq!(r.p90_ns(), 50);
+        let single = BenchResult::from_samples("k", "t", 1, 10, "items", vec![7]);
+        assert_eq!(single.median_ns(), 7);
+        assert_eq!(single.p10_ns(), 7);
+        assert_eq!(single.p90_ns(), 7);
+    }
+
+    #[test]
+    fn throughput_uses_the_median() {
+        let r = BenchResult::from_samples("k", "t", 1, 1_000, "items", vec![1_000_000]);
+        // 1000 items in 1 ms = 1M items/s.
+        assert!((r.items_per_sec() - 1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn unknown_group_is_an_error() {
+        assert!(run_group("nope", &tiny()).is_err());
+    }
+
+    #[test]
+    fn sim_engine_group_has_sequential_baseline_and_speedups() {
+        let g = run_group("sim_engine", &tiny()).unwrap();
+        assert_eq!(g.group, "sim_engine");
+        let ids: Vec<&str> = g.results.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            [
+                "fig14_trace_gen",
+                "fig14_sim_seq",
+                "fig14_sim_par2",
+                "fig14_sim_par4",
+                "fig14_sim_par8"
+            ]
+        );
+        for r in &g.results {
+            assert!(r.median_ns() > 0, "{}", r.id);
+            let has_speedup = r.id.contains("_par");
+            assert_eq!(r.speedup_vs_sequential.is_some(), has_speedup, "{}", r.id);
+        }
+    }
+
+    #[test]
+    fn compress_group_covers_every_engine() {
+        let g = run_group("compress", &tiny()).unwrap();
+        assert_eq!(g.results.len(), 4);
+        for r in &g.results {
+            assert_eq!(r.unit, "lines");
+            assert!(r.items_per_sec() > 0.0, "{}", r.id);
+        }
+    }
+
+    #[test]
+    fn report_and_snapshot_render() {
+        let g = run_group("compress", &tiny()).unwrap();
+        let report = g.to_report();
+        assert_eq!(report.id, "bench_compress");
+        assert!(report.to_ascii().contains("median ms"));
+        assert!(!report.to_json().is_empty());
+
+        let snap = g.snapshot_json();
+        assert!(snap.starts_with("{\"schema\":\"bandwall-bench/1\""));
+        assert!(snap.contains("\"group\":\"compress\""));
+        assert!(snap.contains("\"host_parallelism\":"));
+        assert!(snap.ends_with("]}\n"));
+        assert_eq!(snap.matches('{').count(), snap.matches('}').count());
+        assert_eq!(g.snapshot_filename(), "BENCH_compress.json");
+    }
+}

@@ -122,6 +122,29 @@ fn every_report_has_id_matching_registry_and_renders() {
 }
 
 #[test]
+fn all_registry_reports_are_byte_stable_and_well_formed() {
+    // Full-coverage stability sweep: every one of the 29 registry
+    // experiments — simulator-backed ones included — must succeed and
+    // render byte-identical JSON across two fresh registry instances.
+    // This is the blanket determinism guarantee the narrower golden
+    // tests anchor with specific values.
+    let first = registry();
+    let second = registry();
+    assert_eq!(first.len(), second.len());
+    for (a, b) in first.iter().zip(&second) {
+        let id = a.id();
+        let ra = a.run().unwrap_or_else(|e| panic!("{id} failed: {e}"));
+        let rb = b.run().unwrap_or_else(|e| panic!("{id} failed: {e}"));
+        let json = ra.to_json();
+        assert_eq!(json, rb.to_json(), "{id} JSON not byte-stable");
+        assert!(json.starts_with(&format!("{{\"id\":\"{id}\"")), "{id}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count(), "{id}");
+        assert_eq!(json.matches('[').count(), json.matches(']').count(), "{id}");
+        assert!(!ra.is_failure(), "{id}");
+    }
+}
+
+#[test]
 fn seeded_registry_changes_simulator_seeds_only() {
     // With an explicit seed the analytic experiments are unchanged,
     // while seeded experiments still run and produce the same shape.

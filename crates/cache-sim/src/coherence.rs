@@ -51,6 +51,13 @@ impl CoherenceStats {
     pub fn coherence_misses(&self) -> u64 {
         self.coherence_misses
     }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &CoherenceStats) {
+        self.invalidations += other.invalidations;
+        self.cache_to_cache += other.cache_to_cache;
+        self.coherence_misses += other.coherence_misses;
+    }
 }
 
 /// A CMP of private coherent caches under a full-map MSI directory.

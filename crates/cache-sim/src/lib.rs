@@ -14,6 +14,9 @@
 //! * [`SectoredCache`] — sector-granularity fetching (Section 6.2).
 //! * [`CompressedCache`] — byte-budget sets over any
 //!   `bandwall_compress::Compressor` (Section 6.1).
+//! * [`CmpSimConfig`] / [`CoherentSimConfig`] — bank-partitioned parallel
+//!   simulation whose merged statistics are bit-identical to a
+//!   sequential run.
 //!
 //! # Example
 //!
@@ -44,6 +47,7 @@ mod config;
 mod footprint;
 mod hierarchy;
 mod memory;
+mod parallel;
 mod sectored;
 mod stats;
 
@@ -55,5 +59,6 @@ pub use config::{CacheConfig, ConfigError, ReplacementPolicy};
 pub use footprint::PredictiveSectoredCache;
 pub use hierarchy::{InclusionPolicy, TwoLevelHierarchy};
 pub use memory::{simulate_throughput, DramChannel, ThroughputSimConfig, ThroughputSimResult};
+pub use parallel::{CmpSimConfig, CmpSimStats, CoherentSimConfig, CoherentSimStats};
 pub use sectored::SectoredCache;
 pub use stats::{CacheStats, MemoryTraffic, SharingStats, WordUsageStats};

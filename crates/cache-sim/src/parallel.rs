@@ -1,0 +1,484 @@
+//! Bank-partitioned parallel simulation with bit-identical statistics.
+//!
+//! Trace-driven simulation is serial by nature: every access mutates
+//! cache state the next access may depend on. But a set-associative cache
+//! decomposes exactly by *set* — replacement (LRU, FIFO, tree-PLRU) only
+//! compares lines within one set, cold-miss classification is per line,
+//! and every counter is an additive `u64`. Partitioning the *address
+//! space* by line (`line % banks`) therefore partitions the caches into
+//! independent banks, exactly like the address-interleaved banks of real
+//! hardware: each worker simulates its bank's subsequence of the shared
+//! trace on a private copy of the system, and the merged counters equal a
+//! sequential run bit for bit — not approximately, identically.
+//!
+//! The partition is sound when every state transition an access triggers
+//! stays inside its own bank:
+//!
+//! * **Set residue.** With `banks` dividing the set count, lines with
+//!   equal residue `line % banks` map to sets with that same residue, so
+//!   banks touch disjoint sets and the intra-set replacement order each
+//!   bank observes is the same subsequence it would observe sequentially.
+//! * **Victim locality.** An evicted victim shares its set with the
+//!   incoming line, hence shares its residue — L1 dirty victims written
+//!   through to the L2, directory updates, and invalidations all land in
+//!   the bank that produced them (this needs L1 and L2 line sizes to be
+//!   equal, which the engine checks).
+//! * **Additive counters.** Hits, misses, evictions, write-backs, traffic
+//!   bytes, sharer counts, and coherence events sum across banks in any
+//!   fixed order; the engine merges in bank order for determinism.
+//!
+//! Two configurations cannot be partitioned and deterministically fall
+//! back to one bank (sequential execution): [`ReplacementPolicy::Random`]
+//! draws victims from a single per-cache RNG stream whose consumption
+//! order depends on the interleaving, and mismatched L1/L2 line sizes
+//! break victim locality.
+//!
+//! Trace generation stays sequential — generators like
+//! `ParsecLikeTrace` carry cross-thread state (echo queues), so the
+//! calling thread produces the exact sequential stream in chunks (see
+//! `bandwall_trace::TraceChunks`) and broadcasts each chunk to all
+//! workers over bounded channels; each worker filters out its bank's
+//! subsequence. Generation is cheap relative to simulation, so the
+//! pipeline scales with the slowest bank.
+//!
+//! # Examples
+//!
+//! ```
+//! use bandwall_cache_sim::{CacheConfig, CmpSimConfig, L2Organization};
+//! use bandwall_trace::ParsecLikeTrace;
+//!
+//! let sim = CmpSimConfig {
+//!     cores: 4,
+//!     l1: CacheConfig::new(512, 64, 2)?,
+//!     l2: CacheConfig::new(64 << 10, 64, 8)?,
+//!     organization: L2Organization::Shared,
+//!     flush: false,
+//! };
+//! let trace = || ParsecLikeTrace::builder(4).seed(9).build();
+//! let seq = sim.run_sequential(&mut trace(), 20_000)?;
+//! let par = sim.run_parallel(&mut trace(), 20_000, 4)?;
+//! assert_eq!(seq, par); // bit-identical, not approximate
+//! # Ok::<(), bandwall_cache_sim::ConfigError>(())
+//! ```
+
+use crate::cmp::{CmpSystem, L2Organization};
+use crate::coherence::{CoherenceStats, CoherentCmp};
+use crate::config::{CacheConfig, ConfigError, ReplacementPolicy};
+use crate::stats::{CacheStats, MemoryTraffic, SharingStats};
+use bandwall_trace::{MemoryAccess, TraceChunks, TraceSource};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+
+/// Accesses per generated chunk: large enough to amortise channel
+/// traffic, small enough to keep workers fed.
+const CHUNK_LEN: usize = 8192;
+
+/// Chunks buffered per worker channel before the generator blocks.
+const CHANNEL_DEPTH: usize = 4;
+
+/// Largest power of two ≤ `threads` that divides `sets` (a power of two).
+fn pow2_banks(sets: u64, threads: usize) -> usize {
+    let mut banks = 1usize;
+    while banks * 2 <= threads && sets.is_multiple_of(banks as u64 * 2) {
+        banks *= 2;
+    }
+    banks
+}
+
+/// A complete CMP simulation: geometry plus run policy.
+///
+/// [`CmpSimConfig::run_sequential`] and [`CmpSimConfig::run_parallel`]
+/// produce bit-identical [`CmpSimStats`] for the same trace; the parallel
+/// path shards the system into address-interleaved banks (see the module
+/// docs for the argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CmpSimConfig {
+    /// Number of cores (one L1 each).
+    pub cores: u16,
+    /// Per-core L1 geometry.
+    pub l1: CacheConfig,
+    /// L2 geometry (the one shared cache, or each private L2).
+    pub l2: CacheConfig,
+    /// Shared or private L2s.
+    pub organization: L2Organization,
+    /// Drain the hierarchy after the trace, accounting final write-backs.
+    pub flush: bool,
+}
+
+/// Merged statistics of one CMP simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CmpSimStats {
+    /// L1 counters summed across cores.
+    pub l1: CacheStats,
+    /// L2 counters (shared cache, or summed private L2s).
+    pub l2: CacheStats,
+    /// Off-chip traffic.
+    pub traffic: MemoryTraffic,
+    /// Sharer tracking of the shared L2 (`None` for private L2s).
+    pub sharing: Option<SharingStats>,
+}
+
+impl CmpSimConfig {
+    /// Number of banks a parallel run would use at this thread count: the
+    /// largest power of two ≤ `threads` dividing both set counts, or 1
+    /// when the configuration cannot be partitioned (random replacement,
+    /// or L1/L2 line sizes differ).
+    pub fn bank_count(&self, threads: usize) -> usize {
+        let partitionable = self.l1.policy() != ReplacementPolicy::Random
+            && self.l2.policy() != ReplacementPolicy::Random
+            && self.l1.line_size() == self.l2.line_size();
+        if !partitionable {
+            return 1;
+        }
+        let sets = self.l1.sets().min(self.l2.sets());
+        pow2_banks(sets, threads.max(1))
+    }
+
+    fn build(&self) -> Result<CmpSystem, ConfigError> {
+        CmpSystem::try_new(self.cores, self.l1, self.l2, self.organization)
+    }
+
+    fn collect(&self, mut system: CmpSystem) -> CmpSimStats {
+        if self.flush {
+            system.flush();
+        }
+        CmpSimStats {
+            l1: system.l1_stats(),
+            l2: system.l2_stats(),
+            traffic: *system.memory_traffic(),
+            sharing: system.sharing().copied(),
+        }
+    }
+
+    /// Runs the first `accesses` of `trace` on one thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the geometry is invalid (zero cores).
+    pub fn run_sequential<T: TraceSource>(
+        &self,
+        trace: &mut T,
+        accesses: usize,
+    ) -> Result<CmpSimStats, ConfigError> {
+        let mut system = self.build()?;
+        for a in trace.iter().take(accesses) {
+            system.access(a);
+        }
+        Ok(self.collect(system))
+    }
+
+    /// Runs the first `accesses` of `trace` on up to `threads` bank
+    /// workers, returning statistics bit-identical to
+    /// [`CmpSimConfig::run_sequential`].
+    ///
+    /// The trace is generated sequentially on the calling thread and
+    /// broadcast in chunks; each worker simulates the address bank
+    /// `line % banks == b` on a private copy of the system. Falls back to
+    /// the sequential path when [`CmpSimConfig::bank_count`] is 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the geometry is invalid (zero cores).
+    pub fn run_parallel<T: TraceSource>(
+        &self,
+        trace: &mut T,
+        accesses: usize,
+        threads: usize,
+    ) -> Result<CmpSimStats, ConfigError> {
+        let banks = self.bank_count(threads);
+        if banks == 1 {
+            return self.run_sequential(trace, accesses);
+        }
+        self.build()?; // surface geometry errors before spawning
+        let line_size = self.l1.line_size();
+        let per_bank = run_banked(trace, accesses, banks, line_size, |bank_accesses| {
+            let mut system = self.build().expect("validated above");
+            for a in bank_accesses {
+                system.access(a);
+            }
+            self.collect(system)
+        });
+        let mut merged = per_bank[0];
+        for bank in &per_bank[1..] {
+            merged.l1.merge(&bank.l1);
+            merged.l2.merge(&bank.l2);
+            merged.traffic.merge(&bank.traffic);
+            if let (Some(m), Some(s)) = (merged.sharing.as_mut(), bank.sharing.as_ref()) {
+                m.merge(s);
+            }
+        }
+        Ok(merged)
+    }
+}
+
+/// A coherent private-cache CMP simulation: geometry plus run policy.
+///
+/// The directory-MSI analogue of [`CmpSimConfig`], with the same
+/// bit-identical sequential/parallel contract: the directory, the
+/// lost-line map, and every invalidation or transfer an access triggers
+/// are keyed by the accessed line, so they stay inside its bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoherentSimConfig {
+    /// Number of cores (one private cache each, max 64).
+    pub cores: u16,
+    /// Per-core cache geometry.
+    pub cache: CacheConfig,
+    /// Drain all caches after the trace, accounting final write-backs.
+    pub flush: bool,
+}
+
+/// Merged statistics of one coherent-CMP simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoherentSimStats {
+    /// Cache counters summed across cores.
+    pub cache: CacheStats,
+    /// Off-chip traffic (cache-to-cache transfers stay on chip).
+    pub traffic: MemoryTraffic,
+    /// Coherence event counters.
+    pub coherence: CoherenceStats,
+}
+
+impl CoherentSimConfig {
+    /// Number of banks a parallel run would use at this thread count (1
+    /// when the replacement policy is random).
+    pub fn bank_count(&self, threads: usize) -> usize {
+        if self.cache.policy() == ReplacementPolicy::Random {
+            return 1;
+        }
+        pow2_banks(self.cache.sets(), threads.max(1))
+    }
+
+    fn build(&self) -> Result<CoherentCmp, ConfigError> {
+        CoherentCmp::try_new(self.cores, self.cache)
+    }
+
+    fn collect(&self, mut system: CoherentCmp) -> CoherentSimStats {
+        if self.flush {
+            system.flush();
+        }
+        CoherentSimStats {
+            cache: system.cache_stats(),
+            traffic: *system.memory_traffic(),
+            coherence: *system.coherence(),
+        }
+    }
+
+    /// Runs the first `accesses` of `trace` on one thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when `cores` is 0 or exceeds 64.
+    pub fn run_sequential<T: TraceSource>(
+        &self,
+        trace: &mut T,
+        accesses: usize,
+    ) -> Result<CoherentSimStats, ConfigError> {
+        let mut system = self.build()?;
+        for a in trace.iter().take(accesses) {
+            system.access(a);
+        }
+        Ok(self.collect(system))
+    }
+
+    /// Runs the first `accesses` of `trace` on up to `threads` bank
+    /// workers; statistics are bit-identical to
+    /// [`CoherentSimConfig::run_sequential`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when `cores` is 0 or exceeds 64.
+    pub fn run_parallel<T: TraceSource>(
+        &self,
+        trace: &mut T,
+        accesses: usize,
+        threads: usize,
+    ) -> Result<CoherentSimStats, ConfigError> {
+        let banks = self.bank_count(threads);
+        if banks == 1 {
+            return self.run_sequential(trace, accesses);
+        }
+        self.build()?;
+        let line_size = self.cache.line_size();
+        let per_bank = run_banked(trace, accesses, banks, line_size, |bank_accesses| {
+            let mut system = self.build().expect("validated above");
+            for a in bank_accesses {
+                system.access(a);
+            }
+            self.collect(system)
+        });
+        let mut merged = per_bank[0];
+        for bank in &per_bank[1..] {
+            merged.cache.merge(&bank.cache);
+            merged.traffic.merge(&bank.traffic);
+            merged.coherence.merge(&bank.coherence);
+        }
+        Ok(merged)
+    }
+}
+
+/// Generates the trace sequentially on the calling thread, broadcasts
+/// chunks to `banks` scoped workers, and returns each worker's result in
+/// bank order. `simulate` receives the bank's filtered subsequence.
+fn run_banked<T, R, F>(
+    trace: &mut T,
+    accesses: usize,
+    banks: usize,
+    line_size: u64,
+    simulate: F,
+) -> Vec<R>
+where
+    T: TraceSource,
+    R: Send,
+    F: Fn(BankAccesses) -> R + Sync,
+{
+    thread::scope(|scope| {
+        let mut senders = Vec::with_capacity(banks);
+        let mut handles = Vec::with_capacity(banks);
+        for bank in 0..banks {
+            let (tx, rx) = mpsc::sync_channel::<Arc<Vec<MemoryAccess>>>(CHANNEL_DEPTH);
+            senders.push(tx);
+            let simulate = &simulate;
+            handles.push(scope.spawn(move || {
+                simulate(BankAccesses {
+                    rx,
+                    bank: bank as u64,
+                    banks: banks as u64,
+                    line_size,
+                    current: Arc::new(Vec::new()),
+                    pos: 0,
+                })
+            }));
+        }
+        for chunk in TraceChunks::new(trace, accesses, CHUNK_LEN) {
+            let chunk = Arc::new(chunk);
+            for tx in &senders {
+                // A worker only disconnects by panicking; propagate on join.
+                let _ = tx.send(Arc::clone(&chunk));
+            }
+        }
+        drop(senders);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bank worker panicked"))
+            .collect()
+    })
+}
+
+/// Iterator over one bank's subsequence of the broadcast trace stream.
+struct BankAccesses {
+    rx: mpsc::Receiver<Arc<Vec<MemoryAccess>>>,
+    bank: u64,
+    banks: u64,
+    line_size: u64,
+    current: Arc<Vec<MemoryAccess>>,
+    pos: usize,
+}
+
+impl Iterator for BankAccesses {
+    type Item = MemoryAccess;
+
+    fn next(&mut self) -> Option<MemoryAccess> {
+        loop {
+            while self.pos < self.current.len() {
+                let a = self.current[self.pos];
+                self.pos += 1;
+                if (a.address() / self.line_size) % self.banks == self.bank {
+                    return Some(a);
+                }
+            }
+            self.current = self.rx.recv().ok()?;
+            self.pos = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bandwall_trace::ParsecLikeTrace;
+
+    fn shared_config() -> CmpSimConfig {
+        CmpSimConfig {
+            cores: 4,
+            l1: CacheConfig::new(512, 64, 2).unwrap(),
+            l2: CacheConfig::new(64 << 10, 64, 8).unwrap(),
+            organization: L2Organization::Shared,
+            flush: false,
+        }
+    }
+
+    #[test]
+    fn bank_count_respects_geometry_and_policy() {
+        let c = shared_config();
+        // L1 has 4 sets, L2 has 128: gcd limit is 4.
+        assert_eq!(c.bank_count(1), 1);
+        assert_eq!(c.bank_count(2), 2);
+        assert_eq!(c.bank_count(4), 4);
+        assert_eq!(c.bank_count(8), 4);
+        assert_eq!(c.bank_count(0), 1);
+
+        let mut random = c;
+        random.l2 = CacheConfig::new(64 << 10, 64, 8)
+            .unwrap()
+            .with_policy(ReplacementPolicy::Random);
+        assert_eq!(random.bank_count(8), 1);
+
+        let mut mismatched = c;
+        mismatched.l2 = CacheConfig::new(64 << 10, 128, 8).unwrap();
+        assert_eq!(mismatched.bank_count(8), 1);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_shared() {
+        let c = shared_config();
+        let trace = || {
+            ParsecLikeTrace::builder_with_regions(4, 600, 400)
+                .seed(11)
+                .build()
+        };
+        let seq = c.run_sequential(&mut trace(), 30_000).unwrap();
+        for threads in [2, 4, 8] {
+            let par = c.run_parallel(&mut trace(), 30_000, threads).unwrap();
+            assert_eq!(seq, par, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_with_flush() {
+        let mut c = shared_config();
+        c.flush = true;
+        let trace = || ParsecLikeTrace::builder(4).seed(5).build();
+        let seq = c.run_sequential(&mut trace(), 20_000).unwrap();
+        let par = c.run_parallel(&mut trace(), 20_000, 4).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn coherent_parallel_matches_sequential() {
+        let c = CoherentSimConfig {
+            cores: 4,
+            cache: CacheConfig::new(4096, 64, 4).unwrap(),
+            flush: true,
+        };
+        let trace = || {
+            ParsecLikeTrace::builder_with_regions(4, 300, 200)
+                .seed(23)
+                .build()
+        };
+        let seq = c.run_sequential(&mut trace(), 25_000).unwrap();
+        for threads in [2, 4] {
+            let par = c.run_parallel(&mut trace(), 25_000, threads).unwrap();
+            assert_eq!(seq, par, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn invalid_geometry_is_an_error_not_a_panic() {
+        let mut c = shared_config();
+        c.cores = 0;
+        let mut t = ParsecLikeTrace::builder(1).seed(1).build();
+        assert!(c.run_sequential(&mut t, 10).is_err());
+        assert!(c.run_parallel(&mut t, 10, 4).is_err());
+    }
+}

@@ -268,6 +268,12 @@ impl SharingStats {
             self.shared_lines as f64 / self.evicted_lines as f64
         }
     }
+
+    /// Merges another accumulator's counters into this one.
+    pub fn merge(&mut self, other: &SharingStats) {
+        self.evicted_lines += other.evicted_lines;
+        self.shared_lines += other.shared_lines;
+    }
 }
 
 #[cfg(test)]
@@ -345,6 +351,18 @@ mod tests {
         s.record_eviction(1);
         assert_eq!(s.shared_lines(), 2);
         assert_eq!(s.shared_fraction(), 0.5);
+    }
+
+    #[test]
+    fn merge_sharing_stats() {
+        let mut a = SharingStats::new();
+        a.record_eviction(2);
+        let mut b = SharingStats::new();
+        b.record_eviction(1);
+        b.record_eviction(3);
+        a.merge(&b);
+        assert_eq!(a.evicted_lines(), 3);
+        assert_eq!(a.shared_lines(), 2);
     }
 
     #[test]

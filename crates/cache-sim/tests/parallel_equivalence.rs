@@ -1,0 +1,191 @@
+//! Differential tests: the parallel banked engine must reproduce the
+//! sequential simulator *bit for bit* across a grid of configurations,
+//! workloads, seeds, and thread counts — miss counts, cold-miss
+//! classification, eviction and write-back counts, traffic bytes,
+//! sharing fractions, and coherence events all included.
+
+use bandwall_cache_sim::{
+    CacheConfig, CmpSimConfig, CoherentSimConfig, L2Organization, ReplacementPolicy,
+};
+use bandwall_trace::{MixTrace, ParsecLikeTrace, StridedTrace, TraceSource, ZipfTrace};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+const WORKLOADS: usize = 3;
+
+/// The workload grid: entry `index` builds a fresh, identically seeded
+/// trace every call, so sequential and parallel runs see the same stream.
+fn workload(index: usize, cores: u16, seed: u64) -> Box<dyn TraceSource> {
+    match index {
+        0 => Box::new(
+            ParsecLikeTrace::builder_with_regions(cores, 800, 500)
+                .shared_access_fraction(0.4)
+                .seed(seed)
+                .build(),
+        ),
+        1 => Box::new(
+            ParsecLikeTrace::builder(cores)
+                .write_fraction(0.5)
+                .echo_probability(0.3)
+                .seed(seed ^ 0xABCD)
+                .build(),
+        ),
+        _ => Box::new(
+            MixTrace::builder()
+                .component(Box::new(ZipfTrace::builder(4096, 0.9).build()), 2.0)
+                .component(Box::new(StridedTrace::new(1 << 20, 64, 6000)), 1.0)
+                .seed(seed)
+                .build(),
+        ),
+    }
+}
+
+fn run_cmp_grid(config: CmpSimConfig, accesses: usize, seed: u64) {
+    for w in 0..WORKLOADS {
+        let seq = config
+            .run_sequential(&mut workload(w, config.cores, seed), accesses)
+            .expect("valid config");
+        for threads in THREADS {
+            let par = config
+                .run_parallel(&mut workload(w, config.cores, seed), accesses, threads)
+                .expect("valid config");
+            assert_eq!(
+                seq, par,
+                "config {config:?}, workload {w}, seed {seed}, threads {threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn shared_l2_grid_is_bit_identical() {
+    for cores in [1u16, 4] {
+        for seed in [3u64, 41] {
+            let config = CmpSimConfig {
+                cores,
+                l1: CacheConfig::new(1 << 10, 64, 2).unwrap(),
+                l2: CacheConfig::new(128 << 10, 64, 8).unwrap(),
+                organization: L2Organization::Shared,
+                flush: false,
+            };
+            run_cmp_grid(config, 50_000, seed);
+        }
+    }
+}
+
+#[test]
+fn private_l2_grid_is_bit_identical() {
+    let config = CmpSimConfig {
+        cores: 4,
+        l1: CacheConfig::new(512, 64, 2).unwrap(),
+        l2: CacheConfig::new(32 << 10, 64, 4).unwrap(),
+        organization: L2Organization::Private,
+        flush: false,
+    };
+    for seed in [7u64, 19] {
+        run_cmp_grid(config, 50_000, seed);
+    }
+}
+
+#[test]
+fn flush_preserves_equivalence() {
+    // Flushing drains every set; write-heavy traffic makes the final
+    // write-back accounting the interesting part.
+    let config = CmpSimConfig {
+        cores: 8,
+        l1: CacheConfig::new(512, 64, 2).unwrap(),
+        l2: CacheConfig::new(64 << 10, 64, 8).unwrap(),
+        organization: L2Organization::Shared,
+        flush: true,
+    };
+    run_cmp_grid(config, 40_000, 13);
+}
+
+#[test]
+fn replacement_policies_stay_equivalent() {
+    for policy in [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::TreePlru,
+    ] {
+        let config = CmpSimConfig {
+            cores: 4,
+            l1: CacheConfig::new(1 << 10, 64, 4)
+                .unwrap()
+                .with_policy(policy),
+            l2: CacheConfig::new(32 << 10, 64, 8)
+                .unwrap()
+                .with_policy(policy),
+            organization: L2Organization::Shared,
+            flush: false,
+        };
+        run_cmp_grid(config, 40_000, 29);
+    }
+}
+
+#[test]
+fn random_policy_falls_back_to_sequential_and_stays_deterministic() {
+    let config = CmpSimConfig {
+        cores: 4,
+        l1: CacheConfig::new(1 << 10, 64, 4)
+            .unwrap()
+            .with_policy(ReplacementPolicy::Random)
+            .with_policy_seed(5),
+        l2: CacheConfig::new(32 << 10, 64, 8)
+            .unwrap()
+            .with_policy(ReplacementPolicy::Random)
+            .with_policy_seed(6),
+        organization: L2Organization::Shared,
+        flush: false,
+    };
+    assert_eq!(config.bank_count(8), 1);
+    // The fallback still honours the bit-identical contract.
+    run_cmp_grid(config, 30_000, 57);
+}
+
+#[test]
+fn coherent_cmp_grid_is_bit_identical() {
+    for (cores, seed) in [(2u16, 5u64), (4, 17), (8, 31)] {
+        for flush in [false, true] {
+            let config = CoherentSimConfig {
+                cores,
+                cache: CacheConfig::new(8 << 10, 64, 4).unwrap(),
+                flush,
+            };
+            let fresh = || {
+                ParsecLikeTrace::builder_with_regions(cores, 400, 300)
+                    .shared_access_fraction(0.5)
+                    .write_fraction(0.4)
+                    .seed(seed)
+                    .build()
+            };
+            let seq = config.run_sequential(&mut fresh(), 50_000).unwrap();
+            for threads in THREADS {
+                let par = config.run_parallel(&mut fresh(), 50_000, threads).unwrap();
+                assert_eq!(seq, par, "cores {cores}, flush {flush}, threads {threads}");
+            }
+            // Coherence traffic must actually be exercised for this test
+            // to mean anything.
+            if cores > 1 {
+                assert!(seq.coherence.invalidations() > 0, "cores {cores}");
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_runs_are_repeatable() {
+    // Same config + trace + thread count twice: thread scheduling must
+    // never leak into the statistics.
+    let config = CmpSimConfig {
+        cores: 4,
+        l1: CacheConfig::new(1 << 10, 64, 2).unwrap(),
+        l2: CacheConfig::new(64 << 10, 64, 8).unwrap(),
+        organization: L2Organization::Shared,
+        flush: true,
+    };
+    let fresh = || ParsecLikeTrace::builder(4).seed(77).build();
+    let a = config.run_parallel(&mut fresh(), 60_000, 4).unwrap();
+    let b = config.run_parallel(&mut fresh(), 60_000, 4).unwrap();
+    assert_eq!(a, b);
+}

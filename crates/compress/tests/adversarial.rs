@@ -1,0 +1,197 @@
+//! Adversarial property tests for the compression engines.
+//!
+//! The seeded property suite (`properties.rs`) samples pattern-biased
+//! random lines; this suite instead constructs *hostile* blocks — the
+//! inputs most likely to break a token-based codec: worst-case
+//! incompressible noise, boundary runs, single-bit deviations from
+//! perfectly compressible lines, and blocks at every supported length.
+//! Every engine must stay lossless and within its size bound on all of
+//! them, and `BestOf` must never do worse than its best member plus the
+//! one-byte selector.
+
+use bandwall_compress::{Bdi, BestOf, Compressor, DictionaryLine, Fpc, LinkCompressor, ZeroRle};
+use bandwall_numerics::Rng;
+
+/// Block lengths every engine supports (multiples of 8 cover BDI's
+/// 8-byte and FPC's 4-byte alignment requirements).
+const LENGTHS: [usize; 4] = [16, 32, 64, 128];
+
+/// The adversarial block family at one length.
+fn adversarial_blocks(len: usize) -> Vec<Vec<u8>> {
+    let mut blocks: Vec<Vec<u8>> = vec![
+        vec![0u8; len],  // all zeros
+        vec![0xFF; len], // all ones
+        (0..len)
+            .map(|i| if i % 2 == 0 { 0xAA } else { 0x55 })
+            .collect(), // alternating
+        (0..len).map(|i| (i % 256) as u8).collect(), // sawtooth
+        (0..len).map(|i| (255 - i % 256) as u8).collect(), // reverse sawtooth
+        // Runs that end exactly at token-length boundaries (ZeroRle
+        // uses 6-bit run lengths: 63/64/65 are the edge).
+        {
+            let mut b = vec![0u8; len];
+            if len > 1 {
+                b[len - 1] = 1;
+            }
+            b
+        },
+        {
+            let mut b = vec![1u8; len];
+            b[0] = 0;
+            b
+        },
+        // Repeating 8-byte word with one flipped bit (defeats "all same"
+        // fast paths while staying near-compressible).
+        {
+            let mut b: Vec<u8> = (0..len / 8)
+                .flat_map(|_| 0x0102_0304_0506_0708u64.to_be_bytes())
+                .collect();
+            b[len / 2] ^= 0x01;
+            b
+        },
+        // Small deltas off a huge base (BDI's target), then one outlier.
+        {
+            let mut b: Vec<u8> = (0..len as u64 / 8)
+                .flat_map(|i| (0xDEAD_BEEF_0000_0000u64 + i).to_be_bytes())
+                .collect();
+            let last = b.len() - 8;
+            b[last..].copy_from_slice(&u64::MAX.to_be_bytes());
+            b
+        },
+    ];
+    // Deterministic incompressible noise, plus single-bit corruptions of
+    // a compressible line at every byte boundary of the first word.
+    let mut rng = Rng::seed_from_u64(0xC0FFEE ^ len as u64);
+    blocks.push((0..len).map(|_| rng.gen_u8()).collect());
+    for bit in 0..8 {
+        let mut b = vec![0u8; len];
+        b[bit] = 1u8 << bit;
+        blocks.push(b);
+    }
+    blocks
+}
+
+fn engines() -> Vec<Box<dyn Compressor>> {
+    vec![
+        Box::new(Fpc::new()),
+        Box::new(Bdi::new()),
+        Box::new(ZeroRle::new()),
+        Box::new(DictionaryLine::new()),
+        Box::new(BestOf::standard()),
+    ]
+}
+
+#[test]
+fn every_engine_round_trips_every_adversarial_block() {
+    for len in LENGTHS {
+        for (i, block) in adversarial_blocks(len).iter().enumerate() {
+            for engine in engines() {
+                let compressed = engine.compress(block);
+                let restored = engine
+                    .decompress(&compressed, block.len())
+                    .unwrap_or_else(|e| panic!("{} block {i} len {len}: {e}", engine.name()));
+                assert_eq!(
+                    &restored,
+                    block,
+                    "{} must be lossless on block {i} len {len}",
+                    engine.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn compressed_sizes_stay_within_worst_case_bounds() {
+    // Worst-case expansion bounds per engine: FPC emits a 3-bit prefix
+    // per 4-byte word (~len/10 overhead rounded up), BDI and Zero-RLE a
+    // small constant header, the dictionary a per-word flag bit, and
+    // BestOf one selector byte over the best member. A generous uniform
+    // bound — original length + 25% + 8 bytes — must hold for them all.
+    for len in LENGTHS {
+        let bound = len + len / 4 + 8;
+        for block in adversarial_blocks(len) {
+            for engine in engines() {
+                let size = engine.compress(&block).len();
+                assert!(
+                    size <= bound,
+                    "{} expanded {len}-byte block to {size} (> {bound})",
+                    engine.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn best_of_never_loses_to_any_member_by_more_than_the_selector() {
+    let best = BestOf::standard();
+    let members: Vec<Box<dyn Compressor>> = vec![
+        Box::new(Fpc::new()),
+        Box::new(Bdi::new()),
+        Box::new(ZeroRle::new()),
+    ];
+    for len in LENGTHS {
+        for block in adversarial_blocks(len) {
+            let best_size = best.compress(&block).len();
+            let min_member = members
+                .iter()
+                .map(|e| e.compress(&block).len())
+                .min()
+                .expect("non-empty member set");
+            assert_eq!(
+                best_size,
+                min_member + 1,
+                "BestOf must equal min member + 1 selector byte (len {len})"
+            );
+        }
+    }
+}
+
+#[test]
+fn link_compressor_wire_sizes_stay_bounded_on_adversarial_streams() {
+    // The stateful link compressor transfers words as 1 flag bit plus
+    // either a 6-bit dictionary index or a 32-bit literal: the wire size
+    // is therefore hard-bounded at 33 bits per word and floored at 7,
+    // whatever the stream history did to the dictionary.
+    for len in [16usize, 64, 128] {
+        let mut link = LinkCompressor::new();
+        for (i, block) in adversarial_blocks(len).iter().enumerate() {
+            let words = block.len() / 4;
+            let bits = link.transfer(block);
+            assert!(
+                bits <= words * 33 && bits >= words * 7,
+                "link block {i} len {len}: {bits} bits outside [{}, {}]",
+                words * 7,
+                words * 33
+            );
+        }
+        // Replaying the final (noise) block now hits the trained
+        // dictionary: every word compresses to 7 bits.
+        let noise = adversarial_blocks(len).remove(9);
+        link.transfer(&noise);
+        assert_eq!(link.transfer(&noise), (noise.len() / 4) * 7);
+    }
+}
+
+#[test]
+fn truncated_streams_error_instead_of_panicking() {
+    // Chopping bytes off a valid compressed stream must surface a typed
+    // error, never a panic or a silent wrong answer.
+    for engine in engines() {
+        let block: Vec<u8> = (0..64).map(|i| (i * 7) as u8).collect();
+        let compressed = engine.compress(&block);
+        for cut in 0..compressed.len().min(8) {
+            // A typed error is the expected outcome; an Ok is only
+            // acceptable if the data is still correct.
+            if let Ok(restored) = engine.decompress(&compressed[..cut], block.len()) {
+                assert_eq!(
+                    restored,
+                    block,
+                    "{} returned Ok on a truncated stream with wrong data",
+                    engine.name()
+                );
+            }
+        }
+    }
+}

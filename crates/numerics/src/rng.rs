@@ -121,6 +121,45 @@ impl Rng {
             slice.swap(i, j);
         }
     }
+
+    /// Advances the state by 2^128 steps, as if [`Rng::next_u64`] had
+    /// been called 2^128 times (the canonical xoshiro256++ jump
+    /// polynomial). Jumping a clone `k` times yields stream `k` of up to
+    /// 2^128 non-overlapping subsequences — the splittable primitive for
+    /// parallel workers that must never share random state.
+    pub fn jump(&mut self) {
+        const JUMP: [u64; 4] = [
+            0x180e_c6d3_3cfd_0aba,
+            0xd5a6_1266_f0c9_392c,
+            0xa958_2618_e03f_c9aa,
+            0x39ab_dc45_29b1_661c,
+        ];
+        let mut acc = [0u64; 4];
+        for word in JUMP {
+            for bit in 0..64 {
+                if word & (1u64 << bit) != 0 {
+                    for (a, s) in acc.iter_mut().zip(&self.s) {
+                        *a ^= s;
+                    }
+                }
+                self.next_u64();
+            }
+        }
+        self.s = acc;
+    }
+
+    /// Returns the `index`-th of up to 2^128 decorrelated streams: a
+    /// clone of this generator jumped forward `index + 1` times. The
+    /// parent is unchanged, so deterministic per-worker generators can be
+    /// split off a single seed.
+    #[must_use]
+    pub fn split(&self, index: u64) -> Rng {
+        let mut stream = self.clone();
+        for _ in 0..=index {
+            stream.jump();
+        }
+        stream
+    }
 }
 
 /// Integer types uniformly samplable from a half-open range.
@@ -262,5 +301,43 @@ mod tests {
     #[should_panic(expected = "empty sample range")]
     fn empty_range_panics() {
         Rng::seed_from_u64(0).gen_range(5..5u64);
+    }
+
+    #[test]
+    fn jump_changes_the_stream_deterministically() {
+        let mut a = Rng::seed_from_u64(11);
+        let mut b = Rng::seed_from_u64(11);
+        a.jump();
+        b.jump();
+        assert_eq!(a.next_u64(), b.next_u64(), "jump must be deterministic");
+        let mut plain = Rng::seed_from_u64(11);
+        assert_ne!(a.next_u64(), plain.next_u64());
+    }
+
+    #[test]
+    fn split_streams_are_decorrelated_and_stable() {
+        let root = Rng::seed_from_u64(5);
+        let mut s0 = root.split(0);
+        let mut s1 = root.split(1);
+        let mut s0_again = root.split(0);
+        let a: Vec<u64> = (0..16).map(|_| s0.next_u64()).collect();
+        let b: Vec<u64> = (0..16).map(|_| s1.next_u64()).collect();
+        let c: Vec<u64> = (0..16).map(|_| s0_again.next_u64()).collect();
+        assert_eq!(a, c, "same index must reproduce the same stream");
+        assert_ne!(a, b, "different indices must diverge");
+        // The parent stream is untouched by splitting.
+        let mut untouched = Rng::seed_from_u64(5);
+        let mut parent = root;
+        assert_eq!(parent.next_u64(), untouched.next_u64());
+    }
+
+    #[test]
+    fn split_one_equals_two_jumps() {
+        let root = Rng::seed_from_u64(9);
+        let mut via_split = root.split(1);
+        let mut via_jumps = root.clone();
+        via_jumps.jump();
+        via_jumps.jump();
+        assert_eq!(via_split.next_u64(), via_jumps.next_u64());
     }
 }

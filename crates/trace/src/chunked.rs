@@ -1,0 +1,152 @@
+//! Deterministic chunked trace generation for parallel consumers.
+//!
+//! The parallel simulation engine wants the trace in fixed-size batches
+//! it can hand to worker threads, while keeping the *stream* — and
+//! therefore every downstream statistic — identical to sequential
+//! generation. [`TraceChunks`] cuts any [`TraceSource`] into chunks whose
+//! concatenation is exactly `trace.iter().take(total)`: the chunk
+//! boundaries are presentation, not semantics.
+//!
+//! For generators that are independent per worker (no cross-thread
+//! state), `bandwall_numerics::Rng::split` provides the complementary
+//! primitive: decorrelated per-worker RNG streams off one seed.
+
+use crate::access::{MemoryAccess, TraceSource};
+
+/// Iterator of fixed-size access chunks drawn from a trace source.
+///
+/// Yields `ceil(total / chunk_len)` chunks; every chunk holds
+/// `chunk_len` accesses except possibly the last. The concatenation of
+/// all chunks equals the first `total` accesses of the source, in order.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_trace::{ParsecLikeTrace, TraceChunks, TraceSource};
+///
+/// let mut chunked = ParsecLikeTrace::builder(4).seed(3).build();
+/// let mut plain = ParsecLikeTrace::builder(4).seed(3).build();
+/// let rejoined: Vec<_> = TraceChunks::new(&mut chunked, 1000, 64).flatten().collect();
+/// let direct: Vec<_> = plain.iter().take(1000).collect();
+/// assert_eq!(rejoined, direct);
+/// ```
+#[derive(Debug)]
+pub struct TraceChunks<'a, T> {
+    source: &'a mut T,
+    remaining: usize,
+    chunk_len: usize,
+}
+
+impl<'a, T: TraceSource> TraceChunks<'a, T> {
+    /// Cuts the first `total` accesses of `source` into chunks of
+    /// `chunk_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len` is zero.
+    pub fn new(source: &'a mut T, total: usize, chunk_len: usize) -> Self {
+        assert!(chunk_len > 0, "chunk length must be non-zero");
+        TraceChunks {
+            source,
+            remaining: total,
+            chunk_len,
+        }
+    }
+
+    /// Accesses not yet emitted.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+}
+
+impl<T: TraceSource> Iterator for TraceChunks<'_, T> {
+    type Item = Vec<MemoryAccess>;
+
+    fn next(&mut self) -> Option<Vec<MemoryAccess>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let len = self.chunk_len.min(self.remaining);
+        self.remaining -= len;
+        let mut chunk = Vec::with_capacity(len);
+        for _ in 0..len {
+            chunk.push(self.source.next_access());
+        }
+        Some(chunk)
+    }
+}
+
+/// Materialises the first `total` accesses of a trace into one vector
+/// (the degenerate single-chunk case, handy for replay benchmarks).
+pub fn materialize<T: TraceSource>(source: &mut T, total: usize) -> Vec<MemoryAccess> {
+    let mut out = Vec::with_capacity(total);
+    for _ in 0..total {
+        out.push(source.next_access());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parsec_like::ParsecLikeTrace;
+    use crate::stack_distance::StackDistanceTrace;
+
+    #[test]
+    fn chunks_rejoin_to_the_sequential_stream() {
+        for chunk_len in [1usize, 7, 64, 1000, 5000] {
+            let mut chunked = ParsecLikeTrace::builder_with_regions(8, 300, 500)
+                .seed(17)
+                .build();
+            let mut plain = ParsecLikeTrace::builder_with_regions(8, 300, 500)
+                .seed(17)
+                .build();
+            let rejoined: Vec<_> = TraceChunks::new(&mut chunked, 3000, chunk_len)
+                .flatten()
+                .collect();
+            let direct: Vec<_> = plain.iter().take(3000).collect();
+            assert_eq!(rejoined, direct, "chunk_len {chunk_len}");
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_cover_exactly_total() {
+        let mut t = StackDistanceTrace::builder(0.5).seed(2).build();
+        let sizes: Vec<usize> = TraceChunks::new(&mut t, 1050, 500)
+            .map(|c| c.len())
+            .collect();
+        assert_eq!(sizes, [500, 500, 50]);
+    }
+
+    #[test]
+    fn zero_total_yields_no_chunks() {
+        let mut t = StackDistanceTrace::builder(0.5).seed(2).build();
+        assert_eq!(TraceChunks::new(&mut t, 0, 64).count(), 0);
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let mut t = StackDistanceTrace::builder(0.5).seed(2).build();
+        let mut chunks = TraceChunks::new(&mut t, 100, 40);
+        assert_eq!(chunks.remaining(), 100);
+        chunks.next();
+        assert_eq!(chunks.remaining(), 60);
+    }
+
+    #[test]
+    fn materialize_matches_iter() {
+        let mut a = StackDistanceTrace::builder(0.6).seed(4).build();
+        let mut b = StackDistanceTrace::builder(0.6).seed(4).build();
+        assert_eq!(
+            materialize(&mut a, 500),
+            b.iter().take(500).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk length must be non-zero")]
+    fn zero_chunk_len_panics() {
+        let mut t = StackDistanceTrace::builder(0.5).seed(2).build();
+        let _ = TraceChunks::new(&mut t, 10, 0);
+    }
+}

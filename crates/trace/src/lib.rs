@@ -20,6 +20,9 @@
 //!   one pass.
 //! * [`values`] — deterministic line *payload* generation for the
 //!   compression studies.
+//! * [`TraceChunks`] / [`materialize`] — deterministic chunked
+//!   generation for parallel consumers: chunk boundaries never change
+//!   the stream.
 //!
 //! Everything is seeded and reproducible: the same seed always produces
 //! the same trace.
@@ -49,6 +52,7 @@
 #![warn(missing_docs)]
 
 mod access;
+mod chunked;
 mod mix;
 mod parsec_like;
 mod pointer_chase;
@@ -61,6 +65,7 @@ mod working_set;
 mod zipf;
 
 pub use access::{AccessKind, MemoryAccess, TraceIter, TraceSource};
+pub use chunked::{materialize, TraceChunks};
 pub use mix::{MixTrace, MixTraceBuilder};
 pub use parsec_like::{ParsecLikeTrace, ParsecLikeTraceBuilder};
 pub use pointer_chase::{PointerChaseTrace, PointerChaseTraceBuilder};
