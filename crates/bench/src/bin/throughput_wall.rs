@@ -1,7 +1,7 @@
 //! Supporting experiment (Section 1) — the throughput plateau behind the
 //! bandwidth wall, shown two independent ways:
 //!
-//! 1. the analytical [`ThroughputModel`]: cores beyond the traffic
+//! 1. the analytical `ThroughputModel`: cores beyond the traffic
 //!    crossover are throttled until their request rate matches the
 //!    envelope;
 //! 2. a closed-loop discrete-event simulation of cores sharing one

@@ -14,7 +14,7 @@
 use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::{Report, TableBlock, Value};
-use bandwall_cache_sim::{CacheConfig, CmpSimConfig, L2Organization};
+use bandwall_cache_sim::{CacheConfig, CmpSimConfig, FillSpec, L2Organization};
 use bandwall_trace::ParsecLikeTrace;
 
 const ACCESSES: usize = 400_000;
@@ -33,6 +33,7 @@ impl Fig14ParsecSharing {
             l1: CacheConfig::new(512, 64, 2).expect("valid L1"),
             l2: CacheConfig::new(512 << 10, 64, 8).expect("valid L2"),
             organization: L2Organization::Shared,
+            l2_fill: FillSpec::FullLine,
             flush: false,
         };
         let mut trace = ParsecLikeTrace::builder_with_regions(cores, 4000, 1500)

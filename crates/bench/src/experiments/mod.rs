@@ -6,6 +6,7 @@
 pub mod ablate_inclusion;
 pub mod ablate_replacement;
 pub mod coherence_study;
+pub mod combo_sim;
 pub mod fault_inject;
 pub mod fig01_power_law;
 pub mod fig02_traffic_vs_cores;
@@ -54,7 +55,7 @@ pub fn all(seed: Option<u64>) -> Vec<Box<dyn Experiment>> {
     // Test-only: BANDWALL_FAULT_INJECT prepends a deliberately failing
     // experiment so the harness's fault isolation can be exercised
     // against the real registry. Absent the variable the registry is
-    // exactly the 29 historical entries.
+    // exactly the 30 registered entries.
     if let Some(fault) = fault_inject::from_env() {
         experiments.push(Box::new(fault));
     }
@@ -93,6 +94,9 @@ pub fn all(seed: Option<u64>) -> Vec<Box<dyn Experiment>> {
         Box::new(validate_compression::ValidateCompression { seed: derive(77) }),
         Box::new(validate_line_size::ValidateLineSize { seed: derive(17) }),
         Box::new(validate_writeback::ValidateWriteback { seed: derive(99) }),
+        // Appended after the 29 historical entries so their derived-seed
+        // sequence (and therefore every historical report) is unchanged.
+        Box::new(combo_sim::ComboSim { seed: derive(47) }),
     ]);
     experiments
 }

@@ -11,10 +11,12 @@
 //!
 //! * `sim_engine` — the Figure 14 CMP simulation: trace generation,
 //!   sequential simulation, and the banked parallel engine at 2/4/8
-//!   threads with speedup vs the sequential median. On a multi-core
-//!   host the parallel rows scale with the bank count; on a single
-//!   hardware thread they measure the engine's overhead (the snapshot
-//!   records `host_parallelism` so readers can tell which).
+//!   threads with speedup vs the sequential median, plus the sectored
+//!   and compressed fills of the unified pipeline (sequential and
+//!   4-thread banked). On a multi-core host the parallel rows scale
+//!   with the bank count; on a single hardware thread they measure the
+//!   engine's overhead (the snapshot records `host_parallelism` so
+//!   readers can tell which).
 //! * `compress` — every cache-line compression engine over an identical
 //!   deterministic stream of commercial-profile lines.
 //! * `experiments` — end-to-end registry experiment runs (one analytic,
@@ -25,7 +27,10 @@
 
 use crate::registry;
 use crate::report::{Report, TableBlock, Value};
-use bandwall_cache_sim::{CacheConfig, CmpSimConfig, L2Organization};
+use bandwall_cache_sim::{
+    CacheConfig, CmpSimConfig, CompressorKind, EngineSimConfig, FillSpec, L2Organization,
+    ProfileKind, ValueSpec,
+};
 use bandwall_compress::{Bdi, BestOf, Compressor, Fpc, ZeroRle};
 use bandwall_trace::values::{LineValueGenerator, ValueProfile};
 use bandwall_trace::{materialize, ParsecLikeTrace};
@@ -214,6 +219,17 @@ fn fig14_sim() -> CmpSimConfig {
         l1: CacheConfig::new(512, 64, 2).expect("valid L1"),
         l2: CacheConfig::new(512 << 10, 64, 8).expect("valid L2"),
         organization: L2Organization::Shared,
+        l2_fill: FillSpec::FullLine,
+        flush: false,
+    }
+}
+
+/// Standalone unified-pipeline geometry the `sim_engine` group tracks for
+/// the sectored and compressed fills (the Figure 14 L2).
+fn engine_sim(fill: FillSpec) -> EngineSimConfig {
+    EngineSimConfig {
+        cache: CacheConfig::new(512 << 10, 64, 8).expect("valid geometry"),
+        fill,
         flush: false,
     }
 }
@@ -267,6 +283,58 @@ fn sim_engine_results(options: &BenchOptions) -> Vec<BenchResult> {
                     sim.run_parallel(&mut trace, accesses, threads)
                         .expect("valid"),
                 );
+            }),
+        );
+        let median = r.median_ns();
+        if median > 0 {
+            r.speedup_vs_sequential = Some(seq_median as f64 / median as f64);
+        }
+        results.push(r);
+    }
+    for (label, fill) in [
+        (
+            "sectored",
+            FillSpec::Sectored {
+                sectors_per_line: 8,
+            },
+        ),
+        (
+            "compressed",
+            FillSpec::Compressed {
+                compressor: CompressorKind::Fpc,
+                values: ValueSpec {
+                    profile: ProfileKind::Commercial,
+                    seed: 2026,
+                },
+            },
+        ),
+    ] {
+        let sim = engine_sim(fill);
+        results.push(BenchResult::from_samples(
+            format!("{label}_sim_seq"),
+            format!("{label} cache simulation, sequential"),
+            1,
+            accesses as u64,
+            "accesses",
+            time_samples(options, || {
+                let mut trace = fig14_trace();
+                std::hint::black_box(sim.run_sequential(&mut trace, accesses));
+            }),
+        ));
+        let seq_median = results.last().expect("just pushed").median_ns();
+        let threads = 4usize;
+        let mut r = BenchResult::from_samples(
+            format!("{label}_sim_par{threads}"),
+            format!(
+                "{label} cache simulation, banked parallel ({} banks)",
+                sim.bank_count(threads)
+            ),
+            threads,
+            accesses as u64,
+            "accesses",
+            time_samples(options, || {
+                let mut trace = fig14_trace();
+                std::hint::black_box(sim.run_parallel(&mut trace, accesses, threads));
             }),
         );
         let median = r.median_ns();
@@ -485,7 +553,11 @@ mod tests {
                 "fig14_sim_seq",
                 "fig14_sim_par2",
                 "fig14_sim_par4",
-                "fig14_sim_par8"
+                "fig14_sim_par8",
+                "sectored_sim_seq",
+                "sectored_sim_par4",
+                "compressed_sim_seq",
+                "compressed_sim_par4"
             ]
         );
         for r in &g.results {

@@ -74,10 +74,11 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_stable() {
         let reg = registry();
-        assert_eq!(reg.len(), 29, "one entry per historical binary");
+        assert_eq!(reg.len(), 30, "29 historical binaries + combo_sim");
         let ids: BTreeSet<&str> = reg.iter().map(|e| e.id()).collect();
         assert_eq!(ids.len(), reg.len(), "ids must be unique");
         for id in [
+            "combo_sim",
             "fig01_power_law",
             "fig16_combinations",
             "validate_writeback",

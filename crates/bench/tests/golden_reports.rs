@@ -66,6 +66,18 @@ fn fig13_required_sharing_matches_paper() {
 }
 
 #[test]
+fn combo_sim_composition_agrees_with_model_algebra() {
+    use bandwall_experiments::experiments::combo_sim::TOLERANCE;
+    let (measured, predicted) = metric("combo_sim", "traffic_ratio_combined");
+    let predicted = predicted.expect("model prediction recorded as the paper value");
+    assert!(measured > 1.0, "composition must save traffic: {measured}");
+    assert!(
+        (measured - predicted).abs() / predicted < TOLERANCE,
+        "combined ratio {measured:.3} vs model product {predicted:.3}"
+    );
+}
+
+#[test]
 fn analytic_reports_are_byte_stable_across_runs() {
     // Two fresh registry instances must render identical JSON for the
     // deterministic (analytic and fixed-seed simulator) experiments.
@@ -123,7 +135,7 @@ fn every_report_has_id_matching_registry_and_renders() {
 
 #[test]
 fn all_registry_reports_are_byte_stable_and_well_formed() {
-    // Full-coverage stability sweep: every one of the 29 registry
+    // Full-coverage stability sweep: every one of the 30 registry
     // experiments — simulator-backed ones included — must succeed and
     // render byte-identical JSON across two fresh registry instances.
     // This is the blanket determinism guarantee the narrower golden

@@ -1,83 +1,16 @@
-//! The set-associative, write-back, write-allocate cache.
+//! The conventional whole-line cache — a thin alias over the unified
+//! access pipeline (`pipeline.rs`), which owns the set/way/replacement
+//! core and the observer stack. The behavioural tests for that core live
+//! here, exercised through the `Cache` alias.
 
+#[cfg(test)]
 use crate::config::{CacheConfig, ReplacementPolicy};
-use crate::stats::{CacheStats, SharingStats, WordUsageStats};
-use bandwall_numerics::Rng;
-use std::collections::HashSet;
-
-/// State of one resident line.
-#[derive(Debug, Clone, Copy)]
-struct LineState {
-    /// Full line address (serves as the tag; the set index is implicit).
-    tag: u64,
-    dirty: bool,
-    last_used: u64,
-    inserted: u64,
-    /// Bitmask of 8-byte words referenced while resident.
-    word_mask: u64,
-    /// Bitmask of cores (clamped to 64) that referenced the line.
-    sharers: u64,
-}
-
-/// One set: ways plus tree-PLRU bits.
-#[derive(Debug, Clone, Default)]
-struct CacheSet {
-    ways: Vec<Option<LineState>>,
-    plru_bits: u64,
-}
-
-/// A line pushed out of the cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct EvictedLine {
-    line_address: u64,
-    dirty: bool,
-    used_words: u32,
-    sharers: u32,
-}
-
-impl EvictedLine {
-    /// The evicted line's address in line units (byte address / line size).
-    pub fn line_address(&self) -> u64 {
-        self.line_address
-    }
-
-    /// Whether the line was dirty (requires a write-back).
-    pub fn dirty(&self) -> bool {
-        self.dirty
-    }
-
-    /// Number of distinct words referenced during residency.
-    pub fn used_words(&self) -> u32 {
-        self.used_words
-    }
-
-    /// Number of distinct cores that referenced the line.
-    pub fn sharers(&self) -> u32 {
-        self.sharers
-    }
-}
-
-/// The outcome of one cache access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct AccessOutcome {
-    hit: bool,
-    evicted: Option<EvictedLine>,
-}
-
-impl AccessOutcome {
-    /// Whether the access hit.
-    pub fn is_hit(&self) -> bool {
-        self.hit
-    }
-
-    /// The line displaced by this access, if any.
-    pub fn evicted(&self) -> Option<EvictedLine> {
-        self.evicted
-    }
-}
+pub use crate::pipeline::{AccessOutcome, EvictedLine};
+use crate::pipeline::{FullLineFill, PipelineCache};
 
 /// A set-associative, write-back, write-allocate cache with selectable
-/// replacement policy and optional word-usage / sharer tracking.
+/// replacement policy and optional word-usage / sharer tracking — the
+/// unified pipeline with whole-line fills.
 ///
 /// # Examples
 ///
@@ -90,317 +23,7 @@ impl AccessOutcome {
 /// assert_eq!(cache.stats().misses(), 1);
 /// # Ok::<(), bandwall_cache_sim::ConfigError>(())
 /// ```
-#[derive(Debug, Clone)]
-pub struct Cache {
-    config: CacheConfig,
-    sets: Vec<CacheSet>,
-    stats: CacheStats,
-    word_usage: Option<WordUsageStats>,
-    sharing: Option<SharingStats>,
-    seen_lines: HashSet<u64>,
-    tick: u64,
-    rng: Rng,
-}
-
-impl Cache {
-    /// Builds an empty cache with the given geometry.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the policy is [`ReplacementPolicy::TreePlru`] and the
-    /// associativity is not a power of two (the PLRU tree needs a complete
-    /// binary tree over the ways).
-    pub fn new(config: CacheConfig) -> Self {
-        assert!(
-            config.policy() != ReplacementPolicy::TreePlru
-                || config.associativity().is_power_of_two(),
-            "tree-PLRU requires a power-of-two associativity"
-        );
-        let sets = (0..config.sets())
-            .map(|_| CacheSet {
-                ways: vec![None; config.associativity() as usize],
-                plru_bits: 0,
-            })
-            .collect();
-        Cache {
-            config,
-            sets,
-            stats: CacheStats::new(),
-            word_usage: None,
-            sharing: None,
-            seen_lines: HashSet::new(),
-            tick: 0,
-            rng: Rng::seed_from_u64(config.policy_seed()),
-        }
-    }
-
-    /// Enables per-word usage tracking (needed for unused-data studies).
-    #[must_use]
-    pub fn with_word_tracking(mut self) -> Self {
-        self.word_usage = Some(WordUsageStats::new(self.config.words_per_line()));
-        self
-    }
-
-    /// Enables per-core sharer tracking (needed for Figure 14).
-    #[must_use]
-    pub fn with_sharer_tracking(mut self) -> Self {
-        self.sharing = Some(SharingStats::new());
-        self
-    }
-
-    /// The cache's geometry.
-    pub fn config(&self) -> &CacheConfig {
-        &self.config
-    }
-
-    /// Access counters.
-    pub fn stats(&self) -> &CacheStats {
-        &self.stats
-    }
-
-    /// Word-usage statistics, if tracking is enabled.
-    pub fn word_usage(&self) -> Option<&WordUsageStats> {
-        self.word_usage.as_ref()
-    }
-
-    /// Sharing statistics, if tracking is enabled.
-    pub fn sharing(&self) -> Option<&SharingStats> {
-        self.sharing.as_ref()
-    }
-
-    /// Non-mutating residency check.
-    pub fn contains(&self, address: u64) -> bool {
-        let (set_idx, tag) = self.config.locate(address);
-        self.sets[set_idx as usize]
-            .ways
-            .iter()
-            .flatten()
-            .any(|l| l.tag == tag)
-    }
-
-    /// Accesses `address` from core 0.
-    pub fn access(&mut self, address: u64, is_write: bool) -> AccessOutcome {
-        self.access_from(0, address, is_write)
-    }
-
-    /// Accesses `address` from `core` (the core id feeds sharer tracking).
-    pub fn access_from(&mut self, core: u16, address: u64, is_write: bool) -> AccessOutcome {
-        self.tick += 1;
-        let (set_idx, tag) = self.config.locate(address);
-        let word_bit = 1u64 << ((address % self.config.line_size()) / 8).min(63);
-        let core_bit = 1u64 << (core as u64).min(63);
-        let tick = self.tick;
-        let policy = self.config.policy();
-        let assoc = self.sets[set_idx as usize].ways.len();
-
-        // Hit path.
-        if let Some(way) = self.sets[set_idx as usize]
-            .ways
-            .iter()
-            .position(|l| l.is_some_and(|l| l.tag == tag))
-        {
-            let set = &mut self.sets[set_idx as usize];
-            let line = set.ways[way].as_mut().expect("hit way is occupied");
-            line.last_used = tick;
-            line.dirty |= is_write;
-            line.word_mask |= word_bit;
-            line.sharers |= core_bit;
-            if policy == ReplacementPolicy::TreePlru {
-                Self::plru_touch(&mut set.plru_bits, assoc, way);
-            }
-            self.stats.record_hit();
-            return AccessOutcome {
-                hit: true,
-                evicted: None,
-            };
-        }
-
-        // Miss path: classify, choose a frame, fill.
-        let cold = self.seen_lines.insert(tag);
-        self.stats.record_miss(cold);
-
-        let victim_way = {
-            let set = &self.sets[set_idx as usize];
-            match set.ways.iter().position(|l| l.is_none()) {
-                Some(empty) => empty,
-                None => self.choose_victim(set_idx as usize),
-            }
-        };
-
-        let set = &mut self.sets[set_idx as usize];
-        let evicted = set.ways[victim_way].take().map(|old| EvictedLine {
-            line_address: old.tag,
-            dirty: old.dirty,
-            used_words: old.word_mask.count_ones(),
-            sharers: old.sharers.count_ones(),
-        });
-        if let Some(ev) = &evicted {
-            self.stats.record_eviction(ev.dirty);
-            if let Some(usage) = &mut self.word_usage {
-                usage.record_eviction(ev.used_words);
-            }
-            if let Some(sharing) = &mut self.sharing {
-                sharing.record_eviction(ev.sharers);
-            }
-        }
-        set.ways[victim_way] = Some(LineState {
-            tag,
-            dirty: is_write,
-            last_used: tick,
-            inserted: tick,
-            word_mask: word_bit,
-            sharers: core_bit,
-        });
-        if policy == ReplacementPolicy::TreePlru {
-            Self::plru_touch(&mut set.plru_bits, assoc, victim_way);
-        }
-        AccessOutcome {
-            hit: false,
-            evicted,
-        }
-    }
-
-    /// Picks a victim way in a full set according to the policy.
-    fn choose_victim(&mut self, set_idx: usize) -> usize {
-        let set = &self.sets[set_idx];
-        match self.config.policy() {
-            ReplacementPolicy::Lru => Self::min_by_key(&set.ways, |l| l.last_used),
-            ReplacementPolicy::Fifo => Self::min_by_key(&set.ways, |l| l.inserted),
-            ReplacementPolicy::Random => self.rng.gen_range(0..set.ways.len()),
-            ReplacementPolicy::TreePlru => Self::plru_victim(set.plru_bits, set.ways.len()),
-        }
-    }
-
-    fn min_by_key<F: Fn(&LineState) -> u64>(ways: &[Option<LineState>], key: F) -> usize {
-        ways.iter()
-            .enumerate()
-            .filter_map(|(i, l)| l.as_ref().map(|l| (i, key(l))))
-            .min_by_key(|&(_, k)| k)
-            .map(|(i, _)| i)
-            .expect("choose_victim called on a full set")
-    }
-
-    /// Marks `way` as recently used in the PLRU tree: walk from the root
-    /// to the leaf, pointing every internal node *away* from the path.
-    ///
-    /// The tree is stored as a heap in `bits`: node 1 is the root; node
-    /// `n`'s children are `2n` and `2n+1`; bit = 0 points left, 1 right.
-    /// Requires a power-of-two associativity (checked at construction
-    /// time by [`Cache::new`] callers via config validation).
-    fn plru_touch(bits: &mut u64, assoc: usize, way: usize) {
-        debug_assert!(assoc.is_power_of_two());
-        let levels = assoc.trailing_zeros();
-        let mut node = 1usize;
-        for level in (0..levels).rev() {
-            let go_right = (way >> level) & 1 == 1;
-            // Point away from where we went.
-            if go_right {
-                *bits &= !(1 << node);
-            } else {
-                *bits |= 1 << node;
-            }
-            node = node * 2 + usize::from(go_right);
-        }
-    }
-
-    /// Follows the PLRU bits from the root to the pseudo-LRU leaf.
-    fn plru_victim(bits: u64, assoc: usize) -> usize {
-        debug_assert!(assoc.is_power_of_two());
-        let levels = assoc.trailing_zeros();
-        let mut node = 1usize;
-        let mut way = 0usize;
-        for _ in 0..levels {
-            let go_right = (bits >> node) & 1 == 1;
-            way = way * 2 + usize::from(go_right);
-            node = node * 2 + usize::from(go_right);
-        }
-        way
-    }
-
-    /// Removes `address`'s line if resident, returning its state. Counts
-    /// as an eviction in the statistics (an invalidation caused by an
-    /// external agent, e.g. inclusion enforcement).
-    pub fn invalidate(&mut self, address: u64) -> Option<EvictedLine> {
-        let ev = self.extract(address)?;
-        self.stats.record_eviction(ev.dirty());
-        if let Some(usage) = &mut self.word_usage {
-            usage.record_eviction(ev.used_words());
-        }
-        if let Some(sharing) = &mut self.sharing {
-            sharing.record_eviction(ev.sharers());
-        }
-        Some(ev)
-    }
-
-    /// Marks `address`'s line dirty if resident (used when a hierarchy
-    /// transfers a dirty line between levels). Returns whether the line
-    /// was present.
-    pub fn mark_dirty(&mut self, address: u64) -> bool {
-        let (set_idx, tag) = self.config.locate(address);
-        let set = &mut self.sets[set_idx as usize];
-        for line in set.ways.iter_mut().flatten() {
-            if line.tag == tag {
-                line.dirty = true;
-                return true;
-            }
-        }
-        false
-    }
-
-    /// Removes `address`'s line if resident *without* touching any
-    /// statistics — a silent transfer, e.g. an exclusive hierarchy moving
-    /// a line from the L2 into the L1.
-    pub fn extract(&mut self, address: u64) -> Option<EvictedLine> {
-        let (set_idx, tag) = self.config.locate(address);
-        let set = &mut self.sets[set_idx as usize];
-        let way = set
-            .ways
-            .iter()
-            .position(|l| l.is_some_and(|l| l.tag == tag))?;
-        let old = set.ways[way].take().expect("found way is occupied");
-        Some(EvictedLine {
-            line_address: old.tag,
-            dirty: old.dirty,
-            used_words: old.word_mask.count_ones(),
-            sharers: old.sharers.count_ones(),
-        })
-    }
-
-    /// Number of currently resident lines.
-    pub fn resident_lines(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.ways.iter().flatten().count())
-            .sum()
-    }
-
-    /// Evicts everything, reporting dirty lines through the usual stats
-    /// (useful to flush write-backs at the end of a measurement window).
-    pub fn flush(&mut self) -> Vec<EvictedLine> {
-        let mut evicted = Vec::new();
-        for set in &mut self.sets {
-            for way in &mut set.ways {
-                if let Some(old) = way.take() {
-                    let ev = EvictedLine {
-                        line_address: old.tag,
-                        dirty: old.dirty,
-                        used_words: old.word_mask.count_ones(),
-                        sharers: old.sharers.count_ones(),
-                    };
-                    self.stats.record_eviction(ev.dirty);
-                    if let Some(usage) = &mut self.word_usage {
-                        usage.record_eviction(ev.used_words);
-                    }
-                    if let Some(sharing) = &mut self.sharing {
-                        sharing.record_eviction(ev.sharers);
-                    }
-                    evicted.push(ev);
-                }
-            }
-        }
-        evicted
-    }
-}
+pub type Cache = PipelineCache<FullLineFill>;
 
 #[cfg(test)]
 mod tests {

@@ -1,9 +1,15 @@
 //! Chip-multiprocessor cache system: per-core L1s over a shared or
 //! private L2 (the simulator behind Figure 14 and the data-sharing
 //! analysis of Section 6.3).
+//!
+//! The L2 level is generic over the unified pipeline's [`Fill`] policy, so
+//! a CMP can run with sectored or compressed L2s
+//! ([`CmpSystem::try_with_l2_fill`]) as well as the conventional
+//! whole-line default.
 
 use crate::cache::Cache;
 use crate::config::{CacheConfig, ConfigError};
+use crate::pipeline::{Fill, FullLineFill, PipelineCache};
 use crate::stats::{CacheStats, MemoryTraffic, SharingStats};
 use bandwall_trace::MemoryAccess;
 
@@ -19,7 +25,9 @@ pub enum L2Organization {
 /// A CMP cache system: `cores` private L1s over a shared or per-core L2.
 ///
 /// Accesses are routed by the [`MemoryAccess::thread`] field (thread ==
-/// core here, matching the paper's one-thread-per-core assumption).
+/// core here, matching the paper's one-thread-per-core assumption). The
+/// `F2` parameter selects the L2 fill policy; it defaults to
+/// [`FullLineFill`] so the historical `CmpSystem` API is unchanged.
 ///
 /// # Examples
 ///
@@ -39,15 +47,15 @@ pub enum L2Organization {
 /// # Ok::<(), bandwall_cache_sim::ConfigError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct CmpSystem {
+pub struct CmpSystem<F2: Fill = FullLineFill> {
     l1s: Vec<Cache>,
-    shared_l2: Option<Cache>,
-    private_l2s: Vec<Cache>,
+    shared_l2: Option<PipelineCache<F2>>,
+    private_l2s: Vec<PipelineCache<F2>>,
     traffic: MemoryTraffic,
     organization: L2Organization,
 }
 
-impl CmpSystem {
+impl CmpSystem<FullLineFill> {
     /// Builds a CMP with `cores` cores.
     ///
     /// For [`L2Organization::Shared`] the `l2` geometry describes the one
@@ -74,13 +82,40 @@ impl CmpSystem {
         l2: CacheConfig,
         organization: L2Organization,
     ) -> Result<Self, ConfigError> {
+        Self::try_with_l2_fill(cores, l1, l2, organization, FullLineFill)
+    }
+}
+
+impl<F2: Fill> CmpSystem<F2> {
+    /// Builds a CMP whose L2 level uses the given fill policy (sectored,
+    /// compressed, or both) — the composed configurations the unified
+    /// pipeline makes expressible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Zero`] when `cores` is zero.
+    pub fn try_with_l2_fill(
+        cores: u16,
+        l1: CacheConfig,
+        l2: CacheConfig,
+        organization: L2Organization,
+        l2_fill: F2,
+    ) -> Result<Self, ConfigError> {
         if cores == 0 {
             return Err(ConfigError::Zero { name: "cores" });
         }
         let l1s = (0..cores).map(|_| Cache::new(l1)).collect();
         let (shared_l2, private_l2s) = match organization {
-            L2Organization::Shared => (Some(Cache::new(l2).with_sharer_tracking()), Vec::new()),
-            L2Organization::Private => (None, (0..cores).map(|_| Cache::new(l2)).collect()),
+            L2Organization::Shared => (
+                Some(PipelineCache::with_fill(l2, l2_fill).with_sharer_tracking()),
+                Vec::new(),
+            ),
+            L2Organization::Private => (
+                None,
+                (0..cores)
+                    .map(|_| PipelineCache::with_fill(l2, l2_fill.clone()))
+                    .collect(),
+            ),
         };
         Ok(CmpSystem {
             l1s,
@@ -166,16 +201,10 @@ impl CmpSystem {
             L2Organization::Shared => self.shared_l2.as_mut().expect("shared L2 present"),
             L2Organization::Private => &mut self.private_l2s[core as usize],
         };
-        let line = l2.config().line_size();
-        let out = l2.access_from(core, address, is_write);
-        if let Some(v) = out.evicted() {
-            if v.dirty() {
-                self.traffic.record_writeback(line);
-            }
-        }
-        if !out.is_hit() {
-            self.traffic.record_fetch(line);
-        }
+        // Settlement is the single source of off-chip accounting: the
+        // fetch (if the L2 missed) plus a write-back per dirty victim.
+        l2.access_from(core, address, is_write)
+            .settle(&mut self.traffic);
     }
 
     /// Drains both cache levels, accounting final write-backs.
@@ -193,11 +222,10 @@ impl CmpSystem {
                 self.l2_access(core as u16, addr, true);
             }
         }
-        let write = |l2: &mut Cache, traffic: &mut MemoryTraffic| {
-            let line = l2.config().line_size();
+        let write = |l2: &mut PipelineCache<F2>, traffic: &mut MemoryTraffic| {
             for v in l2.flush() {
                 if v.dirty() {
-                    traffic.record_writeback(line);
+                    traffic.record_writeback(v.writeback_bytes());
                 }
             }
         };

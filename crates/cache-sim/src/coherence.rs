@@ -12,8 +12,8 @@
 //! from and write-backs to memory count; cache-to-cache transfers stay
 //! on chip.
 
-use crate::cache::Cache;
 use crate::config::{CacheConfig, ConfigError};
+use crate::pipeline::{Fill, FullLineFill, PipelineCache};
 use crate::stats::{CacheStats, MemoryTraffic};
 use bandwall_trace::MemoryAccess;
 use std::collections::HashMap;
@@ -62,6 +62,11 @@ impl CoherenceStats {
 
 /// A CMP of private coherent caches under a full-map MSI directory.
 ///
+/// The `F` parameter selects the private caches' fill policy via the
+/// unified pipeline — `CoherentCmp` defaults to whole-line fills, and
+/// [`CoherentCmp::try_with_fill`] builds the coherent+compressed (or
+/// coherent+sectored) compositions.
+///
 /// # Examples
 ///
 /// Ping-pong on one line: each writer invalidates the other's copy.
@@ -80,8 +85,8 @@ impl CoherenceStats {
 /// # Ok::<(), bandwall_cache_sim::ConfigError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct CoherentCmp {
-    caches: Vec<Cache>,
+pub struct CoherentCmp<F: Fill = FullLineFill> {
+    caches: Vec<PipelineCache<F>>,
     directory: HashMap<u64, DirectoryEntry>,
     line_size: u64,
     traffic: MemoryTraffic,
@@ -91,7 +96,7 @@ pub struct CoherentCmp {
     lost_lines: HashMap<(u16, u64), ()>,
 }
 
-impl CoherentCmp {
+impl CoherentCmp<FullLineFill> {
     /// Builds a CMP of `cores` private caches with identical geometry.
     ///
     /// # Panics
@@ -112,6 +117,21 @@ impl CoherentCmp {
     /// [`ConfigError::OutOfRange`] above 64 (the full-map directory uses a
     /// 64-bit sharer mask).
     pub fn try_new(cores: u16, cache: CacheConfig) -> Result<Self, ConfigError> {
+        Self::try_with_fill(cores, cache, FullLineFill)
+    }
+}
+
+impl<F: Fill> CoherentCmp<F> {
+    /// Builds a coherent CMP whose private caches use the given fill
+    /// policy (e.g. compressed fills for the coherent+compressed
+    /// composition).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Zero`] when `cores` is zero and
+    /// [`ConfigError::OutOfRange`] above 64 (the full-map directory uses a
+    /// 64-bit sharer mask).
+    pub fn try_with_fill(cores: u16, cache: CacheConfig, fill: F) -> Result<Self, ConfigError> {
         if cores == 0 {
             return Err(ConfigError::Zero { name: "cores" });
         }
@@ -122,7 +142,9 @@ impl CoherentCmp {
             });
         }
         Ok(CoherentCmp {
-            caches: (0..cores).map(|_| Cache::new(cache)).collect(),
+            caches: (0..cores)
+                .map(|_| PipelineCache::with_fill(cache, fill.clone()))
+                .collect(),
             directory: HashMap::new(),
             line_size: cache.line_size(),
             traffic: MemoryTraffic::new(),
@@ -183,15 +205,16 @@ impl CoherentCmp {
         let core_bit = 1u64 << core;
 
         let out = self.caches[core as usize].access_from(core, address, is_write);
-        // Local eviction: drop from the directory; dirty data goes home.
-        if let Some(victim) = out.evicted() {
+        // Local evictions: drop from the directory; dirty data goes home.
+        // (Compressed fills can shed several victims on one fill.)
+        for victim in out.evictions() {
             let entry = self.directory.entry(victim.line_address()).or_default();
             entry.sharers &= !core_bit;
             if entry.owner == Some(core) {
                 entry.owner = None;
             }
             if victim.dirty() {
-                self.traffic.record_writeback(self.line_size);
+                self.traffic.record_writeback(victim.writeback_bytes());
             }
         }
 
@@ -206,7 +229,7 @@ impl CoherentCmp {
                 // Another cache supplies the data on chip.
                 self.coherence.cache_to_cache += 1;
             } else {
-                self.traffic.record_fetch(self.line_size);
+                self.traffic.record_fetch(out.fetched_bytes());
             }
             entry.sharers |= core_bit;
         }
@@ -252,7 +275,7 @@ impl CoherentCmp {
         for cache in &mut self.caches {
             for victim in cache.flush() {
                 if victim.dirty() {
-                    self.traffic.record_writeback(self.line_size);
+                    self.traffic.record_writeback(victim.writeback_bytes());
                 }
             }
         }

@@ -1,30 +1,25 @@
 //! Compressed cache: lines are stored in compressed form so each set
 //! holds a *byte budget* rather than a fixed way count (Section 6.1's
-//! "Cache Compression" technique).
+//! "Cache Compression" technique) — a thin alias over the unified access
+//! pipeline with a [`CompressedFill`] policy.
 //!
 //! Each set's budget equals what the uncompressed geometry would occupy
 //! (`associativity × line size`); storing lines at their compressed size
 //! lets more lines fit, raising the effective capacity by the workload's
 //! compression ratio — the paper's effectiveness factor `F`.
 
+#[cfg(test)]
 use crate::config::CacheConfig;
-use crate::stats::{CacheStats, MemoryTraffic};
-use bandwall_compress::{CompressionStats, Compressor};
+use crate::pipeline::{CompressedFill, PipelineCache};
 
-#[derive(Debug, Clone)]
-struct CompressedLine {
-    tag: u64,
-    dirty: bool,
-    size_bytes: usize,
-    last_used: u64,
-}
-
-/// A compressed, write-back cache with LRU replacement and per-set byte
-/// budgets.
+/// A compressed, write-back cache with per-set byte budgets — the
+/// unified pipeline with compressed fills.
 ///
 /// The caller supplies line payloads (from
 /// `bandwall_trace::values::LineValueGenerator` or real data) because the
-/// compressed size depends on the *values*, not the address.
+/// compressed size depends on the *values*, not the address; attach a
+/// generator via [`CompressedFill::with_values`] to drive it from plain
+/// address traces instead.
 ///
 /// # Examples
 ///
@@ -42,165 +37,7 @@ struct CompressedLine {
 /// assert!(cache.effective_capacity_factor() > 2.0);
 /// # Ok::<(), bandwall_cache_sim::ConfigError>(())
 /// ```
-pub struct CompressedCache {
-    config: CacheConfig,
-    compressor: Box<dyn Compressor>,
-    sets: Vec<Vec<CompressedLine>>,
-    set_budget: usize,
-    stats: CacheStats,
-    traffic: MemoryTraffic,
-    compression: CompressionStats,
-    tick: u64,
-}
-
-impl std::fmt::Debug for CompressedCache {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CompressedCache")
-            .field("config", &self.config)
-            .field("compressor", &self.compressor.name())
-            .field("resident_lines", &self.resident_lines())
-            .finish()
-    }
-}
-
-impl CompressedCache {
-    /// Builds a compressed cache over the given geometry and engine.
-    pub fn new(config: CacheConfig, compressor: Box<dyn Compressor>) -> Self {
-        let sets = (0..config.sets()).map(|_| Vec::new()).collect();
-        CompressedCache {
-            set_budget: (config.line_size() * config.associativity() as u64) as usize,
-            config,
-            compressor,
-            sets,
-            stats: CacheStats::new(),
-            traffic: MemoryTraffic::new(),
-            compression: CompressionStats::new(),
-            tick: 0,
-        }
-    }
-
-    /// The (uncompressed-equivalent) geometry.
-    pub fn config(&self) -> &CacheConfig {
-        &self.config
-    }
-
-    /// Hit/miss statistics.
-    pub fn stats(&self) -> &CacheStats {
-        &self.stats
-    }
-
-    /// Off-chip traffic (uncompressed line granularity; pair with link
-    /// compression for wire-size accounting).
-    pub fn traffic(&self) -> &MemoryTraffic {
-        &self.traffic
-    }
-
-    /// Aggregate compression statistics over all inserted lines.
-    pub fn compression(&self) -> &CompressionStats {
-        &self.compression
-    }
-
-    /// Currently resident lines.
-    pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
-    }
-
-    /// Lines an uncompressed cache of the same area would hold.
-    pub fn uncompressed_capacity_lines(&self) -> usize {
-        self.config.lines() as usize
-    }
-
-    /// Resident lines relative to the uncompressed capacity — the
-    /// *measured* effectiveness factor `F` of Equation 8.
-    pub fn effective_capacity_factor(&self) -> f64 {
-        let occupied: usize = self.sets.iter().flatten().map(|l| l.size_bytes).sum();
-        if occupied == 0 {
-            1.0
-        } else {
-            // Bytes the resident lines would need uncompressed, over the
-            // bytes they actually occupy.
-            let uncompressed = self.resident_lines() * self.config.line_size() as usize;
-            uncompressed as f64 / occupied as f64
-        }
-    }
-
-    /// Accesses `address`, providing the line's payload for (re)compression.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `data` is not exactly one line long.
-    pub fn access_with_data(&mut self, address: u64, is_write: bool, data: &[u8]) {
-        assert_eq!(
-            data.len() as u64,
-            self.config.line_size(),
-            "payload must be exactly one line"
-        );
-        self.tick += 1;
-        let (set_idx, tag) = self.config.locate(address);
-        let tick = self.tick;
-        let set = &mut self.sets[set_idx as usize];
-
-        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
-            line.last_used = tick;
-            if is_write {
-                line.dirty = true;
-                // Rewriting may change the compressed size.
-                line.size_bytes = self
-                    .compressor
-                    .compressed_size(data)
-                    .min(self.config.line_size() as usize);
-            }
-            self.stats.record_hit();
-            self.shrink_to_budget(set_idx as usize, None);
-            return;
-        }
-
-        // Miss: fetch and insert compressed.
-        self.stats.record_miss(false);
-        self.traffic.record_fetch(self.config.line_size());
-        let size = self
-            .compressor
-            .compressed_size(data)
-            .min(self.config.line_size() as usize);
-        self.compression.record(data.len(), size);
-        let set = &mut self.sets[set_idx as usize];
-        set.push(CompressedLine {
-            tag,
-            dirty: is_write,
-            size_bytes: size,
-            last_used: tick,
-        });
-        self.shrink_to_budget(set_idx as usize, Some(tag));
-    }
-
-    /// Evicts LRU lines until the set fits its byte budget, never evicting
-    /// the just-inserted line (`protect_tag`).
-    fn shrink_to_budget(&mut self, set_idx: usize, protect_tag: Option<u64>) {
-        loop {
-            let set = &mut self.sets[set_idx];
-            let occupied: usize = set.iter().map(|l| l.size_bytes).sum();
-            if occupied <= self.set_budget {
-                return;
-            }
-            let victim = set
-                .iter()
-                .enumerate()
-                .filter(|(_, l)| Some(l.tag) != protect_tag)
-                .min_by_key(|(_, l)| l.last_used)
-                .map(|(i, _)| i);
-            match victim {
-                Some(i) => {
-                    let old = set.remove(i);
-                    self.stats.record_eviction(old.dirty);
-                    if old.dirty {
-                        self.traffic.record_writeback(self.config.line_size());
-                    }
-                }
-                None => return, // only the protected line remains
-            }
-        }
-    }
-}
+pub type CompressedCache = PipelineCache<CompressedFill>;
 
 #[cfg(test)]
 mod tests {

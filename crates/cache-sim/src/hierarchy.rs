@@ -127,26 +127,21 @@ impl TwoLevelHierarchy {
     }
 
     fn access_non_inclusive(&mut self, core: u16, address: u64, is_write: bool) {
-        let line_size_l2 = self.l2.config().line_size();
         let l1_out = self.l1.access_from(core, address, is_write);
-        // Dirty L1 victim: write it through to the L2.
+        // Dirty L1 victim: write it through to the L2. Settlement covers
+        // both the write-allocate fetch (L2 miss) and dirty-victim
+        // write-backs — the single source of off-chip accounting.
         if let Some(victim) = l1_out.evicted().filter(|v| v.dirty()) {
             let victim_addr = victim.line_address() * self.l1.config().line_size();
-            let l2_out = self.l2.access_from(core, victim_addr, true);
-            self.settle_l2_eviction(l2_out.evicted());
-            if !l2_out.is_hit() {
-                // Write-allocate: the L2 fetches the line before merging
-                // the dirty data.
-                self.traffic.record_fetch(line_size_l2);
-            }
+            self.l2
+                .access_from(core, victim_addr, true)
+                .settle(&mut self.traffic);
         }
         if !l1_out.is_hit() {
             // L1 miss: fetch through the L2.
-            let l2_out = self.l2.access_from(core, address, false);
-            self.settle_l2_eviction(l2_out.evicted());
-            if !l2_out.is_hit() {
-                self.traffic.record_fetch(line_size_l2);
-            }
+            self.l2
+                .access_from(core, address, false)
+                .settle(&mut self.traffic);
         }
     }
 
@@ -155,19 +150,21 @@ impl TwoLevelHierarchy {
         let l1_out = self.l1.access_from(core, address, is_write);
         if let Some(victim) = l1_out.evicted().filter(|v| v.dirty()) {
             // Inclusion means the L2 normally still holds the line; merge
-            // the dirty data there.
+            // the dirty data there. The eviction write-back cannot use
+            // plain settlement here: back-invalidation folds the L1 copy's
+            // dirty bit into one combined write-back.
             let victim_addr = victim.line_address() * line;
             let l2_out = self.l2.access_from(core, victim_addr, true);
             self.back_invalidate(l2_out.evicted());
-            if !l2_out.is_hit() {
-                self.traffic.record_fetch(line);
+            if l2_out.fetched_bytes() > 0 {
+                self.traffic.record_fetch(l2_out.fetched_bytes());
             }
         }
         if !l1_out.is_hit() {
             let l2_out = self.l2.access_from(core, address, false);
             self.back_invalidate(l2_out.evicted());
-            if !l2_out.is_hit() {
-                self.traffic.record_fetch(line);
+            if l2_out.fetched_bytes() > 0 {
+                self.traffic.record_fetch(l2_out.fetched_bytes());
             }
         }
     }
@@ -204,19 +201,13 @@ impl TwoLevelHierarchy {
             }
         }
         // Every L1 victim — clean or dirty — fills the victim L2; no
-        // memory fetch is involved (the data came from the L1).
+        // memory fetch is involved (the data came from the L1), so only
+        // the L2 victim's write-back settles.
         if let Some(victim) = l1_out.evicted() {
             let victim_addr = victim.line_address() * line;
-            let l2_out = self.l2.access_from(core, victim_addr, victim.dirty());
-            self.settle_l2_eviction(l2_out.evicted());
-        }
-    }
-
-    fn settle_l2_eviction(&mut self, evicted: Option<crate::cache::EvictedLine>) {
-        if let Some(v) = evicted {
-            if v.dirty() {
-                self.traffic.record_writeback(self.l2.config().line_size());
-            }
+            self.l2
+                .access_from(core, victim_addr, victim.dirty())
+                .settle_evictions(&mut self.traffic);
         }
     }
 
@@ -231,15 +222,11 @@ impl TwoLevelHierarchy {
             .map(|v| v.line_address() * l1_line)
             .collect();
         for addr in dirty_victims {
-            let out = self.l2.access(addr, true);
-            self.settle_l2_eviction(out.evicted());
-            if !out.is_hit() {
-                self.traffic.record_fetch(self.l2.config().line_size());
-            }
+            self.l2.access(addr, true).settle(&mut self.traffic);
         }
         for v in self.l2.flush() {
             if v.dirty() {
-                self.traffic.record_writeback(self.l2.config().line_size());
+                self.traffic.record_writeback(v.writeback_bytes());
             }
         }
     }

@@ -6,17 +6,26 @@
 //! system with shared or private L2s — plus the specialised cache variants
 //! the paper's techniques assume:
 //!
-//! * [`Cache`] — set-associative, write-back, write-allocate, with
-//!   optional per-word usage and per-core sharer tracking.
+//! Every cache variant is a thin alias over one generic engine — the
+//! [`PipelineCache`] access pipeline, parameterised by a [`Fill`]
+//! granularity policy and observed by a composable stats stack:
+//!
+//! * [`Cache`] — whole-line fills ([`FullLineFill`]): set-associative,
+//!   write-back, write-allocate, with optional per-word usage and
+//!   per-core sharer tracking.
+//! * [`SectoredCache`] — sector-granularity fetching ([`SectoredFill`],
+//!   Section 6.2).
+//! * [`CompressedCache`] — byte-budget sets over any
+//!   `bandwall_compress::Compressor` ([`CompressedFill`], Section 6.1).
+//! * [`SectoredCompressedCache`] — both composed
+//!   ([`SectoredCompressedFill`]).
 //! * [`TwoLevelHierarchy`] — L1 + L2 + [`MemoryTraffic`] accounting.
 //! * [`CmpSystem`] — multi-core with [`L2Organization::Shared`] or
 //!   [`L2Organization::Private`] L2s; the Figure 14 simulator.
-//! * [`SectoredCache`] — sector-granularity fetching (Section 6.2).
-//! * [`CompressedCache`] — byte-budget sets over any
-//!   `bandwall_compress::Compressor` (Section 6.1).
-//! * [`CmpSimConfig`] / [`CoherentSimConfig`] — bank-partitioned parallel
-//!   simulation whose merged statistics are bit-identical to a
-//!   sequential run.
+//! * [`EngineSimConfig`] / [`CmpSimConfig`] / [`CoherentSimConfig`] —
+//!   bank-partitioned parallel simulation whose merged statistics are
+//!   bit-identical to a sequential run, for every fill policy
+//!   ([`FillSpec`]).
 //!
 //! # Example
 //!
@@ -48,6 +57,7 @@ mod footprint;
 mod hierarchy;
 mod memory;
 mod parallel;
+mod pipeline;
 mod sectored;
 mod stats;
 
@@ -59,6 +69,16 @@ pub use config::{CacheConfig, ConfigError, ReplacementPolicy};
 pub use footprint::PredictiveSectoredCache;
 pub use hierarchy::{InclusionPolicy, TwoLevelHierarchy};
 pub use memory::{simulate_throughput, DramChannel, ThroughputSimConfig, ThroughputSimResult};
-pub use parallel::{CmpSimConfig, CmpSimStats, CoherentSimConfig, CoherentSimStats};
+pub use parallel::{
+    CmpSimConfig, CmpSimStats, CoherentSimConfig, CoherentSimStats, EngineSimConfig, EngineSimStats,
+};
+pub use pipeline::{
+    CompressedFill, CompressorKind, Fill, FillSpec, FullLineFill, PipelineCache, ProfileKind,
+    SectoredCompressedFill, SectoredFill, ValueSpec,
+};
 pub use sectored::SectoredCache;
 pub use stats::{CacheStats, MemoryTraffic, SharingStats, WordUsageStats};
+
+/// Sectored *and* compressed cache — the composed configuration the
+/// unified pipeline makes expressible (see [`SectoredCompressedFill`]).
+pub type SectoredCompressedCache = PipelineCache<SectoredCompressedFill>;

@@ -27,11 +27,17 @@
 //!   bytes, sharer counts, and coherence events sum across banks in any
 //!   fixed order; the engine merges in bank order for determinism.
 //!
-//! Two configurations cannot be partitioned and deterministically fall
-//! back to one bank (sequential execution): [`ReplacementPolicy::Random`]
-//! draws victims from a single per-cache RNG stream whose consumption
-//! order depends on the interleaving, and mismatched L1/L2 line sizes
-//! break victim locality.
+//! These arguments hold for *every* [`FillSpec`] of the unified pipeline,
+//! not just whole-line fills: sector validity is per line, and a
+//! compressed set's byte budget — including the multi-victim evictions it
+//! can trigger — is confined to that set, while the value generator
+//! feeding the compressor is a pure function of the line address. So
+//! sectored, compressed, and sectored+compressed configurations all run
+//! banked. Two configurations cannot be partitioned and deterministically
+//! fall back to one bank (sequential execution):
+//! [`ReplacementPolicy::Random`] draws victims from a single per-cache
+//! RNG stream whose consumption order depends on the interleaving, and
+//! mismatched L1/L2 line sizes break victim locality.
 //!
 //! Trace generation stays sequential — generators like
 //! `ParsecLikeTrace` carry cross-thread state (echo queues), so the
@@ -44,7 +50,7 @@
 //! # Examples
 //!
 //! ```
-//! use bandwall_cache_sim::{CacheConfig, CmpSimConfig, L2Organization};
+//! use bandwall_cache_sim::{CacheConfig, CmpSimConfig, FillSpec, L2Organization};
 //! use bandwall_trace::ParsecLikeTrace;
 //!
 //! let sim = CmpSimConfig {
@@ -52,6 +58,7 @@
 //!     l1: CacheConfig::new(512, 64, 2)?,
 //!     l2: CacheConfig::new(64 << 10, 64, 8)?,
 //!     organization: L2Organization::Shared,
+//!     l2_fill: FillSpec::FullLine,
 //!     flush: false,
 //! };
 //! let trace = || ParsecLikeTrace::builder(4).seed(9).build();
@@ -64,7 +71,12 @@
 use crate::cmp::{CmpSystem, L2Organization};
 use crate::coherence::{CoherenceStats, CoherentCmp};
 use crate::config::{CacheConfig, ConfigError, ReplacementPolicy};
+use crate::pipeline::{
+    CompressedFill, Fill, FillSpec, FullLineFill, PipelineCache, SectoredCompressedFill,
+    SectoredFill,
+};
 use crate::stats::{CacheStats, MemoryTraffic, SharingStats};
+use bandwall_compress::CompressionStats;
 use bandwall_trace::{MemoryAccess, TraceChunks, TraceSource};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -86,12 +98,163 @@ fn pow2_banks(sets: u64, threads: usize) -> usize {
     banks
 }
 
+/// Expands `body` once per [`FillSpec`] variant with `fill` bound to the
+/// matching concrete [`Fill`] value, so run methods stay monomorphic over
+/// the pipeline without boxing the fill policy.
+macro_rules! with_fill {
+    ($spec:expr, $fill:ident => $body:expr) => {
+        match $spec {
+            FillSpec::FullLine => {
+                let $fill = FullLineFill;
+                $body
+            }
+            FillSpec::Sectored { sectors_per_line } => {
+                let $fill = SectoredFill::new(sectors_per_line);
+                $body
+            }
+            FillSpec::Compressed { compressor, values } => {
+                let $fill = CompressedFill::from_spec(compressor, values);
+                $body
+            }
+            FillSpec::SectoredCompressed {
+                sectors_per_line,
+                compressor,
+                values,
+            } => {
+                let $fill = SectoredCompressedFill::from_spec(sectors_per_line, compressor, values);
+                $body
+            }
+        }
+    };
+}
+
+/// A single-cache simulation over the unified pipeline: geometry, fill
+/// policy, and run policy.
+///
+/// This is the parallel-engine entry point for the standalone cache
+/// variants (`Cache`, `SectoredCache`, `CompressedCache`, and the
+/// composed `SectoredCompressedCache`): pick the variant with
+/// [`EngineSimConfig::fill`]. [`EngineSimConfig::run_sequential`] and
+/// [`EngineSimConfig::run_parallel`] produce bit-identical
+/// [`EngineSimStats`] for the same trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineSimConfig {
+    /// Cache geometry.
+    pub cache: CacheConfig,
+    /// Fill-granularity policy (which pipeline variant to run).
+    pub fill: FillSpec,
+    /// Drain the cache after the trace, accounting final write-backs.
+    pub flush: bool,
+}
+
+/// Merged statistics of one single-cache simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineSimStats {
+    /// Hit/miss/eviction counters.
+    pub cache: CacheStats,
+    /// Traffic as the cache observed it (fetches at fill granularity,
+    /// write-backs of dirty victims).
+    pub traffic: MemoryTraffic,
+    /// Compressed-size statistics (all-zero for uncompressed fills).
+    pub compression: CompressionStats,
+    /// Misses on resident lines whose sector was absent (sectored fills).
+    pub sector_misses: u64,
+    /// Bytes a conventional whole-line cache would have fetched.
+    pub conventional_fetch_bytes: u64,
+}
+
+impl EngineSimConfig {
+    /// Number of banks a parallel run would use at this thread count: the
+    /// largest power of two ≤ `threads` dividing the set count, or 1 when
+    /// the replacement policy is random (every fill policy partitions;
+    /// see the module docs).
+    pub fn bank_count(&self, threads: usize) -> usize {
+        if self.cache.policy() == ReplacementPolicy::Random {
+            return 1;
+        }
+        pow2_banks(self.cache.sets(), threads.max(1))
+    }
+
+    /// Runs the first `accesses` of `trace` on one thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fill/geometry combination is invalid (tree-PLRU with
+    /// a compressed fill, or more sectors than line bytes).
+    pub fn run_sequential<T: TraceSource>(&self, trace: &mut T, accesses: usize) -> EngineSimStats {
+        with_fill!(self.fill, fill => {
+            let mut cache = PipelineCache::with_fill(self.cache, fill);
+            for a in trace.iter().take(accesses) {
+                cache.access_from(a.thread(), a.address(), a.kind().is_write());
+            }
+            self.collect(cache)
+        })
+    }
+
+    /// Runs the first `accesses` of `trace` on up to `threads` bank
+    /// workers, returning statistics bit-identical to
+    /// [`EngineSimConfig::run_sequential`]. Falls back to the sequential
+    /// path when [`EngineSimConfig::bank_count`] is 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fill/geometry combination is invalid (tree-PLRU with
+    /// a compressed fill, or more sectors than line bytes).
+    // with_fill! expands this body once per fill variant; the clone the
+    // non-Copy compressed fills need trips clone_on_copy on the Copy ones.
+    #[allow(clippy::clone_on_copy)]
+    pub fn run_parallel<T: TraceSource>(
+        &self,
+        trace: &mut T,
+        accesses: usize,
+        threads: usize,
+    ) -> EngineSimStats {
+        let banks = self.bank_count(threads);
+        if banks == 1 {
+            return self.run_sequential(trace, accesses);
+        }
+        with_fill!(self.fill, fill => {
+            let line_size = self.cache.line_size();
+            let per_bank = run_banked(trace, accesses, banks, line_size, |bank_accesses| {
+                let mut cache = PipelineCache::with_fill(self.cache, fill.clone());
+                for a in bank_accesses {
+                    cache.access_from(a.thread(), a.address(), a.kind().is_write());
+                }
+                self.collect(cache)
+            });
+            let mut merged = per_bank[0];
+            for bank in &per_bank[1..] {
+                merged.cache.merge(&bank.cache);
+                merged.traffic.merge(&bank.traffic);
+                merged.compression.merge(&bank.compression);
+                merged.sector_misses += bank.sector_misses;
+                merged.conventional_fetch_bytes += bank.conventional_fetch_bytes;
+            }
+            merged
+        })
+    }
+
+    fn collect<F: Fill>(&self, mut cache: PipelineCache<F>) -> EngineSimStats {
+        if self.flush {
+            cache.flush();
+        }
+        EngineSimStats {
+            cache: *cache.stats(),
+            traffic: *cache.traffic(),
+            compression: *cache.compression(),
+            sector_misses: cache.sector_misses(),
+            conventional_fetch_bytes: cache.conventional_fetch_bytes(),
+        }
+    }
+}
+
 /// A complete CMP simulation: geometry plus run policy.
 ///
 /// [`CmpSimConfig::run_sequential`] and [`CmpSimConfig::run_parallel`]
 /// produce bit-identical [`CmpSimStats`] for the same trace; the parallel
 /// path shards the system into address-interleaved banks (see the module
-/// docs for the argument).
+/// docs for the argument). The L2 level runs any [`FillSpec`]; the L1s
+/// are always whole-line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CmpSimConfig {
     /// Number of cores (one L1 each).
@@ -102,6 +265,8 @@ pub struct CmpSimConfig {
     pub l2: CacheConfig,
     /// Shared or private L2s.
     pub organization: L2Organization,
+    /// L2 fill policy (sectored/compressed L2s compose with the CMP).
+    pub l2_fill: FillSpec,
     /// Drain the hierarchy after the trace, accounting final write-backs.
     pub flush: bool,
 }
@@ -135,11 +300,11 @@ impl CmpSimConfig {
         pow2_banks(sets, threads.max(1))
     }
 
-    fn build(&self) -> Result<CmpSystem, ConfigError> {
-        CmpSystem::try_new(self.cores, self.l1, self.l2, self.organization)
+    fn build_with<F2: Fill>(&self, fill: F2) -> Result<CmpSystem<F2>, ConfigError> {
+        CmpSystem::try_with_l2_fill(self.cores, self.l1, self.l2, self.organization, fill)
     }
 
-    fn collect(&self, mut system: CmpSystem) -> CmpSimStats {
+    fn collect<F2: Fill>(&self, mut system: CmpSystem<F2>) -> CmpSimStats {
         if self.flush {
             system.flush();
         }
@@ -161,11 +326,13 @@ impl CmpSimConfig {
         trace: &mut T,
         accesses: usize,
     ) -> Result<CmpSimStats, ConfigError> {
-        let mut system = self.build()?;
-        for a in trace.iter().take(accesses) {
-            system.access(a);
-        }
-        Ok(self.collect(system))
+        with_fill!(self.l2_fill, fill => {
+            let mut system = self.build_with(fill)?;
+            for a in trace.iter().take(accesses) {
+                system.access(a);
+            }
+            Ok(self.collect(system))
+        })
     }
 
     /// Runs the first `accesses` of `trace` on up to `threads` bank
@@ -180,6 +347,9 @@ impl CmpSimConfig {
     /// # Errors
     ///
     /// Returns [`ConfigError`] when the geometry is invalid (zero cores).
+    // with_fill! expands this body once per fill variant; the clone the
+    // non-Copy compressed fills need trips clone_on_copy on the Copy ones.
+    #[allow(clippy::clone_on_copy)]
     pub fn run_parallel<T: TraceSource>(
         &self,
         trace: &mut T,
@@ -190,25 +360,27 @@ impl CmpSimConfig {
         if banks == 1 {
             return self.run_sequential(trace, accesses);
         }
-        self.build()?; // surface geometry errors before spawning
-        let line_size = self.l1.line_size();
-        let per_bank = run_banked(trace, accesses, banks, line_size, |bank_accesses| {
-            let mut system = self.build().expect("validated above");
-            for a in bank_accesses {
-                system.access(a);
+        with_fill!(self.l2_fill, fill => {
+            self.build_with(fill.clone())?; // surface geometry errors before spawning
+            let line_size = self.l1.line_size();
+            let per_bank = run_banked(trace, accesses, banks, line_size, |bank_accesses| {
+                let mut system = self.build_with(fill.clone()).expect("validated above");
+                for a in bank_accesses {
+                    system.access(a);
+                }
+                self.collect(system)
+            });
+            let mut merged = per_bank[0];
+            for bank in &per_bank[1..] {
+                merged.l1.merge(&bank.l1);
+                merged.l2.merge(&bank.l2);
+                merged.traffic.merge(&bank.traffic);
+                if let (Some(m), Some(s)) = (merged.sharing.as_mut(), bank.sharing.as_ref()) {
+                    m.merge(s);
+                }
             }
-            self.collect(system)
-        });
-        let mut merged = per_bank[0];
-        for bank in &per_bank[1..] {
-            merged.l1.merge(&bank.l1);
-            merged.l2.merge(&bank.l2);
-            merged.traffic.merge(&bank.traffic);
-            if let (Some(m), Some(s)) = (merged.sharing.as_mut(), bank.sharing.as_ref()) {
-                m.merge(s);
-            }
-        }
-        Ok(merged)
+            Ok(merged)
+        })
     }
 }
 
@@ -217,13 +389,17 @@ impl CmpSimConfig {
 /// The directory-MSI analogue of [`CmpSimConfig`], with the same
 /// bit-identical sequential/parallel contract: the directory, the
 /// lost-line map, and every invalidation or transfer an access triggers
-/// are keyed by the accessed line, so they stay inside its bank.
+/// are keyed by the accessed line, so they stay inside its bank. The
+/// private caches run any [`FillSpec`] (coherent+compressed is the
+/// composition the paper's footnote reasons about).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoherentSimConfig {
     /// Number of cores (one private cache each, max 64).
     pub cores: u16,
     /// Per-core cache geometry.
     pub cache: CacheConfig,
+    /// Private-cache fill policy.
+    pub fill: FillSpec,
     /// Drain all caches after the trace, accounting final write-backs.
     pub flush: bool,
 }
@@ -249,11 +425,11 @@ impl CoherentSimConfig {
         pow2_banks(self.cache.sets(), threads.max(1))
     }
 
-    fn build(&self) -> Result<CoherentCmp, ConfigError> {
-        CoherentCmp::try_new(self.cores, self.cache)
+    fn build_with<F: Fill>(&self, fill: F) -> Result<CoherentCmp<F>, ConfigError> {
+        CoherentCmp::try_with_fill(self.cores, self.cache, fill)
     }
 
-    fn collect(&self, mut system: CoherentCmp) -> CoherentSimStats {
+    fn collect<F: Fill>(&self, mut system: CoherentCmp<F>) -> CoherentSimStats {
         if self.flush {
             system.flush();
         }
@@ -274,11 +450,13 @@ impl CoherentSimConfig {
         trace: &mut T,
         accesses: usize,
     ) -> Result<CoherentSimStats, ConfigError> {
-        let mut system = self.build()?;
-        for a in trace.iter().take(accesses) {
-            system.access(a);
-        }
-        Ok(self.collect(system))
+        with_fill!(self.fill, fill => {
+            let mut system = self.build_with(fill)?;
+            for a in trace.iter().take(accesses) {
+                system.access(a);
+            }
+            Ok(self.collect(system))
+        })
     }
 
     /// Runs the first `accesses` of `trace` on up to `threads` bank
@@ -288,6 +466,9 @@ impl CoherentSimConfig {
     /// # Errors
     ///
     /// Returns [`ConfigError`] when `cores` is 0 or exceeds 64.
+    // with_fill! expands this body once per fill variant; the clone the
+    // non-Copy compressed fills need trips clone_on_copy on the Copy ones.
+    #[allow(clippy::clone_on_copy)]
     pub fn run_parallel<T: TraceSource>(
         &self,
         trace: &mut T,
@@ -298,22 +479,24 @@ impl CoherentSimConfig {
         if banks == 1 {
             return self.run_sequential(trace, accesses);
         }
-        self.build()?;
-        let line_size = self.cache.line_size();
-        let per_bank = run_banked(trace, accesses, banks, line_size, |bank_accesses| {
-            let mut system = self.build().expect("validated above");
-            for a in bank_accesses {
-                system.access(a);
+        with_fill!(self.fill, fill => {
+            self.build_with(fill.clone())?;
+            let line_size = self.cache.line_size();
+            let per_bank = run_banked(trace, accesses, banks, line_size, |bank_accesses| {
+                let mut system = self.build_with(fill.clone()).expect("validated above");
+                for a in bank_accesses {
+                    system.access(a);
+                }
+                self.collect(system)
+            });
+            let mut merged = per_bank[0];
+            for bank in &per_bank[1..] {
+                merged.cache.merge(&bank.cache);
+                merged.traffic.merge(&bank.traffic);
+                merged.coherence.merge(&bank.coherence);
             }
-            self.collect(system)
-        });
-        let mut merged = per_bank[0];
-        for bank in &per_bank[1..] {
-            merged.cache.merge(&bank.cache);
-            merged.traffic.merge(&bank.traffic);
-            merged.coherence.merge(&bank.coherence);
-        }
-        Ok(merged)
+            Ok(merged)
+        })
     }
 }
 
@@ -404,6 +587,7 @@ mod tests {
             l1: CacheConfig::new(512, 64, 2).unwrap(),
             l2: CacheConfig::new(64 << 10, 64, 8).unwrap(),
             organization: L2Organization::Shared,
+            l2_fill: FillSpec::FullLine,
             flush: false,
         }
     }
@@ -459,6 +643,7 @@ mod tests {
         let c = CoherentSimConfig {
             cores: 4,
             cache: CacheConfig::new(4096, 64, 4).unwrap(),
+            fill: FillSpec::FullLine,
             flush: true,
         };
         let trace = || {

@@ -1,0 +1,1302 @@
+//! The unified access pipeline: one generic set-associative engine
+//! parameterised by a fill-granularity policy.
+//!
+//! Historically this crate carried five hand-forked copies of the same
+//! set/way/replacement core (`Cache`, `SectoredCache`, `CompressedCache`,
+//! plus the per-level caches inside `CmpSystem` and `CoherentCmp`). They
+//! differed only in *fill granularity* — whole lines, sectors, or
+//! compressed bytes — yet each reimplemented lookup, victim selection,
+//! and eviction/write-back accounting, so compositions such as
+//! "sectored + compressed" were inexpressible.
+//!
+//! [`PipelineCache`] replaces all of them. The generic core owns:
+//!
+//! * set/way lookup and replacement (LRU, FIFO, Random, tree-PLRU);
+//! * a stack of composable observers — hit/miss/eviction statistics,
+//!   fetch/write-back traffic, compression statistics, optional word-usage
+//!   and sharer tracking — with a **single** copy of the eviction and
+//!   write-back bookkeeping ([`ObserverStack::retire`]);
+//! * cold-miss classification and the replacement-policy RNG.
+//!
+//! The [`Fill`] policy decides how much data moves per miss and how many
+//! bytes a resident line occupies:
+//!
+//! * [`FullLineFill`] — the conventional cache (`Cache`);
+//! * [`SectoredFill`] — fetch only referenced sectors (`SectoredCache`);
+//! * [`CompressedFill`] — byte-budgeted sets storing compressed lines
+//!   (`CompressedCache`);
+//! * [`SectoredCompressedFill`] — both at once, which no pre-pipeline
+//!   variant could express.
+//!
+//! The historical types are thin aliases over this engine (see
+//! `cache.rs`, `sectored.rs`, `compressed.rs`).
+
+use crate::config::{CacheConfig, ReplacementPolicy};
+use crate::stats::{CacheStats, MemoryTraffic, SharingStats, WordUsageStats};
+use bandwall_compress::{Bdi, BestOf, CompressionStats, Compressor, Fpc, ZeroRle};
+use bandwall_numerics::Rng;
+use bandwall_trace::values::{LineValueGenerator, ValueProfile};
+use std::collections::HashSet;
+
+/// How a miss fills a line: granularity fetched, bytes occupied, and —
+/// for compressed policies — where payload values come from.
+///
+/// Implementations are cheap, cloneable value objects; the engine consults
+/// them on every fill. The provided defaults describe a conventional
+/// whole-line cache, so [`FullLineFill`] overrides nothing.
+pub trait Fill: Clone {
+    /// Sectors a line is divided into (1 = whole-line fills).
+    fn sectors_per_line(&self) -> u32 {
+        1
+    }
+
+    /// Whether sets hold a *byte budget* of compressed lines rather than
+    /// one line per way.
+    fn budgeted(&self) -> bool {
+        false
+    }
+
+    /// Stored (compressed) size for a line payload, or `None` when lines
+    /// occupy their full size.
+    fn stored_size(&self, data: &[u8]) -> Option<usize> {
+        let _ = data;
+        None
+    }
+
+    /// Synthesises the payload for data-free accesses, when the policy
+    /// needs line values and none were supplied by the caller.
+    fn generate(&self, line_byte_address: u64, line_size: usize) -> Option<Vec<u8>> {
+        let _ = (line_byte_address, line_size);
+        None
+    }
+
+    /// Human-readable policy name for reports and `Debug` output.
+    fn label(&self) -> &'static str;
+}
+
+/// Whole-line fills: the conventional write-back, write-allocate cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FullLineFill;
+
+impl Fill for FullLineFill {
+    fn label(&self) -> &'static str {
+        "full-line"
+    }
+}
+
+/// Sector-granularity fills: a miss fetches only the referenced sector
+/// (Section 6.2's "Sectored Caches" technique). Frames are still
+/// allocated at line granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectoredFill {
+    sectors: u32,
+}
+
+impl SectoredFill {
+    /// Builds a sectored fill policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sectors_per_line` is zero, not a power of two, or
+    /// exceeds the 64-bit sector mask.
+    pub fn new(sectors_per_line: u32) -> Self {
+        assert!(
+            sectors_per_line > 0 && sectors_per_line.is_power_of_two(),
+            "sectors per line must be a positive power of two"
+        );
+        assert!(sectors_per_line <= 64, "sector mask is 64 bits");
+        SectoredFill {
+            sectors: sectors_per_line,
+        }
+    }
+}
+
+impl Fill for SectoredFill {
+    fn sectors_per_line(&self) -> u32 {
+        self.sectors
+    }
+
+    fn label(&self) -> &'static str {
+        "sectored"
+    }
+}
+
+/// Compressed storage: lines are stored at their compressed size so each
+/// set holds a byte budget (Section 6.1's "Cache Compression").
+///
+/// The compressed size depends on the line's *values*, which come either
+/// from the caller (`access_with_data`) or from an attached
+/// [`LineValueGenerator`] for data-free accesses.
+#[derive(Clone)]
+pub struct CompressedFill {
+    compressor: Box<dyn Compressor>,
+    values: Option<LineValueGenerator>,
+}
+
+impl CompressedFill {
+    /// Builds a compressed fill over the given engine; payloads must then
+    /// be supplied per access via `access_with_data`.
+    pub fn new(compressor: Box<dyn Compressor>) -> Self {
+        CompressedFill {
+            compressor,
+            values: None,
+        }
+    }
+
+    /// Attaches a value generator so plain `access` calls can synthesise
+    /// their own payloads (required for trace-driven and parallel runs).
+    #[must_use]
+    pub fn with_values(mut self, values: LineValueGenerator) -> Self {
+        self.values = Some(values);
+        self
+    }
+}
+
+impl std::fmt::Debug for CompressedFill {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompressedFill")
+            .field("compressor", &self.compressor.name())
+            .field("generated_values", &self.values.is_some())
+            .finish()
+    }
+}
+
+impl Fill for CompressedFill {
+    fn budgeted(&self) -> bool {
+        true
+    }
+
+    fn stored_size(&self, data: &[u8]) -> Option<usize> {
+        Some(self.compressor.compressed_size(data))
+    }
+
+    fn generate(&self, line_byte_address: u64, line_size: usize) -> Option<Vec<u8>> {
+        self.values
+            .as_ref()
+            .map(|v| v.line_bytes(line_byte_address, line_size))
+    }
+
+    fn label(&self) -> &'static str {
+        "compressed"
+    }
+}
+
+/// Sectored *and* compressed: sector-granularity fetches into
+/// byte-budgeted compressed sets — the composition the pre-pipeline
+/// simulators could not express.
+#[derive(Clone)]
+pub struct SectoredCompressedFill {
+    sectors: SectoredFill,
+    compressed: CompressedFill,
+}
+
+impl SectoredCompressedFill {
+    /// Builds the combined policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same sector-count constraints as
+    /// [`SectoredFill::new`].
+    pub fn new(sectors_per_line: u32, compressor: Box<dyn Compressor>) -> Self {
+        SectoredCompressedFill {
+            sectors: SectoredFill::new(sectors_per_line),
+            compressed: CompressedFill::new(compressor),
+        }
+    }
+
+    /// Attaches a value generator for data-free accesses.
+    #[must_use]
+    pub fn with_values(mut self, values: LineValueGenerator) -> Self {
+        self.compressed = self.compressed.with_values(values);
+        self
+    }
+}
+
+impl std::fmt::Debug for SectoredCompressedFill {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SectoredCompressedFill")
+            .field("sectors", &self.sectors.sectors)
+            .field("compressor", &self.compressed.compressor.name())
+            .field("generated_values", &self.compressed.values.is_some())
+            .finish()
+    }
+}
+
+impl Fill for SectoredCompressedFill {
+    fn sectors_per_line(&self) -> u32 {
+        self.sectors.sectors_per_line()
+    }
+
+    fn budgeted(&self) -> bool {
+        true
+    }
+
+    fn stored_size(&self, data: &[u8]) -> Option<usize> {
+        self.compressed.stored_size(data)
+    }
+
+    fn generate(&self, line_byte_address: u64, line_size: usize) -> Option<Vec<u8>> {
+        self.compressed.generate(line_byte_address, line_size)
+    }
+
+    fn label(&self) -> &'static str {
+        "sectored+compressed"
+    }
+}
+
+/// A plain-data description of a [`Fill`] policy, for configs that must
+/// be `Copy + Send + Sync` (the bank-parallel simulation configs build
+/// one concrete fill per worker from the spec, deterministically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FillSpec {
+    /// Whole-line fills ([`FullLineFill`]).
+    FullLine,
+    /// Sector-granularity fills ([`SectoredFill`]).
+    Sectored {
+        /// Sectors per line (positive power of two, at most 64).
+        sectors_per_line: u32,
+    },
+    /// Compressed byte-budgeted storage ([`CompressedFill`]) with
+    /// generated line values.
+    Compressed {
+        /// Compression engine.
+        compressor: CompressorKind,
+        /// Synthetic value stream feeding the compressor.
+        values: ValueSpec,
+    },
+    /// Sectored and compressed composed ([`SectoredCompressedFill`]).
+    SectoredCompressed {
+        /// Sectors per line (positive power of two, at most 64).
+        sectors_per_line: u32,
+        /// Compression engine.
+        compressor: CompressorKind,
+        /// Synthetic value stream feeding the compressor.
+        values: ValueSpec,
+    },
+}
+
+impl FillSpec {
+    /// Human-readable label matching [`Fill::label`].
+    pub fn label(&self) -> &'static str {
+        match self {
+            FillSpec::FullLine => "full-line",
+            FillSpec::Sectored { .. } => "sectored",
+            FillSpec::Compressed { .. } => "compressed",
+            FillSpec::SectoredCompressed { .. } => "sectored+compressed",
+        }
+    }
+}
+
+/// Compression engines nameable from a plain-data [`FillSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompressorKind {
+    /// Frequent Pattern Compression.
+    Fpc,
+    /// Base-Delta-Immediate.
+    Bdi,
+    /// Zero run-length suppression.
+    ZeroRle,
+    /// Per-line best of FPC, BDI, and zero-RLE.
+    BestOf,
+}
+
+impl CompressorKind {
+    /// Instantiates the engine.
+    pub fn build(self) -> Box<dyn Compressor> {
+        match self {
+            CompressorKind::Fpc => Box::new(Fpc::new()),
+            CompressorKind::Bdi => Box::new(Bdi::new()),
+            CompressorKind::ZeroRle => Box::new(ZeroRle::new()),
+            CompressorKind::BestOf => Box::new(BestOf::standard()),
+        }
+    }
+}
+
+/// A deterministic synthetic value stream: profile plus seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ValueSpec {
+    /// Value-locality profile.
+    pub profile: ProfileKind,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl ValueSpec {
+    /// Instantiates the line-value generator.
+    pub fn generator(self) -> LineValueGenerator {
+        LineValueGenerator::new(self.profile.profile(), self.seed)
+    }
+}
+
+/// Value-locality profiles nameable from a plain-data [`ValueSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProfileKind {
+    /// Commercial-workload value mix.
+    Commercial,
+    /// Integer-heavy value mix.
+    Integer,
+    /// Floating-point-heavy value mix.
+    FloatingPoint,
+}
+
+impl ProfileKind {
+    /// The trace crate's matching profile.
+    pub fn profile(self) -> ValueProfile {
+        match self {
+            ProfileKind::Commercial => ValueProfile::commercial(),
+            ProfileKind::Integer => ValueProfile::integer(),
+            ProfileKind::FloatingPoint => ValueProfile::floating_point(),
+        }
+    }
+}
+
+impl CompressedFill {
+    /// Builds the fill a [`FillSpec::Compressed`] describes.
+    pub fn from_spec(compressor: CompressorKind, values: ValueSpec) -> Self {
+        CompressedFill::new(compressor.build()).with_values(values.generator())
+    }
+}
+
+impl SectoredCompressedFill {
+    /// Builds the fill a [`FillSpec::SectoredCompressed`] describes.
+    pub fn from_spec(sectors_per_line: u32, compressor: CompressorKind, values: ValueSpec) -> Self {
+        SectoredCompressedFill::new(sectors_per_line, compressor.build())
+            .with_values(values.generator())
+    }
+}
+
+/// A line pushed out of the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    line_address: u64,
+    dirty: bool,
+    used_words: u32,
+    sharers: u32,
+    writeback_bytes: u64,
+}
+
+impl EvictedLine {
+    /// The evicted line's address in line units (byte address / line size).
+    pub fn line_address(&self) -> u64 {
+        self.line_address
+    }
+
+    /// Whether the line was dirty (requires a write-back).
+    pub fn dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Number of distinct words referenced during residency.
+    pub fn used_words(&self) -> u32 {
+        self.used_words
+    }
+
+    /// Number of distinct cores that referenced the line.
+    pub fn sharers(&self) -> u32 {
+        self.sharers
+    }
+
+    /// Bytes a write-back of this line puts on the memory link: the whole
+    /// line for full-line fills, only the dirty sectors for sectored
+    /// fills. Zero when the line is clean.
+    pub fn writeback_bytes(&self) -> u64 {
+        self.writeback_bytes
+    }
+}
+
+/// Zero, one, or many evictions without allocating in the common cases
+/// (slotted storage evicts at most one line per access).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+enum Evictions {
+    #[default]
+    None,
+    One(EvictedLine),
+    Many(Vec<EvictedLine>),
+}
+
+impl Evictions {
+    fn push(&mut self, ev: EvictedLine) {
+        *self = match std::mem::take(self) {
+            Evictions::None => Evictions::One(ev),
+            Evictions::One(first) => Evictions::Many(vec![first, ev]),
+            Evictions::Many(mut all) => {
+                all.push(ev);
+                Evictions::Many(all)
+            }
+        };
+    }
+
+    fn as_slice(&self) -> &[EvictedLine] {
+        match self {
+            Evictions::None => &[],
+            Evictions::One(ev) => std::slice::from_ref(ev),
+            Evictions::Many(all) => all,
+        }
+    }
+}
+
+/// The outcome of one cache access: hit/miss, the bytes the fill policy
+/// fetched, and every line displaced by the fill.
+///
+/// Hierarchies and CMP systems account their off-chip traffic by settling
+/// outcomes against their own [`MemoryTraffic`] — see
+/// [`AccessOutcome::settle`] — instead of each reimplementing the
+/// `(1 + rwb)` fetch/write-back bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessOutcome {
+    hit: bool,
+    fetched_bytes: u64,
+    evictions: Evictions,
+}
+
+impl AccessOutcome {
+    /// Whether the access hit.
+    pub fn is_hit(&self) -> bool {
+        self.hit
+    }
+
+    /// The first line displaced by this access, if any (slotted storage
+    /// displaces at most one; see [`AccessOutcome::evictions`] for
+    /// byte-budgeted fills, which may displace several).
+    pub fn evicted(&self) -> Option<EvictedLine> {
+        self.evictions.as_slice().first().copied()
+    }
+
+    /// Every line displaced by this access.
+    pub fn evictions(&self) -> &[EvictedLine] {
+        self.evictions.as_slice()
+    }
+
+    /// Bytes the fill policy fetched for this access (zero on a hit; a
+    /// sector for sectored fills, a whole line otherwise).
+    pub fn fetched_bytes(&self) -> u64 {
+        self.fetched_bytes
+    }
+
+    /// Settles this outcome against a traffic meter: records the miss
+    /// fetch (if any) and the write-back of every dirty victim. The single
+    /// source of the `(1 + rwb)` bookkeeping for hierarchies and CMPs.
+    pub fn settle(&self, traffic: &mut MemoryTraffic) {
+        if self.fetched_bytes > 0 {
+            traffic.record_fetch(self.fetched_bytes);
+        }
+        self.settle_evictions(traffic);
+    }
+
+    /// Settles only the dirty-victim write-backs (used when the fill data
+    /// came from elsewhere on chip, e.g. an exclusive hierarchy moving a
+    /// line between levels, or a coherent cache-to-cache transfer).
+    pub fn settle_evictions(&self, traffic: &mut MemoryTraffic) {
+        for v in self.evictions() {
+            if v.dirty() {
+                traffic.record_writeback(v.writeback_bytes());
+            }
+        }
+    }
+}
+
+/// State of one resident line, shared by every fill policy.
+#[derive(Debug, Clone, Copy)]
+struct EngineLine {
+    /// Full line address (serves as the tag; the set index is implicit).
+    tag: u64,
+    /// Bitmask of sectors present (always bit 0 for full-line fills).
+    valid_sectors: u64,
+    /// Bitmask of dirty sectors; the line is dirty iff non-zero.
+    dirty_sectors: u64,
+    last_used: u64,
+    inserted: u64,
+    /// Bitmask of 8-byte words referenced while resident.
+    word_mask: u64,
+    /// Bitmask of cores (clamped to 64) that referenced the line.
+    sharers: u64,
+    /// Bytes the line occupies (compressed size for budgeted fills, the
+    /// full line size otherwise).
+    size_bytes: u64,
+}
+
+/// One slotted set: fixed ways plus tree-PLRU bits.
+#[derive(Debug, Clone, Default)]
+struct SlottedSet {
+    ways: Vec<Option<EngineLine>>,
+    plru_bits: u64,
+}
+
+/// Backing storage: fixed ways per set, or a byte budget per set.
+#[derive(Debug, Clone)]
+enum Storage {
+    /// One line per way — full-line and sectored fills.
+    Slotted(Vec<SlottedSet>),
+    /// Variable line count bounded by `associativity × line size` bytes —
+    /// compressed fills.
+    Budgeted {
+        sets: Vec<Vec<EngineLine>>,
+        set_budget: u64,
+    },
+}
+
+/// The composable observer stack: every statistic the engine maintains,
+/// borrowed together so the eviction/write-back accounting lives in
+/// exactly one place ([`ObserverStack::retire`]).
+struct ObserverStack<'a> {
+    stats: &'a mut CacheStats,
+    traffic: &'a mut MemoryTraffic,
+    word_usage: Option<&'a mut WordUsageStats>,
+    sharing: Option<&'a mut SharingStats>,
+}
+
+impl ObserverStack<'_> {
+    /// Records one line leaving the cache — the single copy of the
+    /// eviction and write-back bookkeeping that used to be duplicated
+    /// across the five simulator variants.
+    fn retire(&mut self, old: &EngineLine, sector_size: u64, evictions: &mut Evictions) {
+        let ev = EvictedLine {
+            line_address: old.tag,
+            dirty: old.dirty_sectors != 0,
+            used_words: old.word_mask.count_ones(),
+            sharers: old.sharers.count_ones(),
+            writeback_bytes: u64::from(old.dirty_sectors.count_ones()) * sector_size,
+        };
+        self.stats.record_eviction(ev.dirty);
+        if let Some(usage) = self.word_usage.as_deref_mut() {
+            usage.record_eviction(ev.used_words);
+        }
+        if let Some(sharing) = self.sharing.as_deref_mut() {
+            sharing.record_eviction(ev.sharers);
+        }
+        if ev.dirty {
+            self.traffic.record_writeback(ev.writeback_bytes);
+        }
+        evictions.push(ev);
+    }
+}
+
+/// The generic set-associative, write-back, write-allocate cache engine.
+///
+/// One set/way/replacement core parameterised by a [`Fill`] policy; the
+/// historical simulator variants are type aliases over it:
+///
+/// | alias | fill policy |
+/// |---|---|
+/// | `Cache` | [`FullLineFill`] |
+/// | `SectoredCache` | [`SectoredFill`] |
+/// | `CompressedCache` | [`CompressedFill`] |
+/// | `SectoredCompressedCache` | [`SectoredCompressedFill`] |
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_cache_sim::{Cache, CacheConfig};
+///
+/// let mut cache = Cache::new(CacheConfig::new(4096, 64, 4)?);
+/// assert!(!cache.access(0x1000, false).is_hit()); // cold miss
+/// assert!(cache.access(0x1000, false).is_hit()); // now resident
+/// assert_eq!(cache.stats().misses(), 1);
+/// # Ok::<(), bandwall_cache_sim::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PipelineCache<F: Fill = FullLineFill> {
+    config: CacheConfig,
+    fill: F,
+    sector_size: u64,
+    storage: Storage,
+    stats: CacheStats,
+    traffic: MemoryTraffic,
+    compression: CompressionStats,
+    sector_misses: u64,
+    conventional_fetch_bytes: u64,
+    word_usage: Option<WordUsageStats>,
+    sharing: Option<SharingStats>,
+    seen_lines: HashSet<u64>,
+    tick: u64,
+    rng: Rng,
+}
+
+impl<F: Fill> PipelineCache<F> {
+    /// Builds an empty cache over the given geometry and fill policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is [`ReplacementPolicy::TreePlru`] and the
+    /// associativity is not a power of two (the PLRU tree needs a complete
+    /// binary tree over the ways), if tree-PLRU is combined with a
+    /// byte-budgeted (compressed) fill — budgeted sets have no fixed ways
+    /// for the tree to index — or if the fill declares more sectors than
+    /// the line has bytes.
+    pub fn with_fill(config: CacheConfig, fill: F) -> Self {
+        assert!(
+            config.policy() != ReplacementPolicy::TreePlru
+                || config.associativity().is_power_of_two(),
+            "tree-PLRU requires a power-of-two associativity"
+        );
+        assert!(
+            u64::from(fill.sectors_per_line()) <= config.line_size(),
+            "cannot have more sectors than bytes in a line"
+        );
+        assert!(
+            !(fill.budgeted() && config.policy() == ReplacementPolicy::TreePlru),
+            "tree-PLRU needs fixed ways; byte-budgeted (compressed) sets have none"
+        );
+        let storage = if fill.budgeted() {
+            Storage::Budgeted {
+                sets: (0..config.sets()).map(|_| Vec::new()).collect(),
+                set_budget: config.line_size() * u64::from(config.associativity()),
+            }
+        } else {
+            Storage::Slotted(
+                (0..config.sets())
+                    .map(|_| SlottedSet {
+                        ways: vec![None; config.associativity() as usize],
+                        plru_bits: 0,
+                    })
+                    .collect(),
+            )
+        };
+        PipelineCache {
+            sector_size: config.line_size() / u64::from(fill.sectors_per_line()),
+            config,
+            fill,
+            storage,
+            stats: CacheStats::new(),
+            traffic: MemoryTraffic::new(),
+            compression: CompressionStats::new(),
+            sector_misses: 0,
+            conventional_fetch_bytes: 0,
+            word_usage: None,
+            sharing: None,
+            seen_lines: HashSet::new(),
+            tick: 0,
+            rng: Rng::seed_from_u64(config.policy_seed()),
+        }
+    }
+
+    /// Enables per-word usage tracking (needed for unused-data studies).
+    #[must_use]
+    pub fn with_word_tracking(mut self) -> Self {
+        self.word_usage = Some(WordUsageStats::new(self.config.words_per_line()));
+        self
+    }
+
+    /// Enables per-core sharer tracking (needed for Figure 14).
+    #[must_use]
+    pub fn with_sharer_tracking(mut self) -> Self {
+        self.sharing = Some(SharingStats::new());
+        self
+    }
+
+    /// The cache's geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// The fill-granularity policy.
+    pub fn fill(&self) -> &F {
+        &self.fill
+    }
+
+    /// Sectors per line (1 for whole-line fills).
+    pub fn sectors_per_line(&self) -> u32 {
+        self.fill.sectors_per_line()
+    }
+
+    /// Access counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// This cache's own fetch/write-back traffic at fill granularity
+    /// (sector fetches for sectored fills, uncompressed-line granularity
+    /// for compressed fills).
+    pub fn traffic(&self) -> &MemoryTraffic {
+        &self.traffic
+    }
+
+    /// Aggregate compression statistics over all inserted lines (empty
+    /// for non-compressed fills).
+    pub fn compression(&self) -> &CompressionStats {
+        &self.compression
+    }
+
+    /// Sector misses into resident lines (subset of all misses; zero for
+    /// whole-line fills).
+    pub fn sector_misses(&self) -> u64 {
+        self.sector_misses
+    }
+
+    /// Bytes a conventional whole-line cache would have fetched for the
+    /// same line-miss stream.
+    pub fn conventional_fetch_bytes(&self) -> u64 {
+        self.conventional_fetch_bytes
+    }
+
+    /// Fraction of fetch traffic eliminated relative to whole-line
+    /// fetching (zero for whole-line fills).
+    pub fn fetch_savings(&self) -> f64 {
+        if self.conventional_fetch_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.traffic.fetched_bytes() as f64 / self.conventional_fetch_bytes as f64
+        }
+    }
+
+    /// Word-usage statistics, if tracking is enabled.
+    pub fn word_usage(&self) -> Option<&WordUsageStats> {
+        self.word_usage.as_ref()
+    }
+
+    /// Sharing statistics, if tracking is enabled.
+    pub fn sharing(&self) -> Option<&SharingStats> {
+        self.sharing.as_ref()
+    }
+
+    /// Number of currently resident lines.
+    pub fn resident_lines(&self) -> usize {
+        match &self.storage {
+            Storage::Slotted(sets) => sets.iter().map(|s| s.ways.iter().flatten().count()).sum(),
+            Storage::Budgeted { sets, .. } => sets.iter().map(Vec::len).sum(),
+        }
+    }
+
+    /// Lines an uncompressed cache of the same area would hold.
+    pub fn uncompressed_capacity_lines(&self) -> usize {
+        self.config.lines() as usize
+    }
+
+    /// Resident lines' uncompressed bytes over the bytes they actually
+    /// occupy — the *measured* effectiveness factor `F` of Equation 8
+    /// (1.0 for non-compressed fills, or while empty).
+    pub fn effective_capacity_factor(&self) -> f64 {
+        let occupied: u64 = match &self.storage {
+            Storage::Slotted(sets) => sets
+                .iter()
+                .flat_map(|s| s.ways.iter().flatten())
+                .map(|l| l.size_bytes)
+                .sum(),
+            Storage::Budgeted { sets, .. } => sets.iter().flatten().map(|l| l.size_bytes).sum(),
+        };
+        if occupied == 0 {
+            1.0
+        } else {
+            let uncompressed = self.resident_lines() as u64 * self.config.line_size();
+            uncompressed as f64 / occupied as f64
+        }
+    }
+
+    /// Non-mutating residency check.
+    pub fn contains(&self, address: u64) -> bool {
+        let (set_idx, tag) = self.config.locate(address);
+        match &self.storage {
+            Storage::Slotted(sets) => sets[set_idx as usize]
+                .ways
+                .iter()
+                .flatten()
+                .any(|l| l.tag == tag),
+            Storage::Budgeted { sets, .. } => sets[set_idx as usize].iter().any(|l| l.tag == tag),
+        }
+    }
+
+    /// Accesses `address` from core 0.
+    pub fn access(&mut self, address: u64, is_write: bool) -> AccessOutcome {
+        self.access_from(0, address, is_write)
+    }
+
+    /// Accesses `address` from `core` (the core id feeds sharer tracking).
+    pub fn access_from(&mut self, core: u16, address: u64, is_write: bool) -> AccessOutcome {
+        self.access_inner(core, address, is_write, None)
+    }
+
+    /// Accesses `address`, providing the line's payload so compressed
+    /// fills can (re)compress it. Non-compressed fills ignore the values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly one line long.
+    pub fn access_with_data(&mut self, address: u64, is_write: bool, data: &[u8]) -> AccessOutcome {
+        assert_eq!(
+            data.len() as u64,
+            self.config.line_size(),
+            "payload must be exactly one line"
+        );
+        self.access_inner(0, address, is_write, Some(data))
+    }
+
+    /// Stored size of the line holding `tag`, from caller data or the
+    /// fill's value generator.
+    fn stored_line_size(&self, tag: u64, data: Option<&[u8]>) -> u64 {
+        let line_size = self.config.line_size();
+        let size = match data {
+            Some(d) => self.fill.stored_size(d),
+            None => {
+                let generated = self
+                    .fill
+                    .generate(tag * line_size, line_size as usize)
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "{} fill needs line payloads: use access_with_data \
+                             or attach a value generator",
+                            self.fill.label()
+                        )
+                    });
+                self.fill.stored_size(&generated)
+            }
+        };
+        (size.expect("budgeted fill reports a stored size") as u64).min(line_size)
+    }
+
+    fn access_inner(
+        &mut self,
+        core: u16,
+        address: u64,
+        is_write: bool,
+        data: Option<&[u8]>,
+    ) -> AccessOutcome {
+        self.tick += 1;
+        let tick = self.tick;
+        let (set_idx, tag) = self.config.locate(address);
+        let set_idx = set_idx as usize;
+        let line_size = self.config.line_size();
+        let policy = self.config.policy();
+        let word_bit = 1u64 << ((address % line_size) / 8).min(63);
+        let core_bit = 1u64 << u64::from(core).min(63);
+        let sector_size = self.sector_size;
+        let sector_bit = 1u64 << ((address % line_size) / sector_size);
+
+        // Budgeted fills need the payload's stored size on any write (a
+        // rewrite may change the compressed size) and on any line miss.
+        // Compute it up front, before storage is mutably borrowed.
+        let presized: Option<u64> = if self.fill.budgeted() {
+            let resident = self.contains(address);
+            (is_write || !resident).then(|| self.stored_line_size(tag, data))
+        } else {
+            None
+        };
+
+        let Self {
+            storage,
+            stats,
+            traffic,
+            compression,
+            sector_misses,
+            conventional_fetch_bytes,
+            word_usage,
+            sharing,
+            seen_lines,
+            rng,
+            ..
+        } = self;
+        let mut observers = ObserverStack {
+            stats,
+            traffic,
+            word_usage: word_usage.as_mut(),
+            sharing: sharing.as_mut(),
+        };
+        let mut evictions = Evictions::None;
+
+        match storage {
+            Storage::Slotted(sets) => {
+                let set = &mut sets[set_idx];
+                let assoc = set.ways.len();
+                // Resident-line path.
+                if let Some(way) = set
+                    .ways
+                    .iter()
+                    .position(|l| l.as_ref().is_some_and(|l| l.tag == tag))
+                {
+                    let line = set.ways[way].as_mut().expect("hit way is occupied");
+                    line.last_used = tick;
+                    line.word_mask |= word_bit;
+                    line.sharers |= core_bit;
+                    let sector_present = line.valid_sectors & sector_bit != 0;
+                    line.valid_sectors |= sector_bit;
+                    if is_write {
+                        line.dirty_sectors |= sector_bit;
+                    }
+                    if policy == ReplacementPolicy::TreePlru {
+                        plru_touch(&mut set.plru_bits, assoc, way);
+                    }
+                    if sector_present {
+                        observers.stats.record_hit();
+                        return AccessOutcome {
+                            hit: true,
+                            fetched_bytes: 0,
+                            evictions,
+                        };
+                    }
+                    // Line resident, sector missing: fetch one sector. A
+                    // conventional cache would have hit here (whole line
+                    // fetched at the first miss), so no conventional
+                    // traffic.
+                    let cold = seen_lines.insert(tag);
+                    observers.stats.record_miss(cold);
+                    *sector_misses += 1;
+                    observers.traffic.record_fetch(sector_size);
+                    return AccessOutcome {
+                        hit: false,
+                        fetched_bytes: sector_size,
+                        evictions,
+                    };
+                }
+
+                // Line miss: classify, choose a frame, fill.
+                let cold = seen_lines.insert(tag);
+                observers.stats.record_miss(cold);
+                observers.traffic.record_fetch(sector_size);
+                *conventional_fetch_bytes += line_size;
+                let victim_way = match set.ways.iter().position(|l| l.is_none()) {
+                    Some(empty) => empty,
+                    None => match policy {
+                        ReplacementPolicy::Lru => min_by_key(&set.ways, |l| l.last_used),
+                        ReplacementPolicy::Fifo => min_by_key(&set.ways, |l| l.inserted),
+                        ReplacementPolicy::Random => rng.gen_range(0..set.ways.len()),
+                        ReplacementPolicy::TreePlru => plru_victim(set.plru_bits, assoc),
+                    },
+                };
+                if let Some(old) = set.ways[victim_way].take() {
+                    observers.retire(&old, sector_size, &mut evictions);
+                }
+                set.ways[victim_way] = Some(EngineLine {
+                    tag,
+                    valid_sectors: sector_bit,
+                    dirty_sectors: if is_write { sector_bit } else { 0 },
+                    last_used: tick,
+                    inserted: tick,
+                    word_mask: word_bit,
+                    sharers: core_bit,
+                    size_bytes: line_size,
+                });
+                if policy == ReplacementPolicy::TreePlru {
+                    plru_touch(&mut set.plru_bits, assoc, victim_way);
+                }
+                AccessOutcome {
+                    hit: false,
+                    fetched_bytes: sector_size,
+                    evictions,
+                }
+            }
+            Storage::Budgeted { sets, set_budget } => {
+                let set = &mut sets[set_idx];
+                // Resident-line path.
+                if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+                    line.last_used = tick;
+                    line.word_mask |= word_bit;
+                    line.sharers |= core_bit;
+                    let sector_present = line.valid_sectors & sector_bit != 0;
+                    line.valid_sectors |= sector_bit;
+                    if is_write {
+                        line.dirty_sectors |= sector_bit;
+                        // Rewriting may change the compressed size.
+                        line.size_bytes = presized.expect("writes are presized");
+                    }
+                    let hit = sector_present;
+                    if hit {
+                        observers.stats.record_hit();
+                    } else {
+                        let cold = seen_lines.insert(tag);
+                        observers.stats.record_miss(cold);
+                        *sector_misses += 1;
+                        observers.traffic.record_fetch(sector_size);
+                    }
+                    if is_write {
+                        shrink_to_budget(
+                            set,
+                            *set_budget,
+                            None,
+                            policy,
+                            rng,
+                            sector_size,
+                            &mut observers,
+                            &mut evictions,
+                        );
+                    }
+                    return AccessOutcome {
+                        hit,
+                        fetched_bytes: if hit { 0 } else { sector_size },
+                        evictions,
+                    };
+                }
+
+                // Line miss: fetch and insert compressed.
+                let cold = seen_lines.insert(tag);
+                observers.stats.record_miss(cold);
+                observers.traffic.record_fetch(sector_size);
+                *conventional_fetch_bytes += line_size;
+                let size = presized.expect("misses are presized");
+                compression.record(line_size as usize, size as usize);
+                set.push(EngineLine {
+                    tag,
+                    valid_sectors: sector_bit,
+                    dirty_sectors: if is_write { sector_bit } else { 0 },
+                    last_used: tick,
+                    inserted: tick,
+                    word_mask: word_bit,
+                    sharers: core_bit,
+                    size_bytes: size,
+                });
+                shrink_to_budget(
+                    set,
+                    *set_budget,
+                    Some(tag),
+                    policy,
+                    rng,
+                    sector_size,
+                    &mut observers,
+                    &mut evictions,
+                );
+                AccessOutcome {
+                    hit: false,
+                    fetched_bytes: sector_size,
+                    evictions,
+                }
+            }
+        }
+    }
+
+    /// Removes `address`'s line if resident *without* touching any
+    /// statistics — a silent transfer, e.g. an exclusive hierarchy moving
+    /// a line from the L2 into the L1.
+    pub fn extract(&mut self, address: u64) -> Option<EvictedLine> {
+        let old = self.extract_line(address)?;
+        Some(EvictedLine {
+            line_address: old.tag,
+            dirty: old.dirty_sectors != 0,
+            used_words: old.word_mask.count_ones(),
+            sharers: old.sharers.count_ones(),
+            writeback_bytes: u64::from(old.dirty_sectors.count_ones()) * self.sector_size,
+        })
+    }
+
+    fn extract_line(&mut self, address: u64) -> Option<EngineLine> {
+        let (set_idx, tag) = self.config.locate(address);
+        match &mut self.storage {
+            Storage::Slotted(sets) => {
+                let set = &mut sets[set_idx as usize];
+                let way = set
+                    .ways
+                    .iter()
+                    .position(|l| l.as_ref().is_some_and(|l| l.tag == tag))?;
+                Some(set.ways[way].take().expect("found way is occupied"))
+            }
+            Storage::Budgeted { sets, .. } => {
+                let set = &mut sets[set_idx as usize];
+                let idx = set.iter().position(|l| l.tag == tag)?;
+                Some(set.remove(idx))
+            }
+        }
+    }
+
+    /// Removes `address`'s line if resident, returning its state. Counts
+    /// as an eviction in the statistics (an invalidation caused by an
+    /// external agent, e.g. inclusion enforcement).
+    pub fn invalidate(&mut self, address: u64) -> Option<EvictedLine> {
+        let old = self.extract_line(address)?;
+        let sector_size = self.sector_size;
+        let mut evictions = Evictions::None;
+        self.observers().retire(&old, sector_size, &mut evictions);
+        evictions.as_slice().first().copied()
+    }
+
+    /// Marks `address`'s line dirty if resident (used when a hierarchy
+    /// transfers a dirty line between levels). Returns whether the line
+    /// was present.
+    pub fn mark_dirty(&mut self, address: u64) -> bool {
+        let (set_idx, tag) = self.config.locate(address);
+        let line = match &mut self.storage {
+            Storage::Slotted(sets) => sets[set_idx as usize]
+                .ways
+                .iter_mut()
+                .flatten()
+                .find(|l| l.tag == tag),
+            Storage::Budgeted { sets, .. } => {
+                sets[set_idx as usize].iter_mut().find(|l| l.tag == tag)
+            }
+        };
+        match line {
+            Some(line) => {
+                line.dirty_sectors |= line.valid_sectors;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Evicts everything, reporting dirty lines through the usual stats
+    /// (useful to flush write-backs at the end of a measurement window).
+    pub fn flush(&mut self) -> Vec<EvictedLine> {
+        let sector_size = self.sector_size;
+        let mut drained: Vec<EngineLine> = Vec::new();
+        match &mut self.storage {
+            Storage::Slotted(sets) => {
+                for set in sets.iter_mut() {
+                    for way in &mut set.ways {
+                        if let Some(old) = way.take() {
+                            drained.push(old);
+                        }
+                    }
+                }
+            }
+            Storage::Budgeted { sets, .. } => {
+                for set in sets.iter_mut() {
+                    drained.append(set);
+                }
+            }
+        }
+        let mut evictions = Evictions::None;
+        let mut observers = self.observers();
+        for old in &drained {
+            observers.retire(old, sector_size, &mut evictions);
+        }
+        evictions.as_slice().to_vec()
+    }
+
+    fn observers(&mut self) -> ObserverStack<'_> {
+        ObserverStack {
+            stats: &mut self.stats,
+            traffic: &mut self.traffic,
+            word_usage: self.word_usage.as_mut(),
+            sharing: self.sharing.as_mut(),
+        }
+    }
+}
+
+// Constructors per concrete fill, reached through the historical aliases
+// (`Cache::new`, `SectoredCache::new`, `CompressedCache::new`, ...).
+
+impl PipelineCache<FullLineFill> {
+    /// Builds an empty conventional cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is [`ReplacementPolicy::TreePlru`] and the
+    /// associativity is not a power of two.
+    pub fn new(config: CacheConfig) -> Self {
+        Self::with_fill(config, FullLineFill)
+    }
+}
+
+impl PipelineCache<SectoredFill> {
+    /// Builds a sectored cache; `sectors_per_line` must be a power of two
+    /// between 1 and the line size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sectors_per_line` is zero, not a power of two, or does
+    /// not divide the line size into at least one byte per sector.
+    pub fn new(config: CacheConfig, sectors_per_line: u32) -> Self {
+        Self::with_fill(config, SectoredFill::new(sectors_per_line))
+    }
+}
+
+impl PipelineCache<CompressedFill> {
+    /// Builds a compressed cache over the given geometry and engine.
+    pub fn new(config: CacheConfig, compressor: Box<dyn Compressor>) -> Self {
+        Self::with_fill(config, CompressedFill::new(compressor))
+    }
+}
+
+impl PipelineCache<SectoredCompressedFill> {
+    /// Builds a sectored *and* compressed cache — sector-granularity
+    /// fetches into byte-budgeted compressed sets.
+    pub fn new(
+        config: CacheConfig,
+        sectors_per_line: u32,
+        compressor: Box<dyn Compressor>,
+    ) -> Self {
+        Self::with_fill(
+            config,
+            SectoredCompressedFill::new(sectors_per_line, compressor),
+        )
+    }
+}
+
+fn min_by_key<F: Fn(&EngineLine) -> u64>(ways: &[Option<EngineLine>], key: F) -> usize {
+    ways.iter()
+        .enumerate()
+        .filter_map(|(i, l)| l.as_ref().map(|l| (i, key(l))))
+        .min_by_key(|&(_, k)| k)
+        .map(|(i, _)| i)
+        .expect("choose_victim called on a full set")
+}
+
+/// Marks `way` as recently used in the PLRU tree: walk from the root
+/// to the leaf, pointing every internal node *away* from the path.
+///
+/// The tree is stored as a heap in `bits`: node 1 is the root; node
+/// `n`'s children are `2n` and `2n+1`; bit = 0 points left, 1 right.
+/// Requires a power-of-two associativity (checked at construction).
+fn plru_touch(bits: &mut u64, assoc: usize, way: usize) {
+    debug_assert!(assoc.is_power_of_two());
+    let levels = assoc.trailing_zeros();
+    let mut node = 1usize;
+    for level in (0..levels).rev() {
+        let go_right = (way >> level) & 1 == 1;
+        // Point away from where we went.
+        if go_right {
+            *bits &= !(1 << node);
+        } else {
+            *bits |= 1 << node;
+        }
+        node = node * 2 + usize::from(go_right);
+    }
+}
+
+/// Follows the PLRU bits from the root to the pseudo-LRU leaf.
+fn plru_victim(bits: u64, assoc: usize) -> usize {
+    debug_assert!(assoc.is_power_of_two());
+    let levels = assoc.trailing_zeros();
+    let mut node = 1usize;
+    let mut way = 0usize;
+    for _ in 0..levels {
+        let go_right = (bits >> node) & 1 == 1;
+        way = way * 2 + usize::from(go_right);
+        node = node * 2 + usize::from(go_right);
+    }
+    way
+}
+
+/// Evicts lines until the set fits its byte budget, never evicting the
+/// just-inserted line (`protect_tag`). Victims follow the replacement
+/// policy (tree-PLRU is rejected for budgeted storage at construction).
+#[allow(clippy::too_many_arguments)]
+fn shrink_to_budget(
+    set: &mut Vec<EngineLine>,
+    set_budget: u64,
+    protect_tag: Option<u64>,
+    policy: ReplacementPolicy,
+    rng: &mut Rng,
+    sector_size: u64,
+    observers: &mut ObserverStack<'_>,
+    evictions: &mut Evictions,
+) {
+    loop {
+        let occupied: u64 = set.iter().map(|l| l.size_bytes).sum();
+        if occupied <= set_budget {
+            return;
+        }
+        let candidates = set
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| Some(l.tag) != protect_tag);
+        let victim = match policy {
+            ReplacementPolicy::Lru => candidates.min_by_key(|(_, l)| l.last_used).map(|(i, _)| i),
+            ReplacementPolicy::Fifo => candidates.min_by_key(|(_, l)| l.inserted).map(|(i, _)| i),
+            ReplacementPolicy::Random => {
+                let indices: Vec<usize> = candidates.map(|(i, _)| i).collect();
+                if indices.is_empty() {
+                    None
+                } else {
+                    Some(indices[rng.gen_range(0..indices.len())])
+                }
+            }
+            ReplacementPolicy::TreePlru => {
+                unreachable!("tree-PLRU is rejected for budgeted storage at construction")
+            }
+        };
+        match victim {
+            Some(i) => {
+                let old = set.remove(i);
+                observers.retire(&old, sector_size, evictions);
+            }
+            None => return, // only the protected line remains
+        }
+    }
+}

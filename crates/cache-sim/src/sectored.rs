@@ -1,5 +1,6 @@
 //! Sectored cache: fetch only the referenced sectors of a line
-//! (Section 6.2's "Sectored Caches" technique).
+//! (Section 6.2's "Sectored Caches" technique) — a thin alias over the
+//! unified access pipeline with a [`SectoredFill`] policy.
 //!
 //! Lines are divided into sectors; a miss fetches just the sector the
 //! processor asked for, so unused words never cross the memory link. The
@@ -7,18 +8,12 @@
 //! paper's assumption that sectoring reduces *traffic* but not *capacity*
 //! pressure.
 
+#[cfg(test)]
 use crate::config::CacheConfig;
-use crate::stats::{CacheStats, MemoryTraffic};
+use crate::pipeline::{PipelineCache, SectoredFill};
 
-#[derive(Debug, Clone, Copy)]
-struct SectoredLine {
-    tag: u64,
-    valid_sectors: u64,
-    dirty_sectors: u64,
-    last_used: u64,
-}
-
-/// A sectored, write-back cache with LRU replacement.
+/// A sectored, write-back cache — the unified pipeline with
+/// sector-granularity fills.
 ///
 /// # Examples
 ///
@@ -37,154 +32,7 @@ struct SectoredLine {
 /// assert_eq!(cache.conventional_fetch_bytes(), 64);
 /// # Ok::<(), bandwall_cache_sim::ConfigError>(())
 /// ```
-#[derive(Debug, Clone)]
-pub struct SectoredCache {
-    config: CacheConfig,
-    sectors_per_line: u32,
-    sector_size: u64,
-    sets: Vec<Vec<Option<SectoredLine>>>,
-    stats: CacheStats,
-    sector_misses: u64,
-    traffic: MemoryTraffic,
-    conventional_fetch_bytes: u64,
-    tick: u64,
-}
-
-impl SectoredCache {
-    /// Builds a sectored cache; `sectors_per_line` must be a power of two
-    /// between 1 and the line's word count × 8.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `sectors_per_line` is zero, not a power of two, or does
-    /// not divide the line size into at least one byte per sector.
-    pub fn new(config: CacheConfig, sectors_per_line: u32) -> Self {
-        assert!(
-            sectors_per_line > 0 && sectors_per_line.is_power_of_two(),
-            "sectors per line must be a positive power of two"
-        );
-        assert!(
-            sectors_per_line as u64 <= config.line_size(),
-            "cannot have more sectors than bytes in a line"
-        );
-        assert!(sectors_per_line <= 64, "sector mask is 64 bits");
-        let sector_size = config.line_size() / sectors_per_line as u64;
-        let sets = (0..config.sets())
-            .map(|_| vec![None; config.associativity() as usize])
-            .collect();
-        SectoredCache {
-            config,
-            sectors_per_line,
-            sector_size,
-            sets,
-            stats: CacheStats::new(),
-            sector_misses: 0,
-            traffic: MemoryTraffic::new(),
-            conventional_fetch_bytes: 0,
-            tick: 0,
-        }
-    }
-
-    /// The cache geometry.
-    pub fn config(&self) -> &CacheConfig {
-        &self.config
-    }
-
-    /// Sectors per line.
-    pub fn sectors_per_line(&self) -> u32 {
-        self.sectors_per_line
-    }
-
-    /// Hit/miss statistics (a sector miss within a resident line counts as
-    /// a miss).
-    pub fn stats(&self) -> &CacheStats {
-        &self.stats
-    }
-
-    /// Sector misses into resident lines (subset of all misses).
-    pub fn sector_misses(&self) -> u64 {
-        self.sector_misses
-    }
-
-    /// Actual off-chip traffic at sector granularity.
-    pub fn traffic(&self) -> &MemoryTraffic {
-        &self.traffic
-    }
-
-    /// Bytes a conventional (whole-line) cache would have fetched for the
-    /// same miss stream.
-    pub fn conventional_fetch_bytes(&self) -> u64 {
-        self.conventional_fetch_bytes
-    }
-
-    /// Fraction of fetch traffic eliminated relative to whole-line
-    /// fetching.
-    pub fn fetch_savings(&self) -> f64 {
-        if self.conventional_fetch_bytes == 0 {
-            0.0
-        } else {
-            1.0 - self.traffic.fetched_bytes() as f64 / self.conventional_fetch_bytes as f64
-        }
-    }
-
-    /// Accesses one address.
-    pub fn access(&mut self, address: u64, is_write: bool) {
-        self.tick += 1;
-        let (set_idx, tag) = self.config.locate(address);
-        let sector = (address % self.config.line_size()) / self.sector_size;
-        let sector_bit = 1u64 << sector;
-        let tick = self.tick;
-        let set = &mut self.sets[set_idx as usize];
-
-        if let Some(line) = set.iter_mut().flatten().find(|l| l.tag == tag) {
-            line.last_used = tick;
-            if line.valid_sectors & sector_bit != 0 {
-                // Sector present.
-                line.dirty_sectors |= if is_write { sector_bit } else { 0 };
-                self.stats.record_hit();
-            } else {
-                // Line resident, sector missing: fetch one sector.
-                line.valid_sectors |= sector_bit;
-                line.dirty_sectors |= if is_write { sector_bit } else { 0 };
-                self.stats.record_miss(false);
-                self.sector_misses += 1;
-                self.traffic.record_fetch(self.sector_size);
-                // A conventional cache would have hit here (whole line
-                // fetched at the first miss), so no conventional traffic.
-            }
-            return;
-        }
-
-        // Line miss.
-        self.stats.record_miss(false);
-        self.traffic.record_fetch(self.sector_size);
-        self.conventional_fetch_bytes += self.config.line_size();
-        let victim_way = match set.iter().position(|l| l.is_none()) {
-            Some(empty) => empty,
-            None => set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.expect("full set").last_used)
-                .map(|(i, _)| i)
-                .expect("set is non-empty"),
-        };
-        if let Some(old) = set[victim_way].take() {
-            let dirty = old.dirty_sectors != 0;
-            self.stats.record_eviction(dirty);
-            if dirty {
-                // Write back only the dirty sectors.
-                self.traffic
-                    .record_writeback(old.dirty_sectors.count_ones() as u64 * self.sector_size);
-            }
-        }
-        set[victim_way] = Some(SectoredLine {
-            tag,
-            valid_sectors: sector_bit,
-            dirty_sectors: if is_write { sector_bit } else { 0 },
-            last_used: tick,
-        });
-    }
-}
+pub type SectoredCache = PipelineCache<SectoredFill>;
 
 #[cfg(test)]
 mod tests {

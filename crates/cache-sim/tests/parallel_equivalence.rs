@@ -5,7 +5,8 @@
 //! sharing fractions, and coherence events all included.
 
 use bandwall_cache_sim::{
-    CacheConfig, CmpSimConfig, CoherentSimConfig, L2Organization, ReplacementPolicy,
+    CacheConfig, CmpSimConfig, CoherentSimConfig, CompressorKind, EngineSimConfig, FillSpec,
+    L2Organization, ProfileKind, ReplacementPolicy, ValueSpec,
 };
 use bandwall_trace::{MixTrace, ParsecLikeTrace, StridedTrace, TraceSource, ZipfTrace};
 
@@ -66,6 +67,7 @@ fn shared_l2_grid_is_bit_identical() {
                 l1: CacheConfig::new(1 << 10, 64, 2).unwrap(),
                 l2: CacheConfig::new(128 << 10, 64, 8).unwrap(),
                 organization: L2Organization::Shared,
+                l2_fill: FillSpec::FullLine,
                 flush: false,
             };
             run_cmp_grid(config, 50_000, seed);
@@ -80,6 +82,7 @@ fn private_l2_grid_is_bit_identical() {
         l1: CacheConfig::new(512, 64, 2).unwrap(),
         l2: CacheConfig::new(32 << 10, 64, 4).unwrap(),
         organization: L2Organization::Private,
+        l2_fill: FillSpec::FullLine,
         flush: false,
     };
     for seed in [7u64, 19] {
@@ -96,6 +99,7 @@ fn flush_preserves_equivalence() {
         l1: CacheConfig::new(512, 64, 2).unwrap(),
         l2: CacheConfig::new(64 << 10, 64, 8).unwrap(),
         organization: L2Organization::Shared,
+        l2_fill: FillSpec::FullLine,
         flush: true,
     };
     run_cmp_grid(config, 40_000, 13);
@@ -117,6 +121,7 @@ fn replacement_policies_stay_equivalent() {
                 .unwrap()
                 .with_policy(policy),
             organization: L2Organization::Shared,
+            l2_fill: FillSpec::FullLine,
             flush: false,
         };
         run_cmp_grid(config, 40_000, 29);
@@ -136,6 +141,7 @@ fn random_policy_falls_back_to_sequential_and_stays_deterministic() {
             .with_policy(ReplacementPolicy::Random)
             .with_policy_seed(6),
         organization: L2Organization::Shared,
+        l2_fill: FillSpec::FullLine,
         flush: false,
     };
     assert_eq!(config.bank_count(8), 1);
@@ -150,6 +156,7 @@ fn coherent_cmp_grid_is_bit_identical() {
             let config = CoherentSimConfig {
                 cores,
                 cache: CacheConfig::new(8 << 10, 64, 4).unwrap(),
+                fill: FillSpec::FullLine,
                 flush,
             };
             let fresh = || {
@@ -182,10 +189,139 @@ fn parallel_runs_are_repeatable() {
         l1: CacheConfig::new(1 << 10, 64, 2).unwrap(),
         l2: CacheConfig::new(64 << 10, 64, 8).unwrap(),
         organization: L2Organization::Shared,
+        l2_fill: FillSpec::FullLine,
         flush: true,
     };
     let fresh = || ParsecLikeTrace::builder(4).seed(77).build();
     let a = config.run_parallel(&mut fresh(), 60_000, 4).unwrap();
     let b = config.run_parallel(&mut fresh(), 60_000, 4).unwrap();
     assert_eq!(a, b);
+}
+
+/// The unified-pipeline fill grid: every [`FillSpec`] the engine knows.
+fn fill_specs() -> [FillSpec; 4] {
+    let values = ValueSpec {
+        profile: ProfileKind::Commercial,
+        seed: 11,
+    };
+    [
+        FillSpec::FullLine,
+        FillSpec::Sectored {
+            sectors_per_line: 8,
+        },
+        FillSpec::Compressed {
+            compressor: CompressorKind::Fpc,
+            values,
+        },
+        FillSpec::SectoredCompressed {
+            sectors_per_line: 4,
+            compressor: CompressorKind::Bdi,
+            values,
+        },
+    ]
+}
+
+#[test]
+fn engine_grid_is_bit_identical_for_every_fill() {
+    for fill in fill_specs() {
+        for flush in [false, true] {
+            let config = EngineSimConfig {
+                cache: CacheConfig::new(16 << 10, 64, 4).unwrap(),
+                fill,
+                flush,
+            };
+            for w in 0..WORKLOADS {
+                let seq = config.run_sequential(&mut workload(w, 4, 23), 40_000);
+                for threads in THREADS {
+                    let par = config.run_parallel(&mut workload(w, 4, 23), 40_000, threads);
+                    assert_eq!(
+                        seq, par,
+                        "fill {fill:?}, flush {flush}, workload {w}, threads {threads}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_random_policy_falls_back_to_sequential() {
+    for fill in fill_specs() {
+        let config = EngineSimConfig {
+            cache: CacheConfig::new(16 << 10, 64, 4)
+                .unwrap()
+                .with_policy(ReplacementPolicy::Random)
+                .with_policy_seed(9),
+            fill,
+            flush: false,
+        };
+        assert_eq!(config.bank_count(8), 1, "fill {fill:?}");
+        // The fallback still honours the bit-identical contract.
+        let a = config.run_parallel(&mut workload(0, 4, 31), 20_000, 8);
+        let b = config.run_sequential(&mut workload(0, 4, 31), 20_000);
+        assert_eq!(a, b, "fill {fill:?}");
+    }
+}
+
+#[test]
+fn sectored_l2_cmp_grid_is_bit_identical() {
+    let config = CmpSimConfig {
+        cores: 4,
+        l1: CacheConfig::new(1 << 10, 64, 2).unwrap(),
+        l2: CacheConfig::new(64 << 10, 64, 8).unwrap(),
+        organization: L2Organization::Shared,
+        l2_fill: FillSpec::Sectored {
+            sectors_per_line: 4,
+        },
+        flush: true,
+    };
+    run_cmp_grid(config, 40_000, 37);
+}
+
+#[test]
+fn compressed_l2_cmp_grid_is_bit_identical() {
+    let config = CmpSimConfig {
+        cores: 4,
+        l1: CacheConfig::new(1 << 10, 64, 2).unwrap(),
+        l2: CacheConfig::new(32 << 10, 64, 8).unwrap(),
+        organization: L2Organization::Private,
+        l2_fill: FillSpec::Compressed {
+            compressor: CompressorKind::Fpc,
+            values: ValueSpec {
+                profile: ProfileKind::Integer,
+                seed: 3,
+            },
+        },
+        flush: true,
+    };
+    run_cmp_grid(config, 40_000, 43);
+}
+
+#[test]
+fn compressed_coherent_grid_is_bit_identical() {
+    let config = CoherentSimConfig {
+        cores: 4,
+        cache: CacheConfig::new(8 << 10, 64, 4).unwrap(),
+        fill: FillSpec::Compressed {
+            compressor: CompressorKind::BestOf,
+            values: ValueSpec {
+                profile: ProfileKind::Commercial,
+                seed: 29,
+            },
+        },
+        flush: true,
+    };
+    let fresh = || {
+        ParsecLikeTrace::builder_with_regions(4, 400, 300)
+            .shared_access_fraction(0.5)
+            .write_fraction(0.4)
+            .seed(19)
+            .build()
+    };
+    let seq = config.run_sequential(&mut fresh(), 40_000).unwrap();
+    for threads in THREADS {
+        let par = config.run_parallel(&mut fresh(), 40_000, threads).unwrap();
+        assert_eq!(seq, par, "threads {threads}");
+    }
+    assert!(seq.coherence.invalidations() > 0);
 }

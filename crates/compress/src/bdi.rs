@@ -131,6 +131,10 @@ impl Bdi {
 }
 
 impl Compressor for Bdi {
+    fn clone_box(&self) -> Box<dyn Compressor> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &'static str {
         "BDI"
     }

@@ -66,6 +66,12 @@ impl BestOf {
 }
 
 impl Compressor for BestOf {
+    fn clone_box(&self) -> Box<dyn Compressor> {
+        Box::new(BestOf {
+            engines: self.engines.iter().map(|e| e.clone_box()).collect(),
+        })
+    }
+
     fn name(&self) -> &'static str {
         "BestOf"
     }

@@ -131,6 +131,10 @@ impl DictionaryLine {
 }
 
 impl Compressor for DictionaryLine {
+    fn clone_box(&self) -> Box<dyn Compressor> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &'static str {
         "Dict"
     }

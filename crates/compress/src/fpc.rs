@@ -116,6 +116,10 @@ impl Fpc {
 }
 
 impl Compressor for Fpc {
+    fn clone_box(&self) -> Box<dyn Compressor> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &'static str {
         "FPC"
     }

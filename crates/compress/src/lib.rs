@@ -93,7 +93,11 @@ impl std::error::Error for DecompressError {}
 /// `decompress(&compress(line), line.len()) == line` for every line whose
 /// length meets the engine's alignment requirement (a multiple of 4 bytes
 /// for word-based engines, 8 for [`Bdi`]).
-pub trait Compressor {
+///
+/// The `Send + Sync` bounds let boxed engines travel into the bank-parallel
+/// simulation workers; every engine here is plain value data, so they are
+/// free.
+pub trait Compressor: Send + Sync {
     /// Short engine name for reports (e.g. `"FPC"`).
     fn name(&self) -> &'static str;
 
@@ -122,6 +126,16 @@ pub trait Compressor {
     /// Compression ratio `original / compressed` for one line.
     fn compression_ratio(&self, line: &[u8]) -> f64 {
         line.len() as f64 / self.compressed_size(line) as f64
+    }
+
+    /// Boxes a copy of this engine, making `Box<dyn Compressor>` cloneable
+    /// (compressed-cache simulators derive `Clone`).
+    fn clone_box(&self) -> Box<dyn Compressor>;
+}
+
+impl Clone for Box<dyn Compressor> {
+    fn clone(&self) -> Self {
+        self.as_ref().clone_box()
     }
 }
 

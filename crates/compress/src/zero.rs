@@ -34,6 +34,10 @@ impl ZeroRle {
 }
 
 impl Compressor for ZeroRle {
+    fn clone_box(&self) -> Box<dyn Compressor> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &'static str {
         "ZeroRLE"
     }
