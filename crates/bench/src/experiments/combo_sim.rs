@@ -100,7 +100,7 @@ impl ComboSim {
             .touched_words(5)
             .max_distance(1 << 13)
             .build();
-        let stats = sim.run_parallel(&mut trace, accesses, THREADS);
+        let stats = sim.run(&mut trace, accesses, THREADS);
         stats.traffic.total_bytes() as f64
     }
 
@@ -150,7 +150,7 @@ impl ComboSim {
             .seed(self.seed ^ 0x5A)
             .build();
         let stats = sim
-            .run_parallel(&mut trace, accesses, THREADS)
+            .run(&mut trace, accesses, THREADS)
             .expect("valid geometry");
         (
             stats.traffic.total_bytes() as f64,

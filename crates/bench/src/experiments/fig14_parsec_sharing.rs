@@ -40,13 +40,13 @@ impl Fig14ParsecSharing {
             .shared_access_fraction(0.4)
             .seed(self.seed)
             .build();
-        // The banked parallel engine is bit-identical to the sequential
-        // path, so threading never moves the reported numbers.
+        // The banked engine is bit-identical at every thread count, so
+        // threading never moves the reported numbers.
         let threads = std::thread::available_parallelism()
             .map(usize::from)
             .unwrap_or(1);
         let stats = sim
-            .run_parallel(&mut trace, ACCESSES, threads)
+            .run(&mut trace, ACCESSES, threads)
             .expect("valid geometry");
         stats
             .sharing

@@ -9,14 +9,15 @@
 //!
 //! Groups:
 //!
-//! * `sim_engine` — the Figure 14 CMP simulation: trace generation,
-//!   sequential simulation, and the banked parallel engine at 2/4/8
-//!   threads with speedup vs the sequential median, plus the sectored
-//!   and compressed fills of the unified pipeline (sequential and
-//!   4-thread banked). On a multi-core host the parallel rows scale
-//!   with the bank count; on a single hardware thread they measure the
-//!   engine's overhead (the snapshot records `host_parallelism` so
-//!   readers can tell which).
+//! * `sim_engine` — the Figure 14 CMP simulation: trace generation, the
+//!   1-bank baseline, and the banked engine at 2/4/8 threads with
+//!   speedup vs the baseline median; plus 4-thread banked runs of the
+//!   configurations that historically fell back to sequential —
+//!   Random replacement and mismatched L1/L2 line sizes — and the
+//!   sectored and compressed fills of the unified pipeline. On a
+//!   multi-core host the parallel rows scale with the bank count; on a
+//!   single hardware thread they measure the engine's overhead (the
+//!   snapshot records `host_parallelism` so readers can tell which).
 //! * `compress` — every cache-line compression engine over an identical
 //!   deterministic stream of commercial-profile lines.
 //! * `experiments` — end-to-end registry experiment runs (one analytic,
@@ -29,7 +30,7 @@ use crate::registry;
 use crate::report::{Report, TableBlock, Value};
 use bandwall_cache_sim::{
     CacheConfig, CmpSimConfig, CompressorKind, EngineSimConfig, FillSpec, L2Organization,
-    ProfileKind, ValueSpec,
+    ProfileKind, ReplacementPolicy, ValueSpec,
 };
 use bandwall_compress::{Bdi, BestOf, Compressor, Fpc, ZeroRle};
 use bandwall_trace::values::{LineValueGenerator, ValueProfile};
@@ -241,8 +242,54 @@ fn fig14_trace() -> ParsecLikeTrace {
         .build()
 }
 
+/// Measures one `CmpSimConfig` at its 1-bank baseline and each parallel
+/// thread count, tagging the parallel rows with speedup vs the baseline
+/// median.
+fn cmp_sim_kernels(
+    options: &BenchOptions,
+    sim: &CmpSimConfig,
+    id_base: &str,
+    desc_base: &str,
+    par_threads: &[usize],
+    results: &mut Vec<BenchResult>,
+) {
+    let accesses = options.accesses;
+    results.push(BenchResult::from_samples(
+        format!("{id_base}_seq"),
+        format!("{desc_base}, 1-bank baseline"),
+        1,
+        accesses as u64,
+        "accesses",
+        time_samples(options, || {
+            let mut trace = fig14_trace();
+            std::hint::black_box(sim.run(&mut trace, accesses, 1).expect("valid"));
+        }),
+    ));
+    let seq_median = results.last().expect("just pushed").median_ns();
+    for &threads in par_threads {
+        let mut r = BenchResult::from_samples(
+            format!("{id_base}_par{threads}"),
+            format!(
+                "{desc_base}, banked parallel ({} banks)",
+                sim.partitioning(threads).banks()
+            ),
+            threads,
+            accesses as u64,
+            "accesses",
+            time_samples(options, || {
+                let mut trace = fig14_trace();
+                std::hint::black_box(sim.run(&mut trace, accesses, threads).expect("valid"));
+            }),
+        );
+        let median = r.median_ns();
+        if median > 0 {
+            r.speedup_vs_sequential = Some(seq_median as f64 / median as f64);
+        }
+        results.push(r);
+    }
+}
+
 fn sim_engine_results(options: &BenchOptions) -> Vec<BenchResult> {
-    let sim = fig14_sim();
     let accesses = options.accesses;
     let mut results = vec![BenchResult::from_samples(
         "fig14_trace_gen",
@@ -255,42 +302,45 @@ fn sim_engine_results(options: &BenchOptions) -> Vec<BenchResult> {
             std::hint::black_box(materialize(&mut trace, accesses));
         }),
     )];
-    results.push(BenchResult::from_samples(
-        "fig14_sim_seq",
-        "Figure 14 CMP simulation, sequential",
-        1,
-        accesses as u64,
-        "accesses",
-        time_samples(options, || {
-            let mut trace = fig14_trace();
-            std::hint::black_box(sim.run_sequential(&mut trace, accesses).expect("valid"));
-        }),
-    ));
-    let seq_median = results[1].median_ns();
-    for threads in [2usize, 4, 8] {
-        let mut r = BenchResult::from_samples(
-            format!("fig14_sim_par{threads}"),
-            format!(
-                "Figure 14 CMP simulation, banked parallel ({} banks)",
-                sim.bank_count(threads)
-            ),
-            threads,
-            accesses as u64,
-            "accesses",
-            time_samples(options, || {
-                let mut trace = fig14_trace();
-                std::hint::black_box(
-                    sim.run_parallel(&mut trace, accesses, threads)
-                        .expect("valid"),
-                );
-            }),
-        );
-        let median = r.median_ns();
-        if median > 0 {
-            r.speedup_vs_sequential = Some(seq_median as f64 / median as f64);
-        }
-        results.push(r);
-    }
+    cmp_sim_kernels(
+        options,
+        &fig14_sim(),
+        "fig14_sim",
+        "Figure 14 CMP simulation",
+        &[2, 4, 8],
+        &mut results,
+    );
+    // Random replacement and mismatched L1/L2 line sizes: the two
+    // configurations that historically dropped to one bank, now on the
+    // same banked path as everything else.
+    let mut random = fig14_sim();
+    random.l1 = CacheConfig::new(512, 64, 2)
+        .expect("valid L1")
+        .with_policy(ReplacementPolicy::Random)
+        .with_policy_seed(2026);
+    random.l2 = CacheConfig::new(512 << 10, 64, 8)
+        .expect("valid L2")
+        .with_policy(ReplacementPolicy::Random)
+        .with_policy_seed(2027);
+    cmp_sim_kernels(
+        options,
+        &random,
+        "random_sim",
+        "Random-replacement CMP simulation",
+        &[4],
+        &mut results,
+    );
+    let mut mismatched = fig14_sim();
+    mismatched.l1 = CacheConfig::new(1 << 10, 64, 2).expect("valid L1");
+    mismatched.l2 = CacheConfig::new(512 << 10, 128, 8).expect("valid L2");
+    cmp_sim_kernels(
+        options,
+        &mismatched,
+        "mismatched_sim",
+        "Mismatched-line-size CMP simulation (64 B L1 / 128 B L2)",
+        &[4],
+        &mut results,
+    );
     for (label, fill) in [
         (
             "sectored",
@@ -312,13 +362,13 @@ fn sim_engine_results(options: &BenchOptions) -> Vec<BenchResult> {
         let sim = engine_sim(fill);
         results.push(BenchResult::from_samples(
             format!("{label}_sim_seq"),
-            format!("{label} cache simulation, sequential"),
+            format!("{label} cache simulation, 1-bank baseline"),
             1,
             accesses as u64,
             "accesses",
             time_samples(options, || {
                 let mut trace = fig14_trace();
-                std::hint::black_box(sim.run_sequential(&mut trace, accesses));
+                std::hint::black_box(sim.run(&mut trace, accesses, 1));
             }),
         ));
         let seq_median = results.last().expect("just pushed").median_ns();
@@ -327,14 +377,14 @@ fn sim_engine_results(options: &BenchOptions) -> Vec<BenchResult> {
             format!("{label}_sim_par{threads}"),
             format!(
                 "{label} cache simulation, banked parallel ({} banks)",
-                sim.bank_count(threads)
+                sim.partitioning(threads).banks()
             ),
             threads,
             accesses as u64,
             "accesses",
             time_samples(options, || {
                 let mut trace = fig14_trace();
-                std::hint::black_box(sim.run_parallel(&mut trace, accesses, threads));
+                std::hint::black_box(sim.run(&mut trace, accesses, threads));
             }),
         );
         let median = r.median_ns();
@@ -554,6 +604,10 @@ mod tests {
                 "fig14_sim_par2",
                 "fig14_sim_par4",
                 "fig14_sim_par8",
+                "random_sim_seq",
+                "random_sim_par4",
+                "mismatched_sim_seq",
+                "mismatched_sim_par4",
                 "sectored_sim_seq",
                 "sectored_sim_par4",
                 "compressed_sim_seq",

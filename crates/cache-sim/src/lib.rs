@@ -70,7 +70,8 @@ pub use footprint::PredictiveSectoredCache;
 pub use hierarchy::{InclusionPolicy, TwoLevelHierarchy};
 pub use memory::{simulate_throughput, DramChannel, ThroughputSimConfig, ThroughputSimResult};
 pub use parallel::{
-    CmpSimConfig, CmpSimStats, CoherentSimConfig, CoherentSimStats, EngineSimConfig, EngineSimStats,
+    CmpSimConfig, CmpSimStats, CoherentSimConfig, CoherentSimStats, EngineSimConfig,
+    EngineSimStats, Partitioning,
 };
 pub use pipeline::{
     CompressedFill, CompressorKind, Fill, FillSpec, FullLineFill, PipelineCache, ProfileKind,

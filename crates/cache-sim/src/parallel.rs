@@ -2,50 +2,67 @@
 //!
 //! Trace-driven simulation is serial by nature: every access mutates
 //! cache state the next access may depend on. But a set-associative cache
-//! decomposes exactly by *set* — replacement (LRU, FIFO, tree-PLRU) only
-//! compares lines within one set, cold-miss classification is per line,
-//! and every counter is an additive `u64`. Partitioning the *address
-//! space* by line (`line % banks`) therefore partitions the caches into
-//! independent banks, exactly like the address-interleaved banks of real
-//! hardware: each worker simulates its bank's subsequence of the shared
-//! trace on a private copy of the system, and the merged counters equal a
-//! sequential run bit for bit — not approximately, identically.
+//! decomposes exactly by *set* — replacement only compares lines within
+//! one set, cold-miss classification is per line, and every counter is an
+//! additive `u64`. Partitioning the *address space* therefore partitions
+//! the caches into independent banks, exactly like the address-interleaved
+//! banks of real hardware: each worker simulates its bank's subsequence of
+//! the shared trace on a private copy of the system, and the merged
+//! counters equal a 1-bank run bit for bit — not approximately,
+//! identically. There is **one** execution path: a sequential run is the
+//! 1-bank case of the same engine, and no `(policy, line size)`
+//! combination falls back to anything.
 //!
+//! Addresses are interleaved at the *partition granularity* `g` — the
+//! coarser of the line sizes in play (`bank = (address / g) % banks`).
 //! The partition is sound when every state transition an access triggers
 //! stays inside its own bank:
 //!
-//! * **Set residue.** With `banks` dividing the set count, lines with
-//!   equal residue `line % banks` map to sets with that same residue, so
-//!   banks touch disjoint sets and the intra-set replacement order each
-//!   bank observes is the same subsequence it would observe sequentially.
+//! * **Set residue.** All quantities are powers of two, so the bank index
+//!   occupies address bits `[log2 g, log2 g + log2 banks)`. A cache with
+//!   line size `l ≤ g` and `s` sets indexes its set from bits
+//!   `[log2 l, log2 l + log2 s)`; the bank bits are a sub-field of the
+//!   set bits whenever `banks ≤ s / (g / l)` — the cache's set count
+//!   *aligned* to the partition granularity. Banks therefore touch
+//!   disjoint sets in every cache level, and the intra-set order each
+//!   bank observes is the same subsequence it would observe in a 1-bank
+//!   run.
 //! * **Victim locality.** An evicted victim shares its set with the
-//!   incoming line, hence shares its residue — L1 dirty victims written
+//!   incoming line, hence shares its bank bits — L1 dirty victims written
 //!   through to the L2, directory updates, and invalidations all land in
-//!   the bank that produced them (this needs L1 and L2 line sizes to be
-//!   equal, which the engine checks).
+//!   the bank that produced them. Mismatched L1/L2 line sizes are exactly
+//!   why the partition granularity is the *coarser* line size: every
+//!   finer-grained line inside one coarse line belongs to the same bank,
+//!   so cross-level transfers never cross banks.
+//! * **Replacement locality.** LRU, FIFO, and tree-PLRU state is per set
+//!   by construction. Random replacement draws from a **per-set** RNG
+//!   stream derived from `(policy seed, set index)`
+//!   (`bandwall_numerics::Rng::seed_from_stream`; see `pipeline.rs`), so
+//!   a set's victim sequence is a function of its own access subsequence
+//!   alone — merged parallel statistics are bit-identical to the 1-bank
+//!   run by construction, not by luck.
 //! * **Additive counters.** Hits, misses, evictions, write-backs, traffic
 //!   bytes, sharer counts, and coherence events sum across banks in any
 //!   fixed order; the engine merges in bank order for determinism.
 //!
-//! These arguments hold for *every* [`FillSpec`] of the unified pipeline,
-//! not just whole-line fills: sector validity is per line, and a
-//! compressed set's byte budget — including the multi-victim evictions it
-//! can trigger — is confined to that set, while the value generator
-//! feeding the compressor is a pure function of the line address. So
-//! sectored, compressed, and sectored+compressed configurations all run
-//! banked. Two configurations cannot be partitioned and deterministically
-//! fall back to one bank (sequential execution):
-//! [`ReplacementPolicy::Random`] draws victims from a single per-cache
-//! RNG stream whose consumption order depends on the interleaving, and
-//! mismatched L1/L2 line sizes break victim locality.
+//! These arguments hold for *every* [`FillSpec`] of the unified pipeline:
+//! sector validity is per line, and a compressed set's byte budget —
+//! including the multi-victim evictions it can trigger — is confined to
+//! that set, while the value generator feeding the compressor is a pure
+//! function of the line address.
+//!
+//! [`Partitioning`] makes the partition inspectable: it reports the bank
+//! count, the granularity, and whether geometry capped the requested
+//! thread count. There is deliberately no "fallback" variant — a
+//! degraded path is unrepresentable.
 //!
 //! Trace generation stays sequential — generators like
 //! `ParsecLikeTrace` carry cross-thread state (echo queues), so the
 //! calling thread produces the exact sequential stream in chunks (see
-//! `bandwall_trace::TraceChunks`) and broadcasts each chunk to all
-//! workers over bounded channels; each worker filters out its bank's
-//! subsequence. Generation is cheap relative to simulation, so the
-//! pipeline scales with the slowest bank.
+//! `bandwall_trace::TraceChunks`), splits each chunk into per-bank
+//! batches, and sends each worker only its own accesses over bounded
+//! channels. Generation is cheap relative to simulation, so the pipeline
+//! scales with the slowest bank.
 //!
 //! # Examples
 //!
@@ -62,15 +79,15 @@
 //!     flush: false,
 //! };
 //! let trace = || ParsecLikeTrace::builder(4).seed(9).build();
-//! let seq = sim.run_sequential(&mut trace(), 20_000)?;
-//! let par = sim.run_parallel(&mut trace(), 20_000, 4)?;
-//! assert_eq!(seq, par); // bit-identical, not approximate
+//! let one_bank = sim.run(&mut trace(), 20_000, 1)?;
+//! let banked = sim.run(&mut trace(), 20_000, 4)?;
+//! assert_eq!(one_bank, banked); // bit-identical, not approximate
 //! # Ok::<(), bandwall_cache_sim::ConfigError>(())
 //! ```
 
 use crate::cmp::{CmpSystem, L2Organization};
 use crate::coherence::{CoherenceStats, CoherentCmp};
-use crate::config::{CacheConfig, ConfigError, ReplacementPolicy};
+use crate::config::{CacheConfig, ConfigError};
 use crate::pipeline::{
     CompressedFill, Fill, FillSpec, FullLineFill, PipelineCache, SectoredCompressedFill,
     SectoredFill,
@@ -79,14 +96,13 @@ use crate::stats::{CacheStats, MemoryTraffic, SharingStats};
 use bandwall_compress::CompressionStats;
 use bandwall_trace::{MemoryAccess, TraceChunks, TraceSource};
 use std::sync::mpsc;
-use std::sync::Arc;
 use std::thread;
 
 /// Accesses per generated chunk: large enough to amortise channel
 /// traffic, small enough to keep workers fed.
 const CHUNK_LEN: usize = 8192;
 
-/// Chunks buffered per worker channel before the generator blocks.
+/// Batches buffered per worker channel before the generator blocks.
 const CHANNEL_DEPTH: usize = 4;
 
 /// Largest power of two ≤ `threads` that divides `sets` (a power of two).
@@ -96,6 +112,79 @@ fn pow2_banks(sets: u64, threads: usize) -> usize {
         banks *= 2;
     }
     banks
+}
+
+/// How a run partitions at a given thread count — the introspection
+/// every config exposes via `partitioning(threads)`.
+///
+/// Both variants describe a fully banked run on the single execution
+/// path; the enum distinguishes *why* the bank count is what it is.
+/// There is no fallback variant: every `(policy, line size, fill)`
+/// combination partitions, so a degraded path cannot even be expressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioning {
+    /// Every requested thread got its own bank (`banks == threads`;
+    /// `threads == 1` is the sequential special case of the same path).
+    Full {
+        /// Independent banks the run executes.
+        banks: usize,
+        /// Address-interleave granularity in bytes (the coarser line
+        /// size in play).
+        granularity: u64,
+    },
+    /// Geometry capped the bank count below the requested threads:
+    /// banks must be a power of two dividing the granularity-aligned
+    /// set count.
+    Capped {
+        /// Independent banks the run executes (< requested threads).
+        banks: usize,
+        /// Address-interleave granularity in bytes.
+        granularity: u64,
+        /// The smallest set count across cache levels after aligning
+        /// each level to the partition granularity — the hard ceiling
+        /// on the bank count.
+        aligned_sets: u64,
+    },
+}
+
+impl Partitioning {
+    fn compute(threads: usize, granularity: u64, aligned_sets: u64) -> Partitioning {
+        let threads = threads.max(1);
+        let banks = pow2_banks(aligned_sets, threads);
+        if banks == threads {
+            Partitioning::Full { banks, granularity }
+        } else {
+            Partitioning::Capped {
+                banks,
+                granularity,
+                aligned_sets,
+            }
+        }
+    }
+
+    /// Independent banks the run executes (1 = the sequential case).
+    pub fn banks(&self) -> usize {
+        match *self {
+            Partitioning::Full { banks, .. } | Partitioning::Capped { banks, .. } => banks,
+        }
+    }
+
+    /// Address-interleave granularity in bytes.
+    pub fn granularity(&self) -> u64 {
+        match *self {
+            Partitioning::Full { granularity, .. } | Partitioning::Capped { granularity, .. } => {
+                granularity
+            }
+        }
+    }
+}
+
+/// The set count `config` contributes to the bank ceiling when the trace
+/// is interleaved at `granularity` bytes: its sets, shrunk by the ratio
+/// of the partition granularity to its own line size (floored at 1 so a
+/// tiny cache degrades the bank count, never the arithmetic).
+fn aligned_sets(config: &CacheConfig, granularity: u64) -> u64 {
+    (config.sets() / (granularity / config.line_size())).max(1)
 }
 
 /// Expands `body` once per [`FillSpec`] variant with `fill` bound to the
@@ -131,12 +220,11 @@ macro_rules! with_fill {
 /// A single-cache simulation over the unified pipeline: geometry, fill
 /// policy, and run policy.
 ///
-/// This is the parallel-engine entry point for the standalone cache
-/// variants (`Cache`, `SectoredCache`, `CompressedCache`, and the
-/// composed `SectoredCompressedCache`): pick the variant with
-/// [`EngineSimConfig::fill`]. [`EngineSimConfig::run_sequential`] and
-/// [`EngineSimConfig::run_parallel`] produce bit-identical
-/// [`EngineSimStats`] for the same trace.
+/// This is the engine entry point for the standalone cache variants
+/// (`Cache`, `SectoredCache`, `CompressedCache`, and the composed
+/// `SectoredCompressedCache`): pick the variant with
+/// [`EngineSimConfig::fill`]. [`EngineSimConfig::run`] produces
+/// bit-identical [`EngineSimStats`] at every thread count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineSimConfig {
     /// Cache geometry.
@@ -164,37 +252,16 @@ pub struct EngineSimStats {
 }
 
 impl EngineSimConfig {
-    /// Number of banks a parallel run would use at this thread count: the
-    /// largest power of two ≤ `threads` dividing the set count, or 1 when
-    /// the replacement policy is random (every fill policy partitions;
-    /// see the module docs).
-    pub fn bank_count(&self, threads: usize) -> usize {
-        if self.cache.policy() == ReplacementPolicy::Random {
-            return 1;
-        }
-        pow2_banks(self.cache.sets(), threads.max(1))
-    }
-
-    /// Runs the first `accesses` of `trace` on one thread.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the fill/geometry combination is invalid (tree-PLRU with
-    /// a compressed fill, or more sectors than line bytes).
-    pub fn run_sequential<T: TraceSource>(&self, trace: &mut T, accesses: usize) -> EngineSimStats {
-        with_fill!(self.fill, fill => {
-            let mut cache = PipelineCache::with_fill(self.cache, fill);
-            for a in trace.iter().take(accesses) {
-                cache.access_from(a.thread(), a.address(), a.kind().is_write());
-            }
-            self.collect(cache)
-        })
+    /// The partition a run at this thread count uses. Every policy and
+    /// fill partitions; only the set count can cap the bank count.
+    pub fn partitioning(&self, threads: usize) -> Partitioning {
+        Partitioning::compute(threads, self.cache.line_size(), self.cache.sets())
     }
 
     /// Runs the first `accesses` of `trace` on up to `threads` bank
-    /// workers, returning statistics bit-identical to
-    /// [`EngineSimConfig::run_sequential`]. Falls back to the sequential
-    /// path when [`EngineSimConfig::bank_count`] is 1.
+    /// workers. The merged statistics are bit-identical at every thread
+    /// count; `run(trace, n, 1)` is the sequential case of the same
+    /// path.
     ///
     /// # Panics
     ///
@@ -203,19 +270,15 @@ impl EngineSimConfig {
     // with_fill! expands this body once per fill variant; the clone the
     // non-Copy compressed fills need trips clone_on_copy on the Copy ones.
     #[allow(clippy::clone_on_copy)]
-    pub fn run_parallel<T: TraceSource>(
+    pub fn run<T: TraceSource>(
         &self,
         trace: &mut T,
         accesses: usize,
         threads: usize,
     ) -> EngineSimStats {
-        let banks = self.bank_count(threads);
-        if banks == 1 {
-            return self.run_sequential(trace, accesses);
-        }
+        let partitioning = self.partitioning(threads);
         with_fill!(self.fill, fill => {
-            let line_size = self.cache.line_size();
-            let per_bank = run_banked(trace, accesses, banks, line_size, |bank_accesses| {
+            let per_bank = run_banked(trace, accesses, partitioning, |bank_accesses| {
                 let mut cache = PipelineCache::with_fill(self.cache, fill.clone());
                 for a in bank_accesses {
                     cache.access_from(a.thread(), a.address(), a.kind().is_write());
@@ -250,11 +313,11 @@ impl EngineSimConfig {
 
 /// A complete CMP simulation: geometry plus run policy.
 ///
-/// [`CmpSimConfig::run_sequential`] and [`CmpSimConfig::run_parallel`]
-/// produce bit-identical [`CmpSimStats`] for the same trace; the parallel
-/// path shards the system into address-interleaved banks (see the module
-/// docs for the argument). The L2 level runs any [`FillSpec`]; the L1s
-/// are always whole-line.
+/// [`CmpSimConfig::run`] produces bit-identical [`CmpSimStats`] at every
+/// thread count; the engine shards the system into address-interleaved
+/// banks at the coarser of the two line sizes (see the module docs for
+/// the argument). The L2 level runs any [`FillSpec`]; the L1s are always
+/// whole-line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CmpSimConfig {
     /// Number of cores (one L1 each).
@@ -285,19 +348,15 @@ pub struct CmpSimStats {
 }
 
 impl CmpSimConfig {
-    /// Number of banks a parallel run would use at this thread count: the
-    /// largest power of two ≤ `threads` dividing both set counts, or 1
-    /// when the configuration cannot be partitioned (random replacement,
-    /// or L1/L2 line sizes differ).
-    pub fn bank_count(&self, threads: usize) -> usize {
-        let partitionable = self.l1.policy() != ReplacementPolicy::Random
-            && self.l2.policy() != ReplacementPolicy::Random
-            && self.l1.line_size() == self.l2.line_size();
-        if !partitionable {
-            return 1;
-        }
-        let sets = self.l1.sets().min(self.l2.sets());
-        pow2_banks(sets, threads.max(1))
+    /// The partition a run at this thread count uses: addresses are
+    /// interleaved at the *coarser* of the L1/L2 line sizes, and the
+    /// bank count is the largest power of two ≤ `threads` dividing the
+    /// smaller granularity-aligned set count. Every policy — Random
+    /// included — and every line-size pairing partitions.
+    pub fn partitioning(&self, threads: usize) -> Partitioning {
+        let granularity = self.l1.line_size().max(self.l2.line_size());
+        let sets = aligned_sets(&self.l1, granularity).min(aligned_sets(&self.l2, granularity));
+        Partitioning::compute(threads, granularity, sets)
     }
 
     fn build_with<F2: Fill>(&self, fill: F2) -> Result<CmpSystem<F2>, ConfigError> {
@@ -316,33 +375,15 @@ impl CmpSimConfig {
         }
     }
 
-    /// Runs the first `accesses` of `trace` on one thread.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ConfigError`] when the geometry is invalid (zero cores).
-    pub fn run_sequential<T: TraceSource>(
-        &self,
-        trace: &mut T,
-        accesses: usize,
-    ) -> Result<CmpSimStats, ConfigError> {
-        with_fill!(self.l2_fill, fill => {
-            let mut system = self.build_with(fill)?;
-            for a in trace.iter().take(accesses) {
-                system.access(a);
-            }
-            Ok(self.collect(system))
-        })
-    }
-
     /// Runs the first `accesses` of `trace` on up to `threads` bank
-    /// workers, returning statistics bit-identical to
-    /// [`CmpSimConfig::run_sequential`].
+    /// workers. The merged statistics are bit-identical at every thread
+    /// count; `run(trace, n, 1)` is the sequential case of the same
+    /// path.
     ///
     /// The trace is generated sequentially on the calling thread and
-    /// broadcast in chunks; each worker simulates the address bank
-    /// `line % banks == b` on a private copy of the system. Falls back to
-    /// the sequential path when [`CmpSimConfig::bank_count`] is 1.
+    /// split into per-bank batches; each worker simulates the address
+    /// bank `(address / granularity) % banks == b` on a private copy of
+    /// the system.
     ///
     /// # Errors
     ///
@@ -350,20 +391,16 @@ impl CmpSimConfig {
     // with_fill! expands this body once per fill variant; the clone the
     // non-Copy compressed fills need trips clone_on_copy on the Copy ones.
     #[allow(clippy::clone_on_copy)]
-    pub fn run_parallel<T: TraceSource>(
+    pub fn run<T: TraceSource>(
         &self,
         trace: &mut T,
         accesses: usize,
         threads: usize,
     ) -> Result<CmpSimStats, ConfigError> {
-        let banks = self.bank_count(threads);
-        if banks == 1 {
-            return self.run_sequential(trace, accesses);
-        }
+        let partitioning = self.partitioning(threads);
         with_fill!(self.l2_fill, fill => {
             self.build_with(fill.clone())?; // surface geometry errors before spawning
-            let line_size = self.l1.line_size();
-            let per_bank = run_banked(trace, accesses, banks, line_size, |bank_accesses| {
+            let per_bank = run_banked(trace, accesses, partitioning, |bank_accesses| {
                 let mut system = self.build_with(fill.clone()).expect("validated above");
                 for a in bank_accesses {
                     system.access(a);
@@ -387,11 +424,11 @@ impl CmpSimConfig {
 /// A coherent private-cache CMP simulation: geometry plus run policy.
 ///
 /// The directory-MSI analogue of [`CmpSimConfig`], with the same
-/// bit-identical sequential/parallel contract: the directory, the
-/// lost-line map, and every invalidation or transfer an access triggers
-/// are keyed by the accessed line, so they stay inside its bank. The
-/// private caches run any [`FillSpec`] (coherent+compressed is the
-/// composition the paper's footnote reasons about).
+/// bit-identical any-thread-count contract: the directory, the lost-line
+/// map, and every invalidation or transfer an access triggers are keyed
+/// by the accessed line, so they stay inside its bank. The private
+/// caches run any [`FillSpec`] (coherent+compressed is the composition
+/// the paper's footnote reasons about).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoherentSimConfig {
     /// Number of cores (one private cache each, max 64).
@@ -416,13 +453,11 @@ pub struct CoherentSimStats {
 }
 
 impl CoherentSimConfig {
-    /// Number of banks a parallel run would use at this thread count (1
-    /// when the replacement policy is random).
-    pub fn bank_count(&self, threads: usize) -> usize {
-        if self.cache.policy() == ReplacementPolicy::Random {
-            return 1;
-        }
-        pow2_banks(self.cache.sets(), threads.max(1))
+    /// The partition a run at this thread count uses. Every policy —
+    /// Random included — partitions; only the set count can cap the
+    /// bank count.
+    pub fn partitioning(&self, threads: usize) -> Partitioning {
+        Partitioning::compute(threads, self.cache.line_size(), self.cache.sets())
     }
 
     fn build_with<F: Fill>(&self, fill: F) -> Result<CoherentCmp<F>, ConfigError> {
@@ -440,28 +475,10 @@ impl CoherentSimConfig {
         }
     }
 
-    /// Runs the first `accesses` of `trace` on one thread.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ConfigError`] when `cores` is 0 or exceeds 64.
-    pub fn run_sequential<T: TraceSource>(
-        &self,
-        trace: &mut T,
-        accesses: usize,
-    ) -> Result<CoherentSimStats, ConfigError> {
-        with_fill!(self.fill, fill => {
-            let mut system = self.build_with(fill)?;
-            for a in trace.iter().take(accesses) {
-                system.access(a);
-            }
-            Ok(self.collect(system))
-        })
-    }
-
     /// Runs the first `accesses` of `trace` on up to `threads` bank
-    /// workers; statistics are bit-identical to
-    /// [`CoherentSimConfig::run_sequential`].
+    /// workers. The merged statistics are bit-identical at every thread
+    /// count; `run(trace, n, 1)` is the sequential case of the same
+    /// path.
     ///
     /// # Errors
     ///
@@ -469,20 +486,16 @@ impl CoherentSimConfig {
     // with_fill! expands this body once per fill variant; the clone the
     // non-Copy compressed fills need trips clone_on_copy on the Copy ones.
     #[allow(clippy::clone_on_copy)]
-    pub fn run_parallel<T: TraceSource>(
+    pub fn run<T: TraceSource>(
         &self,
         trace: &mut T,
         accesses: usize,
         threads: usize,
     ) -> Result<CoherentSimStats, ConfigError> {
-        let banks = self.bank_count(threads);
-        if banks == 1 {
-            return self.run_sequential(trace, accesses);
-        }
+        let partitioning = self.partitioning(threads);
         with_fill!(self.fill, fill => {
             self.build_with(fill.clone())?;
-            let line_size = self.cache.line_size();
-            let per_bank = run_banked(trace, accesses, banks, line_size, |bank_accesses| {
+            let per_bank = run_banked(trace, accesses, partitioning, |bank_accesses| {
                 let mut system = self.build_with(fill.clone()).expect("validated above");
                 for a in bank_accesses {
                     system.access(a);
@@ -500,44 +513,61 @@ impl CoherentSimConfig {
     }
 }
 
-/// Generates the trace sequentially on the calling thread, broadcasts
-/// chunks to `banks` scoped workers, and returns each worker's result in
-/// bank order. `simulate` receives the bank's filtered subsequence.
+/// Runs `simulate` once per bank over the first `accesses` of `trace`
+/// and returns the results in bank order.
+///
+/// One bank runs on the calling thread with the stream fed straight
+/// through — the sequential case, same closure, no channels. With more
+/// banks, the trace is generated sequentially on the calling thread,
+/// each chunk is split into per-bank batches (one channel send per
+/// non-empty batch, so workers never scan accesses that are not
+/// theirs), and scoped workers drain their own queue.
 fn run_banked<T, R, F>(
     trace: &mut T,
     accesses: usize,
-    banks: usize,
-    line_size: u64,
+    partitioning: Partitioning,
     simulate: F,
 ) -> Vec<R>
 where
     T: TraceSource,
     R: Send,
-    F: Fn(BankAccesses) -> R + Sync,
+    F: Fn(&mut dyn Iterator<Item = MemoryAccess>) -> R + Sync,
 {
+    let banks = partitioning.banks();
+    let granularity = partitioning.granularity();
+    if banks == 1 {
+        return vec![simulate(&mut trace.iter().take(accesses))];
+    }
     thread::scope(|scope| {
         let mut senders = Vec::with_capacity(banks);
         let mut handles = Vec::with_capacity(banks);
-        for bank in 0..banks {
-            let (tx, rx) = mpsc::sync_channel::<Arc<Vec<MemoryAccess>>>(CHANNEL_DEPTH);
+        for _ in 0..banks {
+            let (tx, rx) = mpsc::sync_channel::<Vec<MemoryAccess>>(CHANNEL_DEPTH);
             senders.push(tx);
             let simulate = &simulate;
             handles.push(scope.spawn(move || {
-                simulate(BankAccesses {
+                let mut bank_accesses = BankAccesses {
                     rx,
-                    bank: bank as u64,
-                    banks: banks as u64,
-                    line_size,
-                    current: Arc::new(Vec::new()),
-                    pos: 0,
-                })
+                    current: Vec::new().into_iter(),
+                };
+                simulate(&mut bank_accesses)
             }));
         }
+        let batch_capacity = CHUNK_LEN / banks + CHUNK_LEN / (banks * 4);
         for chunk in TraceChunks::new(trace, accesses, CHUNK_LEN) {
-            let chunk = Arc::new(chunk);
-            for tx in &senders {
-                // A worker only disconnects by panicking; propagate on join.
-                let _ = tx.send(Arc::clone(&chunk));
+            let mut batches: Vec<Vec<MemoryAccess>> = (0..banks)
+                .map(|_| Vec::with_capacity(batch_capacity))
+                .collect();
+            for a in chunk {
+                let bank = ((a.address() / granularity) % banks as u64) as usize;
+                batches[bank].push(a);
+            }
+            for (tx, batch) in senders.iter().zip(batches) {
+                if !batch.is_empty() {
+                    // A worker only disconnects by panicking; propagate on
+                    // join.
+                    let _ = tx.send(batch);
+                }
             }
         }
         drop(senders);
@@ -548,14 +578,10 @@ where
     })
 }
 
-/// Iterator over one bank's subsequence of the broadcast trace stream.
+/// Iterator over one bank's pre-filtered batches of the trace stream.
 struct BankAccesses {
-    rx: mpsc::Receiver<Arc<Vec<MemoryAccess>>>,
-    bank: u64,
-    banks: u64,
-    line_size: u64,
-    current: Arc<Vec<MemoryAccess>>,
-    pos: usize,
+    rx: mpsc::Receiver<Vec<MemoryAccess>>,
+    current: std::vec::IntoIter<MemoryAccess>,
 }
 
 impl Iterator for BankAccesses {
@@ -563,15 +589,10 @@ impl Iterator for BankAccesses {
 
     fn next(&mut self) -> Option<MemoryAccess> {
         loop {
-            while self.pos < self.current.len() {
-                let a = self.current[self.pos];
-                self.pos += 1;
-                if (a.address() / self.line_size) % self.banks == self.bank {
-                    return Some(a);
-                }
+            if let Some(a) = self.current.next() {
+                return Some(a);
             }
-            self.current = self.rx.recv().ok()?;
-            self.pos = 0;
+            self.current = self.rx.recv().ok()?.into_iter();
         }
     }
 }
@@ -579,6 +600,7 @@ impl Iterator for BankAccesses {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ReplacementPolicy;
     use bandwall_trace::ParsecLikeTrace;
 
     fn shared_config() -> CmpSimConfig {
@@ -593,53 +615,76 @@ mod tests {
     }
 
     #[test]
-    fn bank_count_respects_geometry_and_policy() {
+    fn partitioning_respects_geometry_not_policy() {
         let c = shared_config();
-        // L1 has 4 sets, L2 has 128: gcd limit is 4.
-        assert_eq!(c.bank_count(1), 1);
-        assert_eq!(c.bank_count(2), 2);
-        assert_eq!(c.bank_count(4), 4);
-        assert_eq!(c.bank_count(8), 4);
-        assert_eq!(c.bank_count(0), 1);
+        // L1 has 4 sets, L2 has 128: the ceiling is 4.
+        assert_eq!(
+            c.partitioning(1),
+            Partitioning::Full {
+                banks: 1,
+                granularity: 64
+            }
+        );
+        assert_eq!(c.partitioning(2).banks(), 2);
+        assert_eq!(c.partitioning(4).banks(), 4);
+        assert_eq!(
+            c.partitioning(8),
+            Partitioning::Capped {
+                banks: 4,
+                granularity: 64,
+                aligned_sets: 4
+            }
+        );
+        assert_eq!(c.partitioning(0).banks(), 1);
 
+        // Random replacement partitions like any other policy.
         let mut random = c;
         random.l2 = CacheConfig::new(64 << 10, 64, 8)
             .unwrap()
             .with_policy(ReplacementPolicy::Random);
-        assert_eq!(random.bank_count(8), 1);
+        assert_eq!(random.partitioning(4).banks(), 4);
 
+        // Mismatched line sizes interleave at the coarser granularity:
+        // the 4-set L1 (64 B lines) aligned to 128 B has 2 groups.
         let mut mismatched = c;
         mismatched.l2 = CacheConfig::new(64 << 10, 128, 8).unwrap();
-        assert_eq!(mismatched.bank_count(8), 1);
+        assert_eq!(
+            mismatched.partitioning(8),
+            Partitioning::Capped {
+                banks: 2,
+                granularity: 128,
+                aligned_sets: 2
+            }
+        );
     }
 
     #[test]
-    fn parallel_matches_sequential_shared() {
+    fn parallel_matches_one_bank_shared() {
         let c = shared_config();
         let trace = || {
             ParsecLikeTrace::builder_with_regions(4, 600, 400)
                 .seed(11)
                 .build()
         };
-        let seq = c.run_sequential(&mut trace(), 30_000).unwrap();
+        let seq = c.run(&mut trace(), 30_000, 1).unwrap();
         for threads in [2, 4, 8] {
-            let par = c.run_parallel(&mut trace(), 30_000, threads).unwrap();
+            let par = c.run(&mut trace(), 30_000, threads).unwrap();
             assert_eq!(seq, par, "threads {threads}");
         }
     }
 
     #[test]
-    fn parallel_matches_sequential_with_flush() {
+    fn parallel_matches_one_bank_with_flush() {
         let mut c = shared_config();
         c.flush = true;
         let trace = || ParsecLikeTrace::builder(4).seed(5).build();
-        let seq = c.run_sequential(&mut trace(), 20_000).unwrap();
-        let par = c.run_parallel(&mut trace(), 20_000, 4).unwrap();
+        let seq = c.run(&mut trace(), 20_000, 1).unwrap();
+        let par = c.run(&mut trace(), 20_000, 4).unwrap();
         assert_eq!(seq, par);
     }
 
     #[test]
-    fn coherent_parallel_matches_sequential() {
+    fn coherent_parallel_matches_one_bank() {
         let c = CoherentSimConfig {
             cores: 4,
             cache: CacheConfig::new(4096, 64, 4).unwrap(),
@@ -651,9 +696,9 @@ mod tests {
                 .seed(23)
                 .build()
         };
-        let seq = c.run_sequential(&mut trace(), 25_000).unwrap();
+        let seq = c.run(&mut trace(), 25_000, 1).unwrap();
         for threads in [2, 4] {
-            let par = c.run_parallel(&mut trace(), 25_000, threads).unwrap();
+            let par = c.run(&mut trace(), 25_000, threads).unwrap();
             assert_eq!(seq, par, "threads {threads}");
         }
     }
@@ -663,7 +708,7 @@ mod tests {
         let mut c = shared_config();
         c.cores = 0;
         let mut t = ParsecLikeTrace::builder(1).seed(1).build();
-        assert!(c.run_sequential(&mut t, 10).is_err());
-        assert!(c.run_parallel(&mut t, 10, 4).is_err());
+        assert!(c.run(&mut t, 10, 1).is_err());
+        assert!(c.run(&mut t, 10, 4).is_err());
     }
 }

@@ -18,6 +18,15 @@
 //!   write-back bookkeeping ([`ObserverStack::retire`]);
 //! * cold-miss classification and the replacement-policy RNG.
 //!
+//! Random replacement draws from a **per-set** RNG stream derived from
+//! `(policy seed, set index)` via [`Rng::seed_from_stream`], never from a
+//! shared per-cache stream. This makes every victim choice a function of
+//! the set's own access subsequence alone — the property that lets the
+//! bank-partitioned parallel engine (`parallel.rs`) run Random-replacement
+//! configurations with merged statistics bit-identical to a sequential
+//! run, because a bank observes exactly the subsequence its sets would
+//! have observed sequentially.
+//!
 //! The [`Fill`] policy decides how much data moves per miss and how many
 //! bytes a resident line occupies:
 //!
@@ -609,7 +618,12 @@ pub struct PipelineCache<F: Fill = FullLineFill> {
     sharing: Option<SharingStats>,
     seen_lines: HashSet<u64>,
     tick: u64,
-    rng: Rng,
+    /// One replacement RNG per set, derived from `(policy seed, set
+    /// index)`; empty unless the policy is [`ReplacementPolicy::Random`].
+    /// Per-set streams keep victim choices local to the set, which the
+    /// bank-partitioned parallel engine relies on for bit-identical
+    /// merged statistics.
+    set_rngs: Vec<Rng>,
 }
 
 impl<F: Fill> PipelineCache<F> {
@@ -666,7 +680,13 @@ impl<F: Fill> PipelineCache<F> {
             sharing: None,
             seen_lines: HashSet::new(),
             tick: 0,
-            rng: Rng::seed_from_u64(config.policy_seed()),
+            set_rngs: if config.policy() == ReplacementPolicy::Random {
+                (0..config.sets())
+                    .map(|set| Rng::seed_from_stream(config.policy_seed(), set))
+                    .collect()
+            } else {
+                Vec::new()
+            },
         }
     }
 
@@ -881,9 +901,12 @@ impl<F: Fill> PipelineCache<F> {
             word_usage,
             sharing,
             seen_lines,
-            rng,
+            set_rngs,
             ..
         } = self;
+        // The set's own replacement stream (populated iff the policy is
+        // Random); drawn only by the Random arms below.
+        let mut set_rng = set_rngs.get_mut(set_idx);
         let mut observers = ObserverStack {
             stats,
             traffic,
@@ -947,7 +970,10 @@ impl<F: Fill> PipelineCache<F> {
                     None => match policy {
                         ReplacementPolicy::Lru => min_by_key(&set.ways, |l| l.last_used),
                         ReplacementPolicy::Fifo => min_by_key(&set.ways, |l| l.inserted),
-                        ReplacementPolicy::Random => rng.gen_range(0..set.ways.len()),
+                        ReplacementPolicy::Random => {
+                            let rng = set_rng.as_deref_mut().expect("random policy has set RNGs");
+                            rng.gen_range(0..set.ways.len())
+                        }
                         ReplacementPolicy::TreePlru => plru_victim(set.plru_bits, assoc),
                     },
                 };
@@ -1002,7 +1028,7 @@ impl<F: Fill> PipelineCache<F> {
                             *set_budget,
                             None,
                             policy,
-                            rng,
+                            set_rng.as_deref_mut(),
                             sector_size,
                             &mut observers,
                             &mut evictions,
@@ -1037,7 +1063,7 @@ impl<F: Fill> PipelineCache<F> {
                     *set_budget,
                     Some(tag),
                     policy,
-                    rng,
+                    set_rng,
                     sector_size,
                     &mut observers,
                     &mut evictions,
@@ -1255,14 +1281,16 @@ fn plru_victim(bits: u64, assoc: usize) -> usize {
 
 /// Evicts lines until the set fits its byte budget, never evicting the
 /// just-inserted line (`protect_tag`). Victims follow the replacement
-/// policy (tree-PLRU is rejected for budgeted storage at construction).
+/// policy (tree-PLRU is rejected for budgeted storage at construction);
+/// Random draws from the set's own stream (`rng` is `Some` iff the policy
+/// is Random).
 #[allow(clippy::too_many_arguments)]
 fn shrink_to_budget(
     set: &mut Vec<EngineLine>,
     set_budget: u64,
     protect_tag: Option<u64>,
     policy: ReplacementPolicy,
-    rng: &mut Rng,
+    mut rng: Option<&mut Rng>,
     sector_size: u64,
     observers: &mut ObserverStack<'_>,
     evictions: &mut Evictions,
@@ -1280,12 +1308,22 @@ fn shrink_to_budget(
             ReplacementPolicy::Lru => candidates.min_by_key(|(_, l)| l.last_used).map(|(i, _)| i),
             ReplacementPolicy::Fifo => candidates.min_by_key(|(_, l)| l.inserted).map(|(i, _)| i),
             ReplacementPolicy::Random => {
-                let indices: Vec<usize> = candidates.map(|(i, _)| i).collect();
-                if indices.is_empty() {
-                    None
-                } else {
-                    Some(indices[rng.gen_range(0..indices.len())])
-                }
+                // Direct fallible pick: count the candidates, draw one
+                // index, walk to it — the empty set never consumes a draw
+                // and no scratch Vec is built.
+                let evictable = candidates.clone().count() as u64;
+                (evictable > 0).then(|| {
+                    let pick = rng
+                        .as_deref_mut()
+                        .expect("random policy has set RNGs")
+                        .gen_below(evictable) as usize;
+                    set.iter()
+                        .enumerate()
+                        .filter(|(_, l)| Some(l.tag) != protect_tag)
+                        .nth(pick)
+                        .map(|(i, _)| i)
+                        .expect("pick is below the candidate count")
+                })
             }
             ReplacementPolicy::TreePlru => {
                 unreachable!("tree-PLRU is rejected for budgeted storage at construction")
@@ -1298,5 +1336,162 @@ fn shrink_to_budget(
             }
             None => return, // only the protected line remains
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POLICIES: [ReplacementPolicy; 4] = [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::Random,
+        ReplacementPolicy::TreePlru,
+    ];
+
+    /// A line payload FPC cannot shrink, so each resident line occupies a
+    /// full `line_size` in budgeted storage.
+    fn incompressible_line(seed: u64, line_size: usize) -> Vec<u8> {
+        let mut rng = Rng::seed_from_u64(seed);
+        (0..line_size).map(|_| rng.gen_u8()).collect()
+    }
+
+    /// Zero evictable candidates (only the protected line resident, yet
+    /// over budget): the shrink must be a no-op for every budgeted
+    /// policy, and Random must not consume a draw.
+    #[test]
+    fn zero_candidate_shrink_keeps_the_protected_line() {
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random,
+        ] {
+            let mut set = vec![EngineLine {
+                tag: 7,
+                valid_sectors: 1,
+                dirty_sectors: 1,
+                last_used: 1,
+                inserted: 1,
+                word_mask: 1,
+                sharers: 1,
+                size_bytes: 128,
+            }];
+            let mut stats = CacheStats::new();
+            let mut traffic = MemoryTraffic::new();
+            let mut observers = ObserverStack {
+                stats: &mut stats,
+                traffic: &mut traffic,
+                word_usage: None,
+                sharing: None,
+            };
+            let mut evictions = Evictions::None;
+            let mut rng = Rng::seed_from_stream(0, 0);
+            let before = rng.clone();
+            let rng_opt = (policy == ReplacementPolicy::Random).then_some(&mut rng);
+            shrink_to_budget(
+                &mut set,
+                64,
+                Some(7),
+                policy,
+                rng_opt,
+                64,
+                &mut observers,
+                &mut evictions,
+            );
+            assert_eq!(set.len(), 1, "{policy:?}: protected line must survive");
+            assert!(evictions.as_slice().is_empty(), "{policy:?}");
+            assert_eq!(stats.evictions(), 0, "{policy:?}");
+            assert_eq!(
+                rng.next_u64(),
+                before.clone().next_u64(),
+                "{policy:?}: no candidates must mean no draw"
+            );
+        }
+    }
+
+    /// Single-candidate sets: with exactly one evictable line, every
+    /// policy must pick it — checked across a conflict stream so the
+    /// property holds at every step, for slotted (direct-mapped) and
+    /// budgeted (incompressible payloads at associativity 1) storage.
+    #[test]
+    fn single_candidate_victims_for_all_policies() {
+        for policy in POLICIES {
+            let config = CacheConfig::new(4096, 64, 1)
+                .unwrap()
+                .with_policy(policy)
+                .with_policy_seed(3);
+            let sets = config.sets();
+            let mut cache = PipelineCache::<FullLineFill>::new(config);
+            for i in 0..8u64 {
+                let outcome = cache.access(i * sets * 64, i % 2 == 0);
+                assert!(!outcome.is_hit(), "{policy:?}: distinct tags never hit");
+            }
+            assert_eq!(cache.stats().evictions(), 7, "{policy:?}");
+            assert_eq!(cache.resident_lines(), 1, "{policy:?}");
+            assert!(
+                cache.contains(7 * sets * 64),
+                "{policy:?}: last tag resident"
+            );
+        }
+        // Budgeted storage (tree-PLRU is rejected there at construction).
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random,
+        ] {
+            let config = CacheConfig::new(4096, 64, 1)
+                .unwrap()
+                .with_policy(policy)
+                .with_policy_seed(3);
+            let sets = config.sets();
+            let mut cache = PipelineCache::<CompressedFill>::new(config, Box::new(Fpc::new()));
+            let data = incompressible_line(9, 64);
+            for i in 0..8u64 {
+                let outcome = cache.access_with_data(i * sets * 64, false, &data);
+                assert!(!outcome.is_hit(), "{policy:?}");
+            }
+            assert_eq!(cache.stats().evictions(), 7, "{policy:?}");
+            assert_eq!(cache.resident_lines(), 1, "{policy:?}");
+            assert!(
+                cache.contains(7 * sets * 64),
+                "{policy:?}: last tag resident"
+            );
+        }
+    }
+
+    /// The per-set stream property behind bank partitioning: running two
+    /// sets' subsequences separately and merging equals running them
+    /// interleaved, because each set's Random draws depend only on its
+    /// own accesses.
+    #[test]
+    fn per_set_random_streams_are_set_local() {
+        let config = CacheConfig::new(8192, 64, 2)
+            .unwrap()
+            .with_policy(ReplacementPolicy::Random)
+            .with_policy_seed(11);
+        let sets = config.sets();
+        let a_addrs: Vec<u64> = (0..64).map(|i| i * sets * 64).collect();
+        let b_addrs: Vec<u64> = (0..64).map(|i| i * sets * 64 + 64).collect();
+
+        let run = |streams: &[&[u64]]| {
+            let mut cache = PipelineCache::<FullLineFill>::new(config);
+            // Round-robin across streams, preserving each stream's order.
+            let longest = streams.iter().map(|s| s.len()).max().unwrap();
+            for i in 0..longest {
+                for s in streams {
+                    if let Some(&addr) = s.get(i) {
+                        cache.access(addr, i % 3 == 0);
+                    }
+                }
+            }
+            (*cache.stats(), *cache.traffic())
+        };
+
+        let (mut a_stats, mut a_traffic) = run(&[&a_addrs]);
+        let (b_stats, b_traffic) = run(&[&b_addrs]);
+        a_stats.merge(&b_stats);
+        a_traffic.merge(&b_traffic);
+        assert_eq!((a_stats, a_traffic), run(&[&a_addrs, &b_addrs]));
     }
 }
