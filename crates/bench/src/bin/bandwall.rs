@@ -32,9 +32,12 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 use bandwall_experiments::error::ExperimentError;
-use bandwall_experiments::perf::{run_group, BenchOptions, GROUPS};
+use bandwall_experiments::fault::ChaosSpec;
+use bandwall_experiments::perf::{run_group, BenchGroup, BenchOptions, GROUPS};
 use bandwall_experiments::registry::{registry_with_seed, Experiment};
 use bandwall_experiments::report::Report;
+use bandwall_experiments::serve::loadgen::{run_against, LoadgenOptions};
+use bandwall_experiments::serve::{ServeConfig, Server, StatsSnapshot};
 
 const USAGE: &str = "\
 bandwall — unified runner for the bandwidth-wall experiment registry
@@ -45,6 +48,8 @@ USAGE:
     bandwall run --all [OPTIONS]
     bandwall bench [GROUP]... [BENCH OPTIONS]
     bandwall bench --list
+    bandwall serve [SERVE OPTIONS]
+    bandwall loadgen [LOADGEN OPTIONS]
 
 OPTIONS:
     --format <ascii|csv|json>   output format (default: ascii)
@@ -82,6 +87,37 @@ BENCH OPTIONS:
                                 BENCH_<group>.json snapshots into DIR
 
     With no GROUP arguments, every group runs.
+
+SERVE OPTIONS:
+    --addr <HOST:PORT>          bind address (default: 127.0.0.1:8787;
+                                port 0 picks an ephemeral port)
+    --workers <N>               worker threads (default: 2)
+    --queue <N>                 bounded request-queue capacity; the
+                                excess is shed with an `overloaded`
+                                reply (default: 64)
+    --deadline-ms <MS>          per-request deadline; overruns reply
+                                504 `deadline_exceeded` (default: 2000)
+    --read-timeout-ms <MS>      socket read/write window and keep-alive
+                                idle limit (default: 5000)
+    --cache-capacity <N>        memoized-solve cache entries, 0 to
+                                disable (default: 4096)
+    --chaos [SPEC]              inject faults: panic=P,worker=P,
+                                delay=P:MS,seed=N (default spec:
+                                panic=0.01,worker=0.001,delay=0.02:2)
+
+    SIGTERM/SIGINT stop accepting, drain in-flight requests, print a
+    stats summary, and exit 0.
+
+LOADGEN OPTIONS:
+    --addr <HOST:PORT>          server to drive (default: 127.0.0.1:8787)
+    --connections <N>           concurrent connections in the
+                                throughput batch (default: 4)
+    --requests <N>              requests per kernel (default: 2000)
+    --quick                     CI smoke preset: 2 connections,
+                                200 requests
+    --format <ascii|csv|json>   output format (default: ascii)
+    --out <DIR>                 write the report into DIR
+    --snapshot <DIR>            write a BENCH_serve.json snapshot
 
 EXIT STATUS:
     0 when every selected experiment succeeds, 1 when any fails.
@@ -524,6 +560,268 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     emit(&reports, bench.format, bench.out.as_deref())
 }
 
+/// Minimal signal handling for `bandwall serve`, kept in the binary
+/// because the library forbids `unsafe`. On unix, SIGINT/SIGTERM flip
+/// one atomic flag that the serve loop polls; elsewhere the install is
+/// a no-op and ctrl-c falls back to the platform default.
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    /// Whether a shutdown signal has arrived.
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::Relaxed)
+    }
+
+    #[cfg(unix)]
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        extern "C" fn on_signal(_signum: i32) {
+            REQUESTED.store(true, Ordering::Relaxed);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        // SAFETY: `signal(2)` with a handler that only stores to an
+        // atomic is async-signal-safe; both signums are valid.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub fn install() {}
+}
+
+#[derive(Debug)]
+struct ServeArgs {
+    config: ServeConfig,
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
+    let mut config = ServeConfig::default();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                let v = it.next().ok_or("--addr needs HOST:PORT")?;
+                config.addr = v.clone();
+            }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a count")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad --workers value '{v}'"))?;
+                if n == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+                config.workers = n;
+            }
+            "--queue" => {
+                let v = it.next().ok_or("--queue needs a capacity")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --queue value '{v}'"))?;
+                if n == 0 {
+                    return Err("--queue must be at least 1".into());
+                }
+                config.queue_capacity = n;
+            }
+            "--deadline-ms" => {
+                let v = it.next().ok_or("--deadline-ms needs a value")?;
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --deadline-ms value '{v}'"))?;
+                if ms == 0 {
+                    return Err("--deadline-ms must be at least 1".into());
+                }
+                config.deadline = Duration::from_millis(ms);
+            }
+            "--read-timeout-ms" => {
+                let v = it.next().ok_or("--read-timeout-ms needs a value")?;
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --read-timeout-ms value '{v}'"))?;
+                if ms == 0 {
+                    return Err("--read-timeout-ms must be at least 1".into());
+                }
+                config.read_timeout = Duration::from_millis(ms);
+            }
+            "--cache-capacity" => {
+                let v = it.next().ok_or("--cache-capacity needs a count")?;
+                config.cache_capacity = v
+                    .parse()
+                    .map_err(|_| format!("bad --cache-capacity value '{v}'"))?;
+            }
+            "--chaos" => {
+                // The spec value is optional: a bare `--chaos` means the
+                // standard spec; anything not starting with `-` is parsed.
+                let spec = match it.peek() {
+                    Some(v) if !v.starts_with('-') => {
+                        let v = it.next().expect("peeked value");
+                        ChaosSpec::parse(v)?
+                    }
+                    _ => ChaosSpec::standard(),
+                };
+                config.chaos = Some(spec);
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown option '{flag}'")),
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    Ok(ServeArgs { config })
+}
+
+/// Renders the final serve counters as one JSON line for scripts.
+fn stats_json(stats: &StatsSnapshot) -> String {
+    format!(
+        "{{\"connections\":{},\"served_ok\":{},\"shed\":{},\
+         \"invalid_request\":{},\"not_found\":{},\"not_ready\":{},\
+         \"deadline_exceeded\":{},\"internal\":{},\"worker_respawns\":{},\
+         \"cache_hits\":{},\"cache_misses\":{}}}",
+        stats.connections,
+        stats.served_ok,
+        stats.shed,
+        stats.invalid_request,
+        stats.not_found,
+        stats.not_ready,
+        stats.deadline_exceeded,
+        stats.internal,
+        stats.worker_respawns,
+        stats.cache_hits,
+        stats.cache_misses,
+    )
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let serve = parse_serve_args(args)?;
+    signals::install();
+    let chaos = serve.config.chaos.is_some();
+    let server = Server::start(serve.config).map_err(|e| format!("starting server: {e}"))?;
+    eprintln!(
+        "bandwall: serving on {}{} (SIGTERM/SIGINT to drain)",
+        server.addr(),
+        if chaos { " with chaos injection" } else { "" }
+    );
+    while !signals::requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("bandwall: draining...");
+    server.shutdown_handle().shutdown();
+    let stats = server.join();
+    println!("{}", stats_json(&stats));
+    eprintln!(
+        "bandwall: drained; {} ok, {} shed, {} deadline-exceeded, {} respawns",
+        stats.served_ok, stats.shed, stats.deadline_exceeded, stats.worker_respawns
+    );
+    Ok(())
+}
+
+#[derive(Debug)]
+struct LoadgenArgs {
+    addr: String,
+    options: LoadgenOptions,
+    format: Format,
+    out: Option<std::path::PathBuf>,
+    snapshot: Option<std::path::PathBuf>,
+}
+
+fn parse_loadgen_args(args: &[String]) -> Result<LoadgenArgs, String> {
+    let mut loadgen = LoadgenArgs {
+        addr: "127.0.0.1:8787".to_string(),
+        options: LoadgenOptions::standard(),
+        format: Format::Ascii,
+        out: None,
+        snapshot: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                let v = it.next().ok_or("--addr needs HOST:PORT")?;
+                loadgen.addr = v.clone();
+            }
+            "--quick" => loadgen.options = LoadgenOptions::quick(),
+            "--connections" => {
+                let v = it.next().ok_or("--connections needs a count")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad --connections value '{v}'"))?;
+                if n == 0 {
+                    return Err("--connections must be at least 1".into());
+                }
+                loadgen.options.connections = n;
+            }
+            "--requests" => {
+                let v = it.next().ok_or("--requests needs a count")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad --requests value '{v}'"))?;
+                if n == 0 {
+                    return Err("--requests must be at least 1".into());
+                }
+                loadgen.options.requests = n;
+            }
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                loadgen.format = Format::parse(v)?;
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a directory")?;
+                loadgen.out = Some(v.into());
+            }
+            "--snapshot" => {
+                let v = it.next().ok_or("--snapshot needs a directory")?;
+                loadgen.snapshot = Some(v.into());
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown option '{flag}'")),
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    Ok(loadgen)
+}
+
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    use std::net::ToSocketAddrs;
+    let loadgen = parse_loadgen_args(args)?;
+    let addr = loadgen
+        .addr
+        .to_socket_addrs()
+        .map_err(|e| format!("resolving '{}': {e}", loadgen.addr))?
+        .next()
+        .ok_or_else(|| format!("'{}' resolves to no address", loadgen.addr))?;
+    eprintln!(
+        "bandwall: driving {addr} with {} connections, {} requests per kernel...",
+        loadgen.options.connections, loadgen.options.requests
+    );
+    let results = run_against(&addr, &loadgen.options)?;
+    // Wrap the results as a `serve` bench group so --format/--out/
+    // --snapshot behave exactly like `bandwall bench serve`. The bench
+    // options record the loadgen shape in the snapshot provenance:
+    // iters = requests per kernel, accesses = total request budget.
+    let group = BenchGroup {
+        group: "serve".to_string(),
+        options: BenchOptions {
+            warmup: 0,
+            iters: loadgen.options.requests,
+            accesses: loadgen.options.requests * loadgen.options.connections,
+        },
+        host_parallelism: std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1),
+        results,
+    };
+    if let Some(dir) = &loadgen.snapshot {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        let path = dir.join(group.snapshot_filename());
+        write_atomic(&path, &group.snapshot_json())?;
+        eprintln!("bandwall: wrote {}", path.display());
+    }
+    emit(&[group.to_report()], loadgen.format, loadgen.out.as_deref())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -540,6 +838,20 @@ fn main() -> ExitCode {
             }
         },
         Some("bench") => match cmd_bench(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("bandwall: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("serve") => match cmd_serve(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("bandwall: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("loadgen") => match cmd_loadgen(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("bandwall: {e}");
@@ -768,6 +1080,128 @@ mod tests {
         assert!(parse_bench_args(&args(&["--frmat"]))
             .unwrap_err()
             .contains("unknown option"));
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let serve = parse_serve_args(&args(&[
+            "--addr",
+            "0.0.0.0:9000",
+            "--workers",
+            "8",
+            "--queue",
+            "16",
+            "--deadline-ms",
+            "750",
+            "--read-timeout-ms",
+            "1500",
+            "--cache-capacity",
+            "0",
+        ]))
+        .unwrap();
+        assert_eq!(serve.config.addr, "0.0.0.0:9000");
+        assert_eq!(serve.config.workers, 8);
+        assert_eq!(serve.config.queue_capacity, 16);
+        assert_eq!(serve.config.deadline, Duration::from_millis(750));
+        assert_eq!(serve.config.read_timeout, Duration::from_millis(1500));
+        assert_eq!(serve.config.cache_capacity, 0);
+        assert!(serve.config.chaos.is_none());
+    }
+
+    #[test]
+    fn serve_chaos_spec_is_optional() {
+        // Bare --chaos: the standard spec.
+        let serve = parse_serve_args(&args(&["--chaos"])).unwrap();
+        assert_eq!(serve.config.chaos, Some(ChaosSpec::standard()));
+        // Bare --chaos followed by another flag still works.
+        let serve = parse_serve_args(&args(&["--chaos", "--workers", "3"])).unwrap();
+        assert_eq!(serve.config.chaos, Some(ChaosSpec::standard()));
+        assert_eq!(serve.config.workers, 3);
+        // An explicit spec overrides fields.
+        let serve = parse_serve_args(&args(&["--chaos", "panic=0.5,seed=9"])).unwrap();
+        let spec = serve.config.chaos.unwrap();
+        assert!((spec.handler_panic - 0.5).abs() < 1e-12);
+        assert_eq!(spec.seed, 9);
+    }
+
+    #[test]
+    fn serve_rejects_bad_input() {
+        assert!(parse_serve_args(&args(&["--workers", "0"]))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse_serve_args(&args(&["--queue", "0"]))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse_serve_args(&args(&["--deadline-ms", "0"]))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse_serve_args(&args(&["--chaos", "panic=nope"])).is_err());
+        assert!(parse_serve_args(&args(&["--bogus"]))
+            .unwrap_err()
+            .contains("unknown option"));
+        assert!(parse_serve_args(&args(&["stray"]))
+            .unwrap_err()
+            .contains("unexpected argument"));
+    }
+
+    #[test]
+    fn parses_loadgen_flags() {
+        let loadgen = parse_loadgen_args(&args(&[
+            "--addr",
+            "10.0.0.1:8080",
+            "--connections",
+            "6",
+            "--requests",
+            "500",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert_eq!(loadgen.addr, "10.0.0.1:8080");
+        assert_eq!(loadgen.options.connections, 6);
+        assert_eq!(loadgen.options.requests, 500);
+        assert!(loadgen.format == Format::Json);
+    }
+
+    #[test]
+    fn loadgen_quick_preset_and_overrides_compose() {
+        let loadgen = parse_loadgen_args(&args(&["--quick", "--requests", "50"])).unwrap();
+        assert_eq!(loadgen.options.connections, 2);
+        assert_eq!(loadgen.options.requests, 50);
+    }
+
+    #[test]
+    fn loadgen_rejects_bad_input() {
+        assert!(parse_loadgen_args(&args(&["--connections", "0"]))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse_loadgen_args(&args(&["--requests", "0"]))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse_loadgen_args(&args(&["stray"]))
+            .unwrap_err()
+            .contains("unexpected argument"));
+    }
+
+    #[test]
+    fn stats_json_is_well_formed() {
+        let stats = StatsSnapshot {
+            connections: 10,
+            served_ok: 8,
+            shed: 1,
+            invalid_request: 1,
+            not_found: 0,
+            not_ready: 0,
+            deadline_exceeded: 0,
+            internal: 0,
+            worker_respawns: 0,
+            cache_hits: 4,
+            cache_misses: 4,
+        };
+        let line = stats_json(&stats);
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"served_ok\":8"));
+        assert!(line.contains("\"cache_hits\":4"));
     }
 
     #[test]

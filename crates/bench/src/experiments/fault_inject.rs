@@ -14,6 +14,7 @@
 //!   variable's plumbing itself can be smoke-tested.
 
 use crate::error::ExperimentError;
+use crate::fault::Fault;
 use crate::registry::Experiment;
 use crate::report::Report;
 use std::time::Duration;
@@ -49,26 +50,26 @@ impl Experiment for FaultInject {
     }
 
     fn run(&self) -> Result<Report, ExperimentError> {
-        match self.mode.as_str() {
-            "panic" => panic!("injected panic (BANDWALL_FAULT_INJECT=panic)"),
-            "error" => Err(ExperimentError::Numerical(
-                "injected error (BANDWALL_FAULT_INJECT=error)".to_string(),
-            )),
-            "hang" => {
-                // Far past any deadline a test would set; the watchdog
-                // abandons the thread, so the sleep never finishes.
-                std::thread::sleep(Duration::from_secs(3600));
-                Err(ExperimentError::Numerical(
-                    "hang mode returned unexpectedly".to_string(),
-                ))
-            }
+        // The three failure modes are expressed as shared [`Fault`]s —
+        // the same vocabulary `bandwall serve --chaos` injects — so the
+        // batch and online paths contain identical faults.
+        let fault = match self.mode.as_str() {
+            "panic" => Fault::Panic("injected panic (BANDWALL_FAULT_INJECT=panic)".into()),
+            "error" => Fault::Error("injected error (BANDWALL_FAULT_INJECT=error)".into()),
+            // Far past any deadline a test would set; the watchdog
+            // abandons the thread, so the sleep never finishes.
+            "hang" => Fault::Sleep(Duration::from_secs(3600)),
             other => {
                 let mut report = Report::new(self.id(), self.figure(), self.title());
                 report.note(format!("fault injection in pass-through mode: {other}"));
                 report.metric("injected", 1.0, None);
-                Ok(report)
+                return Ok(report);
             }
-        }
+        };
+        fault.trigger()?;
+        Err(ExperimentError::Numerical(
+            "hang mode returned unexpectedly".to_string(),
+        ))
     }
 }
 

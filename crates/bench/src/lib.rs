@@ -14,10 +14,12 @@
 
 pub mod error;
 pub mod experiments;
+pub mod fault;
 pub mod perf;
 pub mod registry;
 pub mod render;
 pub mod report;
+pub mod serve;
 pub mod sweep;
 
 pub use bandwall_model::roadmap::{die_budget, paper_baseline, GENERATIONS, GENERATION_LABELS};

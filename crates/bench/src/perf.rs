@@ -38,10 +38,11 @@ use bandwall_trace::{materialize, ParsecLikeTrace};
 use std::time::Instant;
 
 /// The bench groups, in presentation order.
-pub const GROUPS: [&str; 3] = ["sim_engine", "compress", "experiments"];
+pub const GROUPS: [&str; 4] = ["sim_engine", "compress", "experiments", "serve"];
 
-/// Snapshot schema identifier, bumped on any incompatible change.
-pub const SNAPSHOT_SCHEMA: &str = "bandwall-bench/1";
+/// Snapshot schema identifier, bumped on any incompatible change
+/// (`/2` added `p99_ns` to every result row).
+pub const SNAPSHOT_SCHEMA: &str = "bandwall-bench/2";
 
 /// Warmup/iteration/workload-size control for one bench run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,7 +102,7 @@ pub struct BenchResult {
 }
 
 impl BenchResult {
-    fn from_samples(
+    pub(crate) fn from_samples(
         id: impl Into<String>,
         title: impl Into<String>,
         threads: usize,
@@ -142,6 +143,12 @@ impl BenchResult {
     /// 90th-percentile sample (worst-case-ish).
     pub fn p90_ns(&self) -> u64 {
         self.percentile_ns(90.0)
+    }
+
+    /// 99th-percentile sample (the serving tail; equal to the maximum
+    /// when fewer than 100 samples were taken).
+    pub fn p99_ns(&self) -> u64 {
+        self.percentile_ns(99.0)
     }
 
     /// Items per second at the median sample.
@@ -199,6 +206,7 @@ pub fn run_group(name: &str, options: &BenchOptions) -> Result<BenchGroup, Strin
         "sim_engine" => sim_engine_results(options),
         "compress" => compress_results(options),
         "experiments" => experiment_results(options),
+        "serve" => serve_results(options)?,
         other => {
             return Err(format!(
                 "unknown bench group '{other}' (see `bandwall bench --list`)"
@@ -455,6 +463,33 @@ fn experiment_results(options: &BenchOptions) -> Vec<BenchResult> {
         .collect()
 }
 
+/// The `serve` group: starts an in-process [`crate::serve::Server`] on
+/// an ephemeral localhost port, drives it with the shared loadgen
+/// driver (cold solves, memoized solves, health checks, a concurrent
+/// throughput batch), then drains it. Single-host numbers: client and
+/// server share the machine, so treat throughput as a lower bound.
+fn serve_results(options: &BenchOptions) -> Result<Vec<BenchResult>, String> {
+    let config = crate::serve::ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: host_parallelism().clamp(2, 4),
+        ..crate::serve::ServeConfig::default()
+    };
+    let server =
+        crate::serve::Server::start(config).map_err(|e| format!("starting serve bench: {e}"))?;
+    let loadgen_options = crate::serve::loadgen::LoadgenOptions::from_bench(options);
+    let outcome = crate::serve::loadgen::run_against(&server.addr(), &loadgen_options);
+    server.shutdown_handle().shutdown();
+    let stats = server.join();
+    let results = outcome?;
+    if stats.internal > 0 || stats.worker_respawns > 0 {
+        return Err(format!(
+            "serve bench saw {} internal errors and {} respawns on a clean run",
+            stats.internal, stats.worker_respawns
+        ));
+    }
+    Ok(results)
+}
+
 fn fmt_ms(ns: u64) -> String {
     format!("{:.2}", ns as f64 / 1e6)
 }
@@ -489,6 +524,7 @@ impl BenchGroup {
             "median ms",
             "p10 ms",
             "p90 ms",
+            "p99 ms",
             "throughput/s",
             "speedup",
         ]);
@@ -499,6 +535,7 @@ impl BenchGroup {
                 Value::fmt(fmt_ms(r.median_ns()), r.median_ns() as f64 / 1e6),
                 Value::fmt(fmt_ms(r.p10_ns()), r.p10_ns() as f64 / 1e6),
                 Value::fmt(fmt_ms(r.p90_ns()), r.p90_ns() as f64 / 1e6),
+                Value::fmt(fmt_ms(r.p99_ns()), r.p99_ns() as f64 / 1e6),
                 Value::fmt(fmt_throughput(r.items_per_sec()), r.items_per_sec()),
                 match r.speedup_vs_sequential {
                     Some(s) => Value::fmt(format!("{s:.2}x"), s),
@@ -530,14 +567,15 @@ impl BenchGroup {
             }
             out.push_str(&format!(
                 "{{\"id\":\"{}\",\"title\":\"{}\",\"threads\":{},\"median_ns\":{},\
-                 \"p10_ns\":{},\"p90_ns\":{},\"unit\":\"{}\",\"items_per_sec\":{:.1},\
-                 \"speedup_vs_sequential\":{}}}",
+                 \"p10_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"unit\":\"{}\",\
+                 \"items_per_sec\":{:.1},\"speedup_vs_sequential\":{}}}",
                 r.id,
                 r.title,
                 r.threads,
                 r.median_ns(),
                 r.p10_ns(),
                 r.p90_ns(),
+                r.p99_ns(),
                 r.unit,
                 r.items_per_sec(),
                 r.speedup_vs_sequential
@@ -640,7 +678,8 @@ mod tests {
         assert!(!report.to_json().is_empty());
 
         let snap = g.snapshot_json();
-        assert!(snap.starts_with("{\"schema\":\"bandwall-bench/1\""));
+        assert!(snap.starts_with("{\"schema\":\"bandwall-bench/2\""));
+        assert!(snap.contains("\"p99_ns\":"));
         assert!(snap.contains("\"group\":\"compress\""));
         assert!(snap.contains("\"host_parallelism\":"));
         assert!(snap.ends_with("]}\n"));

@@ -406,11 +406,12 @@ impl Report {
 
 /// Deterministic float formatting shared by CSV and JSON: Rust's
 /// shortest-roundtrip `Display`, so `183.0` prints as `183`.
-fn fmt_f64(v: f64) -> String {
+pub(crate) fn fmt_f64(v: f64) -> String {
     format!("{v}")
 }
 
-fn json_f64(v: f64) -> String {
+/// A JSON number literal; non-finite values render as `null`.
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         fmt_f64(v)
     } else {
@@ -429,7 +430,7 @@ fn csv_field(s: &str) -> String {
 }
 
 /// Escapes a JSON string literal.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

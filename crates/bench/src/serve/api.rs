@@ -1,0 +1,328 @@
+//! The `/solve` request/response vocabulary.
+//!
+//! Requests are strict JSON descriptions of one [`ScalingProblem`]
+//! (unknown fields are rejected, so a typo'd knob can never be silently
+//! ignored); responses are deterministic hand-rendered JSON with the
+//! same float formatting the batch reports use, so a memoized body is
+//! byte-identical to a fresh one by construction.
+//!
+//! Error replies share one envelope across every failure path:
+//!
+//! ```text
+//! {"status":"error","error":{"kind":"<kind>","message":"<message>"}}
+//! ```
+//!
+//! with `kind` one of `invalid_request`, `overloaded`,
+//! `deadline_exceeded`, `internal`, `not_found`, or `not_ready`.
+
+use crate::report::{json_f64, json_string};
+use crate::serve::json::Json;
+use bandwall_model::{Alpha, Baseline, CanonicalProblem, ScalingProblem, Technique};
+use std::collections::BTreeMap;
+
+/// Renders the shared error envelope.
+pub fn error_body(kind: &str, message: &str) -> String {
+    format!(
+        "{{\"status\":\"error\",\"error\":{{\"kind\":{},\"message\":{}}}}}",
+        json_string(kind),
+        json_string(message)
+    )
+}
+
+fn reject_unknown(
+    what: &str,
+    obj: &BTreeMap<String, Json>,
+    allowed: &[&str],
+) -> Result<(), String> {
+    for key in obj.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(format!(
+                "unknown {what} field '{key}' (allowed: {})",
+                allowed.join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn num_field(obj: &BTreeMap<String, Json>, name: &str) -> Result<Option<f64>, String> {
+    match obj.get(name) {
+        None => Ok(None),
+        Some(v) => v
+            .as_num()
+            .map(Some)
+            .ok_or_else(|| format!("field '{name}' must be a number")),
+    }
+}
+
+fn required_num(obj: &BTreeMap<String, Json>, name: &str) -> Result<f64, String> {
+    num_field(obj, name)?.ok_or_else(|| format!("missing required field '{name}'"))
+}
+
+fn layers_field(obj: &BTreeMap<String, Json>) -> Result<u32, String> {
+    let v = required_num(obj, "layers")?;
+    if v.fract() != 0.0 || !(0.0..=f64::from(u32::MAX)).contains(&v) {
+        return Err(format!("field 'layers' must be a whole number, got {v}"));
+    }
+    Ok(v as u32)
+}
+
+fn parse_technique(value: &Json) -> Result<Technique, String> {
+    let obj = value
+        .as_obj()
+        .ok_or("each technique must be an object with a 'kind' field")?;
+    let kind = obj
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("each technique must carry a string 'kind' field")?;
+    let built = match kind {
+        "cache_compression" => {
+            reject_unknown("technique", obj, &["kind", "ratio"])?;
+            Technique::cache_compression(required_num(obj, "ratio")?)
+        }
+        "dram_cache" => {
+            reject_unknown("technique", obj, &["kind", "density"])?;
+            Technique::dram_cache(required_num(obj, "density")?)
+        }
+        "stacked_cache" => {
+            reject_unknown("technique", obj, &["kind", "layers"])?;
+            Technique::stacked_cache(layers_field(obj)?)
+        }
+        "stacked_dram_cache" => {
+            reject_unknown("technique", obj, &["kind", "layers", "layer_density"])?;
+            Technique::stacked_dram_cache(layers_field(obj)?, required_num(obj, "layer_density")?)
+        }
+        "unused_data_filter" => {
+            reject_unknown("technique", obj, &["kind", "unused_fraction"])?;
+            Technique::unused_data_filter(required_num(obj, "unused_fraction")?)
+        }
+        "smaller_cores" => {
+            reject_unknown("technique", obj, &["kind", "area_fraction"])?;
+            Technique::smaller_cores(required_num(obj, "area_fraction")?)
+        }
+        "link_compression" => {
+            reject_unknown("technique", obj, &["kind", "ratio"])?;
+            Technique::link_compression(required_num(obj, "ratio")?)
+        }
+        "sectored_cache" => {
+            reject_unknown("technique", obj, &["kind", "unused_fraction"])?;
+            Technique::sectored_cache(required_num(obj, "unused_fraction")?)
+        }
+        "small_cache_lines" => {
+            reject_unknown("technique", obj, &["kind", "unused_fraction"])?;
+            Technique::small_cache_lines(required_num(obj, "unused_fraction")?)
+        }
+        "cache_link_compression" => {
+            reject_unknown("technique", obj, &["kind", "ratio"])?;
+            Technique::cache_link_compression(required_num(obj, "ratio")?)
+        }
+        other => return Err(format!("unknown technique kind '{other}'")),
+    };
+    built.map_err(|e| format!("technique '{kind}': {e}"))
+}
+
+fn parse_baseline(value: &Json) -> Result<Baseline, String> {
+    let obj = value.as_obj().ok_or("field 'baseline' must be an object")?;
+    reject_unknown("baseline", obj, &["cores", "cache_ceas", "alpha"])?;
+    let default = Baseline::niagara2_like();
+    let cores = num_field(obj, "cores")?.unwrap_or_else(|| default.cores());
+    let cache = num_field(obj, "cache_ceas")?.unwrap_or_else(|| default.cache_ceas());
+    let alpha = match num_field(obj, "alpha")? {
+        None => default.alpha(),
+        Some(a) => Alpha::new(a).map_err(|e| format!("baseline: {e}"))?,
+    };
+    Baseline::new(cores, cache, alpha).map_err(|e| format!("baseline: {e}"))
+}
+
+/// Parses a `/solve` request body into a [`ScalingProblem`].
+///
+/// # Errors
+///
+/// Returns an `invalid_request` message for anything other than a
+/// strict, fully-recognised problem description.
+pub fn parse_problem(body: &str) -> Result<ScalingProblem, String> {
+    let doc = Json::parse(body)?;
+    let obj = doc.as_obj().ok_or("request body must be a JSON object")?;
+    reject_unknown(
+        "request",
+        obj,
+        &[
+            "total_ceas",
+            "bandwidth_growth",
+            "per_core_demand",
+            "uncore_per_core",
+            "baseline",
+            "techniques",
+        ],
+    )?;
+    let baseline = match obj.get("baseline") {
+        None => Baseline::niagara2_like(),
+        Some(v) => parse_baseline(v)?,
+    };
+    let mut problem = ScalingProblem::new(baseline, required_num(obj, "total_ceas")?);
+    if let Some(growth) = num_field(obj, "bandwidth_growth")? {
+        problem = problem.with_bandwidth_growth(growth);
+    }
+    if let Some(demand) = num_field(obj, "per_core_demand")? {
+        problem = problem.with_per_core_demand(demand);
+    }
+    if let Some(uncore) = num_field(obj, "uncore_per_core")? {
+        problem = problem.with_uncore_overhead(uncore);
+    }
+    if let Some(value) = obj.get("techniques") {
+        let arr = value
+            .as_arr()
+            .ok_or("field 'techniques' must be an array")?;
+        for t in arr {
+            problem = problem.with_technique(parse_technique(t)?);
+        }
+    }
+    Ok(problem)
+}
+
+/// Solves `problem` and renders the success body. The rendering is the
+/// single source of `/solve` response bytes — the memo cache stores
+/// exactly this string, so cached and fresh replies cannot diverge.
+///
+/// # Errors
+///
+/// Returns an `invalid_request` message when the model rejects the
+/// problem (out-of-domain parameter, infeasible configuration).
+pub fn solve_body(problem: &ScalingProblem) -> Result<String, String> {
+    let solution = problem.solve().map_err(|e| format!("model error: {e}"))?;
+    let digest = CanonicalProblem::of(problem).digest();
+    Ok(format!(
+        "{{\"status\":\"ok\",\"result\":{{\"total_ceas\":{},\"bandwidth_growth\":{},\
+         \"supportable_cores\":{},\"ideal_cores\":{},\"crossover_cores\":{},\
+         \"relative_traffic\":{},\"core_area_fraction\":{},\"scaling_efficiency\":{},\
+         \"problem_digest\":{}}}}}",
+        json_f64(solution.total_ceas),
+        json_f64(solution.bandwidth_growth),
+        solution.supportable_cores,
+        solution.ideal_cores,
+        json_f64(solution.crossover_cores),
+        json_f64(solution.relative_traffic),
+        json_f64(solution.core_area_fraction),
+        json_f64(solution.scaling_efficiency()),
+        json_string(&format!("{digest:016x}")),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_schema() {
+        let body = r#"{
+            "total_ceas": 256,
+            "bandwidth_growth": 1.5,
+            "per_core_demand": 1.6,
+            "uncore_per_core": 0.5,
+            "baseline": {"cores": 8, "cache_ceas": 8, "alpha": 0.5},
+            "techniques": [
+                {"kind": "cache_link_compression", "ratio": 2},
+                {"kind": "dram_cache", "density": 8},
+                {"kind": "stacked_cache", "layers": 1},
+                {"kind": "small_cache_lines", "unused_fraction": 0.4}
+            ]
+        }"#;
+        let p = parse_problem(body).unwrap();
+        assert_eq!(p.total_ceas(), 256.0);
+        assert_eq!(p.bandwidth_growth(), 1.5);
+        assert_eq!(p.per_core_demand(), 1.6);
+        assert_eq!(p.uncore_per_core(), 0.5);
+        assert_eq!(p.techniques().len(), 4);
+    }
+
+    #[test]
+    fn defaults_to_the_paper_baseline() {
+        let p = parse_problem(r#"{"total_ceas": 32}"#).unwrap();
+        assert_eq!(p.baseline(), &Baseline::niagara2_like());
+        assert_eq!(p.bandwidth_growth(), 1.0);
+        let body = solve_body(&p).unwrap();
+        assert!(body.contains("\"supportable_cores\":11"), "{body}");
+        assert!(body.contains("\"ideal_cores\":16"), "{body}");
+        assert!(body.starts_with("{\"status\":\"ok\",\"result\":{"));
+    }
+
+    #[test]
+    fn every_technique_kind_round_trips() {
+        for spec in [
+            r#"{"kind":"cache_compression","ratio":2}"#,
+            r#"{"kind":"dram_cache","density":8}"#,
+            r#"{"kind":"stacked_cache","layers":1}"#,
+            r#"{"kind":"stacked_dram_cache","layers":1,"layer_density":8}"#,
+            r#"{"kind":"unused_data_filter","unused_fraction":0.4}"#,
+            r#"{"kind":"smaller_cores","area_fraction":0.25}"#,
+            r#"{"kind":"link_compression","ratio":2}"#,
+            r#"{"kind":"sectored_cache","unused_fraction":0.4}"#,
+            r#"{"kind":"small_cache_lines","unused_fraction":0.4}"#,
+            r#"{"kind":"cache_link_compression","ratio":2}"#,
+        ] {
+            let body = format!(r#"{{"total_ceas":32,"techniques":[{spec}]}}"#);
+            let p = parse_problem(&body).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(p.techniques().len(), 1, "{spec}");
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed_fields() {
+        for (body, what) in [
+            (r#"{"total_ceas":32,"typo":1}"#, "unknown top-level field"),
+            (r#"{}"#, "missing total_ceas"),
+            (r#"{"total_ceas":"big"}"#, "non-numeric total_ceas"),
+            (r#"[1,2]"#, "non-object body"),
+            ("not json", "unparsable body"),
+            (
+                r#"{"total_ceas":32,"baseline":{"cores":8,"pet":1}}"#,
+                "unknown baseline field",
+            ),
+            (
+                r#"{"total_ceas":32,"techniques":[{"kind":"dram_cache","density":8,"x":1}]}"#,
+                "unknown technique field",
+            ),
+            (
+                r#"{"total_ceas":32,"techniques":[{"kind":"warp_drive"}]}"#,
+                "unknown technique kind",
+            ),
+            (
+                r#"{"total_ceas":32,"techniques":[{"kind":"stacked_cache","layers":1.5}]}"#,
+                "fractional layers",
+            ),
+            (
+                r#"{"total_ceas":32,"techniques":[{"kind":"dram_cache","density":0.5}]}"#,
+                "out-of-domain technique parameter",
+            ),
+            (
+                r#"{"total_ceas":32,"techniques":{"kind":"dram_cache"}}"#,
+                "non-array techniques",
+            ),
+            (
+                r#"{"total_ceas":32,"baseline":{"alpha":-1}}"#,
+                "invalid alpha",
+            ),
+        ] {
+            assert!(parse_problem(body).is_err(), "accepted {what}");
+        }
+    }
+
+    #[test]
+    fn solve_body_is_deterministic_and_reports_model_errors() {
+        let p = parse_problem(r#"{"total_ceas":32}"#).unwrap();
+        assert_eq!(solve_body(&p).unwrap(), solve_body(&p).unwrap());
+        // A parseable but out-of-domain problem fails at solve time.
+        let bad = parse_problem(r#"{"total_ceas":-1}"#).unwrap();
+        let err = solve_body(&bad).unwrap_err();
+        assert!(err.contains("model error"), "{err}");
+    }
+
+    #[test]
+    fn error_envelope_shape() {
+        assert_eq!(
+            error_body("overloaded", "queue full"),
+            "{\"status\":\"error\",\"error\":{\"kind\":\"overloaded\",\
+             \"message\":\"queue full\"}}"
+        );
+    }
+}

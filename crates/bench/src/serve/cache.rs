@@ -1,0 +1,154 @@
+//! Sharded memoization of solved problems.
+//!
+//! The solver is pure, so one canonical problem maps to exactly one
+//! response body; the cache stores that rendered body (`Arc<str>`) and
+//! hands it back byte-identical. Keys are exact [`CanonicalProblem`]
+//! encodings — the 64-bit digest only picks the shard, so a digest
+//! collision costs a shared shard, never a wrong answer.
+//!
+//! Capacity is bounded per shard; a full shard evicts an arbitrary
+//! resident entry (cheap, lock-local, and good enough for a memo cache
+//! where any resident entry is a valid thing to forget). Locks recover
+//! from poisoning so a panicking worker cannot wedge the cache.
+
+use bandwall_model::CanonicalProblem;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const SHARDS: usize = 16;
+
+/// A bounded, sharded `CanonicalProblem -> response body` cache.
+#[derive(Debug)]
+pub struct SolveCache {
+    shards: Vec<Mutex<HashMap<CanonicalProblem, Arc<str>>>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SolveCache {
+    /// Creates a cache bounded at roughly `capacity` entries overall.
+    /// A zero capacity disables memoization (every lookup misses).
+    pub fn new(capacity: usize) -> Self {
+        SolveCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            per_shard_capacity: capacity.div_ceil(SHARDS),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CanonicalProblem) -> &Mutex<HashMap<CanonicalProblem, Arc<str>>> {
+        &self.shards[(key.digest() % SHARDS as u64) as usize]
+    }
+
+    /// Looks up the memoized body for `key`, counting hit/miss.
+    pub fn get(&self, key: &CanonicalProblem) -> Option<Arc<str>> {
+        let found = self
+            .shard(key)
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(key)
+            .cloned();
+        match found {
+            Some(body) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(body)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Memoizes `body` under `key`, evicting an arbitrary resident entry
+    /// if the shard is full. With zero capacity this is a no-op.
+    pub fn put(&self, key: CanonicalProblem, body: Arc<str>) {
+        if self.per_shard_capacity == 0 {
+            return;
+        }
+        let mut shard = self.shard(&key).lock().unwrap_or_else(|p| p.into_inner());
+        if shard.len() >= self.per_shard_capacity && !shard.contains_key(&key) {
+            if let Some(evict) = shard.keys().next().cloned() {
+                shard.remove(&evict);
+            }
+        }
+        shard.insert(key, body);
+    }
+
+    /// Total memoized entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).len())
+            .sum()
+    }
+
+    /// Whether nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bandwall_model::{Baseline, ScalingProblem, Technique};
+
+    fn key(n2: f64) -> CanonicalProblem {
+        CanonicalProblem::of(&ScalingProblem::new(Baseline::niagara2_like(), n2))
+    }
+
+    #[test]
+    fn round_trips_bodies_byte_identically() {
+        let cache = SolveCache::new(64);
+        assert_eq!(cache.get(&key(32.0)), None);
+        cache.put(key(32.0), Arc::from("{\"status\":\"ok\"}"));
+        let body = cache.get(&key(32.0)).unwrap();
+        assert_eq!(&*body, "{\"status\":\"ok\"}");
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn distinct_problems_do_not_collide() {
+        let cache = SolveCache::new(64);
+        let with_tech = CanonicalProblem::of(
+            &ScalingProblem::new(Baseline::niagara2_like(), 32.0)
+                .with_technique(Technique::dram_cache(8.0).unwrap()),
+        );
+        cache.put(key(32.0), Arc::from("plain"));
+        cache.put(with_tech.clone(), Arc::from("dram"));
+        assert_eq!(&*cache.get(&key(32.0)).unwrap(), "plain");
+        assert_eq!(&*cache.get(&with_tech).unwrap(), "dram");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn capacity_bounds_residency() {
+        let cache = SolveCache::new(16);
+        for i in 0..1000 {
+            cache.put(key(f64::from(i) + 1.0), Arc::from("x"));
+        }
+        // div_ceil(16, SHARDS) = 1 entry per shard at most.
+        assert!(cache.len() <= 16, "resident {}", cache.len());
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_disables_memoization() {
+        let cache = SolveCache::new(0);
+        cache.put(key(32.0), Arc::from("x"));
+        assert_eq!(cache.get(&key(32.0)), None);
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,331 @@
+//! The load-generation driver shared by `bandwall loadgen` and the
+//! `serve` bench group.
+//!
+//! One driver, two front ends: `bandwall bench serve` starts an
+//! in-process [`crate::serve::Server`] and points the driver at it;
+//! `bandwall loadgen --addr` points it at an already-running server
+//! over real TCP. Either way the driver measures the same four
+//! kernels — health-check latency, cold-solve latency, memoized-solve
+//! latency, and a concurrent throughput batch — and *validates* as it
+//! measures: every reply must be a 200 with the expected cache header,
+//! and every memoized body must be byte-identical to the first solve
+//! of that problem. A protocol violation fails the run, so the driver
+//! doubles as an end-to-end correctness check.
+
+use crate::perf::{BenchOptions, BenchResult};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// How much load to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadgenOptions {
+    /// Concurrent connections in the throughput batch.
+    pub connections: usize,
+    /// Requests per latency kernel (and per throughput batch).
+    pub requests: usize,
+}
+
+impl LoadgenOptions {
+    /// The default load: enough requests for a meaningful p99.
+    pub fn standard() -> Self {
+        LoadgenOptions {
+            connections: 4,
+            requests: 2_000,
+        }
+    }
+
+    /// A CI-friendly smoke load.
+    pub fn quick() -> Self {
+        LoadgenOptions {
+            connections: 2,
+            requests: 200,
+        }
+    }
+
+    /// Derives the load from bench options so `--quick` means the same
+    /// thing for `bandwall bench serve` as everywhere else.
+    pub fn from_bench(options: &BenchOptions) -> Self {
+        LoadgenOptions {
+            connections: 4,
+            requests: (options.accesses / 200).clamp(100, 5_000),
+        }
+    }
+}
+
+/// One parsed HTTP response from the server under test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// The `x-bandwall-cache` header, when present (`hit` / `miss`).
+    pub cache: Option<String>,
+    /// The response body.
+    pub body: String,
+    /// Whether the server announced `connection: close`.
+    pub close: bool,
+}
+
+/// A minimal keep-alive HTTP/1.1 client for driving `bandwall serve`
+/// (also used by the integration tests, which is why it is public).
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects with a generous read window (the server, not the
+    /// client, is what the timeouts under test protect).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configuration failures as strings.
+    pub fn connect(addr: &SocketAddr) -> Result<Self, String> {
+        let stream = TcpStream::connect_timeout(addr, Duration::from_secs(5))
+            .map_err(|e| format!("connecting to {addr}: {e}"))?;
+        stream.set_nodelay(true).map_err(|e| e.to_string())?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .map_err(|e| e.to_string())?;
+        let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one request and reads the full reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for socket failures or malformed responses.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<ClientResponse, String> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: bandwall\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer
+            .write_all(head.as_bytes())
+            .and_then(|()| self.writer.write_all(body.as_bytes()))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("sending request: {e}"))?;
+        self.read_response()
+    }
+
+    fn read_line(&mut self) -> Result<String, String> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| format!("reading response: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection mid-response".to_string());
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    fn read_response(&mut self) -> Result<ClientResponse, String> {
+        let status_line = self.read_line()?;
+        let status: u16 = status_line
+            .strip_prefix("HTTP/1.1 ")
+            .and_then(|rest| rest.split(' ').next())
+            .and_then(|code| code.parse().ok())
+            .ok_or_else(|| format!("bad status line '{status_line}'"))?;
+        let mut content_length = 0usize;
+        let mut cache = None;
+        let mut close = false;
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(format!("bad response header '{line}'"));
+            };
+            let value = value.trim();
+            match name.to_ascii_lowercase().as_str() {
+                "content-length" => {
+                    content_length = value
+                        .parse()
+                        .map_err(|_| format!("bad content-length '{value}'"))?;
+                }
+                "x-bandwall-cache" => cache = Some(value.to_string()),
+                "connection" => close = value.eq_ignore_ascii_case("close"),
+                _ => {}
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader
+            .read_exact(&mut body)
+            .map_err(|e| format!("reading response body: {e}"))?;
+        Ok(ClientResponse {
+            status,
+            cache,
+            body: String::from_utf8(body).map_err(|_| "non-UTF-8 response body".to_string())?,
+            close,
+        })
+    }
+}
+
+/// A solve body that is unique per `i` (so it always misses the memo
+/// cache) yet always valid and quick to solve.
+fn cold_body(i: usize) -> String {
+    format!("{{\"total_ceas\":{}}}", 24.0 + i as f64 / 8.0)
+}
+
+/// The repeated problem for the memoized kernel: the paper's 16× DRAM
+/// cache headline configuration.
+const MEMO_BODY: &str = r#"{"total_ceas":256,"techniques":[{"kind":"dram_cache","density":8}]}"#;
+
+fn expect_ok(what: &str, response: &ClientResponse) -> Result<(), String> {
+    if response.status != 200 {
+        return Err(format!(
+            "{what}: expected 200, got {} with body {}",
+            response.status, response.body
+        ));
+    }
+    Ok(())
+}
+
+/// Runs the four serve kernels against `addr`. The returned results
+/// plug straight into a `serve` [`crate::perf::BenchGroup`].
+///
+/// # Errors
+///
+/// Returns a message on any connection failure or protocol violation
+/// (wrong status, wrong cache header, memoized body drift).
+pub fn run_against(
+    addr: &SocketAddr,
+    options: &LoadgenOptions,
+) -> Result<Vec<BenchResult>, String> {
+    let requests = options.requests.max(10);
+    let mut results = Vec::new();
+
+    // Kernel 1: health-check latency (protocol floor).
+    let mut client = Client::connect(addr)?;
+    let mut samples = Vec::with_capacity(requests);
+    for _ in 0..requests {
+        let start = Instant::now();
+        let response = client.request("GET", "/healthz", None)?;
+        samples.push(start.elapsed().as_nanos() as u64);
+        expect_ok("healthz", &response)?;
+    }
+    results.push(BenchResult::from_samples(
+        "serve_healthz",
+        format!("GET /healthz over one keep-alive connection, {requests} requests"),
+        1,
+        1,
+        "requests",
+        samples,
+    ));
+
+    // Kernel 2: cold solves — every request is a distinct problem, so
+    // every reply must be a cache miss.
+    let mut samples = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let body = cold_body(i);
+        let start = Instant::now();
+        let response = client.request("POST", "/solve", Some(&body))?;
+        samples.push(start.elapsed().as_nanos() as u64);
+        expect_ok("cold solve", &response)?;
+        if response.cache.as_deref() != Some("miss") {
+            return Err(format!(
+                "cold solve {i}: expected a cache miss, got {:?}",
+                response.cache
+            ));
+        }
+    }
+    results.push(BenchResult::from_samples(
+        "serve_solve_cold",
+        format!("POST /solve, {requests} distinct problems (cache misses)"),
+        1,
+        1,
+        "requests",
+        samples,
+    ));
+
+    // Kernel 3: memoized solves — one problem repeated; after the
+    // warming request every reply must be a hit, byte-identical to the
+    // first body.
+    let warm = client.request("POST", "/solve", Some(MEMO_BODY))?;
+    expect_ok("memo warmup", &warm)?;
+    let reference = warm.body.clone();
+    let mut samples = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let start = Instant::now();
+        let response = client.request("POST", "/solve", Some(MEMO_BODY))?;
+        samples.push(start.elapsed().as_nanos() as u64);
+        expect_ok("memoized solve", &response)?;
+        if response.cache.as_deref() != Some("hit") {
+            return Err(format!(
+                "memoized solve {i}: expected a cache hit, got {:?}",
+                response.cache
+            ));
+        }
+        if response.body != reference {
+            return Err(format!(
+                "memoized solve {i}: body drifted from the uncached reply\n\
+                 cached:   {}\nuncached: {reference}",
+                response.body
+            ));
+        }
+    }
+    results.push(BenchResult::from_samples(
+        "serve_solve_memoized",
+        format!("POST /solve, one problem repeated {requests} times (cache hits)"),
+        1,
+        1,
+        "requests",
+        samples,
+    ));
+    drop(client);
+
+    // Kernel 4: concurrent throughput — `connections` clients each
+    // issue their share of a batch; the sample is the whole batch's
+    // wall time. Three batches give a coarse spread.
+    let connections = options.connections.max(1);
+    let per_connection = requests.div_ceil(connections);
+    let total = (per_connection * connections) as u64;
+    let mut batch_samples = Vec::new();
+    for _ in 0..3 {
+        let start = Instant::now();
+        let threads: Vec<_> = (0..connections)
+            .map(|_| {
+                let addr = *addr;
+                std::thread::spawn(move || -> Result<(), String> {
+                    let mut client = Client::connect(&addr)?;
+                    for _ in 0..per_connection {
+                        let response = client.request("POST", "/solve", Some(MEMO_BODY))?;
+                        expect_ok("throughput solve", &response)?;
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        for thread in threads {
+            thread
+                .join()
+                .map_err(|_| "throughput client panicked".to_string())??;
+        }
+        batch_samples.push(start.elapsed().as_nanos() as u64);
+    }
+    results.push(BenchResult::from_samples(
+        format!("serve_throughput_c{connections}"),
+        format!("{connections} concurrent connections, {total} memoized solves per batch"),
+        connections,
+        total,
+        "requests",
+        batch_samples,
+    ));
+    Ok(results)
+}

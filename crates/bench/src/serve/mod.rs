@@ -1,0 +1,367 @@
+//! `bandwall serve`: an overload-safe model-query service.
+//!
+//! A std-only TCP/HTTP-JSON front end over the analytical model, built
+//! for graceful degradation rather than peak throughput:
+//!
+//! * a nonblocking **acceptor** admits connections into a
+//!   [`queue::BoundedQueue`] and *sheds* the excess with
+//!   an immediate `overloaded` reply — queue depth, not client count,
+//!   bounds memory;
+//! * N run-to-completion **workers** drain the queue,
+//!   enforce per-request deadlines, and contain handler panics;
+//! * a **supervisor** respawns workers that die (chaos or otherwise)
+//!   with doubling backoff;
+//! * a memo **cache** ([`cache`]) keyed by canonical problem encodings
+//!   returns byte-identical bodies for repeated queries;
+//! * shutdown is a flag flip: the acceptor closes the port, the queue
+//!   closes, workers drain in-flight work, and [`Server::join`] returns.
+//!
+//! Endpoints: `GET /healthz`, `GET /readyz`, `POST /solve` (see
+//! [`api`]). Every reply — including every failure — is a well-formed
+//! JSON envelope.
+
+pub mod api;
+pub mod cache;
+pub mod http;
+pub mod json;
+pub mod loadgen;
+pub mod queue;
+mod worker;
+
+use crate::fault::ChaosSpec;
+use crate::serve::api::error_body;
+use crate::serve::cache::SolveCache;
+use crate::serve::http::Response;
+use crate::serve::queue::{BoundedQueue, PushError};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How the server runs; every knob has a CLI flag.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:8787` by default; port 0 picks one).
+    pub addr: String,
+    /// Worker thread count.
+    pub workers: usize,
+    /// Bounded-queue capacity (connections awaiting a worker).
+    pub queue_capacity: usize,
+    /// Per-request deadline (queue wait counts for a connection's first
+    /// request).
+    pub deadline: Duration,
+    /// Socket read/write window; also the keep-alive idle limit.
+    pub read_timeout: Duration,
+    /// Memo-cache capacity in entries (0 disables memoization).
+    pub cache_capacity: usize,
+    /// Chaos plan; `None` runs clean.
+    pub chaos: Option<ChaosSpec>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:8787".to_string(),
+            workers: 2,
+            queue_capacity: 64,
+            deadline: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(5),
+            cache_capacity: 4096,
+            chaos: None,
+        }
+    }
+}
+
+/// Lifetime counters, written with relaxed atomics on the serving path.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Connections handed to workers.
+    pub connections: AtomicU64,
+    /// `200 OK` replies.
+    pub served_ok: AtomicU64,
+    /// Connections refused with `overloaded` (queue full or closed).
+    pub shed: AtomicU64,
+    /// `400/405/408/413 invalid_request` replies.
+    pub invalid_request: AtomicU64,
+    /// `404 not_found` replies.
+    pub not_found: AtomicU64,
+    /// `503 not_ready` replies (readiness probe only).
+    pub not_ready: AtomicU64,
+    /// `504 deadline_exceeded` replies.
+    pub deadline_exceeded: AtomicU64,
+    /// `500 internal` replies (contained panics).
+    pub internal: AtomicU64,
+    /// Workers respawned by the supervisor after a panic.
+    pub worker_respawns: AtomicU64,
+}
+
+/// A plain-value copy of [`ServeStats`] plus cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections handed to workers.
+    pub connections: u64,
+    /// `200 OK` replies.
+    pub served_ok: u64,
+    /// Connections shed with `overloaded`.
+    pub shed: u64,
+    /// `invalid_request` replies.
+    pub invalid_request: u64,
+    /// `not_found` replies.
+    pub not_found: u64,
+    /// `not_ready` replies.
+    pub not_ready: u64,
+    /// `deadline_exceeded` replies.
+    pub deadline_exceeded: u64,
+    /// `internal` replies (contained panics).
+    pub internal: u64,
+    /// Supervisor respawns.
+    pub worker_respawns: u64,
+    /// Memo-cache hits.
+    pub cache_hits: u64,
+    /// Memo-cache misses.
+    pub cache_misses: u64,
+}
+
+/// One accepted connection awaiting a worker.
+#[derive(Debug)]
+pub(crate) struct Conn {
+    pub stream: TcpStream,
+    pub accepted_at: Instant,
+}
+
+/// State shared by the acceptor, workers, and supervisor.
+#[derive(Debug)]
+pub(crate) struct ServeContext {
+    pub config: ServeConfig,
+    pub queue: BoundedQueue<Conn>,
+    pub cache: SolveCache,
+    pub stats: ServeStats,
+    shutdown: AtomicBool,
+}
+
+impl ServeContext {
+    pub fn is_draining(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+}
+
+/// Asks the server to drain and stop; cloneable across threads (the
+/// signal-watching loop holds one while [`Server::join`] blocks).
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    ctx: Arc<ServeContext>,
+}
+
+impl ShutdownHandle {
+    /// Flips the drain flag: the acceptor closes the port, queued and
+    /// in-flight requests finish, idle connections close.
+    pub fn shutdown(&self) {
+        self.ctx.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+/// A running server; dropping it does **not** stop the threads — call
+/// [`Server::shutdown_handle`] + [`Server::join`] for a clean stop.
+#[derive(Debug)]
+pub struct Server {
+    ctx: Arc<ServeContext>,
+    addr: SocketAddr,
+    acceptor: JoinHandle<()>,
+    supervisor: JoinHandle<()>,
+}
+
+impl Server {
+    /// Binds, spawns the acceptor, workers, and supervisor, and returns
+    /// once the server is accepting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration I/O errors.
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let queue_capacity = config.queue_capacity;
+        let cache_capacity = config.cache_capacity;
+        let ctx = Arc::new(ServeContext {
+            config,
+            queue: BoundedQueue::new(queue_capacity),
+            cache: SolveCache::new(cache_capacity),
+            stats: ServeStats::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        let acceptor = {
+            let ctx = Arc::clone(&ctx);
+            std::thread::Builder::new()
+                .name("bandwall-acceptor".into())
+                .spawn(move || acceptor_loop(listener, &ctx))?
+        };
+        let supervisor = {
+            let ctx = Arc::clone(&ctx);
+            std::thread::Builder::new()
+                .name("bandwall-supervisor".into())
+                .spawn(move || supervisor_loop(&ctx))?
+        };
+        Ok(Server {
+            ctx,
+            addr,
+            acceptor,
+            supervisor,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle that can request shutdown from any thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            ctx: Arc::clone(&self.ctx),
+        }
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        snapshot_of(&self.ctx)
+    }
+
+    /// Blocks until the server has fully drained after a
+    /// [`ShutdownHandle::shutdown`], then returns the final counters.
+    /// The port is closed and every worker has exited by the time this
+    /// returns.
+    pub fn join(self) -> StatsSnapshot {
+        // Acceptor exit closes the listener and then the queue; the
+        // supervisor exits once every worker has drained and finished.
+        let _ = self.acceptor.join();
+        let _ = self.supervisor.join();
+        snapshot_of(&self.ctx)
+    }
+}
+
+fn snapshot_of(ctx: &ServeContext) -> StatsSnapshot {
+    let s = &ctx.stats;
+    let (cache_hits, cache_misses) = ctx.cache.stats();
+    StatsSnapshot {
+        connections: s.connections.load(Ordering::Relaxed),
+        served_ok: s.served_ok.load(Ordering::Relaxed),
+        shed: s.shed.load(Ordering::Relaxed),
+        invalid_request: s.invalid_request.load(Ordering::Relaxed),
+        not_found: s.not_found.load(Ordering::Relaxed),
+        not_ready: s.not_ready.load(Ordering::Relaxed),
+        deadline_exceeded: s.deadline_exceeded.load(Ordering::Relaxed),
+        internal: s.internal.load(Ordering::Relaxed),
+        worker_respawns: s.worker_respawns.load(Ordering::Relaxed),
+        cache_hits,
+        cache_misses,
+    }
+}
+
+/// Accepts until drain, never blocking: new connections go to the
+/// bounded queue, the excess is shed with an immediate `overloaded`
+/// reply written best-effort on a nonblocking socket.
+fn acceptor_loop(listener: TcpListener, ctx: &Arc<ServeContext>) {
+    while !ctx.is_draining() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn = Conn {
+                    stream,
+                    accepted_at: Instant::now(),
+                };
+                match ctx.queue.try_push(conn) {
+                    Ok(()) => {}
+                    Err(PushError::Full(conn)) | Err(PushError::Closed(conn)) => {
+                        ctx.stats.shed.fetch_add(1, Ordering::Relaxed);
+                        shed(conn.stream);
+                    }
+                }
+            }
+            Err(_) => {
+                // WouldBlock (no pending connection) or a transient
+                // accept error: nap briefly and re-poll the drain flag.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+    // Dropping the listener here closes the port; closing the queue
+    // lets workers drain what was already admitted and then exit.
+    drop(listener);
+    ctx.queue.close();
+}
+
+/// Best-effort `503 overloaded` on a nonblocking socket. The reply is
+/// ~150 bytes — it fits any kernel send buffer — and if it doesn't
+/// (a client that never reads), we drop the connection rather than
+/// ever block the acceptor.
+fn shed(stream: TcpStream) {
+    if stream.set_nonblocking(true).is_err() {
+        return;
+    }
+    let response = Response {
+        status: 503,
+        body: error_body("overloaded", "request queue is full; retry with backoff"),
+        cache: None,
+        close: true,
+    };
+    let mut stream = stream;
+    let _ = stream.write_all(&response.to_bytes());
+    let _ = stream.flush();
+}
+
+/// Spawns the initial workers, then respawns any that die with a
+/// doubling backoff (10 ms → 500 ms, reset after a quiet scan).
+/// Returns once the queue is closed and every worker has exited
+/// normally — i.e. the drain is complete.
+fn supervisor_loop(ctx: &Arc<ServeContext>) {
+    const BACKOFF_FLOOR: Duration = Duration::from_millis(10);
+    const BACKOFF_CEIL: Duration = Duration::from_millis(500);
+    let spawn = |stream: u64| {
+        let ctx = Arc::clone(ctx);
+        std::thread::Builder::new()
+            .name(format!("bandwall-worker-{stream}"))
+            .spawn(move || worker::worker_loop(ctx, stream))
+            .expect("spawning a worker thread")
+    };
+    let mut next_stream: u64 = 0;
+    let mut slots: Vec<Option<JoinHandle<()>>> = (0..ctx.config.workers.max(1))
+        .map(|_| {
+            let handle = spawn(next_stream);
+            next_stream += 1;
+            Some(handle)
+        })
+        .collect();
+    let mut backoff = BACKOFF_FLOOR;
+    loop {
+        std::thread::sleep(Duration::from_millis(5));
+        let mut respawned = false;
+        for slot in &mut slots {
+            let finished = slot.as_ref().is_some_and(JoinHandle::is_finished);
+            if !finished {
+                continue;
+            }
+            let handle = slot.take().expect("finished slot holds a handle");
+            if handle.join().is_err() {
+                // Panicked: back off, then respawn with a fresh fault
+                // stream so a deterministic chaos sequence cannot pin
+                // the worker in a death loop.
+                ctx.stats.worker_respawns.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(BACKOFF_CEIL);
+                *slot = Some(spawn(next_stream));
+                next_stream += 1;
+                respawned = true;
+            }
+            // A normal exit means the queue is closed and drained for
+            // this worker; leave the slot empty.
+        }
+        if !respawned {
+            backoff = BACKOFF_FLOOR;
+        }
+        if ctx.queue.is_closed() && slots.iter().all(Option::is_none) {
+            return;
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Run-to-completion connection workers.
+//!
+//! Each worker pops accepted connections off the bounded queue and
+//! drives them to completion: keep-alive request loop, per-request
+//! deadline enforcement, strict read limits, and panic containment
+//! (`catch_unwind` around the solve, so a handler panic — injected or
+//! organic — becomes a well-formed `internal` reply instead of a dead
+//! connection). Workers share no mutable state beyond the queue, the
+//! memo cache, and atomic counters; chaos faults are sampled from a
+//! per-worker deterministic [`Injector`].
+//!
+//! The worker fault point fires *between* connections, outside the
+//! containment boundary, so an injected worker death exercises the
+//! supervisor's respawn path without ever eating a request.
+
+use crate::fault::{Fault, FaultPoint, Injector};
+use crate::serve::api::{error_body, parse_problem, solve_body};
+use crate::serve::http::{read_request, Limits, ReadError, Request, Response};
+use crate::serve::{Conn, ServeContext};
+use bandwall_model::CanonicalProblem;
+use std::io::{BufReader, ErrorKind};
+use std::net::TcpStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Request-head cap: 8 KiB covers any legitimate client.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Request-body cap: 64 KiB is far beyond any real problem description.
+const MAX_BODY_BYTES: usize = 64 * 1024;
+/// How often an idle keep-alive wait rechecks the drain flag.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+pub(crate) const LIMITS: Limits = Limits {
+    max_head_bytes: MAX_HEAD_BYTES,
+    max_body_bytes: MAX_BODY_BYTES,
+};
+
+/// The body of one worker thread: drain the queue until it is closed
+/// and empty. Panics (chaos-injected worker deaths) unwind out of here
+/// and are answered by the supervisor's respawn.
+pub(crate) fn worker_loop(ctx: Arc<ServeContext>, fault_stream: u64) {
+    let mut injector = ctx
+        .config
+        .chaos
+        .map(|spec| Injector::for_worker(spec, fault_stream));
+    while let Some(conn) = ctx.queue.pop() {
+        handle_connection(&ctx, injector.as_mut(), conn);
+        if let Some(fault) = injector.as_mut().and_then(|i| i.sample(FaultPoint::Worker)) {
+            // Outside any containment on purpose: a worker death must
+            // be survived by the supervisor, not the handler.
+            let _ = fault.trigger();
+        }
+    }
+}
+
+/// Waits for the next request's first byte without consuming it,
+/// polling the drain flag. Returns `false` when the connection should
+/// close (drain, idle timeout, peer gone).
+fn await_next_request(ctx: &ServeContext, stream: &TcpStream, buffered: bool) -> bool {
+    if buffered {
+        // Pipelined bytes already sit in the reader; serve them even
+        // mid-drain (the request is in flight by any fair definition).
+        return true;
+    }
+    let mut probe = [0u8; 1];
+    let idle_limit = ctx.config.read_timeout;
+    let started = Instant::now();
+    if stream.set_read_timeout(Some(IDLE_POLL)).is_err() {
+        return false;
+    }
+    loop {
+        if ctx.is_draining() {
+            return false;
+        }
+        match stream.peek(&mut probe) {
+            Ok(0) => return false,
+            Ok(_) => break,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if started.elapsed() >= idle_limit {
+                    return false;
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+    stream
+        .set_read_timeout(Some(ctx.config.read_timeout))
+        .is_ok()
+}
+
+fn handle_connection(ctx: &ServeContext, mut injector: Option<&mut Injector>, conn: Conn) {
+    ctx.stats.connections.fetch_add(1, Ordering::Relaxed);
+    let stream = conn.stream;
+    // The acceptor never blocks, so accepted sockets may arrive
+    // nonblocking; workers want blocking reads bounded by timeouts.
+    if stream.set_nonblocking(false).is_err()
+        || stream
+            .set_write_timeout(Some(ctx.config.read_timeout))
+            .is_err()
+        || stream
+            .set_read_timeout(Some(ctx.config.read_timeout))
+            .is_err()
+    {
+        return;
+    }
+    let Ok(clone) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(clone);
+    let mut writer = stream;
+    let mut first = true;
+    loop {
+        if !first && !await_next_request(ctx, &writer, !reader.buffer().is_empty()) {
+            return;
+        }
+        // The deadline origin for the first request is the accept time
+        // (queue wait counts against it); later keep-alive requests
+        // start their clock when the worker turns to them.
+        let origin = if first {
+            conn.accepted_at
+        } else {
+            Instant::now()
+        };
+        first = false;
+        let read_deadline = Instant::now() + ctx.config.read_timeout;
+        let request = match read_request(&mut reader, &LIMITS, Some(read_deadline)) {
+            Ok(None) => return,
+            Ok(Some(request)) => request,
+            Err(e) => {
+                if let Some(response) = read_error_response(&e) {
+                    count_response(ctx, &response);
+                    let _ = response.write_to(&mut writer);
+                }
+                return;
+            }
+        };
+        let deadline = origin + ctx.config.deadline;
+        let mut response = respond(ctx, injector.as_deref_mut(), &request, deadline);
+        response.close = response.close || !request.keep_alive || ctx.is_draining();
+        count_response(ctx, &response);
+        if response.write_to(&mut writer).is_err() || response.close {
+            return;
+        }
+    }
+}
+
+/// Maps a request-read failure onto its reply; `None` closes silently
+/// (the client is gone, nobody is listening).
+fn read_error_response(error: &ReadError) -> Option<Response> {
+    let (status, message) = match error {
+        ReadError::Disconnected | ReadError::Io(_) => return None,
+        ReadError::Timeout => (408, "timed out reading request".to_string()),
+        ReadError::HeadTooLarge => (413, format!("request head exceeds {MAX_HEAD_BYTES} bytes")),
+        ReadError::BodyTooLarge { declared } => (
+            413,
+            format!("request body of {declared} bytes exceeds {MAX_BODY_BYTES}"),
+        ),
+        ReadError::Malformed(msg) => (400, format!("malformed request: {msg}")),
+    };
+    Some(Response {
+        status,
+        body: error_body("invalid_request", &message),
+        cache: None,
+        close: true,
+    })
+}
+
+fn count_response(ctx: &ServeContext, response: &Response) {
+    let counter = match response.status {
+        200 => &ctx.stats.served_ok,
+        404 => &ctx.stats.not_found,
+        500 => &ctx.stats.internal,
+        503 => &ctx.stats.not_ready,
+        504 => &ctx.stats.deadline_exceeded,
+        _ => &ctx.stats.invalid_request,
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+fn deadline_response() -> Response {
+    Response {
+        status: 504,
+        body: error_body("deadline_exceeded", "request missed its deadline"),
+        cache: None,
+        close: false,
+    }
+}
+
+/// Routes one request. Every path returns a well-formed JSON reply.
+fn respond(
+    ctx: &ServeContext,
+    injector: Option<&mut Injector>,
+    request: &Request,
+    deadline: Instant,
+) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::ok("{\"status\":\"ok\"}".into()),
+        ("GET", "/readyz") => {
+            if ctx.is_draining() {
+                Response {
+                    status: 503,
+                    body: error_body("not_ready", "draining for shutdown"),
+                    cache: None,
+                    close: false,
+                }
+            } else if ctx.queue.is_full() {
+                Response {
+                    status: 503,
+                    body: error_body("not_ready", "request queue is saturated"),
+                    cache: None,
+                    close: false,
+                }
+            } else {
+                Response::ok("{\"status\":\"ok\"}".into())
+            }
+        }
+        ("POST", "/solve") => solve(ctx, injector, request, deadline),
+        (_, "/healthz" | "/readyz" | "/solve") => Response {
+            status: 405,
+            body: error_body(
+                "invalid_request",
+                &format!("method {} not allowed here", request.method),
+            ),
+            cache: None,
+            close: false,
+        },
+        (_, path) => Response {
+            status: 404,
+            body: error_body("not_found", &format!("no such endpoint '{path}'")),
+            cache: None,
+            close: false,
+        },
+    }
+}
+
+fn solve(
+    ctx: &ServeContext,
+    injector: Option<&mut Injector>,
+    request: &Request,
+    deadline: Instant,
+) -> Response {
+    let fault = injector.and_then(|i| i.sample(FaultPoint::Handler));
+    if let Some(Fault::Sleep(d)) = &fault {
+        std::thread::sleep(*d);
+    }
+    if Instant::now() > deadline {
+        return deadline_response();
+    }
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return Response {
+            status: 400,
+            body: error_body("invalid_request", "body is not UTF-8"),
+            cache: None,
+            close: false,
+        };
+    };
+    let problem = match parse_problem(body) {
+        Ok(problem) => problem,
+        Err(message) => {
+            return Response {
+                status: 400,
+                body: error_body("invalid_request", &message),
+                cache: None,
+                close: false,
+            }
+        }
+    };
+    let key = CanonicalProblem::of(&problem);
+    if let Some(memoized) = ctx.cache.get(&key) {
+        if Instant::now() > deadline {
+            return deadline_response();
+        }
+        return Response {
+            cache: Some("hit"),
+            ..Response::ok(memoized.to_string())
+        };
+    }
+    // Containment boundary: an injected (or organic) panic inside the
+    // solve becomes a structured `internal` reply, not a dead worker.
+    let solved = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(Fault::Panic(message)) = &fault {
+            panic!("{}", message.clone());
+        }
+        solve_body(&problem)
+    }));
+    match solved {
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("handler panicked");
+            Response {
+                status: 500,
+                body: error_body("internal", &format!("contained panic: {message}")),
+                cache: None,
+                close: false,
+            }
+        }
+        Ok(Err(message)) => Response {
+            status: 400,
+            body: error_body("invalid_request", &message),
+            cache: None,
+            close: false,
+        },
+        Ok(Ok(rendered)) => {
+            ctx.cache.put(key, Arc::from(rendered.as_str()));
+            if Instant::now() > deadline {
+                return deadline_response();
+            }
+            Response {
+                cache: Some("miss"),
+                ..Response::ok(rendered)
+            }
+        }
+    }
+}

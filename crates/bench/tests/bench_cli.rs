@@ -16,7 +16,7 @@ fn bench_list_names_every_group() {
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
     let groups: Vec<&str> = stdout.lines().collect();
-    assert_eq!(groups, ["sim_engine", "compress", "experiments"]);
+    assert_eq!(groups, ["sim_engine", "compress", "experiments", "serve"]);
 }
 
 #[test]
@@ -61,10 +61,10 @@ fn bench_json_and_snapshot_match_the_schema() {
     assert!(stdout.trim_end().ends_with("]"));
     assert_eq!(stdout.matches('{').count(), stdout.matches('}').count());
 
-    // Snapshot: the machine-readable bandwall-bench/1 document.
+    // Snapshot: the machine-readable bandwall-bench/2 document.
     let snap = std::fs::read_to_string(dir.join("BENCH_sim_engine.json")).unwrap();
     for key in [
-        "\"schema\":\"bandwall-bench/1\"",
+        "\"schema\":\"bandwall-bench/2\"",
         "\"group\":\"sim_engine\"",
         "\"warmup\":0",
         "\"iters\":2",
@@ -76,6 +76,7 @@ fn bench_json_and_snapshot_match_the_schema() {
         "\"median_ns\":",
         "\"p10_ns\":",
         "\"p90_ns\":",
+        "\"p99_ns\":",
         "\"items_per_sec\":",
         "\"speedup_vs_sequential\":",
     ] {

@@ -1,0 +1,348 @@
+//! Wire-level integration tests for `bandwall serve`: real TCP sockets
+//! against an in-process [`Server`], covering the failure modes the
+//! service promises to survive — malformed requests, oversized bodies,
+//! slow clients, mid-request disconnects, queue saturation, deadline
+//! overruns, and graceful drain.
+
+use bandwall_experiments::fault::ChaosSpec;
+use bandwall_experiments::serve::loadgen::Client;
+use bandwall_experiments::serve::{ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// A config bound to an ephemeral port with CI-friendly timeouts.
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_capacity: 8,
+        deadline: Duration::from_secs(2),
+        read_timeout: Duration::from_millis(400),
+        cache_capacity: 1024,
+        chaos: None,
+    }
+}
+
+fn start(config: ServeConfig) -> (Server, SocketAddr) {
+    let server = Server::start(config).expect("server starts");
+    let addr = server.addr();
+    (server, addr)
+}
+
+fn stop(server: Server) -> bandwall_experiments::serve::StatsSnapshot {
+    server.shutdown_handle().shutdown();
+    server.join()
+}
+
+/// Sends raw bytes and returns everything the server replies before
+/// closing (or `None` if the server just hangs up).
+fn raw_roundtrip(addr: &SocketAddr, bytes: &[u8]) -> Option<String> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.write_all(bytes).expect("send");
+    let mut reply = Vec::new();
+    let _ = stream.read_to_end(&mut reply);
+    if reply.is_empty() {
+        None
+    } else {
+        Some(String::from_utf8(reply).expect("UTF-8 reply"))
+    }
+}
+
+#[test]
+fn health_and_readiness_probes_answer() {
+    let (server, addr) = start(test_config());
+    let mut client = Client::connect(&addr).unwrap();
+    let health = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, "{\"status\":\"ok\"}");
+    let ready = client.request("GET", "/readyz", None).unwrap();
+    assert_eq!(ready.status, 200);
+    drop(client);
+    stop(server);
+}
+
+#[test]
+fn malformed_json_gets_invalid_request() {
+    let (server, addr) = start(test_config());
+    let mut client = Client::connect(&addr).unwrap();
+    for body in ["{", "[]", "{\"total_ceas\":\"many\"}", "{\"bogus\":1}"] {
+        let response = client.request("POST", "/solve", Some(body)).unwrap();
+        assert_eq!(response.status, 400, "body {body:?}: {}", response.body);
+        assert!(
+            response.body.contains("\"kind\":\"invalid_request\""),
+            "body {body:?}: {}",
+            response.body
+        );
+    }
+    // The connection survives invalid requests (keep-alive).
+    let ok = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(ok.status, 200);
+    drop(client);
+    stop(server);
+}
+
+#[test]
+fn malformed_head_gets_invalid_request() {
+    let (server, addr) = start(test_config());
+    let reply = raw_roundtrip(&addr, b"NOT-HTTP nonsense\r\n\r\n").expect("a reply");
+    assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+    assert!(reply.contains("\"kind\":\"invalid_request\""), "{reply}");
+    stop(server);
+}
+
+#[test]
+fn oversized_body_is_rejected_not_read() {
+    let (server, addr) = start(test_config());
+    // Declare 10 MiB; the server must refuse from the header alone.
+    let head = "POST /solve HTTP/1.1\r\ncontent-length: 10485760\r\n\r\n";
+    let reply = raw_roundtrip(&addr, head.as_bytes()).expect("a reply");
+    assert!(reply.starts_with("HTTP/1.1 413"), "{reply}");
+    assert!(reply.contains("\"kind\":\"invalid_request\""), "{reply}");
+    stop(server);
+}
+
+#[test]
+fn oversized_head_is_rejected() {
+    let (server, addr) = start(test_config());
+    let mut request = b"GET /healthz HTTP/1.1\r\nx-padding: ".to_vec();
+    request.extend(std::iter::repeat_n(b'a', 16 * 1024));
+    request.extend(b"\r\n\r\n");
+    let reply = raw_roundtrip(&addr, &request).expect("a reply");
+    assert!(reply.starts_with("HTTP/1.1 413"), "{reply}");
+    stop(server);
+}
+
+#[test]
+fn slow_loris_is_timed_out() {
+    let (server, addr) = start(test_config());
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    // Send half a request head, then stall past the read timeout.
+    stream.write_all(b"GET /healthz HT").expect("send");
+    let started = Instant::now();
+    let mut reply = Vec::new();
+    let _ = stream.read_to_end(&mut reply);
+    let reply = String::from_utf8(reply).unwrap();
+    assert!(reply.starts_with("HTTP/1.1 408"), "{reply}");
+    assert!(
+        started.elapsed() < Duration::from_secs(4),
+        "timeout should fire near the 400ms read window, took {:?}",
+        started.elapsed()
+    );
+    stop(server);
+}
+
+#[test]
+fn mid_request_disconnect_is_survived() {
+    let (server, addr) = start(test_config());
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"POST /solve HTTP/1.1\r\ncontent-length: 500\r\n\r\n{\"tot")
+            .expect("send");
+        // Drop mid-body: the worker sees EOF and must move on.
+    }
+    // The server still serves the next client promptly.
+    let mut client = Client::connect(&addr).unwrap();
+    let ok = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(ok.status, 200);
+    drop(client);
+    stop(server);
+}
+
+#[test]
+fn concurrent_clients_all_get_correct_answers() {
+    let (server, addr) = start(ServeConfig {
+        workers: 4,
+        queue_capacity: 64,
+        ..test_config()
+    });
+    let threads: Vec<_> = (0..8)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                for j in 0..25 {
+                    let body = format!("{{\"total_ceas\":{}}}", 32 + (i * 25 + j) % 7);
+                    let response = client.request("POST", "/solve", Some(&body)).unwrap();
+                    assert_eq!(response.status, 200, "{}", response.body);
+                    assert!(response.body.contains("\"supportable_cores\""));
+                }
+            })
+        })
+        .collect();
+    for thread in threads {
+        thread.join().expect("client thread");
+    }
+    let stats = stop(server);
+    assert_eq!(stats.served_ok, 200);
+    assert_eq!(stats.internal, 0);
+    assert_eq!(stats.worker_respawns, 0, "no chaos, no respawns");
+}
+
+#[test]
+fn saturated_queue_sheds_immediately_with_overloaded() {
+    // One worker stuck behind injected 300ms delays on every request and
+    // a queue of 1: further connections must be shed at accept time.
+    let (server, addr) = start(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        deadline: Duration::from_secs(10),
+        chaos: Some(ChaosSpec::parse("panic=0,worker=0,delay=1:300").unwrap()),
+        ..test_config()
+    });
+    // Keep the worker and the queue saturated with slow solves for the
+    // whole probe window: each busy client loops connect → slow solve →
+    // drop, tolerating its own shed replies, so there is no moment when
+    // the backlog drains out from under the probe.
+    let busy_until = Instant::now() + Duration::from_secs(3);
+    let busy: Vec<_> = (0..6)
+        .map(|i| {
+            std::thread::spawn(move || {
+                while Instant::now() < busy_until {
+                    let Ok(mut client) = Client::connect(&addr) else {
+                        continue;
+                    };
+                    let body = format!("{{\"total_ceas\":{}}}", 40 + i);
+                    let _ = client.request("POST", "/solve", Some(&body));
+                }
+            })
+        })
+        .collect();
+    // While the backlog exists (one 300ms solve at a time, several
+    // waiting), probing must observe a shed. An individual probe can
+    // race a momentarily free queue slot under scheduling noise, so
+    // probe repeatedly; each probe that IS shed must come back with the
+    // structured `overloaded` envelope, never a silent close or a hang.
+    let probing_started = Instant::now();
+    let mut saw_shed = false;
+    while probing_started.elapsed() < Duration::from_millis(2_500) {
+        let started = Instant::now();
+        let reply = raw_roundtrip(&addr, b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n")
+            .expect("a reply, never a silent close");
+        assert!(
+            started.elapsed() < Duration::from_secs(3),
+            "probe hung for {:?}",
+            started.elapsed()
+        );
+        if reply.starts_with("HTTP/1.1 503") {
+            assert!(reply.contains("\"kind\":\"overloaded\""), "{reply}");
+            saw_shed = true;
+            break;
+        }
+        // Admitted and answered: the queue momentarily had room.
+        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+    }
+    assert!(saw_shed, "a saturated queue never shed a connection");
+    for thread in busy {
+        let _ = thread.join();
+    }
+    let stats = stop(server);
+    assert!(stats.shed >= 1, "at least one connection shed: {stats:?}");
+}
+
+#[test]
+fn deadline_overrun_gets_504() {
+    // Injected 300ms delay on every request with a 50ms deadline: every
+    // solve must come back as deadline_exceeded, not hang.
+    let (server, addr) = start(ServeConfig {
+        workers: 1,
+        deadline: Duration::from_millis(50),
+        chaos: Some(ChaosSpec::parse("panic=0,worker=0,delay=1:300").unwrap()),
+        ..test_config()
+    });
+    let mut client = Client::connect(&addr).unwrap();
+    let response = client
+        .request("POST", "/solve", Some("{\"total_ceas\":32}"))
+        .unwrap();
+    assert_eq!(response.status, 504, "{}", response.body);
+    assert!(
+        response.body.contains("\"kind\":\"deadline_exceeded\""),
+        "{}",
+        response.body
+    );
+    drop(client);
+    let stats = stop(server);
+    assert!(stats.deadline_exceeded >= 1);
+}
+
+#[test]
+fn memoized_replies_are_byte_identical() {
+    let (server, addr) = start(test_config());
+    let mut client = Client::connect(&addr).unwrap();
+    let body = "{\"total_ceas\":256,\"techniques\":[{\"kind\":\"dram_cache\",\"density\":8}]}";
+    let cold = client.request("POST", "/solve", Some(body)).unwrap();
+    assert_eq!(cold.status, 200);
+    assert_eq!(cold.cache.as_deref(), Some("miss"));
+    for _ in 0..5 {
+        let warm = client.request("POST", "/solve", Some(body)).unwrap();
+        assert_eq!(warm.status, 200);
+        assert_eq!(warm.cache.as_deref(), Some("hit"));
+        assert_eq!(warm.body, cold.body, "memoized reply drifted");
+    }
+    // A semantically-identical but textually-different request hits too:
+    // the cache key is the canonical problem, not the request bytes.
+    let reordered = "{\"techniques\":[{\"density\":8,\"kind\":\"dram_cache\"}],\"total_ceas\":256}";
+    let warm = client.request("POST", "/solve", Some(reordered)).unwrap();
+    assert_eq!(warm.cache.as_deref(), Some("hit"));
+    assert_eq!(warm.body, cold.body);
+    drop(client);
+    let stats = stop(server);
+    assert_eq!(stats.cache_misses, 1);
+    assert!(stats.cache_hits >= 6);
+}
+
+#[test]
+fn graceful_drain_finishes_in_flight_work_and_closes_the_port() {
+    let (server, addr) = start(ServeConfig {
+        workers: 2,
+        // Slow every request a bit so shutdown provably races in-flight
+        // work and loses.
+        chaos: Some(ChaosSpec::parse("panic=0,worker=0,delay=1:150").unwrap()),
+        deadline: Duration::from_secs(10),
+        ..test_config()
+    });
+    let in_flight: Vec<_> = (0..2)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                let body = format!("{{\"total_ceas\":{}}}", 60 + i);
+                client.request("POST", "/solve", Some(&body)).unwrap()
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(50));
+    let handle = server.shutdown_handle();
+    handle.shutdown();
+    // In-flight requests complete with real answers, not resets.
+    for thread in in_flight {
+        let response = thread.join().expect("in-flight client");
+        assert_eq!(response.status, 200, "{}", response.body);
+    }
+    let stats = server.join();
+    assert_eq!(stats.served_ok, 2);
+    // After join the port is closed: connecting must fail.
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "port should be closed after drain"
+    );
+}
+
+#[test]
+fn unknown_endpoint_and_wrong_method_are_structured_errors() {
+    let (server, addr) = start(test_config());
+    let mut client = Client::connect(&addr).unwrap();
+    let missing = client.request("GET", "/nope", None).unwrap();
+    assert_eq!(missing.status, 404);
+    assert!(missing.body.contains("\"kind\":\"not_found\""));
+    let wrong = client.request("GET", "/solve", None).unwrap();
+    assert_eq!(wrong.status, 405);
+    assert!(wrong.body.contains("\"kind\":\"invalid_request\""));
+    drop(client);
+    stop(server);
+}

@@ -1,0 +1,226 @@
+//! Canonical, order-independent encoding of a [`ScalingProblem`].
+//!
+//! The solver is pure and deterministic, which makes solved problems
+//! perfect cache fodder — but only if two *equal* problems produce the
+//! same key regardless of construction order. [`CanonicalProblem`]
+//! provides that: an exact canonical encoding (technique set sorted,
+//! float fields captured by bit pattern) usable as a hash-map key, plus
+//! a 64-bit FNV-1a digest for sharding and logging.
+//!
+//! Equality on the encoding is exact, so a memoization cache keyed by
+//! [`CanonicalProblem`] can never conflate two different problems — the
+//! digest is a convenience, not the identity.
+
+use crate::scaling::ScalingProblem;
+use crate::techniques::TechniqueKind;
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Normalises a float for canonical encoding: `-0.0` folds onto `0.0`
+/// (they compare equal, so they must encode equally) and every NaN folds
+/// onto one canonical NaN bit pattern. All other values keep their exact
+/// IEEE-754 bits, so distinct parameters never collide.
+fn float_bits(v: f64) -> u64 {
+    if v == 0.0 {
+        0
+    } else if v.is_nan() {
+        f64::NAN.to_bits()
+    } else {
+        v.to_bits()
+    }
+}
+
+/// Encodes one technique as a sortable fixed-width word triple:
+/// a discriminant tag followed by its parameters' bit patterns.
+fn technique_words(kind: TechniqueKind) -> [u64; 3] {
+    match kind {
+        TechniqueKind::CacheCompression { ratio } => [1, float_bits(ratio), 0],
+        TechniqueKind::DramCache { density } => [2, float_bits(density), 0],
+        TechniqueKind::StackedCache {
+            layers,
+            layer_density,
+        } => [3, u64::from(layers), float_bits(layer_density)],
+        TechniqueKind::UnusedDataFilter { unused_fraction } => [4, float_bits(unused_fraction), 0],
+        TechniqueKind::SmallerCores { area_fraction } => [5, float_bits(area_fraction), 0],
+        TechniqueKind::LinkCompression { ratio } => [6, float_bits(ratio), 0],
+        TechniqueKind::SectoredCache { unused_fraction } => [7, float_bits(unused_fraction), 0],
+        TechniqueKind::SmallCacheLines { unused_fraction } => [8, float_bits(unused_fraction), 0],
+        TechniqueKind::CacheLinkCompression { ratio } => [9, float_bits(ratio), 0],
+    }
+}
+
+/// The exact canonical form of a [`ScalingProblem`]: every parameter's
+/// bit pattern in a fixed field order, with the technique set sorted so
+/// application order (which the model treats as commutative) cannot
+/// produce distinct encodings.
+///
+/// Use it directly as a `HashMap` key for memoized solves; use
+/// [`CanonicalProblem::digest`] when a compact 64-bit summary is enough
+/// (shard selection, logging).
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_model::{Baseline, CanonicalProblem, ScalingProblem, Technique};
+///
+/// let dram = Technique::dram_cache(8.0)?;
+/// let lc = Technique::link_compression(2.0)?;
+/// let a = ScalingProblem::new(Baseline::niagara2_like(), 256.0)
+///     .with_technique(dram)
+///     .with_technique(lc);
+/// let b = ScalingProblem::new(Baseline::niagara2_like(), 256.0)
+///     .with_technique(lc)
+///     .with_technique(dram);
+/// assert_eq!(CanonicalProblem::of(&a), CanonicalProblem::of(&b));
+/// # Ok::<(), bandwall_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CanonicalProblem {
+    words: Vec<u64>,
+}
+
+impl CanonicalProblem {
+    /// Canonicalises `problem`.
+    pub fn of(problem: &ScalingProblem) -> Self {
+        let baseline = problem.baseline();
+        let mut words = vec![
+            float_bits(baseline.cores()),
+            float_bits(baseline.cache_ceas()),
+            float_bits(baseline.alpha().get()),
+            float_bits(problem.total_ceas()),
+            float_bits(problem.bandwidth_growth()),
+            float_bits(problem.per_core_demand()),
+            float_bits(problem.uncore_per_core()),
+        ];
+        let mut techniques: Vec<[u64; 3]> = problem
+            .techniques()
+            .iter()
+            .map(|t| technique_words(t.kind()))
+            .collect();
+        techniques.sort_unstable();
+        for t in techniques {
+            words.extend_from_slice(&t);
+        }
+        CanonicalProblem { words }
+    }
+
+    /// The 64-bit FNV-1a digest of the canonical encoding. Two equal
+    /// problems always share a digest; unequal problems collide only
+    /// with hash probability, so treat the digest as a summary and the
+    /// [`CanonicalProblem`] itself as the identity.
+    pub fn digest(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for word in &self.words {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{Alpha, Baseline};
+    use crate::techniques::Technique;
+
+    fn base(n2: f64) -> ScalingProblem {
+        ScalingProblem::new(Baseline::niagara2_like(), n2)
+    }
+
+    #[test]
+    fn equal_problems_encode_and_hash_equal() {
+        let a = base(32.0).with_bandwidth_growth(1.5);
+        let b = base(32.0).with_bandwidth_growth(1.5);
+        assert_eq!(CanonicalProblem::of(&a), CanonicalProblem::of(&b));
+        assert_eq!(
+            CanonicalProblem::of(&a).digest(),
+            CanonicalProblem::of(&b).digest()
+        );
+    }
+
+    #[test]
+    fn technique_order_is_irrelevant() {
+        let t = [
+            Technique::cache_link_compression(2.0).unwrap(),
+            Technique::dram_cache(8.0).unwrap(),
+            Technique::stacked_cache(1).unwrap(),
+            Technique::small_cache_lines(0.4).unwrap(),
+        ];
+        let forward = base(256.0).with_techniques(t);
+        let backward = base(256.0).with_techniques(t.iter().rev().copied());
+        assert_eq!(
+            CanonicalProblem::of(&forward),
+            CanonicalProblem::of(&backward)
+        );
+    }
+
+    #[test]
+    fn every_field_feeds_the_encoding() {
+        let reference = CanonicalProblem::of(&base(32.0));
+        let variants = [
+            base(64.0),
+            base(32.0).with_bandwidth_growth(1.5),
+            base(32.0).with_per_core_demand(1.6),
+            base(32.0).with_uncore_overhead(0.5),
+            base(32.0).with_technique(Technique::dram_cache(8.0).unwrap()),
+            ScalingProblem::new(Baseline::niagara2_like().with_alpha(Alpha::SPEC2006), 32.0),
+            ScalingProblem::new(
+                Baseline::new(4.0, 12.0, Alpha::COMMERCIAL_AVERAGE).unwrap(),
+                32.0,
+            ),
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(reference, CanonicalProblem::of(v), "variant {i}");
+            assert_ne!(
+                reference.digest(),
+                CanonicalProblem::of(v).digest(),
+                "variant {i} digest"
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_techniques_with_same_parameter_differ() {
+        // Same parameter value, different mechanism: the tag separates them.
+        let cc = base(32.0).with_technique(Technique::cache_compression(2.0).unwrap());
+        let lc = base(32.0).with_technique(Technique::link_compression(2.0).unwrap());
+        assert_ne!(CanonicalProblem::of(&cc), CanonicalProblem::of(&lc));
+    }
+
+    #[test]
+    fn duplicate_techniques_are_preserved() {
+        // Applying a technique twice is a different (stronger) problem
+        // than applying it once; the multiset must distinguish them.
+        let once = base(32.0).with_technique(Technique::link_compression(2.0).unwrap());
+        let twice = once
+            .clone()
+            .with_technique(Technique::link_compression(2.0).unwrap());
+        assert_ne!(CanonicalProblem::of(&once), CanonicalProblem::of(&twice));
+    }
+
+    #[test]
+    fn negative_zero_folds_onto_zero() {
+        let a = base(32.0).with_uncore_overhead(0.0);
+        let b = base(32.0).with_uncore_overhead(-0.0);
+        assert_eq!(CanonicalProblem::of(&a), CanonicalProblem::of(&b));
+    }
+
+    #[test]
+    fn hash_map_key_round_trip() {
+        use std::collections::HashMap;
+        let mut cache: HashMap<CanonicalProblem, u64> = HashMap::new();
+        let p = base(256.0).with_technique(Technique::dram_cache(8.0).unwrap());
+        cache.insert(
+            CanonicalProblem::of(&p),
+            p.solve().unwrap().supportable_cores,
+        );
+        let again = base(256.0).with_technique(Technique::dram_cache(8.0).unwrap());
+        assert_eq!(cache.get(&CanonicalProblem::of(&again)), Some(&47));
+    }
+}

@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod canonical;
 pub mod catalog;
 pub mod combination;
 pub mod effects;
@@ -59,6 +60,7 @@ pub mod techniques;
 mod throughput;
 mod traffic;
 
+pub use canonical::CanonicalProblem;
 pub use catalog::{catalog, AssumptionLevel, Rating, TechniqueProfile};
 pub use effects::Effects;
 pub use error::ModelError;

@@ -141,6 +141,16 @@ impl ScalingProblem {
         &self.techniques
     }
 
+    /// The per-core traffic-demand multiplier (1 = single-threaded).
+    pub fn per_core_demand(&self) -> f64 {
+        self.per_core_demand
+    }
+
+    /// The per-core uncore overhead in CEAs (0 = none).
+    pub fn uncore_per_core(&self) -> f64 {
+        self.uncore_per_core
+    }
+
     /// The folded [`Effects`] of the applied techniques (including any
     /// uncore overhead configured on the problem).
     pub fn effects(&self) -> Effects {
