@@ -85,6 +85,9 @@ BENCH OPTIONS:
     --out <DIR>                 write one report file per group into DIR
     --snapshot <DIR>            additionally write machine-readable
                                 BENCH_<group>.json snapshots into DIR
+    --floor <ID=RATE>           fail (exit 1) if kernel ID's median
+                                throughput drops below RATE items/s;
+                                repeatable, checked after all groups ran
 
     With no GROUP arguments, every group runs.
 
@@ -466,6 +469,7 @@ struct BenchArgs {
     format: Format,
     out: Option<std::path::PathBuf>,
     snapshot: Option<std::path::PathBuf>,
+    floors: Vec<(String, f64)>,
 }
 
 fn parse_bench_args(args: &[String]) -> Result<BenchArgs, String> {
@@ -476,6 +480,7 @@ fn parse_bench_args(args: &[String]) -> Result<BenchArgs, String> {
         format: Format::Ascii,
         out: None,
         snapshot: None,
+        floors: Vec::new(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -517,6 +522,19 @@ fn parse_bench_args(args: &[String]) -> Result<BenchArgs, String> {
                 let v = it.next().ok_or("--snapshot needs a directory")?;
                 bench.snapshot = Some(v.into());
             }
+            "--floor" => {
+                let v = it.next().ok_or("--floor needs ID=RATE")?;
+                let (id, rate) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad --floor '{v}' (expected ID=RATE)"))?;
+                let rate: f64 = rate
+                    .parse()
+                    .map_err(|_| format!("bad --floor rate '{rate}'"))?;
+                if !rate.is_finite() || rate <= 0.0 {
+                    return Err("--floor rate must be positive".into());
+                }
+                bench.floors.push((id.to_string(), rate));
+            }
             flag if flag.starts_with('-') => return Err(format!("unknown option '{flag}'")),
             group => bench.groups.push(group.to_string()),
         }
@@ -545,6 +563,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         bench.groups.iter().map(String::as_str).collect()
     };
     let mut reports = Vec::with_capacity(selected.len());
+    let mut groups = Vec::with_capacity(selected.len());
     for name in selected {
         eprintln!("bandwall: benching {name}...");
         let group = run_group(name, &bench.options)?;
@@ -556,8 +575,34 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             eprintln!("bandwall: wrote {}", path.display());
         }
         reports.push(group.to_report());
+        groups.push(group);
     }
-    emit(&reports, bench.format, bench.out.as_deref())
+    emit(&reports, bench.format, bench.out.as_deref())?;
+    check_floors(&bench.floors, &groups)
+}
+
+/// The `--floor` regression gate: every floor must name a kernel that
+/// ran, and that kernel's median throughput must meet the rate.
+fn check_floors(floors: &[(String, f64)], groups: &[BenchGroup]) -> Result<(), String> {
+    for (id, rate) in floors {
+        let result = groups
+            .iter()
+            .flat_map(|g| &g.results)
+            .find(|r| r.id == *id)
+            .ok_or_else(|| format!("--floor {id}: no such kernel ran"))?;
+        let actual = result.items_per_sec();
+        if actual < *rate {
+            return Err(format!(
+                "--floor {id}: throughput {actual:.0} {}/s is below the floor {rate:.0}",
+                result.unit
+            ));
+        }
+        eprintln!(
+            "bandwall: floor {id}: {actual:.0} {}/s >= {rate:.0} ok",
+            result.unit
+        );
+    }
+    Ok(())
 }
 
 /// Minimal signal handling for `bandwall serve`, kept in the binary
@@ -1080,6 +1125,55 @@ mod tests {
         assert!(parse_bench_args(&args(&["--frmat"]))
             .unwrap_err()
             .contains("unknown option"));
+    }
+
+    #[test]
+    fn parses_floor_flags() {
+        let bench = parse_bench_args(&args(&[
+            "--floor",
+            "compressed_sim_seq=16000000",
+            "--floor",
+            "fig14_sim_seq=2.5e6",
+        ]))
+        .unwrap();
+        assert_eq!(bench.floors.len(), 2);
+        assert_eq!(bench.floors[0].0, "compressed_sim_seq");
+        assert!((bench.floors[0].1 - 16e6).abs() < 1.0);
+        assert!((bench.floors[1].1 - 2.5e6).abs() < 1.0);
+
+        for bad in [
+            &["--floor"][..],
+            &["--floor", "no_equals"],
+            &["--floor", "id=-5"],
+            &["--floor", "id=abc"],
+        ] {
+            assert!(parse_bench_args(&args(bad)).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn floor_gate_passes_and_fails_on_median_throughput() {
+        use bandwall_experiments::perf::BenchResult;
+        // 1000 items in 1 ms = 1M items/s.
+        let group = BenchGroup {
+            group: "sim_engine".into(),
+            options: BenchOptions::quick(),
+            host_parallelism: 1,
+            results: vec![BenchResult::from_samples(
+                "k",
+                "kernel",
+                1,
+                1_000,
+                "accesses",
+                vec![1_000_000],
+            )],
+        };
+        let groups = [group];
+        assert!(check_floors(&[("k".into(), 0.9e6)], &groups).is_ok());
+        let err = check_floors(&[("k".into(), 1.1e6)], &groups).unwrap_err();
+        assert!(err.contains("below the floor"), "{err}");
+        let err = check_floors(&[("missing".into(), 1.0)], &groups).unwrap_err();
+        assert!(err.contains("no such kernel"), "{err}");
     }
 
     #[test]

@@ -61,10 +61,10 @@ fn bench_json_and_snapshot_match_the_schema() {
     assert!(stdout.trim_end().ends_with("]"));
     assert_eq!(stdout.matches('{').count(), stdout.matches('}').count());
 
-    // Snapshot: the machine-readable bandwall-bench/2 document.
+    // Snapshot: the machine-readable bandwall-bench/3 document.
     let snap = std::fs::read_to_string(dir.join("BENCH_sim_engine.json")).unwrap();
     for key in [
-        "\"schema\":\"bandwall-bench/2\"",
+        "\"schema\":\"bandwall-bench/3\"",
         "\"group\":\"sim_engine\"",
         "\"warmup\":0",
         "\"iters\":2",

@@ -58,11 +58,12 @@
 //!
 //! Trace generation stays sequential — generators like
 //! `ParsecLikeTrace` carry cross-thread state (echo queues), so the
-//! calling thread produces the exact sequential stream in chunks (see
-//! `bandwall_trace::TraceChunks`), splits each chunk into per-bank
-//! batches, and sends each worker only its own accesses over bounded
-//! channels. Generation is cheap relative to simulation, so the pipeline
-//! scales with the slowest bank.
+//! calling thread produces the exact sequential stream in chunks, splits
+//! each chunk into per-bank batches, and sends each worker only its own
+//! accesses over bounded channels; workers hand drained batch buffers
+//! back for reuse, so the steady state circulates a fixed set of
+//! allocations. Generation is cheap relative to simulation, so the
+//! pipeline scales with the slowest bank.
 //!
 //! # Examples
 //!
@@ -94,7 +95,7 @@ use crate::pipeline::{
 };
 use crate::stats::{CacheStats, MemoryTraffic, SharingStats};
 use bandwall_compress::CompressionStats;
-use bandwall_trace::{MemoryAccess, TraceChunks, TraceSource};
+use bandwall_trace::{MemoryAccess, TraceSource};
 use std::sync::mpsc;
 use std::thread;
 
@@ -267,21 +268,56 @@ impl EngineSimConfig {
     ///
     /// Panics if the fill/geometry combination is invalid (tree-PLRU with
     /// a compressed fill, or more sectors than line bytes).
-    // with_fill! expands this body once per fill variant; the clone the
-    // non-Copy compressed fills need trips clone_on_copy on the Copy ones.
-    #[allow(clippy::clone_on_copy)]
     pub fn run<T: TraceSource>(
         &self,
         trace: &mut T,
         accesses: usize,
         threads: usize,
     ) -> EngineSimStats {
+        self.run_inner(trace, accesses, threads, false)
+    }
+
+    /// Like [`EngineSimConfig::run`], but in the engine's *reference
+    /// recompression* mode: every budgeted access recompresses its line
+    /// payload from scratch instead of trusting the per-line size cache
+    /// and the tag → size memo. Observably identical for generator-driven
+    /// runs — the differential test harness holds the two paths equal at
+    /// every thread count — and many times slower; it exists so the fast
+    /// path has something to be proven against.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`EngineSimConfig::run`].
+    pub fn run_reference<T: TraceSource>(
+        &self,
+        trace: &mut T,
+        accesses: usize,
+        threads: usize,
+    ) -> EngineSimStats {
+        self.run_inner(trace, accesses, threads, true)
+    }
+
+    // with_fill! expands this body once per fill variant; the clone the
+    // non-Copy compressed fills need trips clone_on_copy on the Copy ones.
+    #[allow(clippy::clone_on_copy)]
+    fn run_inner<T: TraceSource>(
+        &self,
+        trace: &mut T,
+        accesses: usize,
+        threads: usize,
+        reference: bool,
+    ) -> EngineSimStats {
         let partitioning = self.partitioning(threads);
         with_fill!(self.fill, fill => {
-            let per_bank = run_banked(trace, accesses, partitioning, |bank_accesses| {
+            let per_bank = run_banked(trace, accesses, partitioning, |stream| {
                 let mut cache = PipelineCache::with_fill(self.cache, fill.clone());
-                for a in bank_accesses {
-                    cache.access_from(a.thread(), a.address(), a.kind().is_write());
+                if reference {
+                    cache = cache.with_reference_recompression();
+                }
+                while let Some(batch) = stream.next_batch() {
+                    for a in batch {
+                        cache.access_from(a.thread(), a.address(), a.kind().is_write());
+                    }
                 }
                 self.collect(cache)
             });
@@ -400,10 +436,12 @@ impl CmpSimConfig {
         let partitioning = self.partitioning(threads);
         with_fill!(self.l2_fill, fill => {
             self.build_with(fill.clone())?; // surface geometry errors before spawning
-            let per_bank = run_banked(trace, accesses, partitioning, |bank_accesses| {
+            let per_bank = run_banked(trace, accesses, partitioning, |stream| {
                 let mut system = self.build_with(fill.clone()).expect("validated above");
-                for a in bank_accesses {
-                    system.access(a);
+                while let Some(batch) = stream.next_batch() {
+                    for a in batch {
+                        system.access(*a);
+                    }
                 }
                 self.collect(system)
             });
@@ -495,10 +533,12 @@ impl CoherentSimConfig {
         let partitioning = self.partitioning(threads);
         with_fill!(self.fill, fill => {
             self.build_with(fill.clone())?;
-            let per_bank = run_banked(trace, accesses, partitioning, |bank_accesses| {
+            let per_bank = run_banked(trace, accesses, partitioning, |stream| {
                 let mut system = self.build_with(fill.clone()).expect("validated above");
-                for a in bank_accesses {
-                    system.access(a);
+                while let Some(batch) = stream.next_batch() {
+                    for a in batch {
+                        system.access(*a);
+                    }
                 }
                 self.collect(system)
             });
@@ -513,6 +553,62 @@ impl CoherentSimConfig {
     }
 }
 
+/// A lending stream of access batches — the unit the bank workers
+/// consume. One virtual call hands over thousands of accesses, replacing
+/// the historical per-access `dyn Iterator` hop on the simulation hot
+/// path; the returned slice borrow ends at the next call, so
+/// implementations can recycle one buffer.
+trait BatchStream {
+    /// The next batch of accesses, or `None` when the stream ends.
+    fn next_batch(&mut self) -> Option<&[MemoryAccess]>;
+}
+
+/// Sequential batch stream: fills one reusable buffer straight from the
+/// trace source — the 1-bank case allocates a single chunk buffer for
+/// the whole run.
+struct ChunkedTraceStream<'a, T> {
+    source: &'a mut T,
+    remaining: usize,
+    buf: Vec<MemoryAccess>,
+}
+
+impl<T: TraceSource> BatchStream for ChunkedTraceStream<'_, T> {
+    fn next_batch(&mut self) -> Option<&[MemoryAccess]> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let len = CHUNK_LEN.min(self.remaining);
+        self.remaining -= len;
+        self.buf.clear();
+        for _ in 0..len {
+            self.buf.push(self.source.next_access());
+        }
+        Some(&self.buf)
+    }
+}
+
+/// One bank's pre-filtered batches of the trace stream. Drained batch
+/// buffers are returned to the generator through the recycle channel, so
+/// the steady state circulates a fixed set of allocations instead of
+/// allocating one `Vec` per batch.
+struct BankBatches {
+    rx: mpsc::Receiver<Vec<MemoryAccess>>,
+    recycle: mpsc::Sender<Vec<MemoryAccess>>,
+    current: Vec<MemoryAccess>,
+}
+
+impl BatchStream for BankBatches {
+    fn next_batch(&mut self) -> Option<&[MemoryAccess]> {
+        if !self.current.is_empty() {
+            // The generator may already have exited; a dead recycle
+            // channel just means the buffer drops here.
+            let _ = self.recycle.send(std::mem::take(&mut self.current));
+        }
+        self.current = self.rx.recv().ok()?;
+        Some(&self.current)
+    }
+}
+
 /// Runs `simulate` once per bank over the first `accesses` of `trace`
 /// and returns the results in bank order.
 ///
@@ -521,7 +617,8 @@ impl CoherentSimConfig {
 /// banks, the trace is generated sequentially on the calling thread,
 /// each chunk is split into per-bank batches (one channel send per
 /// non-empty batch, so workers never scan accesses that are not
-/// theirs), and scoped workers drain their own queue.
+/// theirs), and scoped workers drain their own queue batch by batch,
+/// recycling drained buffers back to the generator.
 fn run_banked<T, R, F>(
     trace: &mut T,
     accesses: usize,
@@ -531,34 +628,56 @@ fn run_banked<T, R, F>(
 where
     T: TraceSource,
     R: Send,
-    F: Fn(&mut dyn Iterator<Item = MemoryAccess>) -> R + Sync,
+    F: Fn(&mut dyn BatchStream) -> R + Sync,
 {
     let banks = partitioning.banks();
     let granularity = partitioning.granularity();
     if banks == 1 {
-        return vec![simulate(&mut trace.iter().take(accesses))];
+        return vec![simulate(&mut ChunkedTraceStream {
+            source: trace,
+            remaining: accesses,
+            buf: Vec::with_capacity(CHUNK_LEN.min(accesses)),
+        })];
     }
     thread::scope(|scope| {
+        let (recycle_tx, recycle_rx) = mpsc::channel::<Vec<MemoryAccess>>();
         let mut senders = Vec::with_capacity(banks);
         let mut handles = Vec::with_capacity(banks);
         for _ in 0..banks {
             let (tx, rx) = mpsc::sync_channel::<Vec<MemoryAccess>>(CHANNEL_DEPTH);
             senders.push(tx);
             let simulate = &simulate;
+            let recycle = recycle_tx.clone();
             handles.push(scope.spawn(move || {
-                let mut bank_accesses = BankAccesses {
+                let mut batches = BankBatches {
                     rx,
-                    current: Vec::new().into_iter(),
+                    recycle,
+                    current: Vec::new(),
                 };
-                simulate(&mut bank_accesses)
+                simulate(&mut batches)
             }));
         }
+        drop(recycle_tx);
         let batch_capacity = CHUNK_LEN / banks + CHUNK_LEN / (banks * 4);
-        for chunk in TraceChunks::new(trace, accesses, CHUNK_LEN) {
+        let mut chunk: Vec<MemoryAccess> = Vec::with_capacity(CHUNK_LEN);
+        let mut remaining = accesses;
+        while remaining > 0 {
+            let len = CHUNK_LEN.min(remaining);
+            remaining -= len;
+            chunk.clear();
+            for _ in 0..len {
+                chunk.push(trace.next_access());
+            }
             let mut batches: Vec<Vec<MemoryAccess>> = (0..banks)
-                .map(|_| Vec::with_capacity(batch_capacity))
+                .map(|_| match recycle_rx.try_recv() {
+                    Ok(mut recycled) => {
+                        recycled.clear();
+                        recycled
+                    }
+                    Err(_) => Vec::with_capacity(batch_capacity),
+                })
                 .collect();
-            for a in chunk {
+            for &a in &chunk {
                 let bank = ((a.address() / granularity) % banks as u64) as usize;
                 batches[bank].push(a);
             }
@@ -576,25 +695,6 @@ where
             .map(|h| h.join().expect("bank worker panicked"))
             .collect()
     })
-}
-
-/// Iterator over one bank's pre-filtered batches of the trace stream.
-struct BankAccesses {
-    rx: mpsc::Receiver<Vec<MemoryAccess>>,
-    current: std::vec::IntoIter<MemoryAccess>,
-}
-
-impl Iterator for BankAccesses {
-    type Item = MemoryAccess;
-
-    fn next(&mut self) -> Option<MemoryAccess> {
-        loop {
-            if let Some(a) = self.current.next() {
-                return Some(a);
-            }
-            self.current = self.rx.recv().ok()?.into_iter();
-        }
-    }
 }
 
 #[cfg(test)]

@@ -42,10 +42,10 @@
 
 use crate::config::{CacheConfig, ReplacementPolicy};
 use crate::stats::{CacheStats, MemoryTraffic, SharingStats, WordUsageStats};
-use bandwall_compress::{Bdi, BestOf, CompressionStats, Compressor, Fpc, ZeroRle};
+use bandwall_compress::{Bdi, BestOf, CompressionStats, Compressor, Fpc, Sampled, ZeroRle};
 use bandwall_numerics::Rng;
 use bandwall_trace::values::{LineValueGenerator, ValueProfile};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// How a miss fills a line: granularity fetched, bytes occupied, and —
 /// for compressed policies — where payload values come from.
@@ -77,6 +77,21 @@ pub trait Fill: Clone {
     fn generate(&self, line_byte_address: u64, line_size: usize) -> Option<Vec<u8>> {
         let _ = (line_byte_address, line_size);
         None
+    }
+
+    /// Allocation-free variant of [`Fill::generate`]: writes the payload
+    /// into a reusable caller buffer (cleared first) and returns whether a
+    /// payload was produced. The engine threads one scratch buffer through
+    /// the access path so steady-state misses allocate nothing.
+    fn generate_into(&self, line_byte_address: u64, line_size: usize, out: &mut Vec<u8>) -> bool {
+        match self.generate(line_byte_address, line_size) {
+            Some(payload) => {
+                out.clear();
+                out.extend_from_slice(&payload);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Human-readable policy name for reports and `Debug` output.
@@ -185,6 +200,16 @@ impl Fill for CompressedFill {
             .map(|v| v.line_bytes(line_byte_address, line_size))
     }
 
+    fn generate_into(&self, line_byte_address: u64, line_size: usize, out: &mut Vec<u8>) -> bool {
+        match &self.values {
+            Some(v) => {
+                v.line_bytes_into(line_byte_address, line_size, out);
+                true
+            }
+            None => false,
+        }
+    }
+
     fn label(&self) -> &'static str {
         "compressed"
     }
@@ -248,6 +273,11 @@ impl Fill for SectoredCompressedFill {
         self.compressed.generate(line_byte_address, line_size)
     }
 
+    fn generate_into(&self, line_byte_address: u64, line_size: usize, out: &mut Vec<u8>) -> bool {
+        self.compressed
+            .generate_into(line_byte_address, line_size, out)
+    }
+
     fn label(&self) -> &'static str {
         "sectored+compressed"
     }
@@ -307,17 +337,63 @@ pub enum CompressorKind {
     ZeroRle,
     /// Per-line best of FPC, BDI, and zero-RLE.
     BestOf,
+    /// Opt-in sampled-size fast path: runs `inner`'s exact size model on
+    /// every `period`-th query and estimates the rest from the running
+    /// mean ([`bandwall_compress::Sampled`]). Statistics are deterministic
+    /// sequentially but are **not** bit-identical across bank counts; the
+    /// exact kinds remain the default everywhere.
+    Sampled {
+        /// The exact engine being sampled.
+        inner: ExactCompressorKind,
+        /// Sampling period (≥ 1; 1 degenerates to the exact engine).
+        period: u16,
+    },
+}
+
+/// The exact (non-sampled) compression engines — the inner choices for
+/// [`CompressorKind::Sampled`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExactCompressorKind {
+    /// Frequent Pattern Compression.
+    Fpc,
+    /// Base-Delta-Immediate.
+    Bdi,
+    /// Zero run-length suppression.
+    ZeroRle,
+    /// Per-line best of FPC, BDI, and zero-RLE.
+    BestOf,
+}
+
+impl ExactCompressorKind {
+    /// Instantiates the engine.
+    pub fn build(self) -> Box<dyn Compressor> {
+        match self {
+            ExactCompressorKind::Fpc => Box::new(Fpc::new()),
+            ExactCompressorKind::Bdi => Box::new(Bdi::new()),
+            ExactCompressorKind::ZeroRle => Box::new(ZeroRle::new()),
+            ExactCompressorKind::BestOf => Box::new(BestOf::standard()),
+        }
+    }
 }
 
 impl CompressorKind {
     /// Instantiates the engine.
     pub fn build(self) -> Box<dyn Compressor> {
         match self {
-            CompressorKind::Fpc => Box::new(Fpc::new()),
-            CompressorKind::Bdi => Box::new(Bdi::new()),
-            CompressorKind::ZeroRle => Box::new(ZeroRle::new()),
-            CompressorKind::BestOf => Box::new(BestOf::standard()),
+            CompressorKind::Fpc => ExactCompressorKind::Fpc.build(),
+            CompressorKind::Bdi => ExactCompressorKind::Bdi.build(),
+            CompressorKind::ZeroRle => ExactCompressorKind::ZeroRle.build(),
+            CompressorKind::BestOf => ExactCompressorKind::BestOf.build(),
+            CompressorKind::Sampled { inner, period } => {
+                Box::new(Sampled::new(inner.build(), u64::from(period)))
+            }
         }
+    }
+
+    /// Whether this kind's size model is exact (`false` only for
+    /// [`CompressorKind::Sampled`] with a period above 1).
+    pub fn is_exact(self) -> bool {
+        !matches!(self, CompressorKind::Sampled { period, .. } if period > 1)
     }
 }
 
@@ -504,11 +580,11 @@ impl AccessOutcome {
     }
 }
 
-/// State of one resident line, shared by every fill policy.
-#[derive(Debug, Clone, Copy)]
-struct EngineLine {
-    /// Full line address (serves as the tag; the set index is implicit).
-    tag: u64,
+/// Per-line metadata, stored parallel to the tag array (struct-of-arrays
+/// layout: the hot hit scan touches only the contiguous tag words and
+/// loads this record exactly once, after the matching way is known).
+#[derive(Debug, Clone, Copy, Default)]
+struct LineMeta {
     /// Bitmask of sectors present (always bit 0 for full-line fills).
     valid_sectors: u64,
     /// Bitmask of dirty sectors; the line is dirty iff non-zero.
@@ -524,22 +600,64 @@ struct EngineLine {
     size_bytes: u64,
 }
 
-/// One slotted set: fixed ways plus tree-PLRU bits.
+/// Slotted storage for every set, struct-of-arrays: one flat tag array
+/// (`sets × assoc`), a parallel metadata array, a per-set way-occupancy
+/// bitmask (associativity is at most 64, checked at config construction),
+/// and per-set tree-PLRU bits.
+#[derive(Debug, Clone)]
+struct SlottedSets {
+    assoc: usize,
+    /// `tags[set * assoc + way]`; unoccupied ways hold `u64::MAX` but the
+    /// occupancy mask, not the sentinel, is authoritative.
+    tags: Vec<u64>,
+    meta: Vec<LineMeta>,
+    occupied: Vec<u64>,
+    plru_bits: Vec<u64>,
+}
+
+impl SlottedSets {
+    /// First way in `set` holding `tag`, scanning ways in order — the same
+    /// first-match semantics as the former per-way `Option` scan.
+    fn find_way(&self, set: usize, tag: u64) -> Option<usize> {
+        let base = set * self.assoc;
+        let occ = self.occupied[set];
+        let tags = &self.tags[base..base + self.assoc];
+        (0..self.assoc).find(|&w| occ & (1 << w) != 0 && tags[w] == tag)
+    }
+}
+
+/// One byte-budgeted set, struct-of-arrays: parallel tag/metadata vectors
+/// in insertion order (push on fill, `Vec::remove` on eviction — the
+/// exact ordering the replacement policies observe), plus the running
+/// byte occupancy so budget checks are O(1) instead of a per-iteration
+/// sum.
 #[derive(Debug, Clone, Default)]
-struct SlottedSet {
-    ways: Vec<Option<EngineLine>>,
-    plru_bits: u64,
+struct BudgetedSet {
+    tags: Vec<u64>,
+    meta: Vec<LineMeta>,
+    occupied_bytes: u64,
+}
+
+impl BudgetedSet {
+    /// Removes the line at `index`, keeping both arrays and the running
+    /// occupancy consistent.
+    fn remove(&mut self, index: usize) -> (u64, LineMeta) {
+        let tag = self.tags.remove(index);
+        let meta = self.meta.remove(index);
+        self.occupied_bytes -= meta.size_bytes;
+        (tag, meta)
+    }
 }
 
 /// Backing storage: fixed ways per set, or a byte budget per set.
 #[derive(Debug, Clone)]
 enum Storage {
     /// One line per way — full-line and sectored fills.
-    Slotted(Vec<SlottedSet>),
+    Slotted(SlottedSets),
     /// Variable line count bounded by `associativity × line size` bytes —
     /// compressed fills.
     Budgeted {
-        sets: Vec<Vec<EngineLine>>,
+        sets: Vec<BudgetedSet>,
         set_budget: u64,
     },
 }
@@ -558,9 +676,9 @@ impl ObserverStack<'_> {
     /// Records one line leaving the cache — the single copy of the
     /// eviction and write-back bookkeeping that used to be duplicated
     /// across the five simulator variants.
-    fn retire(&mut self, old: &EngineLine, sector_size: u64, evictions: &mut Evictions) {
+    fn retire(&mut self, tag: u64, old: &LineMeta, sector_size: u64, evictions: &mut Evictions) {
         let ev = EvictedLine {
-            line_address: old.tag,
+            line_address: tag,
             dirty: old.dirty_sectors != 0,
             used_words: old.word_mask.count_ones(),
             sharers: old.sharers.count_ones(),
@@ -608,6 +726,13 @@ pub struct PipelineCache<F: Fill = FullLineFill> {
     config: CacheConfig,
     fill: F,
     sector_size: u64,
+    /// `log2(line_size)` — the locate path uses shifts/masks instead of
+    /// division (line size and set count are powers of two by config
+    /// construction).
+    line_shift: u32,
+    line_mask: u64,
+    set_mask: u64,
+    sector_shift: u32,
     storage: Storage,
     stats: CacheStats,
     traffic: MemoryTraffic,
@@ -618,6 +743,18 @@ pub struct PipelineCache<F: Fill = FullLineFill> {
     sharing: Option<SharingStats>,
     seen_lines: HashSet<u64>,
     tick: u64,
+    /// Reusable payload buffer for generator-backed size computation, so
+    /// steady-state misses allocate nothing.
+    scratch: Vec<u8>,
+    /// Tag → stored-size cache for *generator-backed* payloads only.
+    /// Generator payloads are a pure function of `(seed, address)`, so a
+    /// tag's compressed size never changes; caller-supplied payloads
+    /// (`access_with_data`) bypass this memo entirely. See DESIGN.md,
+    /// "Size-cache invalidation contract".
+    size_memo: HashMap<u64, u64>,
+    /// Differential-testing reference mode: budgeted fills recompress the
+    /// generator payload on every access instead of using the size cache.
+    reference_recompress: bool,
     /// One replacement RNG per set, derived from `(policy seed, set
     /// index)`; empty unless the policy is [`ReplacementPolicy::Random`].
     /// Per-set streams keep victim choices local to the set, which the
@@ -653,21 +790,27 @@ impl<F: Fill> PipelineCache<F> {
         );
         let storage = if fill.budgeted() {
             Storage::Budgeted {
-                sets: (0..config.sets()).map(|_| Vec::new()).collect(),
+                sets: (0..config.sets()).map(|_| BudgetedSet::default()).collect(),
                 set_budget: config.line_size() * u64::from(config.associativity()),
             }
         } else {
-            Storage::Slotted(
-                (0..config.sets())
-                    .map(|_| SlottedSet {
-                        ways: vec![None; config.associativity() as usize],
-                        plru_bits: 0,
-                    })
-                    .collect(),
-            )
+            let assoc = config.associativity() as usize;
+            let lines = config.sets() as usize * assoc;
+            Storage::Slotted(SlottedSets {
+                assoc,
+                tags: vec![u64::MAX; lines],
+                meta: vec![LineMeta::default(); lines],
+                occupied: vec![0; config.sets() as usize],
+                plru_bits: vec![0; config.sets() as usize],
+            })
         };
+        let sector_size = config.line_size() / u64::from(fill.sectors_per_line());
         PipelineCache {
-            sector_size: config.line_size() / u64::from(fill.sectors_per_line()),
+            sector_size,
+            line_shift: config.line_size().trailing_zeros(),
+            line_mask: config.line_size() - 1,
+            set_mask: config.sets() - 1,
+            sector_shift: sector_size.trailing_zeros(),
             config,
             fill,
             storage,
@@ -680,6 +823,9 @@ impl<F: Fill> PipelineCache<F> {
             sharing: None,
             seen_lines: HashSet::new(),
             tick: 0,
+            scratch: Vec::new(),
+            size_memo: HashMap::new(),
+            reference_recompress: false,
             set_rngs: if config.policy() == ReplacementPolicy::Random {
                 (0..config.sets())
                     .map(|set| Rng::seed_from_stream(config.policy_seed(), set))
@@ -702,6 +848,48 @@ impl<F: Fill> PipelineCache<F> {
     pub fn with_sharer_tracking(mut self) -> Self {
         self.sharing = Some(SharingStats::new());
         self
+    }
+
+    /// Switches budgeted fills into the differential-testing **reference
+    /// mode**: the generator payload is regenerated and recompressed on
+    /// every access (no size cache, no skipped recomputation on data-free
+    /// write hits). For generator-driven runs this is observably identical
+    /// to the default cached-size path — the differential harness
+    /// (`tests/size_cache_equivalence.rs`) asserts exactly that — just
+    /// orders of magnitude slower. No effect on non-budgeted fills.
+    #[must_use]
+    pub fn with_reference_recompression(mut self) -> Self {
+        self.reference_recompress = true;
+        self
+    }
+
+    /// Resident lines' `(line address, stored bytes)` pairs, sorted by
+    /// line address — introspection for the size-cache invalidation
+    /// tests. Slotted fills report the full line size for every line.
+    pub fn stored_sizes(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = Vec::new();
+        match &self.storage {
+            Storage::Slotted(sets) => {
+                for set in 0..self.config.sets() as usize {
+                    let occ = sets.occupied[set];
+                    for way in 0..sets.assoc {
+                        if occ & (1 << way) != 0 {
+                            let idx = set * sets.assoc + way;
+                            out.push((sets.tags[idx], sets.meta[idx].size_bytes));
+                        }
+                    }
+                }
+            }
+            Storage::Budgeted { sets, .. } => {
+                for set in sets {
+                    for (tag, meta) in set.tags.iter().zip(&set.meta) {
+                        out.push((*tag, meta.size_bytes));
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
     }
 
     /// The cache's geometry.
@@ -772,8 +960,12 @@ impl<F: Fill> PipelineCache<F> {
     /// Number of currently resident lines.
     pub fn resident_lines(&self) -> usize {
         match &self.storage {
-            Storage::Slotted(sets) => sets.iter().map(|s| s.ways.iter().flatten().count()).sum(),
-            Storage::Budgeted { sets, .. } => sets.iter().map(Vec::len).sum(),
+            Storage::Slotted(sets) => sets
+                .occupied
+                .iter()
+                .map(|occ| occ.count_ones() as usize)
+                .sum(),
+            Storage::Budgeted { sets, .. } => sets.iter().map(|s| s.tags.len()).sum(),
         }
     }
 
@@ -787,12 +979,9 @@ impl<F: Fill> PipelineCache<F> {
     /// (1.0 for non-compressed fills, or while empty).
     pub fn effective_capacity_factor(&self) -> f64 {
         let occupied: u64 = match &self.storage {
-            Storage::Slotted(sets) => sets
-                .iter()
-                .flat_map(|s| s.ways.iter().flatten())
-                .map(|l| l.size_bytes)
-                .sum(),
-            Storage::Budgeted { sets, .. } => sets.iter().flatten().map(|l| l.size_bytes).sum(),
+            // Slotted lines always occupy their full size.
+            Storage::Slotted(_) => self.resident_lines() as u64 * self.config.line_size(),
+            Storage::Budgeted { sets, .. } => sets.iter().map(|s| s.occupied_bytes).sum(),
         };
         if occupied == 0 {
             1.0
@@ -806,12 +995,8 @@ impl<F: Fill> PipelineCache<F> {
     pub fn contains(&self, address: u64) -> bool {
         let (set_idx, tag) = self.config.locate(address);
         match &self.storage {
-            Storage::Slotted(sets) => sets[set_idx as usize]
-                .ways
-                .iter()
-                .flatten()
-                .any(|l| l.tag == tag),
-            Storage::Budgeted { sets, .. } => sets[set_idx as usize].iter().any(|l| l.tag == tag),
+            Storage::Slotted(sets) => sets.find_way(set_idx as usize, tag).is_some(),
+            Storage::Budgeted { sets, .. } => sets[set_idx as usize].tags.contains(&tag),
         }
     }
 
@@ -840,29 +1025,6 @@ impl<F: Fill> PipelineCache<F> {
         self.access_inner(0, address, is_write, Some(data))
     }
 
-    /// Stored size of the line holding `tag`, from caller data or the
-    /// fill's value generator.
-    fn stored_line_size(&self, tag: u64, data: Option<&[u8]>) -> u64 {
-        let line_size = self.config.line_size();
-        let size = match data {
-            Some(d) => self.fill.stored_size(d),
-            None => {
-                let generated = self
-                    .fill
-                    .generate(tag * line_size, line_size as usize)
-                    .unwrap_or_else(|| {
-                        panic!(
-                            "{} fill needs line payloads: use access_with_data \
-                             or attach a value generator",
-                            self.fill.label()
-                        )
-                    });
-                self.fill.stored_size(&generated)
-            }
-        };
-        (size.expect("budgeted fill reports a stored size") as u64).min(line_size)
-    }
-
     fn access_inner(
         &mut self,
         core: u16,
@@ -872,27 +1034,19 @@ impl<F: Fill> PipelineCache<F> {
     ) -> AccessOutcome {
         self.tick += 1;
         let tick = self.tick;
-        let (set_idx, tag) = self.config.locate(address);
-        let set_idx = set_idx as usize;
+        let tag = address >> self.line_shift;
+        let set_idx = (tag & self.set_mask) as usize;
         let line_size = self.config.line_size();
         let policy = self.config.policy();
-        let word_bit = 1u64 << ((address % line_size) / 8).min(63);
+        let offset = address & self.line_mask;
+        let word_bit = 1u64 << (offset >> 3).min(63);
         let core_bit = 1u64 << u64::from(core).min(63);
         let sector_size = self.sector_size;
-        let sector_bit = 1u64 << ((address % line_size) / sector_size);
-
-        // Budgeted fills need the payload's stored size on any write (a
-        // rewrite may change the compressed size) and on any line miss.
-        // Compute it up front, before storage is mutably borrowed.
-        let presized: Option<u64> = if self.fill.budgeted() {
-            let resident = self.contains(address);
-            (is_write || !resident).then(|| self.stored_line_size(tag, data))
-        } else {
-            None
-        };
+        let sector_bit = 1u64 << (offset >> self.sector_shift);
 
         let Self {
             storage,
+            fill,
             stats,
             traffic,
             compression,
@@ -902,8 +1056,12 @@ impl<F: Fill> PipelineCache<F> {
             sharing,
             seen_lines,
             set_rngs,
+            scratch,
+            size_memo,
+            reference_recompress,
             ..
         } = self;
+        let reference = *reference_recompress;
         // The set's own replacement stream (populated iff the policy is
         // Random); drawn only by the Random arms below.
         let mut set_rng = set_rngs.get_mut(set_idx);
@@ -917,25 +1075,21 @@ impl<F: Fill> PipelineCache<F> {
 
         match storage {
             Storage::Slotted(sets) => {
-                let set = &mut sets[set_idx];
-                let assoc = set.ways.len();
-                // Resident-line path.
-                if let Some(way) = set
-                    .ways
-                    .iter()
-                    .position(|l| l.as_ref().is_some_and(|l| l.tag == tag))
-                {
-                    let line = set.ways[way].as_mut().expect("hit way is occupied");
-                    line.last_used = tick;
-                    line.word_mask |= word_bit;
-                    line.sharers |= core_bit;
-                    let sector_present = line.valid_sectors & sector_bit != 0;
-                    line.valid_sectors |= sector_bit;
+                let assoc = sets.assoc;
+                let base = set_idx * assoc;
+                // Resident-line path: scan the contiguous tag words.
+                if let Some(way) = sets.find_way(set_idx, tag) {
+                    let meta = &mut sets.meta[base + way];
+                    meta.last_used = tick;
+                    meta.word_mask |= word_bit;
+                    meta.sharers |= core_bit;
+                    let sector_present = meta.valid_sectors & sector_bit != 0;
+                    meta.valid_sectors |= sector_bit;
                     if is_write {
-                        line.dirty_sectors |= sector_bit;
+                        meta.dirty_sectors |= sector_bit;
                     }
                     if policy == ReplacementPolicy::TreePlru {
-                        plru_touch(&mut set.plru_bits, assoc, way);
+                        plru_touch(&mut sets.plru_bits[set_idx], assoc, way);
                     }
                     if sector_present {
                         observers.stats.record_hit();
@@ -965,23 +1119,35 @@ impl<F: Fill> PipelineCache<F> {
                 observers.stats.record_miss(cold);
                 observers.traffic.record_fetch(sector_size);
                 *conventional_fetch_bytes += line_size;
-                let victim_way = match set.ways.iter().position(|l| l.is_none()) {
-                    Some(empty) => empty,
-                    None => match policy {
-                        ReplacementPolicy::Lru => min_by_key(&set.ways, |l| l.last_used),
-                        ReplacementPolicy::Fifo => min_by_key(&set.ways, |l| l.inserted),
+                let occ = sets.occupied[set_idx];
+                let first_empty = (!occ).trailing_zeros() as usize;
+                let victim_way = if first_empty < assoc {
+                    first_empty
+                } else {
+                    match policy {
+                        ReplacementPolicy::Lru => {
+                            min_meta_by_key(&sets.meta[base..base + assoc], |m| m.last_used)
+                        }
+                        ReplacementPolicy::Fifo => {
+                            min_meta_by_key(&sets.meta[base..base + assoc], |m| m.inserted)
+                        }
                         ReplacementPolicy::Random => {
                             let rng = set_rng.as_deref_mut().expect("random policy has set RNGs");
-                            rng.gen_range(0..set.ways.len())
+                            rng.gen_range(0..assoc)
                         }
-                        ReplacementPolicy::TreePlru => plru_victim(set.plru_bits, assoc),
-                    },
+                        ReplacementPolicy::TreePlru => plru_victim(sets.plru_bits[set_idx], assoc),
+                    }
                 };
-                if let Some(old) = set.ways[victim_way].take() {
-                    observers.retire(&old, sector_size, &mut evictions);
+                if occ & (1 << victim_way) != 0 {
+                    observers.retire(
+                        sets.tags[base + victim_way],
+                        &sets.meta[base + victim_way],
+                        sector_size,
+                        &mut evictions,
+                    );
                 }
-                set.ways[victim_way] = Some(EngineLine {
-                    tag,
+                sets.tags[base + victim_way] = tag;
+                sets.meta[base + victim_way] = LineMeta {
                     valid_sectors: sector_bit,
                     dirty_sectors: if is_write { sector_bit } else { 0 },
                     last_used: tick,
@@ -989,9 +1155,10 @@ impl<F: Fill> PipelineCache<F> {
                     word_mask: word_bit,
                     sharers: core_bit,
                     size_bytes: line_size,
-                });
+                };
+                sets.occupied[set_idx] = occ | (1 << victim_way);
                 if policy == ReplacementPolicy::TreePlru {
-                    plru_touch(&mut set.plru_bits, assoc, victim_way);
+                    plru_touch(&mut sets.plru_bits[set_idx], assoc, victim_way);
                 }
                 AccessOutcome {
                     hit: false,
@@ -1001,17 +1168,48 @@ impl<F: Fill> PipelineCache<F> {
             }
             Storage::Budgeted { sets, set_budget } => {
                 let set = &mut sets[set_idx];
-                // Resident-line path.
-                if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
-                    line.last_used = tick;
-                    line.word_mask |= word_bit;
-                    line.sharers |= core_bit;
-                    let sector_present = line.valid_sectors & sector_bit != 0;
-                    line.valid_sectors |= sector_bit;
+                // Resident-line path: scan the contiguous tag words.
+                if let Some(index) = set.tags.iter().position(|&t| t == tag) {
+                    let meta = &mut set.meta[index];
+                    meta.last_used = tick;
+                    meta.word_mask |= word_bit;
+                    meta.sharers |= core_bit;
+                    let sector_present = meta.valid_sectors & sector_bit != 0;
+                    meta.valid_sectors |= sector_bit;
+                    let mut size_changed = false;
                     if is_write {
-                        line.dirty_sectors |= sector_bit;
-                        // Rewriting may change the compressed size.
-                        line.size_bytes = presized.expect("writes are presized");
+                        meta.dirty_sectors |= sector_bit;
+                        // Size-cache invalidation: a dirty write recomputes
+                        // the stored size only when the payload can differ
+                        // from the one the cached size was computed from —
+                        // i.e. when the caller supplied data. Data-free
+                        // writes take their payload from the value
+                        // generator, a pure function of the address, so the
+                        // size cannot change (the reference mode recomputes
+                        // anyway and the differential harness proves the
+                        // statistics identical).
+                        let new_size = match data {
+                            Some(d) => Some(payload_stored_size(fill, line_size, d)),
+                            None if reference => Some(generated_stored_size(
+                                fill, line_size, tag, scratch, size_memo, false,
+                            )),
+                            None => None,
+                        };
+                        if let Some(new_size) = new_size {
+                            size_changed = new_size != meta.size_bytes;
+                            set.occupied_bytes = set.occupied_bytes - meta.size_bytes + new_size;
+                            meta.size_bytes = new_size;
+                        }
+                    } else if reference && data.is_none() {
+                        // Reference mode recompresses on clean hits too,
+                        // asserting in spirit what the fast path assumes:
+                        // a clean access cannot change the stored size.
+                        let recomputed =
+                            generated_stored_size(fill, line_size, tag, scratch, size_memo, false);
+                        debug_assert_eq!(
+                            recomputed, meta.size_bytes,
+                            "clean access changed a generator-backed stored size"
+                        );
                     }
                     let hit = sector_present;
                     if hit {
@@ -1022,7 +1220,11 @@ impl<F: Fill> PipelineCache<F> {
                         *sector_misses += 1;
                         observers.traffic.record_fetch(sector_size);
                     }
-                    if is_write {
+                    // The budget invariant holds after every fill/write, so
+                    // a write that provably kept the size unchanged cannot
+                    // overflow the set; the historical unconditional shrink
+                    // was a no-op there (and drew no Random numbers).
+                    if is_write && (size_changed || reference) {
                         shrink_to_budget(
                             set,
                             *set_budget,
@@ -1041,15 +1243,23 @@ impl<F: Fill> PipelineCache<F> {
                     };
                 }
 
-                // Line miss: fetch and insert compressed.
+                // Line miss: fetch and insert compressed. Generator-backed
+                // sizes come from the tag→size memo (zero compressor calls
+                // for previously seen tags); caller payloads are always
+                // compressed afresh.
                 let cold = seen_lines.insert(tag);
                 observers.stats.record_miss(cold);
                 observers.traffic.record_fetch(sector_size);
                 *conventional_fetch_bytes += line_size;
-                let size = presized.expect("misses are presized");
+                let size = match data {
+                    Some(d) => payload_stored_size(fill, line_size, d),
+                    None => {
+                        generated_stored_size(fill, line_size, tag, scratch, size_memo, !reference)
+                    }
+                };
                 compression.record(line_size as usize, size as usize);
-                set.push(EngineLine {
-                    tag,
+                set.tags.push(tag);
+                set.meta.push(LineMeta {
                     valid_sectors: sector_bit,
                     dirty_sectors: if is_write { sector_bit } else { 0 },
                     last_used: tick,
@@ -1058,6 +1268,7 @@ impl<F: Fill> PipelineCache<F> {
                     sharers: core_bit,
                     size_bytes: size,
                 });
+                set.occupied_bytes += size;
                 shrink_to_budget(
                     set,
                     *set_budget,
@@ -1081,9 +1292,9 @@ impl<F: Fill> PipelineCache<F> {
     /// statistics — a silent transfer, e.g. an exclusive hierarchy moving
     /// a line from the L2 into the L1.
     pub fn extract(&mut self, address: u64) -> Option<EvictedLine> {
-        let old = self.extract_line(address)?;
+        let (tag, old) = self.extract_line(address)?;
         Some(EvictedLine {
-            line_address: old.tag,
+            line_address: tag,
             dirty: old.dirty_sectors != 0,
             used_words: old.word_mask.count_ones(),
             sharers: old.sharers.count_ones(),
@@ -1091,20 +1302,20 @@ impl<F: Fill> PipelineCache<F> {
         })
     }
 
-    fn extract_line(&mut self, address: u64) -> Option<EngineLine> {
+    fn extract_line(&mut self, address: u64) -> Option<(u64, LineMeta)> {
         let (set_idx, tag) = self.config.locate(address);
+        let set_idx = set_idx as usize;
         match &mut self.storage {
             Storage::Slotted(sets) => {
-                let set = &mut sets[set_idx as usize];
-                let way = set
-                    .ways
-                    .iter()
-                    .position(|l| l.as_ref().is_some_and(|l| l.tag == tag))?;
-                Some(set.ways[way].take().expect("found way is occupied"))
+                let way = sets.find_way(set_idx, tag)?;
+                let slot = set_idx * sets.assoc + way;
+                sets.occupied[set_idx] &= !(1 << way);
+                sets.tags[slot] = u64::MAX;
+                Some((tag, std::mem::take(&mut sets.meta[slot])))
             }
             Storage::Budgeted { sets, .. } => {
-                let set = &mut sets[set_idx as usize];
-                let idx = set.iter().position(|l| l.tag == tag)?;
+                let set = &mut sets[set_idx];
+                let idx = set.tags.iter().position(|&t| t == tag)?;
                 Some(set.remove(idx))
             }
         }
@@ -1114,10 +1325,11 @@ impl<F: Fill> PipelineCache<F> {
     /// as an eviction in the statistics (an invalidation caused by an
     /// external agent, e.g. inclusion enforcement).
     pub fn invalidate(&mut self, address: u64) -> Option<EvictedLine> {
-        let old = self.extract_line(address)?;
+        let (tag, old) = self.extract_line(address)?;
         let sector_size = self.sector_size;
         let mut evictions = Evictions::None;
-        self.observers().retire(&old, sector_size, &mut evictions);
+        self.observers()
+            .retire(tag, &old, sector_size, &mut evictions);
         evictions.as_slice().first().copied()
     }
 
@@ -1126,19 +1338,23 @@ impl<F: Fill> PipelineCache<F> {
     /// was present.
     pub fn mark_dirty(&mut self, address: u64) -> bool {
         let (set_idx, tag) = self.config.locate(address);
-        let line = match &mut self.storage {
-            Storage::Slotted(sets) => sets[set_idx as usize]
-                .ways
-                .iter_mut()
-                .flatten()
-                .find(|l| l.tag == tag),
+        let set_idx = set_idx as usize;
+        let meta = match &mut self.storage {
+            Storage::Slotted(sets) => match sets.find_way(set_idx, tag) {
+                Some(way) => Some(&mut sets.meta[set_idx * sets.assoc + way]),
+                None => None,
+            },
             Storage::Budgeted { sets, .. } => {
-                sets[set_idx as usize].iter_mut().find(|l| l.tag == tag)
+                let set = &mut sets[set_idx];
+                match set.tags.iter().position(|&t| t == tag) {
+                    Some(idx) => Some(&mut set.meta[idx]),
+                    None => None,
+                }
             }
         };
-        match line {
-            Some(line) => {
-                line.dirty_sectors |= line.valid_sectors;
+        match meta {
+            Some(meta) => {
+                meta.dirty_sectors |= meta.valid_sectors;
                 true
             }
             None => false,
@@ -1149,27 +1365,33 @@ impl<F: Fill> PipelineCache<F> {
     /// (useful to flush write-backs at the end of a measurement window).
     pub fn flush(&mut self) -> Vec<EvictedLine> {
         let sector_size = self.sector_size;
-        let mut drained: Vec<EngineLine> = Vec::new();
+        let mut drained: Vec<(u64, LineMeta)> = Vec::new();
         match &mut self.storage {
             Storage::Slotted(sets) => {
-                for set in sets.iter_mut() {
-                    for way in &mut set.ways {
-                        if let Some(old) = way.take() {
-                            drained.push(old);
+                let assoc = sets.assoc;
+                for (set_idx, occ) in sets.occupied.iter_mut().enumerate() {
+                    let base = set_idx * assoc;
+                    for way in 0..assoc {
+                        if *occ & (1 << way) != 0 {
+                            drained.push((sets.tags[base + way], sets.meta[base + way]));
                         }
                     }
+                    *occ = 0;
                 }
+                sets.tags.fill(u64::MAX);
+                sets.meta.fill(LineMeta::default());
             }
             Storage::Budgeted { sets, .. } => {
                 for set in sets.iter_mut() {
-                    drained.append(set);
+                    drained.extend(set.tags.drain(..).zip(set.meta.drain(..)));
+                    set.occupied_bytes = 0;
                 }
             }
         }
         let mut evictions = Evictions::None;
         let mut observers = self.observers();
-        for old in &drained {
-            observers.retire(old, sector_size, &mut evictions);
+        for (tag, old) in &drained {
+            observers.retire(*tag, old, sector_size, &mut evictions);
         }
         evictions.as_slice().to_vec()
     }
@@ -1234,13 +1456,62 @@ impl PipelineCache<SectoredCompressedFill> {
     }
 }
 
-fn min_by_key<F: Fn(&EngineLine) -> u64>(ways: &[Option<EngineLine>], key: F) -> usize {
-    ways.iter()
+/// First way whose metadata minimises `key`, over a full set's contiguous
+/// metadata slice. Only called when every way is occupied (the empty-way
+/// fast path ran first), so no occupancy filter is needed; `min_by_key`
+/// returns the *first* minimum, matching the historical per-way scan.
+fn min_meta_by_key<K: Fn(&LineMeta) -> u64>(metas: &[LineMeta], key: K) -> usize {
+    metas
+        .iter()
         .enumerate()
-        .filter_map(|(i, l)| l.as_ref().map(|l| (i, key(l))))
-        .min_by_key(|&(_, k)| k)
+        .min_by_key(|&(_, m)| key(m))
         .map(|(i, _)| i)
-        .expect("choose_victim called on a full set")
+        .expect("victim selection scans a non-empty set")
+}
+
+/// Stored size of a caller-supplied payload, capped at the line size.
+fn payload_stored_size<F: Fill>(fill: &F, line_size: u64, data: &[u8]) -> u64 {
+    let size = fill
+        .stored_size(data)
+        .expect("budgeted fill reports a stored size");
+    (size as u64).min(line_size)
+}
+
+/// Stored size of the *generator-backed* payload for `tag`'s line.
+///
+/// Generator payloads are a pure function of `(seed, address)`, so the
+/// size is memoised per tag when `use_memo` is set (the reference
+/// recompression mode passes `false` to force a fresh compressor call
+/// every time). The scratch buffer is reused across calls, so the steady
+/// state allocates nothing.
+fn generated_stored_size<F: Fill>(
+    fill: &F,
+    line_size: u64,
+    tag: u64,
+    scratch: &mut Vec<u8>,
+    memo: &mut HashMap<u64, u64>,
+    use_memo: bool,
+) -> u64 {
+    if use_memo {
+        if let Some(&size) = memo.get(&tag) {
+            return size;
+        }
+    }
+    if !fill.generate_into(tag * line_size, line_size as usize, scratch) {
+        panic!(
+            "{} fill needs line payloads: use access_with_data \
+             or attach a value generator",
+            fill.label()
+        );
+    }
+    let size = fill
+        .stored_size(scratch)
+        .expect("budgeted fill reports a stored size");
+    let size = (size as u64).min(line_size);
+    if use_memo {
+        memo.insert(tag, size);
+    }
+    size
 }
 
 /// Marks `way` as recently used in the PLRU tree: walk from the root
@@ -1286,7 +1557,7 @@ fn plru_victim(bits: u64, assoc: usize) -> usize {
 /// is Random).
 #[allow(clippy::too_many_arguments)]
 fn shrink_to_budget(
-    set: &mut Vec<EngineLine>,
+    set: &mut BudgetedSet,
     set_budget: u64,
     protect_tag: Option<u64>,
     policy: ReplacementPolicy,
@@ -1295,18 +1566,23 @@ fn shrink_to_budget(
     observers: &mut ObserverStack<'_>,
     evictions: &mut Evictions,
 ) {
-    loop {
-        let occupied: u64 = set.iter().map(|l| l.size_bytes).sum();
-        if occupied <= set_budget {
-            return;
-        }
+    // `occupied_bytes` is maintained incrementally at every insert, size
+    // update, and removal, so the in-budget common case is one compare —
+    // no per-line sweep.
+    while set.occupied_bytes > set_budget {
         let candidates = set
+            .tags
             .iter()
+            .zip(&set.meta)
             .enumerate()
-            .filter(|(_, l)| Some(l.tag) != protect_tag);
+            .filter(|&(_, (&t, _))| Some(t) != protect_tag);
         let victim = match policy {
-            ReplacementPolicy::Lru => candidates.min_by_key(|(_, l)| l.last_used).map(|(i, _)| i),
-            ReplacementPolicy::Fifo => candidates.min_by_key(|(_, l)| l.inserted).map(|(i, _)| i),
+            ReplacementPolicy::Lru => candidates
+                .min_by_key(|&(_, (_, m))| m.last_used)
+                .map(|(i, _)| i),
+            ReplacementPolicy::Fifo => candidates
+                .min_by_key(|&(_, (_, m))| m.inserted)
+                .map(|(i, _)| i),
             ReplacementPolicy::Random => {
                 // Direct fallible pick: count the candidates, draw one
                 // index, walk to it — the empty set never consumes a draw
@@ -1317,9 +1593,10 @@ fn shrink_to_budget(
                         .as_deref_mut()
                         .expect("random policy has set RNGs")
                         .gen_below(evictable) as usize;
-                    set.iter()
+                    set.tags
+                        .iter()
                         .enumerate()
-                        .filter(|(_, l)| Some(l.tag) != protect_tag)
+                        .filter(|&(_, &t)| Some(t) != protect_tag)
                         .nth(pick)
                         .map(|(i, _)| i)
                         .expect("pick is below the candidate count")
@@ -1331,8 +1608,8 @@ fn shrink_to_budget(
         };
         match victim {
             Some(i) => {
-                let old = set.remove(i);
-                observers.retire(&old, sector_size, evictions);
+                let (tag, old) = set.remove(i);
+                observers.retire(tag, &old, sector_size, evictions);
             }
             None => return, // only the protected line remains
         }
@@ -1367,16 +1644,19 @@ mod tests {
             ReplacementPolicy::Fifo,
             ReplacementPolicy::Random,
         ] {
-            let mut set = vec![EngineLine {
-                tag: 7,
-                valid_sectors: 1,
-                dirty_sectors: 1,
-                last_used: 1,
-                inserted: 1,
-                word_mask: 1,
-                sharers: 1,
-                size_bytes: 128,
-            }];
+            let mut set = BudgetedSet {
+                tags: vec![7],
+                meta: vec![LineMeta {
+                    valid_sectors: 1,
+                    dirty_sectors: 1,
+                    last_used: 1,
+                    inserted: 1,
+                    word_mask: 1,
+                    sharers: 1,
+                    size_bytes: 128,
+                }],
+                occupied_bytes: 128,
+            };
             let mut stats = CacheStats::new();
             let mut traffic = MemoryTraffic::new();
             let mut observers = ObserverStack {
@@ -1399,7 +1679,7 @@ mod tests {
                 &mut observers,
                 &mut evictions,
             );
-            assert_eq!(set.len(), 1, "{policy:?}: protected line must survive");
+            assert_eq!(set.tags.len(), 1, "{policy:?}: protected line must survive");
             assert!(evictions.as_slice().is_empty(), "{policy:?}");
             assert_eq!(stats.evictions(), 0, "{policy:?}");
             assert_eq!(

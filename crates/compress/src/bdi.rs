@@ -128,6 +128,24 @@ impl Bdi {
         }
         Some(out)
     }
+
+    /// Size-only validity check for one base/delta encoding: `true` iff
+    /// [`Bdi::try_base_delta`] would return `Some`, without building the
+    /// encoded vector.
+    fn base_delta_fits(line: &[u8], enc: Encoding) -> bool {
+        let bs = enc.base_size();
+        let ds = enc.delta_size();
+        if !line.len().is_multiple_of(bs) {
+            return false;
+        }
+        let base = read_be(&line[..bs]) as i128;
+        let max = (1i128 << (8 * ds - 1)) - 1;
+        let min = -(1i128 << (8 * ds - 1));
+        line.chunks_exact(bs).all(|chunk| {
+            let delta = read_be(chunk) as i128 - base;
+            (min..=max).contains(&delta)
+        })
+    }
 }
 
 impl Compressor for Bdi {
@@ -232,6 +250,40 @@ impl Compressor for Bdi {
             }
         }
     }
+
+    /// Size-only path: evaluates the same encoding ladder as `compress`
+    /// without materialising any candidate. Byte-for-byte equal to
+    /// `compress(line).len().max(1)`.
+    fn compressed_size(&self, line: &[u8]) -> usize {
+        assert!(
+            line.len().is_multiple_of(8),
+            "BDI operates on whole 8-byte chunks; line length {} is not a multiple of 8",
+            line.len()
+        );
+        if line.iter().all(|&b| b == 0) {
+            return 1;
+        }
+        if line.chunks_exact(8).all(|c| c == &line[..8]) {
+            return 9;
+        }
+        let candidates = [
+            Encoding::B8D1,
+            Encoding::B2D1,
+            Encoding::B4D1,
+            Encoding::B8D2,
+            Encoding::B4D2,
+            Encoding::B8D4,
+        ];
+        let best = candidates
+            .into_iter()
+            .filter(|&enc| Bdi::base_delta_fits(line, enc))
+            .map(|enc| 1 + enc.base_size() + (line.len() / enc.base_size()) * enc.delta_size())
+            .min();
+        match best {
+            Some(size) if size < line.len() + 1 => size,
+            _ => line.len() + 1,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -310,6 +362,48 @@ mod tests {
         let size = round_trip(&line);
         // Deltas up to 700 000 need 4 bytes: 1 + 8 + 32 = 41.
         assert_eq!(size, 41);
+    }
+
+    #[test]
+    fn size_only_matches_encoder() {
+        let bdi = Bdi::new();
+        let mut lines: Vec<Vec<u8>> = vec![
+            vec![0u8; 64],
+            (0..8)
+                .flat_map(|_| 0xDEAD_BEEF_CAFE_F00Du64.to_be_bytes())
+                .collect(),
+            (0..8u64)
+                .flat_map(|i| (0x7FFF_0000_1000 + i * 8).to_be_bytes())
+                .collect(),
+            (0..16u32).flat_map(|i| (1000 + i).to_be_bytes()).collect(),
+            (0..32u16)
+                .flat_map(|i| (320 + (i % 50)).to_be_bytes())
+                .collect(),
+            (0..8u64)
+                .flat_map(|i| (i * 100_000).to_be_bytes())
+                .collect(),
+            (0..64u32)
+                .map(|i| (i.wrapping_mul(0x9E3779B9).rotate_left(7) >> 3) as u8)
+                .collect(),
+        ];
+        let mut state = 77u64;
+        for spread in [1u64, 100, 40_000, 1 << 33] {
+            let mut l = Vec::with_capacity(64);
+            for _ in 0..8 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                l.extend_from_slice(&(0x4000_0000u64 + state % spread).to_be_bytes());
+            }
+            lines.push(l);
+        }
+        for line in &lines {
+            assert_eq!(
+                bdi.compressed_size(line),
+                bdi.compress(line).len().max(1),
+                "line {line:02X?}"
+            );
+        }
     }
 
     #[test]

@@ -98,6 +98,25 @@ impl Compressor for BestOf {
             .ok_or(DecompressError::Corrupt)?;
         engine.decompress(payload, original_len)
     }
+
+    /// Size-only path: selector byte plus the smallest member size. Delegates
+    /// to each member's `compressed_size`, so size-only members (including
+    /// estimators such as [`crate::Sampled`]) propagate through without
+    /// running their full encoders.
+    fn compressed_size(&self, line: &[u8]) -> usize {
+        if line.is_empty() {
+            // Every member encodes an empty line in zero bytes, but their
+            // `compressed_size` is capped below by 1; special-case to match
+            // `compress` (selector byte only).
+            return 1;
+        }
+        1 + self
+            .engines
+            .iter()
+            .map(|e| e.compressed_size(line))
+            .min()
+            .expect("at least one engine")
+    }
 }
 
 #[cfg(test)]
@@ -199,6 +218,15 @@ mod tests {
             }
             out
         }
+    }
+
+    #[test]
+    fn size_only_matches_encoder() {
+        let e = engine();
+        for line in bandwall_shim::lines() {
+            assert_eq!(e.compressed_size(&line), e.compress(&line).len().max(1));
+        }
+        assert_eq!(e.compressed_size(&[]), e.compress(&[]).len().max(1));
     }
 
     #[test]

@@ -91,6 +91,38 @@ impl Fpc {
         }
     }
 
+    /// Bit cost of one encoded word (prefix + payload), mirroring the
+    /// branch order of [`Fpc::encode_word`] exactly. Kept in sync by the
+    /// `size_only_matches_encoder` property test.
+    // Two branches legitimately cost the same 3 + 16 bits under
+    // different prefixes; keeping them separate preserves the encoder
+    // mirror.
+    #[allow(clippy::if_same_then_else)]
+    fn encoded_bits(word: u32) -> u32 {
+        let halves = [(word >> 16) as u16, (word & 0xFFFF) as u16];
+        if word == 0 {
+            3
+        } else if fits_signed(word, 4) {
+            3 + 4
+        } else if fits_signed(word, 8) {
+            3 + 8
+        } else if fits_signed(word, 16) || halves[1] == 0 {
+            3 + 16
+        } else if halves
+            .iter()
+            .all(|&h| (-128..128).contains(&(h as i16 as i32)))
+        {
+            3 + 16
+        } else {
+            let bytes = word.to_be_bytes();
+            if bytes.iter().all(|&b| b == bytes[0]) {
+                3 + 8
+            } else {
+                3 + 32
+            }
+        }
+    }
+
     fn decode_word(reader: &mut BitReader<'_>) -> Option<u32> {
         let prefix = reader.read_bits(3)?;
         let word = match prefix {
@@ -149,6 +181,24 @@ impl Compressor for Fpc {
             out.extend_from_slice(&word.to_be_bytes());
         }
         Ok(out)
+    }
+
+    /// Size-only path: counts encoded bits without allocating a `BitWriter`
+    /// buffer. Byte-for-byte equal to `compress(line).len().max(1)`.
+    fn compressed_size(&self, line: &[u8]) -> usize {
+        assert!(
+            line.len().is_multiple_of(4),
+            "FPC operates on whole 32-bit words; line length {} is not a multiple of 4",
+            line.len()
+        );
+        let bits: usize = line
+            .chunks_exact(4)
+            .map(|chunk| {
+                let word = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                Fpc::encoded_bits(word) as usize
+            })
+            .sum();
+        bits.div_ceil(8).max(1)
     }
 }
 
@@ -259,6 +309,54 @@ mod tests {
     fn decompress_rejects_truncated_stream() {
         let err = Fpc::new().decompress(&[0b1110_0000], 64).unwrap_err();
         assert!(matches!(err, DecompressError::Truncated));
+    }
+
+    #[test]
+    fn size_only_matches_encoder() {
+        // `encoded_bits` must never drift from `encode_word`: sweep word
+        // patterns exercising every prefix plus a pseudo-random fuzz band.
+        let fpc = Fpc::new();
+        let mut words: Vec<u32> = vec![
+            0,
+            1,
+            7,
+            8,
+            0x7F,
+            0x80,
+            0xFF,
+            0x7FFF,
+            0x8000,
+            0xFFFF,
+            0xFFFF_FFF8,
+            0x0001_0000,
+            0x1234_0000,
+            0xFFFF_FFFF,
+            0xDEAD_BEEF,
+            0x7C7C_7C7C,
+            0x0042_FFBD,
+            0x00FF_00FF,
+        ];
+        let mut state = 0x9E37_79B9u32;
+        for _ in 0..4096 {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            words.push(state);
+        }
+        for word in words {
+            let line = word.to_be_bytes();
+            assert_eq!(
+                fpc.compressed_size(&line),
+                fpc.compress(&line).len().max(1),
+                "word {word:#010X}"
+            );
+        }
+        // Multi-word lines hit the div_ceil across word boundaries.
+        let mixed: Vec<u8> = (0..16u32)
+            .flat_map(|i| (i.wrapping_mul(2654435761)).to_be_bytes())
+            .collect();
+        assert_eq!(
+            fpc.compressed_size(&mixed),
+            fpc.compress(&mixed).len().max(1)
+        );
     }
 
     #[test]

@@ -47,6 +47,7 @@ mod best_of;
 pub mod bits;
 mod dictionary;
 mod fpc;
+mod sampled;
 mod stats;
 mod zero;
 
@@ -54,6 +55,7 @@ pub use bdi::Bdi;
 pub use best_of::BestOf;
 pub use dictionary::{DictionaryLine, LinkCompressor};
 pub use fpc::Fpc;
+pub use sampled::Sampled;
 pub use stats::CompressionStats;
 pub use zero::ZeroRle;
 
@@ -119,6 +121,11 @@ pub trait Compressor: Send + Sync {
     fn decompress(&self, data: &[u8], original_len: usize) -> Result<Vec<u8>, DecompressError>;
 
     /// Size in bytes after compression (capped below by 1).
+    ///
+    /// The bundled exact engines override this with allocation-free
+    /// size-only paths that equal `compress(line).len().max(1)` byte for
+    /// byte (property-tested per engine); [`Sampled`] overrides it with a
+    /// periodic-sampling estimate.
     fn compressed_size(&self, line: &[u8]) -> usize {
         self.compress(line).len().max(1)
     }

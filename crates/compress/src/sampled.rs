@@ -1,0 +1,194 @@
+//! Sampled-size estimation wrapper.
+//!
+//! Compressed-cache simulation only consumes *sizes*; the payload encoders
+//! run purely to learn how many bytes a line would occupy. [`Sampled`]
+//! exploits that: it runs its inner engine's exact `compressed_size` on
+//! every `period`-th query and answers the rest from the running mean of
+//! the sampled sizes. `compress`/`decompress` still delegate exactly, so
+//! round-trip correctness is untouched — only the *size model* is
+//! approximate.
+//!
+//! This is an opt-in fast path (`CompressorKind::Sampled` in the cache
+//! simulator). Because the estimate depends on the order in which lines are
+//! queried, sampled-mode statistics are deterministic for a fixed
+//! sequential run but are **not** bit-identical across bank counts; the
+//! exact engines remain the default.
+
+use crate::{Compressor, DecompressError};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Wraps an exact compressor with periodic-sampling size estimation.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_compress::{Compressor, Fpc, Sampled};
+///
+/// let s = Sampled::new(Box::new(Fpc::new()), 4);
+/// let zeros = [0u8; 64];
+/// // First query samples exactly (16 words × 3 bits = 6 bytes) …
+/// assert_eq!(s.compressed_size(&zeros), 6);
+/// // … and the next three are answered from the running mean.
+/// assert_eq!(s.compressed_size(&zeros), 6);
+/// // Payload round-trips are always exact regardless of sampling.
+/// assert_eq!(s.decompress(&s.compress(&zeros), 64).unwrap(), zeros);
+/// ```
+pub struct Sampled {
+    inner: Box<dyn Compressor>,
+    period: u64,
+    calls: AtomicU64,
+    sampled_lines: AtomicU64,
+    sampled_bytes: AtomicU64,
+}
+
+impl std::fmt::Debug for Sampled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sampled")
+            .field("inner", &self.inner.name())
+            .field("period", &self.period)
+            .field("sampled_lines", &self.sampled_lines.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Sampled {
+    /// Wraps `inner`, sampling its exact size every `period`-th query (the
+    /// first query always samples, so the estimator is never unseeded in
+    /// sequential use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(inner: Box<dyn Compressor>, period: u64) -> Self {
+        assert!(period >= 1, "sampling period must be at least 1");
+        Sampled {
+            inner,
+            period,
+            calls: AtomicU64::new(0),
+            sampled_lines: AtomicU64::new(0),
+            sampled_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// The sampling period.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Number of size queries answered by the exact inner engine so far.
+    pub fn sampled_lines(&self) -> u64 {
+        self.sampled_lines.load(Ordering::Relaxed)
+    }
+}
+
+impl Compressor for Sampled {
+    fn clone_box(&self) -> Box<dyn Compressor> {
+        // Clones carry the estimator state forward so per-bank engines start
+        // from the same mean the parent had accumulated.
+        Box::new(Sampled {
+            inner: self.inner.clone_box(),
+            period: self.period,
+            calls: AtomicU64::new(self.calls.load(Ordering::Relaxed)),
+            sampled_lines: AtomicU64::new(self.sampled_lines.load(Ordering::Relaxed)),
+            sampled_bytes: AtomicU64::new(self.sampled_bytes.load(Ordering::Relaxed)),
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "Sampled"
+    }
+
+    fn compress(&self, line: &[u8]) -> Vec<u8> {
+        self.inner.compress(line)
+    }
+
+    fn decompress(&self, data: &[u8], original_len: usize) -> Result<Vec<u8>, DecompressError> {
+        self.inner.decompress(data, original_len)
+    }
+
+    fn compressed_size(&self, line: &[u8]) -> usize {
+        let call = self.calls.fetch_add(1, Ordering::Relaxed);
+        if call.is_multiple_of(self.period) {
+            let exact = self.inner.compressed_size(line);
+            self.sampled_lines.fetch_add(1, Ordering::Relaxed);
+            self.sampled_bytes
+                .fetch_add(exact as u64, Ordering::Relaxed);
+            return exact;
+        }
+        let lines = self.sampled_lines.load(Ordering::Relaxed);
+        if lines == 0 {
+            // Only reachable under concurrent first use; assume incompressible.
+            return line.len().max(1);
+        }
+        let bytes = self.sampled_bytes.load(Ordering::Relaxed);
+        (((bytes + lines / 2) / lines) as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fpc, ZeroRle};
+
+    #[test]
+    fn samples_on_schedule_and_estimates_between() {
+        let s = Sampled::new(Box::new(ZeroRle::new()), 3);
+        let zeros = [0u8; 64]; // exact size 1
+        let noise = [0xABu8; 64]; // exact size 72
+        assert_eq!(s.compressed_size(&zeros), 1); // call 0: sampled
+        assert_eq!(s.sampled_lines(), 1);
+        // Calls 1 and 2 estimate from the mean (1), even for noise.
+        assert_eq!(s.compressed_size(&noise), 1);
+        assert_eq!(s.compressed_size(&noise), 1);
+        assert_eq!(s.sampled_lines(), 1);
+        // Call 3 samples the noise line exactly and shifts the mean.
+        assert_eq!(s.compressed_size(&noise), 72);
+        assert_eq!(s.sampled_lines(), 2);
+        // Mean is now round((1 + 72) / 2) = 37 (rounded to nearest).
+        assert_eq!(s.compressed_size(&zeros), 37);
+    }
+
+    #[test]
+    fn period_one_is_always_exact() {
+        let s = Sampled::new(Box::new(Fpc::new()), 1);
+        let exact = Fpc::new();
+        for fill in [0u8, 1, 0x7F, 0xFF] {
+            let line = [fill; 64];
+            assert_eq!(s.compressed_size(&line), exact.compressed_size(&line));
+        }
+        assert_eq!(s.sampled_lines(), 4);
+    }
+
+    #[test]
+    fn payload_round_trip_is_exact() {
+        let s = Sampled::new(Box::new(Fpc::new()), 16);
+        let line: Vec<u8> = (0..64u32)
+            .map(|i| (i.wrapping_mul(97) >> 2) as u8)
+            .collect();
+        assert_eq!(s.decompress(&s.compress(&line), 64).unwrap(), line);
+    }
+
+    #[test]
+    fn clone_carries_estimator_state() {
+        let s = Sampled::new(Box::new(ZeroRle::new()), 100);
+        assert_eq!(s.compressed_size(&[0u8; 64]), 1);
+        let cloned = s.clone_box();
+        // The clone inherits the mean and the call counter, so its next
+        // query is an estimate from the parent's samples.
+        assert_eq!(cloned.compressed_size(&[0xAB; 64]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_period_panics() {
+        Sampled::new(Box::new(Fpc::new()), 0);
+    }
+
+    #[test]
+    fn debug_names_inner() {
+        let s = Sampled::new(Box::new(Fpc::new()), 8);
+        assert!(format!("{s:?}").contains("FPC"));
+        assert_eq!(s.period(), 8);
+        assert_eq!(s.name(), "Sampled");
+    }
+}

@@ -81,6 +81,27 @@ impl Compressor for ZeroRle {
         }
         Ok(out)
     }
+
+    /// Size-only path: counts token bits in one pass without a `BitWriter`.
+    /// Byte-for-byte equal to `compress(line).len().max(1)`.
+    fn compressed_size(&self, line: &[u8]) -> usize {
+        let mut bits = 0usize;
+        let mut i = 0;
+        while i < line.len() {
+            if line[i] == 0 {
+                let mut run = 1usize;
+                while i + run < line.len() && line[i + run] == 0 && run < 64 {
+                    run += 1;
+                }
+                bits += 7;
+                i += run;
+            } else {
+                bits += 9;
+                i += 1;
+            }
+        }
+        bits.div_ceil(8).max(1)
+    }
 }
 
 #[cfg(test)]
@@ -127,6 +148,34 @@ mod tests {
     #[test]
     fn empty_line() {
         assert_eq!(round_trip(&[]), 0);
+    }
+
+    #[test]
+    fn size_only_matches_encoder() {
+        let z = ZeroRle::new();
+        let mut lines: Vec<Vec<u8>> =
+            vec![vec![], vec![0u8; 64], vec![0u8; 200], vec![0xAA; 64], {
+                let mut l = vec![0u8; 32];
+                l.extend_from_slice(&[1, 2, 3, 4]);
+                l.extend(vec![0u8; 28]);
+                l
+            }];
+        let mut state = 12345u32;
+        for pct_zero in [0u32, 25, 50, 75, 100] {
+            let mut l = Vec::with_capacity(96);
+            for _ in 0..96 {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                l.push(if state % 100 < pct_zero {
+                    0
+                } else {
+                    (state >> 16) as u8
+                });
+            }
+            lines.push(l);
+        }
+        for line in &lines {
+            assert_eq!(z.compressed_size(line), z.compress(line).len().max(1));
+        }
     }
 
     #[test]

@@ -86,6 +86,79 @@ pub fn materialize<T: TraceSource>(source: &mut T, total: usize) -> Vec<MemoryAc
     out
 }
 
+/// A [`TraceSource`] that replays a materialised access vector, cycling
+/// back to the start when exhausted.
+///
+/// Replay separates trace *generation* cost from simulation cost: the
+/// performance harness materialises a workload once and feeds the recorded
+/// stream to the engines, so kernel throughput measures the cache
+/// simulator alone.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_trace::{materialize, ReplayTrace, StackDistanceTrace, TraceSource};
+///
+/// let mut gen = StackDistanceTrace::builder(0.5).seed(1).build();
+/// let recorded = materialize(&mut gen, 100);
+/// let mut replay = ReplayTrace::new(recorded.clone());
+/// let replayed: Vec<_> = replay.iter().take(100).collect();
+/// assert_eq!(replayed, recorded);
+/// // Past the end, the stream cycles.
+/// assert_eq!(replay.next_access(), recorded[0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplayTrace {
+    accesses: Vec<MemoryAccess>,
+    pos: usize,
+}
+
+impl ReplayTrace {
+    /// Wraps a recorded access vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accesses` is empty (a trace source is an infinite
+    /// stream; there is nothing to cycle).
+    pub fn new(accesses: Vec<MemoryAccess>) -> Self {
+        assert!(
+            !accesses.is_empty(),
+            "replay trace needs at least one access"
+        );
+        ReplayTrace { accesses, pos: 0 }
+    }
+
+    /// Records `total` accesses from `source` and wraps them for replay.
+    pub fn record<T: TraceSource>(source: &mut T, total: usize) -> Self {
+        ReplayTrace::new(materialize(source, total))
+    }
+
+    /// Rewinds the replay cursor to the beginning.
+    pub fn rewind(&mut self) {
+        self.pos = 0;
+    }
+
+    /// The recorded accesses.
+    pub fn accesses(&self) -> &[MemoryAccess] {
+        &self.accesses
+    }
+}
+
+impl TraceSource for ReplayTrace {
+    fn next_access(&mut self) -> MemoryAccess {
+        let access = self.accesses[self.pos];
+        self.pos += 1;
+        if self.pos == self.accesses.len() {
+            self.pos = 0;
+        }
+        access
+    }
+
+    fn name(&self) -> &str {
+        "replay"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +214,25 @@ mod tests {
             materialize(&mut a, 500),
             b.iter().take(500).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn replay_cycles_and_rewinds() {
+        let mut gen = StackDistanceTrace::builder(0.4).seed(9).build();
+        let mut replay = ReplayTrace::record(&mut gen, 10);
+        let first: Vec<_> = replay.iter().take(10).collect();
+        assert_eq!(first, replay.accesses());
+        // Wrapped around: next access is the first again.
+        assert_eq!(replay.next_access(), first[0]);
+        replay.rewind();
+        assert_eq!(replay.next_access(), first[0]);
+        assert_eq!(replay.name(), "replay");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one access")]
+    fn empty_replay_panics() {
+        ReplayTrace::new(Vec::new());
     }
 
     #[test]

@@ -65,7 +65,7 @@ mod working_set;
 mod zipf;
 
 pub use access::{AccessKind, MemoryAccess, TraceIter, TraceSource};
-pub use chunked::{materialize, TraceChunks};
+pub use chunked::{materialize, ReplayTrace, TraceChunks};
 pub use mix::{MixTrace, MixTraceBuilder};
 pub use parsec_like::{ParsecLikeTrace, ParsecLikeTraceBuilder};
 pub use pointer_chase::{PointerChaseTrace, PointerChaseTraceBuilder};

@@ -172,6 +172,19 @@ impl LineValueGenerator {
     ///
     /// Panics if `len` is not a positive multiple of 8.
     pub fn line_bytes(&self, line_address: u64, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        self.line_bytes_into(line_address, len, &mut out);
+        out
+    }
+
+    /// Like [`LineValueGenerator::line_bytes`], but writes into a caller
+    /// buffer (cleared first) so hot paths can reuse one allocation across
+    /// lines. Produces byte-identical payloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is not a positive multiple of 8.
+    pub fn line_bytes_into(&self, line_address: u64, len: usize, out: &mut Vec<u8>) {
         assert!(
             len > 0 && len.is_multiple_of(8),
             "line length must be a positive multiple of 8"
@@ -183,7 +196,8 @@ impl LineValueGenerator {
         z ^= z >> 31;
         let mut rng = Rng::seed_from_u64(z);
         let pattern = self.sample_pattern(&mut rng);
-        self.fill(pattern, len, &mut rng)
+        out.clear();
+        self.fill(pattern, len, &mut rng, out);
     }
 
     fn sample_pattern(&self, rng: &mut Rng) -> ValuePattern {
@@ -198,8 +212,7 @@ impl LineValueGenerator {
         self.profile.weights.last().expect("profile non-empty").0
     }
 
-    fn fill(&self, pattern: ValuePattern, len: usize, rng: &mut Rng) -> Vec<u8> {
-        let mut out = Vec::with_capacity(len);
+    fn fill(&self, pattern: ValuePattern, len: usize, rng: &mut Rng, out: &mut Vec<u8>) {
         match pattern {
             ValuePattern::Zeros => out.resize(len, 0),
             ValuePattern::RepeatedByte => {
@@ -231,7 +244,6 @@ impl LineValueGenerator {
                 }
             }
         }
-        out
     }
 }
 
@@ -263,6 +275,21 @@ mod tests {
             let sum: f64 = p.weights().iter().map(|(_, w)| w).sum();
             assert!((sum - 1.0).abs() < 1e-12, "{}", p.name());
         }
+    }
+
+    #[test]
+    fn line_bytes_into_matches_allocating_path() {
+        let gen = LineValueGenerator::new(ValueProfile::commercial(), 42);
+        let mut buf = Vec::new();
+        for addr in 0..256u64 {
+            gen.line_bytes_into(addr * 64, 64, &mut buf);
+            assert_eq!(buf, gen.line_bytes(addr * 64, 64), "address {addr:#x}");
+        }
+        // Reuse across differing lengths clears stale content.
+        gen.line_bytes_into(0, 128, &mut buf);
+        assert_eq!(buf.len(), 128);
+        gen.line_bytes_into(0, 8, &mut buf);
+        assert_eq!(buf, gen.line_bytes(0, 8));
     }
 
     #[test]
