@@ -36,7 +36,9 @@ use bandwall_experiments::fault::ChaosSpec;
 use bandwall_experiments::perf::{run_group, BenchGroup, BenchOptions, GROUPS};
 use bandwall_experiments::registry::{registry_with_seed, Experiment};
 use bandwall_experiments::report::Report;
-use bandwall_experiments::serve::loadgen::{run_against, LoadgenOptions};
+use bandwall_experiments::serve::loadgen::{
+    run_against, EndpointSelection, LoadgenOptions, MixWeights,
+};
 use bandwall_experiments::serve::{ServeConfig, Server, StatsSnapshot};
 
 const USAGE: &str = "\
@@ -95,9 +97,12 @@ SERVE OPTIONS:
     --addr <HOST:PORT>          bind address (default: 127.0.0.1:8787;
                                 port 0 picks an ephemeral port)
     --workers <N>               worker threads (default: 2)
-    --queue <N>                 bounded request-queue capacity; the
-                                excess is shed with an `overloaded`
-                                reply (default: 64)
+    --shards <N>                admission shards, each with its own
+                                acceptor thread and queue; clamped to
+                                the worker count (default: 1)
+    --queue <N>                 bounded request-queue capacity, divided
+                                across the shards; the excess is shed
+                                with an `overloaded` reply (default: 64)
     --deadline-ms <MS>          per-request deadline; overruns reply
                                 504 `deadline_exceeded` (default: 2000)
     --read-timeout-ms <MS>      socket read/write window and keep-alive
@@ -118,6 +123,15 @@ LOADGEN OPTIONS:
     --requests <N>              requests per kernel (default: 2000)
     --quick                     CI smoke preset: 2 connections,
                                 200 requests
+    --endpoint <NAME>           exercise only one POST endpoint's
+                                kernels: solve, sweep, or batch
+                                (default: all)
+    --mix <SPEC>                weighted endpoint mix on one connection,
+                                e.g. solve=7,sweep=2,batch=1; reports
+                                per-endpoint latency percentiles
+    --floor <ID=RATE>           fail (exit 1) if kernel ID's median
+                                throughput drops below RATE requests/s;
+                                repeatable
     --format <ascii|csv|json>   output format (default: ascii)
     --out <DIR>                 write the report into DIR
     --snapshot <DIR>            write a BENCH_serve.json snapshot
@@ -665,6 +679,14 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
                 }
                 config.workers = n;
             }
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a count")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --shards value '{v}'"))?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+                config.shards = n;
+            }
             "--queue" => {
                 let v = it.next().ok_or("--queue needs a capacity")?;
                 let n: usize = v.parse().map_err(|_| format!("bad --queue value '{v}'"))?;
@@ -770,6 +792,7 @@ struct LoadgenArgs {
     format: Format,
     out: Option<std::path::PathBuf>,
     snapshot: Option<std::path::PathBuf>,
+    floors: Vec<(String, f64)>,
 }
 
 fn parse_loadgen_args(args: &[String]) -> Result<LoadgenArgs, String> {
@@ -779,6 +802,7 @@ fn parse_loadgen_args(args: &[String]) -> Result<LoadgenArgs, String> {
         format: Format::Ascii,
         out: None,
         snapshot: None,
+        floors: Vec::new(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -787,7 +811,33 @@ fn parse_loadgen_args(args: &[String]) -> Result<LoadgenArgs, String> {
                 let v = it.next().ok_or("--addr needs HOST:PORT")?;
                 loadgen.addr = v.clone();
             }
-            "--quick" => loadgen.options = LoadgenOptions::quick(),
+            "--quick" => {
+                let (endpoint, mix) = (loadgen.options.endpoint, loadgen.options.mix);
+                loadgen.options = LoadgenOptions::quick();
+                loadgen.options.endpoint = endpoint;
+                loadgen.options.mix = mix;
+            }
+            "--endpoint" => {
+                let v = it.next().ok_or("--endpoint needs a value")?;
+                loadgen.options.endpoint = EndpointSelection::parse(v)?;
+            }
+            "--mix" => {
+                let v = it.next().ok_or("--mix needs a spec like solve=7,sweep=2")?;
+                loadgen.options.mix = Some(MixWeights::parse(v)?);
+            }
+            "--floor" => {
+                let v = it.next().ok_or("--floor needs ID=RATE")?;
+                let (id, rate) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad --floor '{v}' (expected ID=RATE)"))?;
+                let rate: f64 = rate
+                    .parse()
+                    .map_err(|_| format!("bad --floor rate '{rate}'"))?;
+                if rate <= 0.0 {
+                    return Err("--floor rate must be positive".into());
+                }
+                loadgen.floors.push((id.to_string(), rate));
+            }
             "--connections" => {
                 let v = it.next().ok_or("--connections needs a count")?;
                 let n: usize = v
@@ -864,7 +914,9 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
         write_atomic(&path, &group.snapshot_json())?;
         eprintln!("bandwall: wrote {}", path.display());
     }
-    emit(&[group.to_report()], loadgen.format, loadgen.out.as_deref())
+    emit(&[group.to_report()], loadgen.format, loadgen.out.as_deref())?;
+    let groups = [group];
+    check_floors(&loadgen.floors, &groups)
 }
 
 fn main() -> ExitCode {
@@ -1255,6 +1307,51 @@ mod tests {
         assert_eq!(loadgen.options.connections, 6);
         assert_eq!(loadgen.options.requests, 500);
         assert!(loadgen.format == Format::Json);
+        assert_eq!(loadgen.options.endpoint, EndpointSelection::All);
+        assert!(loadgen.options.mix.is_none());
+        assert!(loadgen.floors.is_empty());
+    }
+
+    #[test]
+    fn parses_serve_shards_flag() {
+        let serve = parse_serve_args(&args(&["--shards", "4", "--workers", "8"])).unwrap();
+        assert_eq!(serve.config.shards, 4);
+        assert!(parse_serve_args(&args(&["--shards", "0"]))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse_serve_args(&args(&["--shards", "many"])).is_err());
+    }
+
+    #[test]
+    fn parses_loadgen_endpoint_mix_and_floor_flags() {
+        let loadgen = parse_loadgen_args(&args(&["--endpoint", "sweep"])).unwrap();
+        assert_eq!(loadgen.options.endpoint, EndpointSelection::Sweep);
+        // --quick after --endpoint keeps the selection.
+        let loadgen = parse_loadgen_args(&args(&["--endpoint", "batch", "--quick"])).unwrap();
+        assert_eq!(loadgen.options.endpoint, EndpointSelection::Batch);
+        assert_eq!(loadgen.options.requests, 200);
+
+        let loadgen = parse_loadgen_args(&args(&["--mix", "solve=7,sweep=2,batch=1"])).unwrap();
+        let mix = loadgen.options.mix.unwrap();
+        assert_eq!((mix.solve, mix.sweep, mix.batch), (7, 2, 1));
+
+        let loadgen =
+            parse_loadgen_args(&args(&["--floor", "serve_healthz=5000", "--floor", "x=1"]))
+                .unwrap();
+        assert_eq!(loadgen.floors.len(), 2);
+        assert_eq!(loadgen.floors[0].0, "serve_healthz");
+        assert!((loadgen.floors[0].1 - 5000.0).abs() < 1e-9);
+
+        for bad in [
+            &["--endpoint", "warp"][..],
+            &["--mix", "solve=x"],
+            &["--mix", "warp=1"],
+            &["--mix", "solve=0,sweep=0,batch=0"],
+            &["--floor", "no_equals"],
+            &["--floor", "id=-5"],
+        ] {
+            assert!(parse_loadgen_args(&args(bad)).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

@@ -15,7 +15,8 @@ use bandwall_model::Technique;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Fig04CacheCompression;
 
-fn variants() -> Vec<Variant> {
+/// The figure's sweep points (also served by `POST /v1/sweep`).
+pub fn variants() -> Vec<Variant> {
     let ratios = [1.25, 1.5, 1.75, 2.0, 2.5, 3.0, 3.5, 4.0];
     let paper = [None, None, None, Some(13), Some(14), Some(14), None, None];
     let mut variants = vec![Variant::new("No Compress", None, Some(11))];

@@ -13,6 +13,28 @@ use bandwall_model::Technique;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Fig05DramCache;
 
+/// The figure's sweep points (also served by `POST /v1/sweep`).
+pub fn variants() -> Vec<Variant> {
+    vec![
+        Variant::new("SRAM L2", None, Some(11)),
+        Variant::new(
+            "DRAM L2 (4x)",
+            Some(Technique::dram_cache(4.0).expect("valid")),
+            Some(16),
+        ),
+        Variant::new(
+            "DRAM L2 (8x)",
+            Some(Technique::dram_cache(8.0).expect("valid")),
+            Some(18),
+        ),
+        Variant::new(
+            "DRAM L2 (16x)",
+            Some(Technique::dram_cache(16.0).expect("valid")),
+            Some(21),
+        ),
+    ]
+}
+
 impl Experiment for Fig05DramCache {
     fn id(&self) -> &'static str {
         "fig05_dram_cache"
@@ -28,24 +50,7 @@ impl Experiment for Fig05DramCache {
 
     fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
-        let variants = vec![
-            Variant::new("SRAM L2", None, Some(11)),
-            Variant::new(
-                "DRAM L2 (4x)",
-                Some(Technique::dram_cache(4.0).expect("valid")),
-                Some(16),
-            ),
-            Variant::new(
-                "DRAM L2 (8x)",
-                Some(Technique::dram_cache(8.0).expect("valid")),
-                Some(18),
-            ),
-            Variant::new(
-                "DRAM L2 (16x)",
-                Some(Technique::dram_cache(16.0).expect("valid")),
-                Some(21),
-            ),
-        ];
+        let variants = variants();
         let (table, results) = sweep_block(&variants)?;
         report.table(table);
         report.blank();

@@ -13,6 +13,28 @@ use bandwall_model::Technique;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Fig063dCache;
 
+/// The figure's sweep points (also served by `POST /v1/sweep`).
+pub fn variants() -> Vec<Variant> {
+    vec![
+        Variant::new("No 3D Cache", None, Some(11)),
+        Variant::new(
+            "3D SRAM",
+            Some(Technique::stacked_cache(1).expect("valid")),
+            Some(14),
+        ),
+        Variant::new(
+            "3D DRAM (8x)",
+            Some(Technique::stacked_dram_cache(1, 8.0).expect("valid")),
+            Some(25),
+        ),
+        Variant::new(
+            "3D DRAM (16x)",
+            Some(Technique::stacked_dram_cache(1, 16.0).expect("valid")),
+            Some(32),
+        ),
+    ]
+}
+
 impl Experiment for Fig063dCache {
     fn id(&self) -> &'static str {
         "fig06_3d_cache"
@@ -28,24 +50,7 @@ impl Experiment for Fig063dCache {
 
     fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
-        let variants = vec![
-            Variant::new("No 3D Cache", None, Some(11)),
-            Variant::new(
-                "3D SRAM",
-                Some(Technique::stacked_cache(1).expect("valid")),
-                Some(14),
-            ),
-            Variant::new(
-                "3D DRAM (8x)",
-                Some(Technique::stacked_dram_cache(1, 8.0).expect("valid")),
-                Some(25),
-            ),
-            Variant::new(
-                "3D DRAM (16x)",
-                Some(Technique::stacked_dram_cache(1, 16.0).expect("valid")),
-                Some(32),
-            ),
-        ];
+        let variants = variants();
         let (table, results) = sweep_block(&variants)?;
         report.table(table);
         add_paper_metrics(&mut report, &variants, &results);

@@ -14,6 +14,19 @@ use bandwall_model::Technique;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Fig07Filtering;
 
+/// The figure's sweep points (also served by `POST /v1/sweep`).
+pub fn variants() -> Vec<Variant> {
+    let mut variants = vec![Variant::new("No Filtering", None, Some(11))];
+    for (fraction, paper) in [(0.1, None), (0.2, None), (0.4, Some(12)), (0.8, Some(16))] {
+        variants.push(Variant::new(
+            format!("{:.0}% unused", fraction * 100.0),
+            Some(Technique::unused_data_filter(fraction).expect("valid")),
+            paper,
+        ));
+    }
+    variants
+}
+
 impl Experiment for Fig07Filtering {
     fn id(&self) -> &'static str {
         "fig07_filtering"
@@ -29,14 +42,7 @@ impl Experiment for Fig07Filtering {
 
     fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
-        let mut variants = vec![Variant::new("No Filtering", None, Some(11))];
-        for (fraction, paper) in [(0.1, None), (0.2, None), (0.4, Some(12)), (0.8, Some(16))] {
-            variants.push(Variant::new(
-                format!("{:.0}% unused", fraction * 100.0),
-                Some(Technique::unused_data_filter(fraction).expect("valid")),
-                paper,
-            ));
-        }
+        let variants = variants();
         let (table, results) = sweep_block(&variants)?;
         report.table(table);
         report.blank();

@@ -16,6 +16,19 @@ use bandwall_model::{ScalingProblem, Technique};
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Fig08SmallerCores;
 
+/// The figure's sweep points (also served by `POST /v1/sweep`).
+pub fn variants() -> Vec<Variant> {
+    let mut variants = vec![Variant::new("1x (full-size)", None, Some(11))];
+    for reduction in [9.0, 45.0, 80.0] {
+        variants.push(Variant::new(
+            format!("{reduction:.0}x smaller"),
+            Some(Technique::smaller_cores(1.0 / reduction).expect("valid")),
+            None,
+        ));
+    }
+    variants
+}
+
 impl Experiment for Fig08SmallerCores {
     fn id(&self) -> &'static str {
         "fig08_smaller_cores"
@@ -31,14 +44,7 @@ impl Experiment for Fig08SmallerCores {
 
     fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
-        let mut variants = vec![Variant::new("1x (full-size)", None, Some(11))];
-        for reduction in [9.0, 45.0, 80.0] {
-            variants.push(Variant::new(
-                format!("{reduction:.0}x smaller"),
-                Some(Technique::smaller_cores(1.0 / reduction).expect("valid")),
-                None,
-            ));
-        }
+        let variants = variants();
         let (table, results) = sweep_block(&variants)?;
         report.table(table);
 

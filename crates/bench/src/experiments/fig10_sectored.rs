@@ -15,6 +15,19 @@ use bandwall_model::Technique;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Fig10Sectored;
 
+/// The figure's sweep points (also served by `POST /v1/sweep`).
+pub fn variants() -> Vec<Variant> {
+    let mut variants = vec![Variant::new("0% unused", None, Some(11))];
+    for (fraction, paper) in [(0.1, None), (0.2, None), (0.4, Some(14)), (0.8, None)] {
+        variants.push(Variant::new(
+            format!("{:.0}% unused", fraction * 100.0),
+            Some(Technique::sectored_cache(fraction).expect("valid")),
+            paper,
+        ));
+    }
+    variants
+}
+
 impl Experiment for Fig10Sectored {
     fn id(&self) -> &'static str {
         "fig10_sectored"
@@ -30,14 +43,7 @@ impl Experiment for Fig10Sectored {
 
     fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
-        let mut variants = vec![Variant::new("0% unused", None, Some(11))];
-        for (fraction, paper) in [(0.1, None), (0.2, None), (0.4, Some(14)), (0.8, None)] {
-            variants.push(Variant::new(
-                format!("{:.0}% unused", fraction * 100.0),
-                Some(Technique::sectored_cache(fraction).expect("valid")),
-                paper,
-            ));
-        }
+        let variants = variants();
         let (table, results) = sweep_block(&variants)?;
         report.table(table);
         report.blank();

@@ -15,6 +15,28 @@ use bandwall_model::Technique;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Fig12CacheLink;
 
+/// The figure's sweep points (also served by `POST /v1/sweep`).
+pub fn variants() -> Vec<Variant> {
+    let mut variants = vec![Variant::new("No Compress", None, Some(11))];
+    for (ratio, paper) in [
+        (1.25, None),
+        (1.5, None),
+        (1.75, None),
+        (2.0, Some(18)),
+        (2.5, None),
+        (3.0, None),
+        (3.5, None),
+        (4.0, None),
+    ] {
+        variants.push(Variant::new(
+            format!("{ratio}x"),
+            Some(Technique::cache_link_compression(ratio).expect("valid")),
+            paper,
+        ));
+    }
+    variants
+}
+
 impl Experiment for Fig12CacheLink {
     fn id(&self) -> &'static str {
         "fig12_cache_link"
@@ -30,23 +52,7 @@ impl Experiment for Fig12CacheLink {
 
     fn run(&self) -> Result<Report, ExperimentError> {
         let mut report = Report::new(self.id(), self.figure(), self.title());
-        let mut variants = vec![Variant::new("No Compress", None, Some(11))];
-        for (ratio, paper) in [
-            (1.25, None),
-            (1.5, None),
-            (1.75, None),
-            (2.0, Some(18)),
-            (2.5, None),
-            (3.0, None),
-            (3.5, None),
-            (4.0, None),
-        ] {
-            variants.push(Variant::new(
-                format!("{ratio}x"),
-                Some(Technique::cache_link_compression(ratio).expect("valid")),
-                paper,
-            ));
-        }
+        let variants = variants();
         let (table, results) = sweep_block(&variants)?;
         report.table(table);
         add_paper_metrics(&mut report, &variants, &results);

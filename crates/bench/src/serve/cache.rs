@@ -6,22 +6,39 @@
 //! encodings — the 64-bit digest only picks the shard, so a digest
 //! collision costs a shared shard, never a wrong answer.
 //!
-//! Capacity is bounded per shard; a full shard evicts an arbitrary
-//! resident entry (cheap, lock-local, and good enough for a memo cache
-//! where any resident entry is a valid thing to forget). Locks recover
+//! Capacity is bounded per shard; a full shard evicts its
+//! **oldest-inserted** resident entry (FIFO). The obvious cheaper
+//! policy — evict whatever `HashMap::keys().next()` returns — is a
+//! trap: repeated evictions sweep the table's occupied slots in bucket
+//! order, and when that cursor wraps to the low indices it lands on
+//! the *most recently inserted* keys, so a saturated cache starts
+//! systematically forgetting exactly the entries it just memoized
+//! (observed as a multi-variant sweep evicting its own rows between
+//! warmup and first reuse). The FIFO ring guarantees a fresh entry
+//! survives a full shard-capacity of subsequent inserts. Locks recover
 //! from poisoning so a panicking worker cannot wedge the cache.
 
 use bandwall_model::CanonicalProblem;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 const SHARDS: usize = 16;
 
+/// One lock's worth of cache: the body map plus the FIFO insertion
+/// ring that picks eviction victims. The ring may briefly hold stale
+/// keys (a concurrent double-put of the same problem); eviction skips
+/// any front key no longer resident.
+#[derive(Debug, Default)]
+struct Shard {
+    bodies: HashMap<CanonicalProblem, Arc<str>>,
+    order: VecDeque<CanonicalProblem>,
+}
+
 /// A bounded, sharded `CanonicalProblem -> response body` cache.
 #[derive(Debug)]
 pub struct SolveCache {
-    shards: Vec<Mutex<HashMap<CanonicalProblem, Arc<str>>>>,
+    shards: Vec<Mutex<Shard>>,
     per_shard_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -32,14 +49,14 @@ impl SolveCache {
     /// A zero capacity disables memoization (every lookup misses).
     pub fn new(capacity: usize) -> Self {
         SolveCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             per_shard_capacity: capacity.div_ceil(SHARDS),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, key: &CanonicalProblem) -> &Mutex<HashMap<CanonicalProblem, Arc<str>>> {
+    fn shard(&self, key: &CanonicalProblem) -> &Mutex<Shard> {
         &self.shards[(key.digest() % SHARDS as u64) as usize]
     }
 
@@ -49,6 +66,7 @@ impl SolveCache {
             .shard(key)
             .lock()
             .unwrap_or_else(|p| p.into_inner())
+            .bodies
             .get(key)
             .cloned();
         match found {
@@ -63,26 +81,38 @@ impl SolveCache {
         }
     }
 
-    /// Memoizes `body` under `key`, evicting an arbitrary resident entry
-    /// if the shard is full. With zero capacity this is a no-op.
+    /// Memoizes `body` under `key`, evicting the shard's oldest-inserted
+    /// entry if it is full. With zero capacity this is a no-op.
     pub fn put(&self, key: CanonicalProblem, body: Arc<str>) {
         if self.per_shard_capacity == 0 {
             return;
         }
         let mut shard = self.shard(&key).lock().unwrap_or_else(|p| p.into_inner());
-        if shard.len() >= self.per_shard_capacity && !shard.contains_key(&key) {
-            if let Some(evict) = shard.keys().next().cloned() {
-                shard.remove(&evict);
+        if let Some(resident) = shard.bodies.get_mut(&key) {
+            // Refresh in place (a double-put race): residency and the
+            // ring position are already established.
+            *resident = body;
+            return;
+        }
+        while shard.bodies.len() >= self.per_shard_capacity {
+            match shard.order.pop_front() {
+                // A stale ring entry (already replaced) frees nothing;
+                // keep popping until a resident victim is evicted.
+                Some(oldest) => {
+                    shard.bodies.remove(&oldest);
+                }
+                None => break,
             }
         }
-        shard.insert(key, body);
+        shard.order.push_back(key.clone());
+        shard.bodies.insert(key, body);
     }
 
     /// Total memoized entries across all shards.
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).len())
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).bodies.len())
             .sum()
     }
 
@@ -142,6 +172,29 @@ mod tests {
         // div_ceil(16, SHARDS) = 1 entry per shard at most.
         assert!(cache.len() <= 16, "resident {}", cache.len());
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn saturated_cache_keeps_its_newest_entries() {
+        // The sweep-eviction regression: saturate every shard well past
+        // capacity, then insert a burst of fresh keys (a warmed sweep's
+        // variants) and immediately read them back. FIFO eviction must
+        // sacrifice old entries, never the burst itself.
+        let cache = SolveCache::new(64);
+        for i in 0..10_000 {
+            cache.put(key(f64::from(i) + 1.0), Arc::from("old"));
+        }
+        let burst: Vec<_> = (0..4).map(|i| key(20_000.0 + f64::from(i))).collect();
+        for k in &burst {
+            cache.put(k.clone(), Arc::from("fresh"));
+        }
+        for k in &burst {
+            assert_eq!(
+                cache.get(k).as_deref(),
+                Some("fresh"),
+                "a saturated shard evicted a just-inserted entry"
+            );
+        }
     }
 
     #[test]

@@ -234,10 +234,14 @@ impl Response {
         }
     }
 
-    /// Serialises status line, headers, and body into one buffer (a
-    /// single `write_all`, so a response is never interleaved).
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = format!(
+    /// Serialises status line, headers, and body into `out`, clearing it
+    /// first. Workers reuse one buffer across a connection's keep-alive
+    /// lifetime, so the hot path allocates nothing once the buffer has
+    /// grown to the working-set response size.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        let _ = write!(
+            out,
             "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
             self.reason(),
@@ -245,11 +249,17 @@ impl Response {
             if self.close { "close" } else { "keep-alive" },
         );
         if let Some(cache) = self.cache {
-            out.push_str(&format!("x-bandwall-cache: {cache}\r\n"));
+            let _ = write!(out, "x-bandwall-cache: {cache}\r\n");
         }
-        out.push_str("\r\n");
-        let mut bytes = out.into_bytes();
-        bytes.extend_from_slice(self.body.as_bytes());
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(self.body.as_bytes());
+    }
+
+    /// Serialises status line, headers, and body into one fresh buffer
+    /// (a single `write_all`, so a response is never interleaved).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(128 + self.body.len());
+        self.encode_into(&mut bytes);
         bytes
     }
 
@@ -261,6 +271,22 @@ impl Response {
     /// client and closes).
     pub fn write_to<W: Write>(&self, writer: &mut W) -> std::io::Result<()> {
         writer.write_all(&self.to_bytes())?;
+        writer.flush()
+    }
+
+    /// Like [`Response::write_to`], but serialises through the caller's
+    /// reusable buffer instead of allocating one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn write_buffered<W: Write>(
+        &self,
+        writer: &mut W,
+        buffer: &mut Vec<u8>,
+    ) -> std::io::Result<()> {
+        self.encode_into(buffer);
+        writer.write_all(buffer)?;
         writer.flush()
     }
 }
@@ -373,6 +399,17 @@ mod tests {
         assert!(String::from_utf8(hit.to_bytes())
             .unwrap()
             .contains("x-bandwall-cache: hit\r\n"));
+    }
+
+    #[test]
+    fn encode_into_reuses_the_buffer_and_matches_to_bytes() {
+        let mut buffer = b"stale bytes from the previous response".to_vec();
+        let r = Response::ok("{\"status\":\"ok\"}".into());
+        r.encode_into(&mut buffer);
+        assert_eq!(buffer, r.to_bytes());
+        let tiny = Response::ok("{}".into());
+        tiny.encode_into(&mut buffer);
+        assert_eq!(buffer, tiny.to_bytes(), "clears before encoding");
     }
 
     #[test]

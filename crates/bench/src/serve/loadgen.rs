@@ -4,18 +4,109 @@
 //! One driver, two front ends: `bandwall bench serve` starts an
 //! in-process [`crate::serve::Server`] and points the driver at it;
 //! `bandwall loadgen --addr` points it at an already-running server
-//! over real TCP. Either way the driver measures the same four
-//! kernels — health-check latency, cold-solve latency, memoized-solve
-//! latency, and a concurrent throughput batch — and *validates* as it
-//! measures: every reply must be a 200 with the expected cache header,
-//! and every memoized body must be byte-identical to the first solve
-//! of that problem. A protocol violation fails the run, so the driver
-//! doubles as an end-to-end correctness check.
+//! over real TCP. Either way the driver measures per-endpoint kernels —
+//! health-check latency, cold and memoized solve latency, cold and
+//! memoized sweep latency, a mixed partial-failure batch, and a
+//! concurrent throughput batch — and *validates* as it measures: every
+//! reply must carry the expected status and cache header, every
+//! memoized body must be byte-identical to the first reply for that
+//! problem, and every batch slot must hold the envelope its job earned.
+//! A protocol violation fails the run, so the driver doubles as an
+//! end-to-end correctness check.
+//!
+//! `--endpoint` narrows the run to one POST endpoint's kernels;
+//! `--mix solve=7,sweep=2,batch=1` interleaves endpoints on one
+//! connection and reports *per-endpoint* latency percentiles instead of
+//! a single aggregate.
 
 use crate::perf::{BenchOptions, BenchResult};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
+
+/// Which POST endpoints a loadgen run exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EndpointSelection {
+    /// Every kernel (the default).
+    #[default]
+    All,
+    /// Only the `/v1/solve` kernels (plus health check and throughput).
+    Solve,
+    /// Only the `/v1/sweep` kernels.
+    Sweep,
+    /// Only the `/v1/batch` kernel.
+    Batch,
+}
+
+impl EndpointSelection {
+    /// Parses a `--endpoint` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the allowed values.
+    pub fn parse(value: &str) -> Result<Self, String> {
+        match value {
+            "all" => Ok(EndpointSelection::All),
+            "solve" => Ok(EndpointSelection::Solve),
+            "sweep" => Ok(EndpointSelection::Sweep),
+            "batch" => Ok(EndpointSelection::Batch),
+            other => Err(format!(
+                "unknown endpoint '{other}' (allowed: all, solve, sweep, batch)"
+            )),
+        }
+    }
+}
+
+/// Relative request weights for a `--mix` run. A zero weight skips the
+/// endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixWeights {
+    /// `/v1/solve` share.
+    pub solve: u32,
+    /// `/v1/sweep` share.
+    pub sweep: u32,
+    /// `/v1/batch` share.
+    pub batch: u32,
+}
+
+impl MixWeights {
+    /// Parses a `--mix` value like `solve=7,sweep=2,batch=1`; omitted
+    /// endpoints get weight 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown endpoints, bad weights, or an
+    /// all-zero mix.
+    pub fn parse(value: &str) -> Result<Self, String> {
+        let mut mix = MixWeights {
+            solve: 0,
+            sweep: 0,
+            batch: 0,
+        };
+        for part in value.split(',') {
+            let (name, weight) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad mix entry '{part}' (want endpoint=weight)"))?;
+            let weight: u32 = weight
+                .parse()
+                .map_err(|_| format!("bad mix weight '{weight}' for '{name}'"))?;
+            match name {
+                "solve" => mix.solve = weight,
+                "sweep" => mix.sweep = weight,
+                "batch" => mix.batch = weight,
+                other => {
+                    return Err(format!(
+                        "unknown mix endpoint '{other}' (allowed: solve, sweep, batch)"
+                    ))
+                }
+            }
+        }
+        if mix.solve == 0 && mix.sweep == 0 && mix.batch == 0 {
+            return Err("mix needs at least one nonzero weight".to_string());
+        }
+        Ok(mix)
+    }
+}
 
 /// How much load to generate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,6 +115,11 @@ pub struct LoadgenOptions {
     pub connections: usize,
     /// Requests per latency kernel (and per throughput batch).
     pub requests: usize,
+    /// Which POST endpoints to exercise.
+    pub endpoint: EndpointSelection,
+    /// When set, run the weighted-mix kernel and report per-endpoint
+    /// percentiles (replaces the per-endpoint kernels).
+    pub mix: Option<MixWeights>,
 }
 
 impl LoadgenOptions {
@@ -32,6 +128,8 @@ impl LoadgenOptions {
         LoadgenOptions {
             connections: 4,
             requests: 2_000,
+            endpoint: EndpointSelection::All,
+            mix: None,
         }
     }
 
@@ -40,6 +138,7 @@ impl LoadgenOptions {
         LoadgenOptions {
             connections: 2,
             requests: 200,
+            ..Self::standard()
         }
     }
 
@@ -49,6 +148,7 @@ impl LoadgenOptions {
         LoadgenOptions {
             connections: 4,
             requests: (options.accesses / 200).clamp(100, 5_000),
+            ..Self::standard()
         }
     }
 }
@@ -178,14 +278,39 @@ impl Client {
 }
 
 /// A solve body that is unique per `i` (so it always misses the memo
-/// cache) yet always valid and quick to solve.
+/// cache) yet always valid and quick to solve. The `1/128` offset
+/// keeps the cold lattice disjoint from any integer-`total_ceas`
+/// problem a smoke probe may have warmed before loadgen ran (e.g. the
+/// CI `curl` of the fig05 sweep memoizes its `total_ceas: 32` base,
+/// which a plain `24 + i/8` lattice would land on at `i = 64`).
 fn cold_body(i: usize) -> String {
-    format!("{{\"total_ceas\":{}}}", 24.0 + i as f64 / 8.0)
+    format!("{{\"total_ceas\":{}}}", 24.0078125 + i as f64 / 8.0)
 }
 
 /// The repeated problem for the memoized kernel: the paper's 16× DRAM
 /// cache headline configuration.
 const MEMO_BODY: &str = r#"{"total_ceas":256,"techniques":[{"kind":"dram_cache","density":8}]}"#;
+
+/// The repeated sweep for the memoized-sweep kernel: the Figure 5 DRAM
+/// cache catalogue sweep.
+const MEMO_SWEEP_BODY: &str = r#"{"sweep":"fig05_dram_cache"}"#;
+
+/// A two-variant custom sweep over a base problem unique per `i`, so
+/// both variants miss the memo cache. Offset off the integer lattice
+/// for the same probe-collision reason as [`cold_body`] (and off
+/// `cold_body`'s own `1/128` lattice).
+fn cold_sweep_body(i: usize) -> String {
+    format!(
+        "{{\"base\":{{\"total_ceas\":{}}},\"variants\":[{{\"label\":\"base\"}},\
+         {{\"technique\":{{\"kind\":\"dram_cache\",\"density\":8}}}}]}}",
+        512.00390625 + i as f64 / 8.0
+    )
+}
+
+/// The mixed batch: two jobs that succeed and one that must come back
+/// as an `invalid_request` envelope in its slot — every batch request
+/// doubles as a partial-failure check.
+const BATCH_BODY: &str = r#"{"jobs":[{"kind":"solve","problem":{"total_ceas":256,"techniques":[{"kind":"dram_cache","density":8}]}},{"kind":"sweep","sweep":"fig04_cache_compression"},{"kind":"solve","problem":{"total_ceas":-1}}]}"#;
 
 fn expect_ok(what: &str, response: &ClientResponse) -> Result<(), String> {
     if response.status != 200 {
@@ -197,102 +322,75 @@ fn expect_ok(what: &str, response: &ClientResponse) -> Result<(), String> {
     Ok(())
 }
 
-/// Runs the four serve kernels against `addr`. The returned results
-/// plug straight into a `serve` [`crate::perf::BenchGroup`].
+fn expect_cache(what: &str, response: &ClientResponse, want: &str) -> Result<(), String> {
+    if response.cache.as_deref() != Some(want) {
+        return Err(format!(
+            "{what}: expected a cache {want}, got {:?}",
+            response.cache
+        ));
+    }
+    Ok(())
+}
+
+/// Checks a batch reply: 200, exactly one error slot (the intentionally
+/// infeasible job), two ok slots.
+fn check_batch_reply(what: &str, response: &ClientResponse) -> Result<(), String> {
+    expect_ok(what, response)?;
+    let errors = response.body.matches("\"status\":\"error\"").count();
+    let oks = response.body.matches("\"status\":\"ok\"").count();
+    if errors != 1 || !response.body.contains("\"kind\":\"invalid_request\"") {
+        return Err(format!(
+            "{what}: expected exactly one invalid_request slot, got {errors} error slots in {}",
+            response.body
+        ));
+    }
+    // The envelope itself plus the two good jobs.
+    if oks != 3 {
+        return Err(format!(
+            "{what}: expected 2 ok slots inside the envelope, body {}",
+            response.body
+        ));
+    }
+    Ok(())
+}
+
+/// One latency kernel: `requests` sequential requests on a keep-alive
+/// connection, each validated by `check`.
+fn latency_kernel(
+    client: &mut Client,
+    requests: usize,
+    method: &'static str,
+    path: &'static str,
+    body: impl Fn(usize) -> Option<String>,
+    mut check: impl FnMut(usize, &ClientResponse) -> Result<(), String>,
+) -> Result<Vec<u64>, String> {
+    let mut samples = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let body = body(i);
+        let start = Instant::now();
+        let response = client.request(method, path, body.as_deref())?;
+        samples.push(start.elapsed().as_nanos() as u64);
+        check(i, &response)?;
+    }
+    Ok(samples)
+}
+
+/// The concurrent throughput kernel: `connections` clients each issue
+/// their share of a batch of memoized solves; the sample is the whole
+/// batch's wall time. Three batches give a coarse spread. Standalone so
+/// the bench harness can run it against differently-sharded servers
+/// under distinct kernel ids.
 ///
 /// # Errors
 ///
-/// Returns a message on any connection failure or protocol violation
-/// (wrong status, wrong cache header, memoized body drift).
-pub fn run_against(
+/// Returns a message on any connection failure or non-200 reply.
+pub fn throughput_result(
     addr: &SocketAddr,
     options: &LoadgenOptions,
-) -> Result<Vec<BenchResult>, String> {
+    id: impl Into<String>,
+    flavor: &str,
+) -> Result<BenchResult, String> {
     let requests = options.requests.max(10);
-    let mut results = Vec::new();
-
-    // Kernel 1: health-check latency (protocol floor).
-    let mut client = Client::connect(addr)?;
-    let mut samples = Vec::with_capacity(requests);
-    for _ in 0..requests {
-        let start = Instant::now();
-        let response = client.request("GET", "/healthz", None)?;
-        samples.push(start.elapsed().as_nanos() as u64);
-        expect_ok("healthz", &response)?;
-    }
-    results.push(BenchResult::from_samples(
-        "serve_healthz",
-        format!("GET /healthz over one keep-alive connection, {requests} requests"),
-        1,
-        1,
-        "requests",
-        samples,
-    ));
-
-    // Kernel 2: cold solves — every request is a distinct problem, so
-    // every reply must be a cache miss.
-    let mut samples = Vec::with_capacity(requests);
-    for i in 0..requests {
-        let body = cold_body(i);
-        let start = Instant::now();
-        let response = client.request("POST", "/solve", Some(&body))?;
-        samples.push(start.elapsed().as_nanos() as u64);
-        expect_ok("cold solve", &response)?;
-        if response.cache.as_deref() != Some("miss") {
-            return Err(format!(
-                "cold solve {i}: expected a cache miss, got {:?}",
-                response.cache
-            ));
-        }
-    }
-    results.push(BenchResult::from_samples(
-        "serve_solve_cold",
-        format!("POST /solve, {requests} distinct problems (cache misses)"),
-        1,
-        1,
-        "requests",
-        samples,
-    ));
-
-    // Kernel 3: memoized solves — one problem repeated; after the
-    // warming request every reply must be a hit, byte-identical to the
-    // first body.
-    let warm = client.request("POST", "/solve", Some(MEMO_BODY))?;
-    expect_ok("memo warmup", &warm)?;
-    let reference = warm.body.clone();
-    let mut samples = Vec::with_capacity(requests);
-    for i in 0..requests {
-        let start = Instant::now();
-        let response = client.request("POST", "/solve", Some(MEMO_BODY))?;
-        samples.push(start.elapsed().as_nanos() as u64);
-        expect_ok("memoized solve", &response)?;
-        if response.cache.as_deref() != Some("hit") {
-            return Err(format!(
-                "memoized solve {i}: expected a cache hit, got {:?}",
-                response.cache
-            ));
-        }
-        if response.body != reference {
-            return Err(format!(
-                "memoized solve {i}: body drifted from the uncached reply\n\
-                 cached:   {}\nuncached: {reference}",
-                response.body
-            ));
-        }
-    }
-    results.push(BenchResult::from_samples(
-        "serve_solve_memoized",
-        format!("POST /solve, one problem repeated {requests} times (cache hits)"),
-        1,
-        1,
-        "requests",
-        samples,
-    ));
-    drop(client);
-
-    // Kernel 4: concurrent throughput — `connections` clients each
-    // issue their share of a batch; the sample is the whole batch's
-    // wall time. Three batches give a coarse spread.
     let connections = options.connections.max(1);
     let per_connection = requests.div_ceil(connections);
     let total = (per_connection * connections) as u64;
@@ -319,13 +417,281 @@ pub fn run_against(
         }
         batch_samples.push(start.elapsed().as_nanos() as u64);
     }
-    results.push(BenchResult::from_samples(
-        format!("serve_throughput_c{connections}"),
-        format!("{connections} concurrent connections, {total} memoized solves per batch"),
+    Ok(BenchResult::from_samples(
+        id,
+        format!("{connections} concurrent connections, {total} memoized solves per batch{flavor}"),
         connections,
         total,
         "requests",
         batch_samples,
+    ))
+}
+
+/// The weighted-mix kernel: interleaves solve/sweep/batch requests on
+/// one connection in a deterministic cycle derived from the weights and
+/// reports per-endpoint percentiles (`serve_mix_solve`, ...), so a
+/// mixed workload's tail latency is attributable per endpoint.
+fn mix_results(
+    client: &mut Client,
+    requests: usize,
+    mix: &MixWeights,
+) -> Result<Vec<BenchResult>, String> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Step {
+        Solve,
+        Sweep,
+        Batch,
+    }
+    let mut cycle = Vec::new();
+    let weights = [
+        (Step::Solve, mix.solve),
+        (Step::Sweep, mix.sweep),
+        (Step::Batch, mix.batch),
+    ];
+    // Interleave round-robin so a cycle like 7/2/1 doesn't serialise
+    // into long same-endpoint runs.
+    let mut remaining = weights;
+    while remaining.iter().any(|(_, w)| *w > 0) {
+        for (step, weight) in &mut remaining {
+            if *weight > 0 {
+                cycle.push(*step);
+                *weight -= 1;
+            }
+        }
+    }
+    let mut samples = [Vec::new(), Vec::new(), Vec::new()];
+    for i in 0..requests {
+        let step = cycle[i % cycle.len()];
+        let (path, body, slot): (_, _, usize) = match step {
+            Step::Solve => ("/v1/solve", MEMO_BODY.to_string(), 0),
+            Step::Sweep => ("/v1/sweep", MEMO_SWEEP_BODY.to_string(), 1),
+            Step::Batch => ("/v1/batch", BATCH_BODY.to_string(), 2),
+        };
+        let start = Instant::now();
+        let response = client.request("POST", path, Some(&body))?;
+        samples[slot].push(start.elapsed().as_nanos() as u64);
+        match step {
+            Step::Batch => check_batch_reply("mix batch", &response)?,
+            _ => expect_ok("mix request", &response)?,
+        }
+    }
+    let mut results = Vec::new();
+    for (slot, name) in [(0, "solve"), (1, "sweep"), (2, "batch")] {
+        let taken = std::mem::take(&mut samples[slot]);
+        if taken.is_empty() {
+            continue;
+        }
+        results.push(BenchResult::from_samples(
+            format!("serve_mix_{name}"),
+            format!(
+                "{name} share of a {}:{}:{} mix, {} requests",
+                mix.solve,
+                mix.sweep,
+                mix.batch,
+                taken.len()
+            ),
+            1,
+            1,
+            "requests",
+            taken,
+        ));
+    }
+    Ok(results)
+}
+
+/// Runs the serve kernels selected by `options` against `addr`. The
+/// returned results plug straight into a `serve`
+/// [`crate::perf::BenchGroup`].
+///
+/// # Errors
+///
+/// Returns a message on any connection failure or protocol violation
+/// (wrong status, wrong cache header, memoized body drift, batch slot
+/// mismatch).
+pub fn run_against(
+    addr: &SocketAddr,
+    options: &LoadgenOptions,
+) -> Result<Vec<BenchResult>, String> {
+    let requests = options.requests.max(10);
+    let selection = options.endpoint;
+    let mut results = Vec::new();
+
+    // Health-check latency (protocol floor) leads every run.
+    let mut client = Client::connect(addr)?;
+    let samples = latency_kernel(
+        &mut client,
+        requests,
+        "GET",
+        "/healthz",
+        |_| None,
+        |_, response| expect_ok("healthz", response),
+    )?;
+    results.push(BenchResult::from_samples(
+        "serve_healthz",
+        format!("GET /healthz over one keep-alive connection, {requests} requests"),
+        1,
+        1,
+        "requests",
+        samples,
     ));
+
+    if let Some(mix) = &options.mix {
+        results.extend(mix_results(&mut client, requests, mix)?);
+        drop(client);
+        results.push(throughput_result(
+            addr,
+            options,
+            format!("serve_throughput_c{}", options.connections.max(1)),
+            "",
+        )?);
+        return Ok(results);
+    }
+
+    if matches!(selection, EndpointSelection::All | EndpointSelection::Solve) {
+        // Cold solves — every request is a distinct problem, so every
+        // reply must be a cache miss.
+        let samples = latency_kernel(
+            &mut client,
+            requests,
+            "POST",
+            "/solve",
+            |i| Some(cold_body(i)),
+            |i, response| {
+                expect_ok("cold solve", response)?;
+                expect_cache(&format!("cold solve {i}"), response, "miss")
+            },
+        )?;
+        results.push(BenchResult::from_samples(
+            "serve_solve_cold",
+            format!("POST /solve, {requests} distinct problems (cache misses)"),
+            1,
+            1,
+            "requests",
+            samples,
+        ));
+
+        // Memoized solves — one problem repeated; after the warming
+        // request every reply must be a hit, byte-identical to the
+        // first body.
+        let warm = client.request("POST", "/solve", Some(MEMO_BODY))?;
+        expect_ok("memo warmup", &warm)?;
+        let reference = warm.body.clone();
+        let samples = latency_kernel(
+            &mut client,
+            requests,
+            "POST",
+            "/solve",
+            |_| Some(MEMO_BODY.to_string()),
+            |i, response| {
+                expect_ok("memoized solve", response)?;
+                expect_cache(&format!("memoized solve {i}"), response, "hit")?;
+                if response.body != reference {
+                    return Err(format!(
+                        "memoized solve {i}: body drifted from the uncached reply\n\
+                         cached:   {}\nuncached: {reference}",
+                        response.body
+                    ));
+                }
+                Ok(())
+            },
+        )?;
+        results.push(BenchResult::from_samples(
+            "serve_solve_memoized",
+            format!("POST /solve, one problem repeated {requests} times (cache hits)"),
+            1,
+            1,
+            "requests",
+            samples,
+        ));
+    }
+
+    if matches!(selection, EndpointSelection::All | EndpointSelection::Sweep) {
+        // Cold sweeps — a fresh base problem each request, so at least
+        // one variant misses and the reply is marked "miss".
+        let samples = latency_kernel(
+            &mut client,
+            requests,
+            "POST",
+            "/v1/sweep",
+            |i| Some(cold_sweep_body(i)),
+            |i, response| {
+                expect_ok("cold sweep", response)?;
+                expect_cache(&format!("cold sweep {i}"), response, "miss")
+            },
+        )?;
+        results.push(BenchResult::from_samples(
+            "serve_sweep_cold",
+            format!("POST /v1/sweep, {requests} two-variant sweeps over distinct bases"),
+            1,
+            1,
+            "requests",
+            samples,
+        ));
+
+        // Memoized sweeps — the Figure 5 catalogue sweep repeated;
+        // after the warming request every variant hits and the body
+        // must not drift.
+        let warm = client.request("POST", "/v1/sweep", Some(MEMO_SWEEP_BODY))?;
+        expect_ok("sweep warmup", &warm)?;
+        let reference = warm.body.clone();
+        let samples = latency_kernel(
+            &mut client,
+            requests,
+            "POST",
+            "/v1/sweep",
+            |_| Some(MEMO_SWEEP_BODY.to_string()),
+            |i, response| {
+                expect_ok("memoized sweep", response)?;
+                expect_cache(&format!("memoized sweep {i}"), response, "hit")?;
+                if response.body != reference {
+                    return Err(format!(
+                        "memoized sweep {i}: body drifted from the first reply\n\
+                         cached: {}\nfirst:  {reference}",
+                        response.body
+                    ));
+                }
+                Ok(())
+            },
+        )?;
+        results.push(BenchResult::from_samples(
+            "serve_sweep_memoized",
+            format!("POST /v1/sweep, fig05_dram_cache repeated {requests} times (cache hits)"),
+            1,
+            1,
+            "requests",
+            samples,
+        ));
+    }
+
+    if matches!(selection, EndpointSelection::All | EndpointSelection::Batch) {
+        // Mixed batches — each request fans three jobs out and must
+        // come back 200 with exactly one error slot (partial failure).
+        let samples = latency_kernel(
+            &mut client,
+            requests,
+            "POST",
+            "/v1/batch",
+            |_| Some(BATCH_BODY.to_string()),
+            |i, response| check_batch_reply(&format!("batch {i}"), response),
+        )?;
+        results.push(BenchResult::from_samples(
+            "serve_batch_mixed",
+            format!(
+                "POST /v1/batch, {requests} three-job batches (one slot an intentional failure)"
+            ),
+            1,
+            1,
+            "requests",
+            samples,
+        ));
+    }
+    drop(client);
+
+    results.push(throughput_result(
+        addr,
+        options,
+        format!("serve_throughput_c{}", options.connections.max(1)),
+        "",
+    )?);
     Ok(results)
 }

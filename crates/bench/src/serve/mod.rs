@@ -1,24 +1,30 @@
 //! `bandwall serve`: an overload-safe model-query service.
 //!
 //! A std-only TCP/HTTP-JSON front end over the analytical model, built
-//! for graceful degradation rather than peak throughput:
+//! for graceful degradation first and throughput second:
 //!
-//! * a nonblocking **acceptor** admits connections into a
-//!   [`queue::BoundedQueue`] and *sheds* the excess with
-//!   an immediate `overloaded` reply — queue depth, not client count,
-//!   bounds memory;
-//! * N run-to-completion **workers** drain the queue,
-//!   enforce per-request deadlines, and contain handler panics;
+//! * one or more nonblocking **acceptors** (one per shard, sharing the
+//!   listening socket) admit connections into per-shard
+//!   [`queue::BoundedQueue`]s in batches — one lock acquisition and one
+//!   wakeup per accept burst — and *shed* the excess with an immediate
+//!   `overloaded` reply once every shard is full: queue depth, not
+//!   client count, bounds memory;
+//! * N run-to-completion **workers** (partitioned across the shards)
+//!   drain the queues, enforce per-request deadlines, and contain
+//!   handler panics;
 //! * a **supervisor** respawns workers that die (chaos or otherwise)
-//!   with doubling backoff;
+//!   with doubling backoff, keeping each respawn on its shard;
 //! * a memo **cache** ([`cache`]) keyed by canonical problem encodings
-//!   returns byte-identical bodies for repeated queries;
-//! * shutdown is a flag flip: the acceptor closes the port, the queue
-//!   closes, workers drain in-flight work, and [`Server::join`] returns.
+//!   returns byte-identical bodies for repeated queries — shared by
+//!   `/v1/solve` and every `/v1/sweep` variant;
+//! * shutdown is a flag flip: the acceptors close the port, the queues
+//!   close, workers drain in-flight work, and [`Server::join`] returns.
 //!
-//! Endpoints: `GET /healthz`, `GET /readyz`, `POST /solve` (see
-//! [`api`]). Every reply — including every failure — is a well-formed
-//! JSON envelope.
+//! Endpoints are the versioned route table in [`api`]: `GET /healthz`,
+//! `GET /readyz`, `GET /v1/techniques`, `POST /v1/solve` (with the
+//! legacy `POST /solve` alias), `POST /v1/sweep`, `POST /v1/batch`.
+//! Every reply — including every failure — is a well-formed JSON
+//! envelope.
 
 pub mod api;
 pub mod cache;
@@ -29,7 +35,7 @@ pub mod queue;
 mod worker;
 
 use crate::fault::ChaosSpec;
-use crate::serve::api::error_body;
+use crate::serve::api::{error_body, ErrorKind};
 use crate::serve::cache::SolveCache;
 use crate::serve::http::Response;
 use crate::serve::queue::{BoundedQueue, PushError};
@@ -40,6 +46,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Most connections one acceptor pass admits under a single queue lock.
+const ACCEPT_BATCH: usize = 16;
+
 /// How the server runs; every knob has a CLI flag.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -47,7 +56,12 @@ pub struct ServeConfig {
     pub addr: String,
     /// Worker thread count.
     pub workers: usize,
-    /// Bounded-queue capacity (connections awaiting a worker).
+    /// Admission shards: each gets its own acceptor thread and queue,
+    /// splitting the accept path's lock. Clamped to the worker count;
+    /// 1 (the default) reproduces the single-acceptor layout.
+    pub shards: usize,
+    /// Bounded-queue capacity (connections awaiting a worker), divided
+    /// across the shards.
     pub queue_capacity: usize,
     /// Per-request deadline (queue wait counts for a connection's first
     /// request).
@@ -65,6 +79,7 @@ impl Default for ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:8787".to_string(),
             workers: 2,
+            shards: 1,
             queue_capacity: 64,
             deadline: Duration::from_secs(2),
             read_timeout: Duration::from_secs(5),
@@ -81,7 +96,8 @@ pub struct ServeStats {
     pub connections: AtomicU64,
     /// `200 OK` replies.
     pub served_ok: AtomicU64,
-    /// Connections refused with `overloaded` (queue full or closed).
+    /// Connections refused with `overloaded` (every shard full or
+    /// closed).
     pub shed: AtomicU64,
     /// `400/405/408/413 invalid_request` replies.
     pub invalid_request: AtomicU64,
@@ -131,11 +147,12 @@ pub(crate) struct Conn {
     pub accepted_at: Instant,
 }
 
-/// State shared by the acceptor, workers, and supervisor.
+/// State shared by the acceptors, workers, and supervisor.
 #[derive(Debug)]
 pub(crate) struct ServeContext {
     pub config: ServeConfig,
-    pub queue: BoundedQueue<Conn>,
+    /// One bounded queue per admission shard.
+    pub queues: Vec<BoundedQueue<Conn>>,
     pub cache: SolveCache,
     pub stats: ServeStats,
     shutdown: AtomicBool,
@@ -144,6 +161,13 @@ pub(crate) struct ServeContext {
 impl ServeContext {
     pub fn is_draining(&self) -> bool {
         self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Whether every shard's queue is at capacity — the readiness
+    /// probe's saturation signal (an acceptor spills across shards
+    /// before shedding, so one full shard is not saturation).
+    pub fn saturated(&self) -> bool {
+        self.queues.iter().all(BoundedQueue::is_full)
     }
 }
 
@@ -155,7 +179,7 @@ pub struct ShutdownHandle {
 }
 
 impl ShutdownHandle {
-    /// Flips the drain flag: the acceptor closes the port, queued and
+    /// Flips the drain flag: the acceptors close the port, queued and
     /// in-flight requests finish, idle connections close.
     pub fn shutdown(&self) {
         self.ctx.shutdown.store(true, Ordering::Relaxed);
@@ -168,36 +192,50 @@ impl ShutdownHandle {
 pub struct Server {
     ctx: Arc<ServeContext>,
     addr: SocketAddr,
-    acceptor: JoinHandle<()>,
+    acceptors: Vec<JoinHandle<()>>,
     supervisor: JoinHandle<()>,
 }
 
 impl Server {
-    /// Binds, spawns the acceptor, workers, and supervisor, and returns
-    /// once the server is accepting.
+    /// Binds, spawns the acceptors, workers, and supervisor, and
+    /// returns once the server is accepting.
     ///
     /// # Errors
     ///
     /// Propagates bind/configuration I/O errors.
-    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+    pub fn start(mut config: ServeConfig) -> std::io::Result<Server> {
+        let shards = config.shards.clamp(1, config.workers.max(1));
+        config.shards = shards;
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let queue_capacity = config.queue_capacity;
+        // Every shard accepts from the same socket through a clone; the
+        // port closes once the last acceptor drops its handle.
+        let mut listeners = Vec::with_capacity(shards);
+        for _ in 1..shards {
+            listeners.push(listener.try_clone()?);
+        }
+        listeners.push(listener);
+        let per_shard_capacity = config.queue_capacity.div_ceil(shards);
         let cache_capacity = config.cache_capacity;
         let ctx = Arc::new(ServeContext {
+            queues: (0..shards)
+                .map(|_| BoundedQueue::new(per_shard_capacity))
+                .collect(),
             config,
-            queue: BoundedQueue::new(queue_capacity),
             cache: SolveCache::new(cache_capacity),
             stats: ServeStats::default(),
             shutdown: AtomicBool::new(false),
         });
-        let acceptor = {
+        let mut acceptors = Vec::with_capacity(shards);
+        for (shard, listener) in listeners.into_iter().enumerate() {
             let ctx = Arc::clone(&ctx);
-            std::thread::Builder::new()
-                .name("bandwall-acceptor".into())
-                .spawn(move || acceptor_loop(listener, &ctx))?
-        };
+            acceptors.push(
+                std::thread::Builder::new()
+                    .name(format!("bandwall-acceptor-{shard}"))
+                    .spawn(move || acceptor_loop(listener, &ctx, shard))?,
+            );
+        }
         let supervisor = {
             let ctx = Arc::clone(&ctx);
             std::thread::Builder::new()
@@ -207,7 +245,7 @@ impl Server {
         Ok(Server {
             ctx,
             addr,
-            acceptor,
+            acceptors,
             supervisor,
         })
     }
@@ -234,9 +272,12 @@ impl Server {
     /// The port is closed and every worker has exited by the time this
     /// returns.
     pub fn join(self) -> StatsSnapshot {
-        // Acceptor exit closes the listener and then the queue; the
-        // supervisor exits once every worker has drained and finished.
-        let _ = self.acceptor.join();
+        // Each acceptor's exit drops its listener handle and closes its
+        // shard's queue; the supervisor exits once every worker has
+        // drained and finished.
+        for acceptor in self.acceptors {
+            let _ = acceptor.join();
+        }
         let _ = self.supervisor.join();
         snapshot_of(&self.ctx)
     }
@@ -260,36 +301,55 @@ fn snapshot_of(ctx: &ServeContext) -> StatsSnapshot {
     }
 }
 
-/// Accepts until drain, never blocking: new connections go to the
-/// bounded queue, the excess is shed with an immediate `overloaded`
+/// One shard's acceptor: accepts until drain, never blocking. Each pass
+/// drains the accept backlog into a batch and admits the whole batch to
+/// this shard's queue under one lock; the refused tail spills to
+/// sibling shards and only then is shed with an immediate `overloaded`
 /// reply written best-effort on a nonblocking socket.
-fn acceptor_loop(listener: TcpListener, ctx: &Arc<ServeContext>) {
+fn acceptor_loop(listener: TcpListener, ctx: &Arc<ServeContext>, shard: usize) {
+    let mut batch: Vec<Conn> = Vec::with_capacity(ACCEPT_BATCH);
     while !ctx.is_draining() {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let conn = Conn {
+        while batch.len() < ACCEPT_BATCH {
+            match listener.accept() {
+                Ok((stream, _)) => batch.push(Conn {
                     stream,
                     accepted_at: Instant::now(),
-                };
-                match ctx.queue.try_push(conn) {
-                    Ok(()) => {}
-                    Err(PushError::Full(conn)) | Err(PushError::Closed(conn)) => {
-                        ctx.stats.shed.fetch_add(1, Ordering::Relaxed);
-                        shed(conn.stream);
-                    }
-                }
+                }),
+                // WouldBlock (backlog drained) or a transient accept
+                // error: admit what we have.
+                Err(_) => break,
             }
-            Err(_) => {
-                // WouldBlock (no pending connection) or a transient
-                // accept error: nap briefly and re-poll the drain flag.
-                std::thread::sleep(Duration::from_millis(1));
+        }
+        if batch.is_empty() {
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        for conn in ctx.queues[shard].push_many(std::mem::take(&mut batch)) {
+            if let Some(conn) = spill(ctx, shard, conn) {
+                ctx.stats.shed.fetch_add(1, Ordering::Relaxed);
+                shed(conn.stream);
             }
         }
     }
-    // Dropping the listener here closes the port; closing the queue
-    // lets workers drain what was already admitted and then exit.
+    // Dropping the listener handle releases the port (fully closed once
+    // every shard's acceptor exits); closing this shard's queue lets
+    // its workers drain what was already admitted and then exit.
     drop(listener);
-    ctx.queue.close();
+    ctx.queues[shard].close();
+}
+
+/// Offers a connection the home shard refused to every sibling shard in
+/// round-robin order. Returns the connection back when all are full —
+/// only then is the server genuinely overloaded.
+fn spill(ctx: &ServeContext, home: usize, mut conn: Conn) -> Option<Conn> {
+    let shards = ctx.queues.len();
+    for step in 1..shards {
+        match ctx.queues[(home + step) % shards].try_push(conn) {
+            Ok(()) => return None,
+            Err(PushError::Full(back)) | Err(PushError::Closed(back)) => conn = back,
+        }
+    }
+    Some(conn)
 }
 
 /// Best-effort `503 overloaded` on a nonblocking socket. The reply is
@@ -302,7 +362,10 @@ fn shed(stream: TcpStream) {
     }
     let response = Response {
         status: 503,
-        body: error_body("overloaded", "request queue is full; retry with backoff"),
+        body: error_body(
+            ErrorKind::Overloaded,
+            "request queue is full; retry with backoff",
+        ),
         cache: None,
         close: true,
     };
@@ -311,33 +374,36 @@ fn shed(stream: TcpStream) {
     let _ = stream.flush();
 }
 
-/// Spawns the initial workers, then respawns any that die with a
-/// doubling backoff (10 ms → 500 ms, reset after a quiet scan).
-/// Returns once the queue is closed and every worker has exited
+/// Spawns the initial workers (worker *i* drains shard `i % shards`),
+/// then respawns any that die with a doubling backoff (10 ms → 500 ms,
+/// reset after a quiet scan), keeping each respawn on its shard.
+/// Returns once every queue is closed and every worker has exited
 /// normally — i.e. the drain is complete.
 fn supervisor_loop(ctx: &Arc<ServeContext>) {
     const BACKOFF_FLOOR: Duration = Duration::from_millis(10);
     const BACKOFF_CEIL: Duration = Duration::from_millis(500);
-    let spawn = |stream: u64| {
+    let shards = ctx.queues.len();
+    let spawn = |shard: usize, stream: u64| {
         let ctx = Arc::clone(ctx);
         std::thread::Builder::new()
             .name(format!("bandwall-worker-{stream}"))
-            .spawn(move || worker::worker_loop(ctx, stream))
+            .spawn(move || worker::worker_loop(ctx, shard, stream))
             .expect("spawning a worker thread")
     };
     let mut next_stream: u64 = 0;
-    let mut slots: Vec<Option<JoinHandle<()>>> = (0..ctx.config.workers.max(1))
-        .map(|_| {
-            let handle = spawn(next_stream);
+    let mut slots: Vec<(usize, Option<JoinHandle<()>>)> = (0..ctx.config.workers.max(1))
+        .map(|i| {
+            let shard = i % shards;
+            let handle = spawn(shard, next_stream);
             next_stream += 1;
-            Some(handle)
+            (shard, Some(handle))
         })
         .collect();
     let mut backoff = BACKOFF_FLOOR;
     loop {
         std::thread::sleep(Duration::from_millis(5));
         let mut respawned = false;
-        for slot in &mut slots {
+        for (shard, slot) in &mut slots {
             let finished = slot.as_ref().is_some_and(JoinHandle::is_finished);
             if !finished {
                 continue;
@@ -350,7 +416,7 @@ fn supervisor_loop(ctx: &Arc<ServeContext>) {
                 ctx.stats.worker_respawns.fetch_add(1, Ordering::Relaxed);
                 std::thread::sleep(backoff);
                 backoff = (backoff * 2).min(BACKOFF_CEIL);
-                *slot = Some(spawn(next_stream));
+                *slot = Some(spawn(*shard, next_stream));
                 next_stream += 1;
                 respawned = true;
             }
@@ -360,7 +426,7 @@ fn supervisor_loop(ctx: &Arc<ServeContext>) {
         if !respawned {
             backoff = BACKOFF_FLOOR;
         }
-        if ctx.queue.is_closed() && slots.iter().all(Option::is_none) {
+        if ctx.queues.iter().all(|q| q.is_closed()) && slots.iter().all(|(_, s)| s.is_none()) {
             return;
         }
     }

@@ -1,28 +1,37 @@
 //! Run-to-completion connection workers.
 //!
-//! Each worker pops accepted connections off the bounded queue and
-//! drives them to completion: keep-alive request loop, per-request
+//! Each worker pops accepted connections off its shard's bounded queue
+//! and drives them to completion: keep-alive request loop, per-request
 //! deadline enforcement, strict read limits, and panic containment
-//! (`catch_unwind` around the solve, so a handler panic — injected or
-//! organic — becomes a well-formed `internal` reply instead of a dead
-//! connection). Workers share no mutable state beyond the queue, the
-//! memo cache, and atomic counters; chaos faults are sampled from a
+//! (`catch_unwind` around the model work, so a handler panic — injected
+//! or organic — becomes a well-formed `internal` reply instead of a
+//! dead connection). Workers share no mutable state beyond the queues,
+//! the memo cache, and atomic counters; chaos faults are sampled from a
 //! per-worker deterministic [`Injector`].
+//!
+//! Requests dispatch through the versioned route table in
+//! [`crate::serve::api`]; each worker reuses one response buffer across
+//! a connection's keep-alive lifetime, so the hot path stops allocating
+//! once the buffer has grown to the working-set response size.
 //!
 //! The worker fault point fires *between* connections, outside the
 //! containment boundary, so an injected worker death exercises the
 //! supervisor's respawn path without ever eating a request.
 
 use crate::fault::{Fault, FaultPoint, Injector};
-use crate::serve::api::{error_body, parse_problem, solve_body};
+use crate::serve::api::{
+    batch_body, error_body, solve_fragment, sweep_body, techniques_body, wrap_ok, ApiError,
+    ApiRequest, BatchJob, BatchRequest, Endpoint, ErrorKind as ApiErrorKind, RouteMatch,
+    SweepRequest, SweepRow,
+};
 use crate::serve::http::{read_request, Limits, ReadError, Request, Response};
 use crate::serve::{Conn, ServeContext};
-use bandwall_model::CanonicalProblem;
+use bandwall_model::{CanonicalProblem, ScalingProblem};
 use std::io::{BufReader, ErrorKind};
 use std::net::TcpStream;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Request-head cap: 8 KiB covers any legitimate client.
@@ -31,21 +40,24 @@ const MAX_HEAD_BYTES: usize = 8 * 1024;
 const MAX_BODY_BYTES: usize = 64 * 1024;
 /// How often an idle keep-alive wait rechecks the drain flag.
 const IDLE_POLL: Duration = Duration::from_millis(50);
+/// Most threads one batch fans out over (further bounded by the batch's
+/// job count and the host's parallelism).
+const MAX_BATCH_FANOUT: usize = 8;
 
 pub(crate) const LIMITS: Limits = Limits {
     max_head_bytes: MAX_HEAD_BYTES,
     max_body_bytes: MAX_BODY_BYTES,
 };
 
-/// The body of one worker thread: drain the queue until it is closed
-/// and empty. Panics (chaos-injected worker deaths) unwind out of here
-/// and are answered by the supervisor's respawn.
-pub(crate) fn worker_loop(ctx: Arc<ServeContext>, fault_stream: u64) {
+/// The body of one worker thread: drain this shard's queue until it is
+/// closed and empty. Panics (chaos-injected worker deaths) unwind out
+/// of here and are answered by the supervisor's respawn.
+pub(crate) fn worker_loop(ctx: Arc<ServeContext>, shard: usize, fault_stream: u64) {
     let mut injector = ctx
         .config
         .chaos
         .map(|spec| Injector::for_worker(spec, fault_stream));
-    while let Some(conn) = ctx.queue.pop() {
+    while let Some(conn) = ctx.queues[shard].pop() {
         handle_connection(&ctx, injector.as_mut(), conn);
         if let Some(fault) = injector.as_mut().and_then(|i| i.sample(FaultPoint::Worker)) {
             // Outside any containment on purpose: a worker death must
@@ -110,6 +122,7 @@ fn handle_connection(ctx: &ServeContext, mut injector: Option<&mut Injector>, co
     };
     let mut reader = BufReader::new(clone);
     let mut writer = stream;
+    let mut response_buf: Vec<u8> = Vec::with_capacity(1024);
     let mut first = true;
     loop {
         if !first && !await_next_request(ctx, &writer, !reader.buffer().is_empty()) {
@@ -131,7 +144,7 @@ fn handle_connection(ctx: &ServeContext, mut injector: Option<&mut Injector>, co
             Err(e) => {
                 if let Some(response) = read_error_response(&e) {
                     count_response(ctx, &response);
-                    let _ = response.write_to(&mut writer);
+                    let _ = response.write_buffered(&mut writer, &mut response_buf);
                 }
                 return;
             }
@@ -140,7 +153,11 @@ fn handle_connection(ctx: &ServeContext, mut injector: Option<&mut Injector>, co
         let mut response = respond(ctx, injector.as_deref_mut(), &request, deadline);
         response.close = response.close || !request.keep_alive || ctx.is_draining();
         count_response(ctx, &response);
-        if response.write_to(&mut writer).is_err() || response.close {
+        if response
+            .write_buffered(&mut writer, &mut response_buf)
+            .is_err()
+            || response.close
+        {
             return;
         }
     }
@@ -161,7 +178,7 @@ fn read_error_response(error: &ReadError) -> Option<Response> {
     };
     Some(Response {
         status,
-        body: error_body("invalid_request", &message),
+        body: error_body(ApiErrorKind::InvalidRequest, &message),
         cache: None,
         close: true,
     })
@@ -179,141 +196,300 @@ fn count_response(ctx: &ServeContext, response: &Response) {
     counter.fetch_add(1, Ordering::Relaxed);
 }
 
-fn deadline_response() -> Response {
+/// A typed failure as its wire reply.
+fn error_response(error: &ApiError) -> Response {
     Response {
-        status: 504,
-        body: error_body("deadline_exceeded", "request missed its deadline"),
+        status: error.status,
+        body: error.body(),
         cache: None,
         close: false,
     }
 }
 
-/// Routes one request. Every path returns a well-formed JSON reply.
+fn deadline_error() -> ApiError {
+    ApiError::new(
+        ApiErrorKind::DeadlineExceeded,
+        "request missed its deadline",
+    )
+}
+
+fn deadline_response() -> Response {
+    error_response(&deadline_error())
+}
+
+/// Extracts a panic payload's message for the `internal` envelope.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+        .unwrap_or("handler panicked")
+}
+
+fn panic_response(payload: &(dyn std::any::Any + Send)) -> Response {
+    Response {
+        status: 500,
+        body: error_body(
+            ApiErrorKind::Internal,
+            &format!("contained panic: {}", panic_message(payload)),
+        ),
+        cache: None,
+        close: false,
+    }
+}
+
+/// Routes one request through the versioned route table. Every path
+/// returns a well-formed JSON reply.
 fn respond(
     ctx: &ServeContext,
     injector: Option<&mut Injector>,
     request: &Request,
     deadline: Instant,
 ) -> Response {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => Response::ok("{\"status\":\"ok\"}".into()),
-        ("GET", "/readyz") => {
+    let endpoint = match crate::serve::api::route(&request.method, &request.path) {
+        RouteMatch::Endpoint(endpoint) => endpoint,
+        RouteMatch::MethodNotAllowed => {
+            return error_response(&ApiError::with_status(
+                405,
+                ApiErrorKind::InvalidRequest,
+                format!("method {} not allowed here", request.method),
+            ))
+        }
+        RouteMatch::NotFound => {
+            return error_response(&ApiError::new(
+                ApiErrorKind::NotFound,
+                format!("no such endpoint '{}'", request.path),
+            ))
+        }
+    };
+    match endpoint {
+        Endpoint::Healthz => Response::ok("{\"status\":\"ok\"}".into()),
+        Endpoint::Readyz => {
             if ctx.is_draining() {
-                Response {
-                    status: 503,
-                    body: error_body("not_ready", "draining for shutdown"),
-                    cache: None,
-                    close: false,
-                }
-            } else if ctx.queue.is_full() {
-                Response {
-                    status: 503,
-                    body: error_body("not_ready", "request queue is saturated"),
-                    cache: None,
-                    close: false,
-                }
+                error_response(&ApiError::new(
+                    ApiErrorKind::NotReady,
+                    "draining for shutdown",
+                ))
+            } else if ctx.saturated() {
+                error_response(&ApiError::new(
+                    ApiErrorKind::NotReady,
+                    "request queue is saturated",
+                ))
             } else {
                 Response::ok("{\"status\":\"ok\"}".into())
             }
         }
-        ("POST", "/solve") => solve(ctx, injector, request, deadline),
-        (_, "/healthz" | "/readyz" | "/solve") => Response {
-            status: 405,
-            body: error_body(
-                "invalid_request",
-                &format!("method {} not allowed here", request.method),
-            ),
-            cache: None,
-            close: false,
-        },
-        (_, path) => Response {
-            status: 404,
-            body: error_body("not_found", &format!("no such endpoint '{path}'")),
-            cache: None,
-            close: false,
-        },
+        Endpoint::Techniques => {
+            // The catalogue is static; render it once per process.
+            static BODY: OnceLock<String> = OnceLock::new();
+            Response::ok(BODY.get_or_init(techniques_body).clone())
+        }
+        Endpoint::Solve | Endpoint::Sweep | Endpoint::Batch => {
+            let fault = injector.and_then(|i| i.sample(FaultPoint::Handler));
+            if let Some(Fault::Sleep(d)) = &fault {
+                std::thread::sleep(*d);
+            }
+            if Instant::now() > deadline {
+                return deadline_response();
+            }
+            let parsed = match ApiRequest::parse(endpoint, &request.body) {
+                Ok(parsed) => parsed,
+                Err(error) => return error_response(&error),
+            };
+            match parsed {
+                ApiRequest::Solve(problem) => solve(ctx, fault, &problem, deadline),
+                ApiRequest::Sweep(sweep) => run_sweep(ctx, fault, &sweep, deadline),
+                ApiRequest::Batch(batch) => run_batch(ctx, fault, &batch, deadline),
+                ApiRequest::Healthz | ApiRequest::Readyz | ApiRequest::Techniques => {
+                    unreachable!("GET endpoints answered above")
+                }
+            }
+        }
     }
+}
+
+/// Returns the memoized solve-result fragment for `problem`, computing
+/// and caching it on a miss. The bool is `true` on a cache hit.
+///
+/// # Errors
+///
+/// Propagates the model's rejection message (an `invalid_request`).
+fn memo_fragment(ctx: &ServeContext, problem: &ScalingProblem) -> Result<(Arc<str>, bool), String> {
+    let key = CanonicalProblem::of(problem);
+    if let Some(fragment) = ctx.cache.get(&key) {
+        return Ok((fragment, true));
+    }
+    let fragment: Arc<str> = Arc::from(solve_fragment(problem)?.as_str());
+    ctx.cache.put(key, Arc::clone(&fragment));
+    Ok((fragment, false))
 }
 
 fn solve(
     ctx: &ServeContext,
-    injector: Option<&mut Injector>,
-    request: &Request,
+    fault: Option<Fault>,
+    problem: &ScalingProblem,
     deadline: Instant,
 ) -> Response {
-    let fault = injector.and_then(|i| i.sample(FaultPoint::Handler));
-    if let Some(Fault::Sleep(d)) = &fault {
-        std::thread::sleep(*d);
-    }
-    if Instant::now() > deadline {
-        return deadline_response();
-    }
-    let Ok(body) = std::str::from_utf8(&request.body) else {
-        return Response {
-            status: 400,
-            body: error_body("invalid_request", "body is not UTF-8"),
-            cache: None,
-            close: false,
-        };
-    };
-    let problem = match parse_problem(body) {
-        Ok(problem) => problem,
-        Err(message) => {
-            return Response {
-                status: 400,
-                body: error_body("invalid_request", &message),
-                cache: None,
-                close: false,
-            }
-        }
-    };
-    let key = CanonicalProblem::of(&problem);
-    if let Some(memoized) = ctx.cache.get(&key) {
-        if Instant::now() > deadline {
-            return deadline_response();
-        }
-        return Response {
-            cache: Some("hit"),
-            ..Response::ok(memoized.to_string())
-        };
-    }
     // Containment boundary: an injected (or organic) panic inside the
     // solve becomes a structured `internal` reply, not a dead worker.
     let solved = catch_unwind(AssertUnwindSafe(|| {
         if let Some(Fault::Panic(message)) = &fault {
             panic!("{}", message.clone());
         }
-        solve_body(&problem)
+        memo_fragment(ctx, problem)
     }));
     match solved {
-        Err(payload) => {
-            let message = payload
-                .downcast_ref::<String>()
-                .map(String::as_str)
-                .or_else(|| payload.downcast_ref::<&str>().copied())
-                .unwrap_or("handler panicked");
-            Response {
-                status: 500,
-                body: error_body("internal", &format!("contained panic: {message}")),
-                cache: None,
-                close: false,
-            }
-        }
-        Ok(Err(message)) => Response {
-            status: 400,
-            body: error_body("invalid_request", &message),
-            cache: None,
-            close: false,
-        },
-        Ok(Ok(rendered)) => {
-            ctx.cache.put(key, Arc::from(rendered.as_str()));
+        Err(payload) => panic_response(&*payload),
+        Ok(Err(message)) => error_response(&ApiError::new(ApiErrorKind::InvalidRequest, message)),
+        Ok(Ok((fragment, hit))) => {
             if Instant::now() > deadline {
                 return deadline_response();
             }
             Response {
-                cache: Some("miss"),
-                ..Response::ok(rendered)
+                cache: Some(if hit { "hit" } else { "miss" }),
+                ..Response::ok(wrap_ok(&fragment))
             }
         }
+    }
+}
+
+/// Solves every sweep variant (each memoized individually, sharing
+/// cache entries with `/solve`) and renders the reply body. The bool is
+/// `true` when every variant was a cache hit.
+///
+/// # Errors
+///
+/// A deadline miss or an infeasible variant fails the whole sweep —
+/// a partial table would be worse than an honest error.
+fn sweep_outcome(
+    ctx: &ServeContext,
+    sweep: &SweepRequest,
+    deadline: Instant,
+) -> Result<(String, bool), ApiError> {
+    let mut rows = Vec::with_capacity(sweep.variants.len());
+    let mut all_hit = true;
+    for variant in &sweep.variants {
+        if Instant::now() > deadline {
+            return Err(deadline_error());
+        }
+        let mut problem = sweep.base.clone();
+        if let Some(technique) = variant.technique {
+            problem = problem.with_technique(technique);
+        }
+        let (fragment, hit) = memo_fragment(ctx, &problem).map_err(|message| {
+            ApiError::new(
+                ApiErrorKind::InvalidRequest,
+                format!("variant '{}': {message}", variant.label),
+            )
+        })?;
+        all_hit &= hit;
+        rows.push(SweepRow {
+            label: variant.label.clone(),
+            paper: variant.paper,
+            fragment: fragment.to_string(),
+        });
+    }
+    Ok((sweep_body(sweep.name.as_deref(), &rows), all_hit))
+}
+
+fn run_sweep(
+    ctx: &ServeContext,
+    fault: Option<Fault>,
+    sweep: &SweepRequest,
+    deadline: Instant,
+) -> Response {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(Fault::Panic(message)) = &fault {
+            panic!("{}", message.clone());
+        }
+        sweep_outcome(ctx, sweep, deadline)
+    }));
+    match outcome {
+        Err(payload) => panic_response(&*payload),
+        Ok(Err(error)) => error_response(&error),
+        Ok(Ok((body, all_hit))) => Response {
+            cache: Some(if all_hit { "hit" } else { "miss" }),
+            ..Response::ok(body)
+        },
+    }
+}
+
+/// Runs one batch job to its reply body — exactly the body the
+/// standalone endpoint would have produced. Never panics outward: the
+/// per-job containment turns a panic into an `internal` envelope in
+/// that job's slot.
+fn run_job(ctx: &ServeContext, job: &Result<BatchJob, ApiError>, deadline: Instant) -> String {
+    let job = match job {
+        Ok(job) => job,
+        Err(error) => return error.body(),
+    };
+    if Instant::now() > deadline {
+        return deadline_error().body();
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| match job {
+        BatchJob::Solve(problem) => memo_fragment(ctx, problem)
+            .map(|(fragment, _)| wrap_ok(&fragment))
+            .map_err(|message| ApiError::new(ApiErrorKind::InvalidRequest, message)),
+        BatchJob::Sweep(sweep) => sweep_outcome(ctx, sweep, deadline).map(|(body, _)| body),
+    }));
+    match outcome {
+        Err(payload) => error_body(
+            ApiErrorKind::Internal,
+            &format!("contained panic: {}", panic_message(&*payload)),
+        ),
+        Ok(Err(error)) => error.body(),
+        Ok(Ok(body)) => body,
+    }
+}
+
+/// Fans a batch out over scoped threads (work-stealing by job index)
+/// and renders the reply. Partial failure is the contract: each job's
+/// slot carries its own success or error envelope, and one bad job
+/// never takes down its neighbours.
+fn run_batch(
+    ctx: &ServeContext,
+    fault: Option<Fault>,
+    batch: &BatchRequest,
+    deadline: Instant,
+) -> Response {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(Fault::Panic(message)) = &fault {
+            panic!("{}", message.clone());
+        }
+        let jobs = &batch.jobs;
+        let fanout = jobs
+            .len()
+            .min(MAX_BATCH_FANOUT)
+            .min(std::thread::available_parallelism().map_or(1, std::num::NonZero::get));
+        let mut slots: Vec<String> = vec![String::new(); jobs.len()];
+        if fanout <= 1 {
+            for (job, slot) in jobs.iter().zip(&mut slots) {
+                *slot = run_job(ctx, job, deadline);
+            }
+        } else {
+            let shared: Vec<Mutex<String>> = slots.drain(..).map(Mutex::new).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..fanout {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        let body = run_job(ctx, &jobs[i], deadline);
+                        *shared[i].lock().unwrap_or_else(|p| p.into_inner()) = body;
+                    });
+                }
+            });
+            slots = shared
+                .into_iter()
+                .map(|slot| slot.into_inner().unwrap_or_else(|p| p.into_inner()))
+                .collect();
+        }
+        batch_body(&slots)
+    }));
+    match outcome {
+        Err(payload) => panic_response(&*payload),
+        Ok(body) => Response::ok(body),
     }
 }

@@ -59,6 +59,40 @@ pub fn sweep_block(
     Ok((table, results))
 }
 
+/// The catalogue sweeps `POST /v1/sweep` serves by name: each entry is
+/// a registry experiment id paired with the exact variant list its
+/// `sweep_block` table is built from, so a named sweep over the wire
+/// returns the same core counts as the figure.
+pub const NAMED_SWEEPS: [&str; 9] = [
+    "fig04_cache_compression",
+    "fig05_dram_cache",
+    "fig06_3d_cache",
+    "fig07_filtering",
+    "fig08_smaller_cores",
+    "fig09_link_compression",
+    "fig10_sectored",
+    "fig11_small_lines",
+    "fig12_cache_link",
+];
+
+/// Resolves a named catalogue sweep to its variant list (`None` for an
+/// unknown name). Names are the registry ids in [`NAMED_SWEEPS`].
+pub fn named_sweep(name: &str) -> Option<Vec<Variant>> {
+    use crate::experiments as ex;
+    Some(match name {
+        "fig04_cache_compression" => ex::fig04_cache_compression::variants(),
+        "fig05_dram_cache" => ex::fig05_dram_cache::variants(),
+        "fig06_3d_cache" => ex::fig06_3d_cache::variants(),
+        "fig07_filtering" => ex::fig07_filtering::variants(),
+        "fig08_smaller_cores" => ex::fig08_smaller_cores::variants(),
+        "fig09_link_compression" => ex::fig09_link_compression::variants(),
+        "fig10_sectored" => ex::fig10_sectored::variants(),
+        "fig11_small_lines" => ex::fig11_small_lines::variants(),
+        "fig12_cache_link" => ex::fig12_cache_link::variants(),
+        _ => return None,
+    })
+}
+
 /// Records a `cores[label]` metric for every variant the paper anchors.
 pub fn add_paper_metrics(report: &mut Report, variants: &[Variant], results: &[u64]) {
     for (v, &cores) in variants.iter().zip(results) {
@@ -100,6 +134,17 @@ mod tests {
         let t = Technique::dram_cache(8.0).unwrap();
         let out = run_next_generation_sweep(&[Variant::new("dram", Some(t), None)]);
         assert_eq!(out, vec![18]);
+    }
+
+    #[test]
+    fn named_sweeps_resolve_and_unknown_names_do_not() {
+        for name in NAMED_SWEEPS {
+            let variants = named_sweep(name).unwrap_or_else(|| panic!("{name} must resolve"));
+            assert!(!variants.is_empty(), "{name} has no variants");
+            // Every catalogue sweep leads with the untouched base case.
+            assert!(variants[0].technique.is_none(), "{name} base first");
+        }
+        assert!(named_sweep("fig99_warp_drive").is_none());
     }
 
     #[test]

@@ -92,6 +92,7 @@ fn soak_under_standard_chaos_never_breaks_the_contract() {
     let server = Server::start(ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         workers: 3,
+        shards: 1,
         queue_capacity: 64,
         deadline: Duration::from_secs(5),
         read_timeout: Duration::from_secs(2),
@@ -147,6 +148,7 @@ fn worker_death_storm_is_survived_by_the_supervisor() {
     let server = Server::start(ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         workers: 2,
+        shards: 1,
         queue_capacity: 32,
         deadline: Duration::from_secs(5),
         read_timeout: Duration::from_secs(2),
@@ -170,4 +172,88 @@ fn worker_death_storm_is_survived_by_the_supervisor() {
         "supervisor never respawned: {stats:?}"
     );
     assert_eq!(stats.internal, 0);
+}
+
+#[test]
+fn batch_soak_under_chaos_keeps_the_partial_failure_contract() {
+    // Batches under the standard chaos spec. The contract extends the
+    // solve one: a 200 batch reply always carries one slot per job with
+    // job-level failures contained in place, and every 500 is an
+    // injected panic — chaos must never collapse a batch into a
+    // malformed or truncated reply.
+    let spec = ChaosSpec::parse("panic=0.02,worker=0.002,delay=0.02:2,seed=9").unwrap();
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        shards: 2,
+        queue_capacity: 32,
+        deadline: Duration::from_secs(5),
+        read_timeout: Duration::from_secs(2),
+        cache_capacity: 64,
+        chaos: Some(spec),
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    let mut ok = 0;
+    let mut internal = 0;
+    let mut client: Option<Client> = None;
+    for i in 0..800 {
+        if client.is_none() {
+            client = Some(Client::connect(&addr).expect("reconnect"));
+        }
+        let body = format!(
+            "{{\"jobs\":[{{\"kind\":\"solve\",\"problem\":{{\"total_ceas\":{}}}}},\
+             {{\"kind\":\"bogus\"}},\
+             {{\"kind\":\"sweep\",\"sweep\":\"fig04_cache_compression\"}}]}}",
+            24 + i % 101
+        );
+        let result = client
+            .as_mut()
+            .unwrap()
+            .request("POST", "/v1/batch", Some(&body));
+        let response = match result {
+            Ok(response) => response,
+            Err(_) => {
+                client = None;
+                continue;
+            }
+        };
+        match response.status {
+            200 => {
+                // Every slot present, the bad kind contained in place.
+                assert_eq!(
+                    response.body.matches("\"status\":").count(),
+                    4, // top-level ok + three job slots
+                    "slot went missing: {}",
+                    response.body
+                );
+                assert!(
+                    response.body.contains("unknown job kind 'bogus'"),
+                    "bad-job envelope lost: {}",
+                    response.body
+                );
+                ok += 1;
+            }
+            500 => {
+                assert!(
+                    response.body.contains("injected chaos"),
+                    "organic internal error: {}",
+                    response.body
+                );
+                internal += 1;
+            }
+            503 | 504 | 408 => {}
+            status => panic!("unexpected status {status}: {}", response.body),
+        }
+        if response.close {
+            client = None;
+        }
+    }
+
+    server.shutdown_handle().shutdown();
+    let stats = server.join();
+    assert!(ok >= 700, "too few batch successes: {ok} ok");
+    assert!(internal > 0, "chaos never fired inside a batch");
+    assert_eq!(stats.internal, internal, "internal errors unaccounted for");
 }

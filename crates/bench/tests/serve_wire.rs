@@ -16,6 +16,7 @@ fn test_config() -> ServeConfig {
     ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         workers: 2,
+        shards: 1,
         queue_capacity: 8,
         deadline: Duration::from_secs(2),
         read_timeout: Duration::from_millis(400),
@@ -345,4 +346,228 @@ fn unknown_endpoint_and_wrong_method_are_structured_errors() {
     assert!(wrong.body.contains("\"kind\":\"invalid_request\""));
     drop(client);
     stop(server);
+}
+
+#[test]
+fn versioned_solve_alias_is_byte_identical_to_legacy() {
+    let (server, addr) = start(test_config());
+    let mut client = Client::connect(&addr).unwrap();
+    let body = r#"{"total_ceas":256,"techniques":[{"kind":"dram_cache","density":8}]}"#;
+    let legacy = client.request("POST", "/solve", Some(body)).unwrap();
+    let versioned = client.request("POST", "/v1/solve", Some(body)).unwrap();
+    assert_eq!(legacy.status, 200);
+    assert_eq!(versioned.status, 200);
+    assert_eq!(
+        legacy.body, versioned.body,
+        "alias and versioned replies must not drift"
+    );
+    // Same parser, same renderer, same memo entry: the alias warmed the
+    // cache for the versioned path.
+    assert_eq!(legacy.cache.as_deref(), Some("miss"));
+    assert_eq!(versioned.cache.as_deref(), Some("hit"));
+    drop(client);
+    stop(server);
+}
+
+#[test]
+fn named_sweeps_match_the_registry_tables() {
+    use bandwall_experiments::sweep::{named_sweep, sweep_block};
+    let (server, addr) = start(test_config());
+    let mut client = Client::connect(&addr).unwrap();
+    // The acceptance bar: at least two catalogue sweeps must return the
+    // same core counts over the wire as the registry figures compute.
+    for name in ["fig04_cache_compression", "fig05_dram_cache"] {
+        let variants = named_sweep(name).expect("catalogue sweep resolves");
+        let (_, expected_cores) = sweep_block(&variants).expect("registry sweep solves");
+        let response = client
+            .request(
+                "POST",
+                "/v1/sweep",
+                Some(&format!("{{\"sweep\":\"{name}\"}}")),
+            )
+            .unwrap();
+        assert_eq!(response.status, 200, "{name}: {}", response.body);
+        let wire_cores: Vec<u64> = response
+            .body
+            .split("\"supportable_cores\":")
+            .skip(1)
+            .map(|rest| {
+                rest.split(',')
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .expect("integer core count")
+            })
+            .collect();
+        assert_eq!(
+            wire_cores, expected_cores,
+            "{name}: wire sweep drifted from the registry table"
+        );
+        for variant in &variants {
+            assert!(
+                response
+                    .body
+                    .contains(&format!("\"label\":\"{}\"", variant.label)),
+                "{name}: row label '{}' missing from {}",
+                variant.label,
+                response.body
+            );
+        }
+    }
+    drop(client);
+    stop(server);
+}
+
+#[test]
+fn memoized_sweeps_are_byte_identical_and_hit_after_warmup() {
+    let (server, addr) = start(test_config());
+    let mut client = Client::connect(&addr).unwrap();
+    let body = r#"{"sweep":"fig06_3d_cache"}"#;
+    let first = client.request("POST", "/v1/sweep", Some(body)).unwrap();
+    assert_eq!(first.status, 200);
+    assert_eq!(first.cache.as_deref(), Some("miss"));
+    let second = client.request("POST", "/v1/sweep", Some(body)).unwrap();
+    assert_eq!(second.status, 200);
+    assert_eq!(
+        second.cache.as_deref(),
+        Some("hit"),
+        "every variant should hit after the warming sweep"
+    );
+    assert_eq!(first.body, second.body, "memoized sweep drifted");
+    // A sweep variant's solve shares the memo entry with /v1/solve.
+    let solve = client
+        .request("POST", "/v1/solve", Some(r#"{"total_ceas":32}"#))
+        .unwrap();
+    assert_eq!(solve.status, 200);
+    assert_eq!(
+        solve.cache.as_deref(),
+        Some("hit"),
+        "the sweep's base variant should have warmed the solve cache"
+    );
+    drop(client);
+    stop(server);
+}
+
+#[test]
+fn oversized_sweeps_and_batches_get_413() {
+    let (server, addr) = start(test_config());
+    let mut client = Client::connect(&addr).unwrap();
+    let variants: Vec<String> = (0..65).map(|i| format!("{{\"label\":\"v{i}\"}}")).collect();
+    let sweep = format!("{{\"variants\":[{}]}}", variants.join(","));
+    let response = client.request("POST", "/v1/sweep", Some(&sweep)).unwrap();
+    assert_eq!(response.status, 413, "{}", response.body);
+    assert!(response.body.contains("\"kind\":\"invalid_request\""));
+
+    let jobs: Vec<&str> = (0..33)
+        .map(|_| r#"{"kind":"sweep","sweep":"fig10_sectored"}"#)
+        .collect();
+    let batch = format!("{{\"jobs\":[{}]}}", jobs.join(","));
+    let response = client.request("POST", "/v1/batch", Some(&batch)).unwrap();
+    assert_eq!(response.status, 413, "{}", response.body);
+    assert!(response.body.contains("\"kind\":\"invalid_request\""));
+    // The connection survives the rejections.
+    assert_eq!(client.request("GET", "/healthz", None).unwrap().status, 200);
+    drop(client);
+    stop(server);
+}
+
+#[test]
+fn batch_partial_failure_keeps_every_slot_in_order() {
+    use bandwall_experiments::serve::json::Json;
+    let (server, addr) = start(test_config());
+    let mut client = Client::connect(&addr).unwrap();
+    let body = r#"{"jobs":[
+        {"kind":"solve","problem":{"total_ceas":32}},
+        {"kind":"warp_drive"},
+        {"kind":"sweep","sweep":"fig04_cache_compression"},
+        {"kind":"solve","problem":{"total_ceas":-1}}
+    ]}"#;
+    let response = client.request("POST", "/v1/batch", Some(body)).unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    let doc = Json::parse(&response.body).expect("well-formed batch reply");
+    let results = doc
+        .as_obj()
+        .and_then(|o| o.get("result"))
+        .and_then(Json::as_obj)
+        .and_then(|o| o.get("results"))
+        .and_then(Json::as_arr)
+        .expect("results array");
+    assert_eq!(results.len(), 4, "one slot per job, in request order");
+    let statuses: Vec<&str> = results
+        .iter()
+        .map(|slot| {
+            slot.as_obj()
+                .and_then(|o| o.get("status"))
+                .and_then(Json::as_str)
+                .expect("slot status")
+        })
+        .collect();
+    assert_eq!(statuses, ["ok", "error", "ok", "error"]);
+    // The good solve carries a result; the bad kind names itself.
+    assert!(response.body.contains("\"supportable_cores\":11"));
+    assert!(response.body.contains("unknown job kind 'warp_drive'"));
+    assert!(response.body.contains("model error"));
+    drop(client);
+    stop(server);
+}
+
+#[test]
+fn techniques_endpoint_lists_the_catalogue() {
+    let (server, addr) = start(test_config());
+    let mut client = Client::connect(&addr).unwrap();
+    let response = client.request("GET", "/v1/techniques", None).unwrap();
+    assert_eq!(response.status, 200);
+    for label in [
+        "CC", "DRAM", "3D", "Fltr", "SmCo", "LC", "Sect", "SmCl", "CC/LC",
+    ] {
+        assert!(
+            response.body.contains(&format!("\"label\":\"{label}\"")),
+            "missing {label} in {}",
+            response.body
+        );
+    }
+    assert!(response.body.contains("\"sweeps\":["));
+    assert!(response.body.contains("fig12_cache_link"));
+    // Wrong method on a versioned path is a structured 405.
+    let post = client
+        .request("POST", "/v1/techniques", Some("{}"))
+        .unwrap();
+    assert_eq!(post.status, 405);
+    assert!(post.body.contains("\"kind\":\"invalid_request\""));
+    drop(client);
+    stop(server);
+}
+
+#[test]
+fn sharded_server_serves_all_endpoints_and_drains() {
+    let (server, addr) = start(ServeConfig {
+        workers: 4,
+        shards: 4,
+        queue_capacity: 16,
+        ..test_config()
+    });
+    let clients: Vec<_> = (0..4)
+        .map(|salt| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                for i in 0..25 {
+                    let body = format!("{{\"total_ceas\":{}}}", 40 + (salt * 25 + i) % 60);
+                    let solve = client.request("POST", "/v1/solve", Some(&body)).unwrap();
+                    assert_eq!(solve.status, 200, "{}", solve.body);
+                }
+                let sweep = client
+                    .request("POST", "/v1/sweep", Some(r#"{"sweep":"fig07_filtering"}"#))
+                    .unwrap();
+                assert_eq!(sweep.status, 200, "{}", sweep.body);
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("sharded client");
+    }
+    let stats = stop(server);
+    assert_eq!(stats.served_ok, 4 * 26);
+    assert_eq!(stats.internal, 0);
+    assert_eq!(stats.shed, 0, "16 queued connections never overflow");
+    // The port is closed after the drain.
+    assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(300)).is_err());
 }
