@@ -1,0 +1,108 @@
+//! Registry extension — CXL idle-I/O bandwidth harvesting, after
+//! Kadiyala & Daglis (arXiv 2511.12349).
+//!
+//! CXL attaches memory over the chip's I/O links, so whenever those
+//! links sit idle their bandwidth can be harvested for memory traffic.
+//! With I/O links provisioned at `io_bandwidth_ratio` of the memory
+//! envelope and idle `idle_fraction` of the time, the off-chip envelope
+//! effectively grows by `1 + io_bandwidth_ratio × idle_fraction` — a
+//! *direct* technique in the paper's taxonomy, dividing relative
+//! traffic exactly like extra provisioned bandwidth.
+//!
+//! The technique is a pure registry addition
+//! (`bandwall_model::descriptor`): no solver, sweep, or wire-layer code
+//! knows about it beyond this declaration.
+
+use crate::error::ExperimentError;
+use crate::registry::Experiment;
+use crate::report::Report;
+use crate::sweep::{add_paper_metrics, sweep_block, CatalogueSweep, Variant};
+use crate::{die_budget, paper_baseline};
+use bandwall_model::{ScalingProblem, Technique};
+
+/// Registry extension: CXL idle-I/O bandwidth harvesting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CxlHarvesting;
+
+/// The experiment's declared sweep (also served by `POST /v1/sweep`):
+/// the registry entry's three assumption bands plus a generously
+/// provisioned half-idle point.
+pub fn sweep() -> CatalogueSweep {
+    CatalogueSweep::base("No CXL", Some(11))
+        .point("0.25x I/O, 25% idle", "cxl_harvesting", &[0.25, 0.25], None)
+        .point("0.5x I/O, 50% idle", "cxl_harvesting", &[0.5, 0.5], None)
+        .point("1x I/O, 50% idle", "cxl_harvesting", &[1.0, 0.5], None)
+        .point("1x I/O, 80% idle", "cxl_harvesting", &[1.0, 0.8], None)
+}
+
+/// The experiment's sweep points, base first.
+pub fn variants() -> Vec<Variant> {
+    sweep().into_variants()
+}
+
+impl Experiment for CxlHarvesting {
+    fn id(&self) -> &'static str {
+        "cxl_harvesting"
+    }
+
+    fn figure(&self) -> &'static str {
+        "Registry extension"
+    }
+
+    fn title(&self) -> &'static str {
+        "CXL idle-I/O bandwidth harvesting"
+    }
+
+    fn sweep(&self) -> Option<CatalogueSweep> {
+        Some(sweep())
+    }
+
+    fn run(&self) -> Result<Report, ExperimentError> {
+        let mut report = Report::new(self.id(), self.figure(), self.title());
+        let variants = variants();
+        let (table, results) = sweep_block(&variants)?;
+        report.table(table);
+        report.blank();
+        report.note(
+            "direct technique: harvested idle I/O divides relative traffic, \
+             exactly like provisioning that much extra bandwidth",
+        );
+        report.note("after Kadiyala & Daglis, arXiv 2511.12349");
+        add_paper_metrics(&mut report, &variants, &results);
+        // Cross-check against the paper's own algebra: harvesting 1x I/O
+        // links that idle half the time is a 1.5x traffic divisor, so it
+        // must support exactly as many cores as 1.5x link compression.
+        let problem = ScalingProblem::new(paper_baseline(), die_budget(1));
+        let via_cxl = problem
+            .clone()
+            .with_technique(Technique::from_registry("cxl_harvesting", &[1.0, 0.5])?)
+            .max_supportable_cores()?;
+        let via_link = problem
+            .with_technique(Technique::link_compression(1.5)?)
+            .max_supportable_cores()?;
+        report.metric("cores_cxl_1x_50pct", via_cxl as f64, Some(via_link as f64));
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harvesting_matches_equivalent_link_compression() {
+        let report = CxlHarvesting.run().unwrap();
+        let m = report.get_metric("cores_cxl_1x_50pct").unwrap();
+        assert_eq!(Some(m.model), m.paper, "cxl(1, 0.5) must equal lc(1.5)");
+    }
+
+    #[test]
+    fn harvesting_is_monotone_in_both_parameters() {
+        let (_, results) = sweep_block(&variants()).unwrap();
+        assert!(
+            results.windows(2).all(|w| w[0] <= w[1]),
+            "stronger harvesting must not lose cores: {results:?}"
+        );
+        assert!(results[4] > results[0], "optimistic band must help");
+    }
+}

@@ -8,26 +8,26 @@
 use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::Report;
-use crate::sweep::{add_paper_metrics, sweep_block, Variant};
-use bandwall_model::Technique;
+use crate::sweep::{add_paper_metrics, sweep_block, CatalogueSweep, Variant};
 
 /// Figure 4: cores enabled by cache compression.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Fig04CacheCompression;
 
-/// The figure's sweep points (also served by `POST /v1/sweep`).
-pub fn variants() -> Vec<Variant> {
+/// The figure's declared sweep (also served by `POST /v1/sweep`).
+pub fn sweep() -> CatalogueSweep {
     let ratios = [1.25, 1.5, 1.75, 2.0, 2.5, 3.0, 3.5, 4.0];
     let paper = [None, None, None, Some(13), Some(14), Some(14), None, None];
-    let mut variants = vec![Variant::new("No Compress", None, Some(11))];
+    let mut sweep = CatalogueSweep::base("No Compress", Some(11));
     for (&r, &p) in ratios.iter().zip(&paper) {
-        variants.push(Variant::new(
-            format!("{r}x"),
-            Some(Technique::cache_compression(r).expect("valid ratio")),
-            p,
-        ));
+        sweep = sweep.point(format!("{r}x"), "cache_compression", &[r], p);
     }
-    variants
+    sweep
+}
+
+/// The figure's sweep points, base first.
+pub fn variants() -> Vec<Variant> {
+    sweep().into_variants()
 }
 
 impl Experiment for Fig04CacheCompression {
@@ -41,6 +41,10 @@ impl Experiment for Fig04CacheCompression {
 
     fn title(&self) -> &'static str {
         "Cores enabled by cache compression"
+    }
+
+    fn sweep(&self) -> Option<CatalogueSweep> {
+        Some(sweep())
     }
 
     fn run(&self) -> Result<Report, ExperimentError> {

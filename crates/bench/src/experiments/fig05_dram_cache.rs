@@ -6,33 +6,23 @@
 use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::Report;
-use crate::sweep::{add_paper_metrics, sweep_block, Variant};
-use bandwall_model::Technique;
+use crate::sweep::{add_paper_metrics, sweep_block, CatalogueSweep, Variant};
 
 /// Figure 5: cores enabled by DRAM caches.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Fig05DramCache;
 
-/// The figure's sweep points (also served by `POST /v1/sweep`).
+/// The figure's declared sweep (also served by `POST /v1/sweep`).
+pub fn sweep() -> CatalogueSweep {
+    CatalogueSweep::base("SRAM L2", Some(11))
+        .point("DRAM L2 (4x)", "dram_cache", &[4.0], Some(16))
+        .point("DRAM L2 (8x)", "dram_cache", &[8.0], Some(18))
+        .point("DRAM L2 (16x)", "dram_cache", &[16.0], Some(21))
+}
+
+/// The figure's sweep points, base first.
 pub fn variants() -> Vec<Variant> {
-    vec![
-        Variant::new("SRAM L2", None, Some(11)),
-        Variant::new(
-            "DRAM L2 (4x)",
-            Some(Technique::dram_cache(4.0).expect("valid")),
-            Some(16),
-        ),
-        Variant::new(
-            "DRAM L2 (8x)",
-            Some(Technique::dram_cache(8.0).expect("valid")),
-            Some(18),
-        ),
-        Variant::new(
-            "DRAM L2 (16x)",
-            Some(Technique::dram_cache(16.0).expect("valid")),
-            Some(21),
-        ),
-    ]
+    sweep().into_variants()
 }
 
 impl Experiment for Fig05DramCache {
@@ -46,6 +36,10 @@ impl Experiment for Fig05DramCache {
 
     fn title(&self) -> &'static str {
         "Cores enabled by DRAM caches"
+    }
+
+    fn sweep(&self) -> Option<CatalogueSweep> {
+        Some(sweep())
     }
 
     fn run(&self) -> Result<Report, ExperimentError> {

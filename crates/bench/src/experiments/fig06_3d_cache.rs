@@ -6,33 +6,23 @@
 use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::Report;
-use crate::sweep::{add_paper_metrics, sweep_block, Variant};
-use bandwall_model::Technique;
+use crate::sweep::{add_paper_metrics, sweep_block, CatalogueSweep, Variant};
 
 /// Figure 6: cores enabled by 3D-stacked caches.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Fig063dCache;
 
-/// The figure's sweep points (also served by `POST /v1/sweep`).
+/// The figure's declared sweep (also served by `POST /v1/sweep`).
+pub fn sweep() -> CatalogueSweep {
+    CatalogueSweep::base("No 3D Cache", Some(11))
+        .point("3D SRAM", "stacked_cache", &[1.0, 1.0], Some(14))
+        .point("3D DRAM (8x)", "stacked_cache", &[1.0, 8.0], Some(25))
+        .point("3D DRAM (16x)", "stacked_cache", &[1.0, 16.0], Some(32))
+}
+
+/// The figure's sweep points, base first.
 pub fn variants() -> Vec<Variant> {
-    vec![
-        Variant::new("No 3D Cache", None, Some(11)),
-        Variant::new(
-            "3D SRAM",
-            Some(Technique::stacked_cache(1).expect("valid")),
-            Some(14),
-        ),
-        Variant::new(
-            "3D DRAM (8x)",
-            Some(Technique::stacked_dram_cache(1, 8.0).expect("valid")),
-            Some(25),
-        ),
-        Variant::new(
-            "3D DRAM (16x)",
-            Some(Technique::stacked_dram_cache(1, 16.0).expect("valid")),
-            Some(32),
-        ),
-    ]
+    sweep().into_variants()
 }
 
 impl Experiment for Fig063dCache {
@@ -46,6 +36,10 @@ impl Experiment for Fig063dCache {
 
     fn title(&self) -> &'static str {
         "Cores enabled by 3D-stacked caches"
+    }
+
+    fn sweep(&self) -> Option<CatalogueSweep> {
+        Some(sweep())
     }
 
     fn run(&self) -> Result<Report, ExperimentError> {

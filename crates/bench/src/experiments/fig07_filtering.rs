@@ -7,24 +7,29 @@
 use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::Report;
-use crate::sweep::{add_paper_metrics, sweep_block, Variant};
-use bandwall_model::Technique;
+use crate::sweep::{add_paper_metrics, sweep_block, CatalogueSweep, Variant};
 
 /// Figure 7: cores enabled by unused-data filtering.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Fig07Filtering;
 
-/// The figure's sweep points (also served by `POST /v1/sweep`).
-pub fn variants() -> Vec<Variant> {
-    let mut variants = vec![Variant::new("No Filtering", None, Some(11))];
+/// The figure's declared sweep (also served by `POST /v1/sweep`).
+pub fn sweep() -> CatalogueSweep {
+    let mut sweep = CatalogueSweep::base("No Filtering", Some(11));
     for (fraction, paper) in [(0.1, None), (0.2, None), (0.4, Some(12)), (0.8, Some(16))] {
-        variants.push(Variant::new(
+        sweep = sweep.point(
             format!("{:.0}% unused", fraction * 100.0),
-            Some(Technique::unused_data_filter(fraction).expect("valid")),
+            "unused_data_filter",
+            &[fraction],
             paper,
-        ));
+        );
     }
-    variants
+    sweep
+}
+
+/// The figure's sweep points, base first.
+pub fn variants() -> Vec<Variant> {
+    sweep().into_variants()
 }
 
 impl Experiment for Fig07Filtering {
@@ -38,6 +43,10 @@ impl Experiment for Fig07Filtering {
 
     fn title(&self) -> &'static str {
         "Cores enabled by unused-data filtering"
+    }
+
+    fn sweep(&self) -> Option<CatalogueSweep> {
+        Some(sweep())
     }
 
     fn run(&self) -> Result<Report, ExperimentError> {

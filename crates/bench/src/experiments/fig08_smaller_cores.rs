@@ -9,24 +9,30 @@ use crate::error::ExperimentError;
 use crate::paper_baseline;
 use crate::registry::Experiment;
 use crate::report::Report;
-use crate::sweep::{add_paper_metrics, sweep_block, Variant};
+use crate::sweep::{add_paper_metrics, sweep_block, CatalogueSweep, Variant};
 use bandwall_model::{ScalingProblem, Technique};
 
 /// Figure 8: cores enabled by smaller cores.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Fig08SmallerCores;
 
-/// The figure's sweep points (also served by `POST /v1/sweep`).
-pub fn variants() -> Vec<Variant> {
-    let mut variants = vec![Variant::new("1x (full-size)", None, Some(11))];
+/// The figure's declared sweep (also served by `POST /v1/sweep`).
+pub fn sweep() -> CatalogueSweep {
+    let mut sweep = CatalogueSweep::base("1x (full-size)", Some(11));
     for reduction in [9.0, 45.0, 80.0] {
-        variants.push(Variant::new(
+        sweep = sweep.point(
             format!("{reduction:.0}x smaller"),
-            Some(Technique::smaller_cores(1.0 / reduction).expect("valid")),
+            "smaller_cores",
+            &[1.0 / reduction],
             None,
-        ));
+        );
     }
-    variants
+    sweep
+}
+
+/// The figure's sweep points, base first.
+pub fn variants() -> Vec<Variant> {
+    sweep().into_variants()
 }
 
 impl Experiment for Fig08SmallerCores {
@@ -40,6 +46,10 @@ impl Experiment for Fig08SmallerCores {
 
     fn title(&self) -> &'static str {
         "Cores enabled by smaller cores"
+    }
+
+    fn sweep(&self) -> Option<CatalogueSweep> {
+        Some(sweep())
     }
 
     fn run(&self) -> Result<Report, ExperimentError> {

@@ -7,16 +7,15 @@
 use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::Report;
-use crate::sweep::{add_paper_metrics, sweep_block, Variant};
-use bandwall_model::Technique;
+use crate::sweep::{add_paper_metrics, sweep_block, CatalogueSweep, Variant};
 
 /// Figure 9: cores enabled by link compression.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Fig09LinkCompression;
 
-/// The figure's sweep points (also served by `POST /v1/sweep`).
-pub fn variants() -> Vec<Variant> {
-    let mut variants = vec![Variant::new("No Compress", None, Some(11))];
+/// The figure's declared sweep (also served by `POST /v1/sweep`).
+pub fn sweep() -> CatalogueSweep {
+    let mut sweep = CatalogueSweep::base("No Compress", Some(11));
     for (ratio, paper) in [
         (1.25, None),
         (1.5, None),
@@ -27,13 +26,14 @@ pub fn variants() -> Vec<Variant> {
         (3.5, None),
         (4.0, None),
     ] {
-        variants.push(Variant::new(
-            format!("{ratio}x"),
-            Some(Technique::link_compression(ratio).expect("valid")),
-            paper,
-        ));
+        sweep = sweep.point(format!("{ratio}x"), "link_compression", &[ratio], paper);
     }
-    variants
+    sweep
+}
+
+/// The figure's sweep points, base first.
+pub fn variants() -> Vec<Variant> {
+    sweep().into_variants()
 }
 
 impl Experiment for Fig09LinkCompression {
@@ -47,6 +47,10 @@ impl Experiment for Fig09LinkCompression {
 
     fn title(&self) -> &'static str {
         "Cores enabled by link compression"
+    }
+
+    fn sweep(&self) -> Option<CatalogueSweep> {
+        Some(sweep())
     }
 
     fn run(&self) -> Result<Report, ExperimentError> {

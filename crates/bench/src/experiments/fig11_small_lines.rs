@@ -7,24 +7,29 @@
 use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::Report;
-use crate::sweep::{add_paper_metrics, sweep_block, Variant};
-use bandwall_model::Technique;
+use crate::sweep::{add_paper_metrics, sweep_block, CatalogueSweep, Variant};
 
 /// Figure 11: cores enabled by smaller cache lines.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Fig11SmallLines;
 
-/// The figure's sweep points (also served by `POST /v1/sweep`).
-pub fn variants() -> Vec<Variant> {
-    let mut variants = vec![Variant::new("0% unused", None, Some(11))];
+/// The figure's declared sweep (also served by `POST /v1/sweep`).
+pub fn sweep() -> CatalogueSweep {
+    let mut sweep = CatalogueSweep::base("0% unused", Some(11));
     for (fraction, paper) in [(0.1, None), (0.2, None), (0.4, Some(16)), (0.8, None)] {
-        variants.push(Variant::new(
+        sweep = sweep.point(
             format!("{:.0}% unused", fraction * 100.0),
-            Some(Technique::small_cache_lines(fraction).expect("valid")),
+            "small_cache_lines",
+            &[fraction],
             paper,
-        ));
+        );
     }
-    variants
+    sweep
+}
+
+/// The figure's sweep points, base first.
+pub fn variants() -> Vec<Variant> {
+    sweep().into_variants()
 }
 
 impl Experiment for Fig11SmallLines {
@@ -38,6 +43,10 @@ impl Experiment for Fig11SmallLines {
 
     fn title(&self) -> &'static str {
         "Cores enabled by smaller cache lines"
+    }
+
+    fn sweep(&self) -> Option<CatalogueSweep> {
+        Some(sweep())
     }
 
     fn run(&self) -> Result<Report, ExperimentError> {

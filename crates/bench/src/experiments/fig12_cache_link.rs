@@ -8,16 +8,15 @@
 use crate::error::ExperimentError;
 use crate::registry::Experiment;
 use crate::report::Report;
-use crate::sweep::{add_paper_metrics, sweep_block, Variant};
-use bandwall_model::Technique;
+use crate::sweep::{add_paper_metrics, sweep_block, CatalogueSweep, Variant};
 
 /// Figure 12: cores enabled by cache+link compression.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Fig12CacheLink;
 
-/// The figure's sweep points (also served by `POST /v1/sweep`).
-pub fn variants() -> Vec<Variant> {
-    let mut variants = vec![Variant::new("No Compress", None, Some(11))];
+/// The figure's declared sweep (also served by `POST /v1/sweep`).
+pub fn sweep() -> CatalogueSweep {
+    let mut sweep = CatalogueSweep::base("No Compress", Some(11));
     for (ratio, paper) in [
         (1.25, None),
         (1.5, None),
@@ -28,13 +27,19 @@ pub fn variants() -> Vec<Variant> {
         (3.5, None),
         (4.0, None),
     ] {
-        variants.push(Variant::new(
+        sweep = sweep.point(
             format!("{ratio}x"),
-            Some(Technique::cache_link_compression(ratio).expect("valid")),
+            "cache_link_compression",
+            &[ratio],
             paper,
-        ));
+        );
     }
-    variants
+    sweep
+}
+
+/// The figure's sweep points, base first.
+pub fn variants() -> Vec<Variant> {
+    sweep().into_variants()
 }
 
 impl Experiment for Fig12CacheLink {
@@ -48,6 +53,10 @@ impl Experiment for Fig12CacheLink {
 
     fn title(&self) -> &'static str {
         "Cores enabled by cache+link compression"
+    }
+
+    fn sweep(&self) -> Option<CatalogueSweep> {
+        Some(sweep())
     }
 
     fn run(&self) -> Result<Report, ExperimentError> {

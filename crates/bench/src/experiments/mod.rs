@@ -7,6 +7,7 @@ pub mod ablate_inclusion;
 pub mod ablate_replacement;
 pub mod coherence_study;
 pub mod combo_sim;
+pub mod cxl_harvesting;
 pub mod fault_inject;
 pub mod fig01_power_law;
 pub mod fig02_traffic_vs_cores;
@@ -30,6 +31,7 @@ pub mod predictor_study;
 pub mod roadmap_scenarios;
 pub mod sensitivity;
 pub mod table2_summary;
+pub mod thermal_capped_3d;
 pub mod throughput_wall;
 pub mod validate_compression;
 pub mod validate_line_size;
@@ -55,7 +57,7 @@ pub fn all(seed: Option<u64>) -> Vec<Box<dyn Experiment>> {
     // Test-only: BANDWALL_FAULT_INJECT prepends a deliberately failing
     // experiment so the harness's fault isolation can be exercised
     // against the real registry. Absent the variable the registry is
-    // exactly the 30 registered entries.
+    // exactly the 32 registered entries.
     if let Some(fault) = fault_inject::from_env() {
         experiments.push(Box::new(fault));
     }
@@ -97,6 +99,11 @@ pub fn all(seed: Option<u64>) -> Vec<Box<dyn Experiment>> {
         // Appended after the 29 historical entries so their derived-seed
         // sequence (and therefore every historical report) is unchanged.
         Box::new(combo_sim::ComboSim { seed: derive(47) }),
+        // Registry extensions (unseeded analytic experiments): appended
+        // last, after every seeded entry, so the SplitMix64 derivation
+        // order — and with it the 30 historical reports — stays fixed.
+        Box::new(thermal_capped_3d::ThermalCapped3d),
+        Box::new(cxl_harvesting::CxlHarvesting),
     ]);
     experiments
 }

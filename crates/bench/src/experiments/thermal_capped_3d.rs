@@ -1,0 +1,134 @@
+//! Registry extension — thermal-capped 3D cache stacking, after Yavits
+//! et al., "The Effect of Temperature on Amdahl Law in 3D Multicore
+//! Era".
+//!
+//! The paper's Figure 6 treats every stacked layer as fully usable, so
+//! the benefit grows linearly with the stack. Thermally, each layer
+//! sits further from the heat sink and must derate: layer `k`
+//! contributes `density × derate^k`, so the total stacked capacity is
+//! geometrically bounded by `density / (1 - derate)` layers-worth — the
+//! thermal ceiling. This experiment contrasts the derated stack against
+//! the ideal one at the same layer counts.
+//!
+//! The technique is a pure registry addition
+//! (`bandwall_model::descriptor`): no solver, sweep, or wire-layer code
+//! knows about it beyond this declaration.
+
+use crate::error::ExperimentError;
+use crate::registry::Experiment;
+use crate::report::Report;
+use crate::sweep::{add_paper_metrics, sweep_block, CatalogueSweep, Variant};
+
+/// Thermal derating factor per layer used throughout the sweep — the
+/// pessimistic band of the registry entry, where the geometric ceiling
+/// (16 layers-equivalent) stays below what the 32-core die cap absorbs,
+/// so the saturation is visible in the core counts.
+const DERATE: f64 = 0.5;
+
+/// DRAM layer density relative to SRAM (the paper's realistic 8×).
+const DENSITY: f64 = 8.0;
+
+/// Registry extension: thermally derated 3D cache stacking.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThermalCapped3d;
+
+/// The experiment's declared sweep (also served by `POST /v1/sweep`).
+pub fn sweep() -> CatalogueSweep {
+    let mut sweep = CatalogueSweep::base("No 3D Cache", Some(11));
+    for layers in [2.0, 4.0, 8.0] {
+        sweep = sweep.point(
+            format!("{layers:.0} layers (derate {DERATE})"),
+            "thermal_capped_3d",
+            &[layers, DENSITY, DERATE],
+            None,
+        );
+    }
+    // The ideal (underated) stack at the deepest point, for contrast:
+    // derate 1.0 makes thermal_capped_3d coincide with plain stacking.
+    sweep.point(
+        "8 layers (ideal)",
+        "thermal_capped_3d",
+        &[8.0, DENSITY, 1.0],
+        None,
+    )
+}
+
+/// The experiment's sweep points, base first.
+pub fn variants() -> Vec<Variant> {
+    sweep().into_variants()
+}
+
+impl Experiment for ThermalCapped3d {
+    fn id(&self) -> &'static str {
+        "thermal_capped_3d"
+    }
+
+    fn figure(&self) -> &'static str {
+        "Registry extension"
+    }
+
+    fn title(&self) -> &'static str {
+        "Thermal ceiling on 3D-stacked caches"
+    }
+
+    fn sweep(&self) -> Option<CatalogueSweep> {
+        Some(sweep())
+    }
+
+    fn run(&self) -> Result<Report, ExperimentError> {
+        let mut report = Report::new(self.id(), self.figure(), self.title());
+        let variants = variants();
+        let (table, results) = sweep_block(&variants)?;
+        report.table(table);
+        report.blank();
+        let ceiling = DENSITY / (1.0 - DERATE);
+        report.note(format!(
+            "thermal ceiling: a derate of {DERATE} bounds the stack at \
+             {ceiling:.1} SRAM-layers-equivalent of cache, however deep it grows"
+        ));
+        report.note(
+            "after Yavits et al., \"The Effect of Temperature on Amdahl Law in 3D Multicore Era\"",
+        );
+        add_paper_metrics(&mut report, &variants, &results);
+        // The headline gap: derated vs ideal cores at the deepest stack.
+        let derated = results[3] as f64;
+        let ideal = results[4] as f64;
+        report.metric("derated_cores_8_layers", derated, None);
+        report.metric("ideal_cores_8_layers", ideal, None);
+        report.metric("thermal_gap_cores", ideal - derated, None);
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derated_stacks_trail_ideal_ones() {
+        let report = ThermalCapped3d.run().unwrap();
+        let derated = report.get_metric("derated_cores_8_layers").unwrap().model;
+        let ideal = report.get_metric("ideal_cores_8_layers").unwrap().model;
+        assert!(
+            derated < ideal,
+            "thermal derating must cost cores: {derated} vs {ideal}"
+        );
+        let gap = report.get_metric("thermal_gap_cores").unwrap().model;
+        assert_eq!(gap, ideal - derated);
+    }
+
+    #[test]
+    fn deeper_derated_stacks_still_help_but_saturate() {
+        let (_, results) = sweep_block(&variants()).unwrap();
+        // Base, then 2/4/8 derated layers: monotone non-decreasing...
+        assert!(
+            results.windows(2).take(3).all(|w| w[0] <= w[1]),
+            "{results:?}"
+        );
+        // ...but the 4→8 step is no larger than the 2→4 step (ceiling).
+        assert!(
+            results[3] - results[2] <= results[2] - results[1],
+            "{results:?}"
+        );
+    }
+}

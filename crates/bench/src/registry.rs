@@ -22,6 +22,14 @@ pub trait Experiment: Send + Sync {
     /// a failing experiment never takes down a batch.
     fn run(&self) -> Result<Report, ExperimentError>;
 
+    /// The catalogue sweep this experiment publishes to `POST /v1/sweep`
+    /// under its registry id, when it is a single-technique sweep over
+    /// the next-generation die. The named-sweep list served by
+    /// `GET /v1/techniques` is derived entirely from these declarations.
+    fn sweep(&self) -> Option<crate::sweep::CatalogueSweep> {
+        None
+    }
+
     /// Runs the experiment and folds any error into a
     /// [`Report::failure`] carrying this experiment's registry identity.
     fn run_to_report(&self) -> Report {
@@ -74,7 +82,11 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_stable() {
         let reg = registry();
-        assert_eq!(reg.len(), 30, "29 historical binaries + combo_sim");
+        assert_eq!(
+            reg.len(),
+            32,
+            "29 historical binaries + combo_sim + 2 registry extensions"
+        );
         let ids: BTreeSet<&str> = reg.iter().map(|e| e.id()).collect();
         assert_eq!(ids.len(), reg.len(), "ids must be unique");
         for id in [
@@ -82,6 +94,8 @@ mod tests {
             "fig01_power_law",
             "fig16_combinations",
             "validate_writeback",
+            "thermal_capped_3d",
+            "cxl_harvesting",
         ] {
             assert!(ids.contains(id), "missing {id}");
         }

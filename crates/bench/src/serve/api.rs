@@ -22,10 +22,11 @@
 
 use crate::report::{json_f64, json_string};
 use crate::serve::json::Json;
-use crate::sweep::{named_sweep, Variant, NAMED_SWEEPS};
+use crate::sweep::{named_sweep, named_sweep_ids, Variant};
 use crate::{die_budget, paper_baseline};
-use bandwall_model::catalog::{catalog, AssumptionLevel};
-use bandwall_model::{Alpha, Baseline, CanonicalProblem, ScalingProblem, Technique, TechniqueKind};
+use bandwall_model::catalog::{extended_catalog, AssumptionLevel};
+use bandwall_model::descriptor::wire_kind;
+use bandwall_model::{Alpha, Baseline, CanonicalProblem, ScalingProblem, Technique};
 use std::collections::BTreeMap;
 
 /// Most variants one `POST /v1/sweep` may carry; the excess is refused
@@ -298,14 +299,6 @@ fn required_num(obj: &BTreeMap<String, Json>, name: &str) -> Result<f64, String>
     num_field(obj, name)?.ok_or_else(|| format!("missing required field '{name}'"))
 }
 
-fn layers_field(obj: &BTreeMap<String, Json>) -> Result<u32, String> {
-    let v = required_num(obj, "layers")?;
-    if v.fract() != 0.0 || !(0.0..=f64::from(u32::MAX)).contains(&v) {
-        return Err(format!("field 'layers' must be a whole number, got {v}"));
-    }
-    Ok(v as u32)
-}
-
 fn parse_technique(value: &Json) -> Result<Technique, String> {
     let obj = value
         .as_obj()
@@ -314,50 +307,35 @@ fn parse_technique(value: &Json) -> Result<Technique, String> {
         .get("kind")
         .and_then(Json::as_str)
         .ok_or("each technique must carry a string 'kind' field")?;
-    let built = match kind {
-        "cache_compression" => {
-            reject_unknown("technique", obj, &["kind", "ratio"])?;
-            Technique::cache_compression(required_num(obj, "ratio")?)
+    let (descriptor, shape) =
+        wire_kind(kind).ok_or_else(|| format!("unknown technique kind '{kind}'"))?;
+    let mut allowed = Vec::with_capacity(1 + shape.fields.len());
+    allowed.push("kind");
+    allowed.extend(shape.fields.iter().map(|&i| descriptor.params[i].field));
+    reject_unknown("technique", obj, &allowed)?;
+    // Fields omitted by this wire shape take their schema defaults; the
+    // registry guarantees each such parameter has one.
+    let mut params: Vec<f64> = descriptor
+        .params
+        .iter()
+        .map(|spec| spec.default.unwrap_or(f64::NAN))
+        .collect();
+    for &i in shape.fields {
+        let spec = &descriptor.params[i];
+        let v = required_num(obj, spec.field)?;
+        if spec.domain.is_integer()
+            && (v.fract() != 0.0 || !(0.0..=f64::from(u32::MAX)).contains(&v))
+        {
+            return Err(format!(
+                "field '{}' must be a whole number, got {v}",
+                spec.field
+            ));
         }
-        "dram_cache" => {
-            reject_unknown("technique", obj, &["kind", "density"])?;
-            Technique::dram_cache(required_num(obj, "density")?)
-        }
-        "stacked_cache" => {
-            reject_unknown("technique", obj, &["kind", "layers"])?;
-            Technique::stacked_cache(layers_field(obj)?)
-        }
-        "stacked_dram_cache" => {
-            reject_unknown("technique", obj, &["kind", "layers", "layer_density"])?;
-            Technique::stacked_dram_cache(layers_field(obj)?, required_num(obj, "layer_density")?)
-        }
-        "unused_data_filter" => {
-            reject_unknown("technique", obj, &["kind", "unused_fraction"])?;
-            Technique::unused_data_filter(required_num(obj, "unused_fraction")?)
-        }
-        "smaller_cores" => {
-            reject_unknown("technique", obj, &["kind", "area_fraction"])?;
-            Technique::smaller_cores(required_num(obj, "area_fraction")?)
-        }
-        "link_compression" => {
-            reject_unknown("technique", obj, &["kind", "ratio"])?;
-            Technique::link_compression(required_num(obj, "ratio")?)
-        }
-        "sectored_cache" => {
-            reject_unknown("technique", obj, &["kind", "unused_fraction"])?;
-            Technique::sectored_cache(required_num(obj, "unused_fraction")?)
-        }
-        "small_cache_lines" => {
-            reject_unknown("technique", obj, &["kind", "unused_fraction"])?;
-            Technique::small_cache_lines(required_num(obj, "unused_fraction")?)
-        }
-        "cache_link_compression" => {
-            reject_unknown("technique", obj, &["kind", "ratio"])?;
-            Technique::cache_link_compression(required_num(obj, "ratio")?)
-        }
-        other => return Err(format!("unknown technique kind '{other}'")),
-    };
-    built.map_err(|e| format!("technique '{kind}': {e}"))
+        params[i] = v;
+    }
+    descriptor
+        .instantiate(&params)
+        .map_err(|e| format!("technique '{kind}': {e}"))
 }
 
 fn parse_baseline(value: &Json) -> Result<Baseline, String> {
@@ -471,7 +449,7 @@ fn sweep_from_fields(obj: &BTreeMap<String, Json>) -> Result<SweepRequest, ApiEr
         let variants = named_sweep(name).ok_or_else(|| {
             invalid(format!(
                 "unknown sweep '{name}' (known: {})",
-                NAMED_SWEEPS.join(", ")
+                named_sweep_ids().join(", ")
             ))
         })?;
         return Ok(SweepRequest {
@@ -691,76 +669,80 @@ pub fn batch_body(slots: &[String]) -> String {
 
 /// Renders one technique as the request-ready JSON spec `/solve` and
 /// `/v1/sweep` accept (so discovery output can be pasted back in).
+/// The renderer picks the first wire shape whose omitted parameters all
+/// equal their defaults — so a stacked cache at SRAM density renders as
+/// the compact `stacked_cache` shape, exactly as before the registry.
 fn technique_spec(technique: &Technique) -> String {
-    match technique.kind() {
-        TechniqueKind::CacheCompression { ratio } => {
-            format!(
-                "{{\"kind\":\"cache_compression\",\"ratio\":{}}}",
-                json_f64(ratio)
-            )
+    let descriptor = technique.descriptor();
+    let params = technique.params();
+    let shape = descriptor
+        .wire
+        .iter()
+        .find(|shape| {
+            descriptor
+                .params
+                .iter()
+                .enumerate()
+                .all(|(i, spec)| shape.fields.contains(&i) || spec.default == Some(params[i]))
+        })
+        .expect("every descriptor's last wire shape carries all parameters");
+    let mut out = String::with_capacity(64);
+    out.push_str("{\"kind\":");
+    out.push_str(&json_string(shape.kind));
+    for &i in shape.fields {
+        let spec = &descriptor.params[i];
+        out.push_str(",\"");
+        out.push_str(spec.field);
+        out.push_str("\":");
+        if spec.domain.is_integer() {
+            out.push_str(&(params[i] as u64).to_string());
+        } else {
+            out.push_str(&json_f64(params[i]));
         }
-        TechniqueKind::DramCache { density } => {
-            format!(
-                "{{\"kind\":\"dram_cache\",\"density\":{}}}",
-                json_f64(density)
-            )
-        }
-        TechniqueKind::StackedCache {
-            layers,
-            layer_density,
-        } => {
-            if layer_density == 1.0 {
-                format!("{{\"kind\":\"stacked_cache\",\"layers\":{layers}}}")
-            } else {
-                format!(
-                    "{{\"kind\":\"stacked_dram_cache\",\"layers\":{layers},\"layer_density\":{}}}",
-                    json_f64(layer_density)
-                )
-            }
-        }
-        TechniqueKind::UnusedDataFilter { unused_fraction } => format!(
-            "{{\"kind\":\"unused_data_filter\",\"unused_fraction\":{}}}",
-            json_f64(unused_fraction)
-        ),
-        TechniqueKind::SmallerCores { area_fraction } => format!(
-            "{{\"kind\":\"smaller_cores\",\"area_fraction\":{}}}",
-            json_f64(area_fraction)
-        ),
-        TechniqueKind::LinkCompression { ratio } => {
-            format!(
-                "{{\"kind\":\"link_compression\",\"ratio\":{}}}",
-                json_f64(ratio)
-            )
-        }
-        TechniqueKind::SectoredCache { unused_fraction } => format!(
-            "{{\"kind\":\"sectored_cache\",\"unused_fraction\":{}}}",
-            json_f64(unused_fraction)
-        ),
-        TechniqueKind::SmallCacheLines { unused_fraction } => format!(
-            "{{\"kind\":\"small_cache_lines\",\"unused_fraction\":{}}}",
-            json_f64(unused_fraction)
-        ),
-        TechniqueKind::CacheLinkCompression { ratio } => format!(
-            "{{\"kind\":\"cache_link_compression\",\"ratio\":{}}}",
-            json_f64(ratio)
-        ),
-        // TechniqueKind is #[non_exhaustive] from this crate's view.
-        _ => "{\"kind\":\"unknown\"}".to_string(),
     }
+    out.push('}');
+    out
 }
 
-/// Renders the `GET /v1/techniques` body: the Table 2 catalogue with
-/// each assumption level as a request-ready technique spec, plus the
-/// named catalogue sweeps `/v1/sweep` accepts.
-pub fn techniques_body() -> String {
-    let mut out = String::with_capacity(4096);
-    out.push_str(OK_PREFIX);
-    out.push_str("{\"techniques\":[");
-    for (i, profile) in catalog().iter().enumerate() {
+/// Renders the parameter-schema array of one technique: field name,
+/// constraint text, and default (when a wire shape may omit the field).
+fn params_schema(descriptor: &bandwall_model::TechniqueDescriptor) -> String {
+    let mut out = String::with_capacity(64);
+    out.push('[');
+    for (i, spec) in descriptor.params.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        out.push_str("{\"label\":");
+        out.push_str("{\"field\":");
+        out.push_str(&json_string(spec.field));
+        out.push_str(",\"constraint\":");
+        out.push_str(&json_string(spec.domain.constraint()));
+        out.push_str(",\"default\":");
+        match spec.default {
+            Some(v) => out.push_str(&json_f64(v)),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+    }
+    out.push(']');
+    out
+}
+
+/// Renders the `GET /v1/techniques` body: the full technique registry
+/// (Table 2 plus post-2009 extensions) with each technique's id,
+/// parameter schema, and each assumption level as a request-ready
+/// technique spec, plus the named catalogue sweeps `/v1/sweep` accepts.
+pub fn techniques_body() -> String {
+    let mut out = String::with_capacity(8192);
+    out.push_str(OK_PREFIX);
+    out.push_str("{\"techniques\":[");
+    for (i, profile) in extended_catalog().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"id\":");
+        out.push_str(&json_string(profile.id()));
+        out.push_str(",\"label\":");
         out.push_str(&json_string(profile.label()));
         out.push_str(",\"name\":");
         out.push_str(&json_string(profile.name()));
@@ -772,6 +754,8 @@ pub fn techniques_body() -> String {
         out.push_str(&json_string(&profile.range().to_string()));
         out.push_str(",\"complexity\":");
         out.push_str(&json_string(&profile.complexity().to_string()));
+        out.push_str(",\"params\":");
+        out.push_str(&params_schema(profile.descriptor()));
         out.push_str(",\"assumptions\":{");
         for (j, level) in AssumptionLevel::ALL.iter().enumerate() {
             if j > 0 {
@@ -790,7 +774,7 @@ pub fn techniques_body() -> String {
         out.push_str("}}");
     }
     out.push_str("],\"sweeps\":[");
-    for (i, name) in NAMED_SWEEPS.iter().enumerate() {
+    for (i, name) in named_sweep_ids().iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -1072,24 +1056,72 @@ mod tests {
     fn techniques_body_lists_the_catalogue_and_round_trips() {
         let body = techniques_body();
         for label in [
-            "CC", "DRAM", "3D", "Fltr", "SmCo", "LC", "Sect", "SmCl", "CC/LC",
+            "CC", "DRAM", "3D", "Fltr", "SmCo", "LC", "Sect", "SmCl", "CC/LC", "3D/T", "CXL",
         ] {
             assert!(
                 body.contains(&format!("\"label\":{}", json_string(label))),
                 "missing {label}: {body}"
             );
         }
-        for name in NAMED_SWEEPS {
+        for name in named_sweep_ids() {
             assert!(body.contains(name), "missing sweep {name}");
         }
+        assert!(body.contains("\"sweeps\":["), "{body}");
         // Every advertised technique spec must parse back through the
-        // request schema (discovery output is request-ready).
-        for profile in catalog() {
+        // request schema (discovery output is request-ready) — the
+        // extensions included.
+        for profile in extended_catalog() {
             for level in AssumptionLevel::ALL {
                 let spec = technique_spec(&profile.technique(level).unwrap());
                 let body = format!("{{\"total_ceas\":32,\"techniques\":[{spec}]}}");
                 parse_problem(&body).unwrap_or_else(|e| panic!("{spec}: {e}"));
             }
+        }
+    }
+
+    #[test]
+    fn every_advertised_technique_sweeps_as_a_custom_variant() {
+        // Catalogue/API drift guard: each registry entry's realistic
+        // spec must be accepted by POST /v1/sweep as a custom variant.
+        for profile in extended_catalog() {
+            let spec = technique_spec(&profile.technique(AssumptionLevel::Realistic).unwrap());
+            let body =
+                format!("{{\"variants\":[{{\"label\":\"base\"}},{{\"technique\":{spec}}}]}}");
+            let req = match ApiRequest::parse(Endpoint::Sweep, body.as_bytes()) {
+                Ok(ApiRequest::Sweep(req)) => req,
+                other => panic!("{spec}: {other:?}"),
+            };
+            assert_eq!(req.variants.len(), 2, "{spec}");
+            assert_eq!(req.variants[1].label, profile.label(), "{spec}");
+        }
+    }
+
+    #[test]
+    fn extension_techniques_parse_with_defaults_and_validate() {
+        // thermal_capped_3d omitting nothing; cxl_harvesting bands.
+        let p = parse_problem(
+            r#"{"total_ceas":32,"techniques":[
+                {"kind":"thermal_capped_3d","layers":4,"layer_density":8,"thermal_derate":0.7},
+                {"kind":"cxl_harvesting","io_bandwidth_ratio":0.5,"idle_fraction":0.5}
+            ]}"#,
+        )
+        .unwrap();
+        assert_eq!(p.techniques().len(), 2);
+        for (body, what) in [
+            (
+                r#"{"total_ceas":32,"techniques":[{"kind":"cxl_harvesting","io_bandwidth_ratio":0.5,"idle_fraction":1.5}]}"#,
+                "idle fraction above 1",
+            ),
+            (
+                r#"{"total_ceas":32,"techniques":[{"kind":"thermal_capped_3d","layers":0.5,"layer_density":8,"thermal_derate":0.7}]}"#,
+                "fractional layers",
+            ),
+            (
+                r#"{"total_ceas":32,"techniques":[{"kind":"thermal_capped_3d","layers":2,"layer_density":8,"thermal_derate":0}]}"#,
+                "zero derate",
+            ),
+        ] {
+            assert!(parse_problem(body).is_err(), "accepted {what}");
         }
     }
 }

@@ -1,9 +1,16 @@
-//! Shared sweep driver for the single-technique figures (Figures 4–12):
-//! each variant is solved on the next-generation 32-CEA die under a
-//! constant traffic envelope.
+//! Shared sweep driver for the single-technique figures (Figures 4–12
+//! and the post-2009 extension experiments): each variant is solved on
+//! the next-generation 32-CEA die under a constant traffic envelope.
+//!
+//! A figure's sweep is declared as a [`CatalogueSweep`] — base row
+//! first, by construction — and registered through
+//! [`crate::registry::Experiment::sweep`], from which the named sweeps
+//! `POST /v1/sweep` serves are derived. There is no hand-maintained
+//! name list: registering an experiment with a sweep *is* publishing it.
 
 use crate::report::{Report, TableBlock, Value};
 use crate::{die_budget, paper_baseline};
+use bandwall_model::descriptor;
 use bandwall_model::Technique;
 
 /// One sweep point: a label and the technique to apply (`None` = base).
@@ -25,6 +32,76 @@ impl Variant {
             technique,
             paper,
         }
+    }
+
+    /// Builds a technique variant from the registry: `id` names a
+    /// [`descriptor::TechniqueDescriptor`] and `params` its full
+    /// parameter vector. This is the one constructor the figure modules
+    /// use, so a sweep point is always a registry-validated instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id or out-of-domain parameters — sweep
+    /// declarations are static data, so both are programming errors.
+    pub fn from_descriptor(
+        label: impl Into<String>,
+        id: &str,
+        params: &[f64],
+        paper: Option<u64>,
+    ) -> Self {
+        let technique = descriptor::descriptor(id)
+            .unwrap_or_else(|| panic!("unknown technique id '{id}'"))
+            .instantiate(params)
+            .unwrap_or_else(|e| panic!("invalid parameters for technique '{id}': {e}"));
+        Variant {
+            label: label.into(),
+            technique: Some(technique),
+            paper,
+        }
+    }
+}
+
+/// A figure's declared sweep: the mandatory base row (technique `None`)
+/// followed by registry-built technique points. The base-first
+/// convention every consumer relies on is enforced by this type — the
+/// only way to construct one is [`CatalogueSweep::base`], and
+/// [`CatalogueSweep::point`] can only append technique variants.
+#[derive(Debug, Clone)]
+pub struct CatalogueSweep {
+    variants: Vec<Variant>,
+}
+
+impl CatalogueSweep {
+    /// Starts a sweep with its base row.
+    pub fn base(label: impl Into<String>, paper: Option<u64>) -> Self {
+        CatalogueSweep {
+            variants: vec![Variant::new(label, None, paper)],
+        }
+    }
+
+    /// Appends a technique point built from the registry (see
+    /// [`Variant::from_descriptor`]).
+    #[must_use]
+    pub fn point(
+        mut self,
+        label: impl Into<String>,
+        id: &str,
+        params: &[f64],
+        paper: Option<u64>,
+    ) -> Self {
+        self.variants
+            .push(Variant::from_descriptor(label, id, params, paper));
+        self
+    }
+
+    /// The sweep points, base first.
+    pub fn variants(&self) -> &[Variant] {
+        &self.variants
+    }
+
+    /// Consumes the sweep into its variant list, base first.
+    pub fn into_variants(self) -> Vec<Variant> {
+        self.variants
     }
 }
 
@@ -59,38 +136,27 @@ pub fn sweep_block(
     Ok((table, results))
 }
 
-/// The catalogue sweeps `POST /v1/sweep` serves by name: each entry is
-/// a registry experiment id paired with the exact variant list its
-/// `sweep_block` table is built from, so a named sweep over the wire
-/// returns the same core counts as the figure.
-pub const NAMED_SWEEPS: [&str; 9] = [
-    "fig04_cache_compression",
-    "fig05_dram_cache",
-    "fig06_3d_cache",
-    "fig07_filtering",
-    "fig08_smaller_cores",
-    "fig09_link_compression",
-    "fig10_sectored",
-    "fig11_small_lines",
-    "fig12_cache_link",
-];
+/// The catalogue-sweep names `POST /v1/sweep` serves, derived from the
+/// experiment registry: every experiment that declares a
+/// [`CatalogueSweep`] is listed under its registry id, in registry
+/// order.
+pub fn named_sweep_ids() -> Vec<&'static str> {
+    crate::registry::registry()
+        .iter()
+        .filter(|e| e.sweep().is_some())
+        .map(|e| e.id())
+        .collect()
+}
 
 /// Resolves a named catalogue sweep to its variant list (`None` for an
-/// unknown name). Names are the registry ids in [`NAMED_SWEEPS`].
+/// unknown name). Names are registry experiment ids (see
+/// [`named_sweep_ids`]).
 pub fn named_sweep(name: &str) -> Option<Vec<Variant>> {
-    use crate::experiments as ex;
-    Some(match name {
-        "fig04_cache_compression" => ex::fig04_cache_compression::variants(),
-        "fig05_dram_cache" => ex::fig05_dram_cache::variants(),
-        "fig06_3d_cache" => ex::fig06_3d_cache::variants(),
-        "fig07_filtering" => ex::fig07_filtering::variants(),
-        "fig08_smaller_cores" => ex::fig08_smaller_cores::variants(),
-        "fig09_link_compression" => ex::fig09_link_compression::variants(),
-        "fig10_sectored" => ex::fig10_sectored::variants(),
-        "fig11_small_lines" => ex::fig11_small_lines::variants(),
-        "fig12_cache_link" => ex::fig12_cache_link::variants(),
-        _ => return None,
-    })
+    crate::registry::registry()
+        .iter()
+        .find(|e| e.id() == name)
+        .and_then(|e| e.sweep())
+        .map(CatalogueSweep::into_variants)
 }
 
 /// Records a `cores[label]` metric for every variant the paper anchors.
@@ -137,8 +203,37 @@ mod tests {
     }
 
     #[test]
-    fn named_sweeps_resolve_and_unknown_names_do_not() {
-        for name in NAMED_SWEEPS {
+    fn from_descriptor_matches_named_constructor() {
+        let a = Variant::from_descriptor("dram", "dram_cache", &[8.0], None);
+        assert_eq!(a.technique, Some(Technique::dram_cache(8.0).unwrap()));
+        assert_eq!(a.paper, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown technique id")]
+    fn from_descriptor_rejects_unknown_ids() {
+        let _ = Variant::from_descriptor("x", "warp_drive", &[2.0], None);
+    }
+
+    #[test]
+    fn catalogue_sweeps_are_base_first_by_construction() {
+        let sweep =
+            CatalogueSweep::base("base", Some(11)).point("dram", "dram_cache", &[8.0], None);
+        let variants = sweep.into_variants();
+        assert_eq!(variants.len(), 2);
+        assert!(variants[0].technique.is_none());
+        assert!(variants[1].technique.is_some());
+    }
+
+    #[test]
+    fn named_sweeps_are_derived_from_the_registry() {
+        let ids = named_sweep_ids();
+        assert!(ids.len() >= 11, "{ids:?}");
+        assert_eq!(ids[0], "fig04_cache_compression");
+        assert!(ids.contains(&"fig12_cache_link"));
+        assert!(ids.contains(&"thermal_capped_3d"));
+        assert!(ids.contains(&"cxl_harvesting"));
+        for name in ids {
             let variants = named_sweep(name).unwrap_or_else(|| panic!("{name} must resolve"));
             assert!(!variants.is_empty(), "{name} has no variants");
             // Every catalogue sweep leads with the untouched base case.

@@ -135,7 +135,7 @@ fn every_report_has_id_matching_registry_and_renders() {
 
 #[test]
 fn all_registry_reports_are_byte_stable_and_well_formed() {
-    // Full-coverage stability sweep: every one of the 30 registry
+    // Full-coverage stability sweep: every one of the 32 registry
     // experiments — simulator-backed ones included — must succeed and
     // render byte-identical JSON across two fresh registry instances.
     // This is the blanket determinism guarantee the narrower golden
@@ -153,6 +153,39 @@ fn all_registry_reports_are_byte_stable_and_well_formed() {
         assert_eq!(json.matches('{').count(), json.matches('}').count(), "{id}");
         assert_eq!(json.matches('[').count(), json.matches(']').count(), "{id}");
         assert!(!ra.is_failure(), "{id}");
+    }
+}
+
+#[test]
+fn committed_golden_baselines_match_current_reports_byte_for_byte() {
+    // Every committed baseline under tests/golden/ must match a fresh
+    // run byte-for-byte, and every registry experiment must have one.
+    // This pins the 30 historical reports against regressions while the
+    // registry grows, and forces new experiments to commit a baseline.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let mut baselines: Vec<String> = std::fs::read_dir(&dir)
+        .expect("tests/golden exists")
+        .map(|entry| entry.unwrap().path())
+        .filter(|path| path.extension().and_then(|e| e.to_str()) == Some("json"))
+        .map(|path| path.file_stem().unwrap().to_str().unwrap().to_owned())
+        .collect();
+    baselines.sort();
+    let mut registered: Vec<String> = registry().iter().map(|e| e.id().to_owned()).collect();
+    registered.sort();
+    assert_eq!(
+        baselines, registered,
+        "tests/golden/ must hold exactly one baseline per registry experiment"
+    );
+    for id in &baselines {
+        let committed = std::fs::read_to_string(dir.join(format!("{id}.json"))).unwrap();
+        let report = find(id).unwrap().run().expect("golden experiment succeeds");
+        assert_eq!(
+            report.to_json(),
+            committed,
+            "{id} drifted from its committed baseline; regenerate with \
+             `bandwall run {id} --format json --out crates/bench/tests/golden` \
+             only if the change is intended"
+        );
     }
 }
 

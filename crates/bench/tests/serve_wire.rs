@@ -517,7 +517,7 @@ fn techniques_endpoint_lists_the_catalogue() {
     let response = client.request("GET", "/v1/techniques", None).unwrap();
     assert_eq!(response.status, 200);
     for label in [
-        "CC", "DRAM", "3D", "Fltr", "SmCo", "LC", "Sect", "SmCl", "CC/LC",
+        "CC", "DRAM", "3D", "Fltr", "SmCo", "LC", "Sect", "SmCl", "CC/LC", "3D/T", "CXL",
     ] {
         assert!(
             response.body.contains(&format!("\"label\":\"{label}\"")),
@@ -527,12 +527,86 @@ fn techniques_endpoint_lists_the_catalogue() {
     }
     assert!(response.body.contains("\"sweeps\":["));
     assert!(response.body.contains("fig12_cache_link"));
+    // Registry extensions surface in both lists with no wire-layer edits.
+    assert!(response.body.contains("\"id\":\"thermal_capped_3d\""));
+    assert!(response.body.contains("\"id\":\"cxl_harvesting\""));
     // Wrong method on a versioned path is a structured 405.
     let post = client
         .request("POST", "/v1/techniques", Some("{}"))
         .unwrap();
     assert_eq!(post.status, 405);
     assert!(post.body.contains("\"kind\":\"invalid_request\""));
+    drop(client);
+    stop(server);
+}
+
+#[test]
+fn every_advertised_technique_round_trips_through_a_custom_sweep() {
+    use bandwall_experiments::serve::json::Json;
+    use std::collections::BTreeMap;
+
+    /// Re-serializes a flat technique spec ({"kind": "...", field: num})
+    /// exactly as a client would echo it back.
+    fn render_flat(obj: &BTreeMap<String, Json>) -> String {
+        let fields: Vec<String> = obj
+            .iter()
+            .map(|(key, value)| {
+                if let Some(text) = value.as_str() {
+                    format!("\"{key}\":\"{text}\"")
+                } else {
+                    format!("\"{key}\":{}", value.as_num().expect("numeric field"))
+                }
+            })
+            .collect();
+        format!("{{{}}}", fields.join(","))
+    }
+
+    let (server, addr) = start(test_config());
+    let mut client = Client::connect(&addr).unwrap();
+    let listing = client.request("GET", "/v1/techniques", None).unwrap();
+    assert_eq!(listing.status, 200);
+    let doc = Json::parse(&listing.body).expect("well-formed listing");
+    let techniques = doc
+        .as_obj()
+        .and_then(|o| o.get("result"))
+        .and_then(Json::as_obj)
+        .and_then(|o| o.get("techniques"))
+        .and_then(Json::as_arr)
+        .expect("techniques array");
+    assert!(
+        techniques.len() >= 11,
+        "the extended catalogue is advertised: {}",
+        listing.body
+    );
+    // Every advertised entry, at every assumption band, must be
+    // acceptable as a custom /v1/sweep variant exactly as listed — the
+    // listing and the validator are views of the same registry.
+    for entry in techniques {
+        let obj = entry.as_obj().expect("technique object");
+        let id = obj.get("id").and_then(Json::as_str).expect("technique id");
+        for level in ["pessimistic", "realistic", "optimistic"] {
+            let spec = obj
+                .get("assumptions")
+                .and_then(Json::as_obj)
+                .and_then(|bands| bands.get(level))
+                .and_then(Json::as_obj)
+                .and_then(|band| band.get("technique"))
+                .and_then(Json::as_obj)
+                .unwrap_or_else(|| panic!("{id}: no {level} technique spec"));
+            let body = format!(
+                "{{\"variants\":[{{\"label\":\"base\"}},\
+                 {{\"label\":\"{id}\",\"technique\":{}}}]}}",
+                render_flat(spec)
+            );
+            let response = client.request("POST", "/v1/sweep", Some(&body)).unwrap();
+            assert_eq!(response.status, 200, "{id} {level}: {}", response.body);
+            assert!(
+                response.body.contains(&format!("\"label\":\"{id}\"")),
+                "{id} {level}: variant row missing from {}",
+                response.body
+            );
+        }
+    }
     drop(client);
     stop(server);
 }

@@ -12,7 +12,7 @@
 //! digest is a convenience, not the identity.
 
 use crate::scaling::ScalingProblem;
-use crate::techniques::TechniqueKind;
+use crate::techniques::Technique;
 
 /// FNV-1a offset basis (64-bit).
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -33,23 +33,31 @@ fn float_bits(v: f64) -> u64 {
     }
 }
 
-/// Encodes one technique as a sortable fixed-width word triple:
-/// a discriminant tag followed by its parameters' bit patterns.
-fn technique_words(kind: TechniqueKind) -> [u64; 3] {
-    match kind {
-        TechniqueKind::CacheCompression { ratio } => [1, float_bits(ratio), 0],
-        TechniqueKind::DramCache { density } => [2, float_bits(density), 0],
-        TechniqueKind::StackedCache {
-            layers,
-            layer_density,
-        } => [3, u64::from(layers), float_bits(layer_density)],
-        TechniqueKind::UnusedDataFilter { unused_fraction } => [4, float_bits(unused_fraction), 0],
-        TechniqueKind::SmallerCores { area_fraction } => [5, float_bits(area_fraction), 0],
-        TechniqueKind::LinkCompression { ratio } => [6, float_bits(ratio), 0],
-        TechniqueKind::SectoredCache { unused_fraction } => [7, float_bits(unused_fraction), 0],
-        TechniqueKind::SmallCacheLines { unused_fraction } => [8, float_bits(unused_fraction), 0],
-        TechniqueKind::CacheLinkCompression { ratio } => [9, float_bits(ratio), 0],
+/// Encodes one technique as a sortable word group: the registry
+/// discriminant tag followed by its parameters' bit patterns (integer
+/// parameters encode as their value, so `stacked_cache(2)` reads as
+/// `[3, 2, bits(density)]`), zero-padded to at least three words so the
+/// pre-registry encodings of the Table 2 techniques are preserved
+/// byte-for-byte. Decoding stays unambiguous: every group starts with a
+/// tag and each tag has a fixed parameter count.
+fn technique_words(technique: &Technique) -> Vec<u64> {
+    let descriptor = technique.descriptor();
+    let mut words = Vec::with_capacity(3);
+    words.push(descriptor.tag);
+    for (spec, &value) in descriptor.params.iter().zip(technique.params()) {
+        if spec.domain.is_integer() {
+            // Integer-domain values are validated whole numbers well
+            // inside u64 range; encode the value, not its float bits.
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            words.push(value as u64);
+        } else {
+            words.push(float_bits(value));
+        }
     }
+    while words.len() < 3 {
+        words.push(0);
+    }
+    words
 }
 
 /// The exact canonical form of a [`ScalingProblem`]: every parameter's
@@ -95,11 +103,8 @@ impl CanonicalProblem {
             float_bits(problem.per_core_demand()),
             float_bits(problem.uncore_per_core()),
         ];
-        let mut techniques: Vec<[u64; 3]> = problem
-            .techniques()
-            .iter()
-            .map(|t| technique_words(t.kind()))
-            .collect();
+        let mut techniques: Vec<Vec<u64>> =
+            problem.techniques().iter().map(technique_words).collect();
         techniques.sort_unstable();
         for t in techniques {
             words.extend_from_slice(&t);

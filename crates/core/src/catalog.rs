@@ -1,7 +1,13 @@
-//! The technique catalogue of Table 2: each mechanism with its realistic /
+//! The technique catalogue of Table 2, as a thin view over the
+//! [`crate::descriptor`] registry: each mechanism with its realistic /
 //! pessimistic / optimistic parameter assumptions and the paper's
 //! qualitative assessment (effectiveness, variability, complexity).
+//!
+//! [`catalog`] yields exactly the paper's nine rows (the figure-15 and
+//! Table 2 reproductions iterate it); [`extended_catalog`] additionally
+//! includes every post-2009 technique registered since.
 
+use crate::descriptor::{registry, TechniqueDescriptor};
 use crate::error::ModelError;
 use crate::techniques::{Category, Technique};
 use std::fmt;
@@ -59,138 +65,81 @@ impl fmt::Display for Rating {
     }
 }
 
-/// Stable identifier for each catalogued technique, in the order of
-/// Figure 15's x-axis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum TechniqueId {
-    /// Cache compression (CC).
-    CacheCompression,
-    /// DRAM cache (DRAM).
-    DramCache,
-    /// 3D-stacked cache (3D).
-    StackedCache,
-    /// Unused-data filtering (Fltr).
-    UnusedDataFilter,
-    /// Smaller cores (SmCo).
-    SmallerCores,
-    /// Link compression (LC).
-    LinkCompression,
-    /// Sectored caches (Sect).
-    SectoredCache,
-    /// Small cache lines (SmCl).
-    SmallCacheLines,
-    /// Cache + link compression (CC/LC).
-    CacheLinkCompression,
-}
-
-/// One row of Table 2: a technique, its assumption band, and the paper's
-/// qualitative assessment.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// One row of the catalogue: a registered technique, its assumption
+/// band, and its qualitative assessment — a view over one
+/// [`TechniqueDescriptor`].
+#[derive(Debug, Clone, Copy)]
 pub struct TechniqueProfile {
-    id: TechniqueId,
-    label: &'static str,
-    name: &'static str,
-    realistic: &'static str,
-    pessimistic: &'static str,
-    optimistic: &'static str,
-    effectiveness: Rating,
-    range: Rating,
-    complexity: Rating,
+    descriptor: &'static TechniqueDescriptor,
 }
 
 impl TechniqueProfile {
-    /// Stable identifier.
-    pub fn id(&self) -> TechniqueId {
-        self.id
+    /// Stable registry id (e.g. `"dram_cache"`).
+    pub fn id(&self) -> &'static str {
+        self.descriptor.id
+    }
+
+    /// The underlying registry descriptor.
+    pub fn descriptor(&self) -> &'static TechniqueDescriptor {
+        self.descriptor
     }
 
     /// Short figure-axis label (e.g. `"CC/LC"`).
     pub fn label(&self) -> &'static str {
-        self.label
+        self.descriptor.label
     }
 
     /// Full technique name.
     pub fn name(&self) -> &'static str {
-        self.name
+        self.descriptor.name
     }
 
     /// Human-readable assumption text for a level, as printed in Table 2.
     pub fn assumption_text(&self, level: AssumptionLevel) -> &'static str {
-        match level {
-            AssumptionLevel::Pessimistic => self.pessimistic,
-            AssumptionLevel::Realistic => self.realistic,
-            AssumptionLevel::Optimistic => self.optimistic,
-        }
+        self.descriptor.band(level).text
     }
 
     /// Expected benefit to CMP core scaling.
     pub fn effectiveness(&self) -> Rating {
-        self.effectiveness
+        self.descriptor.effectiveness
     }
 
     /// Variability of the benefit across workloads.
     pub fn range(&self) -> Rating {
-        self.range
+        self.descriptor.range
     }
 
     /// Estimated implementation cost/feasibility.
     pub fn complexity(&self) -> Rating {
-        self.complexity
+        self.descriptor.complexity
     }
 
     /// Instantiates the technique at an assumption level.
     ///
     /// # Errors
     ///
-    /// Never fails for the built-in catalogue; the `Result` mirrors the
-    /// technique constructors.
+    /// Never fails for registered techniques (their bands are
+    /// registry-tested); the `Result` mirrors the technique constructors.
     pub fn technique(&self, level: AssumptionLevel) -> Result<Technique, ModelError> {
-        use AssumptionLevel as L;
-        match (self.id, level) {
-            (TechniqueId::CacheCompression, L::Pessimistic) => Technique::cache_compression(1.25),
-            (TechniqueId::CacheCompression, L::Realistic) => Technique::cache_compression(2.0),
-            (TechniqueId::CacheCompression, L::Optimistic) => Technique::cache_compression(3.5),
-            (TechniqueId::DramCache, L::Pessimistic) => Technique::dram_cache(4.0),
-            (TechniqueId::DramCache, L::Realistic) => Technique::dram_cache(8.0),
-            (TechniqueId::DramCache, L::Optimistic) => Technique::dram_cache(16.0),
-            // Table 2 considers only the SRAM-layer variant for 3D.
-            (TechniqueId::StackedCache, _) => Technique::stacked_cache(1),
-            (TechniqueId::UnusedDataFilter, L::Pessimistic) => Technique::unused_data_filter(0.1),
-            (TechniqueId::UnusedDataFilter, L::Realistic) => Technique::unused_data_filter(0.4),
-            (TechniqueId::UnusedDataFilter, L::Optimistic) => Technique::unused_data_filter(0.8),
-            (TechniqueId::SmallerCores, L::Pessimistic) => Technique::smaller_cores(1.0 / 9.0),
-            (TechniqueId::SmallerCores, L::Realistic) => Technique::smaller_cores(1.0 / 40.0),
-            (TechniqueId::SmallerCores, L::Optimistic) => Technique::smaller_cores(1.0 / 80.0),
-            (TechniqueId::LinkCompression, L::Pessimistic) => Technique::link_compression(1.25),
-            (TechniqueId::LinkCompression, L::Realistic) => Technique::link_compression(2.0),
-            (TechniqueId::LinkCompression, L::Optimistic) => Technique::link_compression(3.5),
-            (TechniqueId::SectoredCache, L::Pessimistic) => Technique::sectored_cache(0.1),
-            (TechniqueId::SectoredCache, L::Realistic) => Technique::sectored_cache(0.4),
-            (TechniqueId::SectoredCache, L::Optimistic) => Technique::sectored_cache(0.8),
-            (TechniqueId::SmallCacheLines, L::Pessimistic) => Technique::small_cache_lines(0.1),
-            (TechniqueId::SmallCacheLines, L::Realistic) => Technique::small_cache_lines(0.4),
-            (TechniqueId::SmallCacheLines, L::Optimistic) => Technique::small_cache_lines(0.8),
-            (TechniqueId::CacheLinkCompression, L::Pessimistic) => {
-                Technique::cache_link_compression(1.25)
-            }
-            (TechniqueId::CacheLinkCompression, L::Realistic) => {
-                Technique::cache_link_compression(2.0)
-            }
-            (TechniqueId::CacheLinkCompression, L::Optimistic) => {
-                Technique::cache_link_compression(3.5)
-            }
-        }
+        self.descriptor.at(level)
     }
 
-    /// The paper's category of the realistic instantiation.
+    /// The paper's category of this technique.
     pub fn category(&self) -> Category {
-        self.technique(AssumptionLevel::Realistic)
-            .expect("catalogue parameters are valid")
-            .category()
+        self.descriptor.category
     }
 }
 
-/// The full Table 2 catalogue in Figure 15 order.
+impl PartialEq for TechniqueProfile {
+    fn eq(&self, other: &Self) -> bool {
+        self.descriptor.tag == other.descriptor.tag
+    }
+}
+
+/// The paper's Table 2 catalogue — exactly nine rows, in Figure 15
+/// order. Registered post-2009 techniques are deliberately excluded so
+/// the paper-reproduction experiments keep their exact row sets; see
+/// [`extended_catalog`] for everything.
 ///
 /// # Examples
 ///
@@ -204,110 +153,33 @@ impl TechniqueProfile {
 /// assert_eq!(dram.assumption_text(AssumptionLevel::Realistic), "8x density");
 /// ```
 pub fn catalog() -> Vec<TechniqueProfile> {
-    vec![
-        TechniqueProfile {
-            id: TechniqueId::CacheCompression,
-            label: "CC",
-            name: "Cache Compress",
-            realistic: "2x compr.",
-            pessimistic: "1.25x compr.",
-            optimistic: "3.5x compr.",
-            effectiveness: Rating::Medium,
-            range: Rating::Low,
-            complexity: Rating::Medium,
-        },
-        TechniqueProfile {
-            id: TechniqueId::DramCache,
-            label: "DRAM",
-            name: "DRAM Cache",
-            realistic: "8x density",
-            pessimistic: "4x density",
-            optimistic: "16x density",
-            effectiveness: Rating::High,
-            range: Rating::Medium,
-            complexity: Rating::Low,
-        },
-        TechniqueProfile {
-            id: TechniqueId::StackedCache,
-            label: "3D",
-            name: "3D-stacked Cache",
-            realistic: "3D SRAM layer",
-            pessimistic: "3D SRAM layer",
-            optimistic: "3D SRAM layer",
-            effectiveness: Rating::Medium,
-            range: Rating::Low,
-            complexity: Rating::High,
-        },
-        TechniqueProfile {
-            id: TechniqueId::UnusedDataFilter,
-            label: "Fltr",
-            name: "Unused Data Filter",
-            realistic: "40% unused data",
-            pessimistic: "10% unused data",
-            optimistic: "80% unused data",
-            effectiveness: Rating::Medium,
-            range: Rating::Medium,
-            complexity: Rating::Medium,
-        },
-        TechniqueProfile {
-            id: TechniqueId::SmallerCores,
-            label: "SmCo",
-            name: "Smaller Cores",
-            realistic: "40x less area",
-            pessimistic: "9x less area",
-            optimistic: "80x less area",
-            effectiveness: Rating::Low,
-            range: Rating::Low,
-            complexity: Rating::Low,
-        },
-        TechniqueProfile {
-            id: TechniqueId::LinkCompression,
-            label: "LC",
-            name: "Link Compress",
-            realistic: "2x compr.",
-            pessimistic: "1.25x compr.",
-            optimistic: "3.5x compr.",
-            effectiveness: Rating::High,
-            range: Rating::Medium,
-            complexity: Rating::Low,
-        },
-        TechniqueProfile {
-            id: TechniqueId::SectoredCache,
-            label: "Sect",
-            name: "Sectored Caches",
-            realistic: "40% unused data",
-            pessimistic: "10% unused data",
-            optimistic: "80% unused data",
-            effectiveness: Rating::Medium,
-            range: Rating::High,
-            complexity: Rating::Medium,
-        },
-        TechniqueProfile {
-            id: TechniqueId::SmallCacheLines,
-            label: "SmCl",
-            name: "Smaller Cache Lines",
-            realistic: "40% unused data",
-            pessimistic: "10% unused data",
-            optimistic: "80% unused data",
-            effectiveness: Rating::High,
-            range: Rating::High,
-            complexity: Rating::Medium,
-        },
-        TechniqueProfile {
-            id: TechniqueId::CacheLinkCompression,
-            label: "CC/LC",
-            name: "Cache+Link Compress",
-            realistic: "2x compr.",
-            pessimistic: "1.25x compr.",
-            optimistic: "3.5x compr.",
-            effectiveness: Rating::High,
-            range: Rating::High,
-            complexity: Rating::Low,
-        },
-    ]
+    registry()
+        .iter()
+        .filter(|d| d.paper)
+        .map(|descriptor| TechniqueProfile { descriptor })
+        .collect()
 }
 
-/// Looks up a catalogue entry by its figure label.
+/// Every registered technique — the Table 2 rows followed by the
+/// post-2009 extensions, in registry order.
+///
+/// # Examples
+///
+/// ```
+/// use bandwall_model::catalog::{catalog, extended_catalog};
+///
+/// assert!(extended_catalog().len() > catalog().len());
+/// assert!(extended_catalog().iter().any(|p| p.id() == "cxl_harvesting"));
+/// ```
+pub fn extended_catalog() -> Vec<TechniqueProfile> {
+    registry()
+        .iter()
+        .map(|descriptor| TechniqueProfile { descriptor })
+        .collect()
+}
+
+/// Looks up a catalogue entry (including extensions) by its figure
+/// label.
 ///
 /// # Examples
 ///
@@ -317,7 +189,7 @@ pub fn catalog() -> Vec<TechniqueProfile> {
 /// assert!(profile("nope").is_none());
 /// ```
 pub fn profile(label: &str) -> Option<TechniqueProfile> {
-    catalog().into_iter().find(|p| p.label == label)
+    extended_catalog().into_iter().find(|p| p.label() == label)
 }
 
 #[cfg(test)]
@@ -334,8 +206,17 @@ mod tests {
     }
 
     #[test]
+    fn extended_catalogue_appends_registered_techniques() {
+        let ids: Vec<&str> = extended_catalog().iter().map(|p| p.id()).collect();
+        assert!(ids.len() >= 11, "{ids:?}");
+        assert_eq!(&ids[..2], &["cache_compression", "dram_cache"]);
+        assert!(ids.contains(&"thermal_capped_3d"));
+        assert!(ids.contains(&"cxl_harvesting"));
+    }
+
+    #[test]
     fn every_profile_instantiates_at_every_level() {
-        for p in catalog() {
+        for p in extended_catalog() {
             for level in AssumptionLevel::ALL {
                 let t = p.technique(level).unwrap();
                 assert_eq!(t.label(), p.label(), "{}", p.name());
@@ -373,7 +254,7 @@ mod tests {
     fn optimistic_at_least_as_good_as_pessimistic() {
         use crate::params::Baseline;
         use crate::scaling::ScalingProblem;
-        for p in catalog() {
+        for p in extended_catalog() {
             let solve = |level| {
                 ScalingProblem::new(Baseline::niagara2_like(), 32.0)
                     .with_technique(p.technique(level).unwrap())
@@ -405,5 +286,6 @@ mod tests {
         assert_eq!(profile("CC").unwrap().category(), Category::Indirect);
         assert_eq!(profile("LC").unwrap().category(), Category::Direct);
         assert_eq!(profile("SmCl").unwrap().category(), Category::Dual);
+        assert_eq!(profile("CXL").unwrap().category(), Category::Direct);
     }
 }

@@ -27,19 +27,22 @@ pub struct StackedLayer {
 }
 
 impl StackedLayer {
-    /// Creates a layer with the given density relative to SRAM.
+    /// Creates a layer with the given density relative to SRAM. Densities
+    /// below 1 model derated layers (e.g. thermally throttled upper dies);
+    /// user-facing `layer_density` parameters still require `>= 1` at the
+    /// registry's validation layer.
     ///
     /// # Errors
     ///
-    /// Returns [`ModelError::InvalidParameter`] unless `density >= 1`.
+    /// Returns [`ModelError::InvalidParameter`] unless `density > 0`.
     pub fn new(density: f64) -> Result<Self, ModelError> {
-        if density.is_finite() && density >= 1.0 {
+        if density.is_finite() && density > 0.0 {
             Ok(StackedLayer { density })
         } else {
             Err(ModelError::InvalidParameter {
                 name: "layer_density",
                 value: density,
-                constraint: "must be finite and >= 1",
+                constraint: "must be finite and > 0",
             })
         }
     }
@@ -309,7 +312,9 @@ mod tests {
 
     #[test]
     fn layer_validation() {
-        assert!(StackedLayer::new(0.5).is_err());
+        assert!(StackedLayer::new(0.5).is_ok(), "derated layers are legal");
+        assert!(StackedLayer::new(0.0).is_err());
+        assert!(StackedLayer::new(-1.0).is_err());
         assert!(StackedLayer::new(f64::NAN).is_err());
         assert_eq!(StackedLayer::sram().density(), 1.0);
         assert_eq!(StackedLayer::new(16.0).unwrap().density(), 16.0);

@@ -48,6 +48,7 @@
 pub mod canonical;
 pub mod catalog;
 pub mod combination;
+pub mod descriptor;
 pub mod effects;
 mod error;
 pub mod mix;
@@ -61,12 +62,13 @@ mod throughput;
 mod traffic;
 
 pub use canonical::CanonicalProblem;
-pub use catalog::{catalog, AssumptionLevel, Rating, TechniqueProfile};
+pub use catalog::{catalog, extended_catalog, AssumptionLevel, Rating, TechniqueProfile};
+pub use descriptor::{ParamDomain, ParamSpec, TechniqueDescriptor};
 pub use effects::Effects;
 pub use error::ModelError;
 pub use params::{Alpha, Baseline};
 pub use power_law::MissRateCurve;
 pub use scaling::{GenerationResult, GenerationSweep, ScalingProblem, ScalingSolution};
-pub use techniques::{Category, Technique, TechniqueKind};
+pub use techniques::{Category, Technique};
 pub use throughput::{ThroughputModel, ThroughputPoint};
 pub use traffic::TrafficModel;

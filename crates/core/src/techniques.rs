@@ -1,10 +1,16 @@
 //! The bandwidth-conservation techniques of Section 6.
 //!
-//! Each [`Technique`] is a validated, immutable description of one
-//! mechanism from the paper, together with the way it perturbs the traffic
-//! model (its [`Effects`] contribution). Techniques compose freely — apply
-//! any subset to a [`crate::ScalingProblem`] — and composition is
-//! commutative because every contribution is multiplicative.
+//! Each [`Technique`] is a validated, immutable instantiation of one
+//! [`crate::descriptor::TechniqueDescriptor`] from the open registry,
+//! together with the way it perturbs the traffic model (its [`Effects`]
+//! contribution). Techniques compose freely — apply any subset to a
+//! [`crate::ScalingProblem`] — and composition is commutative because
+//! every contribution is multiplicative.
+//!
+//! The named constructors below cover the paper's Table 2; techniques
+//! registered later (e.g. `thermal_capped_3d`, `cxl_harvesting`) are
+//! built through [`Technique::from_registry`], which is also how the
+//! wire layer instantiates every technique from its id.
 //!
 //! | Paper label | Constructor | Category |
 //! |-------------|-------------|----------|
@@ -18,7 +24,8 @@
 //! | SmCl — small cache lines | [`Technique::small_cache_lines`] | dual |
 //! | CC/LC — cache+link compression | [`Technique::cache_link_compression`] | dual |
 
-use crate::effects::{Effects, StackedLayer};
+use crate::descriptor::{self, TechniqueDescriptor, MAX_PARAMS};
+use crate::effects::Effects;
 use crate::error::ModelError;
 use std::fmt;
 
@@ -44,64 +51,6 @@ impl fmt::Display for Category {
     }
 }
 
-/// The mechanism a [`Technique`] models, with its validated parameters.
-///
-/// Obtain via [`Technique::kind`] for reporting or matching; construct
-/// techniques through the `Technique` constructors, which validate ranges.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[non_exhaustive]
-pub enum TechniqueKind {
-    /// On-chip cache compression with the given compression ratio.
-    CacheCompression {
-        /// Achieved compression ratio (≥ 1), e.g. 2.0 for 2×.
-        ratio: f64,
-    },
-    /// L2 implemented in DRAM, `density`× denser than SRAM.
-    DramCache {
-        /// Density improvement over SRAM (≥ 1).
-        density: f64,
-    },
-    /// 3D-stacked cache-only die layers.
-    StackedCache {
-        /// Number of extra cache-only dies.
-        layers: u32,
-        /// Density of each layer relative to SRAM (1.0 = SRAM layer).
-        layer_density: f64,
-    },
-    /// Retain only useful words on chip, discarding predicted-unused words.
-    UnusedDataFilter {
-        /// Average fraction of cached data that goes unused (0 ≤ f < 1).
-        unused_fraction: f64,
-    },
-    /// Simpler cores occupying a fraction of a CEA each.
-    SmallerCores {
-        /// Core area as a fraction of the baseline core (0 < f ≤ 1).
-        area_fraction: f64,
-    },
-    /// Compressed transfers on the off-chip memory link.
-    LinkCompression {
-        /// Effective bandwidth multiplier (≥ 1).
-        ratio: f64,
-    },
-    /// Fetch only predicted-referenced sectors of each line.
-    SectoredCache {
-        /// Average fraction of a line that goes unused (0 ≤ f < 1).
-        unused_fraction: f64,
-    },
-    /// Word-sized cache lines: unused words consume neither bandwidth nor
-    /// cache space (Equation 12).
-    SmallCacheLines {
-        /// Average fraction of a line that goes unused (0 ≤ f < 1).
-        unused_fraction: f64,
-    },
-    /// Cache and link compression applied together: data stays compressed
-    /// in the L2 and on the link.
-    CacheLinkCompression {
-        /// Shared compression ratio (≥ 1).
-        ratio: f64,
-    },
-}
-
 /// One bandwidth-conservation technique with validated parameters.
 ///
 /// # Examples
@@ -115,36 +64,50 @@ pub enum TechniqueKind {
 /// assert_eq!(problem.max_supportable_cores()?, 18);
 /// # Ok::<(), bandwall_model::ModelError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Clone, Copy)]
 pub struct Technique {
-    kind: TechniqueKind,
-}
-
-fn validate_ratio(name: &'static str, ratio: f64) -> Result<f64, ModelError> {
-    if ratio.is_finite() && ratio >= 1.0 {
-        Ok(ratio)
-    } else {
-        Err(ModelError::InvalidParameter {
-            name,
-            value: ratio,
-            constraint: "must be finite and >= 1",
-        })
-    }
-}
-
-fn validate_fraction(name: &'static str, fraction: f64) -> Result<f64, ModelError> {
-    if fraction.is_finite() && (0.0..1.0).contains(&fraction) {
-        Ok(fraction)
-    } else {
-        Err(ModelError::InvalidParameter {
-            name,
-            value: fraction,
-            constraint: "must be in [0, 1)",
-        })
-    }
+    descriptor: &'static TechniqueDescriptor,
+    params: [f64; MAX_PARAMS],
 }
 
 impl Technique {
+    /// Builds a technique from already-validated parts — only
+    /// [`TechniqueDescriptor::instantiate`] calls this.
+    pub(crate) fn from_parts(
+        descriptor: &'static TechniqueDescriptor,
+        params: [f64; MAX_PARAMS],
+    ) -> Self {
+        Technique { descriptor, params }
+    }
+
+    /// Instantiates any registered technique by registry id, validating
+    /// `params` against its schema (one value per schema entry, in
+    /// order). This is the open-ended constructor the named ones below
+    /// are shorthands for.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bandwall_model::Technique;
+    ///
+    /// let a = Technique::from_registry("dram_cache", &[8.0])?;
+    /// assert_eq!(a, Technique::dram_cache(8.0)?);
+    /// # Ok::<(), bandwall_model::ModelError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown ids, wrong parameter counts, and out-of-domain
+    /// parameters.
+    pub fn from_registry(id: &str, params: &[f64]) -> Result<Self, ModelError> {
+        let descriptor = descriptor::descriptor(id).ok_or(ModelError::InvalidParameter {
+            name: "technique_id",
+            value: f64::NAN,
+            constraint: "must name a registered technique",
+        })?;
+        descriptor.instantiate(params)
+    }
+
     /// Cache compression with the given ratio (Section 6.1). Realistic
     /// ratios are 1.4–2.1× for commercial workloads.
     ///
@@ -152,11 +115,7 @@ impl Technique {
     ///
     /// Rejects ratios below 1 or non-finite.
     pub fn cache_compression(ratio: f64) -> Result<Self, ModelError> {
-        Ok(Technique {
-            kind: TechniqueKind::CacheCompression {
-                ratio: validate_ratio("compression_ratio", ratio)?,
-            },
-        })
+        Self::from_registry("cache_compression", &[ratio])
     }
 
     /// DRAM L2 cache, `density`× denser than SRAM (Section 6.1 cites
@@ -166,11 +125,7 @@ impl Technique {
     ///
     /// Rejects densities below 1 or non-finite.
     pub fn dram_cache(density: f64) -> Result<Self, ModelError> {
-        Ok(Technique {
-            kind: TechniqueKind::DramCache {
-                density: validate_ratio("dram_density", density)?,
-            },
-        })
+        Self::from_registry("dram_cache", &[density])
     }
 
     /// 3D-stacked SRAM cache layers (Section 6.1). The paper analyses
@@ -192,19 +147,7 @@ impl Technique {
     ///
     /// Rejects `layers == 0` and densities below 1.
     pub fn stacked_dram_cache(layers: u32, layer_density: f64) -> Result<Self, ModelError> {
-        if layers == 0 {
-            return Err(ModelError::InvalidParameter {
-                name: "layers",
-                value: 0.0,
-                constraint: "must be at least 1",
-            });
-        }
-        Ok(Technique {
-            kind: TechniqueKind::StackedCache {
-                layers,
-                layer_density: validate_ratio("layer_density", layer_density)?,
-            },
-        })
+        Self::from_registry("stacked_cache", &[f64::from(layers), layer_density])
     }
 
     /// Unused-data filtering keeping only useful words cached
@@ -215,11 +158,7 @@ impl Technique {
     ///
     /// Rejects fractions outside `[0, 1)`.
     pub fn unused_data_filter(unused_fraction: f64) -> Result<Self, ModelError> {
-        Ok(Technique {
-            kind: TechniqueKind::UnusedDataFilter {
-                unused_fraction: validate_fraction("unused_fraction", unused_fraction)?,
-            },
-        })
+        Self::from_registry("unused_data_filter", &[unused_fraction])
     }
 
     /// Smaller cores occupying `area_fraction` of a baseline CEA
@@ -229,17 +168,7 @@ impl Technique {
     ///
     /// Rejects fractions outside `(0, 1]`.
     pub fn smaller_cores(area_fraction: f64) -> Result<Self, ModelError> {
-        if area_fraction.is_finite() && area_fraction > 0.0 && area_fraction <= 1.0 {
-            Ok(Technique {
-                kind: TechniqueKind::SmallerCores { area_fraction },
-            })
-        } else {
-            Err(ModelError::InvalidParameter {
-                name: "area_fraction",
-                value: area_fraction,
-                constraint: "must be in (0, 1]",
-            })
-        }
+        Self::from_registry("smaller_cores", &[area_fraction])
     }
 
     /// Link compression with the given effective-bandwidth ratio
@@ -249,11 +178,7 @@ impl Technique {
     ///
     /// Rejects ratios below 1 or non-finite.
     pub fn link_compression(ratio: f64) -> Result<Self, ModelError> {
-        Ok(Technique {
-            kind: TechniqueKind::LinkCompression {
-                ratio: validate_ratio("compression_ratio", ratio)?,
-            },
-        })
+        Self::from_registry("link_compression", &[ratio])
     }
 
     /// Sectored caches fetching only predicted-referenced sectors
@@ -264,11 +189,7 @@ impl Technique {
     ///
     /// Rejects fractions outside `[0, 1)`.
     pub fn sectored_cache(unused_fraction: f64) -> Result<Self, ModelError> {
-        Ok(Technique {
-            kind: TechniqueKind::SectoredCache {
-                unused_fraction: validate_fraction("unused_fraction", unused_fraction)?,
-            },
-        })
+        Self::from_registry("sectored_cache", &[unused_fraction])
     }
 
     /// Word-sized cache lines (Section 6.3, Equation 12): unused words
@@ -278,11 +199,7 @@ impl Technique {
     ///
     /// Rejects fractions outside `[0, 1)`.
     pub fn small_cache_lines(unused_fraction: f64) -> Result<Self, ModelError> {
-        Ok(Technique {
-            kind: TechniqueKind::SmallCacheLines {
-                unused_fraction: validate_fraction("unused_fraction", unused_fraction)?,
-            },
-        })
+        Self::from_registry("small_cache_lines", &[unused_fraction])
     }
 
     /// Cache + link compression (Section 6.3): compressed data crosses the
@@ -292,130 +209,55 @@ impl Technique {
     ///
     /// Rejects ratios below 1 or non-finite.
     pub fn cache_link_compression(ratio: f64) -> Result<Self, ModelError> {
-        Ok(Technique {
-            kind: TechniqueKind::CacheLinkCompression {
-                ratio: validate_ratio("compression_ratio", ratio)?,
-            },
-        })
+        Self::from_registry("cache_link_compression", &[ratio])
     }
 
-    /// The mechanism and parameters behind this technique.
-    pub fn kind(&self) -> TechniqueKind {
-        self.kind
+    /// The registry descriptor this technique instantiates.
+    pub fn descriptor(&self) -> &'static TechniqueDescriptor {
+        self.descriptor
+    }
+
+    /// The validated parameter vector, one value per schema entry of
+    /// [`Self::descriptor`].
+    pub fn params(&self) -> &[f64] {
+        &self.params[..self.descriptor.params.len()]
     }
 
     /// The paper's taxonomy bucket for this technique.
     pub fn category(&self) -> Category {
-        match self.kind {
-            TechniqueKind::CacheCompression { .. }
-            | TechniqueKind::DramCache { .. }
-            | TechniqueKind::StackedCache { .. }
-            | TechniqueKind::UnusedDataFilter { .. }
-            | TechniqueKind::SmallerCores { .. } => Category::Indirect,
-            TechniqueKind::LinkCompression { .. } | TechniqueKind::SectoredCache { .. } => {
-                Category::Direct
-            }
-            TechniqueKind::SmallCacheLines { .. } | TechniqueKind::CacheLinkCompression { .. } => {
-                Category::Dual
-            }
-        }
+        self.descriptor.category
     }
 
     /// The short label the paper uses on figure axes (CC, DRAM, 3D, Fltr,
-    /// SmCo, LC, Sect, SmCl, CC/LC).
+    /// SmCo, LC, Sect, SmCl, CC/LC — plus the registered extensions).
     pub fn label(&self) -> &'static str {
-        match self.kind {
-            TechniqueKind::CacheCompression { .. } => "CC",
-            TechniqueKind::DramCache { .. } => "DRAM",
-            TechniqueKind::StackedCache { .. } => "3D",
-            TechniqueKind::UnusedDataFilter { .. } => "Fltr",
-            TechniqueKind::SmallerCores { .. } => "SmCo",
-            TechniqueKind::LinkCompression { .. } => "LC",
-            TechniqueKind::SectoredCache { .. } => "Sect",
-            TechniqueKind::SmallCacheLines { .. } => "SmCl",
-            TechniqueKind::CacheLinkCompression { .. } => "CC/LC",
-        }
+        self.descriptor.label
     }
 
     /// Accumulates this technique's contribution into `effects`.
     pub fn apply_to(&self, effects: &mut Effects) {
-        match self.kind {
-            TechniqueKind::CacheCompression { ratio } => effects.scale_capacity(ratio),
-            TechniqueKind::DramCache { density } => effects.scale_cache_density(density),
-            TechniqueKind::StackedCache {
-                layers,
-                layer_density,
-            } => {
-                let layer =
-                    StackedLayer::new(layer_density).expect("validated at technique construction");
-                for _ in 0..layers {
-                    effects.add_stacked_layer(layer);
-                }
-            }
-            TechniqueKind::UnusedDataFilter { unused_fraction } => {
-                effects.scale_capacity(1.0 / (1.0 - unused_fraction));
-            }
-            TechniqueKind::SmallerCores { area_fraction } => {
-                effects.scale_core_size(area_fraction);
-            }
-            TechniqueKind::LinkCompression { ratio } => effects.scale_traffic_divisor(ratio),
-            TechniqueKind::SectoredCache { unused_fraction } => {
-                effects.scale_traffic_divisor(1.0 / (1.0 - unused_fraction));
-            }
-            TechniqueKind::SmallCacheLines { unused_fraction } => {
-                let factor = 1.0 / (1.0 - unused_fraction);
-                effects.scale_capacity(factor);
-                effects.scale_traffic_divisor(factor);
-            }
-            TechniqueKind::CacheLinkCompression { ratio } => {
-                effects.scale_capacity(ratio);
-                effects.scale_traffic_divisor(ratio);
-            }
-        }
+        (self.descriptor.apply)(self.params(), effects);
+    }
+}
+
+impl PartialEq for Technique {
+    fn eq(&self, other: &Self) -> bool {
+        self.descriptor.tag == other.descriptor.tag && self.params() == other.params()
+    }
+}
+
+impl fmt::Debug for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Technique")
+            .field("id", &self.descriptor.id)
+            .field("params", &self.params())
+            .finish()
     }
 }
 
 impl fmt::Display for Technique {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.kind {
-            TechniqueKind::CacheCompression { ratio } => {
-                write!(f, "cache compression ({ratio}x)")
-            }
-            TechniqueKind::DramCache { density } => write!(f, "DRAM cache ({density}x density)"),
-            TechniqueKind::StackedCache {
-                layers,
-                layer_density,
-            } => {
-                if layer_density == 1.0 {
-                    write!(f, "3D-stacked SRAM cache ({layers} layer(s))")
-                } else {
-                    write!(
-                        f,
-                        "3D-stacked DRAM cache ({layers} layer(s), {layer_density}x)"
-                    )
-                }
-            }
-            TechniqueKind::UnusedDataFilter { unused_fraction } => {
-                write!(f, "unused-data filtering ({:.0}%)", unused_fraction * 100.0)
-            }
-            TechniqueKind::SmallerCores { area_fraction } => {
-                write!(f, "smaller cores ({:.0}x smaller)", 1.0 / area_fraction)
-            }
-            TechniqueKind::LinkCompression { ratio } => write!(f, "link compression ({ratio}x)"),
-            TechniqueKind::SectoredCache { unused_fraction } => {
-                write!(f, "sectored cache ({:.0}% unused)", unused_fraction * 100.0)
-            }
-            TechniqueKind::SmallCacheLines { unused_fraction } => {
-                write!(
-                    f,
-                    "small cache lines ({:.0}% unused)",
-                    unused_fraction * 100.0
-                )
-            }
-            TechniqueKind::CacheLinkCompression { ratio } => {
-                write!(f, "cache+link compression ({ratio}x)")
-            }
-        }
+        (self.descriptor.describe)(self.params(), f)
     }
 }
 
@@ -464,6 +306,22 @@ mod tests {
         assert!(Technique::sectored_cache(0.99).is_ok());
         assert!(Technique::small_cache_lines(1.0).is_err());
         assert!(Technique::cache_link_compression(2.0).is_ok());
+    }
+
+    #[test]
+    fn registry_constructor_matches_named_ones() {
+        assert_eq!(
+            Technique::from_registry("cache_compression", &[2.0]).unwrap(),
+            Technique::cache_compression(2.0).unwrap()
+        );
+        assert_eq!(
+            Technique::from_registry("stacked_cache", &[1.0, 1.0]).unwrap(),
+            Technique::stacked_cache(1).unwrap()
+        );
+        assert!(Technique::from_registry("warp_drive", &[1.0]).is_err());
+        assert!(Technique::from_registry("dram_cache", &[]).is_err());
+        assert!(Technique::from_registry("thermal_capped_3d", &[4.0, 8.0, 0.7]).is_ok());
+        assert!(Technique::from_registry("cxl_harvesting", &[0.5, 0.5]).is_ok());
     }
 
     #[test]
@@ -608,6 +466,56 @@ mod tests {
             .unwrap()
             .to_string()
             .contains("SRAM"));
+    }
+
+    #[test]
+    fn display_is_byte_stable_for_the_catalogue() {
+        // These strings feed figure labels and golden reports; the
+        // registry's describe functions must keep them byte-identical.
+        for (t, display) in [
+            (
+                Technique::cache_compression(2.0).unwrap(),
+                "cache compression (2x)",
+            ),
+            (
+                Technique::dram_cache(8.0).unwrap(),
+                "DRAM cache (8x density)",
+            ),
+            (
+                Technique::stacked_cache(1).unwrap(),
+                "3D-stacked SRAM cache (1 layer(s))",
+            ),
+            (
+                Technique::stacked_dram_cache(2, 8.0).unwrap(),
+                "3D-stacked DRAM cache (2 layer(s), 8x)",
+            ),
+            (
+                Technique::unused_data_filter(0.4).unwrap(),
+                "unused-data filtering (40%)",
+            ),
+            (
+                Technique::smaller_cores(1.0 / 80.0).unwrap(),
+                "smaller cores (80x smaller)",
+            ),
+            (
+                Technique::link_compression(2.0).unwrap(),
+                "link compression (2x)",
+            ),
+            (
+                Technique::sectored_cache(0.4).unwrap(),
+                "sectored cache (40% unused)",
+            ),
+            (
+                Technique::small_cache_lines(0.4).unwrap(),
+                "small cache lines (40% unused)",
+            ),
+            (
+                Technique::cache_link_compression(2.0).unwrap(),
+                "cache+link compression (2x)",
+            ),
+        ] {
+            assert_eq!(t.to_string(), display);
+        }
     }
 
     #[test]

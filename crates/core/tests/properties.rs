@@ -2,7 +2,9 @@
 //! a seeded [`Rng`] instead of an external property-testing framework.
 
 use bandwall_model::techniques::combine;
-use bandwall_model::{Alpha, Baseline, ScalingProblem, Technique, TrafficModel};
+use bandwall_model::{
+    extended_catalog, Alpha, AssumptionLevel, Baseline, ScalingProblem, Technique, TrafficModel,
+};
 use bandwall_numerics::Rng;
 
 const CASES: usize = 128;
@@ -126,6 +128,113 @@ fn cores_monotone_in_envelope() {
             .max_supportable_cores()
             .unwrap();
         assert!(grown >= base);
+    }
+}
+
+/// Any technique from the extended catalogue, at a random assumption
+/// band — this covers the registered extensions alongside the paper's
+/// nine rows, so every property below holds for future registry
+/// additions by construction.
+fn any_catalogue_technique(rng: &mut Rng) -> Technique {
+    let profiles = extended_catalog();
+    let profile = &profiles[rng.gen_range(0..profiles.len() as u32) as usize];
+    let level = match rng.gen_range(0..3u32) {
+        0 => AssumptionLevel::Pessimistic,
+        1 => AssumptionLevel::Realistic,
+        _ => AssumptionLevel::Optimistic,
+    };
+    profile
+        .technique(level)
+        .expect("catalogue bands instantiate")
+}
+
+/// `combine` over the extended catalogue is invariant under any
+/// permutation of the technique set: the scalar effects agree to
+/// relative rounding error and the stacked layers form the same
+/// multiset.
+#[test]
+fn extended_catalogue_combine_is_order_invariant() {
+    let mut rng = Rng::seed_from_u64(311);
+    for _ in 0..CASES {
+        let count = 2 + rng.gen_range(0..5u32) as usize;
+        let set: Vec<Technique> = (0..count)
+            .map(|_| any_catalogue_technique(&mut rng))
+            .collect();
+        let reference = combine(&set);
+        let mut shuffled = set.clone();
+        for _ in 0..3 {
+            for i in (1..shuffled.len()).rev() {
+                let j = rng.gen_range(0..(i as u32 + 1)) as usize;
+                shuffled.swap(i, j);
+            }
+            let permuted = combine(&shuffled);
+            let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(1.0);
+            assert!(
+                close(reference.capacity_factor(), permuted.capacity_factor()),
+                "capacity_factor diverged under permutation: {set:?}"
+            );
+            assert!(
+                close(reference.traffic_divisor(), permuted.traffic_divisor()),
+                "traffic_divisor diverged under permutation: {set:?}"
+            );
+            assert!(
+                close(reference.cache_density(), permuted.cache_density()),
+                "cache_density diverged under permutation: {set:?}"
+            );
+            assert!(
+                close(
+                    reference.core_size_fraction(),
+                    permuted.core_size_fraction()
+                ),
+                "core_size_fraction diverged under permutation: {set:?}"
+            );
+            assert!(
+                close(reference.uncore_per_core(), permuted.uncore_per_core()),
+                "uncore_per_core diverged under permutation: {set:?}"
+            );
+            let densities = |effects: &bandwall_model::Effects| {
+                let mut d: Vec<f64> = effects
+                    .stacked_layers()
+                    .iter()
+                    .map(|layer| layer.density())
+                    .collect();
+                d.sort_by(f64::total_cmp);
+                d
+            };
+            assert_eq!(
+                densities(&reference),
+                densities(&permuted),
+                "stacked layers diverged under permutation: {set:?}"
+            );
+        }
+    }
+}
+
+/// Applying any combination from the extended catalogue never increases
+/// traffic and never drives it to zero or below: the with-techniques to
+/// without-techniques traffic ratio stays in (0, 1].
+#[test]
+fn extended_catalogue_traffic_ratio_stays_in_unit_interval() {
+    let mut rng = Rng::seed_from_u64(312);
+    for _ in 0..CASES {
+        let baseline = Baseline::niagara2_like().with_alpha(any_alpha(&mut rng));
+        let count = 1 + rng.gen_range(0..4u32) as usize;
+        let set: Vec<Technique> = (0..count)
+            .map(|_| any_catalogue_technique(&mut rng))
+            .collect();
+        let cores = 2 + u64::from(rng.gen_range(0..30u32));
+        let without = ScalingProblem::new(baseline, 64.0)
+            .relative_traffic(cores)
+            .unwrap();
+        let with = ScalingProblem::new(baseline, 64.0)
+            .with_techniques(set.clone())
+            .relative_traffic(cores)
+            .unwrap();
+        let ratio = with / without;
+        assert!(
+            ratio > 0.0 && ratio <= 1.0 + 1e-9,
+            "{set:?} at {cores} cores: traffic ratio {ratio} outside (0, 1]"
+        );
     }
 }
 
